@@ -1,0 +1,226 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VI) at Quick fidelity, plus micro-benchmarks of the hot building
+// blocks. Run the full-size experiments with cmd/jsweep-bench
+// (-fidelity standard|paper); EXPERIMENTS.md records paper-vs-measured.
+package jsweep_test
+
+import (
+	"io"
+	"testing"
+
+	"jsweep"
+	"jsweep/internal/bench"
+	"jsweep/internal/core"
+	"jsweep/internal/graph"
+	"jsweep/internal/mesh"
+	"jsweep/internal/partition"
+	"jsweep/internal/priority"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(bench.Quick, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkFig09aClusterGrainStructured(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFig09bPriorityStructured(b *testing.B)      { benchExperiment(b, "fig9b") }
+func BenchmarkFig12aKobayashi400Strong(b *testing.B)      { benchExperiment(b, "fig12a") }
+func BenchmarkFig12bKobayashi800Strong(b *testing.B)      { benchExperiment(b, "fig12b") }
+func BenchmarkFig13aHyperParamsUnstructured(b *testing.B) { benchExperiment(b, "fig13a") }
+func BenchmarkFig13bPriorityUnstructured(b *testing.B)    { benchExperiment(b, "fig13b") }
+func BenchmarkFig14aBallSmallStrong(b *testing.B)         { benchExperiment(b, "fig14a") }
+func BenchmarkFig14bBallLargeStrong(b *testing.B)         { benchExperiment(b, "fig14b") }
+func BenchmarkFig15WeakScaling(b *testing.B)              { benchExperiment(b, "fig15") }
+func BenchmarkFig16Breakdown(b *testing.B)                { benchExperiment(b, "fig16") }
+func BenchmarkFig17aVsJASMIN(b *testing.B)                { benchExperiment(b, "fig17a") }
+func BenchmarkFig17bVsJAUMIN(b *testing.B)                { benchExperiment(b, "fig17b") }
+func BenchmarkTableIComparison(b *testing.B)              { benchExperiment(b, "tab1") }
+func BenchmarkCoarsenedGraphAblation(b *testing.B)        { benchExperiment(b, "coarse") }
+func BenchmarkRealRuntimeSweep(b *testing.B)              { benchExperiment(b, "real") }
+
+// Micro-benchmarks of the building blocks.
+
+func kobaFixture(b *testing.B, n int) (*jsweep.Problem, *jsweep.Decomposition) {
+	b.Helper()
+	prob, m, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{N: n, SnOrder: 2, Scheme: jsweep.Diamond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := m.BlockDecompose(n/2, n/2, n/2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return prob, d
+}
+
+func flatQ(prob *jsweep.Problem) [][]float64 {
+	q := prob.NewFlux()
+	zero := prob.NewFlux()
+	scratch := make([]float64, prob.Groups)
+	for c := 0; c < prob.M.NumCells(); c++ {
+		prob.EmissionDensity(mesh.CellID(c), zero, scratch)
+		for g := 0; g < prob.Groups; g++ {
+			q[g][c] = scratch[g]
+		}
+	}
+	return q
+}
+
+// BenchmarkKernelSolveCell measures the per-cell transport kernel.
+func BenchmarkKernelSolveCell(b *testing.B) {
+	prob, _ := kobaFixture(b, 8)
+	omega := prob.Quad.Directions[0].Omega
+	qCell := []float64{1.0}
+	psiIn := make([]float64, 6)
+	psiOut := make([]float64, 6)
+	psiBar := make([]float64, 1)
+	c := mesh.CellID(prob.M.NumCells() / 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prob.SolveCell(c, omega, qCell, psiIn, psiOut, psiBar)
+	}
+}
+
+// BenchmarkReferenceSweep measures the serial ground-truth executor.
+func BenchmarkReferenceSweep(b *testing.B) {
+	prob, _ := kobaFixture(b, 16)
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := flatQ(prob)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ref.Sweep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJSweepSolver measures a full data-driven sweep on the threaded
+// runtime.
+func BenchmarkJSweepSolver(b *testing.B) {
+	prob, d := kobaFixture(b, 16)
+	q := flatQ(prob)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{Procs: 2, Workers: 2, Grain: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Sweep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoarseSweep measures the coarsened-graph fast path (§V-E).
+func BenchmarkCoarseSweep(b *testing.B) {
+	prob, d := kobaFixture(b, 16)
+	q := flatQ(prob)
+	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{Sequential: true, Grain: 64, UseCoarse: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Sweep(q); err != nil { // build CG
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sweep(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreamCodec measures the wire pack/unpack path.
+func BenchmarkStreamCodec(b *testing.B) {
+	streams := make([]core.Stream, 16)
+	for i := range streams {
+		streams[i] = core.Stream{
+			SrcPatch: 1, SrcTask: 2, TgtPatch: 3, TgtTask: 4,
+			Payload: make([]byte, 512),
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := core.EncodeStreams(nil, streams)
+		if _, err := core.DecodeStreams(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionRCB measures unstructured partitioning.
+func BenchmarkPartitionRCB(b *testing.B) {
+	m, err := jsweep.Ball(10, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := partition.ByCount(m, 16, partition.RCB); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPatchGraphBuild measures sweep-DAG construction.
+func BenchmarkPatchGraphBuild(b *testing.B) {
+	prob, d := kobaFixture(b, 16)
+	omega := prob.Quad.Directions[0].Omega
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.BuildAllPatchGraphs(d, omega, 0)
+	}
+}
+
+// BenchmarkPatchPriorities measures the §V-D priority computations.
+func BenchmarkPatchPriorities(b *testing.B) {
+	prob, d := kobaFixture(b, 16)
+	dag := graph.BuildPatchDAG(d, prob.Quad.Directions[0].Omega)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		priority.PatchPriorities(priority.SLBD, dag)
+	}
+}
+
+// BenchmarkSourceIteration measures a converging multi-sweep solve with
+// scattering.
+func BenchmarkSourceIteration(b *testing.B) {
+	prob, _, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{N: 10, SnOrder: 2, Scattering: true, Scheme: jsweep.Diamond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transport.SourceIterate(prob, ref, transport.IterConfig{Tolerance: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Command jsweep-bench regenerates the tables and figures of the JSweep
+// paper's evaluation section. Each experiment prints the same rows/series
+// the paper reports; EXPERIMENTS.md records the paper-vs-measured
+// comparison.
+//
+// Usage:
+//
+//	jsweep-bench                      # run everything at standard fidelity
+//	jsweep-bench -exp fig12a          # one experiment
+//	jsweep-bench -fidelity quick      # seconds-per-experiment shapes
+//	jsweep-bench -fidelity paper      # full published parameters (slow)
+//	jsweep-bench -list                # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jsweep/internal/bench"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id to run (default: all)")
+		fidelity = flag.String("fidelity", "standard", "quick | standard | paper")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	f, err := bench.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	exps := bench.All()
+	if *expID != "" {
+		e, ok := bench.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *expID)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+	for _, e := range exps {
+		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
+		t0 := time.Now()
+		if _, err := e.Run(f, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%.1fs)\n\n", time.Since(t0).Seconds())
+	}
+}

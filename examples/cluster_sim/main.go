@@ -1,0 +1,66 @@
+// Simulated-cluster exploration (paper §VI at your desk): sweeps the
+// machine size for a reactor-style unstructured workload on the
+// discrete-event cluster simulator, printing scaling, the JSweep-vs-BSP
+// comparison, and the Fig. 16-style cost breakdown per configuration.
+//
+//	go run ./examples/cluster_sim [-cells 200000] [-patch 500]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"jsweep"
+)
+
+func main() {
+	var (
+		cells = flag.Int("cells", 200000, "simulated total mesh cells")
+		patch = flag.Int("patch", 500, "cells per patch")
+		sn    = flag.Int("angles", 24, "number of sweep angles")
+	)
+	flag.Parse()
+
+	// Patch-granular coarse mesh: one coarse cell per patch.
+	coarse, err := jsweep.ReactorWithCells(*cells / *patch, 1.0, 1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulating reactor: %d cells as %d patches of %d, %d angles, 4 groups\n",
+		*cells, coarse.NumCells(), *patch, *sn)
+
+	cm := jsweep.DefaultCostModel(4)
+	fmt.Printf("%8s %12s %12s %10s %8s %8s %8s\n",
+		"cores", "JSweep[s]", "BSP[s]", "gain", "idle%", "ovh%", "comm%")
+	var base float64
+	for _, cores := range []int{24, 96, 384, 1536, 6144} {
+		procs := cores / 12
+		if procs < 1 {
+			procs = 1
+		}
+		w, err := jsweep.UnstructuredSimWorkload(coarse, int64(*patch), procs, *sn, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := jsweep.SimConfig{Workers: 11, Grain: 64}
+		dd, err := jsweep.SimulateSweep(w, cfg, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bsp, err := jsweep.SimulateBSPSweep(w, cfg, cm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = dd.Makespan
+		}
+		// The workload may cap the process count at the patch count.
+		total := dd.Makespan * float64(w.Procs*12)
+		idle := (dd.WorkerIdle + dd.MasterIdle) / total * 100
+		ovh := (dd.GraphOp + dd.Pack + dd.Unpack) / total * 100
+		comm := dd.Route / total * 100
+		fmt.Printf("%8d %12.4f %12.4f %9.2fx %7.1f%% %7.1f%% %7.1f%%\n",
+			cores, dd.Makespan, bsp.Makespan, bsp.Makespan/dd.Makespan, idle, ovh, comm)
+	}
+}

@@ -1,0 +1,194 @@
+// Package bench contains one experiment driver per table and figure of the
+// paper's evaluation (§VI), each regenerating the corresponding rows or
+// series. Large-scale experiments run on the simulated cluster
+// (internal/simcluster); correctness-scale ablations run the real threaded
+// runtime. EXPERIMENTS.md records the paper-vs-measured comparison.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"jsweep/internal/priority"
+	"jsweep/internal/simcluster"
+)
+
+// Fidelity selects the experiment scale.
+type Fidelity int
+
+const (
+	// Quick is sized for `go test -bench` (seconds per experiment). It
+	// preserves each figure's qualitative shape at reduced patch and
+	// angle counts.
+	Quick Fidelity = iota
+	// Standard is the CLI default (tens of seconds for the large runs):
+	// paper-shaped patch lattices with reduced angle counts.
+	Standard
+	// Paper runs the full published parameters (minutes; Kobayashi-800 at
+	// 320 angles is several hundred million simulated events).
+	Paper
+)
+
+// ParseFidelity converts quick/standard/paper.
+func ParseFidelity(s string) (Fidelity, error) {
+	switch s {
+	case "quick":
+		return Quick, nil
+	case "standard", "":
+		return Standard, nil
+	case "paper", "full":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("bench: unknown fidelity %q (quick|standard|paper)", s)
+}
+
+func (f Fidelity) String() string {
+	switch f {
+	case Quick:
+		return "quick"
+	case Paper:
+		return "paper"
+	default:
+		return "standard"
+	}
+}
+
+// Point is one datum of an experiment's output series.
+type Point struct {
+	// Series names the line ("JSweep", "JASMIN", "SLBD+SLBD", ...).
+	Series string
+	// X is the swept parameter (cores, grain, patch size...).
+	X float64
+	// Value is the measured quantity (seconds or efficiency).
+	Value float64
+}
+
+// Experiment couples an id with its driver.
+type Experiment struct {
+	// ID is the index key ("fig12a", "tab1", ...).
+	ID string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Run executes the experiment, prints its table to w, and returns the
+	// series points.
+	Run func(f Fidelity, w io.Writer) ([]Point, error)
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig9a", Title: "Fig. 9a — vertex clustering grain vs time (SnSweep-S, structured)", Run: Fig9a},
+		{ID: "fig9b", Title: "Fig. 9b — priority strategies vs cores (structured)", Run: Fig9b},
+		{ID: "fig12a", Title: "Fig. 12a — Kobayashi-400 strong scaling (JSNT-S)", Run: Fig12a},
+		{ID: "fig12b", Title: "Fig. 12b — Kobayashi-800 strong scaling (JSNT-S)", Run: Fig12b},
+		{ID: "fig13a", Title: "Fig. 13a — patch size and cluster grain (JSNT-U, reactor)", Run: Fig13a},
+		{ID: "fig13b", Title: "Fig. 13b — priority strategies (JSNT-U, reactor)", Run: Fig13b},
+		{ID: "fig14a", Title: "Fig. 14a — strong scaling, small ball (482k cells)", Run: Fig14a},
+		{ID: "fig14b", Title: "Fig. 14b — strong scaling, large ball (173M cells)", Run: Fig14b},
+		{ID: "fig15", Title: "Fig. 15 — weak scaling (reactor & ball)", Run: Fig15},
+		{ID: "fig16", Title: "Fig. 16 — runtime overhead breakdown (JSNT-S)", Run: Fig16},
+		{ID: "fig17a", Title: "Fig. 17a — JSweep vs JASMIN (Kobayashi-400)", Run: Fig17a},
+		{ID: "fig17b", Title: "Fig. 17b — JSweep vs JAUMIN (ball)", Run: Fig17b},
+		{ID: "tab1", Title: "Table I — parallel efficiency comparison with literature", Run: Table1},
+		{ID: "coarse", Title: "§V-E — coarsened-graph ablation (real runtime)", Run: CoarseAblation},
+		{ID: "real", Title: "validation — real threaded runtime scaling on host", Run: RealRuntime},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// coresPerProc mirrors the paper's Tianhe-II setup: one MPI process per
+// 12-core processor, one core reserved for the master thread.
+const coresPerProc = 12
+
+// workersPerProc is the worker-thread count per process.
+const workersPerProc = coresPerProc - 1
+
+// procsFor converts a paper "cores" axis value into simulated processes.
+func procsFor(cores int) int {
+	p := cores / coresPerProc
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// emitDelayFor maps a vertex priority strategy onto the simulator's
+// emission-delay knob: SLBD pushes boundary work first (earliest
+// emission); LDCP follows the critical path (intermediate); BFS floods
+// levels (latest useful emission). See DESIGN.md.
+func emitDelayFor(s priority.Strategy) float64 {
+	switch s {
+	case priority.SLBD:
+		return 0.0
+	case priority.LDCP:
+		return 0.25
+	default: // BFS
+		return 0.5
+	}
+}
+
+// patchPrioFor evaluates a patch strategy on every octant DAG of a
+// workload and expands it to per-angle priorities.
+func patchPrioFor(w *simcluster.Workload, s priority.Strategy) [][]int64 {
+	perOctant := make([][]int64, len(w.Octants))
+	for o, dag := range w.Octants {
+		perOctant[o] = priority.PatchPriorities(s, dag)
+	}
+	out := make([][]int64, len(w.AngleOctant))
+	for a, o := range w.AngleOctant {
+		out[a] = perOctant[o]
+	}
+	return out
+}
+
+// printSeries renders points grouped by series as an aligned table.
+func printSeries(w io.Writer, xLabel, vLabel string, pts []Point) {
+	bySeries := map[string][]Point{}
+	var order []string
+	for _, p := range pts {
+		if _, ok := bySeries[p.Series]; !ok {
+			order = append(order, p.Series)
+		}
+		bySeries[p.Series] = append(bySeries[p.Series], p)
+	}
+	for _, s := range order {
+		ps := bySeries[s]
+		sort.Slice(ps, func(i, j int) bool { return ps[i].X < ps[j].X })
+		fmt.Fprintf(w, "  series %-24s", s)
+		fmt.Fprintf(w, "  %s:", xLabel)
+		for _, p := range ps {
+			fmt.Fprintf(w, " %g", p.X)
+		}
+		fmt.Fprintf(w, "\n  %-31s %s:", "", vLabel)
+		for _, p := range ps {
+			fmt.Fprintf(w, " %.4g", p.Value)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// speedupTable prints runtimes plus speedup/efficiency against the first
+// (base) point of a single series.
+func speedupTable(w io.Writer, pts []Point) {
+	if len(pts) == 0 {
+		return
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+	base := pts[0]
+	fmt.Fprintf(w, "  %10s %12s %10s %12s\n", "cores", "time[s]", "speedup", "efficiency")
+	for _, p := range pts {
+		sp := base.Value / p.Value
+		eff := sp * base.X / p.X
+		fmt.Fprintf(w, "  %10.0f %12.3f %10.2f %11.1f%%\n", p.X, p.Value, sp, eff*100)
+	}
+}

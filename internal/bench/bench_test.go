@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func runExp(t *testing.T, id string) []Point {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	pts, err := e.Run(Quick, io.Discard)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(pts) == 0 {
+		t.Fatalf("%s: no points", id)
+	}
+	return pts
+}
+
+func series(pts []Point, name string) []Point {
+	var out []Point
+	for _, p := range pts {
+		if p.Series == name {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig9a", "fig9b", "fig12a", "fig12b", "fig13a", "fig13b",
+		"fig14a", "fig14b", "fig15", "fig16", "fig17a", "fig17b", "tab1", "coarse", "real"}
+	for _, id := range want {
+		if _, ok := Find(id); !ok {
+			t.Errorf("experiment %s missing from registry", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find should miss unknown ids")
+	}
+}
+
+func TestParseFidelity(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Fidelity
+	}{{"quick", Quick}, {"standard", Standard}, {"", Standard}, {"paper", Paper}, {"full", Paper}} {
+		got, err := ParseFidelity(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFidelity(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseFidelity("bogus"); err == nil {
+		t.Error("bogus fidelity should fail")
+	}
+}
+
+// Fig. 9a shape: runtime falls steeply from grain 1 and rises again for
+// excessive grains (the U of §V-C).
+func TestFig9aShape(t *testing.T) {
+	pts := runExp(t, "fig9a")
+	s := series(pts, "S2 sweeps")
+	first, last := s[0], s[len(s)-1]
+	min := s[0]
+	for _, p := range s {
+		if p.Value < min.Value {
+			min = p
+		}
+	}
+	if min.X == first.X {
+		t.Errorf("grain 1 should not be optimal: %+v", s)
+	}
+	if first.Value < 2*min.Value {
+		t.Errorf("grain 1 (%v) should be far above the optimum (%v)", first.Value, min.Value)
+	}
+	if last.Value <= min.Value {
+		t.Errorf("maximal grain (%v) should be above the optimum (%v)", last.Value, min.Value)
+	}
+}
+
+// Fig. 9b shape: SLBD+SLBD stays within a few percent of the best pair at
+// every core count (the paper finds SLBD constantly best; at Quick scale
+// strategy gaps shrink into the percent range).
+func TestFig9bShape(t *testing.T) {
+	pts := runExp(t, "fig9b")
+	slbd := series(pts, "SLBD+SLBD")
+	if len(slbd) == 0 {
+		t.Fatal("missing SLBD+SLBD series")
+	}
+	for _, p := range slbd {
+		best := p.Value
+		for _, q := range pts {
+			if q.X == p.X && q.Value < best {
+				best = q.Value
+			}
+		}
+		if p.Value > best*1.05 {
+			t.Errorf("at %g cores SLBD+SLBD (%v) trails the best (%v) by >5%%", p.X, p.Value, best)
+		}
+	}
+}
+
+// Strong scaling shapes: runtimes fall monotonically with cores, with
+// sublinear speedup at the top end.
+func testStrongScaling(t *testing.T, id, ser string, maxTopEff float64) {
+	t.Helper()
+	pts := series(runExp(t, id), ser)
+	if len(pts) < 3 {
+		t.Fatalf("%s: want >= 3 points", id)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Value >= pts[i-1].Value {
+			t.Errorf("%s: time did not fall from %g to %g cores", id, pts[i-1].X, pts[i].X)
+		}
+	}
+	base, top := pts[0], pts[len(pts)-1]
+	eff := (base.Value / top.Value) * base.X / top.X
+	if eff >= maxTopEff {
+		t.Errorf("%s: top efficiency %.2f suspiciously ideal (>= %.2f)", id, eff, maxTopEff)
+	}
+	if eff <= 0.02 {
+		t.Errorf("%s: top efficiency %.2f collapsed", id, eff)
+	}
+}
+
+func TestFig12aShape(t *testing.T) { testStrongScaling(t, "fig12a", "Kobayashi-200", 0.95) }
+func TestFig12bShape(t *testing.T) { testStrongScaling(t, "fig12b", "Kobayashi-320", 0.95) }
+func TestFig14aShape(t *testing.T) { testStrongScaling(t, "fig14a", "ball", 0.98) }
+func TestFig14bShape(t *testing.T) { testStrongScaling(t, "fig14b", "ball", 0.98) }
+
+// Fig. 13a shape: the patch-size curve falls from its smallest patch and
+// rises again by the largest (fall-then-rise of §VI-B1).
+func TestFig13aShape(t *testing.T) {
+	pts := runExp(t, "fig13a")
+	ps := series(pts, "patch-size")
+	min := ps[0]
+	for _, p := range ps {
+		if p.Value < min.Value {
+			min = p
+		}
+	}
+	if min.X == ps[0].X {
+		t.Errorf("smallest patch should not win: %+v", ps)
+	}
+	// Grain curve: grain 1 is worst.
+	gr := series(pts, "cluster-grain")
+	for _, p := range gr[1:] {
+		if p.Value >= gr[0].Value {
+			t.Errorf("grain %g (%v) should beat grain 1 (%v)", p.X, p.Value, gr[0].Value)
+		}
+	}
+}
+
+// Fig. 13b: all four strategies complete; spreads stay moderate
+// (priority effects are "not so significant" on unstructured meshes).
+func TestFig13bShape(t *testing.T) {
+	pts := runExp(t, "fig13b")
+	byX := map[float64][]float64{}
+	for _, p := range pts {
+		byX[p.X] = append(byX[p.X], p.Value)
+	}
+	for x, vs := range byX {
+		if len(vs) != 4 {
+			t.Fatalf("at %g cores: %d strategies, want 4", x, len(vs))
+		}
+		min, max := vs[0], vs[0]
+		for _, v := range vs {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		if max/min > 3 {
+			t.Errorf("at %g cores strategy spread %.1fx too extreme for unstructured", x, max/min)
+		}
+	}
+}
+
+// Fig. 15: weak-scaling efficiency stays in (0, 1.05] and degrades by the
+// last step.
+func TestFig15Shape(t *testing.T) {
+	pts := runExp(t, "fig15")
+	for _, name := range []string{"reactor", "ball"} {
+		s := series(pts, name)
+		if len(s) < 3 {
+			t.Fatalf("%s: want >= 3 points", name)
+		}
+		for _, p := range s {
+			if p.Value <= 0 || p.Value > 1.05 {
+				t.Errorf("%s: efficiency %v at %g cores out of range", name, p.Value, p.X)
+			}
+		}
+		if s[len(s)-1].Value >= s[0].Value {
+			t.Errorf("%s: weak-scaling efficiency should degrade: %+v", name, s)
+		}
+	}
+}
+
+// Fig. 16: idle share grows with core count; kernel dominates the busy
+// categories.
+func TestFig16Shape(t *testing.T) {
+	pts := runExp(t, "fig16")
+	idle := series(pts, "idle")
+	kernel := series(pts, "kernel")
+	if len(idle) != len(kernel) {
+		t.Fatal("series length mismatch")
+	}
+	firstShare := idle[0].Value / (idle[0].Value + kernel[0].Value)
+	lastShare := idle[len(idle)-1].Value / (idle[len(idle)-1].Value + kernel[len(kernel)-1].Value)
+	if lastShare <= firstShare {
+		t.Errorf("idle share should grow with cores: %.2f -> %.2f", firstShare, lastShare)
+	}
+	for i, k := range kernel {
+		g := series(pts, "graph-op")[i]
+		if g.Value >= k.Value {
+			t.Errorf("graph-op (%v) should stay below kernel (%v)", g.Value, k.Value)
+		}
+	}
+}
+
+// Fig. 17: JSweep beats the BSP baseline at every core count, on both
+// mesh families.
+func TestFig17Shapes(t *testing.T) {
+	for id, baseline := range map[string]string{"fig17a": "JASMIN", "fig17b": "JAUMIN"} {
+		pts := runExp(t, id)
+		js := series(pts, "JSweep")
+		bl := series(pts, baseline)
+		if len(js) == 0 || len(js) != len(bl) {
+			t.Fatalf("%s: series mismatch", id)
+		}
+		for i := range js {
+			if js[i].Value >= bl[i].Value {
+				t.Errorf("%s at %g cores: JSweep (%v) not below %s (%v)",
+					id, js[i].X, js[i].Value, baseline, bl[i].Value)
+			}
+		}
+	}
+}
+
+// Table I: all efficiencies are valid fractions and JSweep's structured
+// efficiency exceeds its unstructured one (as in the paper).
+func TestTable1Shape(t *testing.T) {
+	pts := runExp(t, "tab1")
+	vals := map[string]float64{}
+	for _, p := range pts {
+		if p.Value <= 0 || p.Value > 1.01 {
+			t.Errorf("%s: efficiency %v out of range", p.Series, p.Value)
+		}
+		vals[p.Series] = p.Value
+	}
+	if vals["JSweep-koba"] <= vals["JSweep-ball"] {
+		t.Errorf("structured efficiency (%v) should exceed unstructured (%v)",
+			vals["JSweep-koba"], vals["JSweep-ball"])
+	}
+}
+
+// Coarsened-graph ablation: both the scheduling-event ratio and the wall
+// ratio must favour the coarse graph.
+func TestCoarseAblationShape(t *testing.T) {
+	pts := runExp(t, "coarse")
+	for _, p := range pts {
+		if p.Value <= 1 {
+			t.Errorf("%s: ratio %v should exceed 1", p.Series, p.Value)
+		}
+	}
+}
+
+func TestRealRuntimeExperiment(t *testing.T) {
+	pts := runExp(t, "real")
+	for _, p := range pts {
+		if p.Value <= 0 {
+			t.Errorf("wall time %v invalid", p.Value)
+		}
+	}
+}
+
+// The printed output must mention the experiment's key parameters.
+func TestOutputMentionsSetup(t *testing.T) {
+	e, _ := Find("fig12a")
+	var sb strings.Builder
+	if _, err := e.Run(Quick, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, needle := range []string{"Kobayashi", "cores", "efficiency"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("output missing %q:\n%s", needle, out)
+		}
+	}
+}

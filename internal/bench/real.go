@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/priority"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// CoarseAblation measures the §V-E claim on the real threaded runtime: the
+// coarsened graph cuts scheduling events (Compute calls) by roughly an
+// order of magnitude and speeds up post-first sweeps; building the CG
+// costs less than one DAG sweep.
+func CoarseAblation(f Fidelity, w io.Writer) ([]Point, error) {
+	n := 24
+	order := 2
+	if f == Paper {
+		n = 48
+		order = 4
+	}
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: n, SnOrder: order, Scheme: transport.Diamond})
+	if err != nil {
+		return nil, err
+	}
+	d, err := m.BlockDecompose(8, 8, 8)
+	if err != nil {
+		return nil, err
+	}
+	procs := 2
+	workers := maxI(1, runtime.NumCPU()/procs-1)
+	opts := sweep.Options{
+		Procs: procs, Workers: workers, Grain: 64, UseCoarse: true,
+		Pair: priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+	}
+	s, err := sweep.NewSolver(prob, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	q := flatSource(prob)
+
+	t0 := time.Now()
+	if _, err := s.Sweep(q); err != nil { // fine sweep + CG build
+		return nil, err
+	}
+	fineWall := time.Since(t0).Seconds()
+	fineCalls := s.LastStats().ComputeCalls
+
+	t1 := time.Now()
+	if _, err := s.Sweep(q); err != nil { // coarse sweep
+		return nil, err
+	}
+	coarseWall := time.Since(t1).Seconds()
+	coarseCalls := s.LastStats().ComputeCalls
+
+	st := s.CoarseGraph().Stats(nil)
+	fmt.Fprintf(w, "Coarsened-graph ablation (%s): Kobayashi-%d S%d, patch 8³, grain 64, %dp×%dw\n",
+		f, n, order, procs, workers)
+	fmt.Fprintf(w, "  %-28s %12s %12s %10s\n", "", "DAG sweep", "CG sweep", "ratio")
+	fmt.Fprintf(w, "  %-28s %12d %12d %9.1fx\n", "compute calls (sched events)", fineCalls, coarseCalls,
+		float64(fineCalls)/float64(coarseCalls))
+	fmt.Fprintf(w, "  %-28s %12.4f %12.4f %9.1fx\n", "wall time [s] (incl CG build)", fineWall, coarseWall,
+		fineWall/coarseWall)
+	fmt.Fprintf(w, "  coarse graph: %d CV, %d CE\n", st.CoarseVertices, st.CoarseEdges)
+	return []Point{
+		{Series: "compute-calls-ratio", X: float64(n), Value: float64(fineCalls) / float64(coarseCalls)},
+		{Series: "wall-ratio", X: float64(n), Value: fineWall / coarseWall},
+	}, nil
+}
+
+// RealRuntime validates the threaded runtime on the host: a small
+// Kobayashi sweep across process/worker topologies, reporting wall time
+// and runtime statistics. (Not a paper figure — the correctness-scale
+// companion to the simulated experiments.)
+func RealRuntime(f Fidelity, w io.Writer) ([]Point, error) {
+	n := 24
+	if f == Paper {
+		n = 48
+	}
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: n, SnOrder: 2, Scheme: transport.Diamond})
+	if err != nil {
+		return nil, err
+	}
+	d, err := m.BlockDecompose(8, 8, 8)
+	if err != nil {
+		return nil, err
+	}
+	q := flatSource(prob)
+	topos := [][2]int{{1, 1}, {1, 2}, {2, 2}, {2, 4}}
+	if runtime.NumCPU() >= 16 {
+		topos = append(topos, [2]int{4, 3})
+	}
+	var pts []Point
+	fmt.Fprintf(w, "Real runtime scaling (%s): Kobayashi-%d S2, patch 8³ (host has %d CPUs)\n",
+		f, n, runtime.NumCPU())
+	fmt.Fprintf(w, "  %8s %8s %12s %10s %14s\n", "procs", "workers", "time[s]", "cycles", "remote streams")
+	for _, tp := range topos {
+		s, err := sweep.NewSolver(prob, d, sweep.Options{
+			Procs: tp[0], Workers: tp[1], Grain: 64,
+			Pair: priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := s.Sweep(q); err != nil {
+			return nil, err
+		}
+		wall := time.Since(t0).Seconds()
+		st := s.LastStats()
+		fmt.Fprintf(w, "  %8d %8d %12.4f %10d %14d\n",
+			tp[0], tp[1], wall, st.Runtime.Cycles, st.Runtime.RemoteStreams)
+		pts = append(pts, Point{Series: "real", X: float64(tp[0] * tp[1]), Value: wall})
+	}
+	return pts, nil
+}
+
+// flatSource evaluates the emission density of a problem's fixed sources
+// with zero flux (one sweep's input).
+func flatSource(prob *transport.Problem) [][]float64 {
+	q := prob.NewFlux()
+	zero := prob.NewFlux()
+	scratch := make([]float64, prob.Groups)
+	for c := 0; c < prob.M.NumCells(); c++ {
+		prob.EmissionDensity(mesh.CellID(c), zero, scratch)
+		for g := 0; g < prob.Groups; g++ {
+			q[g][c] = scratch[g]
+		}
+	}
+	return q
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,343 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"jsweep/internal/kba"
+	"jsweep/internal/priority"
+	"jsweep/internal/simcluster"
+)
+
+// kobaWorkload builds the simulated workload of a Kobayashi-N run with the
+// paper's 20³-cell patches: an (N/20)³ patch lattice.
+func kobaWorkload(n, procs, angles int) (*simcluster.Workload, error) {
+	blocks := n / 20
+	if blocks < 1 {
+		blocks = 1
+	}
+	return simcluster.StructuredWorkload(blocks, blocks, blocks, 20*20*20, procs, angles, 1)
+}
+
+// slbdConfig is the paper's default configuration: SLBD+SLBD, grain 1000.
+func slbdConfig(w *simcluster.Workload, grain int64) simcluster.Config {
+	return simcluster.Config{
+		Workers:   workersPerProc,
+		Grain:     grain,
+		PatchPrio: patchPrioFor(w, priority.SLBD),
+		EmitDelay: emitDelayFor(priority.SLBD),
+	}
+}
+
+// Fig9a reproduces Fig. 9a: SnSweep-S runtime vs vertex clustering grain.
+// Paper setup: 160×160×180 cells, patch 20³, S2 (8 angles), 96 cores —
+// runtime falls steeply from grain 1, bottoms out mid-range, and climbs
+// again when excessive clustering defers communication.
+func Fig9a(f Fidelity, w io.Writer) ([]Point, error) {
+	bx, by, bz := 8, 8, 9 // 160×160×180 / 20³
+	cells := int64(8000)
+	grains := []int64{1, 8, 64, 256, 1024, 2048, 4096}
+	angles := 8
+	procs := procsFor(96)
+	if f == Quick {
+		bx, by, bz = 4, 4, 4
+		cells = 1000
+		grains = []int64{1, 8, 64, 256, 1000}
+	}
+	wl, err := simcluster.StructuredWorkload(bx, by, bz, cells, procs, angles, 1)
+	if err != nil {
+		return nil, err
+	}
+	cm := simcluster.DefaultCostModel(1)
+	var pts []Point
+	for _, grain := range grains {
+		cfg := slbdConfig(wl, grain)
+		res, err := simcluster.Simulate(wl, cfg, cm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{Series: "S2 sweeps", X: float64(grain), Value: res.Makespan})
+	}
+	fmt.Fprintf(w, "Fig 9a (%s): %dx%dx%d patches × %d cells, %d angles, %d cores\n",
+		f, bx, by, bz, cells, angles, procs*coresPerProc)
+	printSeries(w, "grain", "time[s]", pts)
+	return pts, nil
+}
+
+// Fig9b reproduces Fig. 9b: priority strategy pairs on a structured sweep
+// across core counts. SLBD+SLBD should win consistently (§V-D).
+func Fig9b(f Fidelity, w io.Writer) ([]Point, error) {
+	coresList := []int{96, 192, 384, 768}
+	blocks := 8
+	cells := int64(8000)
+	angles := 8
+	grain := int64(1000)
+	if f == Quick {
+		coresList = []int{96, 384}
+		blocks = 6
+		cells = 1000
+		grain = 200
+	}
+	pairs := []priority.Pair{
+		{Patch: priority.LDCP, Vertex: priority.LDCP},
+		{Patch: priority.SLBD, Vertex: priority.SLBD},
+		{Patch: priority.LDCP, Vertex: priority.SLBD},
+	}
+	cm := simcluster.DefaultCostModel(1)
+	var pts []Point
+	for _, cores := range coresList {
+		wl, err := simcluster.StructuredWorkload(blocks, blocks, blocks, cells, procsFor(cores), angles, 1)
+		if err != nil {
+			return nil, err
+		}
+		for _, pair := range pairs {
+			cfg := simcluster.Config{
+				Workers:   workersPerProc,
+				Grain:     grain,
+				PatchPrio: patchPrioFor(wl, pair.Patch),
+				EmitDelay: emitDelayFor(pair.Vertex),
+			}
+			res, err := simcluster.Simulate(wl, cfg, cm)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Point{Series: pair.String(), X: float64(cores), Value: res.Makespan})
+		}
+	}
+	fmt.Fprintf(w, "Fig 9b (%s): %d³ patches × %d cells, %d angles\n", f, blocks, cells, angles)
+	printSeries(w, "cores", "time[s]", pts)
+	return pts, nil
+}
+
+// strongScaling runs a Kobayashi-N strong-scaling series.
+func strongScaling(n int, coresList []int, angles int, w io.Writer, label string) ([]Point, error) {
+	cm := simcluster.DefaultCostModel(1)
+	var pts []Point
+	for _, cores := range coresList {
+		wl, err := kobaWorkload(n, procsFor(cores), angles)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simcluster.Simulate(wl, slbdConfig(wl, 1000), cm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{Series: label, X: float64(cores), Value: res.Makespan})
+	}
+	speedupTable(w, pts)
+	return pts, nil
+}
+
+// Fig12a reproduces Fig. 12a: Kobayashi-400 strong scaling, 768 → 24,576
+// cores. The paper reports 14.3× speedup (44.7% efficiency) over the
+// 32-fold core increase.
+func Fig12a(f Fidelity, w io.Writer) ([]Point, error) {
+	n := 400
+	angles := 40 // standard fidelity: one octant's worth of S16's 320
+	coresList := []int{768, 1536, 3072, 6144, 12288, 24576}
+	switch f {
+	case Quick:
+		n = 200
+		angles = 8
+		coresList = []int{192, 768, 3072}
+	case Paper:
+		angles = 320
+	}
+	fmt.Fprintf(w, "Fig 12a (%s): Kobayashi-%d, %d angles, patch 20³, grain 1000, SLBD+SLBD\n", f, n, angles)
+	return strongScaling(n, coresList, angles, w, "Kobayashi-"+fmt.Sprint(n))
+}
+
+// Fig12b reproduces Fig. 12b: Kobayashi-800 strong scaling, 4,800 → 76,800
+// cores (paper: 7.4× speedup, 46.3% efficiency over 16×).
+func Fig12b(f Fidelity, w io.Writer) ([]Point, error) {
+	n := 800
+	angles := 24
+	coresList := []int{4800, 9600, 19200, 38400, 76800}
+	switch f {
+	case Quick:
+		n = 320
+		angles = 8
+		coresList = []int{1200, 4800, 19200}
+	case Paper:
+		angles = 320
+	}
+	fmt.Fprintf(w, "Fig 12b (%s): Kobayashi-%d, %d angles, patch 20³, grain 1000, SLBD+SLBD\n", f, n, angles)
+	return strongScaling(n, coresList, angles, w, "Kobayashi-"+fmt.Sprint(n))
+}
+
+// Fig16 reproduces Fig. 16: the runtime overhead breakdown of a
+// Kobayashi-200 sweep across core counts — kernel work plus moderate
+// graph-op/pack overhead (~quarter of the total), communication, and idle
+// time that grows with the core count.
+func Fig16(f Fidelity, w io.Writer) ([]Point, error) {
+	n := 200
+	angles := 40
+	coresList := []int{192, 384, 768, 1536, 3072}
+	if f == Quick {
+		angles = 8
+		coresList = []int{192, 768, 3072}
+	}
+	cm := simcluster.DefaultCostModel(1)
+	var pts []Point
+	fmt.Fprintf(w, "Fig 16 (%s): Kobayashi-%d breakdown, %d angles (avg seconds per core)\n", f, n, angles)
+	fmt.Fprintf(w, "  %8s %10s %10s %12s %10s %10s %10s\n",
+		"cores", "kernel", "graph-op", "pack/unpack", "comm", "idle", "total")
+	for _, cores := range coresList {
+		procs := procsFor(cores)
+		wl, err := kobaWorkload(n, procs, angles)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simcluster.Simulate(wl, slbdConfig(wl, 1000), cm)
+		if err != nil {
+			return nil, err
+		}
+		totalCores := float64(procs * coresPerProc)
+		kernel := res.Kernel / totalCores
+		graphOp := res.GraphOp / totalCores
+		pack := (res.Pack + res.Unpack) / totalCores
+		comm := res.Route / totalCores
+		idle := (res.WorkerIdle + res.MasterIdle) / totalCores
+		fmt.Fprintf(w, "  %8d %10.3f %10.3f %12.3f %10.3f %10.3f %10.3f\n",
+			cores, kernel, graphOp, pack, comm, idle, res.Makespan)
+		pts = append(pts,
+			Point{Series: "kernel", X: float64(cores), Value: kernel},
+			Point{Series: "graph-op", X: float64(cores), Value: graphOp},
+			Point{Series: "pack/unpack", X: float64(cores), Value: pack},
+			Point{Series: "comm", X: float64(cores), Value: comm},
+			Point{Series: "idle", X: float64(cores), Value: idle},
+		)
+	}
+	return pts, nil
+}
+
+// Fig17a reproduces Fig. 17a: JSweep vs the JASMIN BSP-style baseline on
+// Kobayashi-400. JSweep must be consistently faster, with the margin
+// growing slowly with core count.
+func Fig17a(f Fidelity, w io.Writer) ([]Point, error) {
+	n := 400
+	angles := 24
+	coresList := []int{288, 576, 1152, 2304, 4608}
+	if f == Quick {
+		n = 200
+		angles = 8
+		coresList = []int{288, 1152, 4608}
+	}
+	cm := simcluster.DefaultCostModel(1)
+	var pts []Point
+	for _, cores := range coresList {
+		wl, err := kobaWorkload(n, procsFor(cores), angles)
+		if err != nil {
+			return nil, err
+		}
+		cfg := slbdConfig(wl, 1000)
+		dd, err := simcluster.Simulate(wl, cfg, cm)
+		if err != nil {
+			return nil, err
+		}
+		bspRes, err := simcluster.SimulateBSP(wl, cfg, cm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts,
+			Point{Series: "JSweep", X: float64(cores), Value: dd.Makespan},
+			Point{Series: "JASMIN", X: float64(cores), Value: bspRes.Makespan},
+		)
+	}
+	fmt.Fprintf(w, "Fig 17a (%s): Kobayashi-%d, %d angles — JSweep vs JASMIN (BSP rounds)\n", f, n, angles)
+	printSeries(w, "cores", "time[s]", pts)
+	return pts, nil
+}
+
+// Table1 reproduces Table I: parallel-efficiency comparison against
+// literature systems. Denovo's KBA efficiency comes from the analytic KBA
+// model at the published core counts; PSD-b's figure is the published
+// literature constant; JSweep rows are simulated.
+func Table1(f Fidelity, w io.Writer) ([]Point, error) {
+	cm := simcluster.DefaultCostModel(1)
+	angles := 40
+	if f == Quick {
+		angles = 8
+	}
+
+	// JSweep Kobayashi-400: 6,144 vs 384 cores (paper: 89.6%).
+	effKoba, err := simEfficiency(400, 384, 6144, angles, cm)
+	if err != nil {
+		return nil, err
+	}
+	// Literature constants, as the paper itself cites them.
+	const denovoLit = 0.778 // Denovo [31], Kobayashi-400, 3600 vs 144
+	const psdbLit = 0.88    // PSD-b [27], sphere 151,265 cells S4, 1024 vs 128
+	// Our analytic KBA model at Denovo's core counts, as a cross-check of
+	// the KBA substrate (structured baselines).
+	kbaModel := kbaEfficiencyRatio(400, 144, 3600, cm)
+
+	// JSweep sphere (small ball, S4): 1,536 vs 192 cores (paper: 66%).
+	effBall, err := ballEfficiency(192, 1536, cm, f)
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(w, "Table I (%s): parallel efficiency, max vs base cores\n", f)
+	fmt.Fprintf(w, "  %-14s %-28s %10s %18s\n", "system", "problem", "par.eff.", "cores (max/base)")
+	fmt.Fprintf(w, "  %-14s %-28s %9.1f%% %18s\n", "Denovo (lit.)", "Kobayashi-400", denovoLit*100, "3600 vs 144")
+	fmt.Fprintf(w, "  %-14s %-28s %9.1f%% %18s\n", "KBA model", "Kobayashi-400 (ours)", kbaModel*100, "3600 vs 144")
+	fmt.Fprintf(w, "  %-14s %-28s %9.1f%% %18s\n", "JSweep", "Kobayashi-400", effKoba*100, "6144 vs 384")
+	fmt.Fprintf(w, "  %-14s %-28s %9.1f%% %18s\n", "PSD-b (lit.)", "sphere 151k cells S4", psdbLit*100, "1024 vs 128")
+	fmt.Fprintf(w, "  %-14s %-28s %9.1f%% %18s\n", "JSweep", "sphere 482k cells S4", effBall*100, "1536 vs 192")
+	return []Point{
+		{Series: "Denovo", X: 3600, Value: denovoLit},
+		{Series: "KBA-model", X: 3600, Value: kbaModel},
+		{Series: "JSweep-koba", X: 6144, Value: effKoba},
+		{Series: "PSD-b", X: 1024, Value: psdbLit},
+		{Series: "JSweep-ball", X: 1536, Value: effBall},
+	}, nil
+}
+
+// simEfficiency returns the simulated parallel efficiency of Kobayashi-n
+// between two core counts.
+func simEfficiency(n, baseCores, maxCores, angles int, cm simcluster.CostModel) (float64, error) {
+	run := func(cores int) (float64, error) {
+		wl, err := kobaWorkload(n, procsFor(cores), angles)
+		if err != nil {
+			return 0, err
+		}
+		res, err := simcluster.Simulate(wl, slbdConfig(wl, 1000), cm)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	tb, err := run(baseCores)
+	if err != nil {
+		return 0, err
+	}
+	tm, err := run(maxCores)
+	if err != nil {
+		return 0, err
+	}
+	return (tb / tm) * float64(baseCores) / float64(maxCores), nil
+}
+
+// kbaEfficiencyRatio evaluates the KBA model at two core counts and
+// returns eff(max)/eff(base) — the efficiency of the larger run normalized
+// to the smaller, as Table I reports.
+func kbaEfficiencyRatio(n, baseCores, maxCores int, cm simcluster.CostModel) float64 {
+	model := func(cores int) float64 {
+		px := 1
+		for (px+1)*(px+1) <= cores {
+			px++
+		}
+		m := kba.Model{
+			Nx: n, Ny: n, Nz: n,
+			Px: px, Py: cores / px,
+			Ma: 40, Kb: 10,
+			TCell:        cm.TCell,
+			Latency:      cm.Latency,
+			InvBandwidth: cm.InvBandwidth,
+			BytesPerFace: cm.BytesPerFaceGroup,
+		}
+		return m.Efficiency()
+	}
+	return model(maxCores) / model(baseCores)
+}

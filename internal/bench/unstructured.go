@@ -1,0 +1,386 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/priority"
+	"jsweep/internal/simcluster"
+)
+
+// Paper cell counts for the unstructured meshes (§VI-B).
+const (
+	reactorCells   = 64479
+	ballSmallCells = 482248
+	ballLargeCells = 173197768
+)
+
+// coarseBall builds a patch-granular coarse ball mesh: one coarse cell per
+// patch (DESIGN.md substitution — large meshes are synthesized at patch
+// granularity).
+func coarseBall(totalCells int, patchSize int) (*mesh.Unstructured, error) {
+	patches := totalCells / patchSize
+	if patches < 8 {
+		patches = 8
+	}
+	return meshgen.BallWithCells(patches, 1.0)
+}
+
+// coarseReactor is the reactor-core equivalent. The cylinder generator
+// cannot resolve very small patch counts (its lattice floor is a few
+// hundred tets); below that a box blob of the right patch count stands in
+// — at patch granularity only the irregular tet adjacency matters.
+func coarseReactor(totalCells int, patchSize int) (*mesh.Unstructured, error) {
+	patches := totalCells / patchSize
+	if patches < 8 {
+		patches = 8
+	}
+	if patches < 400 {
+		side := int(math.Cbrt(float64(patches) / 6))
+		if side < 1 {
+			side = 1
+		}
+		nz := (patches + 6*side*side - 1) / (6 * side * side)
+		return meshgen.Box(side, side, nz, geom.Vec3{}, geom.Vec3{X: float64(side), Y: float64(side), Z: float64(nz)})
+	}
+	return meshgen.ReactorWithCells(patches, 1.0, 1.5)
+}
+
+// coarseWorkload wraps simcluster.UnstructuredWorkload, deriving the
+// per-patch cell count from the coarse mesh that was actually built (the
+// generators overshoot small patch counts; total work must stay equal to
+// totalCells regardless).
+func coarseWorkload(m *mesh.Unstructured, totalCells, procs, angles, groups int) (*simcluster.Workload, error) {
+	per := int64(math.Round(float64(totalCells) / float64(m.NumCells())))
+	if per < 1 {
+		per = 1
+	}
+	return simcluster.UnstructuredWorkload(m, per, procs, angles, groups)
+}
+
+// unstructuredCfg is the paper's JSNT-U default: SLBD+SLBD.
+func unstructuredCfg(w *simcluster.Workload, grain int64, pair priority.Pair) simcluster.Config {
+	return simcluster.Config{
+		Workers:   workersPerProc,
+		Grain:     grain,
+		PatchPrio: patchPrioFor(w, pair.Patch),
+		EmitDelay: emitDelayFor(pair.Vertex),
+	}
+}
+
+var slbdPair = priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD}
+
+// Fig13a reproduces Fig. 13a: JSNT-U runtime vs patch size (left) and vs
+// cluster grain (right) on the reactor mesh at fixed cores. Patch size
+// shows the fall-then-rise of §VI-B1; grain falls then flattens (available
+// parallelism limits the real grain).
+func Fig13a(f Fidelity, w io.Writer) ([]Point, error) {
+	totalCells := reactorCells
+	angles := 24
+	groups := 4
+	cores := 384
+	patchSizes := []int{100, 500, 1000, 1500, 2000, 2500}
+	grains := []int64{1, 2, 4, 8, 16, 32, 64}
+	if f == Quick {
+		angles = 8
+		groups = 1
+		patchSizes = []int{100, 500, 2500}
+		grains = []int64{1, 8, 64}
+	}
+	cm := simcluster.DefaultCostModel(groups)
+	var pts []Point
+	// Left: patch-size sweep at grain 64.
+	for _, ps := range patchSizes {
+		m, err := coarseReactor(totalCells, ps)
+		if err != nil {
+			return nil, err
+		}
+		wl, err := coarseWorkload(m, totalCells, procsFor(cores), angles, groups)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simcluster.Simulate(wl, unstructuredCfg(wl, 64, slbdPair), cm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{Series: "patch-size", X: float64(ps), Value: res.Makespan})
+	}
+	// Right: grain sweep at patch size 500.
+	m, err := coarseReactor(totalCells, 500)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := coarseWorkload(m, totalCells, procsFor(cores), angles, groups)
+	if err != nil {
+		return nil, err
+	}
+	for _, grain := range grains {
+		res, err := simcluster.Simulate(wl, unstructuredCfg(wl, grain, slbdPair), cm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{Series: "cluster-grain", X: float64(grain), Value: res.Makespan})
+	}
+	fmt.Fprintf(w, "Fig 13a (%s): reactor %d cells, %d angles, %d groups, %d cores\n",
+		f, totalCells, angles, groups, cores)
+	printSeries(w, "x", "time[s]", pts)
+	return pts, nil
+}
+
+// Fig13b reproduces Fig. 13b: priority strategy pairs on the reactor mesh
+// across core counts — differences are visible but smaller than on
+// structured meshes (§VI-B1).
+func Fig13b(f Fidelity, w io.Writer) ([]Point, error) {
+	totalCells := reactorCells
+	angles := 24
+	groups := 4
+	coresList := []int{384, 768, 1536, 3072, 6144}
+	if f == Quick {
+		totalCells = 16000
+		angles = 8
+		groups = 1
+		coresList = []int{384, 1536, 6144}
+	}
+	pairs := []priority.Pair{
+		{Patch: priority.BFS, Vertex: priority.BFS},
+		{Patch: priority.BFS, Vertex: priority.SLBD},
+		{Patch: priority.SLBD, Vertex: priority.SLBD},
+		{Patch: priority.SLBD, Vertex: priority.BFS},
+	}
+	names := []string{"BFS", "BFS+SLBD", "SLBD", "SLBD+BFS"}
+	cm := simcluster.DefaultCostModel(groups)
+	m, err := coarseReactor(totalCells, 500)
+	if err != nil {
+		return nil, err
+	}
+	var pts []Point
+	for _, cores := range coresList {
+		wl, err := coarseWorkload(m, totalCells, procsFor(cores), angles, groups)
+		if err != nil {
+			return nil, err
+		}
+		for i, pair := range pairs {
+			res, err := simcluster.Simulate(wl, unstructuredCfg(wl, 64, pair), cm)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, Point{Series: names[i], X: float64(cores), Value: res.Makespan})
+		}
+	}
+	fmt.Fprintf(w, "Fig 13b (%s): reactor %d cells, %d angles, %d groups\n", f, totalCells, angles, groups)
+	printSeries(w, "cores", "time[s]", pts)
+	return pts, nil
+}
+
+// ballScaling runs the ball strong-scaling series shared by Fig. 14a/b.
+func ballScaling(totalCells, patchSize int, coresList []int, angles, groups int, w io.Writer) ([]Point, error) {
+	m, err := coarseBall(totalCells, patchSize)
+	if err != nil {
+		return nil, err
+	}
+	cm := simcluster.DefaultCostModel(groups)
+	// The paper's grain-64 default is 1/8 of its 500-cell patches; scale
+	// the grain with patch size to keep the same pipelining depth.
+	grain := int64(patchSize / 8)
+	if grain < 64 {
+		grain = 64
+	}
+	var pts []Point
+	for _, cores := range coresList {
+		wl, err := coarseWorkload(m, totalCells, procsFor(cores), angles, groups)
+		if err != nil {
+			return nil, err
+		}
+		res, err := simcluster.Simulate(wl, unstructuredCfg(wl, grain, slbdPair), cm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, Point{Series: "ball", X: float64(cores), Value: res.Makespan})
+	}
+	speedupTable(w, pts)
+	return pts, nil
+}
+
+// Fig14a reproduces Fig. 14a: strong scaling on the small ball (482,248
+// cells; paper: 72% efficiency at 384 cores, 30% at 6,144, base 24).
+func Fig14a(f Fidelity, w io.Writer) ([]Point, error) {
+	totalCells := ballSmallCells
+	angles := 24
+	groups := 4
+	coresList := []int{24, 48, 96, 192, 384, 768, 1536, 3072, 6144}
+	if f == Quick {
+		totalCells = 60000
+		angles = 8
+		groups = 1
+		coresList = []int{24, 192, 1536, 6144}
+	}
+	fmt.Fprintf(w, "Fig 14a (%s): ball %d cells, patch 500, %d angles, %d groups\n", f, totalCells, angles, groups)
+	return ballScaling(totalCells, 500, coresList, angles, groups, w)
+}
+
+// Fig14b reproduces Fig. 14b: strong scaling on the large ball (173M
+// cells; paper: 9.9× speedup, 62% efficiency at 49,152 vs 3,072 cores).
+func Fig14b(f Fidelity, w io.Writer) ([]Point, error) {
+	totalCells := ballLargeCells
+	patchSize := 500
+	angles := 8
+	groups := 4
+	coresList := []int{3072, 6144, 12288, 24576, 49152}
+	switch f {
+	case Quick:
+		totalCells = ballLargeCells / 64
+		patchSize = 2000
+		angles = 8
+		groups = 1
+		coresList = []int{3072, 12288, 49152}
+	case Standard:
+		// Patch-granular synthesis at a coarser patch size keeps the DES
+		// tractable while preserving the patches-per-process trajectory.
+		patchSize = 4000
+	case Paper:
+		angles = 24
+	}
+	fmt.Fprintf(w, "Fig 14b (%s): ball %d cells, patch %d, %d angles, %d groups\n", f, totalCells, patchSize, angles, groups)
+	return ballScaling(totalCells, patchSize, coresList, angles, groups, w)
+}
+
+// Fig15 reproduces Fig. 15: weak scaling on reactor and ball. Each step
+// multiplies cores and mesh cells by 8 (the paper's "approximate
+// refinement"); efficiency = T(base)/T(step). The paper finds ~40% at
+// 12,288 cores for the reactor and <20% for the ball.
+func Fig15(f Fidelity, w io.Writer) ([]Point, error) {
+	coresList := []int{24, 192, 1536, 12288}
+	angles := 8
+	groups := 4
+	baseReactor := reactorCells
+	baseBall := ballSmallCells / 8 // keeps the largest step tractable
+	patchSize := 500
+	if f == Quick {
+		coresList = []int{24, 192, 1536}
+		groups = 1
+		baseReactor = 8000
+		baseBall = 16000
+		patchSize = 500
+	}
+	cm := simcluster.DefaultCostModel(groups)
+	var pts []Point
+	for mi, name := range []string{"reactor", "ball"} {
+		base := baseReactor
+		build := coarseReactor
+		if name == "ball" {
+			base = baseBall
+			build = coarseBall
+		}
+		var baseTime float64
+		for step, cores := range coresList {
+			cells := base
+			for s := 0; s < step; s++ {
+				cells *= 8
+			}
+			m, err := build(cells, patchSize)
+			if err != nil {
+				return nil, err
+			}
+			wl, err := coarseWorkload(m, cells, procsFor(cores), angles, groups)
+			if err != nil {
+				return nil, err
+			}
+			res, err := simcluster.Simulate(wl, unstructuredCfg(wl, 64, slbdPair), cm)
+			if err != nil {
+				return nil, err
+			}
+			if step == 0 {
+				baseTime = res.Makespan
+			}
+			eff := baseTime / res.Makespan
+			pts = append(pts, Point{Series: name, X: float64(cores), Value: eff})
+		}
+		_ = mi
+	}
+	fmt.Fprintf(w, "Fig 15 (%s): weak scaling, ×8 cells per ×8 cores, patch %d, %d angles, %d groups\n",
+		f, patchSize, angles, groups)
+	printSeries(w, "cores", "efficiency", pts)
+	return pts, nil
+}
+
+// Fig17b reproduces Fig. 17b: JSweep vs the JAUMIN BSP baseline on the
+// small ball.
+func Fig17b(f Fidelity, w io.Writer) ([]Point, error) {
+	totalCells := ballSmallCells
+	angles := 24
+	groups := 4
+	coresList := []int{384, 768, 1536, 3072, 6144}
+	if f == Quick {
+		totalCells = 60000
+		angles = 8
+		groups = 1
+		coresList = []int{384, 1536, 6144}
+	}
+	m, err := coarseBall(totalCells, 500)
+	if err != nil {
+		return nil, err
+	}
+	cm := simcluster.DefaultCostModel(groups)
+	var pts []Point
+	for _, cores := range coresList {
+		wl, err := coarseWorkload(m, totalCells, procsFor(cores), angles, groups)
+		if err != nil {
+			return nil, err
+		}
+		cfg := unstructuredCfg(wl, 64, slbdPair)
+		dd, err := simcluster.Simulate(wl, cfg, cm)
+		if err != nil {
+			return nil, err
+		}
+		bspRes, err := simcluster.SimulateBSP(wl, cfg, cm)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts,
+			Point{Series: "JSweep", X: float64(cores), Value: dd.Makespan},
+			Point{Series: "JAUMIN", X: float64(cores), Value: bspRes.Makespan},
+		)
+	}
+	fmt.Fprintf(w, "Fig 17b (%s): ball %d cells, %d angles, %d groups — JSweep vs JAUMIN (BSP rounds)\n",
+		f, totalCells, angles, groups)
+	printSeries(w, "cores", "time[s]", pts)
+	return pts, nil
+}
+
+// ballEfficiency computes the Table I JSweep-sphere efficiency.
+func ballEfficiency(baseCores, maxCores int, cm simcluster.CostModel, f Fidelity) (float64, error) {
+	totalCells := ballSmallCells
+	angles := 24
+	if f == Quick {
+		totalCells = 60000
+		angles = 8
+	}
+	m, err := coarseBall(totalCells, 500)
+	if err != nil {
+		return 0, err
+	}
+	run := func(cores int) (float64, error) {
+		wl, err := coarseWorkload(m, totalCells, procsFor(cores), angles, 4)
+		if err != nil {
+			return 0, err
+		}
+		res, err := simcluster.Simulate(wl, unstructuredCfg(wl, 64, slbdPair), cm)
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+	tb, err := run(baseCores)
+	if err != nil {
+		return 0, err
+	}
+	tm, err := run(maxCores)
+	if err != nil {
+		return 0, err
+	}
+	return (tb / tm) * float64(baseCores) / float64(maxCores), nil
+}

@@ -1,0 +1,180 @@
+package bsp_test
+
+import (
+	"testing"
+
+	"jsweep/internal/bsp"
+	"jsweep/internal/geom"
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/partition"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+func uniformQ(prob *transport.Problem) [][]float64 {
+	q := prob.NewFlux()
+	zero := prob.NewFlux()
+	scratch := make([]float64, prob.Groups)
+	for c := 0; c < prob.M.NumCells(); c++ {
+		prob.EmissionDensity(mesh.CellID(c), zero, scratch)
+		for g := 0; g < prob.Groups; g++ {
+			q[g][c] = scratch[g]
+		}
+	}
+	return q
+}
+
+func TestBSPMatchesReferenceStructured(t *testing.T) {
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: 12, SnOrder: 2, Scheme: transport.Diamond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := uniformQ(prob)
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4, 0} {
+		ex, err := bsp.New(prob, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex.Parallelism = par
+		got, err := ex.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := range want {
+			for c := range want[g] {
+				if want[g][c] != got[g][c] {
+					t.Fatalf("par=%d: cell %d: %v != %v", par, c, want[g][c], got[g][c])
+				}
+			}
+		}
+		st := ex.Stats()
+		if st.VertexSolves != int64(prob.M.NumCells())*int64(prob.Quad.NumAngles()) {
+			t.Errorf("vertex solves = %d", st.VertexSolves)
+		}
+		// 3 patch blocks per axis → ≥ 3 wavefront supersteps.
+		if st.Supersteps < 3 {
+			t.Errorf("supersteps = %d, want >= 3", st.Supersteps)
+		}
+	}
+}
+
+func TestBSPMatchesReferenceUnstructured(t *testing.T) {
+	m, err := meshgen.Ball(6, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMaterialFunc(func(geom.Vec3) int { return 0 })
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &transport.Problem{
+		M:      m,
+		Mats:   []transport.Material{{SigmaT: []float64{0.5}, Source: []float64{2}}},
+		Quad:   quad,
+		Groups: 1,
+		Scheme: transport.Step,
+	}
+	d, err := partition.ByCount(m, 6, partition.GreedyGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := uniformQ(prob)
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := bsp.New(prob, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ex.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range want {
+		for c := range want[g] {
+			if want[g][c] != got[g][c] {
+				t.Fatalf("cell %d: %v != %v", c, want[g][c], got[g][c])
+			}
+		}
+	}
+	if ex.Stats().Messages == 0 {
+		t.Error("expected halo messages")
+	}
+}
+
+// The BSP superstep count grows with the patch-level critical path — the
+// core inefficiency motivating JSweep (§II-D): more patches along the
+// sweep direction ⇒ more barriers.
+func TestBSPSuperstepsGrowWithPatchChain(t *testing.T) {
+	counts := map[int]int{}
+	for _, blocks := range []int{2, 4} {
+		n := 8
+		msh, err := mesh.NewStructured3D(n, n, n, geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		quad, _ := quadrature.New(2)
+		prob := &transport.Problem{
+			M:      msh,
+			Mats:   []transport.Material{{SigmaT: []float64{1}, Source: []float64{1}}},
+			Quad:   quad,
+			Groups: 1,
+			Scheme: transport.Diamond,
+		}
+		d, err := msh.BlockDecompose(n/blocks, n/blocks, n/blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := bsp.New(prob, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ex.Sweep(uniformQ(prob)); err != nil {
+			t.Fatal(err)
+		}
+		counts[blocks] = ex.Stats().Supersteps
+	}
+	if counts[4] <= counts[2] {
+		t.Errorf("supersteps should grow with patch chain length: %v", counts)
+	}
+}
+
+func TestBSPValidation(t *testing.T) {
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: 8, SnOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := meshgen.Ball(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	od, err := partition.ByCount(other, 2, partition.RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bsp.New(prob, od); err == nil {
+		t.Error("mesh mismatch should fail")
+	}
+	_ = m
+}

@@ -1,0 +1,142 @@
+// Package comm is the message-passing substrate standing in for MPI
+// (DESIGN.md substitution #1). A Transport connects a fixed number of
+// ranked endpoints; endpoints exchange opaque byte messages with
+// per-endpoint unbounded inboxes (no send can deadlock against a busy
+// receiver, matching buffered MPI_Isend semantics). Delivery between a
+// given pair of ranks is in order.
+//
+// The runtime above this package never shares memory across ranks: all
+// inter-process data crosses as serialized bytes, so swapping this
+// transport for real MPI point-to-point calls would not change any caller.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message is a received message with its source rank.
+type Message struct {
+	From int
+	Data []byte
+}
+
+// Transport is an in-process interconnect between NumRanks endpoints.
+type Transport struct {
+	endpoints []*Endpoint
+}
+
+// NewTransport creates a transport with n ranks.
+func NewTransport(n int) (*Transport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("comm: need >= 1 rank (got %d)", n)
+	}
+	t := &Transport{endpoints: make([]*Endpoint, n)}
+	for r := 0; r < n; r++ {
+		t.endpoints[r] = &Endpoint{rank: r, transport: t, notify: make(chan struct{}, 1)}
+		t.endpoints[r].cond = sync.NewCond(&t.endpoints[r].mu)
+	}
+	return t, nil
+}
+
+// NumRanks returns the number of endpoints.
+func (t *Transport) NumRanks() int { return len(t.endpoints) }
+
+// Endpoint returns the endpoint of a rank.
+func (t *Transport) Endpoint(rank int) *Endpoint { return t.endpoints[rank] }
+
+// Endpoint is one rank's attachment to the transport.
+type Endpoint struct {
+	rank      int
+	transport *Transport
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	notify chan struct{}
+
+	sent     atomic.Int64
+	received atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// Rank returns this endpoint's rank.
+func (e *Endpoint) Rank() int { return e.rank }
+
+// Send delivers data to the endpoint of rank `to`. The data slice is
+// handed over; the caller must not modify it afterwards (it crossed the
+// "wire"). Sending to self is allowed.
+func (e *Endpoint) Send(to int, data []byte) error {
+	if to < 0 || to >= len(e.transport.endpoints) {
+		return fmt.Errorf("comm: rank %d sent to invalid rank %d", e.rank, to)
+	}
+	dst := e.transport.endpoints[to]
+	e.sent.Add(1)
+	e.bytesOut.Add(int64(len(data)))
+	dst.mu.Lock()
+	dst.queue = append(dst.queue, Message{From: e.rank, Data: data})
+	dst.cond.Signal()
+	dst.mu.Unlock()
+	select {
+	case dst.notify <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Notify returns a channel that receives a token after message arrivals;
+// it lets a receiver select over the transport and other event sources.
+// A token may coalesce several arrivals — drain with TryRecv.
+func (e *Endpoint) Notify() <-chan struct{} { return e.notify }
+
+// TryRecv returns the next pending message without blocking.
+func (e *Endpoint) TryRecv() (Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) == 0 {
+		return Message{}, false
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	e.received.Add(1)
+	e.bytesIn.Add(int64(len(m.Data)))
+	return m, true
+}
+
+// Recv blocks until a message arrives or wake() is called with no pending
+// message (in which case ok=false). Use Wake to interrupt a blocked Recv.
+func (e *Endpoint) Recv() (Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.queue) == 0 {
+		e.cond.Wait()
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	e.received.Add(1)
+	e.bytesIn.Add(int64(len(m.Data)))
+	return m, true
+}
+
+// Wake nudges a blocked Recv (used at shutdown). The receiver should use
+// TryRecv afterwards.
+func (e *Endpoint) Wake() {
+	e.mu.Lock()
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Pending returns the number of queued messages.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Counters returns (sent, received, bytesOut, bytesIn) for this endpoint.
+// Sent/received counts feed Safra's termination algorithm.
+func (e *Endpoint) Counters() (sent, received, bytesOut, bytesIn int64) {
+	return e.sent.Load(), e.received.Load(), e.bytesOut.Load(), e.bytesIn.Load()
+}

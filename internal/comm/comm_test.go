@@ -1,0 +1,150 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendRecvOrder(t *testing.T) {
+	tr, err := NewTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tr.Endpoint(0), tr.Endpoint(1)
+	for i := byte(0); i < 10; i++ {
+		if err := a.Send(1, []byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := byte(0); i < 10; i++ {
+		m, ok := b.TryRecv()
+		if !ok {
+			t.Fatalf("message %d missing", i)
+		}
+		if m.From != 0 || m.Data[0] != i {
+			t.Fatalf("message %d: from=%d data=%v", i, m.From, m.Data)
+		}
+	}
+	if _, ok := b.TryRecv(); ok {
+		t.Error("extra message")
+	}
+}
+
+func TestSendToSelf(t *testing.T) {
+	tr, _ := NewTransport(1)
+	e := tr.Endpoint(0)
+	if err := e.Send(0, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := e.TryRecv()
+	if !ok || m.Data[0] != 42 {
+		t.Fatal("self-send failed")
+	}
+}
+
+func TestSendInvalidRank(t *testing.T) {
+	tr, _ := NewTransport(2)
+	if err := tr.Endpoint(0).Send(5, nil); err == nil {
+		t.Error("send to invalid rank should fail")
+	}
+	if err := tr.Endpoint(0).Send(-1, nil); err == nil {
+		t.Error("send to negative rank should fail")
+	}
+}
+
+func TestNewTransportValidation(t *testing.T) {
+	if _, err := NewTransport(0); err == nil {
+		t.Error("zero ranks should fail")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	tr, _ := NewTransport(2)
+	a, b := tr.Endpoint(0), tr.Endpoint(1)
+	_ = a.Send(1, make([]byte, 100))
+	_ = a.Send(1, make([]byte, 50))
+	b.TryRecv()
+	sent, recv, out, in := a.Counters()
+	if sent != 2 || recv != 0 || out != 150 || in != 0 {
+		t.Errorf("a counters = %d,%d,%d,%d", sent, recv, out, in)
+	}
+	sent, recv, out, in = b.Counters()
+	if sent != 0 || recv != 1 || out != 0 || in != 100 {
+		t.Errorf("b counters = %d,%d,%d,%d", sent, recv, out, in)
+	}
+	if b.Pending() != 1 {
+		t.Errorf("pending = %d, want 1", b.Pending())
+	}
+}
+
+func TestBlockingRecv(t *testing.T) {
+	tr, _ := NewTransport(2)
+	a, b := tr.Endpoint(0), tr.Endpoint(1)
+	done := make(chan struct{})
+	go func() {
+		m, ok := b.Recv()
+		if !ok || m.Data[0] != 7 {
+			t.Error("blocking recv got wrong message")
+		}
+		close(done)
+	}()
+	_ = a.Send(1, []byte{7})
+	<-done
+}
+
+func TestNotify(t *testing.T) {
+	tr, _ := NewTransport(2)
+	a, b := tr.Endpoint(0), tr.Endpoint(1)
+	_ = a.Send(1, []byte{1})
+	select {
+	case <-b.Notify():
+	default:
+		t.Fatal("notify token missing after send")
+	}
+	if _, ok := b.TryRecv(); !ok {
+		t.Fatal("message missing")
+	}
+}
+
+// Concurrent stress: N senders × M messages each; receiver must see all,
+// with per-sender FIFO order preserved.
+func TestConcurrentStress(t *testing.T) {
+	const senders, msgs = 8, 500
+	tr, _ := NewTransport(senders + 1)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			e := tr.Endpoint(rank)
+			for i := 0; i < msgs; i++ {
+				buf := []byte{byte(rank), byte(i), byte(i >> 8)}
+				if err := e.Send(senders, buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	recvDone := make(chan map[int]int)
+	go func() {
+		e := tr.Endpoint(senders)
+		lastSeen := make(map[int]int)
+		for n := 0; n < senders*msgs; n++ {
+			m, _ := e.Recv()
+			id := int(m.Data[1]) | int(m.Data[2])<<8
+			if last, ok := lastSeen[m.From]; ok && id != last+1 {
+				t.Errorf("sender %d: got %d after %d (order broken)", m.From, id, last)
+			}
+			lastSeen[m.From] = id
+		}
+		recvDone <- lastSeen
+	}()
+	wg.Wait()
+	seen := <-recvDone
+	for s := 0; s < senders; s++ {
+		if seen[s] != msgs-1 {
+			t.Errorf("sender %d: last id %d, want %d", s, seen[s], msgs-1)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"jsweep/internal/mesh"
+)
+
+// Stream wire format (little endian):
+//
+//	batch  := count:u32 { stream }*count
+//	stream := srcPatch:i32 srcTask:i32 tgtPatch:i32 tgtTask:i32
+//	          payloadLen:u32 payload:bytes
+//
+// Streams cross process boundaries only in this packed form; the
+// pack/unpack cost is one of the runtime-overhead categories of paper
+// Fig. 16.
+
+const streamHeaderSize = 4*4 + 4
+
+// EncodedSize returns the wire size of a batch of streams.
+func EncodedSize(streams []Stream) int {
+	n := 4
+	for i := range streams {
+		n += streamHeaderSize + len(streams[i].Payload)
+	}
+	return n
+}
+
+// EncodeStreams packs a batch of streams, appending to dst (which may be
+// nil) and returning the extended slice.
+func EncodeStreams(dst []byte, streams []Stream) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(streams)))
+	for i := range streams {
+		s := &streams[i]
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.SrcPatch))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.SrcTask))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.TgtPatch))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(s.TgtTask))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(s.Payload)))
+		dst = append(dst, s.Payload...)
+	}
+	return dst
+}
+
+// DecodeStreams unpacks a batch of streams. Payloads are copied out of buf
+// so the caller may reuse it.
+func DecodeStreams(buf []byte) ([]Stream, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("core: stream batch truncated (len %d)", len(buf))
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	off := 4
+	out := make([]Stream, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(buf)-off < streamHeaderSize {
+			return nil, fmt.Errorf("core: stream %d header truncated", i)
+		}
+		s := Stream{
+			SrcPatch: mesh.PatchID(int32(binary.LittleEndian.Uint32(buf[off:]))),
+			SrcTask:  TaskTag(int32(binary.LittleEndian.Uint32(buf[off+4:]))),
+			TgtPatch: mesh.PatchID(int32(binary.LittleEndian.Uint32(buf[off+8:]))),
+			TgtTask:  TaskTag(int32(binary.LittleEndian.Uint32(buf[off+12:]))),
+		}
+		plen := int(binary.LittleEndian.Uint32(buf[off+16:]))
+		off += streamHeaderSize
+		if len(buf)-off < plen {
+			return nil, fmt.Errorf("core: stream %d payload truncated (%d of %d bytes)", i, len(buf)-off, plen)
+		}
+		if plen > 0 {
+			s.Payload = append([]byte(nil), buf[off:off+plen]...)
+			off += plen
+		}
+		out = append(out, s)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("core: %d trailing bytes after stream batch", len(buf)-off)
+	}
+	return out, nil
+}

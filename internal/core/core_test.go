@@ -1,0 +1,233 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"jsweep/internal/core"
+	"jsweep/internal/mesh"
+	"jsweep/internal/testprog"
+)
+
+func TestEngineGridDAG(t *testing.T) {
+	spec := testprog.GridSpec{W: 5, H: 4}
+	progs, sink := spec.Build()
+	eng := core.NewEngine()
+	for _, a := range progs {
+		if err := eng.Register(a.Key, a, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.Want()
+	for k, w := range want {
+		got, ok := sink.Get(k)
+		if !ok || got != w {
+			t.Errorf("program %v = %d (ok=%v), want %d", k, got, ok, w)
+		}
+	}
+	// 19 grid edges worth of streams: (W-1)*H + W*(H-1) = 16+15 = 31.
+	if stats.Streams != 31 {
+		t.Errorf("streams = %d, want 31", stats.Streams)
+	}
+	if eng.RemainingWork() != 0 {
+		t.Errorf("remaining work = %d, want 0", eng.RemainingWork())
+	}
+}
+
+// Paper Fig. 4 / §III-A1: two mutually-dependent reentrant programs must
+// complete via partial computation instead of deadlocking.
+func TestEnginePingPongReentrancy(t *testing.T) {
+	sink := testprog.NewResults()
+	ka := core.ProgramKey{Patch: 0, Task: 0}
+	kb := core.ProgramKey{Patch: 1, Task: 0}
+	const rounds = 9
+	a := &testprog.PingPong{Key: ka, Peer: kb, Rounds: rounds, Starter: true, Sink: sink}
+	b := &testprog.PingPong{Key: kb, Peer: ka, Rounds: rounds, Sink: sink}
+	eng := core.NewEngine()
+	if err := eng.Register(ka, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(kb, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := sink.Get(ka)
+	vb, _ := sink.Get(kb)
+	// The ball increments once per send; a sends rounds times at even
+	// positions, b at odd: final values 2*rounds-2 and 2*rounds-1.
+	if va != 2*rounds-2 {
+		t.Errorf("a = %d, want %d", va, 2*rounds-2)
+	}
+	if vb != 2*rounds-1 {
+		t.Errorf("b = %d, want %d", vb, 2*rounds-1)
+	}
+	// Reentrancy implies many cycles per program, not one.
+	if stats.Cycles < 2*rounds {
+		t.Errorf("cycles = %d, want >= %d (partial computation)", stats.Cycles, 2*rounds)
+	}
+}
+
+func TestEngineInitCalledOnce(t *testing.T) {
+	spec := testprog.GridSpec{W: 3, H: 3}
+	progs, _ := spec.Build()
+	eng := core.NewEngine()
+	for _, a := range progs {
+		if err := eng.Register(a.Key, a, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range progs {
+		if a.InitSeen != 1 {
+			t.Errorf("program %v: Init called %d times, want 1", a.Key, a.InitSeen)
+		}
+	}
+}
+
+func TestEngineDuplicateRegister(t *testing.T) {
+	eng := core.NewEngine()
+	k := core.ProgramKey{Patch: 0, Task: 0}
+	a := &testprog.Accumulator{Key: k, Sink: testprog.NewResults()}
+	if err := eng.Register(k, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(k, a, 0); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+}
+
+func TestEngineUnregisteredTarget(t *testing.T) {
+	sink := testprog.NewResults()
+	k := core.ProgramKey{Patch: 0, Task: 0}
+	a := &testprog.Accumulator{
+		Key: k, Sink: sink,
+		Out: []core.ProgramKey{{Patch: 99, Task: 0}},
+	}
+	eng := core.NewEngine()
+	if err := eng.Register(k, a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(); err == nil {
+		t.Error("stream to unregistered program should error")
+	}
+}
+
+// Priority: with a diamond DAG and distinct priorities, the engine must
+// run the higher-priority ready program first. We detect order via a
+// recording sink.
+func TestEnginePriorityOrder(t *testing.T) {
+	sink := testprog.NewResults()
+	var order []core.ProgramKey
+	mkKey := func(i int) core.ProgramKey { return core.ProgramKey{Patch: mesh.PatchID(i), Task: 0} }
+	// Three independent programs with priorities 1, 3, 2 → run 1,2,0.
+	eng := core.NewEngine()
+	recs := make([]*recorder, 3)
+	for i, prio := range []int64{1, 3, 2} {
+		recs[i] = &recorder{Accumulator: testprog.Accumulator{Key: mkKey(i), Sink: sink}, order: &order}
+		if err := eng.Register(mkKey(i), recs[i], prio); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != mkKey(1) || order[1] != mkKey(2) || order[2] != mkKey(0) {
+		t.Errorf("execution order = %v", order)
+	}
+}
+
+type recorder struct {
+	testprog.Accumulator
+	order *[]core.ProgramKey
+}
+
+func (r *recorder) Compute() {
+	*r.order = append(*r.order, r.Key)
+	r.Accumulator.Compute()
+}
+
+func TestStreamCodecRoundTrip(t *testing.T) {
+	streams := []core.Stream{
+		{SrcPatch: 1, SrcTask: 2, TgtPatch: 3, TgtTask: 4, Payload: []byte{1, 2, 3}},
+		{SrcPatch: -1, SrcTask: 0, TgtPatch: 7, TgtTask: -9, Payload: nil},
+		{SrcPatch: 0, SrcTask: 0, TgtPatch: 0, TgtTask: 0, Payload: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+	buf := core.EncodeStreams(nil, streams)
+	if len(buf) != core.EncodedSize(streams) {
+		t.Errorf("encoded size %d != predicted %d", len(buf), core.EncodedSize(streams))
+	}
+	got, err := core.DecodeStreams(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(streams) {
+		t.Fatalf("decoded %d streams, want %d", len(got), len(streams))
+	}
+	for i := range streams {
+		if got[i].Src() != streams[i].Src() || got[i].Tgt() != streams[i].Tgt() {
+			t.Errorf("stream %d keys mismatch", i)
+		}
+		if !bytes.Equal(got[i].Payload, streams[i].Payload) {
+			t.Errorf("stream %d payload mismatch", i)
+		}
+	}
+}
+
+func TestStreamCodecProperty(t *testing.T) {
+	f := func(sp, st, tp, tt int32, payload []byte) bool {
+		in := []core.Stream{{
+			SrcPatch: mesh.PatchID(sp), SrcTask: core.TaskTag(st),
+			TgtPatch: mesh.PatchID(tp), TgtTask: core.TaskTag(tt),
+			Payload: payload,
+		}}
+		out, err := core.DecodeStreams(core.EncodeStreams(nil, in))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		return bytes.Equal(out[0].Payload, in[0].Payload) &&
+			out[0].Src() == in[0].Src() && out[0].Tgt() == in[0].Tgt()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamCodecRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{},                    // empty
+		{1, 0, 0, 0},          // count=1 but no stream
+		{1, 0, 0, 0, 1, 2, 3}, // truncated header
+	}
+	for i, buf := range cases {
+		if _, err := core.DecodeStreams(buf); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Trailing bytes.
+	buf := core.EncodeStreams(nil, []core.Stream{{Payload: []byte{1}}})
+	buf = append(buf, 0xFF)
+	if _, err := core.DecodeStreams(buf); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestEngineEmptyRun(t *testing.T) {
+	eng := core.NewEngine()
+	stats, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cycles != 0 {
+		t.Errorf("cycles = %d, want 0", stats.Cycles)
+	}
+}

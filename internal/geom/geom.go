@@ -1,0 +1,129 @@
+// Package geom provides the small amount of 3-D vector geometry the mesh
+// and transport layers need: vectors, triangles, tetrahedra and axis-aligned
+// bounding boxes.
+package geom
+
+import "math"
+
+// Vec3 is a 3-D vector (also used for points).
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product v·w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the cross product v×w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Norm returns |v|.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalize returns v/|v|. The zero vector is returned unchanged.
+func (v Vec3) Normalize() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// Triangle area for vertices a, b, c.
+func TriangleArea(a, b, c Vec3) float64 {
+	return 0.5 * b.Sub(a).Cross(c.Sub(a)).Norm()
+}
+
+// TriangleNormal returns the unit normal of triangle (a,b,c) following the
+// right-hand rule on the vertex order.
+func TriangleNormal(a, b, c Vec3) Vec3 {
+	return b.Sub(a).Cross(c.Sub(a)).Normalize()
+}
+
+// TetVolume returns the (positive) volume of the tetrahedron (a,b,c,d).
+func TetVolume(a, b, c, d Vec3) float64 {
+	return math.Abs(b.Sub(a).Dot(c.Sub(a).Cross(d.Sub(a)))) / 6
+}
+
+// TetSignedVolume returns the signed volume of (a,b,c,d); positive when d is
+// on the side of the plane (a,b,c) pointed to by the right-hand normal.
+func TetSignedVolume(a, b, c, d Vec3) float64 {
+	return b.Sub(a).Dot(c.Sub(a).Cross(d.Sub(a))) / 6
+}
+
+// TetCentroid returns the centroid of the tetrahedron (a,b,c,d).
+func TetCentroid(a, b, c, d Vec3) Vec3 {
+	return Vec3{
+		(a.X + b.X + c.X + d.X) / 4,
+		(a.Y + b.Y + c.Y + d.Y) / 4,
+		(a.Z + b.Z + c.Z + d.Z) / 4,
+	}
+}
+
+// AABB is an axis-aligned bounding box.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// NewAABB returns the smallest box containing all points. Passing no points
+// yields an inverted (empty) box.
+func NewAABB(pts ...Vec3) AABB {
+	b := AABB{
+		Min: Vec3{math.Inf(1), math.Inf(1), math.Inf(1)},
+		Max: Vec3{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+	}
+	for _, p := range pts {
+		b = b.Extend(p)
+	}
+	return b
+}
+
+// Extend returns the box grown to contain p.
+func (b AABB) Extend(p Vec3) AABB {
+	return AABB{
+		Min: Vec3{math.Min(b.Min.X, p.X), math.Min(b.Min.Y, p.Y), math.Min(b.Min.Z, p.Z)},
+		Max: Vec3{math.Max(b.Max.X, p.X), math.Max(b.Max.Y, p.Y), math.Max(b.Max.Z, p.Z)},
+	}
+}
+
+// Contains reports whether p lies inside the (closed) box.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// Center returns the box midpoint.
+func (b AABB) Center() Vec3 {
+	return Vec3{(b.Min.X + b.Max.X) / 2, (b.Min.Y + b.Max.Y) / 2, (b.Min.Z + b.Max.Z) / 2}
+}
+
+// Extent returns the box edge lengths.
+func (b AABB) Extent() Vec3 { return b.Max.Sub(b.Min) }
+
+// LongestAxis returns 0, 1 or 2 for the axis of largest extent.
+func (b AABB) LongestAxis() int {
+	e := b.Extent()
+	switch {
+	case e.X >= e.Y && e.X >= e.Z:
+		return 0
+	case e.Y >= e.Z:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,126 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	w := Vec3{4, -5, 6}
+	if got := v.Add(w); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(w); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(w); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		// Constrain magnitudes so intermediate products stay finite.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e3) }
+		a := Vec3{clamp(ax), clamp(ay), clamp(az)}
+		b := Vec3{clamp(bx), clamp(by), clamp(bz)}
+		c := a.Cross(b)
+		// c ⟂ a and c ⟂ b (within floating tolerance scaled to magnitudes)
+		tol := 1e-9 * (1 + a.Norm()*b.Norm()*(a.Norm()+b.Norm()))
+		return almostEq(c.Dot(a), 0, tol) && almostEq(c.Dot(b), 0, tol)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := Vec3{3, 4, 0}
+	n := v.Normalize()
+	if !almostEq(n.Norm(), 1, 1e-12) {
+		t.Errorf("normalized norm = %v", n.Norm())
+	}
+	z := Vec3{}
+	if z.Normalize() != z {
+		t.Error("zero vector should normalize to itself")
+	}
+}
+
+func TestTriangleArea(t *testing.T) {
+	// Right triangle legs 3 and 4 → area 6.
+	a := Vec3{0, 0, 0}
+	b := Vec3{3, 0, 0}
+	c := Vec3{0, 4, 0}
+	if got := TriangleArea(a, b, c); !almostEq(got, 6, 1e-12) {
+		t.Errorf("area = %v, want 6", got)
+	}
+}
+
+func TestTriangleNormal(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	n := TriangleNormal(a, b, c)
+	if !almostEq(n.Z, 1, 1e-12) || !almostEq(n.X, 0, 1e-12) {
+		t.Errorf("normal = %v, want +z", n)
+	}
+}
+
+func TestTetVolume(t *testing.T) {
+	// Unit right tet: volume 1/6.
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	d := Vec3{0, 0, 1}
+	if got := TetVolume(a, b, c, d); !almostEq(got, 1.0/6, 1e-12) {
+		t.Errorf("volume = %v, want 1/6", got)
+	}
+	if got := TetSignedVolume(a, b, c, d); !almostEq(got, 1.0/6, 1e-12) {
+		t.Errorf("signed volume = %v, want +1/6", got)
+	}
+	if got := TetSignedVolume(a, c, b, d); !almostEq(got, -1.0/6, 1e-12) {
+		t.Errorf("signed volume = %v, want -1/6", got)
+	}
+}
+
+func TestTetCentroid(t *testing.T) {
+	c := TetCentroid(Vec3{0, 0, 0}, Vec3{4, 0, 0}, Vec3{0, 4, 0}, Vec3{0, 0, 4})
+	if c != (Vec3{1, 1, 1}) {
+		t.Errorf("centroid = %v, want (1,1,1)", c)
+	}
+}
+
+func TestAABB(t *testing.T) {
+	b := NewAABB(Vec3{0, 0, 0}, Vec3{2, 1, 3})
+	if !b.Contains(Vec3{1, 0.5, 1.5}) {
+		t.Error("point should be inside")
+	}
+	if b.Contains(Vec3{3, 0, 0}) {
+		t.Error("point should be outside")
+	}
+	if b.LongestAxis() != 2 {
+		t.Errorf("longest axis = %d, want 2", b.LongestAxis())
+	}
+	if b.Center() != (Vec3{1, 0.5, 1.5}) {
+		t.Errorf("center = %v", b.Center())
+	}
+}
+
+func TestAABBExtend(t *testing.T) {
+	b := NewAABB()
+	b = b.Extend(Vec3{1, 1, 1})
+	if !b.Contains(Vec3{1, 1, 1}) {
+		t.Error("extended box should contain its point")
+	}
+	if b.Extent() != (Vec3{0, 0, 0}) {
+		t.Errorf("single-point box extent = %v", b.Extent())
+	}
+}

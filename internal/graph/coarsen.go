@@ -1,0 +1,233 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"jsweep/internal/mesh"
+)
+
+// Coarsened graph (paper §V-E): the vertex clusters recorded during a first
+// DAG-driven sweep become coarse vertices, and the aggregated inter-cluster
+// data flows become coarse edges. Later sweep iterations schedule the
+// coarse graph directly: one activation per coarse vertex and one stream
+// per coarse edge, instead of per-vertex bookkeeping — the 7–10× graph-op
+// reduction the paper reports for JSNT-S.
+
+// UnderEdge is one mesh-level dependency folded into a coarse edge:
+// P(ce) in the paper's property-graph formulation.
+type UnderEdge struct {
+	// SrcV is the source local vertex (in the source patch's numbering);
+	// SrcFace its outgoing face slot.
+	SrcV    int32
+	SrcFace int8
+	// DstV is the destination local vertex (in the destination patch's
+	// numbering); DstFace its incoming face slot.
+	DstV    int32
+	DstFace int8
+}
+
+// CoarseGraph is CG = (CV, CE, P(CV), P(CE)). Coarse vertices are owned by
+// a (patch, angle) program; edges may stay within a program or cross to
+// another.
+type CoarseGraph struct {
+	// Per coarse vertex:
+	Patch []mesh.PatchID
+	Angle []int32
+	// Verts is P(cv): the member local vertices in solve order.
+	Verts [][]int32
+	// InDeg is the number of incoming coarse edges.
+	InDeg []int32
+
+	// CSR out-edges per coarse vertex.
+	EdgeStart []int32
+	EdgeTo    []int32
+	// EdgeUnder is P(ce): the underlying mesh edges, parallel to EdgeTo.
+	EdgeUnder [][]UnderEdge
+
+	// ByProgram maps program index (as passed to Coarsen) to its coarse
+	// vertex ids in cluster order.
+	ByProgram [][]int32
+	// LocalIdx maps a coarse vertex to its position within its owning
+	// program's ByProgram list (receivers index their counters by it).
+	LocalIdx []int32
+}
+
+// LocalIndex returns the owning program's local index of coarse vertex cv.
+func (cg *CoarseGraph) LocalIndex(cv int32) int32 { return cg.LocalIdx[cv] }
+
+// NumCV returns the number of coarse vertices.
+func (cg *CoarseGraph) NumCV() int { return len(cg.Verts) }
+
+// NumCE returns the number of coarse edges.
+func (cg *CoarseGraph) NumCE() int { return len(cg.EdgeTo) }
+
+// Edges returns the out-edge range of coarse vertex cv.
+func (cg *CoarseGraph) Edges(cv int32) (to []int32, under [][]UnderEdge) {
+	return cg.EdgeTo[cg.EdgeStart[cv]:cg.EdgeStart[cv+1]], cg.EdgeUnder[cg.EdgeStart[cv]:cg.EdgeStart[cv+1]]
+}
+
+// Coarsen builds the coarse graph from the per-program patch graphs and the
+// clusters recorded during a completed sweep. graphs[i] and clusters[i]
+// describe the same (patch, angle) program; clusters[i] lists that
+// program's compute batches in execution order, each a list of local
+// vertex ids. Every local vertex must appear in exactly one cluster.
+// The derived graph is verified acyclic (Theorem 1) before being returned.
+func Coarsen(graphs []*PatchGraph, clusters [][][]int32) (*CoarseGraph, error) {
+	if len(graphs) != len(clusters) {
+		return nil, fmt.Errorf("graph: %d graphs but %d cluster sets", len(graphs), len(clusters))
+	}
+	type paKey struct {
+		p mesh.PatchID
+		a int32
+	}
+	progOf := make(map[paKey]int, len(graphs))
+	for i, g := range graphs {
+		k := paKey{g.Patch, g.Angle}
+		if _, dup := progOf[k]; dup {
+			return nil, fmt.Errorf("graph: duplicate program for patch %d angle %d", g.Patch, g.Angle)
+		}
+		progOf[k] = i
+	}
+
+	cg := &CoarseGraph{ByProgram: make([][]int32, len(graphs))}
+	// cvOf[i][v] = coarse vertex containing local vertex v of program i.
+	cvOf := make([][]int32, len(graphs))
+	for i, g := range graphs {
+		cvOf[i] = make([]int32, g.NumVertices())
+		for v := range cvOf[i] {
+			cvOf[i][v] = -1
+		}
+		for _, cl := range clusters[i] {
+			id := int32(len(cg.Verts))
+			cg.Patch = append(cg.Patch, g.Patch)
+			cg.Angle = append(cg.Angle, g.Angle)
+			cg.Verts = append(cg.Verts, cl)
+			cg.LocalIdx = append(cg.LocalIdx, int32(len(cg.ByProgram[i])))
+			cg.ByProgram[i] = append(cg.ByProgram[i], id)
+			for _, v := range cl {
+				if v < 0 || int(v) >= g.NumVertices() {
+					return nil, fmt.Errorf("graph: program %d cluster references vertex %d outside [0,%d)", i, v, g.NumVertices())
+				}
+				if cvOf[i][v] != -1 {
+					return nil, fmt.Errorf("graph: program %d vertex %d in two clusters", i, v)
+				}
+				cvOf[i][v] = id
+			}
+		}
+		for v, cv := range cvOf[i] {
+			if cv == -1 {
+				return nil, fmt.Errorf("graph: program %d vertex %d not clustered", i, v)
+			}
+		}
+	}
+
+	n := len(cg.Verts)
+	cg.InDeg = make([]int32, n)
+	// Aggregate underlying edges by (fromCV, toCV).
+	type ceKey struct{ from, to int32 }
+	agg := make(map[ceKey][]UnderEdge)
+	for i, g := range graphs {
+		for _, cl := range clusters[i] {
+			for _, v := range cl {
+				from := cvOf[i][v]
+				for _, e := range g.LocalEdges(v) {
+					to := cvOf[i][e.To]
+					if to == from {
+						continue // internal to the cluster
+					}
+					agg[ceKey{from, to}] = append(agg[ceKey{from, to}], UnderEdge{
+						SrcV: v, SrcFace: e.SrcFace, DstV: e.To, DstFace: e.Face,
+					})
+				}
+				for _, e := range g.RemoteEdges(v) {
+					j, ok := progOf[paKey{e.ToPatch, g.Angle}]
+					if !ok {
+						return nil, fmt.Errorf("graph: remote edge to patch %d angle %d has no program", e.ToPatch, g.Angle)
+					}
+					to := cvOf[j][e.To]
+					agg[ceKey{from, to}] = append(agg[ceKey{from, to}], UnderEdge{
+						SrcV: v, SrcFace: e.SrcFace, DstV: e.To, DstFace: e.Face,
+					})
+				}
+			}
+		}
+	}
+
+	// Emit CSR in deterministic order.
+	keys := make([]ceKey, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].from != keys[b].from {
+			return keys[a].from < keys[b].from
+		}
+		return keys[a].to < keys[b].to
+	})
+	cg.EdgeStart = make([]int32, n+1)
+	for _, k := range keys {
+		cg.EdgeStart[k.from+1]++
+		cg.InDeg[k.to]++
+	}
+	for v := 0; v < n; v++ {
+		cg.EdgeStart[v+1] += cg.EdgeStart[v]
+	}
+	cg.EdgeTo = make([]int32, len(keys))
+	cg.EdgeUnder = make([][]UnderEdge, len(keys))
+	pos := make([]int32, n)
+	copy(pos, cg.EdgeStart[:n])
+	for _, k := range keys {
+		cg.EdgeTo[pos[k.from]] = k.to
+		cg.EdgeUnder[pos[k.from]] = agg[k]
+		pos[k.from]++
+	}
+
+	if !cg.isAcyclic() {
+		return nil, fmt.Errorf("graph: coarsened graph has a cycle — clusters do not respect the sweep order (Theorem 1 violated)")
+	}
+	return cg, nil
+}
+
+// isAcyclic runs Kahn's algorithm on the coarse graph.
+func (cg *CoarseGraph) isAcyclic() bool {
+	n := cg.NumCV()
+	indeg := make([]int32, n)
+	copy(indeg, cg.InDeg)
+	stack := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			stack = append(stack, int32(v))
+		}
+	}
+	seen := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		seen++
+		for _, w := range cg.EdgeTo[cg.EdgeStart[v]:cg.EdgeStart[v+1]] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				stack = append(stack, w)
+			}
+		}
+	}
+	return seen == n
+}
+
+// Stats summarizes the reduction the coarsening achieved.
+type CoarsenStats struct {
+	FineVertices, FineEdges     int
+	CoarseVertices, CoarseEdges int
+}
+
+// Stats computes fine-vs-coarse counts against the originating graphs.
+func (cg *CoarseGraph) Stats(graphs []*PatchGraph) CoarsenStats {
+	s := CoarsenStats{CoarseVertices: cg.NumCV(), CoarseEdges: cg.NumCE()}
+	for _, g := range graphs {
+		s.FineVertices += g.NumVertices()
+		l, r := g.NumEdges()
+		s.FineEdges += l + r
+	}
+	return s
+}

@@ -1,0 +1,403 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+)
+
+func structured(t *testing.T, n int) (*mesh.Structured3D, *mesh.Decomposition) {
+	t.Helper()
+	m, err := mesh.NewStructured3D(n, n, n, geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.BlockDecompose(n/2, n/2, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+var omegaPPP = geom.Vec3{X: 0.5, Y: 0.6, Z: 0.6244997998398398}
+
+func TestPatchGraphStructuredInDegrees(t *testing.T) {
+	m, d := structured(t, 4)
+	g := BuildPatchGraph(d, 0, omegaPPP, 0)
+	if g.NumVertices() != 8 {
+		t.Fatalf("vertices = %d, want 8", g.NumVertices())
+	}
+	// Patch 0 holds the corner block at the origin. For +++ direction, its
+	// corner cell (0,0,0) has in-degree 0; the far corner (1,1,1) local has
+	// in-degree 3.
+	for v, c := range g.Cells {
+		i, j, k := m.Coords(c)
+		want := int32(0)
+		if i > 0 {
+			want++
+		}
+		if j > 0 {
+			want++
+		}
+		if k > 0 {
+			want++
+		}
+		if g.InDegree[v] != want {
+			t.Errorf("cell (%d,%d,%d): indeg = %d, want %d", i, j, k, g.InDegree[v], want)
+		}
+	}
+}
+
+func TestPatchGraphEdgeConsistency(t *testing.T) {
+	_, d := structured(t, 6)
+	graphs := BuildAllPatchGraphs(d, omegaPPP, 0)
+	// Sum of in-degrees must equal total local+remote edges.
+	var indegSum, edges int
+	for _, g := range graphs {
+		for _, x := range g.InDegree {
+			indegSum += int(x)
+		}
+		l, r := g.NumEdges()
+		edges += l + r
+	}
+	if indegSum != edges {
+		t.Errorf("indegree sum %d != edge count %d", indegSum, edges)
+	}
+}
+
+func TestPatchGraphRemoteEdgesTargetRightPatch(t *testing.T) {
+	_, d := structured(t, 6)
+	graphs := BuildAllPatchGraphs(d, omegaPPP, 0)
+	for _, g := range graphs {
+		for v := int32(0); v < int32(g.NumVertices()); v++ {
+			for _, e := range g.RemoteEdges(v) {
+				if e.ToPatch == g.Patch {
+					t.Fatalf("remote edge staying in patch %d", g.Patch)
+				}
+				tgt := graphs[e.ToPatch]
+				if int(e.To) >= tgt.NumVertices() {
+					t.Fatalf("remote edge target %d outside patch %d", e.To, e.ToPatch)
+				}
+				// Receiving face of the target cell must point upwind.
+				c := tgt.Cells[e.To]
+				f := d.Mesh.Face(c, int(e.Face))
+				if omegaPPP.Dot(f.Normal) >= 0 {
+					t.Fatalf("receiving face not upwind")
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalTopoOrderStructured(t *testing.T) {
+	m, _ := structured(t, 4)
+	order, err := GlobalTopoOrder(m, omegaPPP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != m.NumCells() {
+		t.Fatalf("order covers %d cells, want %d", len(order), m.NumCells())
+	}
+	// Positions must respect dependencies: upwind before downwind.
+	pos := make([]int, m.NumCells())
+	for i, c := range order {
+		pos[c] = i
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		for f := 0; f < 6; f++ {
+			face := m.Face(mesh.CellID(c), f)
+			if face.Neighbor >= 0 && omegaPPP.Dot(face.Normal) > 0 {
+				if pos[face.Neighbor] <= pos[c] {
+					t.Fatalf("cell %d scheduled before its upwind %d", face.Neighbor, c)
+				}
+			}
+		}
+	}
+}
+
+// Property: for any direction, the sweep graph of a structured mesh is
+// acyclic (a known property of convex cells).
+func TestStructuredAlwaysAcyclic(t *testing.T) {
+	m, _ := structured(t, 4)
+	f := func(a, b, c float64) bool {
+		omega := geom.Vec3{X: math.Mod(a, 1), Y: math.Mod(b, 1), Z: math.Mod(c, 1)}
+		if omega.Norm() < 1e-3 {
+			return true
+		}
+		omega = omega.Normalize()
+		_, err := GlobalTopoOrder(m, omega)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Tet meshes from Kuhn subdivisions are acyclic for generic directions too.
+func TestBallAcyclicForQuadratureDirections(t *testing.T) {
+	m, err := meshgen.Ball(6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := []geom.Vec3{
+		{X: 0.577, Y: 0.577, Z: 0.578}, {X: -0.35, Y: 0.868, Z: 0.35},
+		{X: 0.868, Y: -0.35, Z: -0.35}, {X: -0.577, Y: -0.577, Z: -0.578},
+	}
+	for _, omega := range dirs {
+		if _, err := GlobalTopoOrder(m, omega.Normalize()); err != nil {
+			t.Errorf("Ω=%v: %v", omega, err)
+		}
+	}
+}
+
+func TestCellLevels(t *testing.T) {
+	m, _ := structured(t, 4)
+	omega := geom.Vec3{X: 1, Y: 0, Z: 0}
+	levels, err := CellLevels(m, omega)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		i, _, _ := m.Coords(mesh.CellID(c))
+		if levels[c] != int32(i) {
+			t.Fatalf("cell %d level = %d, want %d", c, levels[c], i)
+		}
+	}
+}
+
+func TestPatchDAGStructured(t *testing.T) {
+	_, d := structured(t, 4) // 2x2x2 patches
+	dag := BuildPatchDAG(d, omegaPPP)
+	if dag.N != 8 {
+		t.Fatalf("N = %d", dag.N)
+	}
+	if !dag.IsAcyclic() {
+		t.Error("axis-aligned block decomposition should give an acyclic patch DAG")
+	}
+	// Corner source patch (block 0) has in-degree 0 and 3 successors.
+	if dag.InDeg[0] != 0 {
+		t.Errorf("patch 0 indeg = %d, want 0", dag.InDeg[0])
+	}
+	if len(dag.Succ[0]) != 3 {
+		t.Errorf("patch 0 succ = %d, want 3", len(dag.Succ[0]))
+	}
+	// Edge weights are the face counts: a 2x2 patch interface has 4 faces.
+	for _, w := range dag.Weight[0] {
+		if w != 4 {
+			t.Errorf("edge weight = %d, want 4", w)
+		}
+	}
+}
+
+func TestPatchDAGAxisDirection(t *testing.T) {
+	_, d := structured(t, 4)
+	dag := BuildPatchDAG(d, geom.Vec3{X: 1, Y: 0, Z: 0})
+	// Pure +x direction: only x-crossing patch edges, 4 of them (2x2 block
+	// pairs along x).
+	total := 0
+	for p := 0; p < dag.N; p++ {
+		total += len(dag.Succ[p])
+	}
+	if total != 4 {
+		t.Errorf("patch edges = %d, want 4", total)
+	}
+}
+
+func TestCoarsenSingleClusterPerPatch(t *testing.T) {
+	m, d := structured(t, 4)
+	_ = m
+	graphs := BuildAllPatchGraphs(d, omegaPPP, 0)
+	// One cluster per patch in local topological order: valid and maximal.
+	clusters := make([][][]int32, len(graphs))
+	for i, g := range graphs {
+		order := topoOf(t, g)
+		clusters[i] = [][]int32{order}
+	}
+	cg, err := Coarsen(graphs, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cg.NumCV() != len(graphs) {
+		t.Fatalf("CV = %d, want %d", cg.NumCV(), len(graphs))
+	}
+	// Coarse edges = patch DAG edges for this decomposition/direction.
+	dag := BuildPatchDAG(d, omegaPPP)
+	wantCE := 0
+	for p := 0; p < dag.N; p++ {
+		wantCE += len(dag.Succ[p])
+	}
+	if cg.NumCE() != wantCE {
+		t.Errorf("CE = %d, want %d", cg.NumCE(), wantCE)
+	}
+	st := cg.Stats(graphs)
+	if st.FineVertices != 64 || st.CoarseVertices != 8 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func topoOf(t *testing.T, g *PatchGraph) []int32 {
+	t.Helper()
+	n := g.NumVertices()
+	in := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		for _, e := range g.LocalEdges(v) {
+			in[e.To]++
+		}
+	}
+	var queue []int32
+	for v := int32(0); v < int32(n); v++ {
+		if in[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, e := range g.LocalEdges(v) {
+			in[e.To]--
+			if in[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(queue) != n {
+		t.Fatal("local cycle")
+	}
+	return queue
+}
+
+// Theorem 1 property test: clustering an acyclic patch graph set by
+// contiguous chunks of the execution (topological) order always yields an
+// acyclic coarse graph, for random chunk sizes.
+func TestCoarsenTheorem1Property(t *testing.T) {
+	_, d := structured(t, 4)
+	graphs := BuildAllPatchGraphs(d, omegaPPP, 0)
+	f := func(seed uint32) bool {
+		grain := 1 + int(seed%7)
+		clusters := make([][][]int32, len(graphs))
+		for i, g := range graphs {
+			order := make([]int32, 0, g.NumVertices())
+			// Simulate a data-driven execution: repeatedly take up to
+			// `grain` ready vertices (this mirrors vertex clustering).
+			in := make([]int32, g.NumVertices())
+			copy(in, localInDeg(g))
+			ready := []int32{}
+			for v := int32(0); v < int32(g.NumVertices()); v++ {
+				if in[v] == 0 {
+					ready = append(ready, v)
+				}
+			}
+			for len(ready) > 0 {
+				take := grain
+				if take > len(ready) {
+					take = len(ready)
+				}
+				batch := append([]int32(nil), ready[:take]...)
+				ready = ready[take:]
+				for _, v := range batch {
+					for _, e := range g.LocalEdges(v) {
+						in[e.To]--
+						if in[e.To] == 0 {
+							ready = append(ready, e.To)
+						}
+					}
+				}
+				clusters[i] = append(clusters[i], batch)
+				order = append(order, batch...)
+			}
+			if len(order) != g.NumVertices() {
+				return false
+			}
+		}
+		_, err := Coarsen(graphs, clusters)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func localInDeg(g *PatchGraph) []int32 {
+	in := make([]int32, g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, e := range g.LocalEdges(v) {
+			in[e.To]++
+		}
+	}
+	return in
+}
+
+func TestCoarsenRejectsBadClusters(t *testing.T) {
+	_, d := structured(t, 4)
+	graphs := BuildAllPatchGraphs(d, omegaPPP, 0)
+	// Missing vertices.
+	clusters := make([][][]int32, len(graphs))
+	for i := range clusters {
+		clusters[i] = [][]int32{{0}}
+	}
+	if _, err := Coarsen(graphs, clusters); err == nil {
+		t.Error("incomplete clustering should fail")
+	}
+	// Duplicated vertex.
+	for i, g := range graphs {
+		order := topoOf(t, g)
+		clusters[i] = [][]int32{order, {order[0]}}
+	}
+	if _, err := Coarsen(graphs, clusters); err == nil {
+		t.Error("duplicate vertex should fail")
+	}
+	// Mismatched lengths.
+	if _, err := Coarsen(graphs, clusters[:1]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestCoarsenDetectsCycle(t *testing.T) {
+	_, d := structured(t, 4)
+	graphs := BuildAllPatchGraphs(d, geom.Vec3{X: 1, Y: 0, Z: 0}, 0)
+	// Cluster against the topological order: put each vertex alone but
+	// order so that a downwind vertex's cluster also contains an upwind
+	// one from a *different* dependency chain... Simplest reliable cycle:
+	// split one patch into two clusters A and B such that A needs B and B
+	// needs A. With +x direction each patch is 2x2x2; local chains are
+	// along x: pairs (v, v') with v -> v'. Put the head of chain 1 with the
+	// tail of chain 2 in cluster A, and the tail of chain 1 with the head
+	// of chain 2 in cluster B: A -> B (chain1) and B -> A (chain2).
+	g := graphs[0]
+	type chain struct{ head, tail int32 }
+	var chains []chain
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		for _, e := range g.LocalEdges(v) {
+			chains = append(chains, chain{head: v, tail: e.To})
+		}
+	}
+	if len(chains) < 2 {
+		t.Skip("not enough local chains")
+	}
+	a := []int32{chains[0].head, chains[1].tail}
+	b := []int32{chains[0].tail, chains[1].head}
+	rest := []int32{}
+	used := map[int32]bool{a[0]: true, a[1]: true, b[0]: true, b[1]: true}
+	if len(used) != 4 {
+		t.Skip("overlapping chains")
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if !used[v] {
+			rest = append(rest, v)
+		}
+	}
+	clusters := make([][][]int32, len(graphs))
+	clusters[0] = [][]int32{a, b}
+	if len(rest) > 0 {
+		clusters[0] = append(clusters[0], rest)
+	}
+	for i := 1; i < len(graphs); i++ {
+		clusters[i] = [][]int32{topoOf(t, graphs[i])}
+	}
+	if _, err := Coarsen(graphs, clusters); err == nil {
+		t.Error("cyclic clustering must be rejected (Theorem 1 check)")
+	}
+}

@@ -1,0 +1,231 @@
+// Package kba implements the Koch-Baker-Alcouffe sweep baseline for
+// regular structured meshes (paper §I, §II-C): the 3-D grid is decomposed
+// into Px×Py columns (each owning the full z extent), and sweeps pipeline
+// z-plane blocks and angles through the column wavefront. KBA is the
+// reference point for structured sweeps — Table I compares JSweep's
+// parallel efficiency on Kobayashi-400 against Denovo's KBA — and its
+// analytic performance model is used for the Table I rows.
+//
+// The executor here performs the real computation in KBA schedule order
+// (another dependency-respecting schedule, so results match the serial
+// reference bit-for-bit); the Model type provides the classic stage-count
+// efficiency estimate.
+package kba
+
+import (
+	"fmt"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/transport"
+)
+
+// Executor sweeps a structured mesh in KBA column order. Implements
+// transport.SweepExecutor.
+type Executor struct {
+	prob *transport.Problem
+	sm   *mesh.Structured3D
+	// Px, Py is the columnar process grid.
+	Px, Py int
+	// KPlanes is the z-block pipeline chunk (paper notation k_b).
+	KPlanes int
+
+	stats Stats
+}
+
+// Stats describes the last sweep.
+type Stats struct {
+	// Stages is the pipeline stage count actually executed (per angle
+	// sum of column wavefront depth × z-chunks).
+	Stages int64
+	// VertexSolves counts kernel invocations.
+	VertexSolves int64
+}
+
+// New builds a KBA executor. The problem's mesh must be structured.
+func New(prob *transport.Problem, px, py, kPlanes int) (*Executor, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	sm, ok := prob.M.(*mesh.Structured3D)
+	if !ok {
+		return nil, fmt.Errorf("kba: requires a structured mesh")
+	}
+	if px < 1 || py < 1 {
+		return nil, fmt.Errorf("kba: need px,py >= 1 (got %d,%d)", px, py)
+	}
+	if px > sm.NX || py > sm.NY {
+		return nil, fmt.Errorf("kba: process grid %dx%d exceeds mesh %dx%d", px, py, sm.NX, sm.NY)
+	}
+	if kPlanes < 1 {
+		kPlanes = 1
+	}
+	return &Executor{prob: prob, sm: sm, Px: px, Py: py, KPlanes: kPlanes}, nil
+}
+
+// Stats returns the last sweep's statistics.
+func (e *Executor) Stats() Stats { return e.stats }
+
+// Sweep implements transport.SweepExecutor.
+func (e *Executor) Sweep(q [][]float64) ([][]float64, error) {
+	p := e.prob
+	sm := e.sm
+	G := p.Groups
+	nc := sm.NumCells()
+	phi := p.NewFlux()
+	psiFace := make([]float64, nc*6*G)
+	qCell := make([]float64, G)
+	psiOut := make([]float64, 6*G)
+	psiBar := make([]float64, G)
+	e.stats = Stats{}
+
+	// Column extents.
+	colX := splitRange(sm.NX, e.Px)
+	colY := splitRange(sm.NY, e.Py)
+
+	for _, d := range p.Quad.Directions {
+		for i := range psiFace {
+			psiFace[i] = 0
+		}
+		sx := d.Omega.X > 0
+		sy := d.Omega.Y > 0
+		sz := d.Omega.Z > 0
+		// Column wavefront: iterate the process grid in direction order;
+		// row-major covers the 2-D wavefront dependencies.
+		for bi := 0; bi < e.Px; bi++ {
+			cx := colX[dirIdx(bi, e.Px, sx)]
+			for bj := 0; bj < e.Py; bj++ {
+				cy := colY[dirIdx(bj, e.Py, sy)]
+				// Pipeline z in KPlanes chunks.
+				for k0 := 0; k0 < sm.NZ; k0 += e.KPlanes {
+					k1 := k0 + e.KPlanes
+					if k1 > sm.NZ {
+						k1 = sm.NZ
+					}
+					e.stats.Stages++
+					e.sweepBlock(d.Omega, d.Weight, q, phi, psiFace, qCell, psiOut, psiBar,
+						cx, cy, [2]int{k0, k1}, sx, sy, sz)
+				}
+			}
+		}
+	}
+	return phi, nil
+}
+
+// sweepBlock solves one column block of cells in direction order.
+func (e *Executor) sweepBlock(omega geom.Vec3, w float64, q, phi [][]float64,
+	psiFace, qCell, psiOut, psiBar []float64,
+	cx, cy, cz [2]int, sx, sy, sz bool) {
+	p := e.prob
+	sm := e.sm
+	G := p.Groups
+	for ko := 0; ko < cz[1]-cz[0]; ko++ {
+		k := cz[0] + ko
+		if !sz {
+			k = cz[1] - 1 - ko
+		}
+		for jo := 0; jo < cy[1]-cy[0]; jo++ {
+			j := cy[0] + jo
+			if !sy {
+				j = cy[1] - 1 - jo
+			}
+			for io := 0; io < cx[1]-cx[0]; io++ {
+				i := cx[0] + io
+				if !sx {
+					i = cx[1] - 1 - io
+				}
+				c := sm.Index(i, j, k)
+				base := int(c) * 6 * G
+				for g := 0; g < G; g++ {
+					qCell[g] = q[g][c]
+				}
+				p.SolveCell(c, omega, qCell, psiFace[base:base+6*G], psiOut, psiBar)
+				for g := 0; g < G; g++ {
+					phi[g][c] += w * psiBar[g]
+				}
+				for f := 0; f < 6; f++ {
+					face := sm.Face(c, f)
+					if face.Neighbor < 0 || omega.Dot(face.Normal) <= mesh.UpwindEps {
+						continue
+					}
+					back := f ^ 1 // structured faces pair lo/hi
+					dst := (int(face.Neighbor)*6 + back) * G
+					copy(psiFace[dst:dst+G], psiOut[f*G:f*G+G])
+				}
+				e.stats.VertexSolves++
+			}
+		}
+	}
+}
+
+// splitRange splits [0, n) into p nearly-equal [start, end) ranges.
+func splitRange(n, p int) [][2]int {
+	out := make([][2]int, p)
+	for i := 0; i < p; i++ {
+		out[i] = [2]int{i * n / p, (i + 1) * n / p}
+	}
+	return out
+}
+
+// dirIdx returns the i-th index in ascending (pos=true) or descending
+// order.
+func dirIdx(i, n int, pos bool) int {
+	if pos {
+		return i
+	}
+	return n - 1 - i
+}
+
+// Model is the classic KBA performance model (Baker & Koch; as used in the
+// Adams et al. sweep analyses): a full 8-octant sweep over an
+// Nx×Ny×Nz grid on a Px×Py process grid with Ma angles per octant and
+// z-blocks of Kb planes completes in
+//
+//	stages = 2·(Px + Py − 2) + 8·Ma·⌈Nz/Kb⌉
+//
+// pipeline stages, each costing the block compute time plus the block face
+// communication.
+type Model struct {
+	Nx, Ny, Nz int
+	// Px, Py is the process grid (P = Px·Py cores).
+	Px, Py int
+	// Ma is the number of angles per octant; Kb the z-block size.
+	Ma, Kb int
+	// TCell is the kernel time per cell-angle [s]; Latency the per-message
+	// cost [s]; InvBandwidth seconds per byte; BytesPerFace the payload per
+	// cell face.
+	TCell, Latency, InvBandwidth, BytesPerFace float64
+}
+
+// Stages returns the pipeline stage count.
+func (m Model) Stages() int {
+	nzb := (m.Nz + m.Kb - 1) / m.Kb
+	return 2*(m.Px+m.Py-2) + 8*m.Ma*nzb
+}
+
+// StageTime returns the wall time of one pipeline stage.
+func (m Model) StageTime() float64 {
+	bx := float64(m.Nx) / float64(m.Px)
+	by := float64(m.Ny) / float64(m.Py)
+	blockCells := bx * by * float64(m.Kb)
+	compute := blockCells * m.TCell
+	// Two face messages per stage (x and y downstream neighbours).
+	faceBytes := (bx + by) * float64(m.Kb) * m.BytesPerFace
+	comm := 2*m.Latency + faceBytes*m.InvBandwidth
+	return compute + comm
+}
+
+// Time returns the modeled full-sweep wall time.
+func (m Model) Time() float64 { return float64(m.Stages()) * m.StageTime() }
+
+// Efficiency returns modeled parallel efficiency versus a single core.
+func (m Model) Efficiency() float64 {
+	serial := float64(m.Nx) * float64(m.Ny) * float64(m.Nz) * float64(8*m.Ma) * m.TCell
+	par := m.Time() * float64(m.Px*m.Py)
+	if par == 0 {
+		return 0
+	}
+	return serial / par
+}
+
+var _ transport.SweepExecutor = (*Executor)(nil)

@@ -1,0 +1,149 @@
+package kba_test
+
+import (
+	"testing"
+
+	"jsweep/internal/kba"
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+func kobaProb(t *testing.T, n int) *transport.Problem {
+	t.Helper()
+	prob, _, err := kobayashi.Build(kobayashi.Spec{N: n, SnOrder: 2, Scheme: transport.Diamond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob
+}
+
+// KBA is just another dependency-respecting schedule: it must reproduce
+// the serial reference bit-for-bit.
+func TestKBAMatchesReference(t *testing.T) {
+	prob := kobaProb(t, 12)
+	q := uniformQ(prob)
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, grid := range [][3]int{{1, 1, 4}, {2, 2, 3}, {3, 4, 1}, {4, 4, 12}} {
+		ex, err := kba.New(prob, grid[0], grid[1], grid[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ex.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := range want {
+			for c := range want[g] {
+				if want[g][c] != got[g][c] {
+					t.Fatalf("grid %v: cell %d: %v != %v", grid, c, want[g][c], got[g][c])
+				}
+			}
+		}
+		st := ex.Stats()
+		if st.VertexSolves != int64(prob.M.NumCells())*int64(prob.Quad.NumAngles()) {
+			t.Errorf("grid %v: vertex solves = %d", grid, st.VertexSolves)
+		}
+	}
+}
+
+func uniformQ(prob *transport.Problem) [][]float64 {
+	q := prob.NewFlux()
+	zero := prob.NewFlux()
+	scratch := make([]float64, prob.Groups)
+	for c := 0; c < prob.M.NumCells(); c++ {
+		prob.EmissionDensity(mesh.CellID(c), zero, scratch)
+		for g := 0; g < prob.Groups; g++ {
+			q[g][c] = scratch[g]
+		}
+	}
+	return q
+}
+
+func TestKBARejectsUnstructured(t *testing.T) {
+	m, err := meshgen.Ball(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, _ := quadrature.New(2)
+	prob := &transport.Problem{
+		M:      m,
+		Mats:   []transport.Material{{SigmaT: []float64{1}}},
+		Quad:   quad,
+		Groups: 1,
+	}
+	if _, err := kba.New(prob, 2, 2, 1); err == nil {
+		t.Error("KBA must reject unstructured meshes")
+	}
+}
+
+func TestKBAValidation(t *testing.T) {
+	prob := kobaProb(t, 8)
+	if _, err := kba.New(prob, 0, 2, 1); err == nil {
+		t.Error("px=0 should fail")
+	}
+	if _, err := kba.New(prob, 100, 2, 1); err == nil {
+		t.Error("px>NX should fail")
+	}
+}
+
+func TestKBAStageCount(t *testing.T) {
+	prob := kobaProb(t, 12)
+	ex, err := kba.New(prob, 3, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Sweep(uniformQ(prob)); err != nil {
+		t.Fatal(err)
+	}
+	// 8 angles × 6 columns × ceil(12/4)=3 z-chunks = 144 stages executed.
+	if got := ex.Stats().Stages; got != 144 {
+		t.Errorf("stages = %d, want 144", got)
+	}
+}
+
+func TestModelStages(t *testing.T) {
+	m := kba.Model{Nx: 400, Ny: 400, Nz: 400, Px: 16, Py: 16, Ma: 40, Kb: 20}
+	// 2(16+16-2) + 8·40·20 = 60 + 6400 = 6460.
+	if got := m.Stages(); got != 6460 {
+		t.Errorf("stages = %d, want 6460", got)
+	}
+}
+
+func TestModelEfficiencyBehaviour(t *testing.T) {
+	base := kba.Model{
+		Nx: 400, Ny: 400, Nz: 400, Ma: 40, Kb: 10,
+		TCell: 1e-6, Latency: 2e-6, InvBandwidth: 1.0 / 5e9, BytesPerFace: 8,
+	}
+	// Efficiency must fall as the process grid grows (fixed problem).
+	prev := 2.0
+	for _, p := range []int{4, 8, 16, 32} {
+		m := base
+		m.Px, m.Py = p, p
+		eff := m.Efficiency()
+		if eff <= 0 || eff > 1.001 {
+			t.Fatalf("P=%d²: efficiency %v out of range", p, eff)
+		}
+		if eff >= prev {
+			t.Errorf("P=%d²: efficiency %v did not fall (prev %v)", p, eff, prev)
+		}
+		prev = eff
+	}
+	// Bigger problems at fixed P are more efficient.
+	small, big := base, base
+	small.Px, small.Py, big.Px, big.Py = 16, 16, 16, 16
+	big.Nx, big.Ny, big.Nz = 800, 800, 800
+	if big.Efficiency() <= small.Efficiency() {
+		t.Error("weak-scaling the problem should raise KBA efficiency")
+	}
+}

@@ -1,0 +1,93 @@
+package kobayashi
+
+import (
+	"testing"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/transport"
+)
+
+func TestZoneGeometry(t *testing.T) {
+	cases := []struct {
+		p    geom.Vec3
+		want int
+	}{
+		{geom.Vec3{X: 5, Y: 5, Z: 5}, ZoneSource},
+		{geom.Vec3{X: 9.9, Y: 9.9, Z: 9.9}, ZoneSource},
+		{geom.Vec3{X: 30, Y: 5, Z: 5}, ZoneVoid},   // duct leg +x
+		{geom.Vec3{X: 55, Y: 30, Z: 5}, ZoneVoid},  // duct turn +y
+		{geom.Vec3{X: 55, Y: 55, Z: 30}, ZoneVoid}, // duct rise +z
+		{geom.Vec3{X: 30, Y: 30, Z: 30}, ZoneShield},
+		{geom.Vec3{X: 90, Y: 90, Z: 90}, ZoneShield},
+		{geom.Vec3{X: 5, Y: 50, Z: 5}, ZoneShield},
+	}
+	for _, tc := range cases {
+		if got := Zone(tc.p); got != tc.want {
+			t.Errorf("Zone(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestBuildZonesPresent(t *testing.T) {
+	prob, m, err := Build(Spec{N: 20, SnOrder: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for c := 0; c < m.NumCells(); c++ {
+		seen[prob.M.Material(mesh.CellID(c))]++
+	}
+	if seen[ZoneSource] == 0 || seen[ZoneVoid] == 0 || seen[ZoneShield] == 0 {
+		t.Fatalf("zone histogram %v missing a zone", seen)
+	}
+	// Source occupies (10/100)³ = 0.1% of the volume → 8 cells at N=20.
+	if seen[ZoneSource] != 8 {
+		t.Errorf("source cells = %d, want 8", seen[ZoneSource])
+	}
+}
+
+func TestBuildScatteringVariants(t *testing.T) {
+	pure, _, err := Build(Spec{N: 8, SnOrder: 2, Scattering: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pure.HasScattering() {
+		t.Error("non-scattering build scatters")
+	}
+	scat, _, err := Build(Spec{N: 8, SnOrder: 2, Scattering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scat.HasScattering() {
+		t.Error("scattering build does not scatter")
+	}
+	// c = σs/σt = 0.5 in the source zone.
+	m := scat.Mats[ZoneSource]
+	if m.SigmaS[0][0]/m.SigmaT[0] != 0.5 {
+		t.Errorf("scattering ratio = %v, want 0.5", m.SigmaS[0][0]/m.SigmaT[0])
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, _, err := Build(Spec{N: 1}); err == nil {
+		t.Error("tiny N should fail")
+	}
+	if _, _, err := Build(Spec{N: 8, SnOrder: 3}); err == nil {
+		t.Error("odd Sn order should fail")
+	}
+}
+
+func TestBuildDefaultOrder(t *testing.T) {
+	prob, _, err := Build(Spec{N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob.Quad.NumAngles() != 24 {
+		t.Errorf("default quadrature angles = %d, want 24 (S4)", prob.Quad.NumAngles())
+	}
+	if prob.Scheme != transport.Step {
+		// Scheme defaults to Step (zero value) unless requested.
+		t.Errorf("unexpected default scheme %v", prob.Scheme)
+	}
+}

@@ -1,0 +1,51 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"jsweep/internal/geom"
+)
+
+// FacePoint must return a point on the face plane: (FacePoint − any point
+// of the face plane)·normal == 0, and the cell centre must be on the
+// negative side of the outward normal.
+func TestStructuredFacePoint(t *testing.T) {
+	m, err := NewStructured3D(3, 4, 5, geom.Vec3{X: -1, Y: 2, Z: 0}, geom.Vec3{X: 3, Y: 4, Z: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		ctr := m.CellCenter(CellID(c))
+		for f := 0; f < 6; f++ {
+			face := m.Face(CellID(c), f)
+			fp := m.FacePoint(CellID(c), f)
+			// Centre is half a cell inside the face along the normal.
+			d := fp.Sub(ctr).Dot(face.Normal)
+			if d <= 0 {
+				t.Fatalf("cell %d face %d: centre not inside (d=%v)", c, f, d)
+			}
+			want := []float64{m.DX / 2, m.DX / 2, m.DY / 2, m.DY / 2, m.DZ / 2, m.DZ / 2}[f]
+			if math.Abs(d-want) > 1e-12 {
+				t.Fatalf("cell %d face %d: distance %v, want %v", c, f, d, want)
+			}
+		}
+	}
+}
+
+func TestUnstructuredFacePoint(t *testing.T) {
+	verts := []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}}
+	m, err := NewUnstructuredFromTets(verts, [][4]int32{{0, 1, 2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := m.CellCenter(0)
+	for f := 0; f < 4; f++ {
+		face := m.Face(0, f)
+		fp := m.FacePoint(0, f)
+		d := fp.Sub(ctr).Dot(face.Normal)
+		if d <= 0 {
+			t.Fatalf("face %d: centroid on wrong side (d=%v)", f, d)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package mesh provides the discretized-domain substrate the JSweep stack is
+// built on: an abstract cell/face view shared by structured and unstructured
+// meshes (paper §II-A), plus the patch decomposition machinery of the
+// JAxMIN-style infrastructure (paper §II-B).
+//
+// Terminology follows the paper: a mesh is a set of cells; a patch is a
+// collection of contiguous cells owned by one logical processing element;
+// ghost cells are the halo of remote cells adjacent to a patch.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"jsweep/internal/geom"
+)
+
+// UpwindEps is the shared threshold for classifying a face against a sweep
+// direction: |Ω·n| ≤ UpwindEps means "grazing — no flow, no dependency".
+// The DAG builder and every transport kernel must use the same value, or a
+// kernel could wait on flux the graph never delivers.
+const UpwindEps = 1e-12
+
+// CellID identifies a cell within a mesh. IDs are dense in [0, NumCells).
+type CellID int32
+
+// PatchID identifies a patch within a decomposition. Dense in [0, NumPatches).
+type PatchID int32
+
+// Face is one face of a cell as seen from that cell.
+type Face struct {
+	// Neighbor is the cell on the other side, or -1 on the domain boundary.
+	Neighbor CellID
+	// Normal is the outward unit normal of the face.
+	Normal geom.Vec3
+	// Area is the face area.
+	Area float64
+}
+
+// Mesh is the abstract view of a discretized domain. Both the structured and
+// the unstructured implementation satisfy it; everything above this layer
+// (DAG construction, sweeps, partitioning) is written against it, which is
+// what lets JSweep treat both mesh families uniformly.
+type Mesh interface {
+	// NumCells returns the number of cells.
+	NumCells() int
+	// CellCenter returns the centroid of cell c.
+	CellCenter(c CellID) geom.Vec3
+	// CellVolume returns the volume of cell c.
+	CellVolume(c CellID) float64
+	// NumFaces returns the number of faces of cell c.
+	NumFaces(c CellID) int
+	// Face returns face i of cell c.
+	Face(c CellID, i int) Face
+	// Material returns the material zone id of cell c.
+	Material(c CellID) int
+	// Structured reports whether the mesh is a regular structured grid.
+	Structured() bool
+}
+
+// Decomposition is a patch decomposition of a mesh: every cell belongs to
+// exactly one patch, and each patch knows its cells, its neighbouring
+// patches, and (once placed) its owning process rank.
+type Decomposition struct {
+	Mesh Mesh
+	// CellPatch maps every cell to its patch.
+	CellPatch []PatchID
+	// Cells lists, per patch, the owned cells in ascending CellID order.
+	Cells [][]CellID
+	// Local maps every cell to its index within Cells[CellPatch[c]].
+	Local []int32
+	// Neighbors lists, per patch, the adjacent patches (patches that share
+	// at least one face), ascending.
+	Neighbors [][]PatchID
+	// Owner maps every patch to the process rank that owns it. Filled by
+	// Place; defaults to a block distribution over patch ids.
+	Owner []int
+}
+
+// NumPatches returns the number of patches.
+func (d *Decomposition) NumPatches() int { return len(d.Cells) }
+
+// NewDecomposition builds a Decomposition from a per-cell patch assignment.
+// Patch ids must be dense in [0, numPatches). Empty patches are rejected.
+func NewDecomposition(m Mesh, cellPatch []PatchID, numPatches int) (*Decomposition, error) {
+	if len(cellPatch) != m.NumCells() {
+		return nil, fmt.Errorf("mesh: assignment covers %d cells, mesh has %d", len(cellPatch), m.NumCells())
+	}
+	d := &Decomposition{
+		Mesh:      m,
+		CellPatch: cellPatch,
+		Cells:     make([][]CellID, numPatches),
+		Local:     make([]int32, m.NumCells()),
+	}
+	for c, p := range cellPatch {
+		if p < 0 || int(p) >= numPatches {
+			return nil, fmt.Errorf("mesh: cell %d assigned to patch %d outside [0,%d)", c, p, numPatches)
+		}
+		d.Cells[p] = append(d.Cells[p], CellID(c))
+	}
+	for p := range d.Cells {
+		if len(d.Cells[p]) == 0 {
+			return nil, fmt.Errorf("mesh: patch %d is empty", p)
+		}
+		for i, c := range d.Cells[p] {
+			d.Local[c] = int32(i)
+		}
+	}
+	// Patch adjacency from cell faces.
+	nbset := make([]map[PatchID]struct{}, numPatches)
+	for p := range nbset {
+		nbset[p] = make(map[PatchID]struct{})
+	}
+	nc := m.NumCells()
+	for c := 0; c < nc; c++ {
+		pc := cellPatch[c]
+		nf := m.NumFaces(CellID(c))
+		for i := 0; i < nf; i++ {
+			f := m.Face(CellID(c), i)
+			if f.Neighbor < 0 {
+				continue
+			}
+			pn := cellPatch[f.Neighbor]
+			if pn != pc {
+				nbset[pc][pn] = struct{}{}
+			}
+		}
+	}
+	d.Neighbors = make([][]PatchID, numPatches)
+	for p, set := range nbset {
+		for q := range set {
+			d.Neighbors[p] = append(d.Neighbors[p], q)
+		}
+		sort.Slice(d.Neighbors[p], func(i, j int) bool { return d.Neighbors[p][i] < d.Neighbors[p][j] })
+	}
+	d.Owner = make([]int, numPatches)
+	return d, nil
+}
+
+// Place assigns patches to process ranks in contiguous blocks of the patch
+// id order (patch ids produced by the partitioners follow a locality-
+// preserving order, so block placement keeps neighbours together).
+func (d *Decomposition) Place(numProcs int) {
+	n := d.NumPatches()
+	if numProcs < 1 {
+		numProcs = 1
+	}
+	for p := 0; p < n; p++ {
+		d.Owner[p] = p * numProcs / n
+	}
+}
+
+// PatchOf returns the patch owning cell c.
+func (d *Decomposition) PatchOf(c CellID) PatchID { return d.CellPatch[c] }
+
+// GhostCells returns the ghost layer of patch p: all remote cells adjacent
+// to a cell of p through a face, ascending and deduplicated.
+func (d *Decomposition) GhostCells(p PatchID) []CellID {
+	seen := make(map[CellID]struct{})
+	for _, c := range d.Cells[p] {
+		nf := d.Mesh.NumFaces(c)
+		for i := 0; i < nf; i++ {
+			f := d.Mesh.Face(c, i)
+			if f.Neighbor >= 0 && d.CellPatch[f.Neighbor] != p {
+				seen[f.Neighbor] = struct{}{}
+			}
+		}
+	}
+	out := make([]CellID, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Balance returns the load-imbalance ratio max/avg of patch sizes.
+func (d *Decomposition) Balance() float64 {
+	maxSz, total := 0, 0
+	for _, cs := range d.Cells {
+		if len(cs) > maxSz {
+			maxSz = len(cs)
+		}
+		total += len(cs)
+	}
+	avg := float64(total) / float64(len(d.Cells))
+	return float64(maxSz) / avg
+}
+
+// EdgeCut returns the number of mesh faces whose two cells live in
+// different patches (each shared face counted once).
+func (d *Decomposition) EdgeCut() int {
+	cut := 0
+	nc := d.Mesh.NumCells()
+	for c := 0; c < nc; c++ {
+		nf := d.Mesh.NumFaces(CellID(c))
+		for i := 0; i < nf; i++ {
+			f := d.Mesh.Face(CellID(c), i)
+			if f.Neighbor > CellID(c) && d.CellPatch[f.Neighbor] != d.CellPatch[c] {
+				cut++
+			}
+		}
+	}
+	return cut
+}

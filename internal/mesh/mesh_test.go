@@ -1,0 +1,327 @@
+package mesh
+
+import (
+	"math"
+	"testing"
+
+	"jsweep/internal/geom"
+)
+
+func mustStructured(t *testing.T, nx, ny, nz int) *Structured3D {
+	t.Helper()
+	m, err := NewStructured3D(nx, ny, nz, geom.Vec3{}, geom.Vec3{X: float64(nx), Y: float64(ny), Z: float64(nz)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStructuredIndexRoundTrip(t *testing.T) {
+	m := mustStructured(t, 4, 5, 6)
+	for k := 0; k < 6; k++ {
+		for j := 0; j < 5; j++ {
+			for i := 0; i < 4; i++ {
+				c := m.Index(i, j, k)
+				gi, gj, gk := m.Coords(c)
+				if gi != i || gj != j || gk != k {
+					t.Fatalf("roundtrip (%d,%d,%d) -> %d -> (%d,%d,%d)", i, j, k, c, gi, gj, gk)
+				}
+			}
+		}
+	}
+}
+
+func TestStructuredFaces(t *testing.T) {
+	m := mustStructured(t, 3, 3, 3)
+	c := m.Index(1, 1, 1) // interior cell: all 6 neighbours exist
+	if m.NumFaces(c) != 6 {
+		t.Fatalf("NumFaces = %d", m.NumFaces(c))
+	}
+	wantNb := []CellID{
+		m.Index(0, 1, 1), m.Index(2, 1, 1),
+		m.Index(1, 0, 1), m.Index(1, 2, 1),
+		m.Index(1, 1, 0), m.Index(1, 1, 2),
+	}
+	for f := 0; f < 6; f++ {
+		face := m.Face(c, f)
+		if face.Neighbor != wantNb[f] {
+			t.Errorf("face %d neighbor = %d, want %d", f, face.Neighbor, wantNb[f])
+		}
+		if math.Abs(face.Normal.Norm()-1) > 1e-14 {
+			t.Errorf("face %d normal not unit: %v", f, face.Normal)
+		}
+		if face.Area != 1 {
+			t.Errorf("face %d area = %v, want 1", f, face.Area)
+		}
+	}
+	// Corner cell has 3 boundary faces.
+	corner := m.Index(0, 0, 0)
+	nbnd := 0
+	for f := 0; f < 6; f++ {
+		if m.Face(corner, f).Neighbor < 0 {
+			nbnd++
+		}
+	}
+	if nbnd != 3 {
+		t.Errorf("corner boundary faces = %d, want 3", nbnd)
+	}
+}
+
+func TestStructuredFaceReciprocity(t *testing.T) {
+	m := mustStructured(t, 4, 3, 2)
+	for c := 0; c < m.NumCells(); c++ {
+		for f := 0; f < 6; f++ {
+			face := m.Face(CellID(c), f)
+			if face.Neighbor < 0 {
+				continue
+			}
+			// The neighbor must see us back through its opposite face with
+			// an opposite normal.
+			found := false
+			for g := 0; g < 6; g++ {
+				back := m.Face(face.Neighbor, g)
+				if back.Neighbor == CellID(c) {
+					if back.Normal.Add(face.Normal).Norm() > 1e-14 {
+						t.Fatalf("normals not opposite: %v vs %v", face.Normal, back.Normal)
+					}
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("cell %d face %d: neighbor %d does not reciprocate", c, f, face.Neighbor)
+			}
+		}
+	}
+}
+
+func TestStructuredGeometry(t *testing.T) {
+	m, err := NewStructured3D(10, 10, 10, geom.Vec3{X: -5, Y: -5, Z: -5}, geom.Vec3{X: 10, Y: 10, Z: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := m.CellVolume(0); math.Abs(v-1) > 1e-14 {
+		t.Errorf("volume = %v, want 1", v)
+	}
+	c := m.CellCenter(m.Index(5, 5, 5))
+	if c != (geom.Vec3{X: 0.5, Y: 0.5, Z: 0.5}) {
+		t.Errorf("center = %v", c)
+	}
+}
+
+func TestStructuredMaterials(t *testing.T) {
+	m := mustStructured(t, 4, 4, 4)
+	if m.Material(0) != 0 {
+		t.Error("default material should be 0")
+	}
+	m.SetMaterialFunc(func(c geom.Vec3) int {
+		if c.X < 2 {
+			return 1
+		}
+		return 2
+	})
+	if m.Material(m.Index(0, 0, 0)) != 1 || m.Material(m.Index(3, 0, 0)) != 2 {
+		t.Error("material zoning wrong")
+	}
+}
+
+func TestBlockDecompose(t *testing.T) {
+	m := mustStructured(t, 8, 8, 8)
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPatches() != 8 {
+		t.Fatalf("patches = %d, want 8", d.NumPatches())
+	}
+	for p := 0; p < 8; p++ {
+		if len(d.Cells[p]) != 64 {
+			t.Errorf("patch %d size = %d, want 64", p, len(d.Cells[p]))
+		}
+	}
+	if b := d.Balance(); b != 1 {
+		t.Errorf("balance = %v, want 1", b)
+	}
+	// A 2x2x2 block layout: every patch touches exactly 3 neighbours.
+	for p := 0; p < 8; p++ {
+		if len(d.Neighbors[p]) != 3 {
+			t.Errorf("patch %d neighbours = %d, want 3", p, len(d.Neighbors[p]))
+		}
+	}
+	// Edge cut: 3 internal planes of 8x8 faces each... each plane has 64
+	// faces, 3 planes = 192 cut faces.
+	if cut := d.EdgeCut(); cut != 192 {
+		t.Errorf("edge cut = %d, want 192", cut)
+	}
+}
+
+func TestBlockDecomposeRagged(t *testing.T) {
+	m := mustStructured(t, 5, 5, 5)
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPatches() != 8 {
+		t.Fatalf("patches = %d, want 8", d.NumPatches())
+	}
+	total := 0
+	for p := range d.Cells {
+		total += len(d.Cells[p])
+	}
+	if total != 125 {
+		t.Errorf("cells covered = %d, want 125", total)
+	}
+}
+
+func TestDecompositionLocalIndex(t *testing.T) {
+	m := mustStructured(t, 6, 6, 6)
+	d, err := m.BlockDecompose(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		p := d.CellPatch[c]
+		if d.Cells[p][d.Local[c]] != CellID(c) {
+			t.Fatalf("local index broken for cell %d", c)
+		}
+	}
+}
+
+func TestGhostCells(t *testing.T) {
+	m := mustStructured(t, 4, 4, 1)
+	d, err := m.BlockDecompose(2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two patches split at x=2; ghost layer of patch 0 is the x=2 column.
+	g := d.GhostCells(0)
+	if len(g) != 4 {
+		t.Fatalf("ghosts = %v, want 4 cells", g)
+	}
+	for _, c := range g {
+		i, _, _ := m.Coords(c)
+		if i != 2 {
+			t.Errorf("ghost cell %d at i=%d, want i=2", c, i)
+		}
+	}
+}
+
+func TestPlace(t *testing.T) {
+	m := mustStructured(t, 8, 8, 8)
+	d, err := m.BlockDecompose(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Place(4)
+	counts := map[int]int{}
+	for _, r := range d.Owner {
+		counts[r]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("ranks used = %d, want 4", len(counts))
+	}
+	for r, n := range counts {
+		if n != 16 {
+			t.Errorf("rank %d owns %d patches, want 16", r, n)
+		}
+	}
+}
+
+func TestNewDecompositionValidation(t *testing.T) {
+	m := mustStructured(t, 2, 2, 1)
+	if _, err := NewDecomposition(m, []PatchID{0, 0, 0}, 1); err == nil {
+		t.Error("short assignment should fail")
+	}
+	if _, err := NewDecomposition(m, []PatchID{0, 0, 0, 5}, 2); err == nil {
+		t.Error("out-of-range patch should fail")
+	}
+	if _, err := NewDecomposition(m, []PatchID{0, 0, 0, 0}, 2); err == nil {
+		t.Error("empty patch should fail")
+	}
+}
+
+func TestUnstructuredSingleTet(t *testing.T) {
+	verts := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1}}
+	m, err := NewUnstructuredFromTets(verts, [][4]int32{{0, 1, 2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 1 {
+		t.Fatalf("cells = %d", m.NumCells())
+	}
+	if math.Abs(m.CellVolume(0)-1.0/6) > 1e-12 {
+		t.Errorf("volume = %v, want 1/6", m.CellVolume(0))
+	}
+	// All 4 faces are boundary; normals point outward (away from centroid).
+	ctr := m.CellCenter(0)
+	for f := 0; f < 4; f++ {
+		face := m.Face(0, f)
+		if face.Neighbor != -1 {
+			t.Errorf("face %d should be boundary", f)
+		}
+		if math.Abs(face.Normal.Norm()-1) > 1e-12 {
+			t.Errorf("face %d normal not unit", f)
+		}
+		// Outward test: normal must have positive dot with (faceCenter-ctr);
+		// approximate face center via any face vertex minus centroid is not
+		// robust, use the fact that for a tet the outward normal satisfies
+		// n·(centroid - faceplane point) < 0. Take opposite vertex.
+		opp := verts[f]
+		if face.Normal.Dot(opp.Sub(ctr)) >= 0 {
+			t.Errorf("face %d normal not outward", f)
+		}
+	}
+}
+
+func TestUnstructuredTwoTetsShareFace(t *testing.T) {
+	// Two tets sharing face (1,2,3).
+	verts := []geom.Vec3{
+		{X: 0, Y: 0, Z: 0},
+		{X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1},
+		{X: 1, Y: 1, Z: 1},
+	}
+	m, err := NewUnstructuredFromTets(verts, [][4]int32{{0, 1, 2, 3}, {4, 1, 2, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := 0
+	for c := 0; c < 2; c++ {
+		for f := 0; f < 4; f++ {
+			if m.Face(CellID(c), f).Neighbor >= 0 {
+				shared++
+			}
+		}
+	}
+	if shared != 2 {
+		t.Errorf("shared face refs = %d, want 2 (one per side)", shared)
+	}
+}
+
+func TestUnstructuredOrientationRepair(t *testing.T) {
+	// Negative orientation tet must be repaired, keeping positive volume.
+	verts := []geom.Vec3{{X: 0, Y: 0, Z: 0}, {X: 1, Y: 0, Z: 0}, {X: 0, Y: 1, Z: 0}, {X: 0, Y: 0, Z: 1}}
+	m, err := NewUnstructuredFromTets(verts, [][4]int32{{0, 2, 1, 3}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CellVolume(0) <= 0 {
+		t.Errorf("volume = %v, want > 0", m.CellVolume(0))
+	}
+}
+
+func TestUnstructuredDegenerateRejected(t *testing.T) {
+	verts := []geom.Vec3{{}, {X: 1}, {X: 2}, {X: 3}}
+	if _, err := NewUnstructuredFromTets(verts, [][4]int32{{0, 1, 2, 3}}, nil); err == nil {
+		t.Error("degenerate (collinear) tet should be rejected")
+	}
+}
+
+func TestUnstructuredMaterials(t *testing.T) {
+	verts := []geom.Vec3{{}, {X: 1}, {Y: 1}, {Z: 1}}
+	m, err := NewUnstructuredFromTets(verts, [][4]int32{{0, 1, 2, 3}}, []int32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Material(0) != 7 {
+		t.Errorf("material = %d, want 7", m.Material(0))
+	}
+}

@@ -1,0 +1,199 @@
+package mesh
+
+import (
+	"fmt"
+
+	"jsweep/internal/geom"
+)
+
+// Structured3D is a regular NX×NY×NZ hexahedral grid with uniform spacing.
+// Cell (i,j,k) has id i + NX*(j + NY*k). Faces are emitted in the fixed
+// order -x, +x, -y, +y, -z, +z, which the structured sweep kernels rely on.
+type Structured3D struct {
+	NX, NY, NZ int
+	// Origin is the lower corner of the domain; DX, DY, DZ the cell sizes.
+	Origin     geom.Vec3
+	DX, DY, DZ float64
+
+	// materials holds a zone id per cell; nil means material 0 everywhere.
+	materials []int32
+}
+
+// Face ordering constants for Structured3D.
+const (
+	FaceXLo = 0
+	FaceXHi = 1
+	FaceYLo = 2
+	FaceYHi = 3
+	FaceZLo = 4
+	FaceZHi = 5
+)
+
+// NewStructured3D builds a structured grid over [origin, origin+extent] with
+// nx×ny×nz cells.
+func NewStructured3D(nx, ny, nz int, origin, extent geom.Vec3) (*Structured3D, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("mesh: structured dims must be >= 1 (got %d,%d,%d)", nx, ny, nz)
+	}
+	if extent.X <= 0 || extent.Y <= 0 || extent.Z <= 0 {
+		return nil, fmt.Errorf("mesh: structured extent must be positive (got %+v)", extent)
+	}
+	return &Structured3D{
+		NX: nx, NY: ny, NZ: nz,
+		Origin: origin,
+		DX:     extent.X / float64(nx),
+		DY:     extent.Y / float64(ny),
+		DZ:     extent.Z / float64(nz),
+	}, nil
+}
+
+// Index returns the cell id of (i,j,k). No bounds checking.
+func (m *Structured3D) Index(i, j, k int) CellID {
+	return CellID(i + m.NX*(j+m.NY*k))
+}
+
+// Coords returns the (i,j,k) coordinates of cell c.
+func (m *Structured3D) Coords(c CellID) (i, j, k int) {
+	i = int(c) % m.NX
+	j = (int(c) / m.NX) % m.NY
+	k = int(c) / (m.NX * m.NY)
+	return
+}
+
+// NumCells implements Mesh.
+func (m *Structured3D) NumCells() int { return m.NX * m.NY * m.NZ }
+
+// CellCenter implements Mesh.
+func (m *Structured3D) CellCenter(c CellID) geom.Vec3 {
+	i, j, k := m.Coords(c)
+	return geom.Vec3{
+		X: m.Origin.X + (float64(i)+0.5)*m.DX,
+		Y: m.Origin.Y + (float64(j)+0.5)*m.DY,
+		Z: m.Origin.Z + (float64(k)+0.5)*m.DZ,
+	}
+}
+
+// CellVolume implements Mesh.
+func (m *Structured3D) CellVolume(CellID) float64 { return m.DX * m.DY * m.DZ }
+
+// NumFaces implements Mesh. Structured cells always have 6 faces.
+func (m *Structured3D) NumFaces(CellID) int { return 6 }
+
+// Face implements Mesh, with the fixed ordering -x,+x,-y,+y,-z,+z.
+func (m *Structured3D) Face(c CellID, f int) Face {
+	i, j, k := m.Coords(c)
+	switch f {
+	case FaceXLo:
+		nb := CellID(-1)
+		if i > 0 {
+			nb = m.Index(i-1, j, k)
+		}
+		return Face{Neighbor: nb, Normal: geom.Vec3{X: -1}, Area: m.DY * m.DZ}
+	case FaceXHi:
+		nb := CellID(-1)
+		if i < m.NX-1 {
+			nb = m.Index(i+1, j, k)
+		}
+		return Face{Neighbor: nb, Normal: geom.Vec3{X: 1}, Area: m.DY * m.DZ}
+	case FaceYLo:
+		nb := CellID(-1)
+		if j > 0 {
+			nb = m.Index(i, j-1, k)
+		}
+		return Face{Neighbor: nb, Normal: geom.Vec3{Y: -1}, Area: m.DX * m.DZ}
+	case FaceYHi:
+		nb := CellID(-1)
+		if j < m.NY-1 {
+			nb = m.Index(i, j+1, k)
+		}
+		return Face{Neighbor: nb, Normal: geom.Vec3{Y: 1}, Area: m.DX * m.DZ}
+	case FaceZLo:
+		nb := CellID(-1)
+		if k > 0 {
+			nb = m.Index(i, j, k-1)
+		}
+		return Face{Neighbor: nb, Normal: geom.Vec3{Z: -1}, Area: m.DX * m.DY}
+	case FaceZHi:
+		nb := CellID(-1)
+		if k < m.NZ-1 {
+			nb = m.Index(i, j, k+1)
+		}
+		return Face{Neighbor: nb, Normal: geom.Vec3{Z: 1}, Area: m.DX * m.DY}
+	}
+	panic(fmt.Sprintf("mesh: structured face index %d out of range [0,6)", f))
+}
+
+// FacePoint returns a point on the plane of face f of cell c (used by ray
+// tracers to intersect faces).
+func (m *Structured3D) FacePoint(c CellID, f int) geom.Vec3 {
+	i, j, k := m.Coords(c)
+	lo := geom.Vec3{
+		X: m.Origin.X + float64(i)*m.DX,
+		Y: m.Origin.Y + float64(j)*m.DY,
+		Z: m.Origin.Z + float64(k)*m.DZ,
+	}
+	switch f {
+	case FaceXLo:
+		return lo
+	case FaceXHi:
+		return geom.Vec3{X: lo.X + m.DX, Y: lo.Y, Z: lo.Z}
+	case FaceYLo:
+		return lo
+	case FaceYHi:
+		return geom.Vec3{X: lo.X, Y: lo.Y + m.DY, Z: lo.Z}
+	case FaceZLo:
+		return lo
+	case FaceZHi:
+		return geom.Vec3{X: lo.X, Y: lo.Y, Z: lo.Z + m.DZ}
+	}
+	panic("mesh: face index out of range")
+}
+
+// Material implements Mesh.
+func (m *Structured3D) Material(c CellID) int {
+	if m.materials == nil {
+		return 0
+	}
+	return int(m.materials[c])
+}
+
+// Structured implements Mesh.
+func (m *Structured3D) Structured() bool { return true }
+
+// SetMaterialFunc assigns a material zone to every cell from its centroid.
+func (m *Structured3D) SetMaterialFunc(zone func(center geom.Vec3) int) {
+	m.materials = make([]int32, m.NumCells())
+	for c := 0; c < m.NumCells(); c++ {
+		m.materials[c] = int32(zone(m.CellCenter(CellID(c))))
+	}
+}
+
+// BlockDecompose splits the grid into patches of size px×py×pz cells
+// (boundary patches may be smaller) and returns the decomposition with
+// patches ordered by block (bi, bj, bk) in x-fastest order. This is the
+// "patch size = 20×20×20" style decomposition used throughout the paper's
+// structured experiments.
+func (m *Structured3D) BlockDecompose(px, py, pz int) (*Decomposition, error) {
+	if px < 1 || py < 1 || pz < 1 {
+		return nil, fmt.Errorf("mesh: patch dims must be >= 1 (got %d,%d,%d)", px, py, pz)
+	}
+	bx := (m.NX + px - 1) / px
+	by := (m.NY + py - 1) / py
+	bz := (m.NZ + pz - 1) / pz
+	assign := make([]PatchID, m.NumCells())
+	for k := 0; k < m.NZ; k++ {
+		for j := 0; j < m.NY; j++ {
+			for i := 0; i < m.NX; i++ {
+				b := (i / px) + bx*((j/py)+by*(k/pz))
+				assign[m.Index(i, j, k)] = PatchID(b)
+			}
+		}
+	}
+	return NewDecomposition(m, assign, bx*by*bz)
+}
+
+// BlockDims returns the number of patch blocks per axis for patch size
+// (px,py,pz).
+func (m *Structured3D) BlockDims(px, py, pz int) (bx, by, bz int) {
+	return (m.NX + px - 1) / px, (m.NY + py - 1) / py, (m.NZ + pz - 1) / pz
+}

@@ -1,0 +1,171 @@
+package mesh
+
+import (
+	"fmt"
+
+	"jsweep/internal/geom"
+)
+
+// Unstructured is a tetrahedral mesh stored in a flat face-based layout:
+// every cell has exactly four triangular faces with precomputed outward
+// normals and areas, plus centroid, volume and material per cell. It is the
+// mesh family JSNT-U-style applications run on (paper §VI-B).
+type Unstructured struct {
+	verts []geom.Vec3
+	tets  [][4]int32
+
+	centers   []geom.Vec3
+	volumes   []float64
+	materials []int32
+
+	// faces is 4 entries per cell (cell-major).
+	faces []Face
+}
+
+// tetFaceVerts lists, for a tet (v0,v1,v2,v3), the vertex triples of its
+// four faces; face f is opposite vertex f.
+var tetFaceVerts = [4][3]int{
+	{1, 2, 3}, // opposite v0
+	{0, 3, 2}, // opposite v1
+	{0, 1, 3}, // opposite v2
+	{0, 2, 1}, // opposite v3
+}
+
+// NewUnstructuredFromTets builds an unstructured mesh from shared vertices
+// and tetrahedra (4 vertex indices each). Face adjacency is reconstructed by
+// matching vertex triples; a triple shared by more than two tets is an
+// error. materials may be nil (all cells zone 0) or one zone id per tet.
+func NewUnstructuredFromTets(verts []geom.Vec3, tets [][4]int32, materials []int32) (*Unstructured, error) {
+	if len(tets) == 0 {
+		return nil, fmt.Errorf("mesh: no tetrahedra")
+	}
+	if materials != nil && len(materials) != len(tets) {
+		return nil, fmt.Errorf("mesh: %d materials for %d tets", len(materials), len(tets))
+	}
+	m := &Unstructured{
+		verts:     verts,
+		tets:      tets,
+		centers:   make([]geom.Vec3, len(tets)),
+		volumes:   make([]float64, len(tets)),
+		materials: materials,
+		faces:     make([]Face, 4*len(tets)),
+	}
+
+	type faceRef struct {
+		cell CellID
+		face int8
+	}
+	adj := make(map[[3]int32]faceRef, 2*len(tets))
+
+	for c, t := range tets {
+		a, b, cc, d := verts[t[0]], verts[t[1]], verts[t[2]], verts[t[3]]
+		vol := geom.TetSignedVolume(a, b, cc, d)
+		if vol < 0 {
+			// Repair orientation so faces point outward consistently.
+			t[2], t[3] = t[3], t[2]
+			m.tets[c] = t
+			a, b, cc, d = verts[t[0]], verts[t[1]], verts[t[2]], verts[t[3]]
+			vol = -vol
+		}
+		if vol == 0 {
+			return nil, fmt.Errorf("mesh: tet %d is degenerate (zero volume)", c)
+		}
+		m.volumes[c] = vol
+		m.centers[c] = geom.TetCentroid(a, b, cc, d)
+
+		for f := 0; f < 4; f++ {
+			fv := tetFaceVerts[f]
+			p0, p1, p2 := verts[t[fv[0]]], verts[t[fv[1]]], verts[t[fv[2]]]
+			n := geom.TriangleNormal(p0, p1, p2)
+			// Ensure outward: must point away from the opposite vertex.
+			opp := verts[t[f]]
+			if n.Dot(opp.Sub(p0)) > 0 {
+				n = n.Scale(-1)
+			}
+			m.faces[4*c+f] = Face{
+				Neighbor: -1,
+				Normal:   n,
+				Area:     geom.TriangleArea(p0, p1, p2),
+			}
+			key := sortedTri(t[fv[0]], t[fv[1]], t[fv[2]])
+			if prev, ok := adj[key]; ok {
+				// Stitch the two sides together.
+				m.faces[4*c+f].Neighbor = prev.cell
+				m.faces[4*int(prev.cell)+int(prev.face)].Neighbor = CellID(c)
+				delete(adj, key)
+			} else {
+				adj[key] = faceRef{cell: CellID(c), face: int8(f)}
+			}
+		}
+	}
+	return m, nil
+}
+
+func sortedTri(a, b, c int32) [3]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b, c = c, b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return [3]int32{a, b, c}
+}
+
+// NumCells implements Mesh.
+func (m *Unstructured) NumCells() int { return len(m.tets) }
+
+// CellCenter implements Mesh.
+func (m *Unstructured) CellCenter(c CellID) geom.Vec3 { return m.centers[c] }
+
+// CellVolume implements Mesh.
+func (m *Unstructured) CellVolume(c CellID) float64 { return m.volumes[c] }
+
+// NumFaces implements Mesh. Tets always have 4 faces.
+func (m *Unstructured) NumFaces(CellID) int { return 4 }
+
+// Face implements Mesh.
+func (m *Unstructured) Face(c CellID, i int) Face { return m.faces[4*int(c)+i] }
+
+// FacePoint returns a vertex of face i of cell c (a point on the face
+// plane, used by ray tracers).
+func (m *Unstructured) FacePoint(c CellID, i int) geom.Vec3 {
+	t := m.tets[c]
+	return m.verts[t[tetFaceVerts[i][0]]]
+}
+
+// Material implements Mesh.
+func (m *Unstructured) Material(c CellID) int {
+	if m.materials == nil {
+		return 0
+	}
+	return int(m.materials[c])
+}
+
+// Structured implements Mesh.
+func (m *Unstructured) Structured() bool { return false }
+
+// Verts exposes the vertex array (read-only use).
+func (m *Unstructured) Verts() []geom.Vec3 { return m.verts }
+
+// Tets exposes the tetrahedron connectivity (read-only use).
+func (m *Unstructured) Tets() [][4]int32 { return m.tets }
+
+// SetMaterialFunc assigns a material zone to every cell from its centroid.
+func (m *Unstructured) SetMaterialFunc(zone func(center geom.Vec3) int) {
+	m.materials = make([]int32, len(m.tets))
+	for c := range m.tets {
+		m.materials[c] = int32(zone(m.centers[c]))
+	}
+}
+
+// TotalVolume returns the sum of all cell volumes.
+func (m *Unstructured) TotalVolume() float64 {
+	var v float64
+	for _, x := range m.volumes {
+		v += x
+	}
+	return v
+}

@@ -1,0 +1,228 @@
+// Package meshgen generates the synthetic meshes used throughout the
+// evaluation: tetrahedralized boxes, balls ("sphere constructed with
+// tetrahedrons", paper Fig. 11c) and a reactor-core-like cylinder with
+// annular material rings (paper Fig. 11b). Real JSNT meshes are
+// proprietary; these generators produce meshes with the same topological
+// character (irregular tet adjacency, curved boundaries), which is what
+// drives sweep behaviour.
+package meshgen
+
+import (
+	"fmt"
+	"math"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+)
+
+// kuhnTets lists the 6 tetrahedra of the Kuhn (Freudenthal) subdivision of
+// a unit cube with vertices indexed by bitmask b = x | y<<1 | z<<2. Each tet
+// walks from corner 0 to corner 7 adding one axis at a time; this
+// subdivision is conforming across neighbouring cubes because shared faces
+// get the same diagonal from both sides.
+var kuhnTets = [6][4]int{
+	{0, 1, 3, 7}, // +x +y +z
+	{0, 1, 5, 7}, // +x +z +y
+	{0, 2, 3, 7}, // +y +x +z
+	{0, 2, 6, 7}, // +y +z +x
+	{0, 4, 5, 7}, // +z +x +y
+	{0, 4, 6, 7}, // +z +y +x
+}
+
+// boxTetLattice produces a conforming tet mesh over the cells of an
+// nx×ny×nz lattice with the given cell predicate (nil keeps all). Vertex
+// sharing is exact (vertices indexed on the lattice nodes).
+func boxTetLattice(nx, ny, nz int, origin geom.Vec3, dx, dy, dz float64, keep func(i, j, k int) bool) ([]geom.Vec3, [][4]int32) {
+	nvx, nvy := nx+1, ny+1
+	vid := func(i, j, k int) int32 { return int32(i + nvx*(j+nvy*k)) }
+	verts := make([]geom.Vec3, (nx+1)*(ny+1)*(nz+1))
+	for k := 0; k <= nz; k++ {
+		for j := 0; j <= ny; j++ {
+			for i := 0; i <= nx; i++ {
+				verts[vid(i, j, k)] = geom.Vec3{
+					X: origin.X + float64(i)*dx,
+					Y: origin.Y + float64(j)*dy,
+					Z: origin.Z + float64(k)*dz,
+				}
+			}
+		}
+	}
+	var tets [][4]int32
+	corner := func(i, j, k, b int) int32 {
+		return vid(i+(b&1), j+((b>>1)&1), k+((b>>2)&1))
+	}
+	for k := 0; k < nz; k++ {
+		for j := 0; j < ny; j++ {
+			for i := 0; i < nx; i++ {
+				if keep != nil && !keep(i, j, k) {
+					continue
+				}
+				for _, t := range kuhnTets {
+					tets = append(tets, [4]int32{
+						corner(i, j, k, t[0]),
+						corner(i, j, k, t[1]),
+						corner(i, j, k, t[2]),
+						corner(i, j, k, t[3]),
+					})
+				}
+			}
+		}
+	}
+	return compactVerts(verts, tets)
+}
+
+// compactVerts drops unreferenced vertices and renumbers.
+func compactVerts(verts []geom.Vec3, tets [][4]int32) ([]geom.Vec3, [][4]int32) {
+	remap := make([]int32, len(verts))
+	for i := range remap {
+		remap[i] = -1
+	}
+	var out []geom.Vec3
+	for ti := range tets {
+		for vi := 0; vi < 4; vi++ {
+			v := tets[ti][vi]
+			if remap[v] < 0 {
+				remap[v] = int32(len(out))
+				out = append(out, verts[v])
+			}
+			tets[ti][vi] = remap[v]
+		}
+	}
+	return out, tets
+}
+
+// Box returns a conforming tetrahedral mesh of the box [origin,
+// origin+extent] with nx×ny×nz lattice cells (6 tets per cell).
+func Box(nx, ny, nz int, origin, extent geom.Vec3) (*mesh.Unstructured, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("meshgen: box dims must be >= 1 (got %d,%d,%d)", nx, ny, nz)
+	}
+	verts, tets := boxTetLattice(nx, ny, nz, origin, extent.X/float64(nx), extent.Y/float64(ny), extent.Z/float64(nz), nil)
+	return mesh.NewUnstructuredFromTets(verts, tets, nil)
+}
+
+// Ball returns a tetrahedral mesh approximating a ball of the given radius
+// centred at the origin. n is the lattice resolution across the diameter;
+// a lattice cell is kept when its centre lies inside the sphere. The result
+// has ≈ 6·(π/6)·n³ ≈ π/1·n³... roughly 3.1·n³ tets.
+func Ball(n int, radius float64) (*mesh.Unstructured, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("meshgen: ball resolution must be >= 2 (got %d)", n)
+	}
+	d := 2 * radius / float64(n)
+	origin := geom.Vec3{X: -radius, Y: -radius, Z: -radius}
+	keep := func(i, j, k int) bool {
+		c := geom.Vec3{
+			X: origin.X + (float64(i)+0.5)*d,
+			Y: origin.Y + (float64(j)+0.5)*d,
+			Z: origin.Z + (float64(k)+0.5)*d,
+		}
+		return c.Norm() <= radius
+	}
+	verts, tets := boxTetLattice(n, n, n, origin, d, d, d, keep)
+	if len(tets) == 0 {
+		return nil, fmt.Errorf("meshgen: ball of resolution %d produced no cells", n)
+	}
+	return mesh.NewUnstructuredFromTets(verts, tets, nil)
+}
+
+// BallWithCells picks the lattice resolution so the ball has at least
+// targetCells tetrahedra (≈ within one lattice step above it).
+func BallWithCells(targetCells int, radius float64) (*mesh.Unstructured, error) {
+	if targetCells < 24 {
+		targetCells = 24
+	}
+	// cells ≈ 6 * (π/6) n³ = π n³  ⇒  n ≈ (target/π)^(1/3)
+	n := int(math.Ceil(math.Cbrt(float64(targetCells) / math.Pi)))
+	if n < 2 {
+		n = 2
+	}
+	for {
+		m, err := Ball(n, radius)
+		if err != nil {
+			return nil, err
+		}
+		if m.NumCells() >= targetCells {
+			return m, nil
+		}
+		n++
+	}
+}
+
+// ReactorMaterial zones produced by Reactor.
+const (
+	ReactorCore      = 0 // inner fuel region
+	ReactorRing      = 1 // annular absorber/reflector ring
+	ReactorVessel    = 2 // outer vessel
+	ReactorModerator = 3 // lattice moderator channels inside the core
+)
+
+// Reactor returns a reactor-core-like cylinder: radius R, height H, with an
+// inner fuel core (radius 0.55R) carrying a lattice of moderator channels,
+// an absorber ring (0.55R–0.8R), and an outer vessel. n is the lattice
+// resolution across the diameter.
+func Reactor(n int, radius, height float64) (*mesh.Unstructured, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("meshgen: reactor resolution must be >= 4 (got %d)", n)
+	}
+	d := 2 * radius / float64(n)
+	nz := int(math.Max(2, math.Round(height/d)))
+	dz := height / float64(nz)
+	origin := geom.Vec3{X: -radius, Y: -radius, Z: 0}
+	keep := func(i, j, k int) bool {
+		cx := origin.X + (float64(i)+0.5)*d
+		cy := origin.Y + (float64(j)+0.5)*d
+		return math.Hypot(cx, cy) <= radius
+	}
+	verts, tets := boxTetLattice(n, n, nz, origin, d, d, dz, keep)
+	if len(tets) == 0 {
+		return nil, fmt.Errorf("meshgen: reactor of resolution %d produced no cells", n)
+	}
+	m, err := mesh.NewUnstructuredFromTets(verts, tets, nil)
+	if err != nil {
+		return nil, err
+	}
+	pitch := radius / 4 // assembly lattice pitch inside the core
+	m.SetMaterialFunc(func(c geom.Vec3) int {
+		r := math.Hypot(c.X, c.Y)
+		switch {
+		case r <= 0.55*radius:
+			// Checkerboard assembly lattice: moderator channels between
+			// fuel assemblies.
+			ix := int(math.Floor(c.X/pitch + 64))
+			iy := int(math.Floor(c.Y/pitch + 64))
+			if (ix+iy)%2 == 0 {
+				return ReactorCore
+			}
+			return ReactorModerator
+		case r <= 0.8*radius:
+			return ReactorRing
+		default:
+			return ReactorVessel
+		}
+	})
+	return m, nil
+}
+
+// ReactorWithCells picks the resolution so the reactor mesh has at least
+// targetCells tetrahedra.
+func ReactorWithCells(targetCells int, radius, height float64) (*mesh.Unstructured, error) {
+	if targetCells < 24 {
+		targetCells = 24
+	}
+	// cells ≈ 6 · (π/4) n² · nz, nz ≈ n·height/(2R)
+	n := int(math.Ceil(math.Cbrt(float64(targetCells) / (6 * math.Pi / 4) * (2 * radius / height))))
+	if n < 4 {
+		n = 4
+	}
+	for {
+		m, err := Reactor(n, radius, height)
+		if err != nil {
+			return nil, err
+		}
+		if m.NumCells() >= targetCells {
+			return m, nil
+		}
+		n++
+	}
+}

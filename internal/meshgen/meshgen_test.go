@@ -1,0 +1,180 @@
+package meshgen
+
+import (
+	"math"
+	"testing"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+)
+
+func TestBoxVolume(t *testing.T) {
+	m, err := Box(4, 3, 2, geom.Vec3{}, geom.Vec3{X: 4, Y: 3, Z: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 4*3*2*6 {
+		t.Fatalf("cells = %d, want %d", m.NumCells(), 4*3*2*6)
+	}
+	// Tets must exactly tile the box volume.
+	if v := m.TotalVolume(); math.Abs(v-24) > 1e-9 {
+		t.Errorf("total volume = %v, want 24", v)
+	}
+}
+
+// Conformity: in a watertight tet tiling of a convex body, every interior
+// face is shared by exactly two tets, and the per-cell face-area-weighted
+// normals sum to ~0 (closed surface).
+func TestBoxConforming(t *testing.T) {
+	m, err := Box(3, 3, 3, geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interior, boundary := 0, 0
+	for c := 0; c < m.NumCells(); c++ {
+		var sum geom.Vec3
+		for f := 0; f < 4; f++ {
+			face := m.Face(mesh.CellID(c), f)
+			sum = sum.Add(face.Normal.Scale(face.Area))
+			if face.Neighbor >= 0 {
+				interior++
+			} else {
+				boundary++
+			}
+		}
+		if sum.Norm() > 1e-9 {
+			t.Fatalf("cell %d: closed-surface normal sum = %v", c, sum.Norm())
+		}
+	}
+	// Boundary faces of the cube: each of the 6 sides is 3x3 squares × 2
+	// triangles = 18, total 108.
+	if boundary != 108 {
+		t.Errorf("boundary faces = %d, want 108", boundary)
+	}
+	if interior%2 != 0 {
+		t.Errorf("interior face refs = %d, must be even", interior)
+	}
+}
+
+func TestBoxFaceReciprocity(t *testing.T) {
+	m, err := Box(2, 2, 2, geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < m.NumCells(); c++ {
+		for f := 0; f < 4; f++ {
+			face := m.Face(mesh.CellID(c), f)
+			if face.Neighbor < 0 {
+				continue
+			}
+			back := false
+			for g := 0; g < 4; g++ {
+				if m.Face(face.Neighbor, g).Neighbor == mesh.CellID(c) {
+					back = true
+				}
+			}
+			if !back {
+				t.Fatalf("cell %d face %d -> %d not reciprocated", c, f, face.Neighbor)
+			}
+		}
+	}
+}
+
+func TestBallVolumeApproximatesSphere(t *testing.T) {
+	const r = 1.0
+	m, err := Ball(16, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * math.Pi / 3 * r * r * r
+	got := m.TotalVolume()
+	// Voxelized ball: volume within ~15% at n=16.
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("ball volume = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestBallCellsInsideSphere(t *testing.T) {
+	const r = 2.0
+	m, err := Ball(10, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every tet centroid must lie within the sphere radius plus one lattice
+	// cell diagonal.
+	slack := 2 * r / 10 * math.Sqrt(3)
+	for c := 0; c < m.NumCells(); c++ {
+		if d := m.CellCenter(mesh.CellID(c)).Norm(); d > r+slack {
+			t.Fatalf("cell %d centroid at %v > r+slack", c, d)
+		}
+	}
+}
+
+func TestBallWithCells(t *testing.T) {
+	m, err := BallWithCells(5000, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() < 5000 {
+		t.Errorf("cells = %d, want >= 5000", m.NumCells())
+	}
+	if m.NumCells() > 20000 {
+		t.Errorf("cells = %d, way above target 5000", m.NumCells())
+	}
+}
+
+func TestReactorMaterials(t *testing.T) {
+	m, err := Reactor(16, 1.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for c := 0; c < m.NumCells(); c++ {
+		seen[m.Material(mesh.CellID(c))] = true
+	}
+	for _, zone := range []int{ReactorCore, ReactorRing, ReactorVessel, ReactorModerator} {
+		if !seen[zone] {
+			t.Errorf("reactor mesh missing material zone %d", zone)
+		}
+	}
+}
+
+func TestReactorShape(t *testing.T) {
+	const r, h = 1.0, 2.0
+	m, err := Reactor(12, r, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slack := 2 * r / 12 * math.Sqrt(2)
+	for c := 0; c < m.NumCells(); c++ {
+		ctr := m.CellCenter(mesh.CellID(c))
+		if math.Hypot(ctr.X, ctr.Y) > r+slack {
+			t.Fatalf("cell %d outside cylinder radius", c)
+		}
+		if ctr.Z < -1e-9 || ctr.Z > h+1e-9 {
+			t.Fatalf("cell %d outside cylinder height", c)
+		}
+	}
+}
+
+func TestReactorWithCells(t *testing.T) {
+	m, err := ReactorWithCells(3000, 1.0, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() < 3000 {
+		t.Errorf("cells = %d, want >= 3000", m.NumCells())
+	}
+}
+
+func TestGeneratorsRejectBadInput(t *testing.T) {
+	if _, err := Box(0, 1, 1, geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1}); err == nil {
+		t.Error("Box with zero dim should fail")
+	}
+	if _, err := Ball(1, 1); err == nil {
+		t.Error("Ball with n=1 should fail")
+	}
+	if _, err := Reactor(2, 1, 1); err == nil {
+		t.Error("Reactor with n=2 should fail")
+	}
+}

@@ -1,0 +1,234 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+)
+
+func TestMortonRoundTrip(t *testing.T) {
+	f := func(x, y, z uint32) bool {
+		x &= 0x1fffff
+		y &= 0x1fffff
+		z &= 0x1fffff
+		gx, gy, gz := MortonDecode3D(MortonEncode3D(x, y, z))
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMortonOrderIsZCurve(t *testing.T) {
+	// First eight codes of the unit cube follow the Z pattern.
+	want := [][3]uint32{
+		{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0},
+		{0, 0, 1}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1},
+	}
+	for code, w := range want {
+		x, y, z := MortonDecode3D(uint64(code))
+		if x != w[0] || y != w[1] || z != w[2] {
+			t.Errorf("code %d -> (%d,%d,%d), want %v", code, x, y, z, w)
+		}
+	}
+}
+
+func TestHilbertRoundTrip(t *testing.T) {
+	const order = 5
+	f := func(x, y, z uint32) bool {
+		x %= 1 << order
+		y %= 1 << order
+		z %= 1 << order
+		gx, gy, gz := HilbertDecode3D(HilbertEncode3D(x, y, z, order), order)
+		return gx == x && gy == y && gz == z
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHilbertIsBijective(t *testing.T) {
+	const order = 3
+	n := 1 << order
+	seen := make(map[uint64]bool)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				code := HilbertEncode3D(uint32(x), uint32(y), uint32(z), order)
+				if code >= uint64(n*n*n) {
+					t.Fatalf("code %d out of range", code)
+				}
+				if seen[code] {
+					t.Fatalf("duplicate code %d", code)
+				}
+				seen[code] = true
+			}
+		}
+	}
+}
+
+// The Hilbert curve visits lattice points in unit steps (no jumps): the key
+// locality property over Morton.
+func TestHilbertContinuity(t *testing.T) {
+	const order = 4
+	n := 1 << order
+	total := uint64(n * n * n)
+	px, py, pz := HilbertDecode3D(0, order)
+	for code := uint64(1); code < total; code++ {
+		x, y, z := HilbertDecode3D(code, order)
+		d := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+		if d != 1 {
+			t.Fatalf("step %d: Manhattan distance %d, want 1 (from %d,%d,%d to %d,%d,%d)",
+				code, d, px, py, pz, x, y, z)
+		}
+		px, py, pz = x, y, z
+	}
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestOrderBlocksIsPermutation(t *testing.T) {
+	for _, kind := range []SFCKind{Morton, Hilbert} {
+		ord := OrderBlocks(kind, 3, 4, 5)
+		if len(ord) != 60 {
+			t.Fatalf("%v: length %d, want 60", kind, len(ord))
+		}
+		seen := make([]bool, 60)
+		for _, id := range ord {
+			if id < 0 || id >= 60 || seen[id] {
+				t.Fatalf("%v: not a permutation", kind)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func ballMesh(t *testing.T) *mesh.Unstructured {
+	t.Helper()
+	m, err := meshgen.Ball(8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRCBBalanceAndCoverage(t *testing.T) {
+	m := ballMesh(t)
+	for _, np := range []int{2, 3, 7, 16} {
+		d, err := ByCount(m, np, RCB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.NumPatches() != np {
+			t.Fatalf("np=%d: patches = %d", np, d.NumPatches())
+		}
+		if b := d.Balance(); b > 1.05 {
+			t.Errorf("np=%d: RCB balance = %v, want <= 1.05", np, b)
+		}
+	}
+}
+
+func TestGreedyGraphBalanceAndCoverage(t *testing.T) {
+	m := ballMesh(t)
+	for _, np := range []int{2, 5, 12} {
+		d, err := ByCount(m, np, GreedyGraph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b := d.Balance(); b > 1.30 {
+			t.Errorf("np=%d: greedy balance = %v, want <= 1.30", np, b)
+		}
+	}
+}
+
+func TestByPatchSize(t *testing.T) {
+	m := ballMesh(t)
+	d, err := ByPatchSize(m, 100, RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (m.NumCells() + 99) / 100
+	if d.NumPatches() != want {
+		t.Errorf("patches = %d, want %d", d.NumPatches(), want)
+	}
+}
+
+func TestPartitionAssignmentProperty(t *testing.T) {
+	m := ballMesh(t)
+	f := func(seed uint8) bool {
+		np := 2 + int(seed)%14
+		d, err := ByCount(m, np, RCB)
+		if err != nil {
+			return false
+		}
+		// Every cell assigned exactly once, local indices consistent.
+		count := 0
+		for p := 0; p < d.NumPatches(); p++ {
+			count += len(d.Cells[p])
+		}
+		return count == m.NumCells()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Greedy graph growing should produce a lower edge cut than a scattered
+// (round-robin) partition of the same mesh.
+func TestGreedyCutBeatsRoundRobin(t *testing.T) {
+	m := ballMesh(t)
+	const np = 8
+	d, err := ByCount(m, np, GreedyGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := make([]mesh.PatchID, m.NumCells())
+	for c := range rr {
+		rr[c] = mesh.PatchID(c % np)
+	}
+	drr, err := mesh.NewDecomposition(m, rr, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.EdgeCut() >= drr.EdgeCut() {
+		t.Errorf("greedy cut %d >= round-robin cut %d", d.EdgeCut(), drr.EdgeCut())
+	}
+}
+
+func TestRCBOnStructuredMesh(t *testing.T) {
+	sm, err := mesh.NewStructured3D(8, 8, 8, geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ByCount(sm, 8, RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := d.Balance(); b != 1 {
+		t.Errorf("RCB on uniform grid: balance = %v, want exactly 1", b)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	m := ballMesh(t)
+	if _, err := ByCount(m, 0, RCB); err == nil {
+		t.Error("zero patches should fail")
+	}
+	if _, err := ByCount(m, m.NumCells()+1, RCB); err == nil {
+		t.Error("more patches than cells should fail")
+	}
+	if _, err := ByPatchSize(m, 0, RCB); err == nil {
+		t.Error("zero patch size should fail")
+	}
+	if _, err := ByCount(m, 4, Method(99)); err == nil {
+		t.Error("unknown method should fail")
+	}
+}

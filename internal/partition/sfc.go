@@ -1,0 +1,177 @@
+// Package partition provides the spatial domain-decomposition substrate:
+// Morton and Hilbert space-filling curves for structured block meshes, and
+// recursive coordinate bisection plus a greedy graph-growing partitioner
+// (METIS/Chaco stand-ins, paper §V-A) for unstructured meshes.
+package partition
+
+import "sort"
+
+// MortonEncode3D interleaves the low 21 bits of x, y, z into a 63-bit
+// Morton (Z-order) code: bit i of x lands at bit 3i.
+func MortonEncode3D(x, y, z uint32) uint64 {
+	return spread(x) | spread(y)<<1 | spread(z)<<2
+}
+
+// MortonDecode3D inverts MortonEncode3D.
+func MortonDecode3D(code uint64) (x, y, z uint32) {
+	return compact(code), compact(code >> 1), compact(code >> 2)
+}
+
+// spread distributes the low 21 bits of v so consecutive bits are 3 apart.
+func spread(v uint32) uint64 {
+	x := uint64(v) & 0x1fffff
+	x = (x | x<<32) & 0x1f00000000ffff
+	x = (x | x<<16) & 0x1f0000ff0000ff
+	x = (x | x<<8) & 0x100f00f00f00f00f
+	x = (x | x<<4) & 0x10c30c30c30c30c3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// compact is the inverse of spread.
+func compact(x uint64) uint32 {
+	x &= 0x1249249249249249
+	x = (x ^ x>>2) & 0x10c30c30c30c30c3
+	x = (x ^ x>>4) & 0x100f00f00f00f00f
+	x = (x ^ x>>8) & 0x1f0000ff0000ff
+	x = (x ^ x>>16) & 0x1f00000000ffff
+	x = (x ^ x>>32) & 0x1fffff
+	return uint32(x)
+}
+
+// HilbertEncode3D maps the point (x,y,z) on a 2^order lattice to its index
+// along the 3-D Hilbert curve of that order. Implementation follows the
+// classic Butz/Lawder transpose algorithm.
+func HilbertEncode3D(x, y, z uint32, order uint) uint64 {
+	X := [3]uint32{x, y, z}
+	// Inverse undo of excess work: Gray decode.
+	m := uint32(1) << (order - 1)
+	// Transform Cartesian coordinates into transposed Hilbert coordinates.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < 3; i++ {
+			if X[i]&q != 0 {
+				X[0] ^= p
+			} else {
+				t := (X[0] ^ X[i]) & p
+				X[0] ^= t
+				X[i] ^= t
+			}
+		}
+	}
+	for i := 1; i < 3; i++ {
+		X[i] ^= X[i-1]
+	}
+	t := uint32(0)
+	for q := m; q > 1; q >>= 1 {
+		if X[2]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < 3; i++ {
+		X[i] ^= t
+	}
+	// Interleave transposed coordinates into the final index: bit b of
+	// axis i contributes to bit 3b+(2-i).
+	var code uint64
+	for b := uint(0); b < order; b++ {
+		for i := 0; i < 3; i++ {
+			bit := (X[i] >> b) & 1
+			code |= uint64(bit) << (3*b + uint(2-i))
+		}
+	}
+	return code
+}
+
+// HilbertDecode3D inverts HilbertEncode3D.
+func HilbertDecode3D(code uint64, order uint) (x, y, z uint32) {
+	var X [3]uint32
+	for b := uint(0); b < order; b++ {
+		for i := 0; i < 3; i++ {
+			bit := uint32(code>>(3*b+uint(2-i))) & 1
+			X[i] |= bit << b
+		}
+	}
+	// Gray decode.
+	n := uint32(2) << (order - 1)
+	t := X[2] >> 1
+	for i := 2; i > 0; i-- {
+		X[i] ^= X[i-1]
+	}
+	X[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != n; q <<= 1 {
+		p := q - 1
+		for i := 2; i >= 0; i-- {
+			if X[i]&q != 0 {
+				X[0] ^= p
+			} else {
+				tt := (X[0] ^ X[i]) & p
+				X[0] ^= tt
+				X[i] ^= tt
+			}
+		}
+	}
+	return X[0], X[1], X[2]
+}
+
+// SFCKind selects a space-filling curve.
+type SFCKind int
+
+const (
+	// Morton is the Z-order curve.
+	Morton SFCKind = iota
+	// Hilbert is the Hilbert curve (better locality, no jumps).
+	Hilbert
+)
+
+func (k SFCKind) String() string {
+	if k == Hilbert {
+		return "hilbert"
+	}
+	return "morton"
+}
+
+type sfcEntry struct {
+	key uint64
+	id  int
+}
+
+// OrderBlocks returns a permutation of the bx×by×bz block lattice following
+// the chosen curve: result[r] is the block id (i + bx*(j + by*k)) at curve
+// rank r. Block decompositions placed in this order keep neighbouring
+// patches on the same process.
+func OrderBlocks(kind SFCKind, bx, by, bz int) []int {
+	n := bx * by * bz
+	entries := make([]sfcEntry, 0, n)
+	var order uint = 1
+	for (1 << order) < maxInt(bx, maxInt(by, bz)) {
+		order++
+	}
+	for k := 0; k < bz; k++ {
+		for j := 0; j < by; j++ {
+			for i := 0; i < bx; i++ {
+				var key uint64
+				if kind == Hilbert {
+					key = HilbertEncode3D(uint32(i), uint32(j), uint32(k), order)
+				} else {
+					key = MortonEncode3D(uint32(i), uint32(j), uint32(k))
+				}
+				entries = append(entries, sfcEntry{key: key, id: i + bx*(j+by*k)})
+			}
+		}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+	out := make([]int, n)
+	for r, e := range entries {
+		out[r] = e.id
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,313 @@
+package partition
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"jsweep/internal/mesh"
+)
+
+// Method selects an unstructured partitioning algorithm.
+type Method int
+
+const (
+	// RCB is recursive coordinate bisection on cell centroids: balanced,
+	// geometrically compact patches, patch ids in recursion order (spatially
+	// local).
+	RCB Method = iota
+	// GreedyGraph grows patches one at a time along the cell adjacency
+	// graph (Chaco/METIS-flavoured graph growing): contiguous patches with
+	// low edge cut.
+	GreedyGraph
+)
+
+func (m Method) String() string {
+	if m == GreedyGraph {
+		return "greedy-graph"
+	}
+	return "rcb"
+}
+
+// ByPatchSize decomposes an unstructured mesh into patches of roughly
+// patchSize cells using the given method. The number of patches is
+// ceil(numCells/patchSize).
+func ByPatchSize(m mesh.Mesh, patchSize int, method Method) (*mesh.Decomposition, error) {
+	if patchSize < 1 {
+		return nil, fmt.Errorf("partition: patch size must be >= 1 (got %d)", patchSize)
+	}
+	numPatches := (m.NumCells() + patchSize - 1) / patchSize
+	return ByCount(m, numPatches, method)
+}
+
+// ByCount decomposes a mesh into exactly numPatches patches.
+func ByCount(m mesh.Mesh, numPatches int, method Method) (*mesh.Decomposition, error) {
+	if numPatches < 1 {
+		return nil, fmt.Errorf("partition: need >= 1 patch (got %d)", numPatches)
+	}
+	if numPatches > m.NumCells() {
+		return nil, fmt.Errorf("partition: %d patches for %d cells", numPatches, m.NumCells())
+	}
+	var assign []mesh.PatchID
+	switch method {
+	case RCB:
+		assign = rcbAssign(m, numPatches)
+	case GreedyGraph:
+		assign = greedyAssign(m, numPatches)
+	default:
+		return nil, fmt.Errorf("partition: unknown method %d", method)
+	}
+	return mesh.NewDecomposition(m, assign, numPatches)
+}
+
+// rcbAssign recursively bisects the cell set along the longest axis of its
+// bounding box, splitting counts proportionally so any patch count (not
+// just powers of two) balances.
+func rcbAssign(m mesh.Mesh, numPatches int) []mesh.PatchID {
+	cells := make([]mesh.CellID, m.NumCells())
+	for i := range cells {
+		cells[i] = mesh.CellID(i)
+	}
+	assign := make([]mesh.PatchID, m.NumCells())
+	nextPatch := mesh.PatchID(0)
+	var rec func(set []mesh.CellID, parts int)
+	rec = func(set []mesh.CellID, parts int) {
+		if parts == 1 {
+			for _, c := range set {
+				assign[c] = nextPatch
+			}
+			nextPatch++
+			return
+		}
+		// Split parts as evenly as possible; cell counts proportional.
+		lparts := parts / 2
+		rparts := parts - lparts
+		// Pick the longest axis of this subset's bounding box.
+		bb := boundsOf(m, set)
+		axis := bb.LongestAxis()
+		sort.Slice(set, func(i, j int) bool {
+			return coord(m, set[i], axis) < coord(m, set[j], axis)
+		})
+		cut := len(set) * lparts / parts
+		rec(set[:cut], lparts)
+		rec(set[cut:], rparts)
+	}
+	rec(cells, numPatches)
+	return assign
+}
+
+func boundsOf(m mesh.Mesh, set []mesh.CellID) boundsBox {
+	bb := boundsBox{}
+	first := true
+	for _, c := range set {
+		p := m.CellCenter(c)
+		if first {
+			bb.min, bb.max = p, p
+			first = false
+			continue
+		}
+		if p.X < bb.min.X {
+			bb.min.X = p.X
+		}
+		if p.Y < bb.min.Y {
+			bb.min.Y = p.Y
+		}
+		if p.Z < bb.min.Z {
+			bb.min.Z = p.Z
+		}
+		if p.X > bb.max.X {
+			bb.max.X = p.X
+		}
+		if p.Y > bb.max.Y {
+			bb.max.Y = p.Y
+		}
+		if p.Z > bb.max.Z {
+			bb.max.Z = p.Z
+		}
+	}
+	return bb
+}
+
+type boundsBox struct {
+	min, max struct{ X, Y, Z float64 }
+}
+
+func (b boundsBox) LongestAxis() int {
+	ex := b.max.X - b.min.X
+	ey := b.max.Y - b.min.Y
+	ez := b.max.Z - b.min.Z
+	switch {
+	case ex >= ey && ex >= ez:
+		return 0
+	case ey >= ez:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func coord(m mesh.Mesh, c mesh.CellID, axis int) float64 {
+	p := m.CellCenter(c)
+	switch axis {
+	case 0:
+		return p.X
+	case 1:
+		return p.Y
+	default:
+		return p.Z
+	}
+}
+
+// greedyAssign grows patches along the adjacency graph: starting from a
+// boundary seed, each patch absorbs the frontier cell with the most
+// already-assigned neighbours (minimizing new cut edges), until its size
+// quota is met; the next seed is an unassigned cell adjacent to the grown
+// region (keeping patch ids spatially ordered).
+func greedyAssign(m mesh.Mesh, numPatches int) []mesh.PatchID {
+	n := m.NumCells()
+	assign := make([]mesh.PatchID, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	remaining := n
+	assigned := 0
+	seed := mesh.CellID(0) // deterministic first seed
+	var nextSeeds []mesh.CellID
+
+	for p := 0; p < numPatches; p++ {
+		quota := (n - assigned + (numPatches - p - 1)) / (numPatches - p)
+		// Find a seed: preferred from nextSeeds (frontier of previous
+		// patch), else first unassigned cell.
+		for assign[seed] != -1 {
+			if len(nextSeeds) > 0 {
+				seed = nextSeeds[len(nextSeeds)-1]
+				nextSeeds = nextSeeds[:len(nextSeeds)-1]
+				continue
+			}
+			// Linear scan fallback.
+			found := false
+			for c := 0; c < n; c++ {
+				if assign[c] == -1 {
+					seed = mesh.CellID(c)
+					found = true
+					break
+				}
+			}
+			if !found {
+				break
+			}
+		}
+		if assign[seed] != -1 {
+			break
+		}
+		// Grow with a max-heap keyed by #assigned-to-this-patch neighbours.
+		h := &cellHeap{}
+		heap.Init(h)
+		inHeap := make(map[mesh.CellID]bool)
+		heap.Push(h, cellPrio{cell: seed, prio: 0})
+		inHeap[seed] = true
+		size := 0
+		for size < quota {
+			if h.Len() == 0 {
+				// Disconnected frontier: restart growth from the next
+				// unassigned cell so the quota still fills.
+				restart := mesh.CellID(-1)
+				for c := 0; c < n; c++ {
+					if assign[c] == -1 {
+						restart = mesh.CellID(c)
+						break
+					}
+				}
+				if restart < 0 {
+					break
+				}
+				heap.Push(h, cellPrio{cell: restart, prio: 0})
+				inHeap[restart] = true
+			}
+			top := heap.Pop(h).(cellPrio)
+			c := top.cell
+			if assign[c] != -1 {
+				continue
+			}
+			assign[c] = mesh.PatchID(p)
+			size++
+			assigned++
+			nf := m.NumFaces(c)
+			for i := 0; i < nf; i++ {
+				f := m.Face(c, i)
+				if f.Neighbor < 0 {
+					continue
+				}
+				nb := f.Neighbor
+				if assign[nb] == -1 && !inHeap[nb] {
+					heap.Push(h, cellPrio{cell: nb, prio: gain(m, nb, assign, mesh.PatchID(p))})
+					inHeap[nb] = true
+				}
+			}
+		}
+		// Remaining heap entries are the frontier — candidate seeds for the
+		// next patch.
+		for h.Len() > 0 {
+			c := heap.Pop(h).(cellPrio).cell
+			if assign[c] == -1 {
+				nextSeeds = append(nextSeeds, c)
+			}
+		}
+		remaining -= size
+		_ = remaining
+	}
+	// Mop up any stragglers (disconnected components): attach to the
+	// neighbouring patch, or the last patch if isolated.
+	for c := 0; c < n; c++ {
+		if assign[c] != -1 {
+			continue
+		}
+		target := mesh.PatchID(numPatches - 1)
+		nf := m.NumFaces(mesh.CellID(c))
+		for i := 0; i < nf; i++ {
+			f := m.Face(mesh.CellID(c), i)
+			if f.Neighbor >= 0 && assign[f.Neighbor] != -1 {
+				target = assign[f.Neighbor]
+				break
+			}
+		}
+		assign[c] = target
+	}
+	return assign
+}
+
+func gain(m mesh.Mesh, c mesh.CellID, assign []mesh.PatchID, p mesh.PatchID) int {
+	g := 0
+	nf := m.NumFaces(c)
+	for i := 0; i < nf; i++ {
+		f := m.Face(c, i)
+		if f.Neighbor >= 0 && assign[f.Neighbor] == p {
+			g++
+		}
+	}
+	return g
+}
+
+type cellPrio struct {
+	cell mesh.CellID
+	prio int
+}
+
+type cellHeap []cellPrio
+
+func (h cellHeap) Len() int { return len(h) }
+func (h cellHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio // max-heap on gain
+	}
+	return h[i].cell < h[j].cell // deterministic tie-break
+}
+func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellPrio)) }
+func (h *cellHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

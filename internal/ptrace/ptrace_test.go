@@ -1,0 +1,227 @@
+package ptrace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/partition"
+)
+
+func grid(t *testing.T, n int) (*mesh.Structured3D, *mesh.Decomposition) {
+	t.Helper()
+	m, err := mesh.NewStructured3D(n, n, n, geom.Vec3{}, geom.Vec3{X: float64(n), Y: float64(n), Z: float64(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.BlockDecompose(n/2, n/2, n/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestStepStraightLine(t *testing.T) {
+	m, _ := grid(t, 4)
+	// Fly +x from the centre of cell (0,1,1): each cell is 1 unit wide.
+	p := Particle{
+		Cell:      m.Index(0, 1, 1),
+		Pos:       m.CellCenter(m.Index(0, 1, 1)),
+		Dir:       geom.Vec3{X: 1},
+		Remaining: 10,
+		Weight:    1,
+	}
+	flown, face := Step(m, &p)
+	if math.Abs(flown-0.5) > 1e-9 {
+		t.Errorf("first step flew %v, want 0.5", flown)
+	}
+	if face != mesh.FaceXHi {
+		t.Errorf("crossed face %d, want +x", face)
+	}
+}
+
+func TestStepDiesInCell(t *testing.T) {
+	m, _ := grid(t, 4)
+	p := Particle{
+		Cell:      m.Index(1, 1, 1),
+		Pos:       m.CellCenter(m.Index(1, 1, 1)),
+		Dir:       geom.Vec3{X: 1},
+		Remaining: 0.25,
+		Weight:    1,
+	}
+	flown, face := Step(m, &p)
+	if face != -1 || flown != 0.25 || p.Remaining != 0 {
+		t.Errorf("flown=%v face=%d remaining=%v", flown, face, p.Remaining)
+	}
+}
+
+// Conservation: Σ tally + leaked == Σ weight·path, exactly up to float
+// accumulation.
+func TestTraceConservation(t *testing.T) {
+	m, d := grid(t, 6)
+	parts := SourceParticles(m, m.Index(3, 3, 3), 100, 7.5)
+	res, err := TraceSequential(d, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tallySum float64
+	for _, v := range res.Tally {
+		tallySum += v
+	}
+	got := tallySum + res.Leaked
+	if math.Abs(got-res.TotalTracked)/res.TotalTracked > 1e-10 {
+		t.Errorf("conservation: tally %v + leaked %v != total %v", tallySum, res.Leaked, res.TotalTracked)
+	}
+	if res.Leaked <= 0 {
+		t.Error("paths of length 7.5 from the centre of a 6³ box must leak")
+	}
+}
+
+// A straight +x particle from the domain centre deposits exactly one cell
+// width in each cell it crosses.
+func TestTraceKnownPath(t *testing.T) {
+	m, d := grid(t, 4)
+	start := m.Index(0, 2, 2)
+	p := []Particle{{
+		ID: 0, Cell: start,
+		Pos:       geom.Vec3{X: 0.0, Y: 2.5, Z: 2.5},
+		Dir:       geom.Vec3{X: 1},
+		Remaining: 100,
+		Weight:    2,
+	}}
+	res, err := TraceSequential(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		c := m.Index(i, 2, 2)
+		if math.Abs(res.Tally[c]-2.0) > 1e-9 {
+			t.Errorf("cell x=%d tally = %v, want 2.0", i, res.Tally[c])
+		}
+	}
+	// 96 weighted units leak (100 − 4 crossed cells, × weight 2).
+	if math.Abs(res.Leaked-192) > 1e-9 {
+		t.Errorf("leaked = %v, want 192", res.Leaked)
+	}
+}
+
+// The parallel trace (Safra termination) matches the sequential engine.
+func TestTraceParallelMatchesSequential(t *testing.T) {
+	m, d := grid(t, 6)
+	parts := SourceParticles(m, m.Index(2, 3, 2), 200, 9.0)
+	want, err := TraceSequential(d, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range [][2]int{{1, 2}, {2, 2}, {4, 1}} {
+		got, err := Trace(d, parts, topo[0], topo[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Leaked-want.Leaked) > 1e-9*math.Max(1, want.Leaked) {
+			t.Errorf("%v: leaked %v != %v", topo, got.Leaked, want.Leaked)
+		}
+		for c := range want.Tally {
+			if math.Abs(got.Tally[c]-want.Tally[c]) > 1e-9*(1+want.Tally[c]) {
+				t.Fatalf("%v: cell %d tally %v != %v", topo, c, got.Tally[c], want.Tally[c])
+			}
+		}
+	}
+}
+
+// Unstructured meshes: conservation on a tet ball.
+func TestTraceUnstructuredBall(t *testing.T) {
+	m, err := meshgen.Ball(6, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := partition.ByCount(m, 6, partition.RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the cell nearest the origin.
+	best := mesh.CellID(0)
+	for c := 0; c < m.NumCells(); c++ {
+		if m.CellCenter(mesh.CellID(c)).Norm() < m.CellCenter(best).Norm() {
+			best = mesh.CellID(c)
+		}
+	}
+	parts := SourceParticles(m, best, 64, 10.0)
+	res, err := Trace(d, parts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tallySum float64
+	for _, v := range res.Tally {
+		tallySum += v
+	}
+	if math.Abs(tallySum+res.Leaked-res.TotalTracked)/res.TotalTracked > 1e-9 {
+		t.Errorf("conservation violated: %v + %v != %v", tallySum, res.Leaked, res.TotalTracked)
+	}
+	// Radius 3 ball, paths of 10: most of the path must leak.
+	if res.Leaked < 0.5*res.TotalTracked {
+		t.Errorf("leaked %v suspiciously small vs %v", res.Leaked, res.TotalTracked)
+	}
+}
+
+// Particle codec round-trip.
+func TestParticleCodec(t *testing.T) {
+	f := func(id, cell int32, px, py, pz, rem, wt float64) bool {
+		in := []Particle{{
+			ID: id, Cell: mesh.CellID(cell),
+			Pos:       geom.Vec3{X: px, Y: py, Z: pz},
+			Dir:       geom.Vec3{X: 1, Y: 0, Z: 0},
+			Remaining: rem, Weight: wt,
+		}}
+		out, err := decodeParticles(encodeParticles(in))
+		if err != nil || len(out) != 1 {
+			return false
+		}
+		a, b := in[0], out[0]
+		return a.ID == b.ID && a.Cell == b.Cell && a.Pos == b.Pos &&
+			a.Dir == b.Dir && eqNaN(a.Remaining, b.Remaining) && eqNaN(a.Weight, b.Weight)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func eqNaN(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func TestParticleCodecRejectsGarbage(t *testing.T) {
+	if _, err := decodeParticles([]byte{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := decodeParticles([]byte{1, 0, 0, 0, 9}); err == nil {
+		t.Error("truncated particle accepted")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	_, d := grid(t, 4)
+	if _, err := TraceSequential(d, []Particle{{Cell: -1}}); err == nil {
+		t.Error("invalid cell accepted")
+	}
+	if _, err := TraceSequential(d, []Particle{{Cell: 0, Remaining: -1}}); err == nil {
+		t.Error("negative path accepted")
+	}
+}
+
+func TestSourceParticlesDeterministicUnitDirs(t *testing.T) {
+	m, _ := grid(t, 4)
+	a := SourceParticles(m, 0, 50, 1)
+	b := SourceParticles(m, 0, 50, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("source particles not deterministic")
+		}
+		if math.Abs(a[i].Dir.Norm()-1) > 1e-12 {
+			t.Fatalf("particle %d direction not unit: %v", i, a[i].Dir.Norm())
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package quadrature provides discrete-ordinates (Sn) angular quadrature
+// sets. A quadrature set is a list of unit direction vectors Ω_m with
+// positive weights w_m that integrate functions over the unit sphere:
+// ∑ w_m f(Ω_m) ≈ ∫_{4π} f(Ω) dΩ.
+//
+// Level-symmetric sets are provided for even N up to 16; they are the sets
+// Sn transport codes such as TORT/JSNT use. An Sn set in 3-D has N(N+2)
+// directions, N(N+2)/8 per octant (so S2 has 8 angles, S4 has 24 — the
+// counts the JSweep paper quotes).
+package quadrature
+
+import (
+	"fmt"
+	"math"
+
+	"jsweep/internal/geom"
+)
+
+// Direction is a single discrete ordinate.
+type Direction struct {
+	// Omega is the unit direction vector (μ, η, ξ).
+	Omega geom.Vec3
+	// Weight is the quadrature weight. Weights of a set sum to 4π.
+	Weight float64
+	// Octant ∈ [0,8) encodes the sign pattern: bit0 = μ<0, bit1 = η<0,
+	// bit2 = ξ<0.
+	Octant int
+}
+
+// Set is a complete angular quadrature set.
+type Set struct {
+	// Order is the Sn order N (even, ≥ 2).
+	Order int
+	// Directions holds all N(N+2) ordinates, grouped by octant.
+	Directions []Direction
+}
+
+// NumAngles returns the number of discrete ordinates in the set.
+func (s *Set) NumAngles() int { return len(s.Directions) }
+
+// PerOctant returns the number of ordinates per octant.
+func (s *Set) PerOctant() int { return len(s.Directions) / 8 }
+
+// levelSymMu1 lists the first positive μ-level of the standard
+// level-symmetric (LQn) quadrature sets (Lewis & Miller, Table 4-1). The
+// remaining levels follow from the defining recurrence
+// μ_i² = μ_1² + (i-1)·Δ with Δ = 2(1-3μ_1²)/(N-2), which guarantees that
+// any ordinate with level indices i+j+k = N/2+2 is exactly a unit vector.
+var levelSymMu1 = map[int]float64{
+	2:  0.5773502691896257, // 1/√3
+	4:  0.3500211745815406,
+	6:  0.2666354015167047,
+	8:  0.2182178902359924,
+	12: 0.1672126847969515,
+	16: 0.1389568189701362,
+}
+
+// levelSymLevels computes the positive μ-levels for order N from μ1.
+func levelSymLevels(order int) []float64 {
+	mu1 := levelSymMu1[order]
+	n2 := order / 2
+	mus := make([]float64, n2)
+	mus[0] = mu1
+	if order > 2 {
+		delta := 2 * (1 - 3*mu1*mu1) / float64(order-2)
+		for i := 1; i < n2; i++ {
+			mus[i] = math.Sqrt(mu1*mu1 + float64(i)*delta)
+		}
+	}
+	return mus
+}
+
+// levelSymPointWeights lists the distinct point weights of the LQn sets,
+// indexed by the weight class of each ordinate (Lewis & Miller Table 4-2),
+// normalized so one octant sums to 1 (i.e. the full sphere to 8). The
+// weight class assignment for each (i,j,k) triple follows the standard
+// symmetry tables below.
+var levelSymPointWeights = map[int][]float64{
+	2:  {1.0},
+	4:  {1.0 / 3.0},
+	6:  {0.1761263, 0.1572071},
+	8:  {0.1209877, 0.0907407, 0.0925926},
+	12: {0.0707626, 0.0558811, 0.0373377, 0.0502819, 0.0258513},
+	16: {0.0489872, 0.0413296, 0.0212326, 0.0256207, 0.0360486, 0.0144589, 0.0344958, 0.0085179},
+}
+
+// levelSymWeightClass maps, for each order, the ordinate position triple
+// (i,j,k) (1-based level indices with i+j+k = N/2+2) to a weight class.
+// Positions are canonicalized by sorting the triple descending, since the
+// class is symmetric under permutation.
+var levelSymWeightClass = map[int]map[[3]int]int{
+	2:  {{1, 1, 1}: 0},
+	4:  {{2, 1, 1}: 0},
+	6:  {{3, 1, 1}: 0, {2, 2, 1}: 1},
+	8:  {{4, 1, 1}: 0, {3, 2, 1}: 1, {2, 2, 2}: 2},
+	12: {{6, 1, 1}: 0, {5, 2, 1}: 1, {4, 3, 1}: 2, {4, 2, 2}: 3, {3, 3, 2}: 4},
+	16: {{8, 1, 1}: 0, {7, 2, 1}: 1, {6, 3, 1}: 2, {6, 2, 2}: 3, {5, 4, 1}: 4, {5, 3, 2}: 5, {4, 4, 2}: 6, {4, 3, 3}: 7},
+}
+
+// NewLevelSymmetric builds the LQn level-symmetric quadrature set of the
+// given even order. Supported orders: 2, 4, 6, 8, 12, 16.
+func NewLevelSymmetric(order int) (*Set, error) {
+	if _, ok := levelSymMu1[order]; !ok {
+		return nil, fmt.Errorf("quadrature: unsupported level-symmetric order S%d (supported: 2,4,6,8,12,16)", order)
+	}
+	mus := levelSymLevels(order)
+	classes := levelSymWeightClass[order]
+	weights := levelSymPointWeights[order]
+
+	n2 := order / 2
+	var octant []Direction
+	// Enumerate 1-based level indices i+j+k = n2+2 (each in [1, n2]).
+	for i := 1; i <= n2; i++ {
+		for j := 1; j <= n2; j++ {
+			k := n2 + 2 - i - j
+			if k < 1 || k > n2 {
+				continue
+			}
+			key := sortedTripleDesc(i, j, k)
+			cls, ok := classes[key]
+			if !ok {
+				return nil, fmt.Errorf("quadrature: S%d missing weight class for %v", order, key)
+			}
+			octant = append(octant, Direction{
+				Omega:  geom.Vec3{X: mus[i-1], Y: mus[j-1], Z: mus[k-1]},
+				Weight: weights[cls],
+			})
+		}
+	}
+
+	// Normalize one octant to π/2 so the sphere integrates to 4π.
+	var sum float64
+	for _, d := range octant {
+		sum += d.Weight
+	}
+	scale := (math.Pi / 2) / sum
+	for i := range octant {
+		octant[i].Weight *= scale
+	}
+
+	s := &Set{Order: order}
+	for oct := 0; oct < 8; oct++ {
+		sx, sy, sz := 1.0, 1.0, 1.0
+		if oct&1 != 0 {
+			sx = -1
+		}
+		if oct&2 != 0 {
+			sy = -1
+		}
+		if oct&4 != 0 {
+			sz = -1
+		}
+		for _, d := range octant {
+			s.Directions = append(s.Directions, Direction{
+				Omega:  geom.Vec3{X: sx * d.Omega.X, Y: sy * d.Omega.Y, Z: sz * d.Omega.Z},
+				Weight: d.Weight,
+				Octant: oct,
+			})
+		}
+	}
+	return s, nil
+}
+
+func sortedTripleDesc(a, b, c int) [3]int {
+	if a < b {
+		a, b = b, a
+	}
+	if b < c {
+		b, c = c, b
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return [3]int{a, b, c}
+}
+
+// NewProductGaussChebyshev builds a product quadrature with nPolar
+// Gauss-Legendre polar levels (per hemisphere) and nAzim Chebyshev
+// (equally-spaced) azimuthal angles per octant. It supports arbitrary sizes
+// and is used when an angle count outside the LQn tables is requested.
+func NewProductGaussChebyshev(nPolar, nAzim int) (*Set, error) {
+	if nPolar < 1 || nAzim < 1 {
+		return nil, fmt.Errorf("quadrature: product set needs nPolar,nAzim >= 1 (got %d,%d)", nPolar, nAzim)
+	}
+	nodes, wts := gaussLegendre(nPolar)
+	s := &Set{Order: 2 * nPolar}
+	// Azimuthal points in (0, π/2), midpoint rule.
+	for oct := 0; oct < 8; oct++ {
+		sx, sy, sz := 1.0, 1.0, 1.0
+		if oct&1 != 0 {
+			sx = -1
+		}
+		if oct&2 != 0 {
+			sy = -1
+		}
+		if oct&4 != 0 {
+			sz = -1
+		}
+		for p := 0; p < nPolar; p++ {
+			xi := nodes[p] // cos(theta) in (0,1)
+			sinT := math.Sqrt(1 - xi*xi)
+			for a := 0; a < nAzim; a++ {
+				phi := (float64(a) + 0.5) * (math.Pi / 2) / float64(nAzim)
+				w := wts[p] * (math.Pi / 2) / float64(nAzim)
+				s.Directions = append(s.Directions, Direction{
+					Omega: geom.Vec3{
+						X: sx * sinT * math.Cos(phi),
+						Y: sy * sinT * math.Sin(phi),
+						Z: sz * xi,
+					},
+					Weight: w,
+					Octant: oct,
+				})
+			}
+		}
+	}
+	return s, nil
+}
+
+// gaussLegendre returns the n-point Gauss-Legendre nodes and weights mapped
+// to the interval (0, 1) (positive hemisphere of cosθ).
+func gaussLegendre(n int) (nodes, weights []float64) {
+	// Newton iteration on Legendre polynomials over [-1,1], then keep the
+	// mapping to (0,1): x' = (x+1)/2 with weight w/2... For the polar
+	// hemisphere we want nodes of cosθ in (0,1) integrating dμ, so map
+	// linearly.
+	xs := make([]float64, n)
+	ws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Initial guess (Abramowitz & Stegun 25.4.30 style).
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p0, p1 := 1.0, x
+			if n == 1 {
+				p1 = x
+			}
+			for k := 2; k <= n; k++ {
+				p0, p1 = p1, ((2*float64(k)-1)*x*p1-(float64(k)-1)*p0)/float64(k)
+			}
+			// Derivative via recurrence.
+			pp = float64(n) * (x*p1 - p0) / (x*x - 1)
+			dx := p1 / pp
+			x -= dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		xs[i] = x
+		ws[i] = 2 / ((1 - x*x) * pp * pp)
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = (xs[i] + 1) / 2
+		weights[i] = ws[i] / 2
+	}
+	return nodes, weights
+}
+
+// New returns a quadrature set with the requested Sn order, preferring the
+// level-symmetric tables and falling back to a product rule of the same
+// angle count when the order has no table entry.
+func New(order int) (*Set, error) {
+	if s, err := NewLevelSymmetric(order); err == nil {
+		return s, nil
+	}
+	if order < 2 || order%2 != 0 {
+		return nil, fmt.Errorf("quadrature: Sn order must be even and >= 2 (got %d)", order)
+	}
+	// Match N(N+2) total angles: per octant N/2 polar levels × (N+2)/4...
+	// Use nPolar = N/2 and nAzim chosen so counts match as closely as the
+	// product structure allows.
+	nPolar := order / 2
+	nAzim := (order + 2) / 4
+	if nAzim < 1 {
+		nAzim = 1
+	}
+	return NewProductGaussChebyshev(nPolar, nAzim)
+}
+
+// TotalWeight returns the sum of all weights (≈ 4π for a well-formed set).
+func (s *Set) TotalWeight() float64 {
+	var sum float64
+	for _, d := range s.Directions {
+		sum += d.Weight
+	}
+	return sum
+}

@@ -1,0 +1,188 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLevelSymmetricCounts(t *testing.T) {
+	for _, order := range []int{2, 4, 6, 8, 12, 16} {
+		s, err := NewLevelSymmetric(order)
+		if err != nil {
+			t.Fatalf("S%d: %v", order, err)
+		}
+		want := order * (order + 2)
+		if s.NumAngles() != want {
+			t.Errorf("S%d: %d angles, want N(N+2)=%d", order, s.NumAngles(), want)
+		}
+		if s.PerOctant() != want/8 {
+			t.Errorf("S%d: %d per octant, want %d", order, s.PerOctant(), want/8)
+		}
+	}
+}
+
+func TestS2HasEightAngles(t *testing.T) {
+	s, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAngles() != 8 {
+		t.Errorf("S2 angles = %d, want 8 (paper uses S2 = 8 directions)", s.NumAngles())
+	}
+}
+
+func TestS4HasTwentyFourAngles(t *testing.T) {
+	s, err := New(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAngles() != 24 {
+		t.Errorf("S4 angles = %d, want 24 (paper: #angles = 24 (S4))", s.NumAngles())
+	}
+}
+
+func TestWeightsSumTo4Pi(t *testing.T) {
+	for _, order := range []int{2, 4, 6, 8, 12, 16} {
+		s, err := NewLevelSymmetric(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.TotalWeight(); math.Abs(got-4*math.Pi) > 1e-9 {
+			t.Errorf("S%d total weight = %v, want 4π", order, got)
+		}
+	}
+}
+
+func TestDirectionsAreUnit(t *testing.T) {
+	for _, order := range []int{2, 4, 8, 16} {
+		s, err := NewLevelSymmetric(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, d := range s.Directions {
+			if math.Abs(d.Omega.Norm()-1) > 1e-9 {
+				t.Fatalf("S%d dir %d: |Ω| = %v, want 1", order, i, d.Omega.Norm())
+			}
+		}
+	}
+}
+
+func TestOctantSigns(t *testing.T) {
+	s, err := NewLevelSymmetric(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range s.Directions {
+		wantNegX := d.Octant&1 != 0
+		wantNegY := d.Octant&2 != 0
+		wantNegZ := d.Octant&4 != 0
+		if (d.Omega.X < 0) != wantNegX || (d.Omega.Y < 0) != wantNegY || (d.Omega.Z < 0) != wantNegZ {
+			t.Fatalf("dir %d: octant %d inconsistent with Ω=%v", i, d.Octant, d.Omega)
+		}
+	}
+}
+
+// First angular moment of a constant must vanish: ∑ w Ω = 0 by symmetry.
+func TestFirstMomentVanishes(t *testing.T) {
+	for _, order := range []int{2, 4, 6, 8, 12, 16} {
+		s, err := NewLevelSymmetric(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mx, my, mz float64
+		for _, d := range s.Directions {
+			mx += d.Weight * d.Omega.X
+			my += d.Weight * d.Omega.Y
+			mz += d.Weight * d.Omega.Z
+		}
+		if math.Abs(mx) > 1e-9 || math.Abs(my) > 1e-9 || math.Abs(mz) > 1e-9 {
+			t.Errorf("S%d first moment = (%g,%g,%g), want 0", order, mx, my, mz)
+		}
+	}
+}
+
+// Second moment: ∑ w μ² = 4π/3 for a correct quadrature (integrates Ω_x²
+// over the sphere).
+func TestSecondMoment(t *testing.T) {
+	for _, order := range []int{4, 8, 16} {
+		s, err := NewLevelSymmetric(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m2 float64
+		for _, d := range s.Directions {
+			m2 += d.Weight * d.Omega.X * d.Omega.X
+		}
+		want := 4 * math.Pi / 3
+		if math.Abs(m2-want)/want > 1e-6 {
+			t.Errorf("S%d ∑wμ² = %v, want %v", order, m2, want)
+		}
+	}
+}
+
+func TestProductQuadrature(t *testing.T) {
+	s, err := NewProductGaussChebyshev(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAngles() != 8*3*4 {
+		t.Errorf("angles = %d, want 96", s.NumAngles())
+	}
+	if math.Abs(s.TotalWeight()-4*math.Pi) > 1e-9 {
+		t.Errorf("total weight = %v, want 4π", s.TotalWeight())
+	}
+	for _, d := range s.Directions {
+		if math.Abs(d.Omega.Norm()-1) > 1e-9 {
+			t.Fatalf("|Ω| = %v, want 1", d.Omega.Norm())
+		}
+	}
+}
+
+func TestProductQuadratureSecondMoment(t *testing.T) {
+	s, err := NewProductGaussChebyshev(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 float64
+	for _, d := range s.Directions {
+		m2 += d.Weight * d.Omega.Z * d.Omega.Z
+	}
+	want := 4 * math.Pi / 3
+	if math.Abs(m2-want)/want > 1e-6 {
+		t.Errorf("∑wξ² = %v, want %v", m2, want)
+	}
+}
+
+func TestNewFallback(t *testing.T) {
+	// S10 has no level-symmetric table entry; New must fall back.
+	s, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumAngles() == 0 {
+		t.Error("fallback produced empty set")
+	}
+	if math.Abs(s.TotalWeight()-4*math.Pi) > 1e-9 {
+		t.Errorf("fallback total weight = %v, want 4π", s.TotalWeight())
+	}
+}
+
+func TestNewRejectsBadOrders(t *testing.T) {
+	for _, order := range []int{0, -2, 3, 7} {
+		if _, err := New(order); err == nil {
+			t.Errorf("New(%d) should fail", order)
+		}
+	}
+}
+
+func TestGaussLegendreIntegratesPolynomials(t *testing.T) {
+	// n-point GL is exact for degree 2n-1 on (0,1): ∫ x³ dx = 1/4 with n=2.
+	nodes, weights := gaussLegendre(2)
+	var got float64
+	for i := range nodes {
+		got += weights[i] * nodes[i] * nodes[i] * nodes[i]
+	}
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("∫x³ = %v, want 0.25", got)
+	}
+}

@@ -1,0 +1,736 @@
+// Package runtime is the patch-centric data-driven runtime system of paper
+// §IV: it maps patch-programs onto a cluster of multicore processes with
+// hybrid process+thread parallelism. Each process runs one master
+// goroutine (stream routing, dynamic program placement, termination
+// detection) and a set of worker goroutines (patch-program execution),
+// mirroring Fig. 8. Processes communicate exclusively through packed
+// byte messages over the comm transport.
+//
+// Two termination detectors are provided, as in §IV-C: the special
+// workload-counter condition for algorithms whose total work is known in
+// advance (sweeps), and Safra's general token algorithm [Misra/EWD 998
+// family] for arbitrary data-driven programs.
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/core"
+)
+
+// TerminationMode selects the distributed termination detector.
+type TerminationMode int
+
+const (
+	// Workload terminates when every process has exhausted its known
+	// remaining workload (all programs must implement core.WorkloadReporter).
+	Workload TerminationMode = iota
+	// Safra runs Safra's token-ring termination detection and works for
+	// any program set.
+	Safra
+)
+
+func (m TerminationMode) String() string {
+	if m == Safra {
+		return "safra"
+	}
+	return "workload"
+}
+
+// Config configures a runtime instance.
+type Config struct {
+	// Procs is the number of simulated MPI processes.
+	Procs int
+	// Workers is the number of worker goroutines per process (the paper
+	// reserves one core per process for the master; workers are the rest).
+	Workers int
+	// Termination selects the distributed termination detector.
+	Termination TerminationMode
+}
+
+// Stats aggregates execution statistics across all processes.
+type Stats struct {
+	// Cycles counts Alg. 1 executions of all programs.
+	Cycles int64
+	// LocalStreams / RemoteStreams count routed streams by destination.
+	LocalStreams, RemoteStreams int64
+	// BytesSent is the total packed bytes crossing process boundaries.
+	BytesSent int64
+	// Messages is the number of transport messages carrying streams.
+	Messages int64
+	// WorkerBusy sums the time workers spent executing program cycles.
+	WorkerBusy time.Duration
+	// PackTime / UnpackTime sum stream serialization costs in the masters.
+	PackTime, UnpackTime time.Duration
+	// Wall is the wall-clock span of Run.
+	Wall time.Duration
+}
+
+// message kinds on the wire.
+const (
+	msgStreams = byte(0x01)
+	msgDone    = byte(0x02) // workload mode: proc finished
+	msgTerm    = byte(0x03) // rank 0 broadcast: terminate
+	msgToken   = byte(0x04) // Safra token
+	tokenWhite = byte(0)
+	tokenBlack = byte(1)
+)
+
+// Runtime executes a set of registered patch-programs across Procs
+// processes × Workers workers. A Runtime is single-shot: Register programs,
+// call Run once, read Stats.
+type Runtime struct {
+	cfg       Config
+	transport *comm.Transport
+	procs     []*process
+	owner     map[core.ProgramKey]int
+	ran       bool
+}
+
+// New creates a runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("runtime: need >= 1 proc (got %d)", cfg.Procs)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("runtime: need >= 1 worker per proc (got %d)", cfg.Workers)
+	}
+	tr, err := comm.NewTransport(cfg.Procs)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		cfg:       cfg,
+		transport: tr,
+		owner:     make(map[core.ProgramKey]int),
+		procs:     make([]*process, cfg.Procs),
+	}
+	for r := 0; r < cfg.Procs; r++ {
+		rt.procs[r] = newProcess(rt, r)
+	}
+	return rt, nil
+}
+
+// Register places program key on process rank with the given scheduling
+// priority (larger runs earlier). All programs start active.
+func (rt *Runtime) Register(key core.ProgramKey, prog core.PatchProgram, prio int64, rank int) error {
+	if rt.ran {
+		return fmt.Errorf("runtime: Register after Run")
+	}
+	if rank < 0 || rank >= rt.cfg.Procs {
+		return fmt.Errorf("runtime: program %v placed on invalid rank %d", key, rank)
+	}
+	if _, dup := rt.owner[key]; dup {
+		return fmt.Errorf("runtime: duplicate program %v", key)
+	}
+	if rt.cfg.Termination == Workload {
+		if _, ok := prog.(core.WorkloadReporter); !ok {
+			return fmt.Errorf("runtime: program %v does not implement WorkloadReporter; use Safra termination", key)
+		}
+	}
+	rt.owner[key] = rank
+	rt.procs[rank].register(key, prog, prio)
+	return nil
+}
+
+// Run executes all programs to global termination and returns aggregate
+// statistics.
+func (rt *Runtime) Run() (Stats, error) {
+	if rt.ran {
+		return Stats{}, fmt.Errorf("runtime: Run called twice")
+	}
+	rt.ran = true
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, rt.cfg.Procs)
+	for r := 0; r < rt.cfg.Procs; r++ {
+		wg.Add(1)
+		go func(p *process) {
+			defer wg.Done()
+			errs[p.rank] = p.run()
+		}(rt.procs[r])
+	}
+	wg.Wait()
+	var st Stats
+	for _, p := range rt.procs {
+		st.Cycles += p.stats.Cycles
+		st.LocalStreams += p.stats.LocalStreams
+		st.RemoteStreams += p.stats.RemoteStreams
+		st.BytesSent += p.stats.BytesSent
+		st.Messages += p.stats.Messages
+		st.WorkerBusy += p.stats.WorkerBusy
+		st.PackTime += p.stats.PackTime
+		st.UnpackTime += p.stats.UnpackTime
+	}
+	st.Wall = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// progState tracks one patch-program inside its home process.
+type progState struct {
+	key         core.ProgramKey
+	prog        core.PatchProgram
+	prio        int64
+	seq         int64
+	inbox       []core.Stream
+	active      bool
+	queued      bool
+	running     bool
+	initialized bool
+	worker      int // owning worker, -1 when unassigned
+	index       int // heap index
+}
+
+// workerResult is what a worker hands back to its master per cycle.
+type workerResult struct {
+	streams []core.Stream
+}
+
+type process struct {
+	rt   *Runtime
+	rank int
+	ep   *comm.Endpoint
+
+	mu      sync.Mutex
+	progs   map[core.ProgramKey]*progState
+	workers []*workerQueue
+	// activePrograms counts programs in Active state.
+	activePrograms int
+	// busyWorkers counts workers between popping a program and handing
+	// their produced streams to the master — passive() must see them.
+	busyWorkers int
+	// remaining is the workload-mode remaining-work sum for this proc.
+	remaining int64
+	shutdown  bool
+
+	results chan workerResult
+
+	// Safra state.
+	safraColor   byte
+	safraCounter int64 // stream messages sent - received
+	holdingToken bool
+	tokenColor   byte
+	tokenCount   int64
+	probedOnce   bool // rank 0: a full token round has completed
+
+	// Workload-mode state (rank 0 only).
+	doneReports map[int]bool
+	sentDone    bool
+
+	stats Stats
+
+	wg sync.WaitGroup
+}
+
+type workerQueue struct {
+	id   int
+	heap progHeap
+	cond *sync.Cond
+	load int // queued + running programs assigned here
+	busy time.Duration
+}
+
+func newProcess(rt *Runtime, rank int) *process {
+	p := &process{
+		rt:          rt,
+		rank:        rank,
+		ep:          rt.transport.Endpoint(rank),
+		progs:       make(map[core.ProgramKey]*progState),
+		results:     make(chan workerResult, 4096),
+		doneReports: make(map[int]bool),
+		safraColor:  tokenWhite,
+	}
+	p.workers = make([]*workerQueue, rt.cfg.Workers)
+	for w := range p.workers {
+		p.workers[w] = &workerQueue{id: w, cond: sync.NewCond(&p.mu)}
+	}
+	return p
+}
+
+func (p *process) register(key core.ProgramKey, prog core.PatchProgram, prio int64) {
+	ps := &progState{key: key, prog: prog, prio: prio, seq: int64(len(p.progs)), active: true, worker: -1}
+	p.progs[key] = ps
+	p.activePrograms++
+	if r, ok := prog.(core.WorkloadReporter); ok {
+		p.remaining += r.RemainingWork()
+	}
+}
+
+// run is the master loop of one process (paper Fig. 8).
+func (p *process) run() error {
+	// Distribute initially active programs evenly across workers (§IV-B),
+	// highest priority spread first for an even start.
+	p.mu.Lock()
+	i := 0
+	for _, ps := range p.progs {
+		w := p.workers[i%len(p.workers)]
+		p.assignLocked(ps, w)
+		i++
+	}
+	p.mu.Unlock()
+
+	// Start workers.
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go p.workerLoop(w)
+	}
+
+	// Rank 0 owns the Safra token initially.
+	if p.rt.cfg.Termination == Safra && p.rank == 0 {
+		p.holdingToken = true
+		p.tokenColor = tokenWhite
+		p.tokenCount = 0
+	}
+
+	var err error
+	ticker := time.NewTicker(200 * time.Microsecond)
+	defer ticker.Stop()
+masterLoop:
+	for {
+		progress := false
+		// Drain transport.
+		for {
+			m, ok := p.ep.TryRecv()
+			if !ok {
+				break
+			}
+			progress = true
+			stop, herr := p.handleMessage(m)
+			if herr != nil {
+				err = herr
+				break masterLoop
+			}
+			if stop {
+				break masterLoop
+			}
+		}
+		// Drain worker results.
+		for {
+			select {
+			case r := <-p.results:
+				progress = true
+				if herr := p.routeStreams(r.streams); herr != nil {
+					err = herr
+					break masterLoop
+				}
+			default:
+				goto drained
+			}
+		}
+	drained:
+		if !progress {
+			if stop := p.checkTermination(); stop {
+				break masterLoop
+			}
+			// Idle wait on any event source.
+			select {
+			case r := <-p.results:
+				if herr := p.routeStreams(r.streams); herr != nil {
+					err = herr
+					break masterLoop
+				}
+			case <-p.ep.Notify():
+			case <-ticker.C:
+			}
+		}
+	}
+
+	// Shut down workers.
+	p.mu.Lock()
+	p.shutdown = true
+	for _, w := range p.workers {
+		w.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	// Final drain of produced streams (there should be none on a clean
+	// termination; on error we just discard).
+	for {
+		select {
+		case <-p.results:
+		default:
+			for _, w := range p.workers {
+				p.stats.WorkerBusy += w.busy
+			}
+			return err
+		}
+	}
+}
+
+// assignLocked queues program ps on worker w. Caller holds p.mu.
+func (p *process) assignLocked(ps *progState, w *workerQueue) {
+	ps.worker = w.id
+	ps.queued = true
+	w.load++
+	w.heap.push(ps)
+	w.cond.Signal()
+}
+
+// lightestWorker returns the worker with the smallest load. Caller holds
+// p.mu.
+func (p *process) lightestWorker() *workerQueue {
+	best := p.workers[0]
+	for _, w := range p.workers[1:] {
+		if w.load < best.load {
+			best = w
+		}
+	}
+	return best
+}
+
+// routeStreams routes worker-produced streams: local targets are delivered
+// directly, remote targets are packed and sent per destination rank.
+func (p *process) routeStreams(streams []core.Stream) error {
+	if len(streams) == 0 {
+		return nil
+	}
+	var perRank map[int][]core.Stream
+	p.mu.Lock()
+	for _, s := range streams {
+		tgt := s.Tgt()
+		rank, ok := p.rt.owner[tgt]
+		if !ok {
+			p.mu.Unlock()
+			return fmt.Errorf("runtime: stream %v -> %v targets unregistered program", s.Src(), tgt)
+		}
+		if rank == p.rank {
+			p.stats.LocalStreams++
+			p.deliverLocked(s)
+			continue
+		}
+		p.stats.RemoteStreams++
+		if perRank == nil {
+			perRank = make(map[int][]core.Stream)
+		}
+		perRank[rank] = append(perRank[rank], s)
+	}
+	p.mu.Unlock()
+	for rank, batch := range perRank {
+		t0 := time.Now()
+		buf := make([]byte, 1, core.EncodedSize(batch)+1)
+		buf[0] = msgStreams
+		buf = core.EncodeStreams(buf, batch)
+		p.stats.PackTime += time.Since(t0)
+		p.stats.BytesSent += int64(len(buf))
+		p.stats.Messages++
+		p.safraCounter++ // Safra: sends increment the deficit counter
+		if err := p.ep.Send(rank, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverLocked appends a stream to its target program's inbox and
+// activates/queues it. Caller holds p.mu.
+func (p *process) deliverLocked(s core.Stream) {
+	ps := p.progs[s.Tgt()]
+	ps.inbox = append(ps.inbox, s)
+	if !ps.active {
+		ps.active = true
+		p.activePrograms++
+		// Dynamic placement: a re-activated program goes to the lightest
+		// worker (paper §IV-B).
+		ps.worker = -1
+	}
+	if !ps.queued && !ps.running {
+		w := p.workers[0]
+		if ps.worker >= 0 {
+			w = p.workers[ps.worker]
+		} else {
+			w = p.lightestWorker()
+		}
+		p.assignLocked(ps, w)
+	}
+}
+
+// handleMessage processes one transport message. Returns stop=true when
+// the process should exit its master loop.
+func (p *process) handleMessage(m comm.Message) (stop bool, err error) {
+	if len(m.Data) == 0 {
+		return false, fmt.Errorf("runtime: empty message from rank %d", m.From)
+	}
+	kind, body := m.Data[0], m.Data[1:]
+	switch kind {
+	case msgStreams:
+		t0 := time.Now()
+		streams, derr := core.DecodeStreams(body)
+		p.stats.UnpackTime += time.Since(t0)
+		if derr != nil {
+			return false, derr
+		}
+		p.safraCounter--
+		p.safraColor = tokenBlack
+		p.mu.Lock()
+		for _, s := range streams {
+			if _, ok := p.progs[s.Tgt()]; !ok {
+				p.mu.Unlock()
+				return false, fmt.Errorf("runtime: rank %d received stream for foreign program %v", p.rank, s.Tgt())
+			}
+			p.stats.LocalStreams++
+			p.deliverLocked(s)
+		}
+		p.mu.Unlock()
+	case msgDone:
+		if p.rank != 0 {
+			return false, fmt.Errorf("runtime: done report reached rank %d", p.rank)
+		}
+		p.doneReports[m.From] = true
+	case msgTerm:
+		return true, nil
+	case msgToken:
+		if len(body) != 9 {
+			return false, fmt.Errorf("runtime: malformed token")
+		}
+		p.holdingToken = true
+		p.tokenColor = body[0]
+		p.tokenCount = int64(binary.LittleEndian.Uint64(body[1:]))
+	default:
+		return false, fmt.Errorf("runtime: unknown message kind %#x", kind)
+	}
+	return false, nil
+}
+
+// passive reports whether this process has no runnable work: all programs
+// inactive, no worker mid-cycle, no undrained results.
+func (p *process) passive() bool {
+	if len(p.results) > 0 || p.ep.Pending() > 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.activePrograms > 0 || p.busyWorkers > 0 {
+		return false
+	}
+	for _, w := range p.workers {
+		if w.load > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// checkTermination runs the configured detector; returns true when the
+// process should stop. Only called when the master made no progress.
+func (p *process) checkTermination() bool {
+	switch p.rt.cfg.Termination {
+	case Workload:
+		return p.checkWorkloadTermination()
+	case Safra:
+		return p.checkSafraTermination()
+	}
+	return false
+}
+
+func (p *process) checkWorkloadTermination() bool {
+	if !p.passive() {
+		return false
+	}
+	p.mu.Lock()
+	rem := int64(0)
+	for _, ps := range p.progs {
+		rem += ps.prog.(core.WorkloadReporter).RemainingWork()
+	}
+	p.mu.Unlock()
+	if rem != 0 {
+		return false
+	}
+	if p.rank != 0 {
+		if !p.sentDone {
+			p.sentDone = true
+			_ = p.ep.Send(0, []byte{msgDone})
+		}
+		return false // wait for msgTerm
+	}
+	// Rank 0: terminate once every other rank reported done.
+	if len(p.doneReports) == p.rt.cfg.Procs-1 {
+		for r := 1; r < p.rt.cfg.Procs; r++ {
+			_ = p.ep.Send(r, []byte{msgTerm})
+		}
+		return true
+	}
+	return false
+}
+
+func (p *process) checkSafraTermination() bool {
+	if !p.holdingToken || !p.passive() {
+		return false
+	}
+	if p.rank == 0 {
+		// Evaluate the returned token (or the initial one).
+		if p.tokenColor == tokenWhite && p.safraColor == tokenWhite && p.tokenCount+p.safraCounter == 0 && p.probedOnce {
+			for r := 1; r < p.rt.cfg.Procs; r++ {
+				_ = p.ep.Send(r, []byte{msgTerm})
+			}
+			return true
+		}
+		if p.rt.cfg.Procs == 1 {
+			// Single proc: passive with counter 0 means done.
+			if p.safraCounter == 0 {
+				return true
+			}
+			return false
+		}
+		// Re-initiate a white probe.
+		p.holdingToken = false
+		p.probedOnce = true
+		p.safraColor = tokenWhite
+		p.sendToken((p.rank+1)%p.rt.cfg.Procs, tokenWhite, 0)
+		return false
+	}
+	// Forward the token, folding in our counter and color.
+	color := p.tokenColor
+	if p.safraColor == tokenBlack {
+		color = tokenBlack
+	}
+	p.holdingToken = false
+	p.safraColor = tokenWhite
+	p.sendToken((p.rank+1)%p.rt.cfg.Procs, color, p.tokenCount+p.safraCounter)
+	return false
+}
+
+func (p *process) sendToken(to int, color byte, count int64) {
+	buf := make([]byte, 10)
+	buf[0] = msgToken
+	buf[1] = color
+	binary.LittleEndian.PutUint64(buf[2:], uint64(count))
+	_ = p.ep.Send(to, buf)
+}
+
+// workerLoop is one worker goroutine: pop the highest-priority active
+// program, run one Alg. 1 cycle, hand produced streams to the master.
+func (p *process) workerLoop(w *workerQueue) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for w.heap.Len() == 0 && !p.shutdown {
+			w.cond.Wait()
+		}
+		if p.shutdown {
+			p.mu.Unlock()
+			return
+		}
+		ps := w.heap.pop()
+		ps.queued = false
+		ps.running = true
+		p.busyWorkers++
+		inbox := ps.inbox
+		ps.inbox = nil
+		p.mu.Unlock()
+
+		t0 := time.Now()
+		if !ps.initialized {
+			ps.prog.Init()
+			ps.initialized = true
+		}
+		for _, s := range inbox {
+			ps.prog.Input(s)
+		}
+		ps.prog.Compute()
+		var outs []core.Stream
+		for {
+			s, ok := ps.prog.Output()
+			if !ok {
+				break
+			}
+			outs = append(outs, s)
+		}
+		halt := ps.prog.VoteToHalt()
+		w.busy += time.Since(t0)
+
+		p.mu.Lock()
+		p.stats.Cycles++
+		ps.running = false
+		if halt && len(ps.inbox) == 0 {
+			ps.active = false
+			p.activePrograms--
+			w.load--
+		} else {
+			// Reentrant continuation: stay on this worker, requeue.
+			ps.queued = true
+			w.heap.push(ps)
+		}
+		p.mu.Unlock()
+
+		if len(outs) > 0 {
+			p.results <- workerResult{streams: outs}
+		}
+		p.mu.Lock()
+		p.busyWorkers--
+		p.mu.Unlock()
+	}
+}
+
+// progHeap is a max-heap on (prio, seq).
+type progHeap []*progState
+
+func (h progHeap) less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *progHeap) push(ps *progState) {
+	*h = append(*h, ps)
+	ps.index = len(*h) - 1
+	h.up(ps.index)
+}
+
+func (h *progHeap) pop() *progState {
+	old := *h
+	n := len(old)
+	top := old[0]
+	old[0] = old[n-1]
+	old[0].index = 0
+	*h = old[:n-1]
+	if n > 1 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h progHeap) Len() int { return len(h) }
+
+func (h progHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].index = i
+		h[parent].index = parent
+		i = parent
+	}
+}
+
+func (h progHeap) down(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		h[i].index = i
+		h[smallest].index = smallest
+		i = smallest
+	}
+}

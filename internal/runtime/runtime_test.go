@@ -1,0 +1,255 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"jsweep/internal/core"
+	"jsweep/internal/mesh"
+	"jsweep/internal/runtime"
+	"jsweep/internal/testprog"
+)
+
+// runGrid executes the W×H accumulator grid on the given topology and
+// checks every node value against the closed-form expectation.
+func runGrid(t *testing.T, w, h, procs, workers int, term runtime.TerminationMode) runtime.Stats {
+	t.Helper()
+	spec := testprog.GridSpec{W: w, H: h}
+	progs, sink := spec.Build()
+	rt, err := runtime.New(runtime.Config{Procs: procs, Workers: workers, Termination: term})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range progs {
+		if err := rt.Register(a.Key, a, 0, i%procs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.Want()
+	for k, wv := range want {
+		got, ok := sink.Get(k)
+		if !ok || got != wv {
+			t.Errorf("%v = %d (ok=%v), want %d", k, got, ok, wv)
+		}
+	}
+	return stats
+}
+
+func TestRuntimeSingleProcSingleWorker(t *testing.T) {
+	runGrid(t, 4, 4, 1, 1, runtime.Workload)
+}
+
+func TestRuntimeSingleProcManyWorkers(t *testing.T) {
+	runGrid(t, 6, 5, 1, 4, runtime.Workload)
+}
+
+func TestRuntimeManyProcs(t *testing.T) {
+	st := runGrid(t, 6, 6, 4, 2, runtime.Workload)
+	if st.RemoteStreams == 0 {
+		t.Error("expected remote streams with scattered placement")
+	}
+	if st.Cycles == 0 || st.BytesSent == 0 {
+		t.Errorf("suspicious stats: %+v", st)
+	}
+}
+
+func TestRuntimeSafraTermination(t *testing.T) {
+	runGrid(t, 5, 5, 3, 2, runtime.Safra)
+}
+
+func TestRuntimeSafraSingleProc(t *testing.T) {
+	runGrid(t, 3, 3, 1, 2, runtime.Safra)
+}
+
+func TestRuntimeWorkloadManyTopologies(t *testing.T) {
+	for _, tc := range []struct{ procs, workers int }{
+		{2, 1}, {2, 3}, {5, 2}, {8, 1},
+	} {
+		runGrid(t, 5, 4, tc.procs, tc.workers, runtime.Workload)
+	}
+}
+
+// Zig-zag reentrancy across two processes: the Fig. 4 scenario where two
+// mutually-dependent programs live on different processes.
+func TestRuntimePingPongAcrossProcs(t *testing.T) {
+	for _, term := range []runtime.TerminationMode{runtime.Workload, runtime.Safra} {
+		sink := testprog.NewResults()
+		ka := core.ProgramKey{Patch: 0, Task: 0}
+		kb := core.ProgramKey{Patch: 1, Task: 0}
+		const rounds = 12
+		a := &testprog.PingPong{Key: ka, Peer: kb, Rounds: rounds, Starter: true, Sink: sink}
+		b := &testprog.PingPong{Key: kb, Peer: ka, Rounds: rounds, Sink: sink}
+		rt, err := runtime.New(runtime.Config{Procs: 2, Workers: 2, Termination: term})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Register(ka, a, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Register(kb, b, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		va, _ := sink.Get(ka)
+		vb, _ := sink.Get(kb)
+		if va != 2*rounds-2 || vb != 2*rounds-1 {
+			t.Errorf("%v: a=%d b=%d, want %d,%d", term, va, vb, 2*rounds-2, 2*rounds-1)
+		}
+	}
+}
+
+// The runtime must produce exactly the same results as the sequential
+// reference engine (observational equivalence).
+func TestRuntimeMatchesEngine(t *testing.T) {
+	spec := testprog.GridSpec{W: 7, H: 6}
+
+	engProgs, engSink := spec.Build()
+	eng := core.NewEngine()
+	for _, a := range engProgs {
+		if err := eng.Register(a.Key, a, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	rtProgs, rtSink := spec.Build()
+	rt, err := runtime.New(runtime.Config{Procs: 3, Workers: 3, Termination: runtime.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range rtProgs {
+		if err := rt.Register(a.Key, a, 0, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x < spec.W; x++ {
+			k := spec.Key(x, y)
+			ev, _ := engSink.Get(k)
+			rv, _ := rtSink.Get(k)
+			if ev != rv {
+				t.Errorf("%v: engine=%d runtime=%d", k, ev, rv)
+			}
+		}
+	}
+}
+
+func TestRuntimeInitCalledOnce(t *testing.T) {
+	spec := testprog.GridSpec{W: 4, H: 4}
+	progs, _ := spec.Build()
+	rt, err := runtime.New(runtime.Config{Procs: 2, Workers: 2, Termination: runtime.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range progs {
+		if err := rt.Register(a.Key, a, 0, i%2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range progs {
+		if a.InitSeen != 1 {
+			t.Errorf("program %v: Init called %d times", a.Key, a.InitSeen)
+		}
+	}
+}
+
+func TestRuntimeValidation(t *testing.T) {
+	if _, err := runtime.New(runtime.Config{Procs: 0, Workers: 1}); err == nil {
+		t.Error("zero procs should fail")
+	}
+	if _, err := runtime.New(runtime.Config{Procs: 1, Workers: 0}); err == nil {
+		t.Error("zero workers should fail")
+	}
+	rt, err := runtime.New(runtime.Config{Procs: 2, Workers: 1, Termination: runtime.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := testprog.NewResults()
+	k := core.ProgramKey{Patch: 0, Task: 0}
+	a := &testprog.Accumulator{Key: k, Sink: sink}
+	if err := rt.Register(k, a, 0, 5); err == nil {
+		t.Error("invalid rank should fail")
+	}
+	if err := rt.Register(k, a, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(k, a, 0, 1); err == nil {
+		t.Error("duplicate key should fail")
+	}
+}
+
+func TestRuntimeWorkloadRequiresReporter(t *testing.T) {
+	rt, err := runtime.New(runtime.Config{Procs: 1, Workers: 1, Termination: runtime.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := core.ProgramKey{Patch: 0, Task: 0}
+	if err := rt.Register(k, nonReporter{}, 0, 0); err == nil {
+		t.Error("non-reporting program must be rejected in Workload mode")
+	}
+}
+
+type nonReporter struct{}
+
+func (nonReporter) Init()                       {}
+func (nonReporter) Input(core.Stream)           {}
+func (nonReporter) Compute()                    {}
+func (nonReporter) Output() (core.Stream, bool) { return core.Stream{}, false }
+func (nonReporter) VoteToHalt() bool            { return true }
+
+func TestRuntimeStreamToUnregisteredProgram(t *testing.T) {
+	rt, err := runtime.New(runtime.Config{Procs: 1, Workers: 1, Termination: runtime.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := testprog.NewResults()
+	k := core.ProgramKey{Patch: 0, Task: 0}
+	a := &testprog.Accumulator{Key: k, Sink: sink, Out: []core.ProgramKey{{Patch: mesh.PatchID(9), Task: 0}}}
+	if err := rt.Register(k, a, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err == nil {
+		t.Error("stream to unregistered program should surface an error")
+	}
+}
+
+func TestRuntimeRunTwice(t *testing.T) {
+	rt, err := runtime.New(runtime.Config{Procs: 1, Workers: 1, Termination: runtime.Workload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := testprog.NewResults()
+	k := core.ProgramKey{Patch: 0, Task: 0}
+	if err := rt.Register(k, &testprog.Accumulator{Key: k, Sink: sink}, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err == nil {
+		t.Error("second Run should fail")
+	}
+}
+
+// A bigger stress combination to shake out scheduling races under -race.
+func TestRuntimeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	runGrid(t, 20, 20, 6, 4, runtime.Workload)
+	runGrid(t, 20, 20, 6, 4, runtime.Safra)
+}

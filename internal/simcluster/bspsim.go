@@ -1,0 +1,214 @@
+package simcluster
+
+import "fmt"
+
+// SimulateBSP models the same workload executed the pre-JSweep way
+// (paper §II-B, §VI-D): data-driven within a patch, but bulk-synchronous
+// across patches — every round, each process computes all chunks that are
+// ready with the data received up to the previous barrier, then a global
+// barrier exchanges every produced stream. Per round the machine waits for
+// the slowest process (compute) and the slowest exchange — the idle time
+// the asynchronous runtime eliminates. This is the "JASMIN"/"JAUMIN"
+// comparator of Fig. 17.
+func SimulateBSP(w *Workload, cfg Config, cm CostModel) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("simcluster: need >= 1 worker (got %d)", cfg.Workers)
+	}
+	if cfg.Grain < 1 {
+		cfg.Grain = 1
+	}
+	np := len(w.PatchCells)
+	na := len(w.AngleOctant)
+	numProgs := np * na
+
+	chunksOf := make([]int32, numProgs)
+	offset := make([]int64, numProgs+1)
+	var totalChunks int64
+	for i := 0; i < numProgs; i++ {
+		p := i % np
+		ch := (w.PatchCells[p] + cfg.Grain - 1) / cfg.Grain
+		if ch < 1 {
+			ch = 1
+		}
+		chunksOf[i] = int32(ch)
+		offset[i+1] = offset[i] + ch
+		totalChunks += ch
+	}
+	deps := make([]int32, totalChunks)
+	for i := 0; i < numProgs; i++ {
+		for c := int32(1); c < chunksOf[i]; c++ {
+			deps[offset[i]+int64(c)]++
+		}
+	}
+	slack := int32(cm.PipelineSlack)
+	targetChunk := func(j, cu, cv int32) int32 {
+		t := int32(int64(j)*int64(cv)/int64(cu)) - slack
+		if t >= cv {
+			t = cv - 1
+		}
+		if t < 0 {
+			t = 0
+		}
+		return t
+	}
+	for a := 0; a < na; a++ {
+		dag := w.Octants[w.AngleOctant[a]]
+		for p := 0; p < np; p++ {
+			u := int32(a*np + p)
+			cu := chunksOf[u]
+			for _, q := range dag.Succ[p] {
+				v := int32(a*np + int(q))
+				for j := int32(0); j < cu; j++ {
+					deps[offset[v]+int64(targetChunk(j, cu, chunksOf[v]))]++
+				}
+			}
+		}
+	}
+
+	chunkCells := func(prog, chunk int32) int64 {
+		p := int(prog) % np
+		cells := w.PatchCells[p]
+		full := cells / cfg.Grain
+		if int64(chunk) < full {
+			return cfg.Grain
+		}
+		rem := cells - full*cfg.Grain
+		if rem == 0 {
+			return cfg.Grain
+		}
+		return rem
+	}
+
+	type pendingDelivery struct {
+		prog  int32
+		chunk int32
+	}
+	ready := make([][]struct {
+		prog  int32
+		chunk int32
+	}, w.Procs)
+	for i := 0; i < numProgs; i++ {
+		if deps[offset[i]] == 0 {
+			r := w.Owner[i%np]
+			ready[r] = append(ready[r], struct {
+				prog  int32
+				chunk int32
+			}{int32(i), 0})
+		}
+	}
+
+	res := &Result{}
+	var done int64
+	rounds := 0
+	for done < totalChunks {
+		anyWork := false
+		var roundCompute float64
+		procComm := make([]float64, w.Procs)
+		var deliveries []pendingDelivery
+		for r := 0; r < w.Procs; r++ {
+			var busy, maxChunk float64
+			for _, task := range ready[r] {
+				anyWork = true
+				cells := chunkCells(task.prog, task.chunk)
+				kernel := float64(cells) * float64(w.Groups) * cm.TCell
+				graphOp := float64(cells)*cm.TGraphOpCell + cm.TScheduleFixed
+				res.Kernel += kernel
+				res.GraphOp += graphOp
+				busy += kernel + graphOp
+				if kernel+graphOp > maxChunk {
+					maxChunk = kernel + graphOp
+				}
+				res.Chunks++
+				done++
+				// Next chunk of the same program becomes a candidate for
+				// the next round.
+				if task.chunk+1 < chunksOf[task.prog] {
+					idx := offset[task.prog] + int64(task.chunk) + 1
+					deps[idx]--
+					if deps[idx] == 0 {
+						deliveries = append(deliveries, pendingDelivery{task.prog, task.chunk + 1})
+					}
+				}
+				// Streams exchanged at the barrier.
+				a := int(task.prog) / np
+				p := int(task.prog) % np
+				dag := w.Octants[w.AngleOctant[a]]
+				for si, q := range dag.Succ[p] {
+					v := int32(a*np + int(q))
+					tc := targetChunk(task.chunk, chunksOf[task.prog], chunksOf[v])
+					faces := float64(dag.Weight[p][si]) * w.FacesPerEdgeScale / float64(chunksOf[task.prog])
+					bytes := cm.StreamHeaderBytes + faces*cm.BytesPerFaceGroup
+					res.Streams++
+					res.Bytes += int64(bytes)
+					cost := cm.TRoutePerStream + bytes*cm.TPackPerByte
+					if w.Owner[q] != r {
+						cost += bytes*cm.TPackPerByte + bytes*cm.InvBandwidth + cm.TRoutePerStream
+						res.RemoteStreams++
+						res.Pack += bytes * cm.TPackPerByte
+						res.Unpack += bytes * cm.TPackPerByte
+					} else {
+						res.LocalStreams++
+					}
+					res.Route += cm.TRoutePerStream
+					procComm[r] += cost
+					idx := offset[v] + int64(tc)
+					deps[idx]--
+					if deps[idx] == 0 {
+						deliveries = append(deliveries, pendingDelivery{v, tc})
+					}
+				}
+			}
+			ready[r] = ready[r][:0]
+			// Graham's list-scheduling bound: chunks are indivisible, so a
+			// round cannot pack work fractionally across workers.
+			perProc := 0.0
+			if busy > 0 {
+				perProc = busy/float64(cfg.Workers) + maxChunk*float64(cfg.Workers-1)/float64(cfg.Workers)
+			}
+			if perProc > roundCompute {
+				roundCompute = perProc
+			}
+		}
+		if !anyWork && done < totalChunks {
+			return nil, fmt.Errorf("simcluster: BSP stalled after %d rounds with %d of %d chunks done", rounds, done, totalChunks)
+		}
+		var roundComm float64
+		for _, c := range procComm {
+			if c > roundComm {
+				roundComm = c
+			}
+		}
+		// Barrier cost: a log-tree allreduce of latency hops.
+		barrier := cm.Latency * log2ceil(w.Procs)
+		res.Makespan += roundCompute + roundComm + barrier
+		for _, d := range deliveries {
+			r := w.Owner[int(d.prog)%np]
+			ready[r] = append(ready[r], struct {
+				prog  int32
+				chunk int32
+			}{d.prog, d.chunk})
+		}
+		rounds++
+		res.Events = int64(rounds)
+	}
+	// Idle: every round every core waits for the global maximum.
+	res.WorkerIdle = res.Makespan*float64(w.Procs*cfg.Workers) - (res.Kernel + res.GraphOp)
+	res.MasterIdle = res.Makespan*float64(w.Procs) - (res.Route + res.Pack + res.Unpack)
+	return res, nil
+}
+
+func log2ceil(n int) float64 {
+	c := 0.0
+	v := 1
+	for v < n {
+		v <<= 1
+		c++
+	}
+	if c == 0 {
+		c = 1
+	}
+	return c
+}

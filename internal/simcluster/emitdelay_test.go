@@ -1,0 +1,112 @@
+package simcluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"jsweep/internal/graph"
+)
+
+// EmitDelay (the vertex-priority model knob): later boundary emission can
+// only slow the sweep down, and the effect is monotone at the extremes.
+func TestEmitDelayMonotone(t *testing.T) {
+	cm := DefaultCostModel(1)
+	w := structuredW(t, 6, 4000, 16, 8)
+	times := map[float64]float64{}
+	for _, d := range []float64{0, 0.5, 1} {
+		res, err := Simulate(w, Config{Workers: 11, Grain: 500, EmitDelay: d}, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[d] = res.Makespan
+	}
+	if !(times[0] <= times[0.5] && times[0.5] <= times[1]) {
+		t.Errorf("emit delay not monotone: %v", times)
+	}
+	if times[1] <= times[0] {
+		t.Errorf("full delay (%v) should be strictly slower than eager emission (%v)", times[1], times[0])
+	}
+}
+
+// EmitDelay values outside [0,1] are clamped rather than crashing.
+func TestEmitDelayClamped(t *testing.T) {
+	cm := DefaultCostModel(1)
+	w := structuredW(t, 3, 500, 4, 8)
+	for _, d := range []float64{-2, 5} {
+		if _, err := Simulate(w, Config{Workers: 4, Grain: 100, EmitDelay: d}, cm); err != nil {
+			t.Errorf("delay %v: %v", d, err)
+		}
+	}
+}
+
+// The work done (chunks, kernel time) is invariant under EmitDelay —
+// only the schedule changes.
+func TestEmitDelayWorkInvariant(t *testing.T) {
+	cm := DefaultCostModel(1)
+	w := structuredW(t, 4, 1000, 8, 8)
+	var chunks []int64
+	var kernel []float64
+	for _, d := range []float64{0, 0.7} {
+		res, err := Simulate(w, Config{Workers: 4, Grain: 250, EmitDelay: d}, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks = append(chunks, res.Chunks)
+		kernel = append(kernel, res.Kernel)
+	}
+	if chunks[0] != chunks[1] || kernel[0] != kernel[1] {
+		t.Errorf("work changed with emit delay: chunks %v kernel %v", chunks, kernel)
+	}
+}
+
+// Pipeline slack monotonically lengthens the makespan.
+func TestPipelineSlackMonotone(t *testing.T) {
+	cmBase := DefaultCostModel(1)
+	w := structuredW(t, 6, 4000, 32, 8)
+	var prev float64
+	for i, slack := range []int{0, 2, 4} {
+		cm := cmBase
+		cm.PipelineSlack = slack
+		res, err := Simulate(w, Config{Workers: 11, Grain: 500}, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && res.Makespan < prev {
+			t.Errorf("slack %d makespan %v below smaller slack's %v", slack, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}
+
+// Property: AcyclifyDAG always leaves an acyclic graph, for random sparse
+// digraphs.
+func TestAcyclifyProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		n := 4 + int(seed%12)
+		dag := &graph.PatchDAG{
+			N:      n,
+			Succ:   make([][]int32, n),
+			Weight: make([][]int32, n),
+			InDeg:  make([]int32, n),
+		}
+		// Deterministic pseudo-random edges from the seed (LCG).
+		s := uint64(seed)*2862933555777941757 + 3037000493
+		for i := 0; i < 2*n; i++ {
+			s = s*2862933555777941757 + 3037000493
+			from := int32(s % uint64(n))
+			s = s*2862933555777941757 + 3037000493
+			to := int32(s % uint64(n))
+			if from == to {
+				continue
+			}
+			dag.Succ[from] = append(dag.Succ[from], to)
+			dag.Weight[from] = append(dag.Weight[from], 1)
+			dag.InDeg[to]++
+		}
+		AcyclifyDAG(dag)
+		return dag.IsAcyclic()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

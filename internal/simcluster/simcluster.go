@@ -1,0 +1,506 @@
+// Package simcluster is the hardware substitute for the paper's
+// 3,200-node Tianhe-II runs (DESIGN.md substitution #2): a discrete-event
+// simulator of the JSweep runtime architecture — per-process master +
+// worker cores, priority-ordered ready queues, per-stream master routing,
+// link latency and bandwidth — executing the real patch-level task graphs
+// under the real priority strategies, in virtual time.
+//
+// The model: every (patch, angle) patch-program runs as a pipeline of
+// chunks (chunk = one vertex-clustering grain worth of cells). Chunk j
+// depends on chunk j−1 of the same program and on the proportionally
+// aligned chunk of every upwind program (partial computation /
+// pipelining, paper §III-A1); each completed chunk sends one stream per
+// downwind program (vertex clustering aggregates messages, §V-C).
+// Costs are charged per the CostModel; scheduling decisions replay the
+// two-level priority policy of §V-D.
+package simcluster
+
+import (
+	"container/heap"
+	"fmt"
+
+	"jsweep/internal/graph"
+)
+
+// CostModel holds the calibrated machine constants (see EXPERIMENTS.md for
+// the calibration narrative). Times in seconds, sizes in bytes.
+type CostModel struct {
+	// TCell is the kernel time per cell·angle·group.
+	TCell float64
+	// TGraphOpCell is the data-driven bookkeeping per cell·angle (counter
+	// updates, queue ops) — the "graph-op" category of Fig. 16.
+	TGraphOpCell float64
+	// TScheduleFixed is the fixed cost of one patch-program activation.
+	TScheduleFixed float64
+	// TRoutePerStream is the master's routing cost per stream.
+	TRoutePerStream float64
+	// TPackPerByte is the serialization cost per byte (counted once for
+	// pack, once for unpack).
+	TPackPerByte float64
+	// Latency is the per-message network latency between processes.
+	Latency float64
+	// InvBandwidth is seconds per byte on a link.
+	InvBandwidth float64
+	// StreamHeaderBytes is the fixed wire overhead per stream.
+	StreamHeaderBytes float64
+	// BytesPerFaceGroup is the payload per crossing face per group
+	// (matches the real codec: 5 bytes header + 8 per group).
+	BytesPerFaceGroup float64
+	// PipelineSlack is the number of extra upstream chunks a downwind
+	// patch lags behind its upwind neighbour beyond the aligned chunk:
+	// the internal wavefront of a patch must cross it corner-to-corner
+	// before the first downwind face data of a given band is complete, so
+	// perfect chunk alignment is optimistic. Calibrated against the
+	// paper's Kobayashi-400 strong-scaling efficiencies.
+	PipelineSlack int
+}
+
+// DefaultCostModel returns constants calibrated so that the simulated
+// Kobayashi-400 base case lands near the paper's absolute runtimes (see
+// EXPERIMENTS.md).
+func DefaultCostModel(groups int) CostModel {
+	return CostModel{
+		TCell:             2.2e-6,
+		TGraphOpCell:      0.55e-6,
+		TScheduleFixed:    15e-6,
+		TRoutePerStream:   4e-6,
+		TPackPerByte:      1.5e-9,
+		Latency:           8e-6,
+		InvBandwidth:      1.0 / 5e9,
+		StreamHeaderBytes: 21,
+		BytesPerFaceGroup: 5 + 8*float64(groups),
+		PipelineSlack:     2,
+	}
+}
+
+// Workload is the simulated task system: patches with cell counts, their
+// per-octant dependency DAGs, the angle→octant map, and patch placement.
+type Workload struct {
+	// PatchCells is the workload (cell count) of each patch.
+	PatchCells []int64
+	// Owner maps each patch to its process rank.
+	Owner []int
+	// Octants holds the patch-level dependency DAG per octant (must be
+	// acyclic — use AcyclifyDAG for unstructured decompositions).
+	Octants []*graph.PatchDAG
+	// AngleOctant maps each angle to its octant's DAG index.
+	AngleOctant []int
+	// FacesPerEdgeScale scales a DAG edge weight into crossing mesh faces
+	// (1 for DAGs built at cell granularity on the real mesh; the
+	// patch-granular synthetic builders set the patch face count).
+	FacesPerEdgeScale float64
+	// Groups is the number of energy groups (workload multiplier).
+	Groups int
+	// Procs is the number of processes patches are placed on.
+	Procs int
+}
+
+// Validate checks the workload.
+func (w *Workload) Validate() error {
+	np := len(w.PatchCells)
+	if np == 0 {
+		return fmt.Errorf("simcluster: empty workload")
+	}
+	if len(w.Owner) != np {
+		return fmt.Errorf("simcluster: %d owners for %d patches", len(w.Owner), np)
+	}
+	if len(w.Octants) == 0 || len(w.AngleOctant) == 0 {
+		return fmt.Errorf("simcluster: workload needs octant DAGs and angles")
+	}
+	for i, dag := range w.Octants {
+		if dag.N != np {
+			return fmt.Errorf("simcluster: octant %d DAG has %d nodes, want %d", i, dag.N, np)
+		}
+		if !dag.IsAcyclic() {
+			return fmt.Errorf("simcluster: octant %d DAG is cyclic — AcyclifyDAG it first", i)
+		}
+	}
+	for a, o := range w.AngleOctant {
+		if o < 0 || o >= len(w.Octants) {
+			return fmt.Errorf("simcluster: angle %d maps to octant %d outside [0,%d)", a, o, len(w.Octants))
+		}
+	}
+	for p, r := range w.Owner {
+		if r < 0 || r >= w.Procs {
+			return fmt.Errorf("simcluster: patch %d on rank %d outside [0,%d)", p, r, w.Procs)
+		}
+	}
+	if w.Groups < 1 {
+		return fmt.Errorf("simcluster: groups must be >= 1")
+	}
+	return nil
+}
+
+// Config selects the runtime shape and scheduling policy to simulate.
+type Config struct {
+	// Workers is the number of worker cores per process (the master has
+	// its own core, as in the paper's runtime).
+	Workers int
+	// Grain is the vertex clustering grain in cells.
+	Grain int64
+	// PatchPrio[a][p] is the patch priority of patch p for angle a
+	// (computed by the caller from a priority.Strategy; larger = earlier).
+	// nil means FIFO.
+	PatchPrio [][]int64
+	// AngleMajor makes earlier angles strictly dominate (the paper's
+	// prior(a)·C term). Default true.
+	AngleMajorOff bool
+	// EmitDelay ∈ [0, 1] models the vertex-priority strategy inside a
+	// patch: 0 means boundary fluxes leave as early as possible (SLBD —
+	// stream j departs with chunk j); 1 means all boundary data leaves
+	// only with the final chunk (worst case). Intermediate values shift
+	// stream j's departure toward later chunks, the behaviour of
+	// priorities that favour interior work (BFS/LDCP on irregular meshes).
+	EmitDelay float64
+}
+
+// Result is the simulated outcome.
+type Result struct {
+	// Makespan is the virtual wall-clock of the sweep [s].
+	Makespan float64
+	// Core-second totals by category (Fig. 16):
+	Kernel, GraphOp, Pack, Unpack, Route float64
+	// WorkerIdle and MasterIdle are idle core-seconds.
+	WorkerIdle, MasterIdle float64
+	// Streams / RemoteStreams / Bytes count communication.
+	Streams, RemoteStreams, LocalStreams int64
+	Bytes                                int64
+	// Chunks is the number of chunk executions (scheduling events).
+	Chunks int64
+	// Events is the DES event count (diagnostics).
+	Events int64
+}
+
+// CoreSeconds returns makespan × total cores (workers + masters).
+func (r *Result) CoreSeconds(procs, workers int) float64 {
+	return r.Makespan * float64(procs*(workers+1))
+}
+
+// event kinds.
+const (
+	evChunkReady = iota
+	evChunkDone
+	evArrive
+)
+
+type event struct {
+	t    float64
+	seq  int64
+	kind int
+	prog int32
+	// chunk for ready/done; for arrive, chunk is the destination chunk.
+	chunk int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// readyTask sits in a process's priority queue.
+type readyTask struct {
+	prio  int64
+	seq   int64
+	prog  int32
+	chunk int32
+}
+
+type readyHeap []readyTask
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h readyHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x interface{}) { *h = append(*h, x.(readyTask)) }
+func (h *readyHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type procState struct {
+	ready        readyHeap
+	idleWorkers  int
+	masterFreeAt float64
+	workerBusy   float64 // accumulated busy core-seconds
+	masterBusy   float64
+}
+
+// Simulate runs the discrete-event simulation and returns the virtual
+// makespan and cost breakdown.
+func Simulate(w *Workload, cfg Config, cm CostModel) (*Result, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("simcluster: need >= 1 worker (got %d)", cfg.Workers)
+	}
+	if cfg.Grain < 1 {
+		cfg.Grain = 1
+	}
+	np := len(w.PatchCells)
+	na := len(w.AngleOctant)
+	numProgs := np * na
+
+	// Per-program chunk layout.
+	chunksOf := make([]int32, numProgs)
+	offset := make([]int64, numProgs+1)
+	var totalChunks int64
+	for a := 0; a < na; a++ {
+		for p := 0; p < np; p++ {
+			ch := (w.PatchCells[p] + cfg.Grain - 1) / cfg.Grain
+			if ch < 1 {
+				ch = 1
+			}
+			chunksOf[a*np+p] = int32(ch)
+			offset[a*np+p+1] = offset[a*np+p] + ch
+			totalChunks += ch
+		}
+	}
+
+	// Dependency counts per chunk: +1 from the previous chunk, plus the
+	// aligned deliveries from upwind programs.
+	deps := make([]int32, totalChunks)
+	for i := 0; i < numProgs; i++ {
+		for c := int32(1); c < chunksOf[i]; c++ {
+			deps[offset[i]+int64(c)]++
+		}
+	}
+	// targetChunk maps stream j of a program with cu chunks onto the
+	// receiving program's chunk (cv chunks): proportionally aligned, then
+	// shifted down by the pipeline slack (so chunk c waits for upstream
+	// band c+slack).
+	slack := int32(cm.PipelineSlack)
+	targetChunk := func(j, cu, cv int32) int32 {
+		t := int32(int64(j)*int64(cv)/int64(cu)) - slack
+		if t >= cv {
+			t = cv - 1
+		}
+		if t < 0 {
+			t = 0
+		}
+		return t
+	}
+	for a := 0; a < na; a++ {
+		dag := w.Octants[w.AngleOctant[a]]
+		for p := 0; p < np; p++ {
+			u := int32(a*np + p)
+			cu := chunksOf[u]
+			for _, q := range dag.Succ[p] {
+				v := int32(a*np + int(q))
+				cv := chunksOf[v]
+				for j := int32(0); j < cu; j++ {
+					deps[offset[v]+int64(targetChunk(j, cu, cv))]++
+				}
+			}
+		}
+	}
+
+	procs := make([]procState, w.Procs)
+	for i := range procs {
+		procs[i].idleWorkers = cfg.Workers
+	}
+
+	// Emission schedule per chunk count: emitBuckets[cu][c] lists the
+	// stream indices departing when chunk c completes (EmitDelay shifts
+	// stream j from chunk j toward the last chunk).
+	if cfg.EmitDelay < 0 {
+		cfg.EmitDelay = 0
+	}
+	if cfg.EmitDelay > 1 {
+		cfg.EmitDelay = 1
+	}
+	emitCache := map[int32][][]int32{}
+	emitBuckets := func(cu int32) [][]int32 {
+		if b, ok := emitCache[cu]; ok {
+			return b
+		}
+		b := make([][]int32, cu)
+		for j := int32(0); j < cu; j++ {
+			e := j + int32(cfg.EmitDelay*float64(cu-1-j))
+			if e >= cu {
+				e = cu - 1
+			}
+			b[e] = append(b[e], j)
+		}
+		emitCache[cu] = b
+		return b
+	}
+
+	res := &Result{}
+	var events eventHeap
+	var seq int64
+	push := func(t float64, kind int, prog, chunk int32) {
+		seq++
+		heap.Push(&events, event{t: t, seq: seq, kind: kind, prog: prog, chunk: chunk})
+		res.Events++
+	}
+
+	prioOf := func(prog int32) int64 {
+		a := int(prog) / np
+		p := int(prog) % np
+		var pp int64
+		if cfg.PatchPrio != nil {
+			pp = cfg.PatchPrio[a][p]
+		}
+		if cfg.AngleMajorOff {
+			return pp
+		}
+		return -int64(a)*(1<<24) + pp
+	}
+
+	chunkCells := func(prog, chunk int32) int64 {
+		p := int(prog) % np
+		cells := w.PatchCells[p]
+		full := cells / cfg.Grain
+		if int64(chunk) < full {
+			return cfg.Grain
+		}
+		rem := cells - full*cfg.Grain
+		if rem == 0 {
+			return cfg.Grain
+		}
+		return rem
+	}
+
+	dispatch := func(ps *procState, now float64) {
+		for ps.idleWorkers > 0 && ps.ready.Len() > 0 {
+			task := heap.Pop(&ps.ready).(readyTask)
+			ps.idleWorkers--
+			cells := chunkCells(task.prog, task.chunk)
+			kernel := float64(cells) * float64(w.Groups) * cm.TCell
+			graphOp := float64(cells)*cm.TGraphOpCell + cm.TScheduleFixed
+			res.Kernel += kernel
+			res.GraphOp += graphOp
+			ps.workerBusy += kernel + graphOp
+			push(now+kernel+graphOp, evChunkDone, task.prog, task.chunk)
+			res.Chunks++
+		}
+	}
+
+	// Seed: chunk 0 of every program with no dependencies.
+	for i := 0; i < numProgs; i++ {
+		if deps[offset[i]] == 0 {
+			push(0, evChunkReady, int32(i), 0)
+		}
+	}
+
+	now := 0.0
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(event)
+		now = ev.t
+		switch ev.kind {
+		case evChunkReady:
+			p := int(ev.prog) % np
+			ps := &procs[w.Owner[p]]
+			seq++
+			heap.Push(&ps.ready, readyTask{prio: prioOf(ev.prog), seq: seq, prog: ev.prog, chunk: ev.chunk})
+			dispatch(ps, now)
+		case evChunkDone:
+			p := int(ev.prog) % np
+			a := int(ev.prog) / np
+			rank := w.Owner[p]
+			ps := &procs[rank]
+			ps.idleWorkers++
+			// Next chunk of the same program.
+			if ev.chunk+1 < chunksOf[ev.prog] {
+				idx := offset[ev.prog] + int64(ev.chunk) + 1
+				deps[idx]--
+				if deps[idx] == 0 {
+					push(now, evChunkReady, ev.prog, ev.chunk+1)
+				}
+			}
+			// Streams to downwind programs, serialized through this
+			// process's master. The emission schedule decides which stream
+			// indices depart with this chunk.
+			dag := w.Octants[w.AngleOctant[a]]
+			cu := chunksOf[ev.prog]
+			for _, j := range emitBuckets(cu)[ev.chunk] {
+				for si, q := range dag.Succ[p] {
+					v := int32(a*np + int(q))
+					tc := targetChunk(j, cu, chunksOf[v])
+					faces := float64(dag.Weight[p][si]) * w.FacesPerEdgeScale / float64(cu)
+					bytes := cm.StreamHeaderBytes + faces*cm.BytesPerFaceGroup
+					res.Streams++
+					res.Bytes += int64(bytes)
+					dstRank := w.Owner[q]
+					if dstRank == rank {
+						// Local: master routes, no pack or wire.
+						start := maxF(now, ps.masterFreeAt)
+						done := start + cm.TRoutePerStream
+						ps.masterFreeAt = done
+						ps.masterBusy += cm.TRoutePerStream
+						res.Route += cm.TRoutePerStream
+						res.LocalStreams++
+						push(done, evArrive, v, tc)
+						continue
+					}
+					// Remote: pack + route on source master, wire, unpack
+					// + route on destination master.
+					packT := bytes * cm.TPackPerByte
+					start := maxF(now, ps.masterFreeAt)
+					done := start + cm.TRoutePerStream + packT
+					ps.masterFreeAt = done
+					ps.masterBusy += cm.TRoutePerStream + packT
+					res.Route += cm.TRoutePerStream
+					res.Pack += packT
+					res.RemoteStreams++
+					arrive := done + cm.Latency + bytes*cm.InvBandwidth
+					dst := &procs[dstRank]
+					unpackT := bytes*cm.TPackPerByte + cm.TRoutePerStream
+					st := maxF(arrive, dst.masterFreeAt)
+					dn := st + unpackT
+					dst.masterFreeAt = dn
+					dst.masterBusy += unpackT
+					res.Unpack += bytes * cm.TPackPerByte
+					res.Route += cm.TRoutePerStream
+					push(dn, evArrive, v, tc)
+				}
+			}
+			dispatch(ps, now)
+		case evArrive:
+			idx := offset[ev.prog] + int64(ev.chunk)
+			deps[idx]--
+			if deps[idx] == 0 {
+				push(now, evChunkReady, ev.prog, ev.chunk)
+			}
+		}
+	}
+
+	res.Makespan = now
+	var workerBusy, masterBusy float64
+	for i := range procs {
+		workerBusy += procs[i].workerBusy
+		masterBusy += procs[i].masterBusy
+	}
+	res.WorkerIdle = now*float64(w.Procs*cfg.Workers) - workerBusy
+	res.MasterIdle = now*float64(w.Procs) - masterBusy
+	return res, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

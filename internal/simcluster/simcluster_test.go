@@ -1,0 +1,300 @@
+package simcluster
+
+import (
+	"math"
+	"testing"
+
+	"jsweep/internal/graph"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/priority"
+)
+
+func structuredW(t *testing.T, b int, cells int64, procs, angles int) *Workload {
+	t.Helper()
+	w, err := StructuredWorkload(b, b, b, cells, procs, angles, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestStructuredWorkloadShape(t *testing.T) {
+	w := structuredW(t, 4, 1000, 8, 16)
+	if len(w.PatchCells) != 64 {
+		t.Fatalf("patches = %d", len(w.PatchCells))
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Octant 0 (+++) has 3·b²·(b−1) edges.
+	edges := 0
+	for p := 0; p < w.Octants[0].N; p++ {
+		edges += len(w.Octants[0].Succ[p])
+	}
+	if edges != 3*16*3 {
+		t.Errorf("octant edges = %d, want 144", edges)
+	}
+	// All ranks used, contiguous counts.
+	counts := map[int]int{}
+	for _, r := range w.Owner {
+		counts[r]++
+	}
+	if len(counts) != 8 {
+		t.Errorf("ranks used = %d, want 8", len(counts))
+	}
+	for r, n := range counts {
+		if n != 8 {
+			t.Errorf("rank %d owns %d patches, want 8", r, n)
+		}
+	}
+}
+
+func TestStructuredWorkloadOctantsAcyclic(t *testing.T) {
+	w := structuredW(t, 3, 500, 4, 8)
+	for o, dag := range w.Octants {
+		if !dag.IsAcyclic() {
+			t.Errorf("octant %d cyclic", o)
+		}
+	}
+}
+
+func TestUnstructuredWorkload(t *testing.T) {
+	m, err := meshgen.Ball(6, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := UnstructuredWorkload(m, 500, 4, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.PatchCells) != m.NumCells() {
+		t.Errorf("patches = %d, want %d", len(w.PatchCells), m.NumCells())
+	}
+	if w.Groups != 4 {
+		t.Errorf("groups = %d", w.Groups)
+	}
+}
+
+func TestAcyclifyDAG(t *testing.T) {
+	// 3-cycle plus a tail.
+	dag := &graph.PatchDAG{
+		N:      4,
+		Succ:   [][]int32{{1}, {2}, {0, 3}, {}},
+		Weight: [][]int32{{1}, {1}, {1, 1}, {}},
+		InDeg:  []int32{1, 1, 1, 1},
+	}
+	if dag.IsAcyclic() {
+		t.Fatal("fixture should be cyclic")
+	}
+	dropped := AcyclifyDAG(dag)
+	if dropped != 1 {
+		t.Errorf("dropped = %d, want 1", dropped)
+	}
+	if !dag.IsAcyclic() {
+		t.Error("still cyclic after acyclify")
+	}
+	if AcyclifyDAG(dag) != 0 {
+		t.Error("second pass should drop nothing")
+	}
+}
+
+func defaultCfg(workers int, grain int64) Config {
+	return Config{Workers: workers, Grain: grain}
+}
+
+func TestSimulateKernelConservation(t *testing.T) {
+	w := structuredW(t, 4, 1000, 8, 16)
+	cm := DefaultCostModel(1)
+	res, err := Simulate(w, defaultCfg(4, 250), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKernel := float64(64*1000*16) * cm.TCell
+	if math.Abs(res.Kernel-wantKernel)/wantKernel > 1e-9 {
+		t.Errorf("kernel core-seconds = %v, want %v", res.Kernel, wantKernel)
+	}
+	// 1000 cells at grain 250 → 4 chunks per program.
+	if res.Chunks != 64*16*4 {
+		t.Errorf("chunks = %d, want %d", res.Chunks, 64*16*4)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestSimulateSerialBaseline(t *testing.T) {
+	// One proc, one worker, one chunk per program: makespan ≈ total
+	// compute + scheduling (master routing overlaps the worker).
+	w := structuredW(t, 2, 100, 1, 8)
+	cm := DefaultCostModel(1)
+	res, err := Simulate(w, defaultCfg(1, 1000), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute := res.Kernel + res.GraphOp
+	if res.Makespan < compute {
+		t.Errorf("makespan %v below pure compute %v", res.Makespan, compute)
+	}
+	if res.Makespan > compute*1.5 {
+		t.Errorf("makespan %v way above compute %v — serial run should be compute-bound", res.Makespan, compute)
+	}
+	if res.RemoteStreams != 0 {
+		t.Errorf("remote streams on 1 proc = %d", res.RemoteStreams)
+	}
+}
+
+func TestSimulateStrongScaling(t *testing.T) {
+	cm := DefaultCostModel(1)
+	var prev float64
+	var base float64
+	for i, procs := range []int{1, 2, 8, 32} {
+		w := structuredW(t, 8, 8000, procs, 16)
+		res, err := Simulate(w, defaultCfg(11, 1000), cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			base = res.Makespan
+		} else if res.Makespan >= prev {
+			t.Errorf("procs=%d: makespan %v did not improve on %v", procs, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+	// Speedup at 32 procs exists but is below ideal.
+	speedup := base / prev
+	if speedup < 4 || speedup > 32 {
+		t.Errorf("32-proc speedup = %v, want within (4, 32)", speedup)
+	}
+}
+
+// The §V-C grain trade-off: very small grains pay scheduling/messaging,
+// very large grains lose pipelining — mid grains win (Fig. 9a's U-shape).
+func TestSimulateGrainUShape(t *testing.T) {
+	cm := DefaultCostModel(1)
+	times := map[int64]float64{}
+	for _, grain := range []int64{1, 128, 1 << 20} {
+		w := structuredW(t, 4, 1000, 8, 8)
+		res, err := Simulate(w, defaultCfg(11, grain), cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[grain] = res.Makespan
+	}
+	if !(times[128] < times[1]) {
+		t.Errorf("grain 128 (%v) should beat grain 1 (%v)", times[128], times[1])
+	}
+	if !(times[128] < times[1<<20]) {
+		t.Errorf("grain 128 (%v) should beat unbounded grain (%v)", times[128], times[1<<20])
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	cm := DefaultCostModel(1)
+	w := structuredW(t, 4, 1000, 4, 8)
+	a, err := Simulate(w, defaultCfg(4, 200), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(w, defaultCfg(4, 200), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.Events != b.Events {
+		t.Errorf("simulation not deterministic: %v vs %v", a.Makespan, b.Makespan)
+	}
+}
+
+func TestSimulateBreakdownAccounting(t *testing.T) {
+	cm := DefaultCostModel(1)
+	w := structuredW(t, 4, 1000, 8, 8)
+	cfg := defaultCfg(4, 250)
+	res, err := Simulate(w, cfg, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerTotal := res.Makespan * float64(w.Procs*cfg.Workers)
+	if diff := math.Abs(workerTotal - (res.Kernel + res.GraphOp + res.WorkerIdle)); diff/workerTotal > 1e-9 {
+		t.Errorf("worker accounting off by %v", diff)
+	}
+	masterTotal := res.Makespan * float64(w.Procs)
+	busy := res.Route + res.Pack + res.Unpack
+	if diff := math.Abs(masterTotal - (busy + res.MasterIdle)); diff/masterTotal > 1e-9 {
+		t.Errorf("master accounting off by %v", diff)
+	}
+	if res.WorkerIdle < 0 || res.MasterIdle < 0 {
+		t.Errorf("negative idle: %v %v", res.WorkerIdle, res.MasterIdle)
+	}
+}
+
+// Priorities must be honored: with angle-major priority the simulation
+// completes angles roughly in order, which on a bandwidth-starved machine
+// beats inverted priorities. At minimum, configurations must differ when
+// the policy differs and stay valid.
+func TestSimulatePriorityPolicy(t *testing.T) {
+	cm := DefaultCostModel(1)
+	w := structuredW(t, 6, 4000, 8, 8)
+	prio := make([][]int64, 8)
+	dagPrio := priority.PatchPriorities(priority.SLBD, w.Octants[0])
+	for a := 0; a < 8; a++ {
+		prio[a] = priority.PatchPriorities(priority.SLBD, w.Octants[w.AngleOctant[a]])
+	}
+	_ = dagPrio
+	withPrio, err := Simulate(w, Config{Workers: 4, Grain: 500, PatchPrio: prio}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Simulate(w, Config{Workers: 4, Grain: 500}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withPrio.Chunks != without.Chunks {
+		t.Errorf("policy changed the work itself: %d vs %d chunks", withPrio.Chunks, without.Chunks)
+	}
+}
+
+func TestSimulateBSPSlowerThanDataDriven(t *testing.T) {
+	cm := DefaultCostModel(1)
+	w := structuredW(t, 6, 4000, 8, 8)
+	dd, err := Simulate(w, defaultCfg(11, 500), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bspRes, err := SimulateBSP(w, defaultCfg(11, 500), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bspRes.Makespan <= dd.Makespan {
+		t.Errorf("BSP (%v) should be slower than data-driven (%v)", bspRes.Makespan, dd.Makespan)
+	}
+	if bspRes.Chunks != dd.Chunks {
+		t.Errorf("both models must do the same work: %d vs %d", bspRes.Chunks, dd.Chunks)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	w := structuredW(t, 2, 100, 2, 8)
+	cm := DefaultCostModel(1)
+	if _, err := Simulate(w, Config{Workers: 0, Grain: 10}, cm); err == nil {
+		t.Error("zero workers should fail")
+	}
+	bad := *w
+	bad.Owner = bad.Owner[:1]
+	if _, err := Simulate(&bad, defaultCfg(1, 10), cm); err == nil {
+		t.Error("bad owners should fail")
+	}
+}
+
+func TestWorkloadValidateCyclicRejected(t *testing.T) {
+	w := structuredW(t, 2, 100, 2, 8)
+	// Inject a cycle into octant 0.
+	dag := w.Octants[0]
+	dag.Succ[7] = append(dag.Succ[7], 0)
+	dag.Weight[7] = append(dag.Weight[7], 1)
+	dag.InDeg[0]++
+	if err := w.Validate(); err == nil {
+		t.Error("cyclic octant DAG must be rejected")
+	}
+}

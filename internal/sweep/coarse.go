@@ -1,0 +1,206 @@
+package sweep
+
+import (
+	"sort"
+
+	"jsweep/internal/core"
+	"jsweep/internal/graph"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/transport"
+)
+
+// CoarseProgram executes one (patch, angle)'s share of a coarsened graph
+// (§V-E): scheduling happens per coarse vertex (one recorded cluster) and
+// communication per coarse edge, eliminating the per-vertex counter and
+// per-edge message bookkeeping of the fine sweep. Numerical results are
+// identical to the fine sweep — only scheduling granularity changes.
+type CoarseProgram struct {
+	Key core.ProgramKey
+
+	prob *transport.Problem
+	g    *graph.PatchGraph
+	cg   *graph.CoarseGraph
+	// cvs lists this program's coarse vertex ids (cluster order).
+	cvs []int32
+	// cvLocal maps a global coarse id to its index in cvs.
+	cvLocal map[int32]int32
+	dir     quadrature.Direction
+	q       [][]float64
+
+	counts   []int32 // per local coarse vertex
+	ready    []int32 // ready local coarse indices (cluster order = FIFO by id)
+	psiFace  []float64
+	outBuf   []float64 // outgoing face fluxes per [v*maxFaces*G]
+	phiLocal [][]float64
+	pending  []core.Stream
+	// remaining counts unfinished fine vertices (workload semantics match
+	// the fine program).
+	remaining int64
+
+	qCell, psiOut, psiBar, psiScratch []float64
+
+	computeCalls int64
+}
+
+// CoarseConfig bundles a coarse program's inputs.
+type CoarseConfig struct {
+	Prob *transport.Problem
+	// Graph is the fine subgraph (needed for kernel-level propagation).
+	Graph *graph.PatchGraph
+	// CG is the shared coarsened graph; CVs lists this program's coarse
+	// vertex ids in cluster order (graph.CoarseGraph.ByProgram entry).
+	CG  *graph.CoarseGraph
+	CVs []int32
+	Dir quadrature.Direction
+	Q   [][]float64
+}
+
+// NewCoarseProgram builds a coarse sweep program.
+func NewCoarseProgram(cfg CoarseConfig) *CoarseProgram {
+	p := &CoarseProgram{
+		Key:     core.ProgramKey{Patch: cfg.Graph.Patch, Task: core.TaskTag(cfg.Graph.Angle)},
+		prob:    cfg.Prob,
+		g:       cfg.Graph,
+		cg:      cfg.CG,
+		cvs:     cfg.CVs,
+		dir:     cfg.Dir,
+		q:       cfg.Q,
+		cvLocal: make(map[int32]int32, len(cfg.CVs)),
+	}
+	for i, cv := range cfg.CVs {
+		p.cvLocal[cv] = int32(i)
+	}
+	return p
+}
+
+// PhiLocal exposes the accumulated w·ψ̄ [group][local fine vertex].
+func (p *CoarseProgram) PhiLocal() [][]float64 { return p.phiLocal }
+
+// ComputeCalls returns the number of Compute invocations.
+func (p *CoarseProgram) ComputeCalls() int64 { return p.computeCalls }
+
+// Init implements core.PatchProgram.
+func (p *CoarseProgram) Init() {
+	n := p.g.NumVertices()
+	G := p.prob.Groups
+	mf := p.prob.MaxFaces()
+	p.psiFace = make([]float64, n*mf*G)
+	p.outBuf = make([]float64, n*mf*G)
+	p.phiLocal = make([][]float64, G)
+	for g := range p.phiLocal {
+		p.phiLocal[g] = make([]float64, n)
+	}
+	p.counts = make([]int32, len(p.cvs))
+	p.remaining = int64(n)
+	p.qCell = make([]float64, G)
+	p.psiOut = make([]float64, mf*G)
+	p.psiBar = make([]float64, G)
+	p.psiScratch = make([]float64, G)
+	for i, cv := range p.cvs {
+		p.counts[i] = p.cg.InDeg[cv]
+		if p.counts[i] == 0 {
+			p.ready = append(p.ready, int32(i))
+		}
+	}
+	sort.Slice(p.ready, func(a, b int) bool { return p.ready[a] < p.ready[b] })
+}
+
+// Input implements core.PatchProgram: one stream = one incoming coarse
+// edge's aggregated fluxes.
+func (p *CoarseProgram) Input(s core.Stream) {
+	G := p.prob.Groups
+	mf := p.prob.MaxFaces()
+	cvLocal, err := decodeCoarsePayload(s.Payload, G, p.psiScratch, func(v int32, face int8, psi []float64) {
+		base := (int(v)*mf + int(face)) * G
+		copy(p.psiFace[base:base+G], psi)
+	})
+	if err != nil {
+		panic(err)
+	}
+	p.counts[cvLocal]--
+	if p.counts[cvLocal] == 0 {
+		p.ready = append(p.ready, cvLocal)
+	}
+}
+
+// Compute implements core.PatchProgram: execute every ready coarse vertex.
+func (p *CoarseProgram) Compute() {
+	p.computeCalls++
+	G := p.prob.Groups
+	mf := p.prob.MaxFaces()
+	w := p.dir.Weight
+	for len(p.ready) > 0 {
+		ci := p.ready[0]
+		p.ready = p.ready[1:]
+		cv := p.cvs[ci]
+		// Solve the member fine vertices in recorded order.
+		for _, v := range p.cg.Verts[cv] {
+			c := p.g.Cells[v]
+			base := int(v) * mf * G
+			for g := 0; g < G; g++ {
+				p.qCell[g] = p.q[g][c]
+			}
+			p.prob.SolveCell(c, p.dir.Omega, p.qCell, p.psiFace[base:base+mf*G], p.psiOut, p.psiBar)
+			for g := 0; g < G; g++ {
+				p.phiLocal[g][v] += w * p.psiBar[g]
+			}
+			copy(p.outBuf[base:base+mf*G], p.psiOut[:mf*G])
+			// Fine local edges: propagate immediately (targets are in this
+			// or a later coarse vertex of this program).
+			for _, e := range p.g.LocalEdges(v) {
+				dst := (int(e.To)*mf + int(e.Face)) * G
+				src := int(e.SrcFace) * G
+				copy(p.psiFace[dst:dst+G], p.psiOut[src:src+G])
+			}
+			p.remaining--
+		}
+		// Coarse out-edges.
+		tos, unders := p.cg.Edges(cv)
+		for i, to := range tos {
+			if li, mine := p.cvLocal[to]; mine {
+				p.counts[li]--
+				if p.counts[li] == 0 {
+					p.ready = append(p.ready, li)
+				}
+				continue
+			}
+			// Remote coarse edge: pack P(ce) fluxes from outBuf.
+			fluxes := make([]faceFlux, len(unders[i]))
+			for j, ue := range unders[i] {
+				src := (int(ue.SrcV)*mf + int(ue.SrcFace)) * G
+				psi := make([]float64, G)
+				copy(psi, p.outBuf[src:src+G])
+				fluxes[j] = faceFlux{v: ue.DstV, face: ue.DstFace, psi: psi}
+			}
+			// The receiver indexes counts by its local coarse index.
+			tgtPatch := p.cg.Patch[to]
+			tgtAngle := p.cg.Angle[to]
+			p.pending = append(p.pending, core.Stream{
+				SrcPatch: p.Key.Patch, SrcTask: p.Key.Task,
+				TgtPatch: tgtPatch, TgtTask: core.TaskTag(tgtAngle),
+				Payload: encodeCoarsePayload(p.cg.LocalIndex(to), G, fluxes),
+			})
+		}
+	}
+}
+
+// Output implements core.PatchProgram.
+func (p *CoarseProgram) Output() (core.Stream, bool) {
+	if len(p.pending) == 0 {
+		return core.Stream{}, false
+	}
+	s := p.pending[0]
+	p.pending = p.pending[1:]
+	return s, true
+}
+
+// VoteToHalt implements core.PatchProgram.
+func (p *CoarseProgram) VoteToHalt() bool { return len(p.ready) == 0 }
+
+// RemainingWork implements core.WorkloadReporter.
+func (p *CoarseProgram) RemainingWork() int64 { return p.remaining }
+
+var _ core.PatchProgram = (*CoarseProgram)(nil)
+var _ core.PatchProgram = (*Program)(nil)
+var _ core.WorkloadReporter = (*CoarseProgram)(nil)
+var _ core.WorkloadReporter = (*Program)(nil)

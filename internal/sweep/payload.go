@@ -1,0 +1,80 @@
+// Package sweep implements the paper's new parallel Sn sweep algorithm
+// (§V) as a component on the patch-centric abstraction: the patch-program
+// of Listing 1 with vertex clustering, two-level priorities and patch-angle
+// parallelism, the coarsened-graph fast path (§V-E), and the serial
+// reference executor used for validation.
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Fine-sweep stream payload: the per-edge face fluxes crossing a patch
+// boundary, aggregated per target program by vertex clustering (§V-C).
+//
+//	payload := count:u32 { dstV:u32 dstFace:u8 psi:f64×G }*count
+type faceFlux struct {
+	v    int32
+	face int8
+	psi  []float64
+}
+
+func encodeFaceFluxes(groups int, fluxes []faceFlux) []byte {
+	buf := make([]byte, 0, 4+len(fluxes)*(5+8*groups))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fluxes)))
+	for i := range fluxes {
+		f := &fluxes[i]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.v))
+		buf = append(buf, byte(f.face))
+		for g := 0; g < groups; g++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.psi[g]))
+		}
+	}
+	return buf
+}
+
+// decodeFaceFluxes streams the records to sink (avoiding per-record slice
+// allocation); psiScratch must have length >= groups.
+func decodeFaceFluxes(buf []byte, groups int, psiScratch []float64, sink func(v int32, face int8, psi []float64)) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("sweep: flux payload truncated")
+	}
+	count := binary.LittleEndian.Uint32(buf)
+	off := 4
+	rec := 5 + 8*groups
+	if len(buf)-off != int(count)*rec {
+		return fmt.Errorf("sweep: flux payload size %d != %d records of %d bytes", len(buf)-off, count, rec)
+	}
+	for i := uint32(0); i < count; i++ {
+		v := int32(binary.LittleEndian.Uint32(buf[off:]))
+		face := int8(buf[off+4])
+		off += 5
+		for g := 0; g < groups; g++ {
+			psiScratch[g] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		sink(v, face, psiScratch[:groups])
+	}
+	return nil
+}
+
+// Coarse-sweep stream payload: one coarse edge worth of face fluxes plus
+// the target coarse vertex whose in-count it satisfies.
+//
+//	payload := cvLocal:u32 fineFluxes
+func encodeCoarsePayload(cvLocal int32, groups int, fluxes []faceFlux) []byte {
+	buf := make([]byte, 0, 8+len(fluxes)*(5+8*groups))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cvLocal))
+	inner := encodeFaceFluxes(groups, fluxes)
+	return append(buf, inner...)
+}
+
+func decodeCoarsePayload(buf []byte, groups int, psiScratch []float64, sink func(v int32, face int8, psi []float64)) (cvLocal int32, err error) {
+	if len(buf) < 4 {
+		return 0, fmt.Errorf("sweep: coarse payload truncated")
+	}
+	cvLocal = int32(binary.LittleEndian.Uint32(buf))
+	return cvLocal, decodeFaceFluxes(buf[4:], groups, psiScratch, sink)
+}

@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"container/heap"
+	"sort"
+
+	"jsweep/internal/core"
+	"jsweep/internal/graph"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/transport"
+)
+
+// Program is the data-driven sweep patch-program of paper Listing 1 for one
+// (patch, angle) pair. Its local context — dependency counters, the
+// priority queue of ready vertices, face-flux storage and pending output
+// streams — survives across activations, making it fully reentrant
+// (partial computation, §III-A1).
+type Program struct {
+	// Key identifies this program: Patch = patch id, Task = angle id.
+	Key core.ProgramKey
+
+	prob  *transport.Problem
+	g     *graph.PatchGraph
+	dir   quadrature.Direction
+	q     [][]float64 // emission density [group][globalCell]
+	grain int         // vertex clustering grain N (§V-C)
+
+	// counts[v] is the number of unfinished upwind vertices (Listing 1
+	// line 6).
+	counts []int32
+	// ready is the priority queue Q of Listing 1 line 7, ordered by the
+	// vertex priority strategy.
+	ready vertexQueue
+	prio  []int32
+	// psiFace stores incoming face fluxes: [v*maxFaces*G + f*G + g].
+	psiFace []float64
+	// phiLocal accumulates w·ψ̄ per [group][local vertex]; the solver
+	// reduces programs in angle order, keeping results bit-reproducible.
+	phiLocal [][]float64
+	// outstreams aggregates boundary fluxes per target program (Listing 1
+	// line 8); pending holds encoded streams awaiting Output.
+	outstreams map[core.ProgramKey][]faceFlux
+	pending    []core.Stream
+	remaining  int64
+
+	// recordClusters makes Compute record each vertex batch for graph
+	// coarsening (§V-E).
+	recordClusters bool
+	clusters       [][]int32
+
+	// scratch buffers reused across vertices.
+	qCell, psiOut, psiBar, psiScratch []float64
+
+	// stats
+	computeCalls int64
+	solvedBatch  int64
+}
+
+// ProgramConfig bundles the immutable inputs of a sweep program.
+type ProgramConfig struct {
+	Prob *transport.Problem
+	// Graph is this (patch, angle)'s dependency subgraph.
+	Graph *graph.PatchGraph
+	// Dir is the quadrature direction of the angle.
+	Dir quadrature.Direction
+	// Q is the emission density [group][globalCell].
+	Q [][]float64
+	// Grain is the vertex clustering grain (≥ 1).
+	Grain int
+	// VertexPrio orders the ready queue (one entry per local vertex).
+	VertexPrio []int32
+	// RecordClusters enables cluster recording for coarsening.
+	RecordClusters bool
+}
+
+// NewProgram builds a sweep patch-program.
+func NewProgram(cfg ProgramConfig) *Program {
+	grain := cfg.Grain
+	if grain < 1 {
+		grain = 1
+	}
+	return &Program{
+		Key:            core.ProgramKey{Patch: cfg.Graph.Patch, Task: core.TaskTag(cfg.Graph.Angle)},
+		prob:           cfg.Prob,
+		g:              cfg.Graph,
+		dir:            cfg.Dir,
+		q:              cfg.Q,
+		grain:          grain,
+		prio:           cfg.VertexPrio,
+		recordClusters: cfg.RecordClusters,
+	}
+}
+
+// PhiLocal exposes the accumulated w·ψ̄ [group][local vertex] after a run.
+func (p *Program) PhiLocal() [][]float64 { return p.phiLocal }
+
+// Clusters returns the recorded vertex clusters (RecordClusters mode).
+func (p *Program) Clusters() [][]int32 { return p.clusters }
+
+// Graph returns the program's dependency subgraph.
+func (p *Program) Graph() *graph.PatchGraph { return p.g }
+
+// ComputeCalls returns the number of Compute invocations (scheduling events).
+func (p *Program) ComputeCalls() int64 { return p.computeCalls }
+
+// Init implements core.PatchProgram (Listing 1 init): reset counters,
+// collect source vertices into the ready queue.
+func (p *Program) Init() {
+	n := p.g.NumVertices()
+	G := p.prob.Groups
+	mf := p.prob.MaxFaces()
+	p.counts = make([]int32, n)
+	copy(p.counts, p.g.InDegree)
+	p.psiFace = make([]float64, n*mf*G)
+	p.phiLocal = make([][]float64, G)
+	for g := range p.phiLocal {
+		p.phiLocal[g] = make([]float64, n)
+	}
+	p.outstreams = make(map[core.ProgramKey][]faceFlux)
+	p.remaining = int64(n)
+	p.qCell = make([]float64, G)
+	p.psiOut = make([]float64, mf*G)
+	p.psiBar = make([]float64, G)
+	p.psiScratch = make([]float64, G)
+	p.ready = vertexQueue{prio: p.prio}
+	for v := int32(0); v < int32(n); v++ {
+		if p.counts[v] == 0 {
+			heap.Push(&p.ready, v)
+		}
+	}
+}
+
+// Input implements core.PatchProgram (Listing 1 input): receive remote
+// face fluxes, decrement counters, enqueue newly-ready vertices.
+func (p *Program) Input(s core.Stream) {
+	G := p.prob.Groups
+	mf := p.prob.MaxFaces()
+	err := decodeFaceFluxes(s.Payload, G, p.psiScratch, func(v int32, face int8, psi []float64) {
+		base := (int(v)*mf + int(face)) * G
+		copy(p.psiFace[base:base+G], psi)
+		p.counts[v]--
+		if p.counts[v] == 0 {
+			heap.Push(&p.ready, v)
+		}
+	})
+	if err != nil {
+		// A malformed payload is a programming error in this closed
+		// system; surface loudly.
+		panic(err)
+	}
+}
+
+// Compute implements core.PatchProgram (Listing 1 compute): dequeue up to
+// grain ready vertices, solve them, propagate to downwind vertices.
+func (p *Program) Compute() {
+	p.computeCalls++
+	if p.ready.Len() == 0 {
+		return
+	}
+	G := p.prob.Groups
+	mf := p.prob.MaxFaces()
+	w := p.dir.Weight
+	var batch []int32
+	if p.recordClusters {
+		batch = make([]int32, 0, p.grain)
+	}
+	for solved := 0; solved < p.grain && p.ready.Len() > 0; solved++ {
+		v := heap.Pop(&p.ready).(int32)
+		if p.recordClusters {
+			batch = append(batch, v)
+		}
+		c := p.g.Cells[v]
+		base := v * int32(mf) * int32(G)
+		for g := 0; g < G; g++ {
+			p.qCell[g] = p.q[g][c]
+		}
+		p.prob.SolveCell(c, p.dir.Omega, p.qCell, p.psiFace[base:base+int32(mf*G)], p.psiOut, p.psiBar)
+		for g := 0; g < G; g++ {
+			p.phiLocal[g][v] += w * p.psiBar[g]
+		}
+		// Local downwind edges: write the face flux straight into the
+		// neighbour's slot.
+		for _, e := range p.g.LocalEdges(v) {
+			dst := (int(e.To)*mf + int(e.Face)) * G
+			src := int(e.SrcFace) * G
+			copy(p.psiFace[dst:dst+G], p.psiOut[src:src+G])
+			p.counts[e.To]--
+			if p.counts[e.To] == 0 {
+				heap.Push(&p.ready, e.To)
+			}
+		}
+		// Remote downwind edges: aggregate per target program (§V-C).
+		for _, e := range p.g.RemoteEdges(v) {
+			key := core.ProgramKey{Patch: e.ToPatch, Task: p.Key.Task}
+			psi := make([]float64, G)
+			copy(psi, p.psiOut[int(e.SrcFace)*G:int(e.SrcFace)*G+G])
+			p.outstreams[key] = append(p.outstreams[key], faceFlux{v: e.To, face: e.Face, psi: psi})
+		}
+		p.remaining--
+	}
+	if p.recordClusters && len(batch) > 0 {
+		p.clusters = append(p.clusters, batch)
+	}
+	p.solvedBatch++
+	p.flushOutstreams()
+}
+
+// flushOutstreams converts aggregated fluxes into pending streams, one per
+// target program, in deterministic key order.
+func (p *Program) flushOutstreams() {
+	if len(p.outstreams) == 0 {
+		return
+	}
+	keys := make([]core.ProgramKey, 0, len(p.outstreams))
+	for k := range p.outstreams {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Patch != keys[j].Patch {
+			return keys[i].Patch < keys[j].Patch
+		}
+		return keys[i].Task < keys[j].Task
+	})
+	for _, k := range keys {
+		p.pending = append(p.pending, core.Stream{
+			SrcPatch: p.Key.Patch, SrcTask: p.Key.Task,
+			TgtPatch: k.Patch, TgtTask: k.Task,
+			Payload: encodeFaceFluxes(p.prob.Groups, p.outstreams[k]),
+		})
+		delete(p.outstreams, k)
+	}
+}
+
+// Output implements core.PatchProgram (Listing 1 output).
+func (p *Program) Output() (core.Stream, bool) {
+	if len(p.pending) == 0 {
+		return core.Stream{}, false
+	}
+	s := p.pending[0]
+	p.pending = p.pending[1:]
+	return s, true
+}
+
+// VoteToHalt implements core.PatchProgram (Listing 1 vote_to_halt): halt
+// when no vertex is ready.
+func (p *Program) VoteToHalt() bool { return p.ready.Len() == 0 }
+
+// RemainingWork implements core.WorkloadReporter: unfinished (cell, angle)
+// count of this program.
+func (p *Program) RemainingWork() int64 { return p.remaining }
+
+// vertexQueue is a max-heap of local vertex ids ordered by prio (ties by
+// vertex id for determinism).
+type vertexQueue struct {
+	prio []int32
+	heap []int32
+}
+
+func (q *vertexQueue) Len() int { return len(q.heap) }
+func (q *vertexQueue) Less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if q.prio != nil && q.prio[a] != q.prio[b] {
+		return q.prio[a] > q.prio[b]
+	}
+	return a < b
+}
+func (q *vertexQueue) Swap(i, j int)      { q.heap[i], q.heap[j] = q.heap[j], q.heap[i] }
+func (q *vertexQueue) Push(x interface{}) { q.heap = append(q.heap, x.(int32)) }
+func (q *vertexQueue) Pop() interface{} {
+	old := q.heap
+	n := len(old)
+	v := old[n-1]
+	q.heap = old[:n-1]
+	return v
+}

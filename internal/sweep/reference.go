@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"fmt"
+
+	"jsweep/internal/graph"
+	"jsweep/internal/mesh"
+	"jsweep/internal/transport"
+)
+
+// Reference is the serial ground-truth sweep executor: for every angle it
+// walks the global topological order of the mesh and applies the kernel.
+// The sweep result is schedule-independent (each cell's kernel sees the
+// same inputs under any dependency-respecting order), so every parallel
+// executor in this repository must reproduce Reference bit-for-bit.
+type Reference struct {
+	prob *transport.Problem
+	// orders caches the topological order per angle.
+	orders [][]mesh.CellID
+}
+
+// NewReference builds the reference executor, precomputing and validating
+// the per-angle topological orders (errors on cyclic dependencies).
+func NewReference(prob *transport.Problem) (*Reference, error) {
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Reference{prob: prob}
+	r.orders = make([][]mesh.CellID, len(prob.Quad.Directions))
+	for a, d := range prob.Quad.Directions {
+		order, err := graph.GlobalTopoOrder(prob.M, d.Omega)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: angle %d: %w", a, err)
+		}
+		r.orders[a] = order
+	}
+	return r, nil
+}
+
+// Sweep implements transport.SweepExecutor.
+func (r *Reference) Sweep(q [][]float64) ([][]float64, error) {
+	p := r.prob
+	m := p.M
+	G := p.Groups
+	mf := p.MaxFaces()
+	nc := m.NumCells()
+	phi := p.NewFlux()
+
+	psiFace := make([]float64, nc*mf*G)
+	qCell := make([]float64, G)
+	psiOut := make([]float64, mf*G)
+	psiBar := make([]float64, G)
+
+	for a, d := range p.Quad.Directions {
+		// Zero the face buffer (vacuum boundaries).
+		for i := range psiFace {
+			psiFace[i] = 0
+		}
+		for _, c := range r.orders[a] {
+			base := (int(c)) * mf * G
+			for g := 0; g < G; g++ {
+				qCell[g] = q[g][c]
+			}
+			p.SolveCell(c, d.Omega, qCell, psiFace[base:base+mf*G], psiOut, psiBar)
+			for g := 0; g < G; g++ {
+				phi[g][c] += d.Weight * psiBar[g]
+			}
+			// Propagate outgoing fluxes to downwind neighbours (same
+			// grazing-face classification as the DAG builder).
+			nf := m.NumFaces(c)
+			for f := 0; f < nf; f++ {
+				face := m.Face(c, f)
+				if face.Neighbor < 0 || d.Omega.Dot(face.Normal) <= mesh.UpwindEps {
+					continue
+				}
+				back := backFaceOf(m, face.Neighbor, c)
+				dst := (int(face.Neighbor)*mf + back) * G
+				copy(psiFace[dst:dst+G], psiOut[f*G:f*G+G])
+			}
+		}
+	}
+	return phi, nil
+}
+
+func backFaceOf(m mesh.Mesh, nb, c mesh.CellID) int {
+	nf := m.NumFaces(nb)
+	for i := 0; i < nf; i++ {
+		if m.Face(nb, i).Neighbor == c {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("sweep: faces of %d and %d not reciprocal", nb, c))
+}

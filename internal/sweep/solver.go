@@ -1,0 +1,304 @@
+package sweep
+
+import (
+	"fmt"
+
+	"jsweep/internal/core"
+	"jsweep/internal/graph"
+	"jsweep/internal/mesh"
+	"jsweep/internal/priority"
+	"jsweep/internal/runtime"
+	"jsweep/internal/transport"
+)
+
+// Options configures the JSweep data-driven solver.
+type Options struct {
+	// Procs and Workers shape the runtime (ignored when Sequential).
+	Procs, Workers int
+	// Grain is the vertex clustering grain N (§V-C); default 64.
+	Grain int
+	// Pair is the two-level priority strategy (§V-D); default SLBD+SLBD —
+	// the paper's recommended configuration.
+	Pair priority.Pair
+	// UseCoarse caches vertex clusters from the first sweep and runs later
+	// sweeps on the coarsened graph (§V-E).
+	UseCoarse bool
+	// Sequential executes on the deterministic single-threaded core.Engine
+	// instead of the parallel runtime (for debugging and validation).
+	Sequential bool
+	// Termination selects the runtime's termination detector; sweeps know
+	// their workload, so Workload is the default.
+	Termination runtime.TerminationMode
+}
+
+func (o *Options) defaults() {
+	if o.Procs < 1 {
+		o.Procs = 1
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Grain < 1 {
+		o.Grain = 64
+	}
+}
+
+// SweepStats captures the cost of the last executed sweep.
+type SweepStats struct {
+	// Runtime holds the parallel runtime statistics (zero when Sequential).
+	Runtime runtime.Stats
+	// ComputeCalls counts patch-program Compute invocations (scheduling
+	// events) — the quantity graph coarsening reduces.
+	ComputeCalls int64
+	// Streams counts the streams the programs emitted.
+	Streams int64
+	// Coarse reports whether the sweep ran on the coarsened graph.
+	Coarse bool
+}
+
+// Solver is the JSweep Sn sweep component (§V): it owns the per-(patch,
+// angle) dependency graphs and priorities and executes transport sweeps on
+// the patch-centric runtime. It implements transport.SweepExecutor, so it
+// plugs directly into transport.SourceIterate.
+type Solver struct {
+	prob *transport.Problem
+	d    *mesh.Decomposition
+	opts Options
+
+	// graphs[a][p] is G_{p,a}.
+	graphs [][]*graph.PatchGraph
+	// patchPrio[a][p] is prior(p) for angle a; vertexPrio[a][p] the
+	// in-patch queue priorities.
+	patchPrio  [][]int64
+	vertexPrio [][][]int32
+
+	cg    *graph.CoarseGraph
+	stats SweepStats
+}
+
+// NewSolver prepares a solver: builds every G_{p,a}, the patch-level DAGs
+// and both priority levels, and places patches on processes.
+func NewSolver(prob *transport.Problem, d *mesh.Decomposition, opts Options) (*Solver, error) {
+	opts.defaults()
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	if d.Mesh != prob.M {
+		return nil, fmt.Errorf("sweep: decomposition and problem use different meshes")
+	}
+	s := &Solver{prob: prob, d: d, opts: opts}
+	d.Place(opts.Procs)
+	na := len(prob.Quad.Directions)
+	np := d.NumPatches()
+	s.graphs = make([][]*graph.PatchGraph, na)
+	s.patchPrio = make([][]int64, na)
+	s.vertexPrio = make([][][]int32, na)
+	for a := 0; a < na; a++ {
+		omega := prob.Quad.Directions[a].Omega
+		s.graphs[a] = graph.BuildAllPatchGraphs(d, omega, int32(a))
+		dag := graph.BuildPatchDAG(d, omega)
+		s.patchPrio[a] = priority.PatchPriorities(opts.Pair.Patch, dag)
+		s.vertexPrio[a] = make([][]int32, np)
+		for p := 0; p < np; p++ {
+			s.vertexPrio[a][p] = priority.VertexPriorities(opts.Pair.Vertex, s.graphs[a][p])
+		}
+	}
+	return s, nil
+}
+
+// LastStats returns the statistics of the most recent sweep.
+func (s *Solver) LastStats() SweepStats { return s.stats }
+
+// CoarseGraph returns the cached coarsened graph (nil until built).
+func (s *Solver) CoarseGraph() *graph.CoarseGraph { return s.cg }
+
+// progIndex flattens (angle, patch) into the program index used with
+// graph.Coarsen.
+func (s *Solver) progIndex(a, p int) int { return a*s.d.NumPatches() + p }
+
+// Sweep implements transport.SweepExecutor. The first call under
+// UseCoarse records clusters and builds the coarsened graph; subsequent
+// calls execute on it.
+func (s *Solver) Sweep(q [][]float64) ([][]float64, error) {
+	if s.cg != nil {
+		return s.sweepCoarse(q)
+	}
+	record := s.opts.UseCoarse
+	phi, progs, err := s.sweepFine(q, record)
+	if err != nil {
+		return nil, err
+	}
+	if record {
+		if err := s.buildCoarse(progs); err != nil {
+			return nil, fmt.Errorf("sweep: coarsening: %w", err)
+		}
+	}
+	return phi, nil
+}
+
+// sweepFine runs a DAG-driven sweep with per-vertex scheduling.
+func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Program, error) {
+	na := len(s.prob.Quad.Directions)
+	np := s.d.NumPatches()
+	progs := make([][]*Program, na)
+	for a := 0; a < na; a++ {
+		progs[a] = make([]*Program, np)
+		for p := 0; p < np; p++ {
+			progs[a][p] = NewProgram(ProgramConfig{
+				Prob:           s.prob,
+				Graph:          s.graphs[a][p],
+				Dir:            s.prob.Quad.Directions[a],
+				Q:              q,
+				Grain:          s.opts.Grain,
+				VertexPrio:     s.vertexPrio[a][p],
+				RecordClusters: record,
+			})
+		}
+	}
+	run := func(register func(key core.ProgramKey, prog core.PatchProgram, prio int64, rank int) error) error {
+		for a := 0; a < na; a++ {
+			for p := 0; p < np; p++ {
+				prio := priority.Combine(priority.AnglePriority(int32(a)), s.patchPrio[a][p])
+				if err := register(progs[a][p].Key, progs[a][p], prio, s.d.Owner[p]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := s.execute(run); err != nil {
+		return nil, nil, err
+	}
+	// Deterministic reduction: angle-major, patch-major, vertex order.
+	phi := s.prob.NewFlux()
+	s.stats.ComputeCalls = 0
+	s.stats.Streams = s.stats.Runtime.LocalStreams + s.stats.Runtime.RemoteStreams
+	s.stats.Coarse = false
+	for a := 0; a < na; a++ {
+		for p := 0; p < np; p++ {
+			prog := progs[a][p]
+			if prog.RemainingWork() != 0 {
+				return nil, nil, fmt.Errorf("sweep: program %v finished with %d vertices unswept", prog.Key, prog.RemainingWork())
+			}
+			s.stats.ComputeCalls += prog.ComputeCalls()
+			local := prog.PhiLocal()
+			cells := s.graphs[a][p].Cells
+			for g := 0; g < s.prob.Groups; g++ {
+				dst := phi[g]
+				src := local[g]
+				for v, c := range cells {
+					dst[c] += src[v]
+				}
+			}
+		}
+	}
+	return phi, progs, nil
+}
+
+// sweepCoarse runs a sweep on the cached coarsened graph.
+func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
+	na := len(s.prob.Quad.Directions)
+	np := s.d.NumPatches()
+	progs := make([][]*CoarseProgram, na)
+	for a := 0; a < na; a++ {
+		progs[a] = make([]*CoarseProgram, np)
+		for p := 0; p < np; p++ {
+			progs[a][p] = NewCoarseProgram(CoarseConfig{
+				Prob:  s.prob,
+				Graph: s.graphs[a][p],
+				CG:    s.cg,
+				CVs:   s.cg.ByProgram[s.progIndex(a, p)],
+				Dir:   s.prob.Quad.Directions[a],
+				Q:     q,
+			})
+		}
+	}
+	run := func(register func(key core.ProgramKey, prog core.PatchProgram, prio int64, rank int) error) error {
+		for a := 0; a < na; a++ {
+			for p := 0; p < np; p++ {
+				prio := priority.Combine(priority.AnglePriority(int32(a)), s.patchPrio[a][p])
+				if err := register(progs[a][p].Key, progs[a][p], prio, s.d.Owner[p]); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := s.execute(run); err != nil {
+		return nil, err
+	}
+	phi := s.prob.NewFlux()
+	s.stats.ComputeCalls = 0
+	s.stats.Streams = s.stats.Runtime.LocalStreams + s.stats.Runtime.RemoteStreams
+	s.stats.Coarse = true
+	for a := 0; a < na; a++ {
+		for p := 0; p < np; p++ {
+			prog := progs[a][p]
+			if prog.RemainingWork() != 0 {
+				return nil, fmt.Errorf("sweep: coarse program %v finished with %d vertices unswept", prog.Key, prog.RemainingWork())
+			}
+			s.stats.ComputeCalls += prog.ComputeCalls()
+			local := prog.PhiLocal()
+			cells := s.graphs[a][p].Cells
+			for g := 0; g < s.prob.Groups; g++ {
+				dst := phi[g]
+				src := local[g]
+				for v, c := range cells {
+					dst[c] += src[v]
+				}
+			}
+		}
+	}
+	return phi, nil
+}
+
+// execute runs the registered programs on the engine or the runtime.
+func (s *Solver) execute(register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error) error {
+	if s.opts.Sequential {
+		eng := core.NewEngine()
+		if err := register(func(k core.ProgramKey, pr core.PatchProgram, prio int64, _ int) error {
+			return eng.Register(k, pr, prio)
+		}); err != nil {
+			return err
+		}
+		_, err := eng.Run()
+		s.stats.Runtime = runtime.Stats{}
+		return err
+	}
+	rt, err := runtime.New(runtime.Config{
+		Procs:       s.opts.Procs,
+		Workers:     s.opts.Workers,
+		Termination: s.opts.Termination,
+	})
+	if err != nil {
+		return err
+	}
+	if err := register(rt.Register); err != nil {
+		return err
+	}
+	st, err := rt.Run()
+	s.stats.Runtime = st
+	return err
+}
+
+// buildCoarse assembles the coarsened graph from recorded clusters.
+func (s *Solver) buildCoarse(progs [][]*Program) error {
+	na := len(s.prob.Quad.Directions)
+	np := s.d.NumPatches()
+	graphs := make([]*graph.PatchGraph, 0, na*np)
+	clusters := make([][][]int32, 0, na*np)
+	for a := 0; a < na; a++ {
+		for p := 0; p < np; p++ {
+			graphs = append(graphs, s.graphs[a][p])
+			clusters = append(clusters, progs[a][p].Clusters())
+		}
+	}
+	cg, err := graph.Coarsen(graphs, clusters)
+	if err != nil {
+		return err
+	}
+	s.cg = cg
+	return nil
+}
+
+var _ transport.SweepExecutor = (*Solver)(nil)

@@ -1,0 +1,442 @@
+package sweep_test
+
+import (
+	"math"
+	"testing"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/partition"
+	"jsweep/internal/priority"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/runtime"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// kobaSmall builds a 12³ Kobayashi problem (diamond, S2) with 4³-cell
+// patches — small enough for exhaustive cross-validation.
+func kobaSmall(t *testing.T, scattering bool) (*transport.Problem, *mesh.Decomposition) {
+	t.Helper()
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: 12, SnOrder: 2, Scattering: scattering, Scheme: transport.Diamond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, d
+}
+
+// ballSmall builds a small unstructured tet-ball problem (step, S2).
+func ballSmall(t *testing.T) (*transport.Problem, *mesh.Decomposition) {
+	t.Helper()
+	m, err := meshgen.Ball(6, 10.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMaterialFunc(func(c geom.Vec3) int { return 0 })
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &transport.Problem{
+		M: m,
+		Mats: []transport.Material{{
+			Name:   "ball",
+			SigmaT: []float64{0.3},
+			Source: []float64{1.0},
+		}},
+		Quad:   quad,
+		Groups: 1,
+		Scheme: transport.Step,
+	}
+	d, err := partition.ByCount(m, 8, partition.RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prob, d
+}
+
+func uniformQ(prob *transport.Problem) [][]float64 {
+	q := prob.NewFlux()
+	nc := prob.M.NumCells()
+	scratch := make([]float64, prob.Groups)
+	zero := prob.NewFlux()
+	for c := 0; c < nc; c++ {
+		prob.EmissionDensity(mesh.CellID(c), zero, scratch)
+		for g := 0; g < prob.Groups; g++ {
+			q[g][c] = scratch[g]
+		}
+	}
+	return q
+}
+
+func bitwiseEqual(t *testing.T, name string, a, b [][]float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: group count %d vs %d", name, len(a), len(b))
+	}
+	for g := range a {
+		if len(a[g]) != len(b[g]) {
+			t.Fatalf("%s: group %d length mismatch", name, g)
+		}
+		for c := range a[g] {
+			if a[g][c] != b[g][c] {
+				t.Fatalf("%s: group %d cell %d: %v != %v (Δ=%g)", name, g, c, a[g][c], b[g][c], a[g][c]-b[g][c])
+			}
+		}
+	}
+}
+
+func refSweep(t *testing.T, prob *transport.Problem, q [][]float64) [][]float64 {
+	t.Helper()
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := ref.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return phi
+}
+
+// The central integration invariant: the JSweep solver — sequential engine
+// or parallel runtime, any topology — reproduces the serial reference
+// bit-for-bit on structured meshes.
+func TestSolverMatchesReferenceStructured(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	want := refSweep(t, prob, q)
+	for _, cfg := range []sweep.Options{
+		{Sequential: true},
+		{Procs: 1, Workers: 1},
+		{Procs: 2, Workers: 2},
+		{Procs: 4, Workers: 3},
+	} {
+		cfg.Grain = 16
+		cfg.Pair = priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD}
+		s, err := sweep.NewSolver(prob, d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, err := s.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitwiseEqual(t, "structured solver", want, phi)
+	}
+}
+
+func TestSolverMatchesReferenceUnstructured(t *testing.T) {
+	prob, d := ballSmall(t)
+	q := uniformQ(prob)
+	want := refSweep(t, prob, q)
+	s, err := sweep.NewSolver(prob, d, sweep.Options{
+		Procs: 3, Workers: 2, Grain: 8,
+		Pair: priority.Pair{Patch: priority.BFS, Vertex: priority.SLBD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := s.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "unstructured solver", want, phi)
+}
+
+// Vertex clustering grain must not change results (§V-C): only scheduling.
+func TestGrainInvariance(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	want := refSweep(t, prob, q)
+	for _, grain := range []int{1, 3, 64, 1 << 20} {
+		s, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: grain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, err := s.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitwiseEqual(t, "grain", want, phi)
+	}
+}
+
+// Priority strategies must not change results (§V-D): only schedules.
+func TestPriorityInvariance(t *testing.T) {
+	prob, d := ballSmall(t)
+	q := uniformQ(prob)
+	want := refSweep(t, prob, q)
+	for _, pp := range []priority.Strategy{priority.BFS, priority.LDCP, priority.SLBD} {
+		for _, vp := range []priority.Strategy{priority.BFS, priority.LDCP, priority.SLBD} {
+			s, err := sweep.NewSolver(prob, d, sweep.Options{
+				Procs: 2, Workers: 2, Grain: 4,
+				Pair: priority.Pair{Patch: pp, Vertex: vp},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			phi, err := s.Sweep(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bitwiseEqual(t, pp.String()+"+"+vp.String(), want, phi)
+		}
+	}
+}
+
+// Coarsened-graph sweeps (§V-E) must reproduce fine sweeps exactly while
+// cutting scheduling events.
+func TestCoarseGraphEquivalence(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	s, err := sweep.NewSolver(prob, d, sweep.Options{
+		Procs: 2, Workers: 2, Grain: 8, UseCoarse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phiFine, err := s.Sweep(q) // records clusters, builds CG
+	if err != nil {
+		t.Fatal(err)
+	}
+	fineCalls := s.LastStats().ComputeCalls
+	if s.CoarseGraph() == nil {
+		t.Fatal("coarse graph not built after first sweep")
+	}
+	phiCoarse, err := s.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarseCalls := s.LastStats().ComputeCalls
+	if !s.LastStats().Coarse {
+		t.Error("second sweep should run on the coarse graph")
+	}
+	bitwiseEqual(t, "coarse vs fine", phiFine, phiCoarse)
+	if coarseCalls >= fineCalls {
+		t.Errorf("coarse sweep used %d compute calls, fine used %d — no reduction", coarseCalls, fineCalls)
+	}
+}
+
+func TestCoarseGraphUnstructured(t *testing.T) {
+	prob, d := ballSmall(t)
+	q := uniformQ(prob)
+	s, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: 16, UseCoarse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi1, err := s.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi2, err := s.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "unstructured coarse", phi1, phi2)
+}
+
+// Full source iteration through the solver equals iteration through the
+// reference, including iteration counts (bitwise sweeps ⇒ bitwise flux).
+func TestSourceIterationSolverVsReference(t *testing.T) {
+	prob, d := kobaSmall(t, true) // with scattering
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := transport.IterConfig{Tolerance: 1e-8, MaxIterations: 100}
+	wantRes, err := transport.SourceIterate(prob, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sweep.NewSolver(prob, d, sweep.Options{Procs: 2, Workers: 2, Grain: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := transport.SourceIterate(prob, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Iterations != wantRes.Iterations {
+		t.Errorf("iterations: solver %d vs reference %d", gotRes.Iterations, wantRes.Iterations)
+	}
+	if !gotRes.Converged {
+		t.Error("solver iteration did not converge")
+	}
+	bitwiseEqual(t, "source iteration", wantRes.Phi, gotRes.Phi)
+}
+
+// Physics sanity on the Kobayashi geometry: the void duct transports flux
+// much further than the shield does.
+func TestKobayashiDuctStreaming(t *testing.T) {
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: 20, SnOrder: 2, Scheme: transport.Step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transport.SourceIterate(prob, ref, transport.IterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sample at x≈45 cm: inside the duct (y,z ≈ 5) vs inside the shield
+	// (y,z ≈ 45).
+	dx := kobayashi.Extent / 20
+	at := func(x, y, z float64) float64 {
+		i := int(x / dx)
+		j := int(y / dx)
+		k := int(z / dx)
+		return res.Phi[0][m.Index(i, j, k)]
+	}
+	duct := at(45, 5, 5)
+	shield := at(45, 45, 45)
+	if duct <= 10*shield {
+		t.Errorf("duct streaming too weak: duct φ=%g, shield φ=%g", duct, shield)
+	}
+	// Flux must decay monotonically-ish along the shield diagonal.
+	if at(15, 15, 15) <= at(75, 75, 75) {
+		t.Error("flux should decay into the shield")
+	}
+}
+
+// Safra and Workload termination produce identical results.
+func TestTerminationModeInvariance(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	want := refSweep(t, prob, q)
+	for _, term := range []runtime.TerminationMode{runtime.Workload, runtime.Safra} {
+		s, err := sweep.NewSolver(prob, d, sweep.Options{
+			Procs: 2, Workers: 2, Grain: 16, Termination: term,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		phi, err := s.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitwiseEqual(t, term.String(), want, phi)
+	}
+}
+
+// Smaller grains mean more compute calls (scheduling events) — the §V-C
+// overhead the clustering grain trades against pipelining.
+func TestGrainReducesComputeCalls(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	calls := make(map[int]int64)
+	for _, grain := range []int{1, 16, 256} {
+		s, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: grain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Sweep(q); err != nil {
+			t.Fatal(err)
+		}
+		calls[grain] = s.LastStats().ComputeCalls
+	}
+	if !(calls[1] > calls[16] && calls[16] > calls[256]) {
+		t.Errorf("compute calls should fall with grain: %v", calls)
+	}
+}
+
+func TestSolverValidation(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	// Mismatched mesh.
+	other, _ := meshgen.Ball(4, 1)
+	od, err := partition.ByCount(other, 2, partition.RCB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.NewSolver(prob, od, sweep.Options{}); err == nil {
+		t.Error("mesh mismatch should fail")
+	}
+	_ = d
+}
+
+// The multigroup path: a 2-group problem with downscatter only.
+func TestMultigroupSweep(t *testing.T) {
+	m, err := mesh.NewStructured3D(6, 6, 6, geom.Vec3{}, geom.Vec3{X: 6, Y: 6, Z: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &transport.Problem{
+		M: m,
+		Mats: []transport.Material{{
+			Name:   "two-group",
+			SigmaT: []float64{1.0, 2.0},
+			SigmaS: [][]float64{{0.2, 0.3}, {0, 0.5}}, // g0→g0, g0→g1; g1→g1
+			Source: []float64{1.0, 0},
+		}},
+		Quad:   quad,
+		Groups: 2,
+		Scheme: transport.Diamond,
+	}
+	d, err := m.BlockDecompose(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transport.SourceIterate(prob, ref, transport.IterConfig{Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sweep.NewSolver(prob, d, sweep.Options{Procs: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := transport.SourceIterate(prob, s, transport.IterConfig{Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitwiseEqual(t, "multigroup", want.Phi, got.Phi)
+	// Group 1 is fed only by downscatter from group 0: nonzero but smaller.
+	var sum0, sum1 float64
+	for c := range got.Phi[0] {
+		sum0 += got.Phi[0][c]
+		sum1 += got.Phi[1][c]
+	}
+	if sum1 <= 0 || sum1 >= sum0 {
+		t.Errorf("downscatter group fluxes suspicious: g0=%g g1=%g", sum0, sum1)
+	}
+}
+
+// Leakage sanity for a conservative scheme: production ≥ absorption > 0
+// on a vacuum-bounded absorber.
+func TestBallBalance(t *testing.T) {
+	prob, d := ballSmall(t)
+	s, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := transport.SourceIterate(prob, s, transport.IterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prob.GroupBalance(res.Phi, 0)
+	if rep.Production <= 0 || rep.Absorption <= 0 {
+		t.Fatalf("degenerate balance: %+v", rep)
+	}
+	if rep.Absorption >= rep.Production {
+		t.Errorf("absorption %g should be below production %g (vacuum leakage)", rep.Absorption, rep.Production)
+	}
+	if rep.Leakage/rep.Production < 0.05 {
+		t.Errorf("a 10cm ball with σt=0.3 should leak noticeably: %+v", rep)
+	}
+	_ = math.Pi
+}

@@ -1,0 +1,162 @@
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"jsweep/internal/mesh"
+)
+
+// SweepExecutor performs one full transport sweep over all angles: given
+// the per-cell per-group emission density q [group][cell] (already per
+// steradian), it returns the scalar flux phi [group][cell] = Σ_m w_m ψ_m.
+//
+// The serial reference, the JSweep data-driven solver and the KBA/BSP
+// baselines all implement this interface; source iteration is generic over
+// it.
+type SweepExecutor interface {
+	Sweep(q [][]float64) (phi [][]float64, err error)
+}
+
+// IterConfig controls source iteration.
+type IterConfig struct {
+	// MaxIterations bounds the outer loop (default 200).
+	MaxIterations int
+	// Tolerance is the relative point-wise convergence criterion on the
+	// scalar flux (default 1e-6).
+	Tolerance float64
+}
+
+func (c *IterConfig) defaults() {
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 200
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-6
+	}
+}
+
+// Result is the outcome of a transport solve.
+type Result struct {
+	// Phi is the converged scalar flux [group][cell].
+	Phi [][]float64
+	// Iterations is the number of source iterations performed.
+	Iterations int
+	// Residual is the final relative change.
+	Residual float64
+	// Converged reports whether Residual <= Tolerance.
+	Converged bool
+}
+
+// NewFlux allocates a zero [group][cell] flux array for a problem.
+func (p *Problem) NewFlux() [][]float64 {
+	phi := make([][]float64, p.Groups)
+	for g := range phi {
+		phi[g] = make([]float64, p.M.NumCells())
+	}
+	return phi
+}
+
+// SourceIterate runs source iteration with the given sweep executor:
+// q = (S + Σs·φ)/4π, φ = Sweep(q), until the point-wise relative change of
+// φ is below tolerance. For pure absorbers a single sweep is exact and the
+// loop exits after verifying it.
+func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error) {
+	cfg.defaults()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	nc := p.M.NumCells()
+	phi := p.NewFlux()
+	q := make([][]float64, p.Groups)
+	for g := range q {
+		q[g] = make([]float64, nc)
+	}
+	res := &Result{}
+	qCell := make([]float64, p.Groups)
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		// Build emission density from the current flux.
+		for c := 0; c < nc; c++ {
+			p.EmissionDensity(mesh.CellID(c), phi, qCell)
+			for g := 0; g < p.Groups; g++ {
+				q[g][c] = qCell[g]
+			}
+		}
+		next, err := ex.Sweep(q)
+		if err != nil {
+			return nil, fmt.Errorf("transport: sweep %d: %w", iter, err)
+		}
+		res.Iterations = iter
+		res.Residual = relChange(phi, next)
+		res.Phi = next
+		phi = next
+		if res.Residual <= cfg.Tolerance {
+			res.Converged = true
+			return res, nil
+		}
+		if !p.HasScattering() && iter >= 1 {
+			// One sweep is exact without scattering.
+			res.Converged = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// relChange returns max |a-b| / max(|b|, tiny) over all entries.
+func relChange(a, b [][]float64) float64 {
+	var maxDiff, maxVal float64
+	for g := range b {
+		for c := range b[g] {
+			d := math.Abs(b[g][c] - a[g][c])
+			if d > maxDiff {
+				maxDiff = d
+			}
+			v := math.Abs(b[g][c])
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal == 0 {
+		if maxDiff == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return maxDiff / maxVal
+}
+
+// Balance computes the global neutron balance of a converged solution for
+// group g: (production, absorption+leakage estimate). For the step scheme
+// on a vacuum-bounded problem, production ≈ absorption + leakage.
+type BalanceReport struct {
+	Production float64 // ∫ S dV
+	Absorption float64 // ∫ σa φ dV
+	// Leakage is inferred as Production − Absorption for conservative
+	// schemes (outflow through the vacuum boundary).
+	Leakage float64
+}
+
+// GroupBalance reports the neutron balance for group g given a flux.
+func (p *Problem) GroupBalance(phi [][]float64, g int) BalanceReport {
+	var rep BalanceReport
+	nc := p.M.NumCells()
+	for c := 0; c < nc; c++ {
+		mat := p.Mat(mesh.CellID(c))
+		vol := p.M.CellVolume(mesh.CellID(c))
+		if mat.Source != nil {
+			rep.Production += mat.Source[g] * vol
+		}
+		// In-group absorption: σa = σt − Σ_gTo σs[g][gTo].
+		sigA := mat.SigmaT[g]
+		if mat.SigmaS != nil {
+			for gTo := 0; gTo < p.Groups; gTo++ {
+				sigA -= mat.SigmaS[g][gTo]
+			}
+		}
+		rep.Absorption += sigA * phi[g][c] * vol
+	}
+	rep.Leakage = rep.Production - rep.Absorption
+	return rep
+}

@@ -1,0 +1,260 @@
+// Package transport implements the discrete-ordinates (Sn) radiation
+// transport numerics the sweep framework solves: cross-section data, the
+// per-cell transport kernels (step/upwind for general meshes, diamond
+// difference for structured grids), and the source-iteration outer loop.
+// The actual mesh traversal is delegated to a SweepExecutor — the serial
+// reference, the JSweep data-driven runtime, and the KBA/BSP baselines all
+// implement it, which is how their numerics are cross-validated.
+package transport
+
+import (
+	"fmt"
+	"math"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/quadrature"
+)
+
+// FourPi is the solid angle of the unit sphere.
+const FourPi = 4 * math.Pi
+
+// Material holds multigroup cross sections and the fixed volumetric source
+// of one material zone.
+type Material struct {
+	// Name labels the zone in reports.
+	Name string
+	// SigmaT is the total macroscopic cross section per group [1/cm].
+	SigmaT []float64
+	// SigmaS is the isotropic scattering matrix: SigmaS[gFrom][gTo] is the
+	// cross section for scattering from group gFrom into gTo [1/cm].
+	// May be nil for a pure absorber.
+	SigmaS [][]float64
+	// Source is the fixed isotropic volumetric source per group
+	// [n/cm³/s]. May be nil.
+	Source []float64
+}
+
+// Scheme selects the spatial differencing of the kernel.
+type Scheme int
+
+const (
+	// Step is the fully-upwind (step) scheme: positive and conservative on
+	// any mesh; first-order accurate.
+	Step Scheme = iota
+	// Diamond is diamond differencing on structured grids: second-order,
+	// with a set-to-zero negative-flux fixup.
+	Diamond
+)
+
+func (s Scheme) String() string {
+	if s == Diamond {
+		return "diamond"
+	}
+	return "step"
+}
+
+// Problem is a complete Sn transport problem: mesh, material map,
+// quadrature and differencing scheme.
+type Problem struct {
+	M      mesh.Mesh
+	Mats   []Material
+	Quad   *quadrature.Set
+	Groups int
+	Scheme Scheme
+}
+
+// Validate checks internal consistency.
+func (p *Problem) Validate() error {
+	if p.M == nil || p.Quad == nil {
+		return fmt.Errorf("transport: problem needs a mesh and a quadrature set")
+	}
+	if p.Groups < 1 {
+		return fmt.Errorf("transport: need >= 1 energy group (got %d)", p.Groups)
+	}
+	if len(p.Mats) == 0 {
+		return fmt.Errorf("transport: no materials")
+	}
+	for i, m := range p.Mats {
+		if len(m.SigmaT) != p.Groups {
+			return fmt.Errorf("transport: material %d (%s) has %d sigma_t groups, want %d", i, m.Name, len(m.SigmaT), p.Groups)
+		}
+		if m.SigmaS != nil && len(m.SigmaS) != p.Groups {
+			return fmt.Errorf("transport: material %d scattering matrix has %d rows, want %d", i, len(m.SigmaS), p.Groups)
+		}
+		for _, row := range m.SigmaS {
+			if len(row) != p.Groups {
+				return fmt.Errorf("transport: material %d scattering row length %d, want %d", i, len(row), p.Groups)
+			}
+		}
+		if m.Source != nil && len(m.Source) != p.Groups {
+			return fmt.Errorf("transport: material %d source has %d groups, want %d", i, len(m.Source), p.Groups)
+		}
+	}
+	if p.Scheme == Diamond && !p.M.Structured() {
+		return fmt.Errorf("transport: diamond differencing requires a structured mesh")
+	}
+	nc := p.M.NumCells()
+	for c := 0; c < nc; c++ {
+		z := p.M.Material(mesh.CellID(c))
+		if z < 0 || z >= len(p.Mats) {
+			return fmt.Errorf("transport: cell %d references material zone %d outside [0,%d)", c, z, len(p.Mats))
+		}
+	}
+	return nil
+}
+
+// MaxFaces returns the per-cell face count bound (6 structured, 4 tets).
+func (p *Problem) MaxFaces() int {
+	if p.M.Structured() {
+		return 6
+	}
+	return 4
+}
+
+// Mat returns the material of a cell.
+func (p *Problem) Mat(c mesh.CellID) *Material { return &p.Mats[p.M.Material(c)] }
+
+// SolveCell computes the angular flux of one cell for one direction and
+// all groups, given the incoming face fluxes.
+//
+//	qCell  — total emission density per group [n/cm³/s/sr] (fixed source +
+//	         scattering, already divided by 4π)
+//	psiIn  — incoming angular flux per [face*Groups+g]; entries for
+//	         outgoing or boundary faces are ignored
+//	psiOut — filled with outgoing angular flux per [face*Groups+g];
+//	         incoming faces are left untouched
+//	psiBar — filled with the cell-average angular flux per group
+func (p *Problem) SolveCell(c mesh.CellID, omega geom.Vec3, qCell, psiIn, psiOut, psiBar []float64) {
+	switch p.Scheme {
+	case Diamond:
+		p.solveDiamond(c, omega, qCell, psiIn, psiOut, psiBar)
+	default:
+		p.solveStep(c, omega, qCell, psiIn, psiOut, psiBar)
+	}
+}
+
+// solveStep implements the fully-upwind finite-volume balance:
+//
+//	ψ_c = (q·V + Σ_in |Ω·n|·A·ψ_in) / (σt·V + Σ_out |Ω·n|·A),  ψ_out = ψ_c.
+func (p *Problem) solveStep(c mesh.CellID, omega geom.Vec3, qCell, psiIn, psiOut, psiBar []float64) {
+	m := p.M
+	mat := p.Mat(c)
+	vol := m.CellVolume(c)
+	nf := m.NumFaces(c)
+	G := p.Groups
+
+	var outCoef float64
+	// First pass: geometry terms. Grazing faces (|Ω·n| ≤ UpwindEps) carry
+	// no flow, matching the DAG builder's classification.
+	for g := 0; g < G; g++ {
+		psiBar[g] = qCell[g] * vol
+	}
+	for f := 0; f < nf; f++ {
+		face := m.Face(c, f)
+		dot := omega.Dot(face.Normal)
+		if dot > mesh.UpwindEps {
+			outCoef += dot * face.Area
+		} else if dot < -mesh.UpwindEps {
+			a := -dot * face.Area
+			for g := 0; g < G; g++ {
+				psiBar[g] += a * psiIn[f*G+g]
+			}
+		}
+	}
+	for g := 0; g < G; g++ {
+		psiBar[g] /= mat.SigmaT[g]*vol + outCoef
+	}
+	for f := 0; f < nf; f++ {
+		face := m.Face(c, f)
+		if omega.Dot(face.Normal) > mesh.UpwindEps {
+			for g := 0; g < G; g++ {
+				psiOut[f*G+g] = psiBar[g]
+			}
+		}
+	}
+}
+
+// solveDiamond implements diamond differencing on a structured grid:
+//
+//	ψ_c = (q·V + Σ_axes 2·|Ω_i|·A_i·ψ_in,i) / (σt·V + Σ_axes 2·|Ω_i|·A_i)
+//	ψ_out,i = 2·ψ_c − ψ_in,i   (set-to-zero fixup when negative)
+func (p *Problem) solveDiamond(c mesh.CellID, omega geom.Vec3, qCell, psiIn, psiOut, psiBar []float64) {
+	m := p.M
+	mat := p.Mat(c)
+	vol := m.CellVolume(c)
+	G := p.Groups
+
+	// Identify the incoming face per axis: faces come in (lo, hi) pairs.
+	type axis struct {
+		inFace, outFace int
+		coef            float64 // 2·|Ω_i|·A_i
+	}
+	var axes [3]axis
+	for i := 0; i < 3; i++ {
+		lo, hi := 2*i, 2*i+1
+		fLo := m.Face(c, lo)
+		dot := omega.Dot(fLo.Normal) // negative when flow enters through lo
+		if dot < 0 {
+			axes[i] = axis{inFace: lo, outFace: hi, coef: 2 * (-dot) * fLo.Area}
+		} else {
+			axes[i] = axis{inFace: hi, outFace: lo, coef: 2 * dot * fLo.Area}
+		}
+	}
+	var denom float64
+	for g := 0; g < G; g++ {
+		psiBar[g] = qCell[g] * vol
+	}
+	denomBase := 0.0
+	for i := 0; i < 3; i++ {
+		denomBase += axes[i].coef
+		for g := 0; g < G; g++ {
+			psiBar[g] += axes[i].coef * psiIn[axes[i].inFace*G+g]
+		}
+	}
+	for g := 0; g < G; g++ {
+		denom = mat.SigmaT[g]*vol + denomBase
+		psiBar[g] /= denom
+	}
+	for i := 0; i < 3; i++ {
+		for g := 0; g < G; g++ {
+			out := 2*psiBar[g] - psiIn[axes[i].inFace*G+g]
+			if out < 0 {
+				out = 0 // set-to-zero fixup
+			}
+			psiOut[axes[i].outFace*G+g] = out
+		}
+	}
+}
+
+// EmissionDensity fills q[g] with the per-steradian emission density of
+// cell c given the current scalar flux: (source + Σ_g' σs[g'→g]·φ_g')/4π.
+func (p *Problem) EmissionDensity(c mesh.CellID, phi [][]float64, q []float64) {
+	mat := p.Mat(c)
+	for g := 0; g < p.Groups; g++ {
+		v := 0.0
+		if mat.Source != nil {
+			v = mat.Source[g]
+		}
+		if mat.SigmaS != nil {
+			for gp := 0; gp < p.Groups; gp++ {
+				v += mat.SigmaS[gp][g] * phi[gp][c]
+			}
+		}
+		q[g] = v / FourPi
+	}
+}
+
+// HasScattering reports whether any material scatters (needing iteration).
+func (p *Problem) HasScattering() bool {
+	for _, m := range p.Mats {
+		for _, row := range m.SigmaS {
+			for _, v := range row {
+				if v != 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,281 @@
+package transport
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+	"jsweep/internal/quadrature"
+)
+
+func uniformProblem(t *testing.T, n int, sigmaT, scatterRatio, source float64, scheme Scheme) *Problem {
+	t.Helper()
+	m, err := mesh.NewStructured3D(n, n, n, geom.Vec3{}, geom.Vec3{X: float64(n), Y: float64(n), Z: float64(n)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Problem{
+		M: m,
+		Mats: []Material{{
+			Name:   "uniform",
+			SigmaT: []float64{sigmaT},
+			SigmaS: [][]float64{{sigmaT * scatterRatio}},
+			Source: []float64{source},
+		}},
+		Quad:   quad,
+		Groups: 1,
+		Scheme: scheme,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	m, _ := mesh.NewStructured3D(2, 2, 2, geom.Vec3{}, geom.Vec3{X: 1, Y: 1, Z: 1})
+	quad, _ := quadrature.New(2)
+	cases := []struct {
+		name string
+		p    *Problem
+	}{
+		{"no mesh", &Problem{Quad: quad, Groups: 1, Mats: []Material{{SigmaT: []float64{1}}}}},
+		{"no groups", &Problem{M: m, Quad: quad, Groups: 0, Mats: []Material{{SigmaT: []float64{1}}}}},
+		{"no materials", &Problem{M: m, Quad: quad, Groups: 1}},
+		{"bad sigma_t", &Problem{M: m, Quad: quad, Groups: 2, Mats: []Material{{SigmaT: []float64{1}}}}},
+		{"bad scatter rows", &Problem{M: m, Quad: quad, Groups: 1, Mats: []Material{{SigmaT: []float64{1}, SigmaS: [][]float64{{1}, {2}}}}}},
+		{"bad source", &Problem{M: m, Quad: quad, Groups: 1, Mats: []Material{{SigmaT: []float64{1}, Source: []float64{1, 2}}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: validation should fail", tc.name)
+		}
+	}
+}
+
+func TestValidateDiamondNeedsStructured(t *testing.T) {
+	p := uniformProblem(t, 3, 1, 0, 1, Diamond)
+	if err := p.Validate(); err != nil {
+		t.Errorf("diamond on structured should validate: %v", err)
+	}
+}
+
+// Kernel property: the step scheme satisfies the exact cell balance
+// out − in + σt·V·ψ̄ = q·V for any inputs, and is positivity-preserving.
+func TestStepKernelBalanceProperty(t *testing.T) {
+	p := uniformProblem(t, 3, 1, 0, 1, Step)
+	m := p.M
+	c := mesh.CellID(13) // interior cell of the 3³ grid
+	omega := geom.Vec3{X: 0.48, Y: 0.6, Z: 0.64}
+	f := func(q, in0, in1, in2 float64) bool {
+		q = math.Abs(math.Mod(q, 100))
+		psiIn := make([]float64, 6)
+		psiOut := make([]float64, 6)
+		psiBar := make([]float64, 1)
+		ins := []float64{math.Abs(math.Mod(in0, 50)), math.Abs(math.Mod(in1, 50)), math.Abs(math.Mod(in2, 50))}
+		k := 0
+		for fc := 0; fc < 6; fc++ {
+			face := m.Face(c, fc)
+			if omega.Dot(face.Normal) < 0 {
+				psiIn[fc] = ins[k%3]
+				k++
+			}
+		}
+		p.SolveCell(c, omega, []float64{q}, psiIn, psiOut, psiBar)
+		if psiBar[0] < 0 {
+			return false
+		}
+		var in, out float64
+		for fc := 0; fc < 6; fc++ {
+			face := m.Face(c, fc)
+			dot := omega.Dot(face.Normal)
+			if dot > 0 {
+				out += dot * face.Area * psiOut[fc]
+			} else if dot < 0 {
+				in += -dot * face.Area * psiIn[fc]
+			}
+		}
+		vol := m.CellVolume(c)
+		lhs := out - in + p.Mats[0].SigmaT[0]*vol*psiBar[0]
+		rhs := q * vol
+		scale := math.Max(1, math.Max(math.Abs(lhs), math.Abs(rhs)))
+		return math.Abs(lhs-rhs)/scale < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Diamond kernel: balance holds whenever the fixup does not trigger.
+func TestDiamondKernelBalance(t *testing.T) {
+	p := uniformProblem(t, 3, 2, 0, 1, Diamond)
+	m := p.M
+	c := mesh.CellID(13)
+	omega := geom.Vec3{X: 0.577, Y: 0.577, Z: 0.578}.Normalize()
+	psiIn := make([]float64, 6)
+	psiOut := make([]float64, 6)
+	psiBar := make([]float64, 1)
+	// Smooth incoming flux avoids the negative-flux fixup.
+	for fc := 0; fc < 6; fc++ {
+		if omega.Dot(m.Face(c, fc).Normal) < 0 {
+			psiIn[fc] = 1.0
+		}
+	}
+	q := 0.5
+	p.SolveCell(c, omega, []float64{q}, psiIn, psiOut, psiBar)
+	var in, out float64
+	for fc := 0; fc < 6; fc++ {
+		face := m.Face(c, fc)
+		dot := omega.Dot(face.Normal)
+		if dot > 0 {
+			if psiOut[fc] < 0 {
+				t.Fatalf("fixup triggered unexpectedly")
+			}
+			out += dot * face.Area * psiOut[fc]
+		} else if dot < 0 {
+			in += -dot * face.Area * psiIn[fc]
+		}
+	}
+	vol := m.CellVolume(c)
+	lhs := out - in + p.Mats[0].SigmaT[0]*vol*psiBar[0]
+	if math.Abs(lhs-q*vol) > 1e-12*math.Max(1, q*vol) {
+		t.Errorf("diamond balance: %v != %v", lhs, q*vol)
+	}
+}
+
+func TestDiamondFixupClampsNegatives(t *testing.T) {
+	p := uniformProblem(t, 3, 50, 0, 0, Diamond) // optically thick: 2ψc − ψin < 0
+	m := p.M
+	c := mesh.CellID(13)
+	omega := geom.Vec3{X: 0.577, Y: 0.577, Z: 0.578}.Normalize()
+	psiIn := make([]float64, 6)
+	psiOut := make([]float64, 6)
+	psiBar := make([]float64, 1)
+	for fc := 0; fc < 6; fc++ {
+		if omega.Dot(m.Face(c, fc).Normal) < 0 {
+			psiIn[fc] = 10.0
+		}
+	}
+	p.SolveCell(c, omega, []float64{0}, psiIn, psiOut, psiBar)
+	for fc := 0; fc < 6; fc++ {
+		if psiOut[fc] < 0 {
+			t.Errorf("face %d: negative outgoing flux %v survived fixup", fc, psiOut[fc])
+		}
+	}
+}
+
+func TestEmissionDensity(t *testing.T) {
+	p := uniformProblem(t, 2, 2.0, 0.5, 3.0, Step) // σs = 1.0
+	phi := p.NewFlux()
+	for c := range phi[0] {
+		phi[0][c] = 2.0
+	}
+	q := make([]float64, 1)
+	p.EmissionDensity(0, phi, q)
+	want := (3.0 + 1.0*2.0) / FourPi
+	if math.Abs(q[0]-want) > 1e-14 {
+		t.Errorf("q = %v, want %v", q[0], want)
+	}
+}
+
+func TestHasScattering(t *testing.T) {
+	if !uniformProblem(t, 2, 1, 0.5, 1, Step).HasScattering() {
+		t.Error("scattering not detected")
+	}
+	if uniformProblem(t, 2, 1, 0, 1, Step).HasScattering() {
+		t.Error("phantom scattering")
+	}
+}
+
+// dumbExecutor solves the transport equation ignoring streaming (infinite
+// medium): φ = 4π·q/σt when scattering is folded into q. It lets the
+// source-iteration loop be tested independent of real sweeps.
+type dumbExecutor struct{ p *Problem }
+
+func (d dumbExecutor) Sweep(q [][]float64) ([][]float64, error) {
+	phi := d.p.NewFlux()
+	for g := range phi {
+		for c := range phi[g] {
+			phi[g][c] = FourPi * q[g][c] / d.p.Mats[0].SigmaT[g]
+		}
+	}
+	return phi, nil
+}
+
+// Infinite-medium source iteration must converge to φ = S/σa.
+func TestSourceIterationInfiniteMedium(t *testing.T) {
+	p := uniformProblem(t, 2, 2.0, 0.5, 3.0, Step) // σa = 1.0 ⇒ φ∞ = 3.0
+	res, err := SourceIterate(p, dumbExecutor{p}, IterConfig{Tolerance: 1e-10, MaxIterations: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if math.Abs(res.Phi[0][0]-3.0) > 1e-8 {
+		t.Errorf("φ = %v, want 3.0", res.Phi[0][0])
+	}
+	if res.Iterations < 5 {
+		t.Errorf("scattering iteration count %d suspiciously low", res.Iterations)
+	}
+}
+
+func TestSourceIterationPureAbsorberOneSweep(t *testing.T) {
+	p := uniformProblem(t, 2, 2.0, 0, 3.0, Step)
+	res, err := SourceIterate(p, dumbExecutor{p}, IterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 || !res.Converged {
+		t.Errorf("pure absorber should converge in 1 sweep: %+v", res)
+	}
+}
+
+func TestSourceIterationMaxIterations(t *testing.T) {
+	p := uniformProblem(t, 2, 1.0, 0.999, 1.0, Step) // c≈1: very slow
+	res, err := SourceIterate(p, dumbExecutor{p}, IterConfig{Tolerance: 1e-14, MaxIterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Iterations != 3 {
+		t.Errorf("expected iteration cap: %+v", res)
+	}
+}
+
+func TestGroupBalance(t *testing.T) {
+	p := uniformProblem(t, 2, 2.0, 0.5, 3.0, Step)
+	phi := p.NewFlux()
+	for c := range phi[0] {
+		phi[0][c] = 3.0
+	}
+	rep := p.GroupBalance(phi, 0)
+	vol := 8.0 // 2³ cells of 1 cm³
+	if math.Abs(rep.Production-3.0*vol) > 1e-12 {
+		t.Errorf("production = %v", rep.Production)
+	}
+	// σa = σt − σs = 1.0; absorption = 1.0·3.0·8 = 24.
+	if math.Abs(rep.Absorption-24.0) > 1e-12 {
+		t.Errorf("absorption = %v", rep.Absorption)
+	}
+	if math.Abs(rep.Leakage-(rep.Production-rep.Absorption)) > 1e-12 {
+		t.Errorf("leakage inconsistent")
+	}
+}
+
+func TestRelChange(t *testing.T) {
+	a := [][]float64{{1, 2}}
+	b := [][]float64{{1.1, 2}}
+	got := relChange(a, b)
+	if math.Abs(got-0.1/2.0) > 1e-12 {
+		t.Errorf("relChange = %v, want 0.05", got)
+	}
+	if relChange([][]float64{{0}}, [][]float64{{0}}) != 0 {
+		t.Error("zero fields should have zero change")
+	}
+}

@@ -1,0 +1,308 @@
+// Package jsweep is the public API of the JSweep reproduction: a
+// patch-centric data-driven framework for parallel sweep computations on
+// structured and unstructured meshes (Yan, Yang, Zhang, Mo — "JSweep: A
+// Patch-centric Data-driven Approach for Parallel Sweeps on Large-scale
+// Meshes", ICPP).
+//
+// The package re-exports the library's building blocks behind one import
+// path:
+//
+//   - meshes and generators (structured grids, tetrahedral balls and
+//     reactor cores), patch decompositions and partitioners;
+//   - Sn angular quadrature and the discrete-ordinates transport problem;
+//   - the patch-centric abstraction (PatchProgram / Stream) and its
+//     parallel runtime;
+//   - the JSweep sweep solver (vertex clustering, two-level priorities,
+//     coarsened graphs) plus the serial reference and the KBA and BSP
+//     baselines;
+//   - the simulated cluster used to reproduce the paper's large-scale
+//     evaluation.
+//
+// Quick start (see examples/quickstart):
+//
+//	prob, m, _ := jsweep.BuildKobayashi(jsweep.KobayashiSpec{N: 40, SnOrder: 4})
+//	d, _ := m.BlockDecompose(10, 10, 10)
+//	s, _ := jsweep.NewSolver(prob, d, jsweep.SolverOptions{Procs: 2, Workers: 4})
+//	res, _ := jsweep.Solve(prob, s, jsweep.IterConfig{})
+package jsweep
+
+import (
+	"jsweep/internal/bsp"
+	"jsweep/internal/core"
+	"jsweep/internal/geom"
+	"jsweep/internal/graph"
+	"jsweep/internal/kba"
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/partition"
+	"jsweep/internal/priority"
+	"jsweep/internal/ptrace"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/runtime"
+	"jsweep/internal/simcluster"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// Geometry and mesh types.
+type (
+	// Vec3 is a 3-D vector/point.
+	Vec3 = geom.Vec3
+	// Mesh is the abstract cell/face mesh interface.
+	Mesh = mesh.Mesh
+	// CellID identifies a mesh cell.
+	CellID = mesh.CellID
+	// PatchID identifies a patch of a decomposition.
+	PatchID = mesh.PatchID
+	// Structured3D is a regular hexahedral grid.
+	Structured3D = mesh.Structured3D
+	// Unstructured is a tetrahedral mesh.
+	Unstructured = mesh.Unstructured
+	// Decomposition is a patch decomposition of a mesh.
+	Decomposition = mesh.Decomposition
+)
+
+// NewStructured3D builds a structured nx×ny×nz grid over the box
+// [origin, origin+extent].
+func NewStructured3D(nx, ny, nz int, origin, extent Vec3) (*Structured3D, error) {
+	return mesh.NewStructured3D(nx, ny, nz, origin, extent)
+}
+
+// Ball generates a tetrahedral ball mesh (lattice resolution n across the
+// diameter).
+func Ball(n int, radius float64) (*Unstructured, error) { return meshgen.Ball(n, radius) }
+
+// BallWithCells generates a ball with at least targetCells tetrahedra.
+func BallWithCells(targetCells int, radius float64) (*Unstructured, error) {
+	return meshgen.BallWithCells(targetCells, radius)
+}
+
+// Reactor generates a reactor-core-like cylindrical tet mesh with material
+// zones.
+func Reactor(n int, radius, height float64) (*Unstructured, error) {
+	return meshgen.Reactor(n, radius, height)
+}
+
+// ReactorWithCells generates a reactor mesh with at least targetCells
+// tetrahedra.
+func ReactorWithCells(targetCells int, radius, height float64) (*Unstructured, error) {
+	return meshgen.ReactorWithCells(targetCells, radius, height)
+}
+
+// BoxTets generates a conforming tetrahedral box mesh.
+func BoxTets(nx, ny, nz int, origin, extent Vec3) (*Unstructured, error) {
+	return meshgen.Box(nx, ny, nz, origin, extent)
+}
+
+// Partitioning.
+type (
+	// PartitionMethod selects an unstructured partitioner.
+	PartitionMethod = partition.Method
+	// SFCKind selects a space-filling curve.
+	SFCKind = partition.SFCKind
+)
+
+// Partitioner choices.
+const (
+	RCB         = partition.RCB
+	GreedyGraph = partition.GreedyGraph
+	Morton      = partition.Morton
+	Hilbert     = partition.Hilbert
+)
+
+// PartitionByPatchSize decomposes a mesh into patches of ~patchSize cells.
+func PartitionByPatchSize(m Mesh, patchSize int, method PartitionMethod) (*Decomposition, error) {
+	return partition.ByPatchSize(m, patchSize, method)
+}
+
+// PartitionByCount decomposes a mesh into exactly numPatches patches.
+func PartitionByCount(m Mesh, numPatches int, method PartitionMethod) (*Decomposition, error) {
+	return partition.ByCount(m, numPatches, method)
+}
+
+// Quadrature and transport.
+type (
+	// QuadratureSet is an Sn angular quadrature.
+	QuadratureSet = quadrature.Set
+	// Direction is one discrete ordinate.
+	Direction = quadrature.Direction
+	// Material holds multigroup cross sections and sources.
+	Material = transport.Material
+	// Problem is a complete Sn transport problem.
+	Problem = transport.Problem
+	// Scheme selects the spatial differencing.
+	Scheme = transport.Scheme
+	// IterConfig controls source iteration.
+	IterConfig = transport.IterConfig
+	// Result is a converged transport solution.
+	Result = transport.Result
+	// SweepExecutor performs one full-angle transport sweep.
+	SweepExecutor = transport.SweepExecutor
+)
+
+// Differencing schemes.
+const (
+	Step    = transport.Step
+	Diamond = transport.Diamond
+)
+
+// NewQuadrature returns the Sn quadrature set of the given even order.
+func NewQuadrature(order int) (*QuadratureSet, error) { return quadrature.New(order) }
+
+// Solve runs source iteration with the given sweep executor.
+func Solve(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error) {
+	return transport.SourceIterate(p, ex, cfg)
+}
+
+// Kobayashi benchmark problems.
+type (
+	// KobayashiSpec parameterizes the Kobayashi benchmark build.
+	KobayashiSpec = kobayashi.Spec
+)
+
+// BuildKobayashi constructs the Kobayashi problem-1 benchmark (§VI-A).
+func BuildKobayashi(spec KobayashiSpec) (*Problem, *Structured3D, error) {
+	return kobayashi.Build(spec)
+}
+
+// Patch-centric abstraction (the paper's primary contribution).
+type (
+	// PatchProgram is the five-function reentrant program interface.
+	PatchProgram = core.PatchProgram
+	// Stream is the routable inter-program message.
+	Stream = core.Stream
+	// ProgramKey identifies a (patch, task) program.
+	ProgramKey = core.ProgramKey
+	// TaskTag identifies a task on a patch.
+	TaskTag = core.TaskTag
+	// Engine is the sequential reference scheduler.
+	Engine = core.Engine
+	// Runtime executes patch-programs on processes × workers.
+	Runtime = runtime.Runtime
+	// RuntimeConfig shapes the runtime.
+	RuntimeConfig = runtime.Config
+	// TerminationMode selects the distributed termination detector.
+	TerminationMode = runtime.TerminationMode
+)
+
+// Termination modes.
+const (
+	WorkloadTermination = runtime.Workload
+	SafraTermination    = runtime.Safra
+)
+
+// NewEngine returns the sequential patch-program scheduler.
+func NewEngine() *Engine { return core.NewEngine() }
+
+// NewRuntime returns the parallel patch-program runtime.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) { return runtime.New(cfg) }
+
+// Priorities (§V-D).
+type (
+	// PriorityStrategy is a scheduling heuristic (BFS/LDCP/SLBD).
+	PriorityStrategy = priority.Strategy
+	// PriorityPair is a two-level patch+vertex strategy.
+	PriorityPair = priority.Pair
+)
+
+// Priority strategies.
+const (
+	BFS  = priority.BFS
+	LDCP = priority.LDCP
+	SLBD = priority.SLBD
+)
+
+// Sweep solver and baselines.
+type (
+	// Solver is the JSweep data-driven sweep solver (§V).
+	Solver = sweep.Solver
+	// SolverOptions configures the solver.
+	SolverOptions = sweep.Options
+	// SweepStats describes the cost of the last sweep.
+	SweepStats = sweep.SweepStats
+	// Reference is the serial ground-truth executor.
+	Reference = sweep.Reference
+	// KBAExecutor is the Koch-Baker-Alcouffe structured baseline.
+	KBAExecutor = kba.Executor
+	// KBAModel is the analytic KBA performance model.
+	KBAModel = kba.Model
+	// BSPExecutor is the bulk-synchronous baseline.
+	BSPExecutor = bsp.Executor
+	// CoarseGraph is the cached coarsened task graph (§V-E).
+	CoarseGraph = graph.CoarseGraph
+)
+
+// NewSolver prepares the JSweep solver over a decomposition.
+func NewSolver(p *Problem, d *Decomposition, opts SolverOptions) (*Solver, error) {
+	return sweep.NewSolver(p, d, opts)
+}
+
+// NewReference returns the serial reference executor.
+func NewReference(p *Problem) (*Reference, error) { return sweep.NewReference(p) }
+
+// NewKBA returns the KBA baseline executor (structured meshes).
+func NewKBA(p *Problem, px, py, kPlanes int) (*KBAExecutor, error) {
+	return kba.New(p, px, py, kPlanes)
+}
+
+// NewBSP returns the BSP baseline executor.
+func NewBSP(p *Problem, d *Decomposition) (*BSPExecutor, error) { return bsp.New(p, d) }
+
+// Particle tracing — the second data-driven component on the abstraction
+// (paper §VIII).
+type (
+	// Particle is one traced particle.
+	Particle = ptrace.Particle
+	// TraceResult holds per-cell track-length tallies.
+	TraceResult = ptrace.Result
+)
+
+// TraceParticles runs a parallel particle trace over a decomposition
+// (Safra termination — the workload is not known in advance).
+func TraceParticles(d *Decomposition, particles []Particle, procs, workers int) (*TraceResult, error) {
+	return ptrace.Trace(d, particles, procs, workers)
+}
+
+// SourceParticles generates deterministic quasi-random particles from a
+// cell centroid.
+func SourceParticles(m Mesh, cell CellID, n int, pathLength float64) []Particle {
+	return ptrace.SourceParticles(m, cell, n, pathLength)
+}
+
+// Simulated cluster (the paper's large-scale evaluation substrate).
+type (
+	// SimWorkload is a simulated sweep task system.
+	SimWorkload = simcluster.Workload
+	// SimConfig selects the simulated runtime shape and policy.
+	SimConfig = simcluster.Config
+	// SimCostModel holds the calibrated machine constants.
+	SimCostModel = simcluster.CostModel
+	// SimResult is a simulated outcome with its cost breakdown.
+	SimResult = simcluster.Result
+)
+
+// DefaultCostModel returns the calibrated simulation constants.
+func DefaultCostModel(groups int) SimCostModel { return simcluster.DefaultCostModel(groups) }
+
+// SimulateSweep runs the discrete-event cluster simulation.
+func SimulateSweep(w *SimWorkload, cfg SimConfig, cm SimCostModel) (*SimResult, error) {
+	return simcluster.Simulate(w, cfg, cm)
+}
+
+// SimulateBSPSweep runs the bulk-synchronous comparator simulation.
+func SimulateBSPSweep(w *SimWorkload, cfg SimConfig, cm SimCostModel) (*SimResult, error) {
+	return simcluster.SimulateBSP(w, cfg, cm)
+}
+
+// StructuredSimWorkload builds the simulated task system of a structured
+// sweep (bx×by×bz patch lattice).
+func StructuredSimWorkload(bx, by, bz int, cellsPerPatch int64, procs, angles, groups int) (*SimWorkload, error) {
+	return simcluster.StructuredWorkload(bx, by, bz, cellsPerPatch, procs, angles, groups)
+}
+
+// UnstructuredSimWorkload builds a simulated task system from a
+// patch-granular coarse mesh.
+func UnstructuredSimWorkload(m Mesh, cellsPerPatch int64, procs, angles, groups int) (*SimWorkload, error) {
+	return simcluster.UnstructuredWorkload(m, cellsPerPatch, procs, angles, groups)
+}

@@ -1,0 +1,153 @@
+package jsweep_test
+
+import (
+	"testing"
+
+	"jsweep"
+)
+
+// The facade must expose a working end-to-end path: build → decompose →
+// solve → verify, entirely through the public API.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	prob, m, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{
+		N: 12, SnOrder: 2, Scattering: true, Scheme: jsweep.Diamond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{
+		Procs: 2, Workers: 2, Grain: 32,
+		Pair:      jsweep.PriorityPair{Patch: jsweep.SLBD, Vertex: jsweep.SLBD},
+		UseCoarse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	ref, err := jsweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := jsweep.Solve(prob, ref, jsweep.IterConfig{Tolerance: 1e-7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := range want.Phi {
+		for c := range want.Phi[g] {
+			if want.Phi[g][c] != res.Phi[g][c] {
+				t.Fatalf("group %d cell %d: %v != %v", g, c, res.Phi[g][c], want.Phi[g][c])
+			}
+		}
+	}
+	if s.CoarseGraph() == nil {
+		t.Error("coarse graph should have been built")
+	}
+}
+
+// The unstructured path through the facade: generate, partition, solve.
+func TestPublicAPIUnstructured(t *testing.T) {
+	m, err := jsweep.BallWithCells(800, 5.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMaterialFunc(func(jsweep.Vec3) int { return 0 })
+	quad, err := jsweep.NewQuadrature(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &jsweep.Problem{
+		M:      m,
+		Mats:   []jsweep.Material{{SigmaT: []float64{0.5}, Source: []float64{1}}},
+		Quad:   quad,
+		Groups: 1,
+		Scheme: jsweep.Step,
+	}
+	d, err := jsweep.PartitionByPatchSize(m, 200, jsweep.GreedyGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{Procs: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := prob.GroupBalance(res.Phi, 0)
+	if rep.Production <= 0 || rep.Absorption <= 0 || rep.Absorption >= rep.Production {
+		t.Errorf("balance looks wrong: %+v", rep)
+	}
+}
+
+// The simulated-cluster path through the facade.
+func TestPublicAPISimulation(t *testing.T) {
+	w, err := jsweep.StructuredSimWorkload(4, 4, 4, 1000, 4, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := jsweep.DefaultCostModel(1)
+	dd, err := jsweep.SimulateSweep(w, jsweep.SimConfig{Workers: 4, Grain: 250}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsp, err := jsweep.SimulateBSPSweep(w, jsweep.SimConfig{Workers: 4, Grain: 250}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Makespan <= 0 || bsp.Makespan <= 0 {
+		t.Fatal("degenerate makespans")
+	}
+	if dd.Makespan >= bsp.Makespan {
+		t.Errorf("data-driven (%v) should beat BSP (%v)", dd.Makespan, bsp.Makespan)
+	}
+}
+
+// Baselines through the facade agree with the reference.
+func TestPublicAPIBaselines(t *testing.T) {
+	prob, m, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{N: 8, SnOrder: 2, Scheme: jsweep.Diamond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := jsweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := jsweep.Solve(prob, ref, jsweep.IterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kbaEx, err := jsweep.NewKBA(prob, 2, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bspEx, err := jsweep.NewBSP(prob, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, ex := range map[string]jsweep.SweepExecutor{"kba": kbaEx, "bsp": bspEx} {
+		got, err := jsweep.Solve(prob, ex, jsweep.IterConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range want.Phi[0] {
+			if want.Phi[0][c] != got.Phi[0][c] {
+				t.Fatalf("%s: cell %d differs", name, c)
+			}
+		}
+	}
+}
