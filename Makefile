@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test short race vet bench fuzz agg-bench clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fast loop: skips the example smoke tests and stress cases.
+short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+# Short fuzz session over the stream/frame codecs.
+fuzz:
+	$(GO) test ./internal/core -run xxx -fuzz FuzzCodecRoundTrip -fuzztime 30s
+
+# Reproduce the message-aggregation batch-size sweep (paper Fig. 12
+# methodology applied to §IV batching) and record BENCH_aggregation.json.
+agg-bench:
+	$(GO) run ./cmd/jsweep-bench -exp agg -fidelity quick -out BENCH_aggregation.json
+
+clean:
+	$(GO) clean ./...

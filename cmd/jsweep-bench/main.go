@@ -13,6 +13,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 		expID    = flag.String("exp", "", "experiment id to run (default: all)")
 		fidelity = flag.String("fidelity", "standard", "quick | standard | paper")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+		outJSON  = flag.String("out", "", "write the result series as JSON to this file")
 	)
 	flag.Parse()
 
@@ -49,13 +51,32 @@ func main() {
 		}
 		exps = []bench.Experiment{e}
 	}
+	results := map[string][]bench.Point{}
 	for _, e := range exps {
 		fmt.Printf("=== %s: %s\n", e.ID, e.Title)
 		t0 := time.Now()
-		if _, err := e.Run(f, os.Stdout); err != nil {
+		pts, err := e.Run(f, os.Stdout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		results[e.ID] = pts
 		fmt.Printf("    (%.1fs)\n\n", time.Since(t0).Seconds())
+	}
+	if *outJSON != "" {
+		data, err := json.MarshalIndent(map[string]any{
+			"fidelity":    f.String(),
+			"experiments": results,
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*outJSON, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outJSON)
 	}
 }

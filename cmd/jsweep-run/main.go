@@ -35,6 +35,12 @@ func main() {
 		seq      = flag.Bool("seq", false, "run on the sequential engine")
 		verify   = flag.Bool("verify", false, "cross-check against the serial reference")
 		tol      = flag.Float64("tol", 1e-7, "source-iteration tolerance")
+
+		agg        = flag.Bool("agg", false, "aggregate remote streams into multi-stream frames")
+		aggStreams = flag.Int("agg-streams", 0, "max streams per batch (0 = default 64)")
+		aggBytes   = flag.Int("agg-bytes", 0, "max bytes per batch (0 = sized from payload geometry)")
+		aggFlush   = flag.Duration("agg-flush", 0, "batch flush deadline (0 = default 200µs)")
+		aggShards  = flag.Int("agg-shards", 0, "frame shards per destination (0 = default 1)")
 	)
 	flag.Parse()
 
@@ -95,6 +101,13 @@ func main() {
 	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{
 		Procs: *procs, Workers: *workers, Grain: *grain,
 		Pair: pair, UseCoarse: *coarse, Sequential: *seq,
+		Aggregation: jsweep.AggregationConfig{
+			Enabled:         *agg,
+			MaxBatchStreams: *aggStreams,
+			MaxBatchBytes:   *aggBytes,
+			FlushInterval:   *aggFlush,
+			Shards:          *aggShards,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -109,6 +122,11 @@ func main() {
 	st := s.LastStats()
 	fmt.Printf("last sweep: computeCalls=%d streams=%d coarse=%v\n",
 		st.ComputeCalls, st.Streams, st.Coarse)
+	if *agg {
+		r := st.Runtime
+		fmt.Printf("aggregation: remoteStreams=%d batches=%d streams/batch=%.1f deadlineFlushes=%d\n",
+			r.RemoteStreams, r.BatchesSent, r.StreamsPerBatch, r.FlushOnDeadline)
+	}
 
 	if *verify {
 		ref, err := jsweep.NewReference(prob)

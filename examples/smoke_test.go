@@ -1,0 +1,86 @@
+// Package examples_test smoke-tests every example main: each must build
+// and run to completion with tiny parameters, so the examples cannot
+// silently rot as the library evolves. The tests shell out to the go
+// toolchain, so they are skipped under -short.
+package examples_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// examples maps each example directory to tiny-run arguments.
+var examples = map[string][]string{
+	"quickstart":        nil,
+	"kobayashi":         {"-n", "8", "-sn", "2", "-patch", "4"},
+	"ball_unstructured": {"-cells", "600", "-patch", "150", "-grain", "16"},
+	"cluster_sim":       {"-cells", "4000", "-patch", "200", "-angles", "8"},
+	"particle_trace":    {"-particles", "200", "-path", "4", "-cells", "600"},
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(wd) // examples/ -> repo root
+}
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke tests shell out to the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	root := repoRoot(t)
+	entries, err := os.ReadDir(filepath.Join(root, "examples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		args, ok := examples[name]
+		if !ok {
+			t.Errorf("example %q has no smoke-test parameters — add it to the examples map", name)
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+			build.Dir = root
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			timeout := 3 * time.Minute
+			if d, ok := t.Deadline(); ok {
+				if until := time.Until(d) - 10*time.Second; until < timeout {
+					timeout = until
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			run := exec.CommandContext(ctx, bin, args...)
+			run.Dir = root
+			out, runErr := run.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example timed out after %v\n%s", timeout, out)
+			}
+			if runErr != nil {
+				t.Fatalf("run failed: %v\n%s", runErr, out)
+			}
+			if len(out) == 0 {
+				t.Error("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module jsweep
+
+go 1.24

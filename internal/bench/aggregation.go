@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/priority"
+	rt "jsweep/internal/runtime"
+	"jsweep/internal/simcluster"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// AggregationSweep sweeps the message-aggregation batch size on the
+// simulated cluster (the paper's Fig. 12 methodology applied to §IV's
+// batching claim): makespan and message counts of a Kobayashi sweep as
+// MaxBatchStreams grows from 1 (no coalescing) to deep batches. It then
+// cross-checks on the real threaded runtime that aggregation preserves
+// the stream count while cutting transport messages.
+func AggregationSweep(f Fidelity, w io.Writer) ([]Point, error) {
+	n := 200
+	angles := 24
+	cores := 768
+	batchSizes := []int{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	if f == Quick {
+		n = 100
+		angles = 8
+		cores = 192
+		batchSizes = []int{1, 4, 16, 64, 256}
+	}
+	procs := procsFor(cores)
+	wl, err := kobaWorkload(n, procs, angles)
+	if err != nil {
+		return nil, err
+	}
+	cm := simcluster.DefaultCostModel(1)
+	var pts []Point
+
+	fmt.Fprintf(w, "Aggregation sweep (%s): Kobayashi-%d, %d angles, %d cores — batch size vs makespan\n",
+		f, n, angles, cores)
+	base, err := simcluster.Simulate(wl, slbdConfig(wl, 1000), cm)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "  %10s %12s %14s %12s %14s\n", "batch", "time[s]", "batches", "strm/batch", "deadline-flush")
+	fmt.Fprintf(w, "  %10s %12.4f %14d %12s %14s  (aggregation off)\n", "off", base.Makespan, base.BatchesSent, "-", "-")
+	pts = append(pts, Point{Series: "agg-off", X: 0, Value: base.Makespan})
+	for _, bs := range batchSizes {
+		cfg := slbdConfig(wl, 1000)
+		// A generous deadline keeps the size cap the binding trigger, so
+		// the x-axis actually sweeps the batch depth.
+		cfg.Aggregation = simcluster.Aggregation{Enabled: true, MaxBatchStreams: bs, FlushDelay: 200e-6}
+		res, err := simcluster.Simulate(wl, cfg, cm)
+		if err != nil {
+			return nil, err
+		}
+		if res.RemoteStreams != base.RemoteStreams {
+			return nil, fmt.Errorf("bench: aggregation changed remote streams (%d vs %d)",
+				res.RemoteStreams, base.RemoteStreams)
+		}
+		fmt.Fprintf(w, "  %10d %12.4f %14d %12.1f %14d\n",
+			bs, res.Makespan, res.BatchesSent, res.StreamsPerBatch, res.FlushOnDeadline)
+		pts = append(pts,
+			Point{Series: "agg-makespan", X: float64(bs), Value: res.Makespan},
+			Point{Series: "agg-batches", X: float64(bs), Value: float64(res.BatchesSent)},
+		)
+	}
+
+	// Real-runtime cross-check on the host.
+	rn := 16
+	if f == Paper {
+		rn = 32
+	}
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: rn, SnOrder: 2, Scheme: transport.Diamond})
+	if err != nil {
+		return nil, err
+	}
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	q := flatSource(prob)
+	rprocs := 4
+	workers := maxI(1, runtime.NumCPU()/rprocs-1)
+	fmt.Fprintf(w, "  real runtime (Kobayashi-%d, %dp×%dw):\n", rn, rprocs, workers)
+	fmt.Fprintf(w, "  %10s %12s %14s %14s %12s\n", "agg", "time[s]", "remote strms", "messages", "batches")
+	for _, enabled := range []bool{false, true} {
+		opts := sweep.Options{
+			Procs: rprocs, Workers: workers, Grain: 64,
+			Pair:        priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+			Aggregation: rt.AggregationConfig{Enabled: enabled},
+		}
+		s, err := sweep.NewSolver(prob, d, opts)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := s.Sweep(q); err != nil {
+			return nil, err
+		}
+		wall := time.Since(t0).Seconds()
+		st := s.LastStats().Runtime
+		fmt.Fprintf(w, "  %10v %12.4f %14d %14d %12d\n",
+			enabled, wall, st.RemoteStreams, st.Messages, st.BatchesSent)
+		series := "real-agg-off"
+		if enabled {
+			series = "real-agg-on"
+			if st.BatchesSent == 0 || st.BatchesSent >= st.RemoteStreams {
+				return nil, fmt.Errorf("bench: real runtime batches=%d remote=%d — aggregation not coalescing",
+					st.BatchesSent, st.RemoteStreams)
+			}
+		}
+		pts = append(pts,
+			Point{Series: series, X: float64(st.RemoteStreams), Value: wall},
+			Point{Series: series + "-messages", X: float64(st.RemoteStreams), Value: float64(st.Messages)},
+		)
+	}
+	return pts, nil
+}

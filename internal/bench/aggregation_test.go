@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/partition"
+	"jsweep/internal/priority"
+	"jsweep/internal/quadrature"
+	rt "jsweep/internal/runtime"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// uniformBallProblem wraps a ball mesh into a one-group uniform-material
+// transport problem for real-runtime benchmarking.
+func uniformBallProblem(m *mesh.Unstructured) (*transport.Problem, error) {
+	quad, err := quadrature.New(2)
+	if err != nil {
+		return nil, err
+	}
+	return &transport.Problem{
+		M: m,
+		Mats: []transport.Material{{
+			Name: "uniform", SigmaT: []float64{0.4},
+			SigmaS: [][]float64{{0.1}}, Source: []float64{1.0},
+		}},
+		Quad: quad, Groups: 1, Scheme: transport.Step,
+	}, nil
+}
+
+func ballDecomposition(m *mesh.Unstructured) (*mesh.Decomposition, error) {
+	return partition.ByPatchSize(m, 300, partition.GreedyGraph)
+}
+
+func TestAggregationSweepExperiment(t *testing.T) {
+	pts, err := AggregationSweep(Quick, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]int{}
+	for _, p := range pts {
+		series[p.Series]++
+	}
+	for _, s := range []string{"agg-off", "agg-makespan", "agg-batches", "real-agg-off", "real-agg-on"} {
+		if series[s] == 0 {
+			t.Errorf("experiment missing series %q (got %v)", s, series)
+		}
+	}
+}
+
+// benchStructuredSweep runs one real-runtime sweep of a small Kobayashi
+// problem per iteration, with or without message aggregation.
+func benchStructuredSweep(b *testing.B, agg bool) {
+	prob, m, err := kobayashi.Build(kobayashi.Spec{N: 16, SnOrder: 2, Scheme: transport.Diamond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSweep(b, prob, d, agg)
+}
+
+// benchUnstructuredSweep is the tetrahedral counterpart (a small ball).
+func benchUnstructuredSweep(b *testing.B, agg bool) {
+	m, err := meshgen.BallWithCells(3000, 10.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.SetMaterialFunc(func(geom.Vec3) int { return 0 })
+	prob, err := uniformBallProblem(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := ballDecomposition(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchSweep(b, prob, d, agg)
+}
+
+func benchSweep(b *testing.B, prob *transport.Problem, d *mesh.Decomposition, agg bool) {
+	b.Helper()
+	q := flatSource(prob)
+	procs := 4
+	workers := maxI(1, runtime.NumCPU()/procs-1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := sweep.NewSolver(prob, d, sweep.Options{
+			Procs: procs, Workers: workers, Grain: 64,
+			Pair:        priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+			Aggregation: rt.AggregationConfig{Enabled: agg},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Sweep(q); err != nil {
+			b.Fatal(err)
+		}
+		st := s.LastStats().Runtime
+		if agg && st.BatchesSent >= st.RemoteStreams {
+			b.Fatalf("aggregation not coalescing: batches=%d remote=%d", st.BatchesSent, st.RemoteStreams)
+		}
+		b.ReportMetric(float64(st.Messages), "msgs/sweep")
+	}
+}
+
+func BenchmarkSweepStructuredUnaggregated(b *testing.B) { benchStructuredSweep(b, false) }
+func BenchmarkSweepStructuredAggregated(b *testing.B)   { benchStructuredSweep(b, true) }
+
+func BenchmarkSweepUnstructuredUnaggregated(b *testing.B) { benchUnstructuredSweep(b, false) }
+func BenchmarkSweepUnstructuredAggregated(b *testing.B)   { benchUnstructuredSweep(b, true) }

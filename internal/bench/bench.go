@@ -93,6 +93,7 @@ func All() []Experiment {
 		{ID: "tab1", Title: "Table I — parallel efficiency comparison with literature", Run: Table1},
 		{ID: "coarse", Title: "§V-E — coarsened-graph ablation (real runtime)", Run: CoarseAblation},
 		{ID: "real", Title: "validation — real threaded runtime scaling on host", Run: RealRuntime},
+		{ID: "agg", Title: "§IV — message-aggregation batch-size sweep (sim + real runtime)", Run: AggregationSweep},
 	}
 }
 

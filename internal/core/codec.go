@@ -16,8 +16,37 @@ import (
 // Streams cross process boundaries only in this packed form; the
 // pack/unpack cost is one of the runtime-overhead categories of paper
 // Fig. 16.
+//
+// Aggregated (multi-stream) frame format, used by the runtime's
+// StreamBatcher to coalesce many routed streams into one transport
+// message (paper §IV: per-destination message aggregation):
+//
+//	frame := magic:u16 version:u8 flags:u8 shardCount:u32 { batch }*shardCount
+//
+// Each shard is an independently decodable stream batch; the batcher
+// shards streams by target program so a receiver could unpack shards
+// concurrently. A frame with a wrong magic or version is rejected, as is
+// any truncation — corrupt input must surface an error, never a panic.
 
-const streamHeaderSize = 4*4 + 4
+// StreamHeaderSize is the fixed wire overhead per encoded stream
+// (addressing + payload length).
+const StreamHeaderSize = 4*4 + 4
+
+const streamHeaderSize = StreamHeaderSize
+
+// EncodedStreamSize returns the wire size of one stream inside a batch
+// or frame (header + payload).
+func EncodedStreamSize(s *Stream) int { return streamHeaderSize + len(s.Payload) }
+
+// Frame constants for the aggregated multi-stream frame format.
+const (
+	// FrameMagic marks the start of an aggregated stream frame.
+	FrameMagic = uint16(0x4A53) // "JS"
+	// FrameVersion is the current frame layout version.
+	FrameVersion = byte(1)
+	// FrameHeaderSize is the fixed frame header length in bytes.
+	FrameHeaderSize = 2 + 1 + 1 + 4
+)
 
 // EncodedSize returns the wire size of a batch of streams.
 func EncodedSize(streams []Stream) int {
@@ -47,15 +76,33 @@ func EncodeStreams(dst []byte, streams []Stream) []byte {
 // DecodeStreams unpacks a batch of streams. Payloads are copied out of buf
 // so the caller may reuse it.
 func DecodeStreams(buf []byte) ([]Stream, error) {
-	if len(buf) < 4 {
-		return nil, fmt.Errorf("core: stream batch truncated (len %d)", len(buf))
+	out, off, err := decodeStreamsAt(buf, 0)
+	if err != nil {
+		return nil, err
 	}
-	count := binary.LittleEndian.Uint32(buf)
-	off := 4
+	if off != len(buf) {
+		return nil, fmt.Errorf("core: %d trailing bytes after stream batch", len(buf)-off)
+	}
+	return out, nil
+}
+
+// decodeStreamsAt unpacks one stream batch starting at off and returns the
+// streams plus the offset just past the batch.
+func decodeStreamsAt(buf []byte, off int) ([]Stream, int, error) {
+	if len(buf)-off < 4 {
+		return nil, off, fmt.Errorf("core: stream batch truncated (len %d)", len(buf)-off)
+	}
+	count := binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	// A batch of `count` streams needs at least count×header bytes: reject
+	// inflated counts before allocating.
+	if int64(count)*int64(streamHeaderSize) > int64(len(buf)-off) {
+		return nil, off, fmt.Errorf("core: stream count %d exceeds remaining %d bytes", count, len(buf)-off)
+	}
 	out := make([]Stream, 0, count)
 	for i := uint32(0); i < count; i++ {
 		if len(buf)-off < streamHeaderSize {
-			return nil, fmt.Errorf("core: stream %d header truncated", i)
+			return nil, off, fmt.Errorf("core: stream %d header truncated", i)
 		}
 		s := Stream{
 			SrcPatch: mesh.PatchID(int32(binary.LittleEndian.Uint32(buf[off:]))),
@@ -65,8 +112,8 @@ func DecodeStreams(buf []byte) ([]Stream, error) {
 		}
 		plen := int(binary.LittleEndian.Uint32(buf[off+16:]))
 		off += streamHeaderSize
-		if len(buf)-off < plen {
-			return nil, fmt.Errorf("core: stream %d payload truncated (%d of %d bytes)", i, len(buf)-off, plen)
+		if plen < 0 || len(buf)-off < plen {
+			return nil, off, fmt.Errorf("core: stream %d payload truncated (%d of %d bytes)", i, len(buf)-off, plen)
 		}
 		if plen > 0 {
 			s.Payload = append([]byte(nil), buf[off:off+plen]...)
@@ -74,8 +121,65 @@ func DecodeStreams(buf []byte) ([]Stream, error) {
 		}
 		out = append(out, s)
 	}
-	if off != len(buf) {
-		return nil, fmt.Errorf("core: %d trailing bytes after stream batch", len(buf)-off)
+	return out, off, nil
+}
+
+// EncodedFrameSize returns the wire size of an aggregated frame holding
+// the given shards.
+func EncodedFrameSize(shards [][]Stream) int {
+	n := FrameHeaderSize
+	for _, sh := range shards {
+		n += EncodedSize(sh)
 	}
-	return out, nil
+	return n
+}
+
+// EncodeFrame packs a sharded multi-stream frame, appending to dst (which
+// may be nil) and returning the extended slice. Empty shards are legal and
+// preserved (the shard count is part of the wire format).
+func EncodeFrame(dst []byte, shards [][]Stream) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, FrameMagic)
+	dst = append(dst, FrameVersion, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(shards)))
+	for _, sh := range shards {
+		dst = EncodeStreams(dst, sh)
+	}
+	return dst
+}
+
+// DecodeFrame unpacks an aggregated frame into its shards. It validates
+// magic, version, shard count and every inner batch; any corruption or
+// truncation is an error, never a panic.
+func DecodeFrame(buf []byte) ([][]Stream, error) {
+	if len(buf) < FrameHeaderSize {
+		return nil, fmt.Errorf("core: frame truncated (len %d < header %d)", len(buf), FrameHeaderSize)
+	}
+	if magic := binary.LittleEndian.Uint16(buf); magic != FrameMagic {
+		return nil, fmt.Errorf("core: bad frame magic %#04x", magic)
+	}
+	if buf[2] != FrameVersion {
+		return nil, fmt.Errorf("core: unsupported frame version %d", buf[2])
+	}
+	if buf[3] != 0 {
+		return nil, fmt.Errorf("core: reserved frame flags %#02x must be zero", buf[3])
+	}
+	shardCount := binary.LittleEndian.Uint32(buf[4:])
+	off := FrameHeaderSize
+	// Every shard carries at least its 4-byte count.
+	if int64(shardCount)*4 > int64(len(buf)-off) {
+		return nil, fmt.Errorf("core: shard count %d exceeds remaining %d bytes", shardCount, len(buf)-off)
+	}
+	shards := make([][]Stream, 0, shardCount)
+	for i := uint32(0); i < shardCount; i++ {
+		sh, next, err := decodeStreamsAt(buf, off)
+		if err != nil {
+			return nil, fmt.Errorf("core: frame shard %d: %w", i, err)
+		}
+		off = next
+		shards = append(shards, sh)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("core: %d trailing bytes after frame", len(buf)-off)
+	}
+	return shards, nil
 }

@@ -1,0 +1,148 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"jsweep/internal/core"
+	"jsweep/internal/mesh"
+)
+
+func frameStreams() [][]core.Stream {
+	return [][]core.Stream{
+		{
+			{SrcPatch: 1, SrcTask: 2, TgtPatch: 3, TgtTask: 4, Payload: []byte{1, 2, 3}},
+			{SrcPatch: -1, SrcTask: -2, TgtPatch: -3, TgtTask: -4, Payload: nil},
+		},
+		{}, // empty shard must survive the round trip
+		{
+			{SrcPatch: 7, TgtPatch: 9, Payload: bytes.Repeat([]byte{0xCD}, 513)},
+		},
+	}
+}
+
+func TestFrameCodecRoundTrip(t *testing.T) {
+	shards := frameStreams()
+	buf := core.EncodeFrame(nil, shards)
+	if len(buf) != core.EncodedFrameSize(shards) {
+		t.Errorf("encoded size %d != predicted %d", len(buf), core.EncodedFrameSize(shards))
+	}
+	got, err := core.DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(shards) {
+		t.Fatalf("decoded %d shards, want %d", len(got), len(shards))
+	}
+	for i := range shards {
+		if len(got[i]) != len(shards[i]) {
+			t.Fatalf("shard %d: %d streams, want %d", i, len(got[i]), len(shards[i]))
+		}
+		for j := range shards[i] {
+			w, h := shards[i][j], got[i][j]
+			if w.Src() != h.Src() || w.Tgt() != h.Tgt() || !bytes.Equal(w.Payload, h.Payload) {
+				t.Errorf("shard %d stream %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestFrameCodecEmptyFrame(t *testing.T) {
+	buf := core.EncodeFrame(nil, nil)
+	got, err := core.DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("decoded %d shards from empty frame", len(got))
+	}
+}
+
+func TestFrameCodecRejectsCorrupt(t *testing.T) {
+	valid := core.EncodeFrame(nil, frameStreams())
+	corrupt := func(mutate func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return mutate(b)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": valid[:core.FrameHeaderSize-1],
+		"bad magic": corrupt(func(b []byte) []byte {
+			b[0] ^= 0xFF
+			return b
+		}),
+		"bad version": corrupt(func(b []byte) []byte {
+			b[2] = core.FrameVersion + 1
+			return b
+		}),
+		"inflated shard count": corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:], 1<<30)
+			return b
+		}),
+		"inflated stream count": corrupt(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[core.FrameHeaderSize:], 1<<30)
+			return b
+		}),
+		"truncated shard": valid[:len(valid)-1],
+		"trailing bytes":  append(append([]byte(nil), valid...), 0xEE),
+	}
+	for name, buf := range cases {
+		if _, err := core.DecodeFrame(buf); err == nil {
+			t.Errorf("%s: corrupt frame accepted", name)
+		}
+	}
+}
+
+// FuzzCodecRoundTrip drives both decoders with arbitrary bytes (they must
+// error, never panic or over-allocate) and checks that anything that does
+// decode re-encodes to an equivalent frame.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(core.EncodeStreams(nil, []core.Stream{{SrcPatch: 1, TgtPatch: 2, Payload: []byte{9}}}))
+	f.Add(core.EncodeFrame(nil, frameStreams()))
+	f.Add(core.EncodeFrame(nil, [][]core.Stream{}))
+	f.Add([]byte{0x53, 0x4A, 1, 0, 1, 0, 0, 0})    // magic bytes, missing shard
+	f.Add([]byte("SJ\x010\x00\x00\x00\x00"))       // nonzero reserved flags (fuzzer-found)
+	f.Add([]byte{0x53, 0x4A, 1, 0, 0, 0, 0, 0, 1}) // trailing byte after empty frame
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if streams, err := core.DecodeStreams(data); err == nil {
+			re := core.EncodeStreams(nil, streams)
+			if !bytes.Equal(re, data) {
+				t.Errorf("stream batch re-encode differs: %x vs %x", re, data)
+			}
+		}
+		if shards, err := core.DecodeFrame(data); err == nil {
+			re := core.EncodeFrame(nil, shards)
+			if !bytes.Equal(re, data) {
+				t.Errorf("frame re-encode differs: %x vs %x", re, data)
+			}
+		}
+	})
+}
+
+// FuzzStreamRoundTrip fuzzes structured inputs through encode→decode.
+func FuzzStreamRoundTrip(f *testing.F) {
+	f.Add(int32(0), int32(0), int32(0), int32(0), []byte(nil), uint8(1))
+	f.Add(int32(-5), int32(9), int32(1<<20), int32(-1), bytes.Repeat([]byte{7}, 100), uint8(3))
+	f.Fuzz(func(t *testing.T, sp, st, tp, tt int32, payload []byte, nshards uint8) {
+		s := core.Stream{
+			SrcPatch: mesh.PatchID(sp), SrcTask: core.TaskTag(st),
+			TgtPatch: mesh.PatchID(tp), TgtTask: core.TaskTag(tt),
+			Payload: payload,
+		}
+		shards := make([][]core.Stream, int(nshards%8)+1)
+		shards[0] = []core.Stream{s}
+		got, err := core.DecodeFrame(core.EncodeFrame(nil, shards))
+		if err != nil {
+			t.Fatalf("valid frame rejected: %v", err)
+		}
+		if len(got) != len(shards) || len(got[0]) != 1 {
+			t.Fatalf("shape mismatch: %d shards", len(got))
+		}
+		d := got[0][0]
+		if d.Src() != s.Src() || d.Tgt() != s.Tgt() || !bytes.Equal(d.Payload, s.Payload) {
+			t.Error("stream round-trip mismatch")
+		}
+	})
+}

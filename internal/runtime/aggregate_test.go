@@ -1,0 +1,270 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"jsweep/internal/core"
+	"jsweep/internal/mesh"
+	"jsweep/internal/runtime"
+	"jsweep/internal/testprog"
+)
+
+func mkStream(tgt int, payload int) core.Stream {
+	return core.Stream{TgtPatch: mesh.PatchID(100 + tgt), Payload: make([]byte, payload)}
+}
+
+func TestStreamBatcherCountTrigger(t *testing.T) {
+	b := runtime.NewStreamBatcher(1, runtime.AggregationConfig{Enabled: true, MaxBatchStreams: 3})
+	now := time.Now()
+	if b.Add(now, mkStream(0, 8)) || b.Add(now, mkStream(1, 8)) {
+		t.Fatal("batch reported full before MaxBatchStreams")
+	}
+	if !b.Add(now, mkStream(2, 8)) {
+		t.Fatal("batch not full at MaxBatchStreams")
+	}
+	buf, n := b.Flush(nil)
+	if n != 3 {
+		t.Fatalf("flushed %d streams, want 3", n)
+	}
+	shards, err := core.DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, sh := range shards {
+		total += len(sh)
+	}
+	if total != 3 {
+		t.Fatalf("decoded %d streams, want 3", total)
+	}
+	if b.Pending() != 0 || b.PendingBytes() != 0 {
+		t.Fatal("batcher not reset after flush")
+	}
+}
+
+func TestStreamBatcherBytesTrigger(t *testing.T) {
+	b := runtime.NewStreamBatcher(1, runtime.AggregationConfig{
+		Enabled: true, MaxBatchStreams: 1 << 20, MaxBatchBytes: 200,
+	})
+	now := time.Now()
+	full := false
+	adds := 0
+	for !full && adds < 100 {
+		full = b.Add(now, mkStream(adds, 64))
+		adds++
+	}
+	if !full {
+		t.Fatal("bytes trigger never fired")
+	}
+	// 64B payload + 20B header per stream: the trigger must fire within a
+	// handful of adds, not at the stream cap.
+	if adds > 4 {
+		t.Fatalf("bytes trigger fired after %d adds", adds)
+	}
+	if b.PendingBytes() < 200 {
+		t.Fatalf("pending bytes %d below trigger", b.PendingBytes())
+	}
+}
+
+func TestStreamBatcherDeadline(t *testing.T) {
+	b := runtime.NewStreamBatcher(1, runtime.AggregationConfig{
+		Enabled: true, FlushInterval: 10 * time.Millisecond,
+	})
+	if _, ok := b.Deadline(); ok {
+		t.Fatal("empty batcher reported a deadline")
+	}
+	t0 := time.Now()
+	b.Add(t0, mkStream(0, 4))
+	if b.Expired(t0) {
+		t.Fatal("fresh batch reported expired")
+	}
+	dl, ok := b.Deadline()
+	if !ok || dl.Sub(t0) != 10*time.Millisecond {
+		t.Fatalf("deadline = %v (ok=%v)", dl.Sub(t0), ok)
+	}
+	if !b.Expired(t0.Add(11 * time.Millisecond)) {
+		t.Fatal("aged batch not expired")
+	}
+}
+
+func TestStreamBatcherFlushEmpty(t *testing.T) {
+	b := runtime.NewStreamBatcher(2, runtime.AggregationConfig{Enabled: true})
+	buf, n := b.Flush(nil)
+	if buf != nil || n != 0 {
+		t.Fatalf("empty flush produced buf=%v n=%d", buf, n)
+	}
+}
+
+func TestStreamBatcherShardingRoundTrip(t *testing.T) {
+	b := runtime.NewStreamBatcher(1, runtime.AggregationConfig{Enabled: true, Shards: 4, MaxBatchStreams: 1 << 20})
+	now := time.Now()
+	const streams = 50
+	for i := 0; i < streams; i++ {
+		b.Add(now, mkStream(i, i%7))
+	}
+	buf, n := b.Flush(nil)
+	if n != streams {
+		t.Fatalf("flushed %d, want %d", n, streams)
+	}
+	shards, err := core.DecodeFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4 {
+		t.Fatalf("frame has %d shards, want 4", len(shards))
+	}
+	seen := map[int32]bool{}
+	nonEmpty := 0
+	for _, sh := range shards {
+		if len(sh) > 0 {
+			nonEmpty++
+		}
+		for _, s := range sh {
+			seen[int32(s.TgtPatch)] = true
+		}
+	}
+	if len(seen) != streams {
+		t.Fatalf("round-tripped %d distinct streams, want %d", len(seen), streams)
+	}
+	if nonEmpty < 2 {
+		t.Fatalf("sharding degenerate: %d non-empty shards", nonEmpty)
+	}
+}
+
+// runGridAgg mirrors runGrid with aggregation enabled.
+func runGridAgg(t *testing.T, w, h, procs, workers int, term runtime.TerminationMode, agg runtime.AggregationConfig) runtime.Stats {
+	t.Helper()
+	spec := testprog.GridSpec{W: w, H: h}
+	progs, sink := spec.Build()
+	rt, err := runtime.New(runtime.Config{Procs: procs, Workers: workers, Termination: term, Aggregation: agg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range progs {
+		if err := rt.Register(a.Key, a, 0, i%procs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spec.Want()
+	for k, wv := range want {
+		got, ok := sink.Get(k)
+		if !ok || got != wv {
+			t.Errorf("%v = %d (ok=%v), want %d", k, got, ok, wv)
+		}
+	}
+	return stats
+}
+
+func TestRuntimeAggregationCorrectness(t *testing.T) {
+	agg := runtime.AggregationConfig{Enabled: true}
+	for _, tc := range []struct {
+		procs, workers int
+		term           runtime.TerminationMode
+	}{
+		{1, 1, runtime.Workload},
+		{2, 2, runtime.Workload},
+		{4, 2, runtime.Workload},
+		{3, 2, runtime.Safra},
+	} {
+		runGridAgg(t, 6, 5, tc.procs, tc.workers, tc.term, agg)
+	}
+}
+
+func TestRuntimeAggregationStats(t *testing.T) {
+	st := runGridAgg(t, 8, 8, 4, 2, runtime.Workload, runtime.AggregationConfig{Enabled: true})
+	if st.RemoteStreams == 0 {
+		t.Fatal("expected remote streams with scattered placement")
+	}
+	if st.BatchesSent == 0 {
+		t.Fatal("aggregation on but no batches sent")
+	}
+	if st.BatchesSent > st.RemoteStreams {
+		t.Errorf("BatchesSent %d > RemoteStreams %d", st.BatchesSent, st.RemoteStreams)
+	}
+	if st.StreamsBatched != st.RemoteStreams {
+		t.Errorf("StreamsBatched %d != RemoteStreams %d", st.StreamsBatched, st.RemoteStreams)
+	}
+	if st.StreamsPerBatch < 1 {
+		t.Errorf("StreamsPerBatch = %v, want >= 1", st.StreamsPerBatch)
+	}
+}
+
+// RemoteStreams is a routing invariant: aggregation changes how streams
+// travel, never how many.
+func TestRuntimeAggregationRemoteStreamsUnchanged(t *testing.T) {
+	off := runGrid(t, 6, 6, 4, 2, runtime.Workload)
+	on := runGridAgg(t, 6, 6, 4, 2, runtime.Workload, runtime.AggregationConfig{Enabled: true})
+	if on.RemoteStreams != off.RemoteStreams {
+		t.Errorf("RemoteStreams changed: agg on %d vs off %d", on.RemoteStreams, off.RemoteStreams)
+	}
+	if off.BatchesSent != 0 {
+		t.Errorf("BatchesSent = %d with aggregation off", off.BatchesSent)
+	}
+}
+
+// A tiny batch limit forces many deadline flushes without stalling
+// termination; a huge limit forces the quiescence flush path. Both must
+// terminate and produce correct results.
+func TestRuntimeAggregationTerminationLiveness(t *testing.T) {
+	// Batches that never fill: every flush is deadline/quiescence driven.
+	st := runGridAgg(t, 5, 5, 3, 2, runtime.Workload, runtime.AggregationConfig{
+		Enabled: true, MaxBatchStreams: 1 << 20, MaxBatchBytes: 1 << 30,
+		FlushInterval: time.Hour, // only the quiescence flush can fire
+	})
+	if st.BatchesSent == 0 || st.FlushOnDeadline == 0 {
+		t.Errorf("expected deadline/quiescence flushes, got batches=%d deadline=%d",
+			st.BatchesSent, st.FlushOnDeadline)
+	}
+	// Same under Safra.
+	runGridAgg(t, 4, 4, 3, 2, runtime.Safra, runtime.AggregationConfig{
+		Enabled: true, MaxBatchStreams: 1 << 20, FlushInterval: time.Hour,
+	})
+}
+
+func TestRuntimeAggregationMatchesEngine(t *testing.T) {
+	spec := testprog.GridSpec{W: 7, H: 6}
+
+	engProgs, engSink := spec.Build()
+	eng := core.NewEngine()
+	for _, a := range engProgs {
+		if err := eng.Register(a.Key, a, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	rtProgs, rtSink := spec.Build()
+	rt, err := runtime.New(runtime.Config{
+		Procs: 3, Workers: 3, Termination: runtime.Workload,
+		Aggregation: runtime.AggregationConfig{Enabled: true, Shards: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range rtProgs {
+		if err := rt.Register(a.Key, a, 0, i%3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	for y := 0; y < spec.H; y++ {
+		for x := 0; x < spec.W; x++ {
+			k := spec.Key(x, y)
+			ev, _ := engSink.Get(k)
+			rv, _ := rtSink.Get(k)
+			if ev != rv {
+				t.Errorf("%v: engine=%d runtime=%d", k, ev, rv)
+			}
+		}
+	}
+}

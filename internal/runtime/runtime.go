@@ -50,6 +50,10 @@ type Config struct {
 	Workers int
 	// Termination selects the distributed termination detector.
 	Termination TerminationMode
+	// Aggregation configures outbound message aggregation: remote streams
+	// coalesce into per-destination multi-stream frames instead of going
+	// out one message per routeStreams call.
+	Aggregation AggregationConfig
 }
 
 // Stats aggregates execution statistics across all processes.
@@ -62,6 +66,18 @@ type Stats struct {
 	BytesSent int64
 	// Messages is the number of transport messages carrying streams.
 	Messages int64
+	// BatchesSent counts aggregated frames sent (0 when aggregation is
+	// off). With aggregation working, BatchesSent < RemoteStreams.
+	BatchesSent int64
+	// StreamsBatched counts remote streams that left inside aggregated
+	// frames (equals RemoteStreams when aggregation is on).
+	StreamsBatched int64
+	// FlushOnDeadline counts batch flushes forced by the idle/deadline
+	// trigger rather than a full batch.
+	FlushOnDeadline int64
+	// StreamsPerBatch is the mean aggregation factor
+	// (StreamsBatched/BatchesSent); 0 when no batches were sent.
+	StreamsPerBatch float64
 	// WorkerBusy sums the time workers spent executing program cycles.
 	WorkerBusy time.Duration
 	// PackTime / UnpackTime sum stream serialization costs in the masters.
@@ -76,6 +92,7 @@ const (
 	msgDone    = byte(0x02) // workload mode: proc finished
 	msgTerm    = byte(0x03) // rank 0 broadcast: terminate
 	msgToken   = byte(0x04) // Safra token
+	msgFrame   = byte(0x05) // aggregated multi-stream frame
 	tokenWhite = byte(0)
 	tokenBlack = byte(1)
 )
@@ -162,9 +179,15 @@ func (rt *Runtime) Run() (Stats, error) {
 		st.RemoteStreams += p.stats.RemoteStreams
 		st.BytesSent += p.stats.BytesSent
 		st.Messages += p.stats.Messages
+		st.BatchesSent += p.stats.BatchesSent
+		st.StreamsBatched += p.stats.StreamsBatched
+		st.FlushOnDeadline += p.stats.FlushOnDeadline
 		st.WorkerBusy += p.stats.WorkerBusy
 		st.PackTime += p.stats.PackTime
 		st.UnpackTime += p.stats.UnpackTime
+	}
+	if st.BatchesSent > 0 {
+		st.StreamsPerBatch = float64(st.StreamsBatched) / float64(st.BatchesSent)
 	}
 	st.Wall = time.Since(start)
 	for _, err := range errs {
@@ -199,6 +222,10 @@ type process struct {
 	rt   *Runtime
 	rank int
 	ep   *comm.Endpoint
+
+	// batchers aggregates outbound streams per destination rank; nil when
+	// aggregation is disabled. Only the master goroutine touches them.
+	batchers []*StreamBatcher
 
 	mu      sync.Mutex
 	progs   map[core.ProgramKey]*progState
@@ -252,6 +279,14 @@ func newProcess(rt *Runtime, rank int) *process {
 	p.workers = make([]*workerQueue, rt.cfg.Workers)
 	for w := range p.workers {
 		p.workers[w] = &workerQueue{id: w, cond: sync.NewCond(&p.mu)}
+	}
+	if rt.cfg.Aggregation.Enabled && rt.cfg.Procs > 1 {
+		p.batchers = make([]*StreamBatcher, rt.cfg.Procs)
+		for r := 0; r < rt.cfg.Procs; r++ {
+			if r != rank {
+				p.batchers[r] = NewStreamBatcher(r, rt.cfg.Aggregation)
+			}
+		}
 	}
 	return p
 }
@@ -327,7 +362,32 @@ masterLoop:
 			}
 		}
 	drained:
+		// Deadline flushes run every iteration, not only when idle: a busy
+		// master must still honor the FlushInterval liveness bound so
+		// downstream ranks are never starved behind a half-full batch.
+		if p.batchers != nil {
+			flushed, ferr := p.flushExpired(time.Now())
+			if ferr != nil {
+				err = ferr
+				break masterLoop
+			}
+			if flushed {
+				progress = true
+			}
+		}
 		if !progress {
+			// Quiescent: flush everything pending so termination detection
+			// never waits on a batch that will not fill.
+			if p.batchers != nil {
+				flushed, ferr := p.flushQuiescent()
+				if ferr != nil {
+					err = ferr
+					break masterLoop
+				}
+				if flushed {
+					continue masterLoop
+				}
+			}
 			if stop := p.checkTermination(); stop {
 				break masterLoop
 			}
@@ -388,12 +448,17 @@ func (p *process) lightestWorker() *workerQueue {
 }
 
 // routeStreams routes worker-produced streams: local targets are delivered
-// directly, remote targets are packed and sent per destination rank.
+// directly; remote targets go straight into the destination's batcher
+// (aggregating path) or are grouped per rank and sent immediately.
 func (p *process) routeStreams(streams []core.Stream) error {
 	if len(streams) == 0 {
 		return nil
 	}
 	var perRank map[int][]core.Stream
+	var now time.Time
+	if p.batchers != nil {
+		now = time.Now()
+	}
 	p.mu.Lock()
 	for _, s := range streams {
 		tgt := s.Tgt()
@@ -408,12 +473,28 @@ func (p *process) routeStreams(streams []core.Stream) error {
 			continue
 		}
 		p.stats.RemoteStreams++
+		if p.batchers != nil {
+			p.batchers[rank].Add(now, s)
+			continue
+		}
 		if perRank == nil {
 			perRank = make(map[int][]core.Stream)
 		}
 		perRank[rank] = append(perRank[rank], s)
 	}
 	p.mu.Unlock()
+	if p.batchers != nil {
+		// Flush outside the lock: a batch may overshoot its trigger by the
+		// streams of this one call, which the flush policy tolerates.
+		for _, b := range p.batchers {
+			if b != nil && b.Full() {
+				if err := p.flushBatcher(b, FlushSize); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
 	for rank, batch := range perRank {
 		t0 := time.Now()
 		buf := make([]byte, 1, core.EncodedSize(batch)+1)
@@ -426,6 +507,89 @@ func (p *process) routeStreams(streams []core.Stream) error {
 		if err := p.ep.Send(rank, buf); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// flushBatcher sends b's pending streams as one aggregated frame.
+func (p *process) flushBatcher(b *StreamBatcher, reason FlushReason) error {
+	if b.Pending() == 0 {
+		return nil
+	}
+	t0 := time.Now()
+	buf := make([]byte, 1, b.PendingBytes()+1)
+	buf[0] = msgFrame
+	buf, n := b.Flush(buf)
+	p.stats.PackTime += time.Since(t0)
+	p.stats.BytesSent += int64(len(buf))
+	p.stats.Messages++
+	p.stats.BatchesSent++
+	p.stats.StreamsBatched += int64(n)
+	if reason == FlushDeadline {
+		p.stats.FlushOnDeadline++
+	}
+	p.safraCounter++ // Safra: sends increment the deficit counter
+	return p.ep.Send(b.Dest(), buf)
+}
+
+// flushExpired flushes every batch whose oldest stream aged past the
+// flush deadline. Reports whether any frame went out.
+func (p *process) flushExpired(now time.Time) (flushed bool, err error) {
+	for _, b := range p.batchers {
+		if b != nil && b.Expired(now) {
+			if err := p.flushBatcher(b, FlushDeadline); err != nil {
+				return flushed, err
+			}
+			flushed = true
+		}
+	}
+	return flushed, nil
+}
+
+// flushQuiescent flushes everything pending once the process has no
+// runnable work left, so remote ranks (and the termination detector)
+// never wait on a batch that cannot fill.
+func (p *process) flushQuiescent() (flushed bool, err error) {
+	p.mu.Lock()
+	quiescent := p.activePrograms == 0 && p.busyWorkers == 0
+	p.mu.Unlock()
+	if !quiescent || len(p.results) > 0 {
+		return false, nil
+	}
+	for _, b := range p.batchers {
+		if b != nil && b.Pending() > 0 {
+			if err := p.flushBatcher(b, FlushDeadline); err != nil {
+				return flushed, err
+			}
+			flushed = true
+		}
+	}
+	return flushed, nil
+}
+
+// pendingBatched returns the number of streams buffered in outbound
+// batchers (0 when aggregation is off).
+func (p *process) pendingBatched() int {
+	n := 0
+	for _, b := range p.batchers {
+		if b != nil {
+			n += b.Pending()
+		}
+	}
+	return n
+}
+
+// deliverRemote validates and delivers streams received from another
+// rank (Safra bookkeeping is per message and stays with the caller).
+func (p *process) deliverRemote(streams []core.Stream) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range streams {
+		if _, ok := p.progs[s.Tgt()]; !ok {
+			return fmt.Errorf("runtime: rank %d received stream for foreign program %v", p.rank, s.Tgt())
+		}
+		p.stats.LocalStreams++
+		p.deliverLocked(s)
 	}
 	return nil
 }
@@ -470,16 +634,21 @@ func (p *process) handleMessage(m comm.Message) (stop bool, err error) {
 		}
 		p.safraCounter--
 		p.safraColor = tokenBlack
-		p.mu.Lock()
-		for _, s := range streams {
-			if _, ok := p.progs[s.Tgt()]; !ok {
-				p.mu.Unlock()
-				return false, fmt.Errorf("runtime: rank %d received stream for foreign program %v", p.rank, s.Tgt())
-			}
-			p.stats.LocalStreams++
-			p.deliverLocked(s)
+		return false, p.deliverRemote(streams)
+	case msgFrame:
+		t0 := time.Now()
+		shards, derr := core.DecodeFrame(body)
+		p.stats.UnpackTime += time.Since(t0)
+		if derr != nil {
+			return false, derr
 		}
-		p.mu.Unlock()
+		p.safraCounter--
+		p.safraColor = tokenBlack
+		for _, sh := range shards {
+			if err := p.deliverRemote(sh); err != nil {
+				return false, err
+			}
+		}
 	case msgDone:
 		if p.rank != 0 {
 			return false, fmt.Errorf("runtime: done report reached rank %d", p.rank)
@@ -504,6 +673,11 @@ func (p *process) handleMessage(m comm.Message) (stop bool, err error) {
 // inactive, no worker mid-cycle, no undrained results.
 func (p *process) passive() bool {
 	if len(p.results) > 0 || p.ep.Pending() > 0 {
+		return false
+	}
+	// Streams waiting in outbound batchers are in-flight work: they must
+	// flush (flushQuiescent does this once quiescent) before termination.
+	if p.pendingBatched() > 0 {
 		return false
 	}
 	p.mu.Lock()

@@ -1,0 +1,99 @@
+package simcluster
+
+import "testing"
+
+func aggBase(t *testing.T) (*Workload, Config, CostModel) {
+	t.Helper()
+	w := structuredW(t, 4, 4000, 8, 8)
+	cfg := Config{Workers: 4, Grain: 500}
+	return w, cfg, DefaultCostModel(1)
+}
+
+func TestSimulateAggregationInvariants(t *testing.T) {
+	w, cfg, cm := aggBase(t)
+	off, err := Simulate(w, cfg, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Aggregation = Aggregation{Enabled: true}
+	on, err := Simulate(w, cfg, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregation changes message count, never the task system: the same
+	// streams flow, every chunk still executes, kernel work is identical.
+	if on.RemoteStreams != off.RemoteStreams {
+		t.Errorf("RemoteStreams: agg on %d vs off %d", on.RemoteStreams, off.RemoteStreams)
+	}
+	if on.Streams != off.Streams || on.Chunks != off.Chunks {
+		t.Errorf("streams/chunks changed: on=%d/%d off=%d/%d", on.Streams, on.Chunks, off.Streams, off.Chunks)
+	}
+	if on.Kernel != off.Kernel {
+		t.Errorf("kernel work changed: %v vs %v", on.Kernel, off.Kernel)
+	}
+	if off.BatchesSent != 0 {
+		t.Errorf("BatchesSent = %d with aggregation off", off.BatchesSent)
+	}
+	if on.BatchesSent == 0 || on.BatchesSent >= on.RemoteStreams {
+		t.Errorf("BatchesSent = %d, want in (0, %d)", on.BatchesSent, on.RemoteStreams)
+	}
+	if on.StreamsPerBatch <= 1 {
+		t.Errorf("StreamsPerBatch = %v, want > 1", on.StreamsPerBatch)
+	}
+}
+
+func TestSimulateAggregationBatchSizeSweep(t *testing.T) {
+	w, cfg, cm := aggBase(t)
+	var prevBatches int64 = -1
+	for _, maxStreams := range []int{1, 4, 16, 64} {
+		cfg.Aggregation = Aggregation{Enabled: true, MaxBatchStreams: maxStreams, FlushDelay: 1}
+		res, err := Simulate(w, cfg, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// With an effectively infinite deadline, larger caps mean fewer,
+		// fuller batches (monotone non-increasing).
+		if prevBatches >= 0 && res.BatchesSent > prevBatches {
+			t.Errorf("maxStreams=%d: batches grew %d -> %d", maxStreams, prevBatches, res.BatchesSent)
+		}
+		prevBatches = res.BatchesSent
+		if maxStreams == 1 && res.BatchesSent != res.RemoteStreams {
+			t.Errorf("maxStreams=1: batches %d != remote streams %d", res.BatchesSent, res.RemoteStreams)
+		}
+	}
+}
+
+func TestSimulateAggregationDeadlineFlush(t *testing.T) {
+	w, cfg, cm := aggBase(t)
+	// Batches that can never fill: every flush must be deadline-driven,
+	// and the simulation must still drain completely.
+	cfg.Aggregation = Aggregation{Enabled: true, MaxBatchStreams: 1 << 30, MaxBatchBytes: 1e18}
+	res, err := Simulate(w, cfg, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchesSent == 0 || res.FlushOnDeadline != res.BatchesSent {
+		t.Errorf("batches=%d deadline-flushed=%d, want all deadline-flushed", res.BatchesSent, res.FlushOnDeadline)
+	}
+}
+
+func TestSimulateAggregationReducesMakespanUnderMessageCost(t *testing.T) {
+	// Communication-bound: small patches, fine chunks, expensive messages
+	// — the masters' per-message cost dominates, so batching must win.
+	w := structuredW(t, 4, 500, 8, 8)
+	cfg := Config{Workers: 4, Grain: 100}
+	cm := DefaultCostModel(1)
+	cm.TMsgFixed = 50e-6
+	off, err := Simulate(w, cfg, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Aggregation = Aggregation{Enabled: true}
+	on, err := Simulate(w, cfg, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Makespan >= off.Makespan {
+		t.Errorf("aggregation did not help on a latency-bound network: on=%v off=%v", on.Makespan, off.Makespan)
+	}
+}

@@ -34,6 +34,11 @@ type CostModel struct {
 	TScheduleFixed float64
 	// TRoutePerStream is the master's routing cost per stream.
 	TRoutePerStream float64
+	// TMsgFixed is the fixed per-transport-message software cost paid by
+	// the sending and the receiving master (send setup, matching) — the
+	// overhead message aggregation amortizes: per stream without
+	// aggregation, per frame with it.
+	TMsgFixed float64
 	// TPackPerByte is the serialization cost per byte (counted once for
 	// pack, once for unpack).
 	TPackPerByte float64
@@ -64,6 +69,7 @@ func DefaultCostModel(groups int) CostModel {
 		TGraphOpCell:      0.55e-6,
 		TScheduleFixed:    15e-6,
 		TRoutePerStream:   4e-6,
+		TMsgFixed:         2e-6,
 		TPackPerByte:      1.5e-9,
 		Latency:           8e-6,
 		InvBandwidth:      1.0 / 5e9,
@@ -152,7 +158,46 @@ type Config struct {
 	// stream j's departure toward later chunks, the behaviour of
 	// priorities that favour interior work (BFS/LDCP on irregular meshes).
 	EmitDelay float64
+	// Aggregation models the runtime's outbound message aggregation: the
+	// master coalesces remote streams per destination rank and pays one
+	// latency + one pack per batch instead of per stream.
+	Aggregation Aggregation
 }
+
+// Aggregation holds the simulated message-aggregation knobs, mirroring
+// the real runtime's AggregationConfig in virtual time.
+type Aggregation struct {
+	// Enabled turns batching on; off reproduces per-stream messaging.
+	Enabled bool
+	// MaxBatchStreams flushes a (src, dst) pair at this many pending
+	// streams (default 64).
+	MaxBatchStreams int
+	// MaxBatchBytes flushes at this many pending payload bytes
+	// (default 64 KiB).
+	MaxBatchBytes float64
+	// FlushDelay is the virtual-time deadline bound: a pending batch
+	// flushes at most this long after its first stream (default 20µs).
+	FlushDelay float64
+}
+
+// withDefaults fills unset aggregation knobs.
+func (a Aggregation) withDefaults() Aggregation {
+	if a.MaxBatchStreams <= 0 {
+		a.MaxBatchStreams = 64
+	}
+	if a.MaxBatchBytes <= 0 {
+		a.MaxBatchBytes = 64 << 10
+	}
+	if a.FlushDelay <= 0 {
+		a.FlushDelay = 20e-6
+	}
+	return a
+}
+
+// aggFrameOverheadBytes is the fixed wire overhead of one aggregated
+// frame (header + shard count), matching core.FrameHeaderSize + one
+// shard-count word.
+const aggFrameOverheadBytes = 12.0
 
 // Result is the simulated outcome.
 type Result struct {
@@ -165,6 +210,15 @@ type Result struct {
 	// Streams / RemoteStreams / Bytes count communication.
 	Streams, RemoteStreams, LocalStreams int64
 	Bytes                                int64
+	// BatchesSent counts aggregated frames (0 without aggregation); with
+	// aggregation working, BatchesSent < RemoteStreams.
+	BatchesSent int64
+	// FlushOnDeadline counts batches flushed by the deadline rather than
+	// a size/count trigger.
+	FlushOnDeadline int64
+	// StreamsPerBatch is the mean aggregation factor
+	// (RemoteStreams/BatchesSent); 0 without aggregation.
+	StreamsPerBatch float64
 	// Chunks is the number of chunk executions (scheduling events).
 	Chunks int64
 	// Events is the DES event count (diagnostics).
@@ -181,6 +235,9 @@ const (
 	evChunkReady = iota
 	evChunkDone
 	evArrive
+	// evFlush fires an aggregation deadline for the (src, dst) rank pair
+	// carried in the event's prog/chunk fields.
+	evFlush
 )
 
 type event struct {
@@ -356,6 +413,55 @@ func Simulate(w *Workload, cfg Config, cm CostModel) (*Result, error) {
 		res.Events++
 	}
 
+	// Aggregation state: per (src, dst) rank pair, the pending batch.
+	agg := cfg.Aggregation.withDefaults()
+	type aggArrival struct{ prog, chunk int32 }
+	type aggPend struct {
+		arrivals []aggArrival
+		bytes    float64
+		deadline float64 // virtual time the current batch must flush by
+	}
+	var pending map[int64]*aggPend
+	if agg.Enabled {
+		pending = make(map[int64]*aggPend)
+	}
+	// flushAgg ships one pending batch at virtual time t: pack once on the
+	// source master, one latency + bandwidth for the whole frame, one
+	// unpack + per-stream route on the destination master.
+	flushAgg := func(src, dst int, pd *aggPend, t float64, byDeadline bool) {
+		n := len(pd.arrivals)
+		if n == 0 {
+			return
+		}
+		total := pd.bytes + aggFrameOverheadBytes
+		ps := &procs[src]
+		packT := total*cm.TPackPerByte + cm.TMsgFixed
+		start := maxF(t, ps.masterFreeAt)
+		done := start + packT
+		ps.masterFreeAt = done
+		ps.masterBusy += packT
+		res.Pack += packT
+		arrive := done + cm.Latency + total*cm.InvBandwidth
+		dstPs := &procs[dst]
+		unpackT := total*cm.TPackPerByte + cm.TMsgFixed + float64(n)*cm.TRoutePerStream
+		st := maxF(arrive, dstPs.masterFreeAt)
+		dn := st + unpackT
+		dstPs.masterFreeAt = dn
+		dstPs.masterBusy += unpackT
+		res.Unpack += total*cm.TPackPerByte + cm.TMsgFixed
+		res.Route += float64(n) * cm.TRoutePerStream
+		res.Bytes += int64(aggFrameOverheadBytes)
+		res.BatchesSent++
+		if byDeadline {
+			res.FlushOnDeadline++
+		}
+		for _, ar := range pd.arrivals {
+			push(dn, evArrive, ar.prog, ar.chunk)
+		}
+		pd.arrivals = pd.arrivals[:0]
+		pd.bytes = 0
+	}
+
 	prioOf := func(prog int32) int64 {
 		a := int(prog) / np
 		p := int(prog) % np
@@ -455,9 +561,36 @@ func Simulate(w *Workload, cfg Config, cm CostModel) (*Result, error) {
 						push(done, evArrive, v, tc)
 						continue
 					}
-					// Remote: pack + route on source master, wire, unpack
-					// + route on destination master.
-					packT := bytes * cm.TPackPerByte
+					if agg.Enabled {
+						// Aggregating path: the source master routes the
+						// stream into the destination's pending batch; pack
+						// and wire costs are paid per batch at flush.
+						start := maxF(now, ps.masterFreeAt)
+						done := start + cm.TRoutePerStream
+						ps.masterFreeAt = done
+						ps.masterBusy += cm.TRoutePerStream
+						res.Route += cm.TRoutePerStream
+						res.RemoteStreams++
+						key := int64(rank)*int64(w.Procs) + int64(dstRank)
+						pd := pending[key]
+						if pd == nil {
+							pd = &aggPend{}
+							pending[key] = pd
+						}
+						if len(pd.arrivals) == 0 {
+							pd.deadline = done + agg.FlushDelay
+							push(pd.deadline, evFlush, int32(rank), int32(dstRank))
+						}
+						pd.arrivals = append(pd.arrivals, aggArrival{prog: v, chunk: tc})
+						pd.bytes += bytes
+						if len(pd.arrivals) >= agg.MaxBatchStreams || pd.bytes >= agg.MaxBatchBytes {
+							flushAgg(rank, dstRank, pd, done, false)
+						}
+						continue
+					}
+					// Remote: pack + route + per-message cost on the source
+					// master, wire, unpack + route on the destination.
+					packT := bytes*cm.TPackPerByte + cm.TMsgFixed
 					start := maxF(now, ps.masterFreeAt)
 					done := start + cm.TRoutePerStream + packT
 					ps.masterFreeAt = done
@@ -467,12 +600,12 @@ func Simulate(w *Workload, cfg Config, cm CostModel) (*Result, error) {
 					res.RemoteStreams++
 					arrive := done + cm.Latency + bytes*cm.InvBandwidth
 					dst := &procs[dstRank]
-					unpackT := bytes*cm.TPackPerByte + cm.TRoutePerStream
+					unpackT := bytes*cm.TPackPerByte + cm.TMsgFixed + cm.TRoutePerStream
 					st := maxF(arrive, dst.masterFreeAt)
 					dn := st + unpackT
 					dst.masterFreeAt = dn
 					dst.masterBusy += unpackT
-					res.Unpack += bytes * cm.TPackPerByte
+					res.Unpack += bytes*cm.TPackPerByte + cm.TMsgFixed
 					res.Route += cm.TRoutePerStream
 					push(dn, evArrive, v, tc)
 				}
@@ -484,9 +617,24 @@ func Simulate(w *Workload, cfg Config, cm CostModel) (*Result, error) {
 			if deps[idx] == 0 {
 				push(now, evChunkReady, ev.prog, ev.chunk)
 			}
+		case evFlush:
+			src, dst := int(ev.prog), int(ev.chunk)
+			pd := pending[int64(src)*int64(w.Procs)+int64(dst)]
+			// Flush only the batch this deadline was armed for: a size
+			// flush may have emptied it, and a newer batch re-arms its own
+			// deadline event.
+			if pd != nil && len(pd.arrivals) > 0 && now >= pd.deadline {
+				flushAgg(src, dst, pd, now, true)
+			}
 		}
 	}
 
+	if agg.Enabled {
+		res.StreamsPerBatch = 0
+		if res.BatchesSent > 0 {
+			res.StreamsPerBatch = float64(res.RemoteStreams) / float64(res.BatchesSent)
+		}
+	}
 	res.Makespan = now
 	var workerBusy, masterBusy float64
 	for i := range procs {

@@ -15,6 +15,18 @@ import (
 // boundary, aggregated per target program by vertex clustering (§V-C).
 //
 //	payload := count:u32 { dstV:u32 dstFace:u8 psi:f64×G }*count
+
+// faceFluxRecordBytes is the wire size of one face-flux record.
+func faceFluxRecordBytes(groups int) int { return 5 + 8*groups }
+
+// StreamPayloadBytes returns the encoded payload size of a sweep stream
+// carrying `records` face-flux records for `groups` energy groups. The
+// runtime's message aggregation uses it to size batch byte limits from
+// the expected per-stream payload.
+func StreamPayloadBytes(records, groups int) int {
+	return 4 + records*faceFluxRecordBytes(groups)
+}
+
 type faceFlux struct {
 	v    int32
 	face int8

@@ -29,6 +29,11 @@ type Options struct {
 	// Termination selects the runtime's termination detector; sweeps know
 	// their workload, so Workload is the default.
 	Termination runtime.TerminationMode
+	// Aggregation configures the runtime's outbound message aggregation
+	// (paper §IV): remote boundary-flux streams coalesce into
+	// per-destination frames. An unset MaxBatchBytes is sized from the
+	// sweep's own payload geometry (grain × groups).
+	Aggregation runtime.AggregationConfig
 }
 
 func (o *Options) defaults() {
@@ -265,10 +270,17 @@ func (s *Solver) execute(register func(func(core.ProgramKey, core.PatchProgram, 
 		s.stats.Runtime = runtime.Stats{}
 		return err
 	}
+	agg := s.opts.Aggregation
+	if agg.Enabled && agg.MaxBatchBytes == 0 {
+		// Size batches for ~16 typical streams: one stream carries about a
+		// grain's worth of boundary face-flux records per group.
+		agg.MaxBatchBytes = 16 * (core.StreamHeaderSize + StreamPayloadBytes(s.opts.Grain, s.prob.Groups))
+	}
 	rt, err := runtime.New(runtime.Config{
 		Procs:       s.opts.Procs,
 		Workers:     s.opts.Workers,
 		Termination: s.opts.Termination,
+		Aggregation: agg,
 	})
 	if err != nil {
 		return err

@@ -182,6 +182,11 @@ type (
 	Runtime = runtime.Runtime
 	// RuntimeConfig shapes the runtime.
 	RuntimeConfig = runtime.Config
+	// RuntimeStats aggregates runtime execution statistics.
+	RuntimeStats = runtime.Stats
+	// AggregationConfig holds the outbound message-aggregation knobs
+	// (paper §IV): batch size, byte and deadline flush triggers, shards.
+	AggregationConfig = runtime.AggregationConfig
 	// TerminationMode selects the distributed termination detector.
 	TerminationMode = runtime.TerminationMode
 )
@@ -276,6 +281,8 @@ type (
 	SimWorkload = simcluster.Workload
 	// SimConfig selects the simulated runtime shape and policy.
 	SimConfig = simcluster.Config
+	// SimAggregation holds the simulated message-aggregation knobs.
+	SimAggregation = simcluster.Aggregation
 	// SimCostModel holds the calibrated machine constants.
 	SimCostModel = simcluster.CostModel
 	// SimResult is a simulated outcome with its cost breakdown.
