@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench fuzz agg-bench clean
+.PHONY: all build test short race vet bench fuzz agg-bench iter-bench cover clean
 
 all: build vet test
 
@@ -31,6 +31,20 @@ fuzz:
 # methodology applied to §IV batching) and record BENCH_aggregation.json.
 agg-bench:
 	$(GO) run ./cmd/jsweep-bench -exp agg -fidelity quick -out BENCH_aggregation.json
+
+# Reproduce the persistent-session iteration-throughput comparison
+# (ReuseRuntime on vs off over full source-iteration solves) and record
+# BENCH_iteration.json.
+iter-bench:
+	$(GO) run ./cmd/jsweep-bench -exp iter -fidelity quick -out BENCH_iteration.json
+
+# Per-package coverage with the CI gates for the session-critical
+# packages (internal/runtime, internal/sweep). The redirect (not a pipe)
+# preserves go test's exit status under plain sh.
+cover:
+	$(GO) test -cover ./... > cover.out || (cat cover.out; exit 1)
+	cat cover.out
+	./scripts/check_coverage.sh cover.out
 
 clean:
 	$(GO) clean ./...

@@ -49,6 +49,7 @@ func BenchmarkFig17bVsJAUMIN(b *testing.B)                { benchExperiment(b, "
 func BenchmarkTableIComparison(b *testing.B)              { benchExperiment(b, "tab1") }
 func BenchmarkCoarsenedGraphAblation(b *testing.B)        { benchExperiment(b, "coarse") }
 func BenchmarkRealRuntimeSweep(b *testing.B)              { benchExperiment(b, "real") }
+func BenchmarkIterationSessionReuse(b *testing.B)         { benchExperiment(b, "iter") }
 
 // Micro-benchmarks of the building blocks.
 
@@ -224,3 +225,35 @@ func BenchmarkSourceIteration(b *testing.B) {
 		}
 	}
 }
+
+// benchSourceIterationSolver measures a full data-driven source iteration
+// (Kobayashi with scattering) under the given session-reuse mode.
+func benchSourceIterationSolver(b *testing.B, mode jsweep.ReuseMode) {
+	prob, m, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{N: 12, SnOrder: 2, Scattering: true, Scheme: jsweep.Diamond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := m.BlockDecompose(3, 3, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{
+			Procs: 2, Workers: 2, Grain: 64, ReuseRuntime: mode,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := transport.SourceIterate(prob, s, transport.IterConfig{Tolerance: 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+		s.Close()
+	}
+}
+
+// BenchmarkSourceIterationReuseOn / ...Off compare one persistent runtime
+// session against rebuild-per-sweep over a full multi-sweep solve.
+func BenchmarkSourceIterationReuseOn(b *testing.B)  { benchSourceIterationSolver(b, jsweep.ReuseOn) }
+func BenchmarkSourceIterationReuseOff(b *testing.B) { benchSourceIterationSolver(b, jsweep.ReuseOff) }

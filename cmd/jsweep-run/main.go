@@ -32,6 +32,7 @@ func main() {
 		grain    = flag.Int("grain", 64, "vertex clustering grain")
 		prio     = flag.String("prio", "SLBD+SLBD", "patch+vertex priority pair")
 		coarse   = flag.Bool("coarse", false, "use the coarsened graph across sweeps")
+		reuse    = flag.Bool("reuse", true, "reuse one runtime session (processes, workers, buffers) across sweeps")
 		seq      = flag.Bool("seq", false, "run on the sequential engine")
 		verify   = flag.Bool("verify", false, "cross-check against the serial reference")
 		tol      = flag.Float64("tol", 1e-7, "source-iteration tolerance")
@@ -98,9 +99,14 @@ func main() {
 	fmt.Printf("mesh=%s cells=%d patches=%d angles=%d groups=%d\n",
 		*meshKind, prob.M.NumCells(), d.NumPatches(), prob.Quad.NumAngles(), prob.Groups)
 
+	reuseMode := jsweep.ReuseOn
+	if !*reuse {
+		reuseMode = jsweep.ReuseOff
+	}
 	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{
 		Procs: *procs, Workers: *workers, Grain: *grain,
 		Pair: pair, UseCoarse: *coarse, Sequential: *seq,
+		ReuseRuntime: reuseMode,
 		Aggregation: jsweep.AggregationConfig{
 			Enabled:         *agg,
 			MaxBatchStreams: *aggStreams,
@@ -112,6 +118,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 	t0 := time.Now()
 	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: *tol})
 	if err != nil {
@@ -122,6 +129,11 @@ func main() {
 	st := s.LastStats()
 	fmt.Printf("last sweep: computeCalls=%d streams=%d coarse=%v\n",
 		st.ComputeCalls, st.Streams, st.Coarse)
+	if !*seq && *reuse {
+		cum := st.Cumulative
+		fmt.Printf("session: roundsRun=%d cycles=%d remoteStreams=%d workerBusy=%.3fs\n",
+			cum.RoundsRun, cum.Cycles, cum.RemoteStreams, cum.WorkerBusy.Seconds())
+	}
 	if *agg {
 		r := st.Runtime
 		fmt.Printf("aggregation: remoteStreams=%d batches=%d streams/batch=%.1f deadlineFlushes=%d\n",

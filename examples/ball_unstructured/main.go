@@ -78,6 +78,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer s.Close()
 
 	t0 := time.Now()
 	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: 1e-7})

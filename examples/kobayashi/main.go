@@ -84,8 +84,10 @@ func main() {
 		}
 		check("JSweep "+pair.String(), got)
 		st := s.LastStats()
-		fmt.Printf("%-28s %8.3fs  (%d compute calls, %d remote streams)\n",
-			"JSweep "+pair.String(), time.Since(t1).Seconds(), st.ComputeCalls, st.Runtime.RemoteStreams)
+		fmt.Printf("%-28s %8.3fs  (%d compute calls, %d remote streams, %d session rounds)\n",
+			"JSweep "+pair.String(), time.Since(t1).Seconds(), st.ComputeCalls, st.Runtime.RemoteStreams,
+			st.Cumulative.RoundsRun)
+		s.Close()
 	}
 
 	// 3. KBA baseline (the classic structured-mesh algorithm).

@@ -48,6 +48,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The solver keeps one runtime session alive across all sweeps of the
+	// iteration (ReuseRuntime defaults to on); Close releases its workers.
+	defer s.Close()
 
 	// Source-iterate to convergence.
 	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: 1e-8})

@@ -94,6 +94,7 @@ func All() []Experiment {
 		{ID: "coarse", Title: "§V-E — coarsened-graph ablation (real runtime)", Run: CoarseAblation},
 		{ID: "real", Title: "validation — real threaded runtime scaling on host", Run: RealRuntime},
 		{ID: "agg", Title: "§IV — message-aggregation batch-size sweep (sim + real runtime)", Run: AggregationSweep},
+		{ID: "iter", Title: "§IV — persistent-session iteration throughput (reuse on/off, real runtime)", Run: IterationReuse},
 	}
 }
 

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/partition"
+	"jsweep/internal/priority"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// IterationReuse measures the persistent-session claim (paper §IV: the
+// runtime is a long-lived service): across the sweeps of a full source
+// iteration, reusing one runtime session — processes, worker goroutines,
+// transport, program objects, pooled buffers — against rebuilding
+// everything per sweep. Both configurations must converge to bitwise
+// identical flux; the experiment reports per-iteration wall time and the
+// reuse speedup on the structured Kobayashi problem and the unstructured
+// ball.
+func IterationReuse(f Fidelity, w io.Writer) ([]Point, error) {
+	type itercase struct {
+		name  string
+		prob  *transport.Problem
+		d     *mesh.Decomposition
+		grain int
+	}
+	var cases []itercase
+
+	kobaN := 16
+	ballCells := 3000
+	snOrder := 2
+	switch f {
+	case Standard:
+		kobaN = 24
+		ballCells = 12000
+		snOrder = 4
+	case Paper:
+		kobaN = 32
+		ballCells = 40000
+		snOrder = 4
+	}
+
+	kprob, km, err := kobayashi.Build(kobayashi.Spec{
+		N: kobaN, SnOrder: snOrder, Scattering: true, Scheme: transport.Diamond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := kobaN / 4
+	kd, err := km.BlockDecompose(b, b, b)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, itercase{name: fmt.Sprintf("kobayashi-%d", kobaN), prob: kprob, d: kd, grain: 64})
+
+	bm, err := meshgen.BallWithCells(ballCells, 10.0)
+	if err != nil {
+		return nil, err
+	}
+	bm.SetMaterialFunc(func(geom.Vec3) int { return 0 })
+	quad, err := quadrature.New(snOrder)
+	if err != nil {
+		return nil, err
+	}
+	bprob := &transport.Problem{
+		M: bm,
+		Mats: []transport.Material{{
+			Name:   "ball",
+			SigmaT: []float64{0.5},
+			SigmaS: [][]float64{{0.25}},
+			Source: []float64{1.0},
+		}},
+		Quad:   quad,
+		Groups: 1,
+		Scheme: transport.Step,
+	}
+	bd, err := partition.ByPatchSize(bm, 400, partition.GreedyGraph)
+	if err != nil {
+		return nil, err
+	}
+	cases = append(cases, itercase{name: fmt.Sprintf("ball-%d", bm.NumCells()), prob: bprob, d: bd, grain: 32})
+
+	procs := 2
+	workers := maxI(1, runtime.NumCPU()/procs-1)
+	iterCfg := transport.IterConfig{Tolerance: 1e-6, MaxIterations: 200}
+
+	fmt.Fprintf(w, "Persistent-session iteration throughput (%s): %dp×%dw, tol %.0e\n",
+		f, procs, workers, iterCfg.Tolerance)
+	fmt.Fprintf(w, "  %-18s %6s %8s %14s %14s %9s\n",
+		"case", "iters", "rounds", "off [ms/iter]", "on [ms/iter]", "speedup")
+
+	var pts []Point
+	for _, tc := range cases {
+		opts := sweep.Options{
+			Procs: procs, Workers: workers, Grain: tc.grain,
+			Pair: priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+		}
+
+		run := func(mode sweep.ReuseMode) (*transport.Result, sweep.SweepStats, float64, error) {
+			o := opts
+			o.ReuseRuntime = mode
+			s, err := sweep.NewSolver(tc.prob, tc.d, o)
+			if err != nil {
+				return nil, sweep.SweepStats{}, 0, err
+			}
+			defer s.Close()
+			t0 := time.Now()
+			res, err := transport.SourceIterate(tc.prob, s, iterCfg)
+			if err != nil {
+				return nil, sweep.SweepStats{}, 0, err
+			}
+			return res, s.LastStats(), time.Since(t0).Seconds(), nil
+		}
+
+		resOff, _, wallOff, err := run(sweep.ReuseOff)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s reuse-off: %w", tc.name, err)
+		}
+		resOn, stOn, wallOn, err := run(sweep.ReuseOn)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s reuse-on: %w", tc.name, err)
+		}
+		if resOn.Iterations != resOff.Iterations {
+			return nil, fmt.Errorf("bench: %s iteration counts diverge: on=%d off=%d",
+				tc.name, resOn.Iterations, resOff.Iterations)
+		}
+		for g := range resOff.Phi {
+			for c := range resOff.Phi[g] {
+				if resOff.Phi[g][c] != resOn.Phi[g][c] {
+					return nil, fmt.Errorf("bench: %s flux diverges at group %d cell %d", tc.name, g, c)
+				}
+			}
+		}
+		if got, want := stOn.Cumulative.RoundsRun, int64(resOn.Iterations); got != want {
+			return nil, fmt.Errorf("bench: %s session ran %d rounds for %d iterations", tc.name, got, want)
+		}
+
+		iters := float64(resOn.Iterations)
+		offPer := wallOff / iters
+		onPer := wallOn / iters
+		fmt.Fprintf(w, "  %-18s %6d %8d %14.2f %14.2f %8.2fx\n",
+			tc.name, resOn.Iterations, stOn.Cumulative.RoundsRun,
+			1e3*offPer, 1e3*onPer, offPer/onPer)
+		pts = append(pts,
+			Point{Series: tc.name + "/reuse-off", X: iters, Value: offPer},
+			Point{Series: tc.name + "/reuse-on", X: iters, Value: onPer},
+			Point{Series: tc.name + "/speedup", X: iters, Value: offPer / onPer},
+		)
+	}
+	return pts, nil
+}

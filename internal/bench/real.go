@@ -42,6 +42,7 @@ func CoarseAblation(f Fidelity, w io.Writer) ([]Point, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer s.Close()
 	q := flatSource(prob)
 
 	t0 := time.Now()
@@ -109,10 +110,12 @@ func RealRuntime(f Fidelity, w io.Writer) ([]Point, error) {
 		}
 		t0 := time.Now()
 		if _, err := s.Sweep(q); err != nil {
+			s.Close()
 			return nil, err
 		}
 		wall := time.Since(t0).Seconds()
 		st := s.LastStats()
+		s.Close()
 		fmt.Fprintf(w, "  %8d %8d %12.4f %10d %14d\n",
 			tp[0], tp[1], wall, st.Runtime.Cycles, st.Runtime.RemoteStreams)
 		pts = append(pts, Point{Series: "real", X: float64(tp[0] * tp[1]), Value: wall})

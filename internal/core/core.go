@@ -106,17 +106,22 @@ type EngineStats struct {
 // deliberately simple — the parallel runtime is validated against it.
 type Engine struct {
 	programs map[ProgramKey]*engProg
-	ready    engHeap
-	seq      int64
-	stats    EngineStats
+	// order keeps registration order so Reset reactivates programs with
+	// exactly the same deterministic schedule as a fresh engine.
+	order []*engProg
+	ready engHeap
+	seq   int64
+	stats EngineStats
 }
 
 type engProg struct {
-	key         ProgramKey
-	prog        PatchProgram
-	prio        int64
-	seq         int64 // FIFO tie-break
-	inbox       []Stream
+	key   ProgramKey
+	prog  PatchProgram
+	prio  int64
+	seq   int64 // FIFO tie-break
+	inbox []Stream
+	// inboxFree recycles the previously consumed inbox buffer.
+	inboxFree   []Stream
 	state       State
 	queued      bool
 	initialized bool
@@ -137,8 +142,28 @@ func (e *Engine) Register(key ProgramKey, prog PatchProgram, prio int64) error {
 	}
 	p := &engProg{key: key, prog: prog, prio: prio, state: Active}
 	e.programs[key] = p
+	e.order = append(e.order, p)
 	e.push(p)
 	return nil
+}
+
+// Reset rearms the engine for another round: every registered program is
+// reactivated in registration order (the same deterministic schedule a
+// fresh engine would produce), pending inboxes and statistics are
+// cleared (the next Run reports that round alone, mirroring
+// runtime.Runtime.RunRound), and Run may be called again. Init calls are
+// NOT repeated — program-local state between rounds is the caller's
+// responsibility, mirroring runtime.Runtime.Reset.
+func (e *Engine) Reset() {
+	e.stats = EngineStats{}
+	e.ready = e.ready[:0]
+	for _, p := range e.order {
+		p.state = Active
+		p.queued = false
+		clear(p.inbox)
+		p.inbox = p.inbox[:0]
+		e.push(p)
+	}
 }
 
 func (e *Engine) push(p *engProg) {
@@ -175,8 +200,11 @@ func (e *Engine) cycle(p *engProg) error {
 		p.prog.Init()
 		p.initialized = true
 	}
+	// Detach the inbox (self-delivery during Output must land in a fresh
+	// buffer) and recycle the consumed one afterwards.
 	inbox := p.inbox
-	p.inbox = nil
+	p.inbox = p.inboxFree
+	p.inboxFree = nil
 	for _, s := range inbox {
 		p.prog.Input(s)
 	}
@@ -189,6 +217,10 @@ func (e *Engine) cycle(p *engProg) error {
 		if err := e.deliver(s); err != nil {
 			return err
 		}
+	}
+	clear(inbox)
+	if p.inboxFree == nil {
+		p.inboxFree = inbox[:0]
 	}
 	if p.prog.VoteToHalt() && len(p.inbox) == 0 {
 		p.state = Inactive

@@ -10,6 +10,15 @@
 // workload-counter condition for algorithms whose total work is known in
 // advance (sweeps), and Safra's general token algorithm [Misra/EWD 998
 // family] for arbitrary data-driven programs.
+//
+// A Runtime is a persistent session: the paper's runtime is a long-lived
+// service patch-programs are mapped onto, so processes, worker goroutines
+// and the transport survive across rounds. RunRound executes the
+// registered programs to global termination once; Reset rearms the
+// termination detectors and reactivates every program for the next round
+// (the caller restores program-local state first, e.g. rebinding a new
+// emission source); Close tears the worker goroutines down. Run remains
+// the single-shot convenience (one round, then Close).
 package runtime
 
 import (
@@ -56,8 +65,14 @@ type Config struct {
 	Aggregation AggregationConfig
 }
 
-// Stats aggregates execution statistics across all processes.
+// Stats aggregates execution statistics across all processes. RunRound
+// returns the statistics of one round; CumulativeStats sums every round
+// of the session (its RoundsRun field counts the rounds).
 type Stats struct {
+	// RoundsRun counts the RunRound executions these statistics cover:
+	// 1 for a per-round view, the session round count for the
+	// cumulative view.
+	RoundsRun int64
 	// Cycles counts Alg. 1 executions of all programs.
 	Cycles int64
 	// LocalStreams / RemoteStreams count routed streams by destination.
@@ -98,14 +113,30 @@ const (
 )
 
 // Runtime executes a set of registered patch-programs across Procs
-// processes × Workers workers. A Runtime is single-shot: Register programs,
-// call Run once, read Stats.
+// processes × Workers workers. Register programs, then either call Run
+// once (single-shot) or drive a persistent session with
+// RunRound / Reset / ... / Close: processes, worker goroutines and the
+// transport stay alive between rounds.
 type Runtime struct {
 	cfg       Config
 	transport *comm.Transport
 	procs     []*process
 	owner     map[core.ProgramKey]int
-	ran       bool
+
+	// started flips when the first round launches the worker goroutines;
+	// registration closes at that point.
+	started bool
+	// closed flips once Close has torn the workers down.
+	closed bool
+	// broken marks a session whose last round returned an error: its
+	// processes may hold undrained state, so further rounds are refused.
+	broken bool
+	// needReset is set after every completed round; Reset clears it.
+	needReset bool
+
+	rounds int64
+	last   Stats // most recent round
+	cum    Stats // session totals across rounds
 }
 
 // New creates a runtime.
@@ -135,8 +166,8 @@ func New(cfg Config) (*Runtime, error) {
 // Register places program key on process rank with the given scheduling
 // priority (larger runs earlier). All programs start active.
 func (rt *Runtime) Register(key core.ProgramKey, prog core.PatchProgram, prio int64, rank int) error {
-	if rt.ran {
-		return fmt.Errorf("runtime: Register after Run")
+	if rt.started {
+		return fmt.Errorf("runtime: Register after the session started")
 	}
 	if rank < 0 || rank >= rt.cfg.Procs {
 		return fmt.Errorf("runtime: program %v placed on invalid rank %d", key, rank)
@@ -154,13 +185,39 @@ func (rt *Runtime) Register(key core.ProgramKey, prog core.PatchProgram, prio in
 	return nil
 }
 
-// Run executes all programs to global termination and returns aggregate
-// statistics.
+// Run executes all programs to global termination once and closes the
+// session. For multi-round sessions use RunRound / Reset / Close.
 func (rt *Runtime) Run() (Stats, error) {
-	if rt.ran {
-		return Stats{}, fmt.Errorf("runtime: Run called twice")
+	if rt.started {
+		return Stats{}, fmt.Errorf("runtime: Run called twice (use RunRound for multi-round sessions)")
 	}
-	rt.ran = true
+	st, err := rt.RunRound()
+	if cerr := rt.Close(); err == nil {
+		err = cerr
+	}
+	return st, err
+}
+
+// RunRound executes all registered programs to global termination and
+// returns the round's statistics. The first call launches the worker
+// goroutines; they stay parked between rounds. Reset must be called
+// between rounds.
+func (rt *Runtime) RunRound() (Stats, error) {
+	if rt.closed {
+		return Stats{}, fmt.Errorf("runtime: RunRound on closed session")
+	}
+	if rt.broken {
+		return Stats{}, fmt.Errorf("runtime: session broken by an earlier round error")
+	}
+	if rt.needReset {
+		return Stats{}, fmt.Errorf("runtime: Reset required between rounds")
+	}
+	if !rt.started {
+		rt.started = true
+		for _, p := range rt.procs {
+			p.startWorkers()
+		}
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	errs := make([]error, rt.cfg.Procs)
@@ -168,43 +225,117 @@ func (rt *Runtime) Run() (Stats, error) {
 		wg.Add(1)
 		go func(p *process) {
 			defer wg.Done()
-			errs[p.rank] = p.run()
+			errs[p.rank] = p.runRound()
 		}(rt.procs[r])
 	}
 	wg.Wait()
-	var st Stats
+	st := Stats{RoundsRun: 1}
 	for _, p := range rt.procs {
-		st.Cycles += p.stats.Cycles
-		st.LocalStreams += p.stats.LocalStreams
-		st.RemoteStreams += p.stats.RemoteStreams
-		st.BytesSent += p.stats.BytesSent
-		st.Messages += p.stats.Messages
-		st.BatchesSent += p.stats.BatchesSent
-		st.StreamsBatched += p.stats.StreamsBatched
-		st.FlushOnDeadline += p.stats.FlushOnDeadline
-		st.WorkerBusy += p.stats.WorkerBusy
-		st.PackTime += p.stats.PackTime
-		st.UnpackTime += p.stats.UnpackTime
-	}
-	if st.BatchesSent > 0 {
-		st.StreamsPerBatch = float64(st.StreamsBatched) / float64(st.BatchesSent)
+		st.add(p.collectRound())
 	}
 	st.Wall = time.Since(start)
+	rt.rounds++
+	rt.needReset = true
+	rt.last = st
+	rt.cum.add(st)
+	rt.cum.RoundsRun = rt.rounds
 	for _, err := range errs {
 		if err != nil {
+			rt.broken = true
 			return st, err
 		}
 	}
 	return st, nil
 }
 
+// Reset rearms the session for another round: every registered program is
+// reactivated (the caller must first restore the programs themselves to a
+// runnable state — e.g. rebind a new emission source), the termination
+// detectors are reinitialized, and per-round statistics are cleared.
+// Program Init calls are NOT repeated: initialization happened in round 1
+// and program-local state is owned by the caller between rounds.
+func (rt *Runtime) Reset() error {
+	if rt.closed {
+		return fmt.Errorf("runtime: Reset on closed session")
+	}
+	if rt.broken {
+		return fmt.Errorf("runtime: Reset on session broken by an earlier round error")
+	}
+	for _, p := range rt.procs {
+		if err := p.resetRound(); err != nil {
+			return err
+		}
+	}
+	rt.needReset = false
+	return nil
+}
+
+// Close shuts the worker goroutines down and ends the session. It is
+// idempotent; statistics remain readable afterwards.
+func (rt *Runtime) Close() error {
+	if rt.closed {
+		return nil
+	}
+	rt.closed = true
+	if !rt.started {
+		return nil
+	}
+	for _, p := range rt.procs {
+		p.mu.Lock()
+		p.shutdown = true
+		for _, w := range p.workers {
+			w.cond.Broadcast()
+		}
+		p.mu.Unlock()
+	}
+	for _, p := range rt.procs {
+		p.drainAndJoin()
+	}
+	return nil
+}
+
+// RoundsRun returns the number of completed rounds in this session.
+func (rt *Runtime) RoundsRun() int64 { return rt.rounds }
+
+// LastRoundStats returns the statistics of the most recent round.
+func (rt *Runtime) LastRoundStats() Stats { return rt.last }
+
+// CumulativeStats returns statistics summed over every round of the
+// session; RoundsRun carries the round count.
+func (rt *Runtime) CumulativeStats() Stats { return rt.cum }
+
+// add folds the counters of o into c (RoundsRun excluded — the caller
+// owns the round count of each view) and refreshes the derived
+// StreamsPerBatch mean. Shared by the per-round and cumulative views so
+// a new Stats field only needs one summation site.
+func (c *Stats) add(o Stats) {
+	c.Cycles += o.Cycles
+	c.LocalStreams += o.LocalStreams
+	c.RemoteStreams += o.RemoteStreams
+	c.BytesSent += o.BytesSent
+	c.Messages += o.Messages
+	c.BatchesSent += o.BatchesSent
+	c.StreamsBatched += o.StreamsBatched
+	c.FlushOnDeadline += o.FlushOnDeadline
+	c.WorkerBusy += o.WorkerBusy
+	c.PackTime += o.PackTime
+	c.UnpackTime += o.UnpackTime
+	c.Wall += o.Wall
+	if c.BatchesSent > 0 {
+		c.StreamsPerBatch = float64(c.StreamsBatched) / float64(c.BatchesSent)
+	}
+}
+
 // progState tracks one patch-program inside its home process.
 type progState struct {
-	key         core.ProgramKey
-	prog        core.PatchProgram
-	prio        int64
-	seq         int64
-	inbox       []core.Stream
+	key   core.ProgramKey
+	prog  core.PatchProgram
+	prio  int64
+	seq   int64
+	inbox []core.Stream
+	// inboxFree is the previous inbox buffer, recycled by the worker after
+	// consuming it so steady-state delivery stops allocating.
+	inboxFree   []core.Stream
 	active      bool
 	queued      bool
 	running     bool
@@ -235,9 +366,7 @@ type process struct {
 	// busyWorkers counts workers between popping a program and handing
 	// their produced streams to the master — passive() must see them.
 	busyWorkers int
-	// remaining is the workload-mode remaining-work sum for this proc.
-	remaining int64
-	shutdown  bool
+	shutdown bool
 
 	results chan workerResult
 
@@ -295,29 +424,34 @@ func (p *process) register(key core.ProgramKey, prog core.PatchProgram, prio int
 	ps := &progState{key: key, prog: prog, prio: prio, seq: int64(len(p.progs)), active: true, worker: -1}
 	p.progs[key] = ps
 	p.activePrograms++
-	if r, ok := prog.(core.WorkloadReporter); ok {
-		p.remaining += r.RemainingWork()
+}
+
+// startWorkers launches the persistent worker goroutines. Called once per
+// session, before the first round.
+func (p *process) startWorkers() {
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go p.workerLoop(w)
 	}
 }
 
-// run is the master loop of one process (paper Fig. 8).
-func (p *process) run() error {
+// runRound is the master loop of one process (paper Fig. 8) for one
+// round: it distributes the active programs, drives execution to the
+// termination decision, and leaves the workers parked for the next round.
+func (p *process) runRound() error {
 	// Distribute initially active programs evenly across workers (§IV-B),
 	// highest priority spread first for an even start.
 	p.mu.Lock()
 	i := 0
 	for _, ps := range p.progs {
+		if !ps.active {
+			continue
+		}
 		w := p.workers[i%len(p.workers)]
 		p.assignLocked(ps, w)
 		i++
 	}
 	p.mu.Unlock()
-
-	// Start workers.
-	for _, w := range p.workers {
-		p.wg.Add(1)
-		go p.workerLoop(w)
-	}
 
 	// Rank 0 owns the Safra token initially.
 	if p.rt.cfg.Termination == Safra && p.rank == 0 {
@@ -404,24 +538,85 @@ masterLoop:
 		}
 	}
 
-	// Shut down workers.
+	// Workers stay parked on their condvars for the next round. On a clean
+	// termination they are idle (passive() saw no queued or running work)
+	// and the results channel is empty; on error the session is marked
+	// broken and Close drains whatever the workers still produce.
 	p.mu.Lock()
-	p.shutdown = true
 	for _, w := range p.workers {
-		w.cond.Broadcast()
+		p.stats.WorkerBusy += w.busy
+		w.busy = 0
 	}
 	p.mu.Unlock()
-	p.wg.Wait()
-	// Final drain of produced streams (there should be none on a clean
-	// termination; on error we just discard).
+	return err
+}
+
+// collectRound returns the round's statistics and zeroes them for the
+// next round. Called between rounds, when the master is stopped and the
+// workers are parked.
+func (p *process) collectRound() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	p.stats = Stats{}
+	return st
+}
+
+// resetRound rearms one process for the next round: every program is
+// reactivated, the termination detectors reinitialize, and leftover
+// round state is verified to be clean (a stale message or half-full
+// batcher means the previous round did not terminate properly).
+func (p *process) resetRound() error {
+	if n := p.ep.Pending(); n > 0 {
+		return fmt.Errorf("runtime: rank %d has %d undrained messages at round boundary", p.rank, n)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.busyWorkers > 0 {
+		return fmt.Errorf("runtime: rank %d has %d busy workers at round boundary", p.rank, p.busyWorkers)
+	}
+	for _, b := range p.batchers {
+		if b != nil && b.Pending() > 0 {
+			return fmt.Errorf("runtime: rank %d has %d unflushed batched streams at round boundary", p.rank, b.Pending())
+		}
+	}
+	for _, ps := range p.progs {
+		if len(ps.inbox) > 0 {
+			return fmt.Errorf("runtime: program %v has %d undelivered streams at round boundary", ps.key, len(ps.inbox))
+		}
+		ps.active = true
+		ps.queued = false
+		ps.running = false
+		ps.worker = -1
+	}
+	p.activePrograms = len(p.progs)
+	// Safra: a fresh round starts all-white with balanced counters and the
+	// token back at rank 0 (runRound hands it out).
+	p.safraColor = tokenWhite
+	p.safraCounter = 0
+	p.holdingToken = false
+	p.tokenColor = tokenWhite
+	p.tokenCount = 0
+	p.probedOnce = false
+	// Workload mode: done reports are per round.
+	clear(p.doneReports)
+	p.sentDone = false
+	return nil
+}
+
+// drainAndJoin waits for the worker goroutines to exit, draining the
+// results channel so a worker blocked on a full channel can finish.
+func (p *process) drainAndJoin() {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
 	for {
 		select {
 		case <-p.results:
-		default:
-			for _, w := range p.workers {
-				p.stats.WorkerBusy += w.busy
-			}
-			return err
+		case <-done:
+			return
 		}
 	}
 }
@@ -798,7 +993,10 @@ func (p *process) workerLoop(w *workerQueue) {
 		ps.running = true
 		p.busyWorkers++
 		inbox := ps.inbox
-		ps.inbox = nil
+		// Hand the program the recycled buffer for concurrent deliveries;
+		// the consumed one is returned below.
+		ps.inbox = ps.inboxFree
+		ps.inboxFree = nil
 		p.mu.Unlock()
 
 		t0 := time.Now()
@@ -819,9 +1017,17 @@ func (p *process) workerLoop(w *workerQueue) {
 			outs = append(outs, s)
 		}
 		halt := ps.prog.VoteToHalt()
-		w.busy += time.Since(t0)
+		busy := time.Since(t0)
+		// Drop payload references before recycling the buffer.
+		clear(inbox)
 
 		p.mu.Lock()
+		// Busy time is tracked under the lock: the master reads it at round
+		// boundaries while this goroutine stays alive for the next round.
+		w.busy += busy
+		if ps.inboxFree == nil {
+			ps.inboxFree = inbox[:0]
+		}
 		p.stats.Cycles++
 		ps.running = false
 		if halt && len(ps.inbox) == 0 {

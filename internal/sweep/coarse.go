@@ -27,17 +27,29 @@ type CoarseProgram struct {
 	dir     quadrature.Direction
 	q       [][]float64
 
-	counts   []int32 // per local coarse vertex
-	ready    []int32 // ready local coarse indices (cluster order = FIFO by id)
-	psiFace  []float64
+	counts []int32 // per local coarse vertex
+	// ready holds ready local coarse indices (FIFO), consumed through the
+	// readyHead cursor so the backing array is reusable.
+	ready     []int32
+	readyHead int
+	psiFace   []float64
 	outBuf   []float64 // outgoing face fluxes per [v*maxFaces*G]
 	phiLocal [][]float64
-	pending  []core.Stream
+	// pending is consumed through the pendingHead cursor so the backing
+	// array is reusable across Compute calls and rounds.
+	pending     []core.Stream
+	pendingHead int
 	// remaining counts unfinished fine vertices (workload semantics match
 	// the fine program).
 	remaining int64
 
 	qCell, psiOut, psiBar, psiScratch []float64
+	// outArena backs per-Compute remote-edge flux copies; fluxScratch the
+	// per-coarse-edge record list; bufs the payload-buffer freelist. All
+	// reused across calls and rounds.
+	outArena    []float64
+	fluxScratch []faceFlux
+	bufs        bufStack
 
 	computeCalls int64
 }
@@ -79,8 +91,28 @@ func (p *CoarseProgram) PhiLocal() [][]float64 { return p.phiLocal }
 // ComputeCalls returns the number of Compute invocations.
 func (p *CoarseProgram) ComputeCalls() int64 { return p.computeCalls }
 
-// Init implements core.PatchProgram.
+// Init implements core.PatchProgram. It runs exactly once per session;
+// persistent sessions rearm the program between rounds with Reset.
 func (p *CoarseProgram) Init() {
+	p.ensure()
+	p.resetState()
+}
+
+// Reset rebinds the emission source and restores the just-initialized
+// state in place, reusing every buffer (the runtime will not call Init
+// again).
+func (p *CoarseProgram) Reset(q [][]float64) {
+	p.q = q
+	if p.counts != nil {
+		p.resetState()
+	}
+}
+
+// ensure allocates the program's local context once.
+func (p *CoarseProgram) ensure() {
+	if p.counts != nil {
+		return
+	}
 	n := p.g.NumVertices()
 	G := p.prob.Groups
 	mf := p.prob.MaxFaces()
@@ -91,11 +123,27 @@ func (p *CoarseProgram) Init() {
 		p.phiLocal[g] = make([]float64, n)
 	}
 	p.counts = make([]int32, len(p.cvs))
-	p.remaining = int64(n)
 	p.qCell = make([]float64, G)
 	p.psiOut = make([]float64, mf*G)
 	p.psiBar = make([]float64, G)
 	p.psiScratch = make([]float64, G)
+}
+
+// resetState restores the just-initialized state, reusing the buffers.
+func (p *CoarseProgram) resetState() {
+	// Unwritten face slots are the vacuum boundary condition ψ=0. outBuf
+	// needs no clear: every read slot is written when its vertex solves.
+	clear(p.psiFace)
+	for g := range p.phiLocal {
+		clear(p.phiLocal[g])
+	}
+	p.remaining = int64(p.g.NumVertices())
+	p.computeCalls = 0
+	clear(p.pending)
+	p.pending = p.pending[:0]
+	p.pendingHead = 0
+	p.ready = p.ready[:0]
+	p.readyHead = 0
 	for i, cv := range p.cvs {
 		p.counts[i] = p.cg.InDeg[cv]
 		if p.counts[i] == 0 {
@@ -117,6 +165,7 @@ func (p *CoarseProgram) Input(s core.Stream) {
 	if err != nil {
 		panic(err)
 	}
+	p.bufs.put(s.Payload)
 	p.counts[cvLocal]--
 	if p.counts[cvLocal] == 0 {
 		p.ready = append(p.ready, cvLocal)
@@ -129,9 +178,12 @@ func (p *CoarseProgram) Compute() {
 	G := p.prob.Groups
 	mf := p.prob.MaxFaces()
 	w := p.dir.Weight
-	for len(p.ready) > 0 {
-		ci := p.ready[0]
-		p.ready = p.ready[1:]
+	// Remote-edge flux copies of this Compute live in the arena; they are
+	// encoded into payloads before the call returns.
+	p.outArena = p.outArena[:0]
+	for p.readyHead < len(p.ready) {
+		ci := p.ready[p.readyHead]
+		p.readyHead++
 		cv := p.cvs[ci]
 		// Solve the member fine vertices in recorded order.
 		for _, v := range p.cg.Verts[cv] {
@@ -164,38 +216,46 @@ func (p *CoarseProgram) Compute() {
 				}
 				continue
 			}
-			// Remote coarse edge: pack P(ce) fluxes from outBuf.
-			fluxes := make([]faceFlux, len(unders[i]))
-			for j, ue := range unders[i] {
+			// Remote coarse edge: pack P(ce) fluxes from outBuf via the
+			// reused scratch list and arena.
+			fluxes := p.fluxScratch[:0]
+			for _, ue := range unders[i] {
 				src := (int(ue.SrcV)*mf + int(ue.SrcFace)) * G
-				psi := make([]float64, G)
-				copy(psi, p.outBuf[src:src+G])
-				fluxes[j] = faceFlux{v: ue.DstV, face: ue.DstFace, psi: psi}
+				base := len(p.outArena)
+				p.outArena = append(p.outArena, p.outBuf[src:src+G]...)
+				fluxes = append(fluxes, faceFlux{v: ue.DstV, face: ue.DstFace, psi: p.outArena[base : base+G : base+G]})
 			}
+			p.fluxScratch = fluxes
 			// The receiver indexes counts by its local coarse index.
 			tgtPatch := p.cg.Patch[to]
 			tgtAngle := p.cg.Angle[to]
+			buf := p.bufs.get(4 + StreamPayloadBytes(len(fluxes), G))
 			p.pending = append(p.pending, core.Stream{
 				SrcPatch: p.Key.Patch, SrcTask: p.Key.Task,
 				TgtPatch: tgtPatch, TgtTask: core.TaskTag(tgtAngle),
-				Payload: encodeCoarsePayload(p.cg.LocalIndex(to), G, fluxes),
+				Payload: encodeCoarsePayload(buf, p.cg.LocalIndex(to), G, fluxes),
 			})
 		}
 	}
+	p.ready = p.ready[:0]
+	p.readyHead = 0
 }
 
 // Output implements core.PatchProgram.
 func (p *CoarseProgram) Output() (core.Stream, bool) {
-	if len(p.pending) == 0 {
+	if p.pendingHead >= len(p.pending) {
+		p.pending = p.pending[:0]
+		p.pendingHead = 0
 		return core.Stream{}, false
 	}
-	s := p.pending[0]
-	p.pending = p.pending[1:]
+	s := p.pending[p.pendingHead]
+	p.pending[p.pendingHead] = core.Stream{}
+	p.pendingHead++
 	return s, true
 }
 
 // VoteToHalt implements core.PatchProgram.
-func (p *CoarseProgram) VoteToHalt() bool { return len(p.ready) == 0 }
+func (p *CoarseProgram) VoteToHalt() bool { return p.readyHead >= len(p.ready) }
 
 // RemainingWork implements core.WorkloadReporter.
 func (p *CoarseProgram) RemainingWork() int64 { return p.remaining }

@@ -33,18 +33,19 @@ type faceFlux struct {
 	psi  []float64
 }
 
-func encodeFaceFluxes(groups int, fluxes []faceFlux) []byte {
-	buf := make([]byte, 0, 4+len(fluxes)*(5+8*groups))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(fluxes)))
+// encodeFaceFluxes appends the packed records to dst (which may come from
+// the payload pool) and returns the extended buffer.
+func encodeFaceFluxes(dst []byte, groups int, fluxes []faceFlux) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(fluxes)))
 	for i := range fluxes {
 		f := &fluxes[i]
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(f.v))
-		buf = append(buf, byte(f.face))
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(f.v))
+		dst = append(dst, byte(f.face))
 		for g := 0; g < groups; g++ {
-			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f.psi[g]))
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(f.psi[g]))
 		}
 	}
-	return buf
+	return dst
 }
 
 // decodeFaceFluxes streams the records to sink (avoiding per-record slice
@@ -76,11 +77,9 @@ func decodeFaceFluxes(buf []byte, groups int, psiScratch []float64, sink func(v 
 // the target coarse vertex whose in-count it satisfies.
 //
 //	payload := cvLocal:u32 fineFluxes
-func encodeCoarsePayload(cvLocal int32, groups int, fluxes []faceFlux) []byte {
-	buf := make([]byte, 0, 8+len(fluxes)*(5+8*groups))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(cvLocal))
-	inner := encodeFaceFluxes(groups, fluxes)
-	return append(buf, inner...)
+func encodeCoarsePayload(dst []byte, cvLocal int32, groups int, fluxes []faceFlux) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(cvLocal))
+	return encodeFaceFluxes(dst, groups, fluxes)
 }
 
 func decodeCoarsePayload(buf []byte, groups int, psiScratch []float64, sink func(v int32, face int8, psi []float64)) (cvLocal int32, err error) {

@@ -1,0 +1,42 @@
+package sweep
+
+// Pooled arenas for the per-sweep allocation hot spots (persistent
+// sessions run 10–200 sweeps per solve; without pooling every sweep
+// reallocates all stream payloads and flux arrays from scratch).
+
+// bufStack is a program-local freelist of payload buffers. Ownership of
+// a payload follows its stream: a producer encodes into a buffer from
+// its own freelist, and the consuming program's Input frees the payload
+// into *its* freelist after decoding. This is safe because the wire
+// codec copies payloads out of transport messages, so every delivered
+// payload is exclusively owned by exactly one receiver — and because a
+// program's state (including its freelist) is only ever touched by the
+// one worker executing it.
+type bufStack [][]byte
+
+// bufStackMax bounds the freelist length so a program that consumes many
+// more streams than it produces cannot hoard buffers.
+const bufStackMax = 64
+
+// get returns a zero-length buffer with at least n capacity, reusing the
+// top freelist entry when it is large enough.
+func (st *bufStack) get(n int) []byte {
+	s := *st
+	if len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		*st = s[:len(s)-1]
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, n)
+}
+
+// put frees a consumed payload buffer into the stack.
+func (st *bufStack) put(b []byte) {
+	if cap(b) == 0 || len(*st) >= bufStackMax {
+		return
+	}
+	*st = append(*st, b)
+}

@@ -1,7 +1,6 @@
 package sweep
 
 import (
-	"container/heap"
 	"sort"
 
 	"jsweep/internal/core"
@@ -38,10 +37,22 @@ type Program struct {
 	// reduces programs in angle order, keeping results bit-reproducible.
 	phiLocal [][]float64
 	// outstreams aggregates boundary fluxes per target program (Listing 1
-	// line 8); pending holds encoded streams awaiting Output.
-	outstreams map[core.ProgramKey][]faceFlux
-	pending    []core.Stream
-	remaining  int64
+	// line 8); entries are retained across Compute calls with their
+	// backing arrays (outPending counts the fluxes awaiting flush).
+	// pending holds encoded streams awaiting Output, consumed through the
+	// pendingHead cursor so the backing array is reusable.
+	outstreams  map[core.ProgramKey][]faceFlux
+	outPending  int
+	pending     []core.Stream
+	pendingHead int
+	remaining   int64
+
+	// outArena backs the per-Compute remote-edge flux copies; keyScratch
+	// backs flushOutstreams' sorted key list; bufs is the payload-buffer
+	// freelist. All are reused across calls and rounds.
+	outArena   []float64
+	keyScratch []core.ProgramKey
+	bufs       bufStack
 
 	// recordClusters makes Compute record each vertex batch for graph
 	// coarsening (§V-E).
@@ -103,29 +114,72 @@ func (p *Program) Graph() *graph.PatchGraph { return p.g }
 // ComputeCalls returns the number of Compute invocations (scheduling events).
 func (p *Program) ComputeCalls() int64 { return p.computeCalls }
 
-// Init implements core.PatchProgram (Listing 1 init): reset counters,
-// collect source vertices into the ready queue.
+// Init implements core.PatchProgram (Listing 1 init): allocate the local
+// context on first use, reset counters, collect source vertices into the
+// ready queue. Init runs exactly once per session; persistent sessions
+// rearm the program between rounds with Reset instead.
 func (p *Program) Init() {
+	p.ensure()
+	p.resetState()
+}
+
+// Reset rebinds the emission source and returns the program to its
+// just-initialized state in place, reusing every buffer. Persistent
+// sessions call it between rounds instead of rebuilding the program; the
+// runtime will not call Init again.
+func (p *Program) Reset(q [][]float64) {
+	p.q = q
+	if p.counts != nil {
+		p.resetState()
+	}
+}
+
+// ensure allocates the program's local context once.
+func (p *Program) ensure() {
+	if p.counts != nil {
+		return
+	}
 	n := p.g.NumVertices()
 	G := p.prob.Groups
 	mf := p.prob.MaxFaces()
 	p.counts = make([]int32, n)
-	copy(p.counts, p.g.InDegree)
 	p.psiFace = make([]float64, n*mf*G)
 	p.phiLocal = make([][]float64, G)
 	for g := range p.phiLocal {
 		p.phiLocal[g] = make([]float64, n)
 	}
 	p.outstreams = make(map[core.ProgramKey][]faceFlux)
-	p.remaining = int64(n)
 	p.qCell = make([]float64, G)
 	p.psiOut = make([]float64, mf*G)
 	p.psiBar = make([]float64, G)
 	p.psiScratch = make([]float64, G)
 	p.ready = vertexQueue{prio: p.prio}
+}
+
+// resetState restores the just-initialized state, reusing the buffers.
+func (p *Program) resetState() {
+	n := p.g.NumVertices()
+	copy(p.counts, p.g.InDegree)
+	// Unwritten face slots are the vacuum boundary condition ψ=0.
+	clear(p.psiFace)
+	for g := range p.phiLocal {
+		clear(p.phiLocal[g])
+	}
+	for k, fl := range p.outstreams {
+		p.outstreams[k] = fl[:0]
+	}
+	p.outPending = 0
+	clear(p.pending)
+	p.pending = p.pending[:0]
+	p.pendingHead = 0
+	p.remaining = int64(n)
+	p.clusters = nil
+	p.computeCalls = 0
+	p.solvedBatch = 0
+	p.ready.heap = p.ready.heap[:0]
 	for v := int32(0); v < int32(n); v++ {
 		if p.counts[v] == 0 {
-			heap.Push(&p.ready, v)
+			p.ready.push(v)
 		}
 	}
 }
@@ -140,7 +194,7 @@ func (p *Program) Input(s core.Stream) {
 		copy(p.psiFace[base:base+G], psi)
 		p.counts[v]--
 		if p.counts[v] == 0 {
-			heap.Push(&p.ready, v)
+			p.ready.push(v)
 		}
 	})
 	if err != nil {
@@ -148,6 +202,8 @@ func (p *Program) Input(s core.Stream) {
 		// system; surface loudly.
 		panic(err)
 	}
+	// The payload is fully decoded and exclusively ours: recycle it.
+	p.bufs.put(s.Payload)
 }
 
 // Compute implements core.PatchProgram (Listing 1 compute): dequeue up to
@@ -160,12 +216,15 @@ func (p *Program) Compute() {
 	G := p.prob.Groups
 	mf := p.prob.MaxFaces()
 	w := p.dir.Weight
+	// Remote-edge flux copies of this Compute live in the arena; they are
+	// consumed by flushOutstreams before the call returns.
+	p.outArena = p.outArena[:0]
 	var batch []int32
 	if p.recordClusters {
 		batch = make([]int32, 0, p.grain)
 	}
 	for solved := 0; solved < p.grain && p.ready.Len() > 0; solved++ {
-		v := heap.Pop(&p.ready).(int32)
+		v := p.ready.pop()
 		if p.recordClusters {
 			batch = append(batch, v)
 		}
@@ -186,15 +245,19 @@ func (p *Program) Compute() {
 			copy(p.psiFace[dst:dst+G], p.psiOut[src:src+G])
 			p.counts[e.To]--
 			if p.counts[e.To] == 0 {
-				heap.Push(&p.ready, e.To)
+				p.ready.push(e.To)
 			}
 		}
-		// Remote downwind edges: aggregate per target program (§V-C).
+		// Remote downwind edges: aggregate per target program (§V-C). The
+		// flux copy lives in the arena; growth relocation is harmless
+		// because handed-out chunks keep their old backing.
 		for _, e := range p.g.RemoteEdges(v) {
 			key := core.ProgramKey{Patch: e.ToPatch, Task: p.Key.Task}
-			psi := make([]float64, G)
-			copy(psi, p.psiOut[int(e.SrcFace)*G:int(e.SrcFace)*G+G])
+			base := len(p.outArena)
+			p.outArena = append(p.outArena, p.psiOut[int(e.SrcFace)*G:int(e.SrcFace)*G+G]...)
+			psi := p.outArena[base : base+G : base+G]
 			p.outstreams[key] = append(p.outstreams[key], faceFlux{v: e.To, face: e.Face, psi: psi})
+			p.outPending++
 		}
 		p.remaining--
 	}
@@ -206,14 +269,17 @@ func (p *Program) Compute() {
 }
 
 // flushOutstreams converts aggregated fluxes into pending streams, one per
-// target program, in deterministic key order.
+// target program, in deterministic key order. Map entries keep their
+// backing arrays for the next Compute.
 func (p *Program) flushOutstreams() {
-	if len(p.outstreams) == 0 {
+	if p.outPending == 0 {
 		return
 	}
-	keys := make([]core.ProgramKey, 0, len(p.outstreams))
-	for k := range p.outstreams {
-		keys = append(keys, k)
+	keys := p.keyScratch[:0]
+	for k, fl := range p.outstreams {
+		if len(fl) > 0 {
+			keys = append(keys, k)
+		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Patch != keys[j].Patch {
@@ -221,23 +287,31 @@ func (p *Program) flushOutstreams() {
 		}
 		return keys[i].Task < keys[j].Task
 	})
+	G := p.prob.Groups
 	for _, k := range keys {
+		fl := p.outstreams[k]
+		buf := p.bufs.get(StreamPayloadBytes(len(fl), G))
 		p.pending = append(p.pending, core.Stream{
 			SrcPatch: p.Key.Patch, SrcTask: p.Key.Task,
 			TgtPatch: k.Patch, TgtTask: k.Task,
-			Payload: encodeFaceFluxes(p.prob.Groups, p.outstreams[k]),
+			Payload: encodeFaceFluxes(buf, G, fl),
 		})
-		delete(p.outstreams, k)
+		p.outstreams[k] = fl[:0]
 	}
+	p.outPending = 0
+	p.keyScratch = keys
 }
 
 // Output implements core.PatchProgram (Listing 1 output).
 func (p *Program) Output() (core.Stream, bool) {
-	if len(p.pending) == 0 {
+	if p.pendingHead >= len(p.pending) {
+		p.pending = p.pending[:0]
+		p.pendingHead = 0
 		return core.Stream{}, false
 	}
-	s := p.pending[0]
-	p.pending = p.pending[1:]
+	s := p.pending[p.pendingHead]
+	p.pending[p.pendingHead] = core.Stream{}
+	p.pendingHead++
 	return s, true
 }
 
@@ -250,26 +324,62 @@ func (p *Program) VoteToHalt() bool { return p.ready.Len() == 0 }
 func (p *Program) RemainingWork() int64 { return p.remaining }
 
 // vertexQueue is a max-heap of local vertex ids ordered by prio (ties by
-// vertex id for determinism).
+// vertex id for determinism — a strict total order, so pop order is
+// independent of heap internals). It is hand-rolled instead of
+// container/heap to avoid boxing an interface value per pushed vertex on
+// the hottest scheduling path.
 type vertexQueue struct {
 	prio []int32
 	heap []int32
 }
 
 func (q *vertexQueue) Len() int { return len(q.heap) }
-func (q *vertexQueue) Less(i, j int) bool {
+
+func (q *vertexQueue) less(i, j int) bool {
 	a, b := q.heap[i], q.heap[j]
 	if q.prio != nil && q.prio[a] != q.prio[b] {
 		return q.prio[a] > q.prio[b]
 	}
 	return a < b
 }
-func (q *vertexQueue) Swap(i, j int)      { q.heap[i], q.heap[j] = q.heap[j], q.heap[i] }
-func (q *vertexQueue) Push(x interface{}) { q.heap = append(q.heap, x.(int32)) }
-func (q *vertexQueue) Pop() interface{} {
-	old := q.heap
-	n := len(old)
-	v := old[n-1]
-	q.heap = old[:n-1]
-	return v
+
+func (q *vertexQueue) push(v int32) {
+	h := q.heap
+	h = append(h, v)
+	q.heap = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *vertexQueue) pop() int32 {
+	h := q.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	q.heap = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && q.less(l, best) {
+			best = l
+		}
+		if r < n && q.less(r, best) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	return top
 }

@@ -110,13 +110,26 @@ func TestVertexQueueOrdering(t *testing.T) {
 	for _, v := range []int32{0, 1, 2, 3} {
 		q.heap = append(q.heap, v)
 	}
-	// heap.Init equivalent: manual sift via container/heap usage in
-	// production; here test Less directly.
-	if !q.Less(2, 0) {
+	if !q.less(2, 0) {
 		t.Error("higher priority should sort first")
 	}
-	if !q.Less(2, 3) {
+	if !q.less(2, 3) {
 		t.Error("equal priority should tie-break on smaller vertex id")
+	}
+	// Full pop order: priority desc, ties by ascending vertex id.
+	q = vertexQueue{prio: []int32{5, 1, 9, 9}}
+	for _, v := range []int32{0, 1, 2, 3} {
+		q.push(v)
+	}
+	var got []int32
+	for q.Len() > 0 {
+		got = append(got, q.pop())
+	}
+	want := []int32{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
 	}
 }
 
@@ -138,7 +151,7 @@ func TestFaceFluxCodec(t *testing.T) {
 		{v: 3, face: 2, psi: []float64{1.5, -2.25}},
 		{v: 0, face: 0, psi: []float64{0, 42}},
 	}
-	buf := encodeFaceFluxes(2, fluxes)
+	buf := encodeFaceFluxes(nil, 2, fluxes)
 	var got []faceFlux
 	scratch := make([]float64, 2)
 	err := decodeFaceFluxes(buf, 2, scratch, func(v int32, face int8, psi []float64) {
@@ -158,7 +171,7 @@ func TestFaceFluxCodec(t *testing.T) {
 
 // Coarse payload carries its target coarse vertex id.
 func TestCoarsePayloadCodec(t *testing.T) {
-	buf := encodeCoarsePayload(7, 1, []faceFlux{{v: 1, face: 3, psi: []float64{9}}})
+	buf := encodeCoarsePayload(nil, 7, 1, []faceFlux{{v: 1, face: 3, psi: []float64{9}}})
 	scratch := make([]float64, 1)
 	var vs []int32
 	cv, err := decodeCoarsePayload(buf, 1, scratch, func(v int32, face int8, psi []float64) {

@@ -1,0 +1,319 @@
+package sweep_test
+
+// End-to-end persistent-session tests: a full SourceIterate through one
+// reused runtime session must be bitwise identical to the sequential
+// engine and to the rebuild-per-sweep baseline, on structured and
+// unstructured meshes, with aggregation off/on/sharded — and the session
+// must actually be one session (RoundsRun == iterations).
+
+import (
+	"testing"
+
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/priority"
+	"jsweep/internal/runtime"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// buildKoba16 builds the acceptance-scenario problem: Kobayashi-16, S2,
+// diamond differencing, with scattering so the iteration takes many
+// sweeps.
+func buildKoba16(scattering bool) (*transport.Problem, *mesh.Structured3D, error) {
+	return kobayashi.Build(kobayashi.Spec{N: 16, SnOrder: 2, Scattering: scattering, Scheme: transport.Diamond})
+}
+
+func TestSourceIterateSessionEquivalenceStructured(t *testing.T) {
+	prob, d := kobaSmall(t, true) // scattering → multi-sweep iteration
+	cfg := transport.IterConfig{Tolerance: 1e-8, MaxIterations: 100}
+
+	// Oracle: the sequential engine with reuse off (the pre-session path).
+	oracle, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: 32, ReuseRuntime: sweep.ReuseOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transport.SourceIterate(prob, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	variants := map[string]sweep.Options{
+		"seq/reuse-on":           {Sequential: true, Grain: 32, ReuseRuntime: sweep.ReuseOn},
+		"parallel/reuse-off":     {Procs: 3, Workers: 2, Grain: 32, ReuseRuntime: sweep.ReuseOff},
+		"parallel/reuse-on":      {Procs: 3, Workers: 2, Grain: 32, ReuseRuntime: sweep.ReuseOn},
+		"parallel/reuse-agg":     {Procs: 3, Workers: 2, Grain: 32, Aggregation: runtime.AggregationConfig{Enabled: true}},
+		"parallel/reuse-sharded": {Procs: 3, Workers: 2, Grain: 32, Aggregation: runtime.AggregationConfig{Enabled: true, Shards: 3, MaxBatchStreams: 8}},
+		"parallel/reuse-safra":   {Procs: 2, Workers: 2, Grain: 32, Termination: runtime.Safra},
+	}
+	for name, opts := range variants {
+		opts.Pair = priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD}
+		s, err := sweep.NewSolver(prob, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := transport.SourceIterate(prob, s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Iterations != want.Iterations {
+			t.Errorf("%s: %d iterations, oracle took %d", name, got.Iterations, want.Iterations)
+		}
+		bitwiseEqual(t, name, want.Phi, got.Phi)
+		if !opts.Sequential && opts.ReuseRuntime != sweep.ReuseOff {
+			if got, wantR := s.LastStats().Cumulative.RoundsRun, int64(want.Iterations); got != wantR {
+				t.Errorf("%s: session ran %d rounds for %d iterations", name, got, wantR)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+	}
+}
+
+func TestSourceIterateSessionEquivalenceUnstructured(t *testing.T) {
+	prob, d := ballSmall(t)
+	// Add scattering so the iteration takes several sweeps.
+	prob.Mats[0].SigmaS = [][]float64{{0.15}}
+	cfg := transport.IterConfig{Tolerance: 1e-8, MaxIterations: 100}
+
+	oracle, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: 16, ReuseRuntime: sweep.ReuseOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transport.SourceIterate(prob, oracle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Iterations < 3 {
+		t.Fatalf("want a multi-sweep iteration, got %d sweeps", want.Iterations)
+	}
+
+	variants := map[string]sweep.Options{
+		"seq/reuse-on":       {Sequential: true, Grain: 16},
+		"parallel/reuse-off": {Procs: 2, Workers: 2, Grain: 16, ReuseRuntime: sweep.ReuseOff},
+		"parallel/reuse-on":  {Procs: 2, Workers: 2, Grain: 16},
+		"parallel/reuse-agg": {Procs: 2, Workers: 2, Grain: 16, Aggregation: runtime.AggregationConfig{Enabled: true, Shards: 2}},
+	}
+	for name, opts := range variants {
+		opts.Pair = priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD}
+		s, err := sweep.NewSolver(prob, d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := transport.SourceIterate(prob, s, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.Iterations != want.Iterations {
+			t.Errorf("%s: %d iterations, oracle took %d", name, got.Iterations, want.Iterations)
+		}
+		bitwiseEqual(t, name, want.Phi, got.Phi)
+		s.Close()
+	}
+}
+
+// TestKobayashi16SessionAcceptance is the PR's acceptance scenario: a
+// full Kobayashi-16 source-iteration solve with ReuseRuntime on runs as
+// exactly one session (RoundsRun == iterations) and reproduces the
+// serial reference bit-for-bit.
+func TestKobayashi16SessionAcceptance(t *testing.T) {
+	prob, m, err := buildKoba16(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := m.BlockDecompose(4, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := transport.IterConfig{Tolerance: 1e-7, MaxIterations: 100}
+
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transport.SourceIterate(prob, ref, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := sweep.NewSolver(prob, d, sweep.Options{
+		Procs: 2, Workers: 2, Grain: 64,
+		Pair:         priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+		ReuseRuntime: sweep.ReuseOn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := transport.SourceIterate(prob, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Converged {
+		t.Fatal("solver iteration did not converge")
+	}
+	bitwiseEqual(t, "kobayashi-16 session", want.Phi, got.Phi)
+	cum := s.LastStats().Cumulative
+	if cum.RoundsRun != int64(got.Iterations) {
+		t.Errorf("session RoundsRun = %d, want %d (one process/worker set for the whole solve)",
+			cum.RoundsRun, got.Iterations)
+	}
+	if cum.Cycles <= s.LastStats().Runtime.Cycles {
+		t.Errorf("cumulative cycles %d should exceed last-round cycles %d after %d rounds",
+			cum.Cycles, s.LastStats().Runtime.Cycles, got.Iterations)
+	}
+}
+
+// TestCoarseSessionReuse drives UseCoarse through a persistent session:
+// the fine→coarse switch rebuilds the session once, later sweeps reuse
+// the coarse programs, and the flux stays bitwise identical to the
+// rebuild-per-sweep baseline.
+func TestCoarseSessionReuse(t *testing.T) {
+	prob, d := kobaSmall(t, true)
+	cfg := transport.IterConfig{Tolerance: 1e-8, MaxIterations: 100}
+
+	base, err := sweep.NewSolver(prob, d, sweep.Options{
+		Procs: 2, Workers: 2, Grain: 16, UseCoarse: true, ReuseRuntime: sweep.ReuseOff,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := transport.SourceIterate(prob, base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := sweep.NewSolver(prob, d, sweep.Options{
+		Procs: 2, Workers: 2, Grain: 16, UseCoarse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := transport.SourceIterate(prob, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations != want.Iterations {
+		t.Errorf("iterations: %d vs baseline %d", got.Iterations, want.Iterations)
+	}
+	bitwiseEqual(t, "coarse session", want.Phi, got.Phi)
+	if s.CoarseGraph() == nil {
+		t.Fatal("coarse graph not built")
+	}
+	if !s.LastStats().Coarse {
+		t.Error("last sweep should have run on the coarse graph")
+	}
+	// The coarse session starts after the one fine sweep: its round count
+	// is iterations-1.
+	if gotR, wantR := s.LastStats().Cumulative.RoundsRun, int64(got.Iterations-1); gotR != wantR {
+		t.Errorf("coarse session RoundsRun = %d, want %d", gotR, wantR)
+	}
+}
+
+// TestSequentialReuseMatchesFresh pins the oracle property: the
+// sequential engine with session reuse replays the exact schedule of a
+// fresh engine, sweep after sweep.
+func TestSequentialReuseMatchesFresh(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	fresh, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: 16, ReuseRuntime: sweep.ReuseOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: 16, ReuseRuntime: sweep.ReuseOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sweepNo := 1; sweepNo <= 3; sweepNo++ {
+		want, err := fresh.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reuse.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitwiseEqual(t, "sequential reuse", want, got)
+		if fc, rc := fresh.LastStats().ComputeCalls, reuse.LastStats().ComputeCalls; fc != rc {
+			t.Errorf("sweep %d: compute calls diverge: fresh=%d reuse=%d", sweepNo, fc, rc)
+		}
+	}
+}
+
+// TestRecycleFlux pins the pool contract: a recycled array of the right
+// shape is reused by the next sweep; wrong shapes are dropped.
+func TestRecycleFlux(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	s, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi, err := s.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([][]float64(nil), phi...) // remember the backing arrays
+	s.RecycleFlux(phi)
+	// Wrong shapes must not poison the pool.
+	s.RecycleFlux([][]float64{{1, 2, 3}})
+	s.RecycleFlux(nil)
+	phi2, err := s.Sweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &phi2[0][0] != &want[0][0] {
+		t.Error("recycled flux array was not reused")
+	}
+	bitwiseEqual(t, "recycled flux", want, phi2)
+}
+
+// TestSteadyStateAllocationsWithReuse bounds the steady-state per-sweep
+// allocation cost of the persistent session: with programs, buffers and
+// flux arrays reused in place, a sweep must allocate a small fraction of
+// what the rebuild-per-sweep path allocates. Measured on the sequential
+// engine, where AllocsPerRun is deterministic.
+func TestSteadyStateAllocationsWithReuse(t *testing.T) {
+	prob, d := kobaSmall(t, false)
+	q := uniformQ(prob)
+	mk := func(mode sweep.ReuseMode) *sweep.Solver {
+		s, err := sweep.NewSolver(prob, d, sweep.Options{Sequential: true, Grain: 16, ReuseRuntime: mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	reuseSolver := mk(sweep.ReuseOn)
+	// Warm up: first sweeps allocate the program contexts and prime the
+	// pools; steady state begins after.
+	for i := 0; i < 2; i++ {
+		phi, err := reuseSolver.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reuseSolver.RecycleFlux(phi)
+	}
+	reuseAllocs := testing.AllocsPerRun(5, func() {
+		phi, err := reuseSolver.Sweep(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reuseSolver.RecycleFlux(phi)
+	})
+
+	freshSolver := mk(sweep.ReuseOff)
+	freshAllocs := testing.AllocsPerRun(5, func() {
+		if _, err := freshSolver.Sweep(q); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Logf("allocs/sweep: reuse=%.0f fresh=%.0f (%.1fx reduction)", reuseAllocs, freshAllocs, freshAllocs/reuseAllocs)
+	if reuseAllocs*4 > freshAllocs {
+		t.Errorf("steady-state reuse path allocates %.0f/sweep, fresh path %.0f — want at least a 4x reduction",
+			reuseAllocs, freshAllocs)
+	}
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"sync"
 
 	"jsweep/internal/core"
 	"jsweep/internal/graph"
@@ -10,6 +11,29 @@ import (
 	"jsweep/internal/runtime"
 	"jsweep/internal/transport"
 )
+
+// ReuseMode selects the session-reuse policy of the solver (paper §IV:
+// the runtime is a long-lived service; rebuilding it per sweep is pure
+// overhead across the 10–200 sweeps of a source iteration).
+type ReuseMode int
+
+const (
+	// ReuseAuto is the default and enables reuse.
+	ReuseAuto ReuseMode = iota
+	// ReuseOn keeps one persistent session (processes, worker goroutines,
+	// transport, program objects, pooled buffers) across Sweep calls.
+	ReuseOn
+	// ReuseOff rebuilds every program and a fresh runtime per Sweep — the
+	// conservative pre-session behaviour, kept as the validation baseline.
+	ReuseOff
+)
+
+func (m ReuseMode) String() string {
+	if m == ReuseOff {
+		return "off"
+	}
+	return "on"
+}
 
 // Options configures the JSweep data-driven solver.
 type Options struct {
@@ -34,6 +58,11 @@ type Options struct {
 	// per-destination frames. An unset MaxBatchBytes is sized from the
 	// sweep's own payload geometry (grain × groups).
 	Aggregation runtime.AggregationConfig
+	// ReuseRuntime keeps the runtime session and the patch-program set
+	// alive across Sweep calls, resetting them in place per sweep instead
+	// of rebuilding (default on). Call Solver.Close when done with a
+	// reusing solver to stop its worker goroutines.
+	ReuseRuntime ReuseMode
 }
 
 func (o *Options) defaults() {
@@ -48,10 +77,19 @@ func (o *Options) defaults() {
 	}
 }
 
+// reuse reports whether session reuse is enabled.
+func (o *Options) reuse() bool { return o.ReuseRuntime != ReuseOff }
+
 // SweepStats captures the cost of the last executed sweep.
 type SweepStats struct {
-	// Runtime holds the parallel runtime statistics (zero when Sequential).
+	// Runtime holds the parallel runtime statistics of the last sweep
+	// (zero when Sequential).
 	Runtime runtime.Stats
+	// Cumulative sums the runtime statistics over every sweep of the
+	// current persistent session; its RoundsRun field counts the sweeps.
+	// Zero when Sequential or when reuse is off. A UseCoarse solver
+	// starts a fresh session (and count) at the fine→coarse switch.
+	Cumulative runtime.Stats
 	// ComputeCalls counts patch-program Compute invocations (scheduling
 	// events) — the quantity graph coarsening reduces.
 	ComputeCalls int64
@@ -65,6 +103,11 @@ type SweepStats struct {
 // angle) dependency graphs and priorities and executes transport sweeps on
 // the patch-centric runtime. It implements transport.SweepExecutor, so it
 // plugs directly into transport.SourceIterate.
+//
+// With ReuseRuntime on (the default) the solver is a persistent session:
+// programs are built once, the runtime's processes and worker goroutines
+// stay alive across sweeps, and flux arrays come from a pool fed by
+// RecycleFlux. Close releases the session's worker goroutines.
 type Solver struct {
 	prob *transport.Problem
 	d    *mesh.Decomposition
@@ -77,12 +120,29 @@ type Solver struct {
 	patchPrio  [][]int64
 	vertexPrio [][][]int32
 
+	// Persistent session state (reuse mode): program objects built once,
+	// plus the live engine or runtime they are registered in. rtCoarse /
+	// engCoarse record which program set the session holds; the
+	// fine→coarse switch rebuilds it once.
+	fineProgs   [][]*Program
+	coarseProgs [][]*CoarseProgram
+	eng         *core.Engine
+	engCoarse   bool
+	rt          *runtime.Runtime
+	rtCoarse    bool
+
+	// fluxPool recycles [group][cell] arrays returned by Sweep and handed
+	// back through RecycleFlux.
+	fluxMu   sync.Mutex
+	fluxPool [][][]float64
+
 	cg    *graph.CoarseGraph
 	stats SweepStats
 }
 
 // NewSolver prepares a solver: builds every G_{p,a}, the patch-level DAGs
-// and both priority levels, and places patches on processes.
+// and both priority levels, and places patches on processes. With reuse
+// enabled it also builds the patch-program objects the session will keep.
 func NewSolver(prob *transport.Problem, d *mesh.Decomposition, opts Options) (*Solver, error) {
 	opts.defaults()
 	if err := prob.Validate(); err != nil {
@@ -108,7 +168,22 @@ func NewSolver(prob *transport.Problem, d *mesh.Decomposition, opts Options) (*S
 			s.vertexPrio[a][p] = priority.VertexPriorities(opts.Pair.Vertex, s.graphs[a][p])
 		}
 	}
+	if s.opts.reuse() {
+		s.fineProgs = s.buildFinePrograms(nil, s.opts.UseCoarse)
+	}
 	return s, nil
+}
+
+// Close ends the persistent session: the runtime's worker goroutines stop
+// and further Sweep calls rebuild a fresh session on demand. It is
+// idempotent and a no-op for non-reusing or sequential solvers.
+func (s *Solver) Close() error {
+	if s.rt == nil {
+		return nil
+	}
+	err := s.rt.Close()
+	s.rt = nil
+	return err
 }
 
 // LastStats returns the statistics of the most recent sweep.
@@ -120,6 +195,45 @@ func (s *Solver) CoarseGraph() *graph.CoarseGraph { return s.cg }
 // progIndex flattens (angle, patch) into the program index used with
 // graph.Coarsen.
 func (s *Solver) progIndex(a, p int) int { return a*s.d.NumPatches() + p }
+
+// RecycleFlux accepts a no-longer-needed flux array previously returned
+// by Sweep and pools it for a later sweep (transport.SourceIterate calls
+// this as iterations retire). Arrays of the wrong shape are dropped.
+func (s *Solver) RecycleFlux(phi [][]float64) {
+	if len(phi) != s.prob.Groups {
+		return
+	}
+	nc := s.prob.M.NumCells()
+	for g := range phi {
+		if len(phi[g]) != nc {
+			return
+		}
+	}
+	s.fluxMu.Lock()
+	s.fluxPool = append(s.fluxPool, phi)
+	s.fluxMu.Unlock()
+}
+
+// newFlux returns a zeroed [group][cell] array, reusing a pooled one when
+// available.
+func (s *Solver) newFlux() [][]float64 {
+	s.fluxMu.Lock()
+	n := len(s.fluxPool)
+	var phi [][]float64
+	if n > 0 {
+		phi = s.fluxPool[n-1]
+		s.fluxPool[n-1] = nil
+		s.fluxPool = s.fluxPool[:n-1]
+	}
+	s.fluxMu.Unlock()
+	if phi == nil {
+		return s.prob.NewFlux()
+	}
+	for g := range phi {
+		clear(phi[g])
+	}
+	return phi
+}
 
 // Sweep implements transport.SweepExecutor. The first call under
 // UseCoarse records clusters and builds the coarsened graph; subsequent
@@ -141,8 +255,9 @@ func (s *Solver) Sweep(q [][]float64) ([][]float64, error) {
 	return phi, nil
 }
 
-// sweepFine runs a DAG-driven sweep with per-vertex scheduling.
-func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Program, error) {
+// buildFinePrograms constructs every fine (angle, patch) program. q may
+// be nil for session programs, which are rebound per sweep via Reset.
+func (s *Solver) buildFinePrograms(q [][]float64, record bool) [][]*Program {
 	na := len(s.prob.Quad.Directions)
 	np := s.d.NumPatches()
 	progs := make([][]*Program, na)
@@ -160,6 +275,48 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 			})
 		}
 	}
+	return progs
+}
+
+// buildCoarsePrograms constructs every coarse (angle, patch) program.
+func (s *Solver) buildCoarsePrograms(q [][]float64) [][]*CoarseProgram {
+	na := len(s.prob.Quad.Directions)
+	np := s.d.NumPatches()
+	progs := make([][]*CoarseProgram, na)
+	for a := 0; a < na; a++ {
+		progs[a] = make([]*CoarseProgram, np)
+		for p := 0; p < np; p++ {
+			progs[a][p] = NewCoarseProgram(CoarseConfig{
+				Prob:  s.prob,
+				Graph: s.graphs[a][p],
+				CG:    s.cg,
+				CVs:   s.cg.ByProgram[s.progIndex(a, p)],
+				Dir:   s.prob.Quad.Directions[a],
+				Q:     q,
+			})
+		}
+	}
+	return progs
+}
+
+// sweepFine runs a DAG-driven sweep with per-vertex scheduling.
+func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Program, error) {
+	na := len(s.prob.Quad.Directions)
+	np := s.d.NumPatches()
+	var progs [][]*Program
+	if s.opts.reuse() {
+		if s.fineProgs == nil {
+			s.fineProgs = s.buildFinePrograms(nil, record)
+		}
+		progs = s.fineProgs
+		for a := 0; a < na; a++ {
+			for p := 0; p < np; p++ {
+				progs[a][p].Reset(q)
+			}
+		}
+	} else {
+		progs = s.buildFinePrograms(q, record)
+	}
 	run := func(register func(key core.ProgramKey, prog core.PatchProgram, prio int64, rank int) error) error {
 		for a := 0; a < na; a++ {
 			for p := 0; p < np; p++ {
@@ -171,11 +328,11 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 		}
 		return nil
 	}
-	if err := s.execute(run); err != nil {
+	if err := s.execute(run, false); err != nil {
 		return nil, nil, err
 	}
 	// Deterministic reduction: angle-major, patch-major, vertex order.
-	phi := s.prob.NewFlux()
+	phi := s.newFlux()
 	s.stats.ComputeCalls = 0
 	s.stats.Streams = s.stats.Runtime.LocalStreams + s.stats.Runtime.RemoteStreams
 	s.stats.Coarse = false
@@ -204,19 +361,22 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 	na := len(s.prob.Quad.Directions)
 	np := s.d.NumPatches()
-	progs := make([][]*CoarseProgram, na)
-	for a := 0; a < na; a++ {
-		progs[a] = make([]*CoarseProgram, np)
-		for p := 0; p < np; p++ {
-			progs[a][p] = NewCoarseProgram(CoarseConfig{
-				Prob:  s.prob,
-				Graph: s.graphs[a][p],
-				CG:    s.cg,
-				CVs:   s.cg.ByProgram[s.progIndex(a, p)],
-				Dir:   s.prob.Quad.Directions[a],
-				Q:     q,
-			})
+	var progs [][]*CoarseProgram
+	if s.opts.reuse() {
+		if s.coarseProgs == nil {
+			s.coarseProgs = s.buildCoarsePrograms(nil)
+			// The fine program set (and its registered session) is done:
+			// all later sweeps run coarse.
+			s.fineProgs = nil
 		}
+		progs = s.coarseProgs
+		for a := 0; a < na; a++ {
+			for p := 0; p < np; p++ {
+				progs[a][p].Reset(q)
+			}
+		}
+	} else {
+		progs = s.buildCoarsePrograms(q)
 	}
 	run := func(register func(key core.ProgramKey, prog core.PatchProgram, prio int64, rank int) error) error {
 		for a := 0; a < na; a++ {
@@ -229,10 +389,10 @@ func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 		}
 		return nil
 	}
-	if err := s.execute(run); err != nil {
+	if err := s.execute(run, true); err != nil {
 		return nil, err
 	}
-	phi := s.prob.NewFlux()
+	phi := s.newFlux()
 	s.stats.ComputeCalls = 0
 	s.stats.Streams = s.stats.Runtime.LocalStreams + s.stats.Runtime.RemoteStreams
 	s.stats.Coarse = true
@@ -258,30 +418,16 @@ func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 }
 
 // execute runs the registered programs on the engine or the runtime.
-func (s *Solver) execute(register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error) error {
+// coarse tags which program set the registration closure provides, so the
+// persistent session knows when to rebuild at the fine→coarse switch.
+func (s *Solver) execute(register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error, coarse bool) error {
 	if s.opts.Sequential {
-		eng := core.NewEngine()
-		if err := register(func(k core.ProgramKey, pr core.PatchProgram, prio int64, _ int) error {
-			return eng.Register(k, pr, prio)
-		}); err != nil {
-			return err
-		}
-		_, err := eng.Run()
-		s.stats.Runtime = runtime.Stats{}
-		return err
+		return s.executeSequential(register, coarse)
 	}
-	agg := s.opts.Aggregation
-	if agg.Enabled && agg.MaxBatchBytes == 0 {
-		// Size batches for ~16 typical streams: one stream carries about a
-		// grain's worth of boundary face-flux records per group.
-		agg.MaxBatchBytes = 16 * (core.StreamHeaderSize + StreamPayloadBytes(s.opts.Grain, s.prob.Groups))
+	if s.opts.reuse() {
+		return s.executeSession(register, coarse)
 	}
-	rt, err := runtime.New(runtime.Config{
-		Procs:       s.opts.Procs,
-		Workers:     s.opts.Workers,
-		Termination: s.opts.Termination,
-		Aggregation: agg,
-	})
+	rt, err := runtime.New(s.runtimeConfig())
 	if err != nil {
 		return err
 	}
@@ -290,7 +436,78 @@ func (s *Solver) execute(register func(func(core.ProgramKey, core.PatchProgram, 
 	}
 	st, err := rt.Run()
 	s.stats.Runtime = st
+	s.stats.Cumulative = runtime.Stats{}
 	return err
+}
+
+// executeSequential runs on the deterministic core.Engine, reusing one
+// engine across sweeps when the session is persistent.
+func (s *Solver) executeSequential(register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error, coarse bool) error {
+	var eng *core.Engine
+	if s.opts.reuse() && s.eng != nil && s.engCoarse == coarse {
+		eng = s.eng
+		eng.Reset()
+	} else {
+		eng = core.NewEngine()
+		if err := register(func(k core.ProgramKey, pr core.PatchProgram, prio int64, _ int) error {
+			return eng.Register(k, pr, prio)
+		}); err != nil {
+			return err
+		}
+		if s.opts.reuse() {
+			s.eng = eng
+			s.engCoarse = coarse
+		}
+	}
+	_, err := eng.Run()
+	s.stats.Runtime = runtime.Stats{}
+	s.stats.Cumulative = runtime.Stats{}
+	return err
+}
+
+// executeSession runs one round on the persistent runtime, creating or
+// rebuilding it when the program set changed.
+func (s *Solver) executeSession(register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error, coarse bool) error {
+	if s.rt != nil && s.rtCoarse != coarse {
+		// Fine→coarse switch: the old session's program set is obsolete.
+		if err := s.rt.Close(); err != nil {
+			return err
+		}
+		s.rt = nil
+	}
+	if s.rt == nil {
+		rt, err := runtime.New(s.runtimeConfig())
+		if err != nil {
+			return err
+		}
+		if err := register(rt.Register); err != nil {
+			return err
+		}
+		s.rt = rt
+		s.rtCoarse = coarse
+	} else if err := s.rt.Reset(); err != nil {
+		return err
+	}
+	st, err := s.rt.RunRound()
+	s.stats.Runtime = st
+	s.stats.Cumulative = s.rt.CumulativeStats()
+	return err
+}
+
+// runtimeConfig shapes the parallel runtime from the options.
+func (s *Solver) runtimeConfig() runtime.Config {
+	agg := s.opts.Aggregation
+	if agg.Enabled && agg.MaxBatchBytes == 0 {
+		// Size batches for ~16 typical streams: one stream carries about a
+		// grain's worth of boundary face-flux records per group.
+		agg.MaxBatchBytes = 16 * (core.StreamHeaderSize + StreamPayloadBytes(s.opts.Grain, s.prob.Groups))
+	}
+	return runtime.Config{
+		Procs:       s.opts.Procs,
+		Workers:     s.opts.Workers,
+		Termination: s.opts.Termination,
+		Aggregation: agg,
+	}
 }
 
 // buildCoarse assembles the coarsened graph from recorded clusters.

@@ -72,6 +72,15 @@ type Accumulator struct {
 // Init implements core.PatchProgram.
 func (a *Accumulator) Init() { a.InitSeen++ }
 
+// Reset returns the accumulator to its pre-run state so a persistent
+// runtime session can execute it again (Init is not called twice).
+func (a *Accumulator) Reset() {
+	a.got = 0
+	a.sum = 0
+	a.computed = false
+	a.pending = a.pending[:0]
+}
+
 // Input implements core.PatchProgram.
 func (a *Accumulator) Input(s core.Stream) {
 	a.sum += value(s.Payload)
@@ -141,6 +150,16 @@ func (p *PingPong) Init() {
 		p.haveBall = true
 		p.ball = 0
 	}
+}
+
+// Reset returns the program to its initial state for another session
+// round; the starter holds the ball again.
+func (p *PingPong) Reset() {
+	p.sent = 0
+	p.received = 0
+	p.ball = 0
+	p.haveBall = p.Starter
+	p.pending = p.pending[:0]
 }
 
 // Input implements core.PatchProgram.

@@ -18,6 +18,16 @@ type SweepExecutor interface {
 	Sweep(q [][]float64) (phi [][]float64, err error)
 }
 
+// FluxRecycler is optionally implemented by sweep executors that pool
+// their output flux arrays (persistent-session solvers). SourceIterate
+// hands back each iteration's superseded flux so the executor can reuse
+// the allocation for a later sweep.
+type FluxRecycler interface {
+	// RecycleFlux takes ownership of a flux array no longer referenced by
+	// the caller.
+	RecycleFlux(phi [][]float64)
+}
+
 // IterConfig controls source iteration.
 type IterConfig struct {
 	// MaxIterations bounds the outer loop (default 200).
@@ -74,6 +84,7 @@ func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error
 	}
 	res := &Result{}
 	qCell := make([]float64, p.Groups)
+	recycler, _ := ex.(FluxRecycler)
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		// Build emission density from the current flux.
 		for c := 0; c < nc; c++ {
@@ -89,6 +100,11 @@ func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error
 		res.Iterations = iter
 		res.Residual = relChange(phi, next)
 		res.Phi = next
+		// The superseded flux is dead after the residual: pooling
+		// executors reuse its allocation for a later sweep.
+		if recycler != nil {
+			recycler.RecycleFlux(phi)
+		}
 		phi = next
 		if res.Residual <= cfg.Tolerance {
 			res.Converged = true

@@ -224,6 +224,11 @@ type (
 	Solver = sweep.Solver
 	// SolverOptions configures the solver.
 	SolverOptions = sweep.Options
+	// ReuseMode selects the solver's session-reuse policy: with reuse on
+	// (the default) one runtime session — processes, worker goroutines,
+	// transport, program objects, pooled buffers — persists across the
+	// sweeps of a source iteration. Call Solver.Close when done.
+	ReuseMode = sweep.ReuseMode
 	// SweepStats describes the cost of the last sweep.
 	SweepStats = sweep.SweepStats
 	// Reference is the serial ground-truth executor.
@@ -236,6 +241,17 @@ type (
 	BSPExecutor = bsp.Executor
 	// CoarseGraph is the cached coarsened task graph (§V-E).
 	CoarseGraph = graph.CoarseGraph
+)
+
+// Session-reuse policies for SolverOptions.ReuseRuntime.
+const (
+	// ReuseAuto is the default: reuse on.
+	ReuseAuto = sweep.ReuseAuto
+	// ReuseOn keeps one persistent runtime session across Sweep calls.
+	ReuseOn = sweep.ReuseOn
+	// ReuseOff rebuilds programs and runtime per sweep (the validation
+	// baseline).
+	ReuseOff = sweep.ReuseOff
 )
 
 // NewSolver prepares the JSweep solver over a decomposition.

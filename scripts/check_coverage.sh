@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# check_coverage.sh <go-test-cover-output-file>
+#
+# Gates the per-package coverage of the session-critical packages against
+# their post-persistent-session baselines (measured at 93.0% for
+# internal/runtime and 94.4% for internal/sweep; the gates sit just below
+# to absorb line-count drift). A drop below a gate fails CI.
+set -eu
+
+out="${1:?usage: check_coverage.sh <cover-output-file>}"
+
+check() {
+	pkg="$1"
+	min="$2"
+	line=$(grep -E "^ok[[:space:]]+${pkg}[[:space:]]" "$out" || true)
+	if [ -z "$line" ]; then
+		echo "coverage gate: no result for ${pkg}" >&2
+		exit 1
+	fi
+	pct=$(printf '%s\n' "$line" | grep -oE '[0-9]+\.[0-9]+% of statements' | grep -oE '^[0-9]+\.[0-9]+' || true)
+	if [ -z "$pct" ]; then
+		echo "coverage gate: could not parse coverage for ${pkg}: ${line}" >&2
+		exit 1
+	fi
+	ok=$(awk -v p="$pct" -v m="$min" 'BEGIN { print (p >= m) ? 1 : 0 }')
+	if [ "$ok" != 1 ]; then
+		echo "coverage gate FAILED: ${pkg} at ${pct}% (< ${min}%)" >&2
+		exit 1
+	fi
+	echo "coverage gate ok: ${pkg} at ${pct}% (>= ${min}%)"
+}
+
+check "jsweep/internal/runtime" 90.0
+check "jsweep/internal/sweep" 91.0
