@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench fuzz agg-bench iter-bench cover clean
+.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench cover clean
 
 all: build vet test
 
@@ -20,12 +20,18 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Fail when any file needs gofmt (mirrors the CI gate).
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Short fuzz session over the stream/frame codecs.
+# Short fuzz sessions over the stream/frame codecs and the SCC
+# condensation invariants (one -fuzz target per go test invocation).
 fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzCodecRoundTrip -fuzztime 30s
+	$(GO) test ./internal/graph -run xxx -fuzz FuzzSCCCondense -fuzztime 30s
 
 # Reproduce the message-aggregation batch-size sweep (paper Fig. 12
 # methodology applied to §IV batching) and record BENCH_aggregation.json.
@@ -38,9 +44,14 @@ agg-bench:
 iter-bench:
 	$(GO) run ./cmd/jsweep-bench -exp iter -fidelity quick -out BENCH_iteration.json
 
+# Reproduce the cyclic-mesh torture case (twisted rings, SCC detection +
+# feedback-edge flux lagging) and record BENCH_cyclic.json.
+cyclic-bench:
+	$(GO) run ./cmd/jsweep-bench -exp cyclic -fidelity quick -out BENCH_cyclic.json
+
 # Per-package coverage with the CI gates for the session-critical
-# packages (internal/runtime, internal/sweep). The redirect (not a pipe)
-# preserves go test's exit status under plain sh.
+# packages (internal/runtime, internal/sweep, internal/graph). The
+# redirect (not a pipe) preserves go test's exit status under plain sh.
 cover:
 	$(GO) test -cover ./... > cover.out || (cat cover.out; exit 1)
 	cat cover.out

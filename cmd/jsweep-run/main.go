@@ -4,6 +4,7 @@
 //	jsweep-run -mesh kobayashi -n 32 -sn 4 -procs 2 -workers 4
 //	jsweep-run -mesh ball -cells 20000 -groups 2 -prio SLBD+SLBD -coarse
 //	jsweep-run -mesh reactor -cells 15000 -verify
+//	jsweep-run -mesh cyclic -cells 2000 -verify   # cyclic sweep graphs, lagged
 package main
 
 import (
@@ -20,9 +21,9 @@ import (
 
 func main() {
 	var (
-		meshKind = flag.String("mesh", "kobayashi", "kobayashi | ball | reactor")
+		meshKind = flag.String("mesh", "kobayashi", "kobayashi | ball | reactor | cyclic")
 		n        = flag.Int("n", 32, "structured cells per axis (kobayashi)")
-		cells    = flag.Int("cells", 20000, "approximate tet count (ball/reactor)")
+		cells    = flag.Int("cells", 20000, "approximate tet count (ball/reactor/cyclic)")
 		snOrder  = flag.Int("sn", 4, "Sn quadrature order")
 		groups   = flag.Int("groups", 1, "energy groups (ball/reactor)")
 		scatter  = flag.Bool("scatter", false, "enable scattering (kobayashi)")
@@ -69,12 +70,17 @@ func main() {
 			log.Fatal(err)
 		}
 		prob = p
-	case "ball", "reactor":
+	case "ball", "reactor", "cyclic":
 		var m *jsweep.Unstructured
-		if *meshKind == "ball" {
+		switch *meshKind {
+		case "ball":
 			m, err = jsweep.BallWithCells(*cells, 10.0)
-		} else {
+		case "reactor":
 			m, err = jsweep.ReactorWithCells(*cells, 1.0, 1.5)
+		default:
+			// Twisted rings: every sweep direction's dependency graph is
+			// cyclic; the solver lags flux on feedback edges.
+			m, err = jsweep.CyclicStackWithCells(*cells)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -87,7 +93,15 @@ func main() {
 			log.Fatal(err)
 		}
 		prob = uniformProblem(m, quad, *groups)
-		d, err = jsweep.PartitionByPatchSize(m, *patch, jsweep.GreedyGraph)
+		if *meshKind == "cyclic" {
+			np := m.NumCells() / *patch
+			if np < 2 {
+				np = 2
+			}
+			d, err = jsweep.AzimuthalBlocks(m, np)
+		} else {
+			d, err = jsweep.PartitionByPatchSize(m, *patch, jsweep.GreedyGraph)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -129,6 +143,10 @@ func main() {
 	st := s.LastStats()
 	fmt.Printf("last sweep: computeCalls=%d streams=%d coarse=%v\n",
 		st.ComputeCalls, st.Streams, st.Coarse)
+	if st.LaggedEdges > 0 {
+		fmt.Printf("cycle breaking: cellSCCs=%d patchSCCs=%d laggedEdges=%d (old-flux lagging active)\n",
+			st.CellSCCs, st.PatchSCCs, st.LaggedEdges)
+	}
 	if !*seq && *reuse {
 		cum := st.Cumulative
 		fmt.Printf("session: roundsRun=%d cycles=%d remoteStreams=%d workerBusy=%.3fs\n",

@@ -1,0 +1,108 @@
+// Cyclic-mesh sweep: builds a twisted-ring tet mesh whose sweep dependency
+// graph contains genuine cycles for every quadrature direction (the
+// configuration real non-convex and decomposed meshes produce; see
+// Vermaak, Ragusa & Morel, arXiv:2004.01824), and solves it with the
+// JSweep solver. The solver detects the strongly connected components,
+// breaks each cycle by lagging flux on a deterministic feedback-edge set,
+// and converges the lagged fluxes inside the ordinary source iteration —
+// bitwise identical to the lagged serial reference.
+//
+//	go run ./examples/cyclic [-cells 1200] [-patches 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"jsweep"
+)
+
+func main() {
+	var (
+		cells   = flag.Int("cells", 1200, "approximate tetrahedra count")
+		patches = flag.Int("patches", 8, "azimuthal patch count")
+		verify  = flag.Bool("verify", true, "cross-check against the lagged serial reference")
+	)
+	flag.Parse()
+
+	m, err := jsweep.CyclicStackWithCells(*cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := jsweep.AzimuthalBlocks(m, *patches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quad, err := jsweep.NewQuadrature(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prob := &jsweep.Problem{
+		M: m,
+		Mats: []jsweep.Material{{
+			Name:   "twisted",
+			SigmaT: []float64{0.8},
+			SigmaS: [][]float64{{0.3}},
+			Source: []float64{1.0},
+		}},
+		Quad:   quad,
+		Groups: 1,
+		Scheme: jsweep.Step,
+	}
+	fmt.Printf("twisted rings: %d tets, %d azimuthal patches, %d angles\n",
+		m.NumCells(), d.NumPatches(), quad.NumAngles())
+
+	workers := runtime.NumCPU()/2 - 1
+	if workers < 1 {
+		workers = 1
+	}
+	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{
+		Procs: 2, Workers: workers, Grain: 8,
+		Pair: jsweep.PriorityPair{Patch: jsweep.SLBD, Vertex: jsweep.SLBD},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	fmt.Printf("cycle breaking: %d lagged feedback edges across %d angles\n",
+		s.LaggedEdges(), quad.NumAngles())
+
+	t0 := time.Now()
+	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: 1e-8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := s.LastStats()
+	fmt.Printf("converged=%v in %d iterations, %.3fs (cellSCCs=%d patchSCCs=%d laggedEdges=%d)\n",
+		res.Converged, res.Iterations, time.Since(t0).Seconds(),
+		st.CellSCCs, st.PatchSCCs, st.LaggedEdges)
+
+	if *verify {
+		// The reference lags the same deterministic feedback-edge set, so
+		// the parallel flux must match it bit for bit.
+		ref, err := jsweep.NewReference(prob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want, err := jsweep.Solve(prob, ref, jsweep.IterConfig{Tolerance: 1e-8})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for g := range want.Phi {
+			for c := range want.Phi[g] {
+				if want.Phi[g][c] != res.Phi[g][c] {
+					log.Fatalf("verify FAILED at group %d cell %d: %v != %v",
+						g, c, res.Phi[g][c], want.Phi[g][c])
+				}
+			}
+		}
+		fmt.Println("verify OK: bitwise identical to the lagged serial reference")
+	}
+
+	rep := prob.GroupBalance(res.Phi, 0)
+	fmt.Printf("balance: production %.4g, absorption %.4g, leakage %.4g\n",
+		rep.Production, rep.Absorption, rep.Leakage)
+}

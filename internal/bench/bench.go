@@ -95,6 +95,7 @@ func All() []Experiment {
 		{ID: "real", Title: "validation — real threaded runtime scaling on host", Run: RealRuntime},
 		{ID: "agg", Title: "§IV — message-aggregation batch-size sweep (sim + real runtime)", Run: AggregationSweep},
 		{ID: "iter", Title: "§IV — persistent-session iteration throughput (reuse on/off, real runtime)", Run: IterationReuse},
+		{ID: "cyclic", Title: "cyclic meshes — SCC detection + feedback-edge flux lagging (twisted rings)", Run: CyclicLagging},
 	}
 }
 

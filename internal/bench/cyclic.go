@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"jsweep/internal/meshgen"
+	"jsweep/internal/priority"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// CyclicLagging exercises the cycle-tolerant sweep path end to end on the
+// twisted-ring torture meshes: per-angle SCC detection, deterministic
+// feedback-edge selection and old-flux lagging through source iteration
+// (Vermaak, Ragusa & Morel, arXiv:2004.01824). For each mesh size it
+// verifies the parallel flux stays bitwise identical to the lagged serial
+// reference and that the lagged iteration reaches the fine-tolerance fixed
+// point, then reports the cycle structure, the iteration overhead the
+// lagging costs (against an untwisted but otherwise identical ring) and
+// the per-iteration wall time.
+func CyclicLagging(f Fidelity, w io.Writer) ([]Point, error) {
+	sizes := []int{300, 1200}
+	switch f {
+	case Standard:
+		sizes = []int{1200, 5000, 20000}
+	case Paper:
+		sizes = []int{5000, 20000, 80000}
+	}
+
+	procs := 2
+	workers := maxI(1, runtime.NumCPU()/procs-1)
+	quad, err := quadrature.New(2)
+	if err != nil {
+		return nil, err
+	}
+	iterCfg := transport.IterConfig{Tolerance: 1e-8, MaxIterations: 400}
+
+	fmt.Fprintf(w, "Cyclic-dependency sweeps (%s): %dp×%dw, %d angles, tol %.0e\n",
+		f, procs, workers, quad.NumAngles(), iterCfg.Tolerance)
+	fmt.Fprintf(w, "  %-12s %8s %8s %8s %8s %8s %9s %12s\n",
+		"cells", "cellSCCs", "patchSCC", "lagged", "iters", "acyclic", "overhead", "ms/iter")
+
+	var pts []Point
+	for _, target := range sizes {
+		m, err := meshgen.CyclicStackWithCells(target)
+		if err != nil {
+			return nil, err
+		}
+		d, err := meshgen.AzimuthalBlocks(m, 8)
+		if err != nil {
+			return nil, err
+		}
+		prob := &transport.Problem{
+			M: m,
+			Mats: []transport.Material{{
+				Name:   "twisted",
+				SigmaT: []float64{0.8},
+				SigmaS: [][]float64{{0.3}},
+				Source: []float64{1.0},
+			}},
+			Quad:   quad,
+			Groups: 1,
+			Scheme: transport.Step,
+		}
+		s, err := sweep.NewSolver(prob, d, sweep.Options{
+			Procs: procs, Workers: workers, Grain: 8,
+			Pair: priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		res, err := transport.SourceIterate(prob, s, iterCfg)
+		wall := time.Since(t0).Seconds()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("bench: cyclic %d cells: %w", m.NumCells(), err)
+		}
+		st := s.LastStats()
+		s.Close()
+		if !res.Converged {
+			return nil, fmt.Errorf("bench: cyclic %d cells did not converge (residual %g)", m.NumCells(), res.Residual)
+		}
+		if st.LaggedEdges == 0 || st.CellSCCs == 0 || st.PatchSCCs == 0 {
+			return nil, fmt.Errorf("bench: cyclic mesh reported no cycles (%+v)", st)
+		}
+
+		// Bitwise check against the lagged serial reference.
+		ref, err := sweep.NewReference(prob)
+		if err != nil {
+			return nil, err
+		}
+		want, err := transport.SourceIterate(prob, ref, iterCfg)
+		if err != nil {
+			return nil, err
+		}
+		for g := range want.Phi {
+			for c := range want.Phi[g] {
+				if res.Phi[g][c] != want.Phi[g][c] {
+					return nil, fmt.Errorf("bench: cyclic %d cells: flux diverges from lagged reference at group %d cell %d", m.NumCells(), g, c)
+				}
+			}
+		}
+
+		// Iteration overhead of the lagging: the same transport problem on
+		// an untwisted (acyclic) ring of the same construction.
+		acyclicIters, err := acyclicControlIters(m.NumCells(), quad, iterCfg)
+		if err != nil {
+			return nil, err
+		}
+
+		fmt.Fprintf(w, "  %-12d %8d %8d %8d %8d %8d %8.2fx %12.2f\n",
+			m.NumCells(), st.CellSCCs, st.PatchSCCs, st.LaggedEdges,
+			res.Iterations, acyclicIters,
+			float64(res.Iterations)/float64(acyclicIters),
+			1e3*wall/float64(res.Iterations))
+		x := float64(m.NumCells())
+		pts = append(pts,
+			Point{Series: "iterations", X: x, Value: float64(res.Iterations)},
+			Point{Series: "acyclic-iterations", X: x, Value: float64(acyclicIters)},
+			Point{Series: "lagged-edges", X: x, Value: float64(st.LaggedEdges)},
+			Point{Series: "cell-sccs", X: x, Value: float64(st.CellSCCs)},
+			Point{Series: "patch-sccs", X: x, Value: float64(st.PatchSCCs)},
+			Point{Series: "ms-per-iter", X: x, Value: 1e3 * wall / float64(res.Iterations)},
+		)
+	}
+	return pts, nil
+}
+
+// acyclicControlIters solves the same material on an untwisted ring of at
+// least targetCells tets (tilt 0 — identical construction, no cycles) and
+// returns the source-iteration count.
+func acyclicControlIters(targetCells int, quad *quadrature.Set, cfg transport.IterConfig) (int, error) {
+	// Untwisted rings have no plane-crossing constraint; scale segments.
+	nSeg := (targetCells + 2) / 3
+	if nSeg < 3 {
+		nSeg = 3
+	}
+	m, err := meshgen.TwistedRing(nSeg, 1.0, 2.0, 0.2, 0)
+	if err != nil {
+		return 0, err
+	}
+	prob := &transport.Problem{
+		M: m,
+		Mats: []transport.Material{{
+			Name:   "untwisted",
+			SigmaT: []float64{0.8},
+			SigmaS: [][]float64{{0.3}},
+			Source: []float64{1.0},
+		}},
+		Quad:   quad,
+		Groups: 1,
+		Scheme: transport.Step,
+	}
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		return 0, err
+	}
+	if ref.LaggedEdges() != 0 {
+		return 0, fmt.Errorf("bench: control ring unexpectedly cyclic")
+	}
+	res, err := transport.SourceIterate(prob, ref, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.Iterations, nil
+}

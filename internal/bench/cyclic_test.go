@@ -1,0 +1,29 @@
+package bench
+
+import (
+	"testing"
+)
+
+// Shape: the cyclic experiment must report cycles at every size, and the
+// lagged iteration must cost more sweeps than the acyclic control (that
+// is the price of cycle breaking) while still converging.
+func TestCyclicLaggingExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full solves")
+	}
+	pts := runExp(t, "cyclic")
+	iters := series(pts, "iterations")
+	control := series(pts, "acyclic-iterations")
+	lagged := series(pts, "lagged-edges")
+	if len(iters) == 0 || len(iters) != len(control) || len(iters) != len(lagged) {
+		t.Fatalf("series shapes: iters=%d control=%d lagged=%d", len(iters), len(control), len(lagged))
+	}
+	for i := range iters {
+		if lagged[i].Value <= 0 {
+			t.Errorf("size %g: no lagged edges", lagged[i].X)
+		}
+		if iters[i].Value < control[i].Value {
+			t.Errorf("size %g: lagged iterations %g below acyclic control %g", iters[i].X, iters[i].Value, control[i].Value)
+		}
+	}
+}

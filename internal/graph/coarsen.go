@@ -51,6 +51,11 @@ type CoarseGraph struct {
 	// LocalIdx maps a coarse vertex to its position within its owning
 	// program's ByProgram list (receivers index their counters by it).
 	LocalIdx []int32
+
+	// CondensedSCCs counts the strongly connected components Coarsen had to
+	// condense into single coarse vertices to make this graph acyclic
+	// (0 when the clustering already respected Theorem 1).
+	CondensedSCCs int
 }
 
 // LocalIndex returns the owning program's local index of coarse vertex cv.
@@ -72,24 +77,58 @@ func (cg *CoarseGraph) Edges(cv int32) (to []int32, under [][]UnderEdge) {
 // describe the same (patch, angle) program; clusters[i] lists that
 // program's compute batches in execution order, each a list of local
 // vertex ids. Every local vertex must appear in exactly one cluster.
-// The derived graph is verified acyclic (Theorem 1) before being returned.
+//
+// Clusters recorded from a real data-driven execution always yield an
+// acyclic coarse graph (Theorem 1). Clusterings that violate the theorem —
+// hand-built clusters, or clusters replayed against a changed graph — are
+// repaired instead of rejected: each strongly connected component of the
+// coarse graph is condensed by merging its member clusters (per program,
+// re-ordered to respect the fine dependencies) until the graph is acyclic.
+// Only an irreducible cross-program cycle, which no clustering repair can
+// schedule, is an error.
 func Coarsen(graphs []*PatchGraph, clusters [][][]int32) (*CoarseGraph, error) {
 	if len(graphs) != len(clusters) {
 		return nil, fmt.Errorf("graph: %d graphs but %d cluster sets", len(graphs), len(clusters))
 	}
-	type paKey struct {
-		p mesh.PatchID
-		a int32
-	}
-	progOf := make(map[paKey]int, len(graphs))
+	progOf := make(map[progKey]int, len(graphs))
 	for i, g := range graphs {
-		k := paKey{g.Patch, g.Angle}
+		k := progKey{g.Patch, g.Angle}
 		if _, dup := progOf[k]; dup {
 			return nil, fmt.Errorf("graph: duplicate program for patch %d angle %d", g.Patch, g.Angle)
 		}
 		progOf[k] = i
 	}
+	condensed := 0
+	for {
+		cg, err := assembleCoarse(graphs, clusters, progOf)
+		if err != nil {
+			return nil, err
+		}
+		if cg.isAcyclic() {
+			cg.CondensedSCCs = condensed
+			return cg, nil
+		}
+		next, merged, err := condenseClusters(graphs, clusters, cg)
+		if err != nil {
+			return nil, err
+		}
+		if merged == 0 {
+			return nil, fmt.Errorf("graph: coarse graph has a cross-program dependency cycle no intra-program condensation can break (Theorem 1 violated across programs)")
+		}
+		condensed += merged
+		clusters = next
+	}
+}
 
+// progKey identifies a (patch, angle) program.
+type progKey struct {
+	p mesh.PatchID
+	a int32
+}
+
+// assembleCoarse builds the coarse graph of one clustering (no acyclicity
+// repair; Coarsen drives that).
+func assembleCoarse(graphs []*PatchGraph, clusters [][][]int32, progOf map[progKey]int) (*CoarseGraph, error) {
 	cg := &CoarseGraph{ByProgram: make([][]int32, len(graphs))}
 	// cvOf[i][v] = coarse vertex containing local vertex v of program i.
 	cvOf := make([][]int32, len(graphs))
@@ -141,7 +180,7 @@ func Coarsen(graphs []*PatchGraph, clusters [][][]int32) (*CoarseGraph, error) {
 					})
 				}
 				for _, e := range g.RemoteEdges(v) {
-					j, ok := progOf[paKey{e.ToPatch, g.Angle}]
+					j, ok := progOf[progKey{e.ToPatch, g.Angle}]
 					if !ok {
 						return nil, fmt.Errorf("graph: remote edge to patch %d angle %d has no program", e.ToPatch, g.Angle)
 					}
@@ -183,10 +222,153 @@ func Coarsen(graphs []*PatchGraph, clusters [][][]int32) (*CoarseGraph, error) {
 		pos[k.from]++
 	}
 
-	if !cg.isAcyclic() {
-		return nil, fmt.Errorf("graph: coarsened graph has a cycle — clusters do not respect the sweep order (Theorem 1 violated)")
-	}
 	return cg, nil
+}
+
+// condenseClusters merges, for every nontrivial strongly connected
+// component of the coarse graph, the component's member clusters within
+// each program into a single cluster whose vertices are re-ordered to
+// respect the fine local dependencies. It returns the repaired clusterings
+// and the number of components that saw a merge; 0 means every nontrivial
+// component has at most one cluster per program — a pure cross-program
+// cycle condensation cannot break.
+func condenseClusters(graphs []*PatchGraph, clusters [][][]int32, cg *CoarseGraph) ([][][]int32, int, error) {
+	n := cg.NumCV()
+	adj := make([][]int32, n)
+	for v := 0; v < n; v++ {
+		adj[v] = cg.EdgeTo[cg.EdgeStart[v]:cg.EdgeStart[v+1]]
+	}
+	comp, ncomp := SCC(adj)
+	sizes := SCCSizes(comp, ncomp)
+
+	// cvProg maps a coarse vertex to its owning program index.
+	cvProg := make([]int32, n)
+	for i, cvs := range cg.ByProgram {
+		for _, cv := range cvs {
+			cvProg[cv] = int32(i)
+		}
+	}
+
+	// mergeSets[i] lists, per program i, groups of cluster indices to merge.
+	mergeSets := make(map[int32][][]int32)
+	merged := 0
+	for c := int32(0); c < int32(ncomp); c++ {
+		if sizes[c] <= 1 {
+			continue
+		}
+		// Group the component's coarse vertices by program, as cluster
+		// indices in ascending (execution) order. Coarse vertex ids grow
+		// with (program, cluster) order, so ascending cv gives that.
+		byProg := make(map[int32][]int32)
+		for cv := int32(0); cv < int32(n); cv++ {
+			if comp[cv] == c {
+				byProg[cvProg[cv]] = append(byProg[cvProg[cv]], cg.LocalIdx[cv])
+			}
+		}
+		compMerged := false
+		for prog, idxs := range byProg {
+			if len(idxs) > 1 {
+				mergeSets[prog] = append(mergeSets[prog], idxs)
+				compMerged = true
+			}
+		}
+		if compMerged {
+			merged++
+		}
+	}
+	if merged == 0 {
+		return clusters, 0, nil
+	}
+
+	out := make([][][]int32, len(clusters))
+	copy(out, clusters)
+	for prog, groups := range mergeSets {
+		g := graphs[prog]
+		old := clusters[prog]
+		// groupOf[k] = index of the merge group cluster k belongs to, or -1.
+		groupOf := make([]int32, len(old))
+		for k := range groupOf {
+			groupOf[k] = -1
+		}
+		for gi, idxs := range groups {
+			for _, k := range idxs {
+				groupOf[k] = int32(gi)
+			}
+		}
+		mergedCl := make([][]int32, len(groups))
+		for gi, idxs := range groups {
+			members := make([][]int32, 0, len(idxs))
+			for _, k := range idxs {
+				members = append(members, old[k])
+			}
+			cl, err := topoMergeClusters(g, members)
+			if err != nil {
+				return nil, 0, fmt.Errorf("graph: program %d: %w", prog, err)
+			}
+			mergedCl[gi] = cl
+		}
+		// Rebuild the cluster list: the merged cluster replaces its first
+		// member (keeping execution order), later members are dropped.
+		emitted := make([]bool, len(groups))
+		next := make([][]int32, 0, len(old))
+		for k, cl := range old {
+			gi := groupOf[k]
+			if gi < 0 {
+				next = append(next, cl)
+				continue
+			}
+			if !emitted[gi] {
+				emitted[gi] = true
+				next = append(next, mergedCl[gi])
+			}
+		}
+		out[prog] = next
+	}
+	return out, merged, nil
+}
+
+// topoMergeClusters concatenates the member clusters (in execution order)
+// and re-orders the union so every fine local dependency within the union
+// is respected: Kahn's algorithm seeded and processed in concatenation
+// order, which keeps the result deterministic and as close to the recorded
+// order as the dependencies allow.
+func topoMergeClusters(g *PatchGraph, members [][]int32) ([]int32, error) {
+	var concat []int32
+	for _, cl := range members {
+		concat = append(concat, cl...)
+	}
+	indeg := make(map[int32]int32, len(concat))
+	for _, v := range concat {
+		indeg[v] = 0
+	}
+	for _, v := range concat {
+		for _, e := range g.LocalEdges(v) {
+			if _, in := indeg[e.To]; in {
+				indeg[e.To]++
+			}
+		}
+	}
+	queue := make([]int32, 0, len(concat))
+	for _, v := range concat {
+		if indeg[v] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, e := range g.LocalEdges(v) {
+			if d, in := indeg[e.To]; in && d > 0 {
+				indeg[e.To] = d - 1
+				if d == 1 {
+					queue = append(queue, e.To)
+				}
+			}
+		}
+	}
+	if len(queue) != len(concat) {
+		return nil, fmt.Errorf("condensed cluster contains a fine-level dependency cycle (%d of %d vertices unorderable) — lag the mesh's feedback edges before clustering", len(concat)-len(queue), len(concat))
+	}
+	return queue, nil
 }
 
 // isAcyclic runs Kahn's algorithm on the coarse graph.

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzSCCCondense feeds arbitrary digraphs (decoded from raw bytes)
+// through SCC + Condense and checks the structural invariants: the
+// component labelling is a dense partition matching brute-force mutual
+// reachability, the condensation is acyclic, and condensing loses no
+// cross-component edge. FeedbackArcs rides along: removing the selected
+// arcs must always leave an acyclic graph.
+func FuzzSCCCondense(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{3, 0, 1, 1, 2, 2, 0})             // 3-cycle
+	f.Add([]byte{5, 0, 1, 1, 0, 2, 3, 3, 4, 4, 2}) // two cycles
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3})             // chain
+	f.Add([]byte{1, 0, 0})                         // self-loop
+	f.Fuzz(func(t *testing.T, data []byte) {
+		adj := decodeDigraph(data)
+		n := len(adj)
+		comp, ncomp := SCC(adj)
+		if len(comp) != n {
+			t.Fatalf("comp length %d for %d vertices", len(comp), n)
+		}
+		if n == 0 {
+			if ncomp != 0 {
+				t.Fatalf("empty graph has %d comps", ncomp)
+			}
+			return
+		}
+		// Dense ids in [0, ncomp), every id used.
+		used := make([]bool, ncomp)
+		for v, c := range comp {
+			if c < 0 || int(c) >= ncomp {
+				t.Fatalf("vertex %d has comp %d outside [0,%d)", v, c, ncomp)
+			}
+			used[c] = true
+		}
+		for c, ok := range used {
+			if !ok {
+				t.Fatalf("comp id %d unused", c)
+			}
+		}
+		// Partition must match brute-force mutual reachability.
+		reach := fuzzReach(adj)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				same := comp[u] == comp[v]
+				mutual := u == v || (reach[u][v] && reach[v][u])
+				if same != mutual {
+					t.Fatalf("vertices %d,%d: same-comp=%v mutual-reach=%v", u, v, same, mutual)
+				}
+			}
+		}
+		// Condensation: acyclic, and it preserves every cross-comp edge.
+		cond := Condense(adj, comp, ncomp)
+		if !fuzzAcyclic(cond) {
+			t.Fatal("condensation has a cycle")
+		}
+		has := make(map[int64]bool)
+		for cu := range cond {
+			for _, cv := range cond[cu] {
+				has[int64(cu)<<32|int64(cv)] = true
+			}
+		}
+		for u := range adj {
+			for _, v := range adj[u] {
+				if comp[u] != comp[v] && !has[int64(comp[u])<<32|int64(comp[v])] {
+					t.Fatalf("edge %d->%d lost by condensation", u, v)
+				}
+			}
+		}
+		// Feedback arcs: removal must leave the graph acyclic.
+		arcs := FeedbackArcs(adj)
+		drop := make(map[int64]int, len(arcs))
+		for _, a := range arcs {
+			drop[int64(a[0])<<32|int64(a[1])]++
+		}
+		pruned := make([][]int32, n)
+		for u := range adj {
+			for _, v := range adj[u] {
+				if k := int64(u)<<32 | int64(v); drop[k] > 0 {
+					drop[k]--
+					continue
+				}
+				pruned[u] = append(pruned[u], v)
+			}
+		}
+		if !fuzzAcyclic(pruned) {
+			t.Fatal("graph still cyclic after removing feedback arcs")
+		}
+	})
+}
+
+// decodeDigraph reads a vertex count (first byte, capped to 16) and then
+// edge pairs from the remaining bytes. Duplicate edges and self-loops are
+// legal inputs.
+func decodeDigraph(data []byte) [][]int32 {
+	if len(data) == 0 {
+		return nil
+	}
+	n := int(data[0])%16 + 1
+	adj := make([][]int32, n)
+	for i := 1; i+1 < len(data); i += 2 {
+		u := int(data[i]) % n
+		v := int(data[i+1]) % n
+		adj[u] = append(adj[u], int32(v))
+	}
+	return adj
+}
+
+func fuzzReach(adj [][]int32) [][]bool {
+	n := len(adj)
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		stack := []int32{int32(s)}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, v := range adj[u] {
+				if !reach[s][v] {
+					reach[s][v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+func fuzzAcyclic(adj [][]int32) bool {
+	n := len(adj)
+	indeg := make([]int32, n)
+	for _, succ := range adj {
+		for _, v := range succ {
+			indeg[v]++
+		}
+	}
+	queue := make([]int32, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+		}
+	}
+	seen := 0
+	for head := 0; head < len(queue); head++ {
+		seen++
+		for _, v := range adj[queue[head]] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen == n
+}

@@ -45,9 +45,32 @@ type RemoteEdge struct {
 	Face int8
 }
 
+// LagIn is a lagged incoming edge of a patch graph: local vertex V's face
+// Face is fed from slot Idx of the previous iteration's lagged-flux store
+// instead of being delivered during the sweep (so it contributes no
+// in-degree).
+type LagIn struct {
+	V    int32
+	Face int8
+	// Idx is the edge's index in the angle's lagged-edge list — the slot id
+	// of the old/new flux stores.
+	Idx int32
+}
+
+// LagOut is a lagged outgoing edge: after local vertex V solves, its
+// outgoing flux through SrcFace is written to slot Idx of the lagged-flux
+// store for the next iteration, instead of being propagated downwind now.
+type LagOut struct {
+	V       int32
+	SrcFace int8
+	Idx     int32
+}
+
 // PatchGraph is the sweep dependency subgraph G_{p,t} of patch p in one
 // direction: local vertices (the patch's cells), their in-degrees, and the
 // downwind adjacency split into local and remote edges, both in CSR layout.
+// On cyclic meshes the feedback edges selected for lagging are excluded
+// from the in-degrees and adjacency and recorded in LagIn/LagOut instead.
 type PatchGraph struct {
 	Patch mesh.PatchID
 	Angle int32
@@ -56,7 +79,8 @@ type PatchGraph struct {
 	Cells []mesh.CellID
 
 	// InDegree counts the upwind dependencies of each local vertex,
-	// including those satisfied from other patches.
+	// including those satisfied from other patches but excluding lagged
+	// edges.
 	InDegree []int32
 
 	// Local downwind edges, CSR: edges LocalAdj[LocalStart[v]:LocalStart[v+1]].
@@ -66,6 +90,11 @@ type PatchGraph struct {
 	// Remote downwind edges, CSR.
 	RemoteStart []int32
 	RemoteAdj   []RemoteEdge
+
+	// LagIn / LagOut list this patch's ends of the lagged feedback edges
+	// (both empty on acyclic meshes), in ascending (cell, face) order.
+	LagIn  []LagIn
+	LagOut []LagOut
 }
 
 // NumVertices returns the number of local vertices.
@@ -90,6 +119,19 @@ func (g *PatchGraph) NumEdges() (local, remote int) {
 // direction omega. The angle id is recorded but does not influence the
 // construction beyond omega.
 func BuildPatchGraph(d *mesh.Decomposition, p mesh.PatchID, omega geom.Vec3, angle int32) *PatchGraph {
+	return buildPatchGraph(d, p, omega, angle, nil, nil)
+}
+
+// BuildPatchGraphLagged constructs G_{p,t} with the given feedback edges
+// lagged: they are excluded from in-degrees and adjacency and surface as
+// the patch graph's LagIn/LagOut lists instead. A nil/empty lagged set is
+// identical to BuildPatchGraph.
+func BuildPatchGraphLagged(d *mesh.Decomposition, p mesh.PatchID, omega geom.Vec3, angle int32, lagged []CellEdge) *PatchGraph {
+	lagIn, lagOut := laggedSets(lagged)
+	return buildPatchGraph(d, p, omega, angle, lagIn, lagOut)
+}
+
+func buildPatchGraph(d *mesh.Decomposition, p mesh.PatchID, omega geom.Vec3, angle int32, lagIn, lagOut map[int64]int32) *PatchGraph {
 	m := d.Mesh
 	cells := d.Cells[p]
 	n := len(cells)
@@ -111,9 +153,25 @@ func BuildPatchGraph(d *mesh.Decomposition, p mesh.PatchID, omega geom.Vec3, ang
 				continue
 			}
 			if dot < -upwindEps {
+				if lagIn != nil {
+					if idx, ok := lagIn[lagKey(c, int8(i))]; ok {
+						// Lagged incoming face: fed from the old-flux store,
+						// no in-degree.
+						g.LagIn = append(g.LagIn, LagIn{V: int32(v), Face: int8(i), Idx: idx})
+						continue
+					}
+				}
 				// Incoming face with an upwind neighbour (local or remote).
 				g.InDegree[v]++
 			} else if dot > upwindEps {
+				if lagOut != nil {
+					if idx, ok := lagOut[lagKey(c, int8(i))]; ok {
+						// Lagged outgoing face: written to the new-flux
+						// store, not propagated downwind this sweep.
+						g.LagOut = append(g.LagOut, LagOut{V: int32(v), SrcFace: int8(i), Idx: idx})
+						continue
+					}
+				}
 				if d.CellPatch[f.Neighbor] == p {
 					g.LocalStart[v+1]++
 				} else {
@@ -145,6 +203,11 @@ func BuildPatchGraph(d *mesh.Decomposition, p mesh.PatchID, omega geom.Vec3, ang
 			dot := omega.Dot(f.Normal)
 			if dot <= upwindEps {
 				continue
+			}
+			if lagOut != nil {
+				if _, skip := lagOut[lagKey(c, int8(i))]; skip {
+					continue
+				}
 			}
 			nb := f.Neighbor
 			back := backFace(m, nb, c)
@@ -178,9 +241,17 @@ func backFace(m mesh.Mesh, nb, c mesh.CellID) int8 {
 
 // BuildAllPatchGraphs builds G_{p,t} for every patch for one direction.
 func BuildAllPatchGraphs(d *mesh.Decomposition, omega geom.Vec3, angle int32) []*PatchGraph {
+	return BuildAllPatchGraphsLagged(d, omega, angle, nil)
+}
+
+// BuildAllPatchGraphsLagged builds G_{p,t} for every patch for one
+// direction with the given feedback edges lagged (see
+// BuildPatchGraphLagged).
+func BuildAllPatchGraphsLagged(d *mesh.Decomposition, omega geom.Vec3, angle int32, lagged []CellEdge) []*PatchGraph {
+	lagIn, lagOut := laggedSets(lagged)
 	out := make([]*PatchGraph, d.NumPatches())
 	for p := range out {
-		out[p] = BuildPatchGraph(d, mesh.PatchID(p), omega, angle)
+		out[p] = buildPatchGraph(d, mesh.PatchID(p), omega, angle, lagIn, lagOut)
 	}
 	return out
 }
@@ -279,89 +350,26 @@ func (dag *PatchDAG) IsAcyclic() bool {
 }
 
 // GlobalTopoOrder returns a topological order of all mesh cells for
-// direction omega using Kahn's algorithm, or an error naming the number of
-// cells stuck on a dependency cycle. This is the serial reference schedule.
+// direction omega using Kahn's algorithm, or an error when the sweep graph
+// is cyclic (callers that can lag flux on feedback edges should use
+// GlobalTopoOrderLagged instead, which never fails). This is the serial
+// reference schedule; on acyclic meshes the order is identical to the
+// lagged variant's.
 func GlobalTopoOrder(m mesh.Mesh, omega geom.Vec3) ([]mesh.CellID, error) {
-	n := m.NumCells()
-	indeg := make([]int32, n)
-	for c := 0; c < n; c++ {
-		nf := m.NumFaces(mesh.CellID(c))
-		for i := 0; i < nf; i++ {
-			f := m.Face(mesh.CellID(c), i)
-			if f.Neighbor >= 0 && omega.Dot(f.Normal) < -upwindEps {
-				indeg[c]++
-			}
-		}
-	}
-	// FIFO queue keeps the order wavefront-like (useful determinism).
-	queue := make([]mesh.CellID, 0, n)
-	for c := 0; c < n; c++ {
-		if indeg[c] == 0 {
-			queue = append(queue, mesh.CellID(c))
-		}
-	}
-	order := make([]mesh.CellID, 0, n)
-	for head := 0; head < len(queue); head++ {
-		c := queue[head]
-		order = append(order, c)
-		nf := m.NumFaces(c)
-		for i := 0; i < nf; i++ {
-			f := m.Face(c, i)
-			if f.Neighbor >= 0 && omega.Dot(f.Normal) > upwindEps {
-				indeg[f.Neighbor]--
-				if indeg[f.Neighbor] == 0 {
-					queue = append(queue, f.Neighbor)
-				}
-			}
-		}
-	}
-	if len(order) != n {
-		return nil, fmt.Errorf("graph: sweep dependencies for Ω=%v contain a cycle (%d of %d cells unreachable)", omega, n-len(order), n)
+	order, lagged := GlobalTopoOrderLagged(m, omega)
+	if len(lagged) > 0 {
+		return nil, fmt.Errorf("graph: sweep dependencies for Ω=%v contain a cycle (%d feedback edges would need lagging)", omega, len(lagged))
 	}
 	return order, nil
 }
 
 // CellLevels returns the BFS wavefront level of every cell for direction
-// omega (level 0 = cells with no upwind dependency). Errors on cycles.
+// omega (level 0 = cells with no upwind dependency). Errors on cycles;
+// cycle-tolerant callers should use CellLevelsLagged.
 func CellLevels(m mesh.Mesh, omega geom.Vec3) ([]int32, error) {
-	n := m.NumCells()
-	indeg := make([]int32, n)
-	for c := 0; c < n; c++ {
-		nf := m.NumFaces(mesh.CellID(c))
-		for i := 0; i < nf; i++ {
-			f := m.Face(mesh.CellID(c), i)
-			if f.Neighbor >= 0 && omega.Dot(f.Normal) < -upwindEps {
-				indeg[c]++
-			}
-		}
-	}
-	level := make([]int32, n)
-	queue := make([]mesh.CellID, 0, n)
-	for c := 0; c < n; c++ {
-		if indeg[c] == 0 {
-			queue = append(queue, mesh.CellID(c))
-		}
-	}
-	seen := 0
-	for head := 0; head < len(queue); head++ {
-		c := queue[head]
-		seen++
-		nf := m.NumFaces(c)
-		for i := 0; i < nf; i++ {
-			f := m.Face(c, i)
-			if f.Neighbor >= 0 && omega.Dot(f.Normal) > upwindEps {
-				if l := level[c] + 1; l > level[f.Neighbor] {
-					level[f.Neighbor] = l
-				}
-				indeg[f.Neighbor]--
-				if indeg[f.Neighbor] == 0 {
-					queue = append(queue, f.Neighbor)
-				}
-			}
-		}
-	}
-	if seen != n {
-		return nil, fmt.Errorf("graph: cycle detected computing cell levels for Ω=%v", omega)
+	level, lagged := CellLevelsLagged(m, omega)
+	if len(lagged) > 0 {
+		return nil, fmt.Errorf("graph: cycle detected computing cell levels for Ω=%v (%d feedback edges would need lagging)", omega, len(lagged))
 	}
 	return level, nil
 }

@@ -355,17 +355,17 @@ func TestCoarsenRejectsBadClusters(t *testing.T) {
 	}
 }
 
-func TestCoarsenDetectsCycle(t *testing.T) {
+func TestCoarsenCondensesCyclicClustering(t *testing.T) {
 	_, d := structured(t, 4)
 	graphs := BuildAllPatchGraphs(d, geom.Vec3{X: 1, Y: 0, Z: 0}, 0)
-	// Cluster against the topological order: put each vertex alone but
-	// order so that a downwind vertex's cluster also contains an upwind
-	// one from a *different* dependency chain... Simplest reliable cycle:
-	// split one patch into two clusters A and B such that A needs B and B
-	// needs A. With +x direction each patch is 2x2x2; local chains are
-	// along x: pairs (v, v') with v -> v'. Put the head of chain 1 with the
-	// tail of chain 2 in cluster A, and the tail of chain 1 with the head
-	// of chain 2 in cluster B: A -> B (chain1) and B -> A (chain2).
+	// Build a clustering that violates Theorem 1 inside one program: split
+	// one patch into two clusters A and B such that A needs B and B needs
+	// A. With +x direction each patch is 2x2x2; local chains are along x:
+	// pairs (v, v') with v -> v'. Put the head of chain 1 with the tail of
+	// chain 2 in cluster A, and the tail of chain 1 with the head of chain
+	// 2 in cluster B: A -> B (chain1) and B -> A (chain2). Coarsen must
+	// condense the A/B component into one coarse vertex whose members are
+	// re-ordered to respect the fine dependencies, not reject it.
 	g := graphs[0]
 	type chain struct{ head, tail int32 }
 	var chains []chain
@@ -397,7 +397,81 @@ func TestCoarsenDetectsCycle(t *testing.T) {
 	for i := 1; i < len(graphs); i++ {
 		clusters[i] = [][]int32{topoOf(t, graphs[i])}
 	}
+	cg, err := Coarsen(graphs, clusters)
+	if err != nil {
+		t.Fatalf("cyclic clustering should be condensed, got error: %v", err)
+	}
+	if cg.CondensedSCCs == 0 {
+		t.Error("CondensedSCCs = 0, want >= 1")
+	}
+	if !cg.isAcyclic() {
+		t.Error("condensed coarse graph still cyclic")
+	}
+	// The merged coarse vertex must hold all four vertices in an order
+	// respecting the fine local dependencies.
+	var mergedCV []int32
+	for _, verts := range cg.Verts {
+		has := map[int32]bool{}
+		for _, v := range verts {
+			has[v] = true
+		}
+		if has[a[0]] && has[a[1]] && has[b[0]] && has[b[1]] {
+			mergedCV = verts
+			break
+		}
+	}
+	if mergedCV == nil {
+		t.Fatal("no coarse vertex contains the condensed A/B union")
+	}
+	pos := map[int32]int{}
+	for i, v := range mergedCV {
+		pos[v] = i
+	}
+	for _, v := range mergedCV {
+		for _, e := range g.LocalEdges(v) {
+			if p, in := pos[e.To]; in && p <= pos[v] {
+				t.Errorf("condensed cluster orders %d before its upwind %d", e.To, v)
+			}
+		}
+	}
+	// Every vertex of every program must still be clustered exactly once.
+	for i, gr := range graphs {
+		seen := make([]bool, gr.NumVertices())
+		for _, cv := range cg.ByProgram[i] {
+			for _, v := range cg.Verts[cv] {
+				if seen[v] {
+					t.Fatalf("program %d vertex %d clustered twice after condensation", i, v)
+				}
+				seen[v] = true
+			}
+		}
+		for v, ok := range seen {
+			if !ok {
+				t.Fatalf("program %d vertex %d lost by condensation", i, v)
+			}
+		}
+	}
+}
+
+// A cycle between single-vertex clusters of two different programs cannot
+// be repaired by intra-program condensation: two mutually dependent coarse
+// vertices owned by different programs would deadlock the schedulers, so
+// Coarsen must reject it.
+func TestCoarsenRejectsIrreducibleCrossProgramCycle(t *testing.T) {
+	mk := func(p mesh.PatchID, other mesh.PatchID) *PatchGraph {
+		return &PatchGraph{
+			Patch:       p,
+			Angle:       0,
+			Cells:       []mesh.CellID{mesh.CellID(p)},
+			InDegree:    []int32{1},
+			LocalStart:  []int32{0, 0},
+			RemoteStart: []int32{0, 1},
+			RemoteAdj:   []RemoteEdge{{ToPatch: other, To: 0, SrcFace: 0, Face: 1}},
+		}
+	}
+	graphs := []*PatchGraph{mk(0, 1), mk(1, 0)}
+	clusters := [][][]int32{{{0}}, {{0}}}
 	if _, err := Coarsen(graphs, clusters); err == nil {
-		t.Error("cyclic clustering must be rejected (Theorem 1 check)")
+		t.Error("irreducible cross-program cycle must be rejected")
 	}
 }

@@ -1,0 +1,179 @@
+package meshgen
+
+import (
+	"fmt"
+	"math"
+
+	"jsweep/internal/geom"
+	"jsweep/internal/mesh"
+)
+
+// Twisted-ring generator: tetrahedral meshes whose sweep dependency graphs
+// contain genuine cell-level cycles — the torture case for cycle-tolerant
+// sweeps (Vermaak, Ragusa & Morel, arXiv:2004.01824, construct the
+// analogous spiral meshes in 2D).
+//
+// The construction is an annular ring of nSeg twisted triangular-prism
+// wedges around the z-axis. The inter-wedge interface at azimuth
+// φ_j = 2πj/nSeg is a triangle lying on the "Penrose staircase" plane P_j:
+// the radial-vertical plane rotated about the radial direction by the tilt
+// angle, whose normal is
+//
+//	n_j = cos(tilt)·θ̂_j + sin(tilt)·ẑ.
+//
+// For a direction Ω, interface j is downwind (Ω·n_j > 0) whenever
+// sin(tilt)·Ω_z > -cos(tilt)·(Ω·θ̂_j); with tan(tilt) > |Ω_h|/|Ω_z| this
+// holds at every azimuth, so all nSeg interfaces pass flux the same way
+// around the ring and close a dependency cycle (the reverse ring when
+// Ω_z < 0). Each wedge splits into 3 tets whose two internal faces share
+// an edge with an interface triangle and therefore stay nearly parallel to
+// the tilted interface planes, which is what lets the cycle survive at the
+// tet level. Level-symmetric quadrature directions have |Ω_h|/|Ω_z| ≤ √2
+// for S2, so any tilt above atan(√2) ≈ 54.74° makes every S2 direction
+// cyclic (and every steeper direction of higher orders).
+
+// TwistedRing returns a conforming tetrahedral ring of nSeg twisted
+// triangular-prism wedges (3 tets each) between radii 0 < r0 < r1 with
+// height h, interfaces tilted by tilt radians. The triangular
+// cross-section has its base on z = 0 spanning [r0, r1] and its apex at
+// mid-radius, z = h. Cells are emitted azimuth-major: wedge j owns cells
+// 3j..3j+2, so contiguous cell-index blocks are azimuthal arcs.
+func TwistedRing(nSeg int, r0, r1, h, tilt float64) (*mesh.Unstructured, error) {
+	verts, tets, err := twistedRingGeometry(nSeg, r0, r1, h, tilt, 0)
+	if err != nil {
+		return nil, err
+	}
+	return mesh.NewUnstructuredFromTets(verts, tets, nil)
+}
+
+// twistedRingGeometry emits one ring's vertices and tets, with cell
+// connectivity referencing vertex ids offset by vertBase (for stacking
+// disjoint rings into one mesh).
+func twistedRingGeometry(nSeg int, r0, r1, h, tilt, zOff float64) ([]geom.Vec3, [][4]int32, error) {
+	if nSeg < 3 {
+		return nil, nil, fmt.Errorf("meshgen: twisted ring needs >= 3 segments (got %d)", nSeg)
+	}
+	if !(0 < r0 && r0 < r1) || h <= 0 {
+		return nil, nil, fmt.Errorf("meshgen: twisted ring needs 0 < r0 < r1 and h > 0 (got r0=%g r1=%g h=%g)", r0, r1, h)
+	}
+	if tilt < 0 || tilt >= math.Pi/2 {
+		return nil, nil, fmt.Errorf("meshgen: tilt must be in [0, π/2) (got %g)", tilt)
+	}
+	// The interface planes shear azimuthally by ±asin(tan(tilt)·h/(2r)) at
+	// the z extremes; consecutive planes must not cross inside the ring.
+	arg := math.Tan(tilt) * h / (2 * r0)
+	if arg >= 1 {
+		return nil, nil, fmt.Errorf("meshgen: tilt too steep for the ring height (tan(tilt)·h/(2·r0) = %.3g >= 1); reduce h or tilt", arg)
+	}
+	if 2*math.Asin(arg) >= 2*math.Pi/float64(nSeg) {
+		return nil, nil, fmt.Errorf("meshgen: interface planes cross (shear %.3g rad >= segment width %.3g rad); reduce h, tilt or nSeg", 2*math.Asin(arg), 2*math.Pi/float64(nSeg))
+	}
+
+	// A point of interface j at radius r and height z sits at azimuth
+	// φ_j + asin(-tan(tilt)·(z-h/2)/r) — exactly on the tilted plane P_j
+	// for every (r, z), keeping the interfaces planar.
+	pt := func(j int, r, z float64) geom.Vec3 {
+		base := 2 * math.Pi * float64(j) / float64(nSeg)
+		phi := base + math.Asin(-math.Tan(tilt)*(z-h/2)/r)
+		return geom.Vec3{X: r * math.Cos(phi), Y: r * math.Sin(phi), Z: z + zOff}
+	}
+	rm := (r0 + r1) / 2
+	verts := make([]geom.Vec3, 0, 3*nSeg)
+	vid := func(j, k int) int32 { return int32((((j % nSeg) + nSeg) % nSeg * 3) + k) }
+	for j := 0; j < nSeg; j++ {
+		verts = append(verts, pt(j, r0, 0), pt(j, r1, 0), pt(j, rm, h))
+	}
+	// Wedge j spans interfaces T_j = {P,Q,R} and T_{j+1} = {P',Q',R'},
+	// split into 3 tets along the "staircase" diagonals; consecutive
+	// wedges share the whole interface triangle, so the ring conforms by
+	// construction (triangular prism splits cut only the quad faces, which
+	// are all on the domain boundary here).
+	tets := make([][4]int32, 0, 3*nSeg)
+	for j := 0; j < nSeg; j++ {
+		p, q, r := vid(j, 0), vid(j, 1), vid(j, 2)
+		p1, q1, r1v := vid(j+1, 0), vid(j+1, 1), vid(j+1, 2)
+		tets = append(tets,
+			[4]int32{p, q, r, p1},
+			[4]int32{q, r, p1, q1},
+			[4]int32{r, p1, q1, r1v},
+		)
+	}
+	return verts, tets, nil
+}
+
+// cyclicRingTilt is the default interface tilt: comfortably above the
+// atan(√2) ≈ 54.74° threshold for S2 level-symmetric directions.
+const cyclicRingTilt = math.Pi / 3
+
+// cyclicRingSegs is the default azimuthal segment count of the stacked
+// generator (the plane-crossing constraint caps it at 18 given the default
+// height and tilt).
+const cyclicRingSegs = 16
+
+// CyclicRing returns a twisted ring with defaults tuned so the sweep graph
+// of every S2 level-symmetric quadrature direction contains cell-level
+// cycles: nSeg segments, radii 1..2, height 0.2, 60° tilt — 3·nSeg tets.
+func CyclicRing(nSeg int) (*mesh.Unstructured, error) {
+	return TwistedRing(nSeg, 1.0, 2.0, 0.2, cyclicRingTilt)
+}
+
+// CyclicStack returns `rings` twisted rings stacked along z as one
+// (disconnected) mesh — the decomposed-mesh scenario where every connected
+// component carries its own dependency cycles. 3·nSeg·rings tets, emitted
+// azimuth-major (all rings' wedges at segment j before segment j+1), so
+// AzimuthalBlocks cuts every ring's cycle across the patch boundaries.
+func CyclicStack(nSeg, rings int) (*mesh.Unstructured, error) {
+	if rings < 1 {
+		return nil, fmt.Errorf("meshgen: need >= 1 ring (got %d)", rings)
+	}
+	const h, gap = 0.2, 0.1
+	var verts []geom.Vec3
+	ringTets := make([][][4]int32, rings)
+	for k := 0; k < rings; k++ {
+		rv, rt, err := twistedRingGeometry(nSeg, 1.0, 2.0, h, cyclicRingTilt, float64(k)*(h+gap))
+		if err != nil {
+			return nil, err
+		}
+		base := int32(len(verts))
+		verts = append(verts, rv...)
+		for i := range rt {
+			rt[i] = [4]int32{rt[i][0] + base, rt[i][1] + base, rt[i][2] + base, rt[i][3] + base}
+		}
+		ringTets[k] = rt
+	}
+	tets := make([][4]int32, 0, 3*nSeg*rings)
+	for j := 0; j < nSeg; j++ {
+		for k := 0; k < rings; k++ {
+			tets = append(tets, ringTets[k][3*j:3*j+3]...)
+		}
+	}
+	return mesh.NewUnstructuredFromTets(verts, tets, nil)
+}
+
+// CyclicStackWithCells returns a cyclic stack with at least targetCells
+// tetrahedra (16-segment rings, one ring minimum).
+func CyclicStackWithCells(targetCells int) (*mesh.Unstructured, error) {
+	perRing := 3 * cyclicRingSegs
+	rings := (targetCells + perRing - 1) / perRing
+	if rings < 1 {
+		rings = 1
+	}
+	return CyclicStack(cyclicRingSegs, rings)
+}
+
+// AzimuthalBlocks decomposes a mesh whose cells are emitted azimuth-major
+// (TwistedRing, CyclicRing, CyclicStack) into numPatches contiguous
+// cell-index blocks — azimuthal arcs of the ring(s). On a cyclic ring with
+// >= 2 patches the ring cycle crosses every patch boundary, so the patch
+// digraph is cyclic too.
+func AzimuthalBlocks(m mesh.Mesh, numPatches int) (*mesh.Decomposition, error) {
+	nc := m.NumCells()
+	if numPatches < 1 || numPatches > nc {
+		return nil, fmt.Errorf("meshgen: %d patches for %d cells", numPatches, nc)
+	}
+	cellPatch := make([]mesh.PatchID, nc)
+	for c := 0; c < nc; c++ {
+		cellPatch[c] = mesh.PatchID(c * numPatches / nc)
+	}
+	return mesh.NewDecomposition(m, cellPatch, numPatches)
+}

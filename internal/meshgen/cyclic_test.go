@@ -1,0 +1,145 @@
+package meshgen
+
+import (
+	"math"
+	"testing"
+
+	"jsweep/internal/graph"
+	"jsweep/internal/quadrature"
+)
+
+func TestTwistedRingValidation(t *testing.T) {
+	cases := []struct {
+		name            string
+		nSeg            int
+		r0, r1, h, tilt float64
+	}{
+		{"too few segments", 2, 1, 2, 0.2, 1.0},
+		{"bad radii", 8, 2, 1, 0.2, 1.0},
+		{"bad height", 8, 1, 2, 0, 1.0},
+		{"bad tilt", 8, 1, 2, 0.2, -0.1},
+		{"tilt past vertical", 8, 1, 2, 0.2, math.Pi / 2},
+		{"asin domain", 8, 0.1, 2, 2.0, 1.5},
+		{"planes cross", 32, 1, 2, 0.2, math.Pi / 3},
+	}
+	for _, tc := range cases {
+		if _, err := TwistedRing(tc.nSeg, tc.r0, tc.r1, tc.h, tc.tilt); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestTwistedRingUntwistedIsAcyclic(t *testing.T) {
+	m, err := TwistedRing(12, 1, 2, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range quad.Directions {
+		if lagged := graph.FeedbackEdges(m, d.Omega); len(lagged) != 0 {
+			t.Errorf("Ω=%v: untwisted ring has %d feedback edges", d.Omega, len(lagged))
+		}
+	}
+}
+
+func TestCyclicRingCellCycles(t *testing.T) {
+	m, err := CyclicRing(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 36 {
+		t.Fatalf("cells = %d, want 36", m.NumCells())
+	}
+	if v := m.TotalVolume(); !(v > 0) {
+		t.Fatalf("total volume %g", v)
+	}
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range quad.Directions {
+		comp, n := graph.CellSCC(m, d.Omega)
+		nt, maxSize := graph.NontrivialSCCs(comp, n)
+		if nt < 1 || maxSize <= 1 {
+			t.Errorf("Ω=%v: no nontrivial cell SCC (comps=%d maxSize=%d)", d.Omega, n, maxSize)
+		}
+	}
+}
+
+func TestCyclicStackPatchCycles(t *testing.T) {
+	const rings = 3
+	m, err := CyclicStack(12, rings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumCells() != 3*12*rings {
+		t.Fatalf("cells = %d, want %d", m.NumCells(), 3*12*rings)
+	}
+	d, err := AzimuthalBlocks(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range quad.Directions {
+		// Each disjoint ring carries its own cell-level SCC...
+		comp, n := graph.CellSCC(m, dir.Omega)
+		nt, _ := graph.NontrivialSCCs(comp, n)
+		if nt < rings {
+			t.Errorf("Ω=%v: %d nontrivial cell SCCs, want >= %d", dir.Omega, nt, rings)
+		}
+		// ...and the azimuthal decomposition sees a patch-level SCC.
+		dag := graph.BuildPatchDAG(d, dir.Omega)
+		pcomp, pn := dag.SCC()
+		pnt, pmax := graph.NontrivialSCCs(pcomp, pn)
+		if pnt < 1 || pmax <= 1 {
+			t.Errorf("Ω=%v: no nontrivial patch SCC", dir.Omega)
+		}
+	}
+}
+
+func TestCyclicStackWithCells(t *testing.T) {
+	for _, target := range []int{10, 100, 500} {
+		m, err := CyclicStackWithCells(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumCells() < target {
+			t.Errorf("target %d: got %d cells", target, m.NumCells())
+		}
+	}
+}
+
+func TestAzimuthalBlocks(t *testing.T) {
+	m, err := CyclicRing(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AzimuthalBlocks(m, 0); err == nil {
+		t.Error("0 patches should fail")
+	}
+	if _, err := AzimuthalBlocks(m, m.NumCells()+1); err == nil {
+		t.Error("more patches than cells should fail")
+	}
+	d, err := AzimuthalBlocks(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPatches() != 4 {
+		t.Fatalf("patches = %d", d.NumPatches())
+	}
+	// Contiguous index blocks of near-equal size.
+	for p := 1; p < len(d.Cells); p++ {
+		if d.Cells[p-1][len(d.Cells[p-1])-1] >= d.Cells[p][0] {
+			t.Fatal("blocks not contiguous")
+		}
+	}
+	if b := d.Balance(); b > 1.1 {
+		t.Errorf("balance %g", b)
+	}
+}

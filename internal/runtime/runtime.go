@@ -366,7 +366,7 @@ type process struct {
 	// busyWorkers counts workers between popping a program and handing
 	// their produced streams to the master — passive() must see them.
 	busyWorkers int
-	shutdown bool
+	shutdown    bool
 
 	results chan workerResult
 

@@ -33,8 +33,8 @@ type CoarseProgram struct {
 	ready     []int32
 	readyHead int
 	psiFace   []float64
-	outBuf   []float64 // outgoing face fluxes per [v*maxFaces*G]
-	phiLocal [][]float64
+	outBuf    []float64 // outgoing face fluxes per [v*maxFaces*G]
+	phiLocal  [][]float64
 	// pending is consumed through the pendingHead cursor so the backing
 	// array is reusable across Compute calls and rounds.
 	pending     []core.Stream
@@ -42,6 +42,12 @@ type CoarseProgram struct {
 	// remaining counts unfinished fine vertices (workload semantics match
 	// the fine program).
 	remaining int64
+
+	// lag is the shared lagged-flux store breaking cyclic dependencies
+	// (nil on acyclic meshes); lagOutBy indexes the fine graph's LagOut
+	// entries by local vertex.
+	lag      *LagStore
+	lagOutBy map[int32][]graph.LagOut
 
 	qCell, psiOut, psiBar, psiScratch []float64
 	// outArena backs per-Compute remote-edge flux copies; fluxScratch the
@@ -65,6 +71,9 @@ type CoarseConfig struct {
 	CVs []int32
 	Dir quadrature.Direction
 	Q   [][]float64
+	// Lag is the solver's lagged-flux store; required when Graph has
+	// lagged edges, ignored (may be nil) otherwise.
+	Lag *LagStore
 }
 
 // NewCoarseProgram builds a coarse sweep program.
@@ -77,6 +86,7 @@ func NewCoarseProgram(cfg CoarseConfig) *CoarseProgram {
 		cvs:     cfg.CVs,
 		dir:     cfg.Dir,
 		q:       cfg.Q,
+		lag:     cfg.Lag,
 		cvLocal: make(map[int32]int32, len(cfg.CVs)),
 	}
 	for i, cv := range cfg.CVs {
@@ -127,6 +137,12 @@ func (p *CoarseProgram) ensure() {
 	p.psiOut = make([]float64, mf*G)
 	p.psiBar = make([]float64, G)
 	p.psiScratch = make([]float64, G)
+	if len(p.g.LagOut) > 0 {
+		p.lagOutBy = make(map[int32][]graph.LagOut, len(p.g.LagOut))
+		for _, lo := range p.g.LagOut {
+			p.lagOutBy[lo.V] = append(p.lagOutBy[lo.V], lo)
+		}
+	}
 }
 
 // resetState restores the just-initialized state, reusing the buffers.
@@ -134,6 +150,16 @@ func (p *CoarseProgram) resetState() {
 	// Unwritten face slots are the vacuum boundary condition ψ=0. outBuf
 	// needs no clear: every read slot is written when its vertex solves.
 	clear(p.psiFace)
+	// Lagged incoming faces read the previous sweep's flux.
+	if len(p.g.LagIn) > 0 {
+		G := p.prob.Groups
+		mf := p.prob.MaxFaces()
+		a := p.g.Angle
+		for _, li := range p.g.LagIn {
+			base := (int(li.V)*mf + int(li.Face)) * G
+			copy(p.psiFace[base:base+G], p.lag.Old(a, li.Idx))
+		}
+	}
 	for g := range p.phiLocal {
 		clear(p.phiLocal[g])
 	}
@@ -197,6 +223,12 @@ func (p *CoarseProgram) Compute() {
 				p.phiLocal[g][v] += w * p.psiBar[g]
 			}
 			copy(p.outBuf[base:base+mf*G], p.psiOut[:mf*G])
+			// Lagged downwind edges: store the flux for the next sweep.
+			if p.lagOutBy != nil {
+				for _, lo := range p.lagOutBy[v] {
+					p.lag.StoreNew(p.g.Angle, lo.Idx, p.psiOut[int(lo.SrcFace)*G:int(lo.SrcFace)*G+G])
+				}
+			}
 			// Fine local edges: propagate immediately (targets are in this
 			// or a later coarse vertex of this program).
 			for _, e := range p.g.LocalEdges(v) {

@@ -1,0 +1,259 @@
+package sweep
+
+import (
+	"testing"
+
+	"jsweep/internal/graph"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/priority"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/runtime"
+	"jsweep/internal/transport"
+)
+
+// cyclicProblem builds the twisted-ring torture case: a stacked cyclic
+// mesh, an azimuthal decomposition and a transport problem. The returned
+// problem is asserted (not assumed) to carry at least one cell-level and
+// one patch-level SCC of size > 1.
+func cyclicProblem(t *testing.T, scattering bool, groups int) (*transport.Problem, *mesh.Decomposition) {
+	t.Helper()
+	m, err := meshgen.CyclicStack(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := meshgen.AzimuthalBlocks(m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := quadrature.New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Precondition: the mesh really is cyclic at both levels.
+	cellCyclic, patchCyclic := false, false
+	for _, dir := range quad.Directions {
+		comp, n := graph.CellSCC(m, dir.Omega)
+		if nt, maxSize := graph.NontrivialSCCs(comp, n); nt > 0 && maxSize > 1 {
+			cellCyclic = true
+		}
+		dag := graph.BuildPatchDAG(d, dir.Omega)
+		pcomp, pn := dag.SCC()
+		if nt, maxSize := graph.NontrivialSCCs(pcomp, pn); nt > 0 && maxSize > 1 {
+			patchCyclic = true
+		}
+	}
+	if !cellCyclic || !patchCyclic {
+		t.Fatalf("torture mesh lost its cycles (cell=%v patch=%v)", cellCyclic, patchCyclic)
+	}
+	sigT := make([]float64, groups)
+	src := make([]float64, groups)
+	var scat [][]float64
+	for g := 0; g < groups; g++ {
+		sigT[g] = 0.8 + 0.2*float64(g)
+	}
+	src[0] = 1.0
+	if scattering {
+		scat = make([][]float64, groups)
+		for g := 0; g < groups; g++ {
+			scat[g] = make([]float64, groups)
+			scat[g][g] = 0.3
+			if g+1 < groups {
+				scat[g][g+1] = 0.1
+			}
+		}
+	}
+	prob := &transport.Problem{
+		M:      m,
+		Mats:   []transport.Material{{Name: "twisted", SigmaT: sigT, SigmaS: scat, Source: src}},
+		Quad:   quad,
+		Groups: groups,
+		Scheme: transport.Step,
+	}
+	return prob, d
+}
+
+// TestCyclicSweepMatchesLaggedReference is the acceptance gate of the
+// cycle-tolerant sweep path: on a provably cyclic mesh, every executor
+// configuration must converge through SourceIterate with flux bitwise
+// identical to the lagged serial reference, iteration for iteration.
+func TestCyclicSweepMatchesLaggedReference(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"sequential", Options{Sequential: true}},
+		{"parallel-reuse-on", Options{Procs: 2, Workers: 2, Grain: 4, ReuseRuntime: ReuseOn}},
+		{"parallel-reuse-off", Options{Procs: 2, Workers: 2, Grain: 4, ReuseRuntime: ReuseOff}},
+		{"parallel-coarse", Options{Procs: 2, Workers: 2, Grain: 4, UseCoarse: true}},
+		{"parallel-aggregated", Options{Procs: 2, Workers: 2, Grain: 4,
+			Aggregation: runtime.AggregationConfig{Enabled: true, Shards: 2}}},
+	}
+	for _, scattering := range []bool{false, true} {
+		prob, d := cyclicProblem(t, scattering, 2)
+		ref, err := NewReference(prob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.LaggedEdges() == 0 {
+			t.Fatal("reference lagged no edges on a cyclic mesh")
+		}
+		cfg := transport.IterConfig{Tolerance: 1e-9, MaxIterations: 400}
+		want, err := transport.SourceIterate(prob, ref, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.Converged {
+			t.Fatalf("reference did not converge in %d iterations (residual %g)", want.Iterations, want.Residual)
+		}
+		if !scattering && want.Iterations < 2 {
+			t.Fatalf("pure absorber on a cyclic mesh converged in %d iteration — lagged fluxes cannot have been iterated", want.Iterations)
+		}
+		for _, tc := range cases {
+			name := tc.name
+			if scattering {
+				name += "-scatter"
+			}
+			t.Run(name, func(t *testing.T) {
+				o := tc.opts
+				o.Pair = priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD}
+				s, err := NewSolver(prob, d, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				if s.LaggedEdges() != ref.LaggedEdges() {
+					t.Fatalf("solver lags %d edges, reference %d", s.LaggedEdges(), ref.LaggedEdges())
+				}
+				res, err := transport.SourceIterate(prob, s, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Iterations != want.Iterations || !res.Converged {
+					t.Fatalf("iterations = %d (converged=%v), reference took %d", res.Iterations, res.Converged, want.Iterations)
+				}
+				for g := range want.Phi {
+					for c := range want.Phi[g] {
+						if res.Phi[g][c] != want.Phi[g][c] {
+							t.Fatalf("flux differs at group %d cell %d: %v != %v", g, c, res.Phi[g][c], want.Phi[g][c])
+						}
+					}
+				}
+				st := s.LastStats()
+				if st.LaggedEdges == 0 || st.CellSCCs == 0 || st.PatchSCCs == 0 {
+					t.Errorf("stats missing cycle info: %+v", st)
+				}
+				if tc.opts.UseCoarse && !st.Coarse {
+					t.Error("UseCoarse solver never switched to the coarse graph")
+				}
+			})
+		}
+	}
+}
+
+// TestCyclicConvergesToFixedPoint checks the lagged iteration approaches
+// the true fixed point: a normal-tolerance solve must agree with a
+// fine-tolerance run to within the coarser tolerance's accuracy.
+func TestCyclicConvergesToFixedPoint(t *testing.T) {
+	prob, d := cyclicProblem(t, true, 1)
+	s, err := NewSolver(prob, d, Options{Procs: 2, Workers: 2, Grain: 4,
+		Pair: priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := transport.SourceIterate(prob, s, transport.IterConfig{Tolerance: 1e-7, MaxIterations: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("solver did not converge (residual %g)", res.Residual)
+	}
+	ref, err := NewReference(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := transport.SourceIterate(prob, ref, transport.IterConfig{Tolerance: 1e-13, MaxIterations: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fine.Converged {
+		t.Fatalf("fine-tolerance run did not converge (residual %g)", fine.Residual)
+	}
+	var maxRel float64
+	for g := range fine.Phi {
+		for c := range fine.Phi[g] {
+			want := fine.Phi[g][c]
+			got := res.Phi[g][c]
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("group %d cell %d: got %v, want 0", g, c, got)
+				}
+				continue
+			}
+			rel := (got - want) / want
+			if rel < 0 {
+				rel = -rel
+			}
+			if rel > maxRel {
+				maxRel = rel
+			}
+		}
+	}
+	if maxRel > 1e-5 {
+		t.Errorf("normal-tolerance solve deviates from the fixed point by %g (relative)", maxRel)
+	}
+}
+
+// TestCyclicPureAbsorberIterates pins the SourceIterate contract: with
+// lagged edges present the no-scattering early exit must stay disabled
+// until the lagged fluxes converge.
+func TestCyclicPureAbsorberIterates(t *testing.T) {
+	prob, d := cyclicProblem(t, false, 1)
+	s, err := NewSolver(prob, d, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	res, err := transport.SourceIterate(prob, s, transport.IterConfig{Tolerance: 1e-11, MaxIterations: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: residual %g after %d iterations", res.Residual, res.Iterations)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("converged in %d iteration; the lagged ring needs several passes", res.Iterations)
+	}
+	// An acyclic pure absorber must still exit after one sweep.
+	am, err := meshgen.TwistedRing(12, 1, 2, 0.2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := meshgen.AzimuthalBlocks(am, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aprob := &transport.Problem{
+		M:      am,
+		Mats:   []transport.Material{{Name: "a", SigmaT: []float64{0.8}, Source: []float64{1.0}}},
+		Quad:   prob.Quad,
+		Groups: 1,
+		Scheme: transport.Step,
+	}
+	as, err := NewSolver(aprob, ad, Options{Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer as.Close()
+	if as.LaggedEdges() != 0 {
+		t.Fatalf("untwisted ring lagged %d edges", as.LaggedEdges())
+	}
+	ares, err := transport.SourceIterate(aprob, as, transport.IterConfig{Tolerance: 1e-11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ares.Iterations != 1 {
+		t.Errorf("acyclic pure absorber took %d iterations, want 1", ares.Iterations)
+	}
+}

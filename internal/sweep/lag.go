@@ -1,0 +1,69 @@
+package sweep
+
+import (
+	"jsweep/internal/graph"
+)
+
+// LagStore holds the lagged angular fluxes that break cyclic sweep
+// dependencies (Vermaak, Ragusa & Morel, arXiv:2004.01824): one slot per
+// (angle, feedback edge, group). During a sweep, programs read a lagged
+// edge's flux from the *old* half (the value its source cell produced in
+// the previous source iteration; zero before the first) and write the
+// freshly computed flux into the *new* half. Advance swaps the halves
+// between sweeps, which is what folds the cycle-breaking into the existing
+// source-iteration fixed point: lagged edges converge together with the
+// scattering source.
+//
+// Each slot has exactly one writer per sweep (the program owning the
+// edge's source cell) and its readers only touch the other half, so the
+// store needs no locking.
+type LagStore struct {
+	groups int
+	// offs[a] is angle a's first edge slot; offs[len] the total edge count.
+	offs     []int32
+	old, new []float64
+}
+
+// NewLagStore builds the store for the per-angle lagged-edge lists, or
+// returns nil when no angle has lagged edges (the acyclic fast path).
+func NewLagStore(lagged [][]graph.CellEdge, groups int) *LagStore {
+	total := 0
+	offs := make([]int32, len(lagged)+1)
+	for a, edges := range lagged {
+		offs[a] = int32(total)
+		total += len(edges)
+	}
+	offs[len(lagged)] = int32(total)
+	if total == 0 {
+		return nil
+	}
+	return &LagStore{
+		groups: groups,
+		offs:   offs,
+		old:    make([]float64, total*groups),
+		new:    make([]float64, total*groups),
+	}
+}
+
+// Total returns the lagged-edge slot count across all angles.
+func (ls *LagStore) Total() int { return int(ls.offs[len(ls.offs)-1]) }
+
+// Advance swaps the halves: the fluxes written during the last sweep
+// become the lagged inputs of the next one. Call once per sweep, before
+// any program reads the store. Every slot is rewritten each sweep (each
+// feedback edge's source cell solves exactly once), so the stale half
+// needs no zeroing.
+func (ls *LagStore) Advance() { ls.old, ls.new = ls.new, ls.old }
+
+// Old returns angle a's lagged flux of edge slot idx (len = groups).
+func (ls *LagStore) Old(a int32, idx int32) []float64 {
+	base := (int(ls.offs[a]) + int(idx)) * ls.groups
+	return ls.old[base : base+ls.groups]
+}
+
+// StoreNew records the freshly computed flux of angle a's edge slot idx
+// for the next sweep.
+func (ls *LagStore) StoreNew(a int32, idx int32, psi []float64) {
+	base := (int(ls.offs[a]) + int(idx)) * ls.groups
+	copy(ls.new[base:base+ls.groups], psi)
+}

@@ -59,6 +59,12 @@ type Program struct {
 	recordClusters bool
 	clusters       [][]int32
 
+	// lag is the shared lagged-flux store breaking cyclic dependencies
+	// (nil on acyclic meshes); lagOutBy indexes the graph's LagOut entries
+	// by local vertex for the Compute hot path.
+	lag      *LagStore
+	lagOutBy map[int32][]graph.LagOut
+
 	// scratch buffers reused across vertices.
 	qCell, psiOut, psiBar, psiScratch []float64
 
@@ -82,6 +88,9 @@ type ProgramConfig struct {
 	VertexPrio []int32
 	// RecordClusters enables cluster recording for coarsening.
 	RecordClusters bool
+	// Lag is the solver's lagged-flux store; required when Graph has
+	// lagged edges, ignored (may be nil) otherwise.
+	Lag *LagStore
 }
 
 // NewProgram builds a sweep patch-program.
@@ -99,6 +108,7 @@ func NewProgram(cfg ProgramConfig) *Program {
 		grain:          grain,
 		prio:           cfg.VertexPrio,
 		recordClusters: cfg.RecordClusters,
+		lag:            cfg.Lag,
 	}
 }
 
@@ -154,6 +164,12 @@ func (p *Program) ensure() {
 	p.psiBar = make([]float64, G)
 	p.psiScratch = make([]float64, G)
 	p.ready = vertexQueue{prio: p.prio}
+	if len(p.g.LagOut) > 0 {
+		p.lagOutBy = make(map[int32][]graph.LagOut, len(p.g.LagOut))
+		for _, lo := range p.g.LagOut {
+			p.lagOutBy[lo.V] = append(p.lagOutBy[lo.V], lo)
+		}
+	}
 }
 
 // resetState restores the just-initialized state, reusing the buffers.
@@ -162,6 +178,17 @@ func (p *Program) resetState() {
 	copy(p.counts, p.g.InDegree)
 	// Unwritten face slots are the vacuum boundary condition ψ=0.
 	clear(p.psiFace)
+	// Lagged incoming faces read the previous sweep's flux (zero before
+	// the first sweep); they carry no in-degree, so readiness is unchanged.
+	if len(p.g.LagIn) > 0 {
+		G := p.prob.Groups
+		mf := p.prob.MaxFaces()
+		a := p.g.Angle
+		for _, li := range p.g.LagIn {
+			base := (int(li.V)*mf + int(li.Face)) * G
+			copy(p.psiFace[base:base+G], p.lag.Old(a, li.Idx))
+		}
+	}
 	for g := range p.phiLocal {
 		clear(p.phiLocal[g])
 	}
@@ -236,6 +263,13 @@ func (p *Program) Compute() {
 		p.prob.SolveCell(c, p.dir.Omega, p.qCell, p.psiFace[base:base+int32(mf*G)], p.psiOut, p.psiBar)
 		for g := 0; g < G; g++ {
 			p.phiLocal[g][v] += w * p.psiBar[g]
+		}
+		// Lagged downwind edges: store the flux for the next sweep instead
+		// of propagating it now.
+		if p.lagOutBy != nil {
+			for _, lo := range p.lagOutBy[v] {
+				p.lag.StoreNew(p.g.Angle, lo.Idx, p.psiOut[int(lo.SrcFace)*G:int(lo.SrcFace)*G+G])
+			}
 		}
 		// Local downwind edges: write the face flux straight into the
 		// neighbour's slot.

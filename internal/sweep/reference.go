@@ -13,28 +13,63 @@ import (
 // The sweep result is schedule-independent (each cell's kernel sees the
 // same inputs under any dependency-respecting order), so every parallel
 // executor in this repository must reproduce Reference bit-for-bit.
+//
+// On cyclic meshes Reference lags the same deterministic feedback-edge set
+// the parallel solver selects (graph.FeedbackEdges), through the same
+// LagStore double buffer: a lagged edge feeds the previous Sweep call's
+// flux into its downwind cell (zero on the first call) and records the
+// freshly computed flux for the next call, so lagged parallel sweeps
+// remain bitwise comparable against it, iteration by iteration.
 type Reference struct {
 	prob *transport.Problem
-	// orders caches the topological order per angle.
+	// orders caches the (lagged) topological order per angle; lagged the
+	// feedback edges removed to obtain it (empty on acyclic meshes).
 	orders [][]mesh.CellID
+	lagged [][]graph.CellEdge
+	// lagOutIdx[a] maps a lagged source (cell, face) key to its edge slot;
+	// nil when angle a has no lagged edges.
+	lagOutIdx []map[int64]int32
+	// lag is the lagged-flux double buffer (nil on acyclic meshes),
+	// advanced once per Sweep.
+	lag *LagStore
 }
 
-// NewReference builds the reference executor, precomputing and validating
-// the per-angle topological orders (errors on cyclic dependencies).
+// NewReference builds the reference executor, precomputing the per-angle
+// topological orders with feedback edges lagged on cyclic meshes (never
+// fails on cycles).
 func NewReference(prob *transport.Problem) (*Reference, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
 	r := &Reference{prob: prob}
-	r.orders = make([][]mesh.CellID, len(prob.Quad.Directions))
+	na := len(prob.Quad.Directions)
+	r.orders = make([][]mesh.CellID, na)
+	r.lagged = make([][]graph.CellEdge, na)
+	r.lagOutIdx = make([]map[int64]int32, na)
 	for a, d := range prob.Quad.Directions {
-		order, err := graph.GlobalTopoOrder(prob.M, d.Omega)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: angle %d: %w", a, err)
-		}
+		order, lagged := graph.GlobalTopoOrderLagged(prob.M, d.Omega)
 		r.orders[a] = order
+		r.lagged[a] = lagged
+		if len(lagged) == 0 {
+			continue
+		}
+		idx := make(map[int64]int32, len(lagged))
+		for i, e := range lagged {
+			idx[int64(e.From)<<3|int64(e.SrcFace)] = int32(i)
+		}
+		r.lagOutIdx[a] = idx
 	}
+	r.lag = NewLagStore(r.lagged, prob.Groups)
 	return r, nil
+}
+
+// LaggedEdges returns the number of feedback edges lagged across all
+// angles (0 on acyclic meshes). It implements transport.CycleLagger.
+func (r *Reference) LaggedEdges() int {
+	if r.lag == nil {
+		return 0
+	}
+	return r.lag.Total()
 }
 
 // Sweep implements transport.SweepExecutor.
@@ -46,6 +81,11 @@ func (r *Reference) Sweep(q [][]float64) ([][]float64, error) {
 	nc := m.NumCells()
 	phi := p.NewFlux()
 
+	if r.lag != nil {
+		// The previous sweep's lagged writes become this sweep's inputs
+		// (all-zero before the first sweep).
+		r.lag.Advance()
+	}
 	psiFace := make([]float64, nc*mf*G)
 	qCell := make([]float64, G)
 	psiOut := make([]float64, mf*G)
@@ -55,6 +95,12 @@ func (r *Reference) Sweep(q [][]float64) ([][]float64, error) {
 		// Zero the face buffer (vacuum boundaries).
 		for i := range psiFace {
 			psiFace[i] = 0
+		}
+		// Preload every lagged downwind face with the old flux.
+		lagIdx := r.lagOutIdx[a]
+		for i, e := range r.lagged[a] {
+			dst := (int(e.To)*mf + int(e.DstFace)) * G
+			copy(psiFace[dst:dst+G], r.lag.Old(int32(a), int32(i)))
 		}
 		for _, c := range r.orders[a] {
 			base := (int(c)) * mf * G
@@ -66,12 +112,20 @@ func (r *Reference) Sweep(q [][]float64) ([][]float64, error) {
 				phi[g][c] += d.Weight * psiBar[g]
 			}
 			// Propagate outgoing fluxes to downwind neighbours (same
-			// grazing-face classification as the DAG builder).
+			// grazing-face classification as the DAG builder). Lagged
+			// faces store their flux for the next sweep instead — the
+			// neighbour must keep reading the preloaded old value.
 			nf := m.NumFaces(c)
 			for f := 0; f < nf; f++ {
 				face := m.Face(c, f)
 				if face.Neighbor < 0 || d.Omega.Dot(face.Normal) <= mesh.UpwindEps {
 					continue
+				}
+				if lagIdx != nil {
+					if i, lag := lagIdx[int64(c)<<3|int64(f)]; lag {
+						r.lag.StoreNew(int32(a), i, psiOut[f*G:f*G+G])
+						continue
+					}
 				}
 				back := backFaceOf(m, face.Neighbor, c)
 				dst := (int(face.Neighbor)*mf + back) * G

@@ -97,6 +97,14 @@ type SweepStats struct {
 	Streams int64
 	// Coarse reports whether the sweep ran on the coarsened graph.
 	Coarse bool
+	// LaggedEdges counts the feedback edges broken by flux lagging across
+	// all angles (0 on acyclic meshes); each contributed one old-flux read
+	// and one new-flux write to the round.
+	LaggedEdges int
+	// CellSCCs / PatchSCCs count the nontrivial strongly connected
+	// components (size > 1) of the cell-level sweep graphs and of the
+	// patch digraphs, summed over angles.
+	CellSCCs, PatchSCCs int
 }
 
 // Solver is the JSweep Sn sweep component (§V): it owns the per-(patch,
@@ -113,12 +121,21 @@ type Solver struct {
 	d    *mesh.Decomposition
 	opts Options
 
-	// graphs[a][p] is G_{p,a}.
+	// graphs[a][p] is G_{p,a}, with feedback edges lagged on cyclic meshes.
 	graphs [][]*graph.PatchGraph
 	// patchPrio[a][p] is prior(p) for angle a; vertexPrio[a][p] the
 	// in-patch queue priorities.
 	patchPrio  [][]int64
 	vertexPrio [][][]int32
+
+	// lag stores the lagged fluxes breaking cyclic sweep dependencies (nil
+	// on acyclic meshes); it persists across sweeps — Advance per sweep
+	// swaps the previous sweep's writes into the read half. laggedEdges,
+	// cellSCCs and patchSCCs summarize the cycle structure across angles.
+	lag         *LagStore
+	laggedEdges int
+	cellSCCs    int
+	patchSCCs   int
 
 	// Persistent session state (reuse mode): program objects built once,
 	// plus the live engine or runtime they are registered in. rtCoarse /
@@ -158,16 +175,33 @@ func NewSolver(prob *transport.Problem, d *mesh.Decomposition, opts Options) (*S
 	s.graphs = make([][]*graph.PatchGraph, na)
 	s.patchPrio = make([][]int64, na)
 	s.vertexPrio = make([][][]int32, na)
+	lagged := make([][]graph.CellEdge, na)
 	for a := 0; a < na; a++ {
 		omega := prob.Quad.Directions[a].Omega
-		s.graphs[a] = graph.BuildAllPatchGraphs(d, omega, int32(a))
+		// Cyclic meshes: select the deterministic feedback-edge set and lag
+		// it, so the per-patch graphs the programs run on are acyclic at
+		// the cell level. Acyclic meshes yield an empty set and bitwise
+		// unchanged graphs.
+		lagged[a] = graph.FeedbackEdges(prob.M, omega)
+		s.laggedEdges += len(lagged[a])
+		if len(lagged[a]) > 0 {
+			comp, n := graph.CellSCC(prob.M, omega)
+			nt, _ := graph.NontrivialSCCs(comp, n)
+			s.cellSCCs += nt
+		}
+		s.graphs[a] = graph.BuildAllPatchGraphsLagged(d, omega, int32(a), lagged[a])
 		dag := graph.BuildPatchDAG(d, omega)
+		if comp, n := dag.SCC(); n < dag.N {
+			nt, _ := graph.NontrivialSCCs(comp, n)
+			s.patchSCCs += nt
+		}
 		s.patchPrio[a] = priority.PatchPriorities(opts.Pair.Patch, dag)
 		s.vertexPrio[a] = make([][]int32, np)
 		for p := 0; p < np; p++ {
 			s.vertexPrio[a][p] = priority.VertexPriorities(opts.Pair.Vertex, s.graphs[a][p])
 		}
 	}
+	s.lag = NewLagStore(lagged, prob.Groups)
 	if s.opts.reuse() {
 		s.fineProgs = s.buildFinePrograms(nil, s.opts.UseCoarse)
 	}
@@ -235,10 +269,21 @@ func (s *Solver) newFlux() [][]float64 {
 	return phi
 }
 
+// LaggedEdges returns the number of feedback edges the solver breaks by
+// flux lagging (0 on acyclic meshes). It implements transport.CycleLagger,
+// which keeps SourceIterate iterating until the lagged fluxes converge
+// even without scattering.
+func (s *Solver) LaggedEdges() int { return s.laggedEdges }
+
 // Sweep implements transport.SweepExecutor. The first call under
 // UseCoarse records clusters and builds the coarsened graph; subsequent
 // calls execute on it.
 func (s *Solver) Sweep(q [][]float64) ([][]float64, error) {
+	if s.lag != nil {
+		// The previous sweep's lagged writes become this sweep's inputs
+		// (all-zero before the first sweep).
+		s.lag.Advance()
+	}
 	if s.cg != nil {
 		return s.sweepCoarse(q)
 	}
@@ -272,6 +317,7 @@ func (s *Solver) buildFinePrograms(q [][]float64, record bool) [][]*Program {
 				Grain:          s.opts.Grain,
 				VertexPrio:     s.vertexPrio[a][p],
 				RecordClusters: record,
+				Lag:            s.lag,
 			})
 		}
 	}
@@ -293,6 +339,7 @@ func (s *Solver) buildCoarsePrograms(q [][]float64) [][]*CoarseProgram {
 				CVs:   s.cg.ByProgram[s.progIndex(a, p)],
 				Dir:   s.prob.Quad.Directions[a],
 				Q:     q,
+				Lag:   s.lag,
 			})
 		}
 	}
@@ -336,6 +383,9 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 	s.stats.ComputeCalls = 0
 	s.stats.Streams = s.stats.Runtime.LocalStreams + s.stats.Runtime.RemoteStreams
 	s.stats.Coarse = false
+	s.stats.LaggedEdges = s.laggedEdges
+	s.stats.CellSCCs = s.cellSCCs
+	s.stats.PatchSCCs = s.patchSCCs
 	for a := 0; a < na; a++ {
 		for p := 0; p < np; p++ {
 			prog := progs[a][p]
@@ -396,6 +446,9 @@ func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 	s.stats.ComputeCalls = 0
 	s.stats.Streams = s.stats.Runtime.LocalStreams + s.stats.Runtime.RemoteStreams
 	s.stats.Coarse = true
+	s.stats.LaggedEdges = s.laggedEdges
+	s.stats.CellSCCs = s.cellSCCs
+	s.stats.PatchSCCs = s.patchSCCs
 	for a := 0; a < na; a++ {
 		for p := 0; p < np; p++ {
 			prog := progs[a][p]
@@ -531,3 +584,5 @@ func (s *Solver) buildCoarse(progs [][]*Program) error {
 }
 
 var _ transport.SweepExecutor = (*Solver)(nil)
+var _ transport.CycleLagger = (*Solver)(nil)
+var _ transport.CycleLagger = (*Reference)(nil)

@@ -28,6 +28,18 @@ type FluxRecycler interface {
 	RecycleFlux(phi [][]float64)
 }
 
+// CycleLagger is optionally implemented by sweep executors that break
+// cyclic sweep dependencies by lagging flux on feedback edges (previous
+// iteration's values, zero on the first sweep). When an executor reports
+// lagged edges, a single sweep is no longer exact even without scattering:
+// SourceIterate must keep iterating until the lagged fluxes reach their
+// fixed point, so the no-scattering early exit is disabled.
+type CycleLagger interface {
+	// LaggedEdges returns the number of lagged feedback edges (0 when the
+	// mesh is acyclic for every direction).
+	LaggedEdges() int
+}
+
 // IterConfig controls source iteration.
 type IterConfig struct {
 	// MaxIterations bounds the outer loop (default 200).
@@ -85,6 +97,10 @@ func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error
 	res := &Result{}
 	qCell := make([]float64, p.Groups)
 	recycler, _ := ex.(FluxRecycler)
+	lagging := false
+	if cl, ok := ex.(CycleLagger); ok {
+		lagging = cl.LaggedEdges() > 0
+	}
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		// Build emission density from the current flux.
 		for c := 0; c < nc; c++ {
@@ -110,8 +126,10 @@ func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error
 			res.Converged = true
 			return res, nil
 		}
-		if !p.HasScattering() && iter >= 1 {
-			// One sweep is exact without scattering.
+		if !p.HasScattering() && !lagging && iter >= 1 {
+			// One sweep is exact without scattering — unless the executor
+			// lags flux on feedback edges, which must converge like a
+			// scattering source.
 			res.Converged = true
 			return res, nil
 		}

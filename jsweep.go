@@ -95,6 +95,33 @@ func BoxTets(nx, ny, nz int, origin, extent Vec3) (*Unstructured, error) {
 	return meshgen.Box(nx, ny, nz, origin, extent)
 }
 
+// TwistedRing generates a twisted-ring tet mesh whose sweep graphs are
+// cyclic for steep-enough tilts (tilt 0 gives an ordinary acyclic ring);
+// the solver breaks such cycles by lagging flux on feedback edges.
+func TwistedRing(nSeg int, r0, r1, h, tilt float64) (*Unstructured, error) {
+	return meshgen.TwistedRing(nSeg, r0, r1, h, tilt)
+}
+
+// CyclicRing generates a twisted ring whose sweep graph is cyclic for
+// every S2 level-symmetric quadrature direction.
+func CyclicRing(nSeg int) (*Unstructured, error) { return meshgen.CyclicRing(nSeg) }
+
+// CyclicStack generates a stack of cyclic rings (one disconnected mesh).
+func CyclicStack(nSeg, rings int) (*Unstructured, error) { return meshgen.CyclicStack(nSeg, rings) }
+
+// CyclicStackWithCells generates a cyclic stack with at least targetCells
+// tetrahedra.
+func CyclicStackWithCells(targetCells int) (*Unstructured, error) {
+	return meshgen.CyclicStackWithCells(targetCells)
+}
+
+// AzimuthalBlocks decomposes an azimuth-major ring mesh into contiguous
+// azimuthal arcs (the decomposition that makes ring cycles cross patch
+// boundaries).
+func AzimuthalBlocks(m Mesh, numPatches int) (*Decomposition, error) {
+	return meshgen.AzimuthalBlocks(m, numPatches)
+}
+
 // Partitioning.
 type (
 	// PartitionMethod selects an unstructured partitioner.
@@ -139,6 +166,10 @@ type (
 	Result = transport.Result
 	// SweepExecutor performs one full-angle transport sweep.
 	SweepExecutor = transport.SweepExecutor
+	// CycleLagger is implemented by executors that break cyclic sweep
+	// dependencies by lagging flux on feedback edges; Solve keeps
+	// iterating until the lagged fluxes converge.
+	CycleLagger = transport.CycleLagger
 )
 
 // Differencing schemes.
