@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench cover clean
+.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench net-bench net-smoke cover clean
 
 all: build vet test
 
@@ -27,11 +27,13 @@ fmt:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
-# Short fuzz sessions over the stream/frame codecs and the SCC
-# condensation invariants (one -fuzz target per go test invocation).
+# Short fuzz sessions over the stream/frame codecs, the SCC condensation
+# invariants and the netcomm wire format (one -fuzz target per go test
+# invocation).
 fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzCodecRoundTrip -fuzztime 30s
 	$(GO) test ./internal/graph -run xxx -fuzz FuzzSCCCondense -fuzztime 30s
+	$(GO) test ./internal/netcomm -run xxx -fuzz FuzzNetFrameRoundTrip -fuzztime 30s
 
 # Reproduce the message-aggregation batch-size sweep (paper Fig. 12
 # methodology applied to §IV batching) and record BENCH_aggregation.json.
@@ -48,6 +50,19 @@ iter-bench:
 # feedback-edge flux lagging) and record BENCH_cyclic.json.
 cyclic-bench:
 	$(GO) run ./cmd/jsweep-bench -exp cyclic -fidelity quick -out BENCH_cyclic.json
+
+# Compare the in-memory and TCP-localhost transport backends (frames,
+# bytes on the wire, per-iteration time, aggregation off/on) and record
+# BENCH_netcomm.json.
+net-bench:
+	$(GO) run ./cmd/jsweep-bench -exp net -fidelity quick -out BENCH_netcomm.json
+
+# Multi-process smoke: 4 jsweep-node OS processes over TCP-localhost,
+# bitwise reference parity asserted by rank 0 (mirrors the CI job).
+net-smoke:
+	$(GO) build -o bin/ ./cmd/jsweep-run ./cmd/jsweep-node
+	./bin/jsweep-run -backend tcp -node-bin ./bin/jsweep-node \
+		-mesh kobayashi -n 16 -sn 2 -procs 4 -workers 2 -agg -verify
 
 # Per-package coverage with the CI gates for the session-critical
 # packages (internal/runtime, internal/sweep, internal/graph). The

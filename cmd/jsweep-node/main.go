@@ -1,0 +1,69 @@
+// Command jsweep-node is one rank of a multi-process JSweep cluster: it
+// dials the launch's rendezvous service, joins the TCP transport mesh,
+// rebuilds the solve from the shared spec, and serves its rank's
+// patch-programs through the full source iteration. Every rank ends up
+// holding the identical converged flux (allgathered per sweep) and
+// prints its bit-pattern hash, so the launcher can certify cross-process
+// agreement.
+//
+// Normally spawned by `jsweep-run -backend tcp`, which passes the spec
+// and placement through JSWEEP_NODE_* environment variables. Manual use:
+//
+//	jsweep-node -rank 0 -join 127.0.0.1:7777 -cluster dev \
+//	    -spec '{"mesh":"kobayashi","n":16,"procs":4,"workers":2}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"jsweep/internal/nodespec"
+)
+
+func main() {
+	var (
+		rank    = flag.Int("rank", envInt(nodespec.EnvRank, -1), "this node's rank")
+		join    = flag.String("join", os.Getenv(nodespec.EnvRendezvous), "rendezvous host:port")
+		cluster = flag.String("cluster", os.Getenv(nodespec.EnvCluster), "cluster id")
+		specStr = flag.String("spec", os.Getenv(nodespec.EnvSpec), "solve spec JSON")
+		verify  = flag.Bool("verify", os.Getenv(nodespec.EnvVerify) == "1", "cross-check against the serial reference")
+		timeout = flag.Duration("timeout", 60*time.Second, "cluster bring-up timeout")
+	)
+	flag.Parse()
+
+	if *rank < 0 || *join == "" || *specStr == "" {
+		fmt.Fprintln(os.Stderr, "jsweep-node: -rank, -join and -spec are required (or the JSWEEP_NODE_* environment)")
+		os.Exit(2)
+	}
+	spec, err := nodespec.UnmarshalSpec(*specStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	_, err = nodespec.Run(spec, nodespec.NodeOptions{
+		Rank:       *rank,
+		Rendezvous: *join,
+		Cluster:    *cluster,
+		Timeout:    *timeout,
+		Verify:     *verify,
+		Log:        os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "jsweep-node rank %d: %v\n", *rank, err)
+		os.Exit(1)
+	}
+}
+
+func envInt(key string, def int) int {
+	v := os.Getenv(key)
+	if v == "" {
+		return def
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil {
+		return def
+	}
+	return n
+}

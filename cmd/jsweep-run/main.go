@@ -1,10 +1,19 @@
 // Command jsweep-run solves a discrete-ordinates transport problem with
-// the JSweep patch-centric data-driven solver on the host.
+// the JSweep patch-centric data-driven solver.
+//
+// Backends:
+//
+//	-backend mem   all ranks as goroutines of this process over the
+//	               in-memory transport (default);
+//	-backend tcp   launcher mode — spawn one jsweep-node OS process per
+//	               rank on this host, wired through a local rendezvous
+//	               over TCP-loopback, and certify that every rank
+//	               reports the identical flux bit pattern.
 //
 //	jsweep-run -mesh kobayashi -n 32 -sn 4 -procs 2 -workers 4
 //	jsweep-run -mesh ball -cells 20000 -groups 2 -prio SLBD+SLBD -coarse
-//	jsweep-run -mesh reactor -cells 15000 -verify
 //	jsweep-run -mesh cyclic -cells 2000 -verify   # cyclic sweep graphs, lagged
+//	jsweep-run -backend tcp -procs 4 -mesh kobayashi -n 16 -verify
 package main
 
 import (
@@ -13,10 +22,10 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"strings"
 	"time"
 
 	"jsweep"
+	"jsweep/internal/nodespec"
 )
 
 func main() {
@@ -28,15 +37,18 @@ func main() {
 		groups   = flag.Int("groups", 1, "energy groups (ball/reactor)")
 		scatter  = flag.Bool("scatter", false, "enable scattering (kobayashi)")
 		patch    = flag.Int("patch", 500, "cells per patch (ball/reactor); kobayashi uses n/4 blocks")
-		procs    = flag.Int("procs", 2, "simulated MPI processes")
+		procs    = flag.Int("procs", 2, "process ranks")
 		workers  = flag.Int("workers", runtime.NumCPU()/2, "workers per process")
 		grain    = flag.Int("grain", 64, "vertex clustering grain")
 		prio     = flag.String("prio", "SLBD+SLBD", "patch+vertex priority pair")
-		coarse   = flag.Bool("coarse", false, "use the coarsened graph across sweeps")
+		coarse   = flag.Bool("coarse", false, "use the coarsened graph across sweeps (mem backend)")
 		reuse    = flag.Bool("reuse", true, "reuse one runtime session (processes, workers, buffers) across sweeps")
-		seq      = flag.Bool("seq", false, "run on the sequential engine")
+		seq      = flag.Bool("seq", false, "run on the sequential engine (mem backend)")
 		verify   = flag.Bool("verify", false, "cross-check against the serial reference")
 		tol      = flag.Float64("tol", 1e-7, "source-iteration tolerance")
+
+		backend = flag.String("backend", "mem", "transport backend: mem (goroutines) | tcp (one OS process per rank)")
+		nodeBin = flag.String("node-bin", "", "jsweep-node binary for -backend tcp (default: next to this binary, then PATH)")
 
 		agg        = flag.Bool("agg", false, "aggregate remote streams into multi-stream frames")
 		aggStreams = flag.Int("agg-streams", 0, "max streams per batch (0 = default 64)")
@@ -46,95 +58,68 @@ func main() {
 	)
 	flag.Parse()
 
-	pair, err := parsePair(*prio)
+	spec := nodespec.Spec{
+		Mesh: *meshKind, N: *n, Cells: *cells, SnOrder: *snOrder,
+		Groups: *groups, Scatter: *scatter, Patch: *patch,
+		Procs: *procs, Workers: *workers, Grain: *grain, Prio: *prio,
+		ReuseOff: !*reuse, Sequential: *seq, Coarse: *coarse,
+		Agg: *agg, AggStreams: *aggStreams, AggBytes: *aggBytes,
+		AggShards: *aggShards, AggFlushMicro: int(aggFlush.Microseconds()),
+		Tol: *tol,
+	}
+
+	switch *backend {
+	case "tcp":
+		runLauncher(spec, *nodeBin, *verify)
+	case "mem", "":
+		runInProcess(spec, *verify)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown backend %q (mem|tcp)\n", *backend)
+		os.Exit(2)
+	}
+}
+
+// runLauncher is -backend tcp: one jsweep-node OS process per rank.
+func runLauncher(spec nodespec.Spec, nodeBin string, verify bool) {
+	var nodeCmd []string
+	if nodeBin != "" {
+		nodeCmd = []string{nodeBin}
+	}
+	fmt.Printf("launching %d jsweep-node processes (tcp backend, local rendezvous)\n", spec.Procs)
+	res, err := nodespec.LaunchLocal(nodespec.LaunchConfig{
+		Spec:        spec,
+		NodeCommand: nodeCmd,
+		Verify:      verify,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	var prob *jsweep.Problem
-	var d *jsweep.Decomposition
-	switch *meshKind {
-	case "kobayashi":
-		p, m, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{
-			N: *n, SnOrder: *snOrder, Scattering: *scatter, Scheme: jsweep.Diamond,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		b := *n / 4
-		if b < 1 {
-			b = 1
-		}
-		d, err = m.BlockDecompose(b, b, b)
-		if err != nil {
-			log.Fatal(err)
-		}
-		prob = p
-	case "ball", "reactor", "cyclic":
-		var m *jsweep.Unstructured
-		switch *meshKind {
-		case "ball":
-			m, err = jsweep.BallWithCells(*cells, 10.0)
-		case "reactor":
-			m, err = jsweep.ReactorWithCells(*cells, 1.0, 1.5)
-		default:
-			// Twisted rings: every sweep direction's dependency graph is
-			// cyclic; the solver lags flux on feedback edges.
-			m, err = jsweep.CyclicStackWithCells(*cells)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-		// The generators assign display zones; this CLI solves a uniform
-		// material, so flatten them.
-		m.SetMaterialFunc(func(jsweep.Vec3) int { return 0 })
-		quad, err := jsweep.NewQuadrature(*snOrder)
-		if err != nil {
-			log.Fatal(err)
-		}
-		prob = uniformProblem(m, quad, *groups)
-		if *meshKind == "cyclic" {
-			np := m.NumCells() / *patch
-			if np < 2 {
-				np = 2
-			}
-			d, err = jsweep.AzimuthalBlocks(m, np)
-		} else {
-			d, err = jsweep.PartitionByPatchSize(m, *patch, jsweep.GreedyGraph)
-		}
-		if err != nil {
-			log.Fatal(err)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown mesh kind %q\n", *meshKind)
-		os.Exit(2)
+	fmt.Printf("launch ok: %d ranks agree on flux %s (wall %.3fs)\n", spec.Procs, res.FluxHash, res.Wall.Seconds())
+	if verify {
+		fmt.Println("verify OK: rank 0 matched the serial reference")
 	}
+}
 
+// runInProcess is the classic single-OS-process solve (mem backend).
+func runInProcess(spec nodespec.Spec, verify bool) {
+	prob, d, err := nodespec.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts, err := nodespec.SolverOptions(spec, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("mesh=%s cells=%d patches=%d angles=%d groups=%d\n",
-		*meshKind, prob.M.NumCells(), d.NumPatches(), prob.Quad.NumAngles(), prob.Groups)
+		spec.Mesh, prob.M.NumCells(), d.NumPatches(), prob.Quad.NumAngles(), prob.Groups)
 
-	reuseMode := jsweep.ReuseOn
-	if !*reuse {
-		reuseMode = jsweep.ReuseOff
-	}
-	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{
-		Procs: *procs, Workers: *workers, Grain: *grain,
-		Pair: pair, UseCoarse: *coarse, Sequential: *seq,
-		ReuseRuntime: reuseMode,
-		Aggregation: jsweep.AggregationConfig{
-			Enabled:         *agg,
-			MaxBatchStreams: *aggStreams,
-			MaxBatchBytes:   *aggBytes,
-			FlushInterval:   *aggFlush,
-			Shards:          *aggShards,
-		},
-	})
+	s, err := jsweep.NewSolver(prob, d, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer s.Close()
 	t0 := time.Now()
-	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: *tol})
+	res, err := jsweep.Solve(prob, s, nodespec.IterConfig(spec))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,23 +132,23 @@ func main() {
 		fmt.Printf("cycle breaking: cellSCCs=%d patchSCCs=%d laggedEdges=%d (old-flux lagging active)\n",
 			st.CellSCCs, st.PatchSCCs, st.LaggedEdges)
 	}
-	if !*seq && *reuse {
+	if !spec.Sequential && !spec.ReuseOff {
 		cum := st.Cumulative
 		fmt.Printf("session: roundsRun=%d cycles=%d remoteStreams=%d workerBusy=%.3fs\n",
 			cum.RoundsRun, cum.Cycles, cum.RemoteStreams, cum.WorkerBusy.Seconds())
 	}
-	if *agg {
+	if spec.Agg {
 		r := st.Runtime
 		fmt.Printf("aggregation: remoteStreams=%d batches=%d streams/batch=%.1f deadlineFlushes=%d\n",
 			r.RemoteStreams, r.BatchesSent, r.StreamsPerBatch, r.FlushOnDeadline)
 	}
 
-	if *verify {
+	if verify {
 		ref, err := jsweep.NewReference(prob)
 		if err != nil {
 			log.Fatal(err)
 		}
-		want, err := jsweep.Solve(prob, ref, jsweep.IterConfig{Tolerance: *tol})
+		want, err := jsweep.Solve(prob, ref, nodespec.IterConfig(spec))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -182,54 +167,5 @@ func main() {
 		rep := prob.GroupBalance(res.Phi, g)
 		fmt.Printf("group %d: production=%.4g absorption=%.4g leakage=%.4g\n",
 			g, rep.Production, rep.Absorption, rep.Leakage)
-	}
-}
-
-func parsePair(s string) (jsweep.PriorityPair, error) {
-	parts := strings.Split(s, "+")
-	if len(parts) != 2 {
-		return jsweep.PriorityPair{}, fmt.Errorf("priority pair must be PATCH+VERTEX (got %q)", s)
-	}
-	parse := func(name string) (jsweep.PriorityStrategy, error) {
-		switch strings.ToUpper(name) {
-		case "BFS":
-			return jsweep.BFS, nil
-		case "LDCP":
-			return jsweep.LDCP, nil
-		case "SLBD":
-			return jsweep.SLBD, nil
-		}
-		return 0, fmt.Errorf("unknown strategy %q", name)
-	}
-	p, err := parse(parts[0])
-	if err != nil {
-		return jsweep.PriorityPair{}, err
-	}
-	v, err := parse(parts[1])
-	if err != nil {
-		return jsweep.PriorityPair{}, err
-	}
-	return jsweep.PriorityPair{Patch: p, Vertex: v}, nil
-}
-
-func uniformProblem(m jsweep.Mesh, quad *jsweep.QuadratureSet, groups int) *jsweep.Problem {
-	sigT := make([]float64, groups)
-	src := make([]float64, groups)
-	scat := make([][]float64, groups)
-	for g := 0; g < groups; g++ {
-		sigT[g] = 0.4 + 0.2*float64(g)
-		scat[g] = make([]float64, groups)
-		scat[g][g] = 0.1
-		if g+1 < groups {
-			scat[g][g+1] = 0.05
-		}
-	}
-	src[0] = 1.0
-	return &jsweep.Problem{
-		M:      m,
-		Mats:   []jsweep.Material{{Name: "uniform", SigmaT: sigT, SigmaS: scat, Source: src}},
-		Quad:   quad,
-		Groups: groups,
-		Scheme: jsweep.Step,
 	}
 }

@@ -20,6 +20,7 @@ var examples = map[string][]string{
 	"ball_unstructured": {"-cells", "600", "-patch", "150", "-grain", "16"},
 	"cluster_sim":       {"-cells", "4000", "-patch", "200", "-angles", "8"},
 	"cyclic":            {"-cells", "300", "-patches", "4"},
+	"multiprocess":      {"-n", "8", "-ranks", "3"},
 	"particle_trace":    {"-particles", "200", "-path", "4", "-cells", "600"},
 }
 

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/netcomm"
+	"jsweep/internal/nodespec"
+)
+
+// NetBackend compares the in-memory transport against the TCP backend
+// on the same Kobayashi solve, aggregation off and on: per-iteration
+// wall time, transport messages, TCP frames and bytes actually on the
+// wire. The TCP rows run the full netcomm stack (rendezvous, peer mesh,
+// framing, write coalescing) over loopback with one solver node per
+// rank — the same code path jsweep-node uses, minus process isolation —
+// and every backend/aggregation combination must land on the identical
+// flux bit pattern.
+func NetBackend(f Fidelity, w io.Writer) ([]Point, error) {
+	spec := nodespec.Spec{
+		Mesh: "kobayashi", N: 16, SnOrder: 2, Scatter: true,
+		Procs: 4, Workers: 2, Grain: 64, Tol: 1e-7,
+	}
+	switch f {
+	case Standard:
+		spec.SnOrder = 4
+	case Paper:
+		spec.N = 24
+		spec.SnOrder = 4
+	}
+	fmt.Fprintf(w, "Transport backends (%s): Kobayashi-%d S%d, %d ranks × %d workers\n",
+		f, spec.N, spec.SnOrder, spec.Procs, spec.Workers)
+	fmt.Fprintf(w, "  %-12s %6s %10s %12s %10s %12s %12s %10s\n",
+		"backend", "agg", "iters", "s/iter", "messages", "bytes", "wire-frames", "wire-KB")
+
+	var pts []Point
+	hashes := map[string]string{}
+	for _, backend := range []string{"mem", "tcp"} {
+		for _, agg := range []bool{false, true} {
+			s := spec
+			s.Agg = agg
+			var res *nodespec.NodeResult
+			var err error
+			if backend == "mem" {
+				res, err = runMemSolve(s)
+			} else {
+				res, err = runTCPSolve(s)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s agg=%v: %w", backend, agg, err)
+			}
+			iters := res.Result.Iterations
+			perIter := res.Wall.Seconds() / float64(iters)
+			cs := res.Cluster
+			fmt.Fprintf(w, "  %-12s %6v %10d %12.5f %10d %12d %12d %10.1f\n",
+				backend, agg, iters, perIter, cs.Messages, cs.BytesSent, cs.Frames, float64(cs.WireBytes)/1024)
+			series := fmt.Sprintf("%s-agg-%v", backend, agg)
+			pts = append(pts,
+				Point{Series: series + "-s-per-iter", X: float64(spec.Procs), Value: perIter},
+				Point{Series: series + "-messages", X: float64(spec.Procs), Value: float64(cs.Messages)},
+				Point{Series: series + "-bytes", X: float64(spec.Procs), Value: float64(cs.BytesSent)},
+				Point{Series: series + "-wire-frames", X: float64(spec.Procs), Value: float64(cs.Frames)},
+				Point{Series: series + "-wire-bytes", X: float64(spec.Procs), Value: float64(cs.WireBytes)},
+			)
+			hashes[series] = res.FluxHash
+			if agg && cs.Messages >= cs.RemoteStreams && cs.RemoteStreams > 0 {
+				return nil, fmt.Errorf("bench: %s: aggregation not coalescing (%d messages for %d streams)",
+					backend, cs.Messages, cs.RemoteStreams)
+			}
+		}
+	}
+	// Cross-backend bitwise agreement: the whole point of the pluggable
+	// transport is that the backend never changes the answer.
+	first := ""
+	for series, h := range hashes {
+		if first == "" {
+			first = h
+		} else if h != first {
+			return nil, fmt.Errorf("bench: flux hash of %s diverged (%s vs %s)", series, h, first)
+		}
+	}
+	fmt.Fprintf(w, "  flux bit pattern identical across all four runs (%s)\n", first)
+	return pts, nil
+}
+
+// runMemSolve solves over the in-memory transport (all ranks in this
+// process).
+func runMemSolve(spec nodespec.Spec) (*nodespec.NodeResult, error) {
+	tr, err := comm.NewTransport(spec.Procs)
+	if err != nil {
+		return nil, err
+	}
+	defer tr.Close()
+	return nodespec.RunOn(spec, tr, nodespec.NodeOptions{Rank: 0})
+}
+
+// runTCPSolve solves over the TCP backend: one transport and solver per
+// rank, connected through a loopback rendezvous.
+func runTCPSolve(spec nodespec.Spec) (*nodespec.NodeResult, error) {
+	cluster := fmt.Sprintf("bench-net-%d", time.Now().UnixNano())
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, spec.Procs)
+	if err != nil {
+		return nil, err
+	}
+	defer rz.Close()
+	results := make([]*nodespec.NodeResult, spec.Procs)
+	errs := make([]error, spec.Procs)
+	var wg sync.WaitGroup
+	for r := 0; r < spec.Procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := netcomm.Join(netcomm.Options{
+				Cluster: cluster, Rank: r, World: spec.Procs, Rendezvous: rz.Addr(),
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], errs[r] = nodespec.RunOn(spec, tr, nodespec.NodeOptions{Rank: r})
+			if errs[r] != nil {
+				tr.Abort() // unblock peers waiting on this rank
+			}
+			tr.Close()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	for r := 1; r < spec.Procs; r++ {
+		if results[r].FluxHash != results[0].FluxHash {
+			return nil, fmt.Errorf("rank %d flux hash %s != rank 0 %s", r, results[r].FluxHash, results[0].FluxHash)
+		}
+	}
+	return results[0], nil
+}

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"io"
+	"testing"
+)
+
+// TestNetBackendQuick runs the transport-backend comparison at quick
+// fidelity: both backends must solve, aggregation must coalesce on both,
+// and the flux bit pattern must be identical across all four runs (the
+// experiment itself enforces these and errors otherwise).
+func TestNetBackendQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-transport solve skipped in -short mode")
+	}
+	pts, err := NetBackend(Quick, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := map[string]float64{}
+	for _, p := range pts {
+		series[p.Series] = p.Value
+	}
+	if series["tcp-agg-false-wire-frames"] == 0 || series["tcp-agg-true-wire-frames"] == 0 {
+		t.Fatalf("TCP rows recorded no wire frames: %v", series)
+	}
+	if series["tcp-agg-true-wire-frames"] >= series["tcp-agg-false-wire-frames"] {
+		t.Fatalf("aggregation did not reduce wire frames: %.0f vs %.0f",
+			series["tcp-agg-true-wire-frames"], series["tcp-agg-false-wire-frames"])
+	}
+	if series["mem-agg-false-wire-frames"] != 0 {
+		t.Fatalf("in-memory backend reported wire frames: %v", series["mem-agg-false-wire-frames"])
+	}
+}

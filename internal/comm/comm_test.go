@@ -77,18 +77,18 @@ func TestCounters(t *testing.T) {
 	}
 }
 
-func TestBlockingRecv(t *testing.T) {
+func TestBlockingRecvOOB(t *testing.T) {
 	tr, _ := NewTransport(2)
 	a, b := tr.Endpoint(0), tr.Endpoint(1)
 	done := make(chan struct{})
 	go func() {
-		m, ok := b.Recv()
-		if !ok || m.Data[0] != 7 {
-			t.Error("blocking recv got wrong message")
+		m, err := b.RecvOOB()
+		if err != nil || m.Data[0] != 7 {
+			t.Errorf("blocking RecvOOB got %v, %v", m, err)
 		}
 		close(done)
 	}()
-	_ = a.Send(1, []byte{7})
+	_ = a.SendOOB(1, []byte{7})
 	<-done
 }
 
@@ -131,7 +131,14 @@ func TestConcurrentStress(t *testing.T) {
 		e := tr.Endpoint(senders)
 		lastSeen := make(map[int]int)
 		for n := 0; n < senders*msgs; n++ {
-			m, _ := e.Recv()
+			var m Message
+			for {
+				var ok bool
+				if m, ok = e.TryRecv(); ok {
+					break
+				}
+				<-e.Notify()
+			}
 			id := int(m.Data[1]) | int(m.Data[2])<<8
 			if last, ok := lastSeen[m.From]; ok && id != last+1 {
 				t.Errorf("sender %d: got %d after %d (order broken)", m.From, id, last)

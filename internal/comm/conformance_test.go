@@ -1,0 +1,29 @@
+package comm_test
+
+import (
+	"testing"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/commtest"
+)
+
+func memBackend() commtest.Backend {
+	return commtest.Backend{
+		Name: "mem",
+		New: func(t testing.TB, n int) ([]comm.Endpoint, func() error) {
+			tr, err := comm.NewTransport(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eps := make([]comm.Endpoint, n)
+			for r := 0; r < n; r++ {
+				eps[r] = tr.Endpoint(r)
+			}
+			return eps, tr.Close
+		},
+	}
+}
+
+func TestMemConformance(t *testing.T) { commtest.RunConformance(t, memBackend()) }
+
+func TestMemStress(t *testing.T) { commtest.RunStress(t, memBackend()) }

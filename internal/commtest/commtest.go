@@ -1,0 +1,462 @@
+// Package commtest is the backend-conformance suite for the comm
+// transport contract: one shared table of tests exercised against every
+// backend (the in-memory MemTransport and the TCP netcomm backend), so
+// the contract the runtime depends on — ordered pairwise delivery, sends
+// that never deadlock, lane isolation, close/drain semantics, correct
+// collectives — is pinned in one place.
+package commtest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jsweep/internal/comm"
+)
+
+// Backend names a transport implementation under test.
+type Backend struct {
+	// Name labels the subtests.
+	Name string
+	// New builds an n-rank world and returns one endpoint per rank plus a
+	// closer tearing the whole world down (all transports). New must
+	// register its own cleanup for auxiliary resources (listeners etc.).
+	New func(t testing.TB, n int) (eps []comm.Endpoint, closeAll func() error)
+}
+
+// RunConformance runs the full transport-contract table against a backend.
+func RunConformance(t *testing.T, b Backend) {
+	t.Run("PairwiseOrder", func(t *testing.T) { testPairwiseOrder(t, b) })
+	t.Run("NoSendDeadlock", func(t *testing.T) { testNoSendDeadlock(t, b) })
+	t.Run("SelfSend", func(t *testing.T) { testSelfSend(t, b) })
+	t.Run("LaneIsolation", func(t *testing.T) { testLaneIsolation(t, b) })
+	t.Run("CloseDrain", func(t *testing.T) { testCloseDrain(t, b) })
+	t.Run("Counters", func(t *testing.T) { testCounters(t, b) })
+	t.Run("NotifyToken", func(t *testing.T) { testNotify(t, b) })
+	t.Run("Collective", func(t *testing.T) { testCollective(t, b) })
+	t.Run("ConcurrentRanks", func(t *testing.T) { testConcurrentRanks(t, b, 4, 200) })
+}
+
+// RunStress runs the heavier race-detector stress cases (skipped with
+// -short): many ranks, both lanes, interleaved collectives.
+func RunStress(t *testing.T, b Backend) {
+	if testing.Short() {
+		t.Skip("stress run skipped in -short mode")
+	}
+	t.Run("ConcurrentRanksLarge", func(t *testing.T) { testConcurrentRanks(t, b, 6, 1500) })
+	t.Run("CollectiveStorm", func(t *testing.T) { testCollectiveStorm(t, b) })
+}
+
+// recvN drains n data-lane messages from ep, blocking via Notify.
+func recvN(t testing.TB, ep comm.Endpoint, n int) []comm.Message {
+	t.Helper()
+	out := make([]comm.Message, 0, n)
+	deadline := time.After(30 * time.Second)
+	for len(out) < n {
+		if m, ok := ep.TryRecv(); ok {
+			out = append(out, m)
+			continue
+		}
+		select {
+		case <-ep.Notify():
+		case <-time.After(200 * time.Microsecond):
+		case <-deadline:
+			t.Fatalf("timed out after %d of %d messages", len(out), n)
+		}
+	}
+	return out
+}
+
+func seqMsg(from, i int) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint32(buf, uint32(from))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(i))
+	return buf
+}
+
+func testPairwiseOrder(t *testing.T, b Backend) {
+	eps, closeAll := b.New(t, 3)
+	defer closeAll()
+	const n = 400
+	var wg sync.WaitGroup
+	for _, src := range []int{0, 2} {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := eps[src].Send(1, seqMsg(src, i)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(src)
+	}
+	msgs := recvN(t, eps[1], 2*n)
+	wg.Wait()
+	next := map[int]uint64{}
+	for _, m := range msgs {
+		if len(m.Data) != 12 {
+			t.Fatalf("message length %d", len(m.Data))
+		}
+		from := int(binary.LittleEndian.Uint32(m.Data))
+		if from != m.From {
+			t.Fatalf("message From=%d but payload says %d", m.From, from)
+		}
+		id := binary.LittleEndian.Uint64(m.Data[4:])
+		if id != next[from] {
+			t.Fatalf("rank %d: got message %d, want %d (pairwise order broken)", from, id, next[from])
+		}
+		next[from]++
+	}
+	for _, src := range []int{0, 2} {
+		if next[src] != n {
+			t.Errorf("rank %d delivered %d of %d", src, next[src], n)
+		}
+	}
+}
+
+func testNoSendDeadlock(t *testing.T, b Backend) {
+	eps, closeAll := b.New(t, 2)
+	defer closeAll()
+	// Nobody receives until every send returned: unbounded inboxes mean no
+	// send may block against a busy receiver.
+	const n = 5000
+	done := make(chan error, 1)
+	go func() {
+		payload := bytes.Repeat([]byte{0xAB}, 64)
+		for i := 0; i < n; i++ {
+			if err := eps[0].Send(1, payload); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sends blocked against a busy receiver")
+	}
+	if got := len(recvN(t, eps[1], n)); got != n {
+		t.Fatalf("received %d of %d", got, n)
+	}
+}
+
+func testSelfSend(t *testing.T, b Backend) {
+	eps, closeAll := b.New(t, 2)
+	defer closeAll()
+	if err := eps[1].Send(1, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	m := recvN(t, eps[1], 1)[0]
+	if m.From != 1 || m.Data[0] != 42 {
+		t.Fatalf("self-send: from=%d data=%v", m.From, m.Data)
+	}
+}
+
+func testLaneIsolation(t *testing.T, b Backend) {
+	eps, closeAll := b.New(t, 2)
+	defer closeAll()
+	// A data message queued ahead of an OOB message must not be consumed
+	// (or block) an OOB receive, and vice versa.
+	if err := eps[0].Send(1, []byte("data1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].SendOOB(1, []byte("oob1")); err != nil {
+		t.Fatal(err)
+	}
+	m, err := eps[1].RecvOOB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m.Data) != "oob1" || m.From != 0 {
+		t.Fatalf("RecvOOB got %q from %d", m.Data, m.From)
+	}
+	d := recvN(t, eps[1], 1)[0]
+	if string(d.Data) != "data1" {
+		t.Fatalf("data lane got %q", d.Data)
+	}
+}
+
+func testCloseDrain(t *testing.T, b Backend) {
+	eps, closeAll := b.New(t, 2)
+	if err := eps[0].Err(); err != nil {
+		t.Fatalf("healthy endpoint reports terminal state %v", err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := eps[0].Send(1, seqMsg(0, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eps[0].SendOOB(1, []byte("last")); err != nil {
+		t.Fatal(err)
+	}
+	// Unblock a receiver parked in RecvOOB across the close.
+	type oobRes struct {
+		m   comm.Message
+		err error
+	}
+	first := make(chan oobRes, 1)
+	go func() {
+		m, err := eps[1].RecvOOB()
+		first <- oobRes{m, err}
+	}()
+	r := <-first
+	if r.err != nil || string(r.m.Data) != "last" {
+		t.Fatalf("pre-close RecvOOB = %v, %v", r.m, r.err)
+	}
+	blocked := make(chan oobRes, 1)
+	go func() {
+		m, err := eps[1].RecvOOB()
+		blocked <- oobRes{m, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := closeAll(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	select {
+	case r := <-blocked:
+		if r.err == nil {
+			t.Fatalf("RecvOOB after close returned message %v, want error", r.m)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RecvOOB still blocked after close")
+	}
+	// Delivered data-lane messages drain after close...
+	got := 0
+	deadline := time.Now().Add(10 * time.Second)
+	for got < n && time.Now().Before(deadline) {
+		if _, ok := eps[1].TryRecv(); ok {
+			got++
+		} else {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if got != n {
+		t.Fatalf("drained %d of %d messages after close", got, n)
+	}
+	// ...and sends error out instead of racing the teardown.
+	if err := eps[0].Send(1, []byte{1}); err == nil {
+		t.Error("Send after close succeeded")
+	}
+	if err := eps[1].SendOOB(0, []byte{1}); err == nil {
+		t.Error("SendOOB after close succeeded")
+	}
+	// Err exposes the terminal state to receivers that only ever wait.
+	for r, ep := range eps {
+		if ep.Err() == nil {
+			t.Errorf("endpoint %d reports healthy after close", r)
+		}
+	}
+}
+
+func testCounters(t *testing.T, b Backend) {
+	eps, closeAll := b.New(t, 2)
+	defer closeAll()
+	if err := eps[0].Send(1, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[0].Send(1, make([]byte, 50)); err != nil {
+		t.Fatal(err)
+	}
+	recvN(t, eps[1], 2)
+	sent, _, out, _ := eps[0].Counters()
+	if sent != 2 || out != 150 {
+		t.Errorf("sender counters: sent=%d bytesOut=%d, want 2, 150", sent, out)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, recv, _, in := eps[1].Counters()
+		if recv == 2 && in == 150 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("receiver counters: recv=%d bytesIn=%d, want 2, 150", recv, in)
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func testNotify(t *testing.T, b Backend) {
+	eps, closeAll := b.New(t, 2)
+	defer closeAll()
+	if err := eps[0].Send(1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-eps[1].Notify():
+	case <-time.After(10 * time.Second):
+		t.Fatal("no notify token after send")
+	}
+	if len(recvN(t, eps[1], 1)) != 1 {
+		t.Fatal("message missing")
+	}
+}
+
+func testCollective(t *testing.T, b Backend) {
+	const n, rounds = 4, 5
+	eps, closeAll := b.New(t, n)
+	defer closeAll()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			coll := comm.NewCollective(eps[r], n)
+			for k := 0; k < rounds; k++ {
+				payload := []byte(fmt.Sprintf("r%d.k%d", r, k))
+				got, err := coll.AllExchange(payload)
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				for src := 0; src < n; src++ {
+					want := fmt.Sprintf("r%d.k%d", src, k)
+					if string(got[src]) != want {
+						errs[r] = fmt.Errorf("rank %d round %d: slot %d = %q, want %q",
+							r, k, src, got[src], want)
+						return
+					}
+				}
+			}
+			errs[r] = coll.Barrier()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// testConcurrentRanks is the all-to-all stress: every rank sends msgs
+// messages to every other rank on the data lane while collectives run on
+// the OOB lane, then all counts and pairwise orders must check out.
+func testConcurrentRanks(t *testing.T, b Backend, n, msgs int) {
+	eps, closeAll := b.New(t, n)
+	defer closeAll()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < msgs; i++ {
+				for to := 0; to < n; to++ {
+					if to == r {
+						continue
+					}
+					if err := eps[r].Send(to, seqMsg(r, i)); err != nil {
+						errs[r] = err
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	recvErrs := make([]error, n)
+	var rwg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			next := make([]uint64, n)
+			total := (n - 1) * msgs
+			for k := 0; k < total; k++ {
+				var m comm.Message
+				for {
+					var ok bool
+					if m, ok = eps[r].TryRecv(); ok {
+						break
+					}
+					select {
+					case <-eps[r].Notify():
+					case <-time.After(100 * time.Microsecond):
+					}
+				}
+				id := binary.LittleEndian.Uint64(m.Data[4:])
+				if id != next[m.From] {
+					recvErrs[r] = fmt.Errorf("rank %d: from %d got %d want %d", r, m.From, id, next[m.From])
+					return
+				}
+				next[m.From]++
+			}
+		}(r)
+	}
+	wg.Wait()
+	rwg.Wait()
+	for r := 0; r < n; r++ {
+		if errs[r] != nil {
+			t.Errorf("sender %d: %v", r, errs[r])
+		}
+		if recvErrs[r] != nil {
+			t.Errorf("receiver %d: %v", r, recvErrs[r])
+		}
+	}
+}
+
+// testCollectiveStorm interleaves data-lane floods with many collectives
+// to shake out lane or ordering races under the race detector.
+func testCollectiveStorm(t *testing.T, b Backend) {
+	const n, rounds = 4, 40
+	eps, closeAll := b.New(t, n)
+	defer closeAll()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			coll := comm.NewCollective(eps[r], n)
+			for k := 0; k < rounds; k++ {
+				for to := 0; to < n; to++ {
+					if to != r {
+						if err := eps[r].Send(to, seqMsg(r, k)); err != nil {
+							errs[r] = err
+							return
+						}
+					}
+				}
+				got, err := coll.AllExchange(seqMsg(r, k))
+				if err != nil {
+					errs[r] = err
+					return
+				}
+				for src := 0; src < n; src++ {
+					if id := binary.LittleEndian.Uint64(got[src][4:]); id != uint64(k) {
+						errs[r] = fmt.Errorf("rank %d: collective round %d slot %d carries %d", r, k, src, id)
+						return
+					}
+				}
+				// Drain this round's data-lane messages.
+				for k := 0; k < n-1; k++ {
+					for {
+						if _, ok := eps[r].TryRecv(); ok {
+							break
+						}
+						select {
+						case <-eps[r].Notify():
+						case <-time.After(100 * time.Microsecond):
+						}
+					}
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Errorf("rank %d: %v", r, err)
+		}
+	}
+}

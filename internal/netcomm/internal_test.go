@@ -1,0 +1,302 @@
+package netcomm
+
+// White-box tests of the failure paths the black-box cluster tests
+// cannot reach: corrupt frames on an established connection, refused
+// peer handshakes during mesh bring-up, and a rendezvous speaking the
+// wrong protocol.
+
+import (
+	"encoding/binary"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeTransport builds a minimal 2-rank transport whose single peer
+// connection is one end of a net.Pipe, so a test can inject arbitrary
+// bytes into the read loop.
+func pipeTransport(t *testing.T) (*Transport, net.Conn) {
+	t.Helper()
+	server, client := net.Pipe()
+	tr := &Transport{rank: 0, world: 2, peers: make([]*peer, 2), closeTimeout: 200 * time.Millisecond}
+	tr.ep = &Endpoint{t: tr, notify: make(chan struct{}, 1)}
+	tr.ep.oobCond = sync.NewCond(&tr.ep.mu)
+	p := &peer{rank: 1, conn: server, wdone: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	tr.peers[1] = p
+	tr.readWG.Add(1)
+	go tr.readLoop(p)
+	go tr.writeLoop(p)
+	t.Cleanup(func() {
+		client.Close()
+		tr.Close()
+	})
+	return tr, client
+}
+
+func awaitFailure(t *testing.T, tr *Transport) error {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := tr.aliveErr(); err != nil {
+			return err
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("transport never failed")
+	return nil
+}
+
+func TestReadLoopRejectsCorruptFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		feed func(c net.Conn)
+		want string
+	}{
+		{"bad magic", func(c net.Conn) {
+			c.Write([]byte{0, 0, Version, KindData, 0, 0, 0, 0})
+		}, "bad magic"},
+		{"version mismatch", func(c net.Conn) {
+			h := AppendHeader(nil, KindData, 0)
+			h[2] = Version + 3
+			c.Write(h)
+		}, "unsupported wire version"},
+		{"handshake kind mid-stream", func(c net.Conn) {
+			c.Write(AppendHeader(nil, KindJoin, 0))
+		}, "unexpected join frame"},
+		{"oversized length", func(c net.Conn) {
+			h := AppendHeader(nil, KindData, 0)
+			binary.LittleEndian.PutUint32(h[4:], MaxFrameBytes+7)
+			c.Write(h)
+		}, "exceeds cap"},
+		{"truncated payload", func(c net.Conn) {
+			c.Write(AppendHeader(nil, KindData, 100))
+			c.Write([]byte{1, 2, 3})
+			c.Close()
+		}, "payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, client := pipeTransport(t)
+			go tc.feed(client)
+			err := awaitFailure(t, tr)
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("failure %q does not mention %q", err, tc.want)
+			}
+			// Fail-fast: subsequent operations surface the same error.
+			if serr := tr.ep.Send(1, []byte{1}); serr == nil {
+				t.Fatal("send succeeded on failed transport")
+			}
+		})
+	}
+}
+
+func TestEndpointAccessors(t *testing.T) {
+	tr, client := pipeTransport(t)
+	if tr.NumRanks() != 2 || tr.Rank() != 0 {
+		t.Fatalf("NumRanks/Rank = %d/%d", tr.NumRanks(), tr.Rank())
+	}
+	if lr := tr.LocalRanks(); len(lr) != 1 || lr[0] != 0 {
+		t.Fatalf("LocalRanks = %v", lr)
+	}
+	if tr.Endpoint(1) != nil {
+		t.Fatal("remote endpoint not nil")
+	}
+	if tr.ep.Pending() != 0 {
+		t.Fatal("fresh endpoint has pending messages")
+	}
+	// A valid frame flows into the inbox and Pending sees it.
+	frame := AppendHeader(nil, KindData, 3)
+	frame = append(frame, 1, 2, 3)
+	go client.Write(frame)
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.ep.Pending() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if tr.ep.Pending() != 1 {
+		t.Fatalf("Pending = %d", tr.ep.Pending())
+	}
+	if err := tr.ep.Send(5, nil); err == nil {
+		t.Fatal("send to out-of-range rank succeeded")
+	}
+	for _, k := range []byte{KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye, 0x77} {
+		if kindName(k) == "" {
+			t.Fatal("empty kind name")
+		}
+	}
+}
+
+func TestRendezvousWaitTimeout(t *testing.T) {
+	rz, err := StartRendezvous("127.0.0.1:0", "nobody-joins", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rz.Wait(50 * time.Millisecond); err == nil {
+		t.Fatal("Wait returned nil with no ranks joined")
+	}
+}
+
+// TestBuildMeshAcceptRefusals drives the accept side of the mesh
+// bring-up directly: garbage, wrong kinds and wrong targets are refused
+// without aborting, and a subsequent valid handshake still lands.
+func TestBuildMeshAcceptRefusals(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	o := Options{Cluster: "mesh", Rank: 0, World: 2}
+	deadline := time.Now().Add(20 * time.Second)
+	done := make(chan error, 1)
+	var conns []net.Conn
+	go func() {
+		cs, err := buildMesh(o, ln, []string{"", ""}, deadline)
+		conns = cs
+		done <- err
+	}()
+
+	dial := func() net.Conn {
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	expectRefusal := func(c net.Conn, detail string) {
+		t.Helper()
+		kind, payload, err := readUnit(c)
+		if err != nil {
+			t.Fatalf("no refusal ack: %v", err)
+		}
+		if kind != KindAck {
+			t.Fatalf("got %s, want refusal ack", kindName(kind))
+		}
+		a, err := ParseAck(payload)
+		if err != nil || a.OK {
+			t.Fatalf("ack = %+v, %v", a, err)
+		}
+		if detail != "" && !strings.Contains(a.Detail, detail) {
+			t.Fatalf("refusal %q does not mention %q", a.Detail, detail)
+		}
+		c.Close()
+	}
+
+	// Garbage bytes.
+	c := dial()
+	c.Write([]byte{9, 9, 9, 9, 9, 9, 9, 9})
+	expectRefusal(c, "bad peer unit")
+	// A join where a peer handshake belongs.
+	c = dial()
+	sendUnit(c, KindJoin, AppendJoin(nil, JoinRequest{Rank: 1, World: 2, Cluster: "mesh", Addr: "x"}))
+	expectRefusal(c, "expected peer handshake")
+	// Wrong cluster.
+	c = dial()
+	sendUnit(c, KindPeer, AppendPeer(nil, Peer{From: 1, To: 0, World: 2, Cluster: "other"}))
+	expectRefusal(c, "wrong cluster")
+	// Wrong target rank.
+	c = dial()
+	sendUnit(c, KindPeer, AppendPeer(nil, Peer{From: 1, To: 1, World: 2, Cluster: "mesh"}))
+	expectRefusal(c, "targets rank")
+	// Wrong world.
+	c = dial()
+	sendUnit(c, KindPeer, AppendPeer(nil, Peer{From: 1, To: 0, World: 3, Cluster: "mesh"}))
+	expectRefusal(c, "world")
+	// Dialer rank out of range (<= acceptor).
+	c = dial()
+	sendUnit(c, KindPeer, AppendPeer(nil, Peer{From: 0, To: 0, World: 2, Cluster: "mesh"}))
+	expectRefusal(c, "unexpected dialer rank")
+
+	// Finally a valid handshake completes the mesh.
+	c = dial()
+	sendUnit(c, KindPeer, AppendPeer(nil, Peer{From: 1, To: 0, World: 2, Cluster: "mesh"}))
+	kind, payload, err := readUnit(c)
+	if err != nil || kind != KindAck {
+		t.Fatalf("valid handshake: %v %v", kindName(kind), err)
+	}
+	if a, _ := ParseAck(payload); !a.OK {
+		t.Fatalf("valid handshake refused: %+v", a)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("buildMesh: %v", err)
+	}
+	c.Close()
+	for _, pc := range conns {
+		if pc != nil {
+			pc.Close()
+		}
+	}
+}
+
+// TestBuildMeshDialRefused covers the dial side: the peer answers the
+// handshake with a refusal and buildMesh aborts with its detail.
+func TestBuildMeshDialRefused(t *testing.T) {
+	peerLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peerLn.Close()
+	go func() {
+		c, err := peerLn.Accept()
+		if err != nil {
+			return
+		}
+		readUnit(c)
+		sendUnit(c, KindAck, AppendAck(nil, Ack{OK: false, Detail: "not today"}))
+		c.Close()
+	}()
+	myLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer myLn.Close()
+	o := Options{Cluster: "mesh", Rank: 1, World: 2}
+	_, err = buildMesh(o, myLn, []string{peerLn.Addr().String(), ""}, time.Now().Add(10*time.Second))
+	if err == nil || !strings.Contains(err.Error(), "not today") {
+		t.Fatalf("dial refusal not surfaced: %v", err)
+	}
+}
+
+// TestRegisterProtocolErrors covers a rendezvous answering the join with
+// the wrong kind or a malformed peer list.
+func TestRegisterProtocolErrors(t *testing.T) {
+	serve := func(t *testing.T, reply func(c net.Conn)) string {
+		t.Helper()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go func() {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			readUnit(c)
+			reply(c)
+			c.Close()
+		}()
+		return ln.Addr().String()
+	}
+	o := Options{Cluster: "c", Rank: 0, World: 2, Timeout: 10 * time.Second}
+	deadline := time.Now().Add(10 * time.Second)
+
+	addr := serve(t, func(c net.Conn) { sendUnit(c, KindData, []byte("?")) })
+	o.Rendezvous = addr
+	if _, err := register(o, "x", deadline); err == nil || !strings.Contains(err.Error(), "answered with data") {
+		t.Fatalf("wrong-kind answer: %v", err)
+	}
+
+	addr = serve(t, func(c net.Conn) { sendUnit(c, KindPeers, AppendPeers(nil, Peers{Addrs: []string{"only-one"}})) })
+	o.Rendezvous = addr
+	if _, err := register(o, "x", deadline); err == nil || !strings.Contains(err.Error(), "want 2") {
+		t.Fatalf("short peer list: %v", err)
+	}
+
+	addr = serve(t, func(c net.Conn) { sendUnit(c, KindAck, AppendAck(nil, Ack{OK: false, Detail: "go away"})) })
+	o.Rendezvous = addr
+	if _, err := register(o, "x", deadline); err == nil || !strings.Contains(err.Error(), "go away") {
+		t.Fatalf("refusal detail lost: %v", err)
+	}
+}

@@ -1,0 +1,460 @@
+// Package netcomm is the TCP backend of the comm transport contract: one
+// OS process per rank, length-prefixed versioned frames (wire.go) over
+// one persistent connection per peer pair. Ranks find each other through
+// a rendezvous service (rendezvous.go), establish a full mesh, and then
+// exchange comm messages with the same semantics the in-memory backend
+// provides — ordered pairwise delivery per lane, non-blocking sends,
+// unbounded inboxes — so the patch-centric runtime runs across OS
+// process boundaries unchanged.
+//
+// Failure semantics are reconnect-free and fail-fast: the first
+// connection error poisons the transport, subsequent sends return it,
+// and blocked receivers drain then surface it. Close is clean: pending
+// writes drain and flush, the write side half-closes, and readers run to
+// the peer's EOF so no in-flight frame is lost at shutdown.
+package netcomm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jsweep/internal/comm"
+)
+
+// WireStats counts the frames and bytes this transport put on and took
+// off the wire (headers included). Payload-level counters live on the
+// endpoint (comm.Endpoint.Counters), so the difference is the framing
+// overhead.
+type WireStats struct {
+	FramesSent, FramesReceived int64
+	BytesOut, BytesIn          int64
+}
+
+// Transport is a single rank's attachment to a TCP cluster.
+type Transport struct {
+	cluster string
+	rank    int
+	world   int
+
+	ep    *Endpoint
+	peers []*peer // indexed by rank; nil at the local rank
+
+	closeTimeout time.Duration
+
+	stateMu sync.Mutex
+	closed  bool
+	failure error
+	closing sync.Once
+
+	readWG sync.WaitGroup
+
+	framesSent atomic.Int64
+	framesRecv atomic.Int64
+	wireOut    atomic.Int64
+	wireIn     atomic.Int64
+}
+
+// peer is one remote rank's persistent connection with its write queue.
+type peer struct {
+	rank int
+	conn net.Conn
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	outq    [][]byte
+	closing bool
+	wdone   chan struct{}
+}
+
+// Cluster returns the launch-scoped cluster id this transport joined.
+func (t *Transport) Cluster() string { return t.cluster }
+
+// NumRanks returns the cluster's world size.
+func (t *Transport) NumRanks() int { return t.world }
+
+// Rank returns the locally hosted rank.
+func (t *Transport) Rank() int { return t.rank }
+
+// LocalRanks returns the single locally hosted rank.
+func (t *Transport) LocalRanks() []int { return []int{t.rank} }
+
+// Endpoint returns the local rank's endpoint, nil for any other rank.
+func (t *Transport) Endpoint(rank int) comm.Endpoint {
+	if rank != t.rank {
+		return nil
+	}
+	return t.ep
+}
+
+// WireStats returns the frame/byte totals this transport has put on and
+// taken off the wire.
+func (t *Transport) WireStats() WireStats {
+	return WireStats{
+		FramesSent:     t.framesSent.Load(),
+		FramesReceived: t.framesRecv.Load(),
+		BytesOut:       t.wireOut.Load(),
+		BytesIn:        t.wireIn.Load(),
+	}
+}
+
+// aliveErr returns the transport's terminal state: its first failure, or
+// ErrClosed after Close, or nil while healthy.
+func (t *Transport) aliveErr() error {
+	t.stateMu.Lock()
+	defer t.stateMu.Unlock()
+	if t.failure != nil {
+		return t.failure
+	}
+	if t.closed {
+		return comm.ErrClosed
+	}
+	return nil
+}
+
+// fail records the first terminal failure and tears the connections down
+// so every blocked reader, writer and receiver unblocks with the error.
+func (t *Transport) fail(err error) {
+	t.stateMu.Lock()
+	if t.failure == nil && !t.closed {
+		t.failure = fmt.Errorf("netcomm: rank %d transport failed: %w", t.rank, err)
+	}
+	t.stateMu.Unlock()
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+			p.mu.Lock()
+			p.closing = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+	}
+	t.ep.wake()
+}
+
+// Abort tears the transport down without draining: connections are
+// force-closed mid-stream (no Bye), so peers observe a failed — not
+// cleanly closed — transport and their blocked receivers unblock with
+// an error. This is the mandatory exit for a rank abandoning a solve
+// early (error paths): a clean Close would leave peers waiting forever
+// in a collective for a rank that quietly left.
+func (t *Transport) Abort() {
+	t.fail(fmt.Errorf("aborted"))
+}
+
+// Close shuts the transport down cleanly: sends are refused from now on,
+// each peer's pending writes drain and flush before the write side
+// half-closes, and the readers run to their peers' EOF so no in-flight
+// inbound frame is lost. Close is collective, like MPI_Finalize: every
+// rank is expected to close at roughly the same time, since the local
+// reader can only finish once the peer half-closes too. A peer that
+// never closes (hung or crashed) is bounded by the close timeout, after
+// which its connection is forced shut. Idempotent.
+func (t *Transport) Close() error {
+	t.closing.Do(func() {
+		t.stateMu.Lock()
+		t.closed = true
+		t.stateMu.Unlock()
+		for _, p := range t.peers {
+			if p != nil {
+				p.mu.Lock()
+				p.closing = true
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			for _, p := range t.peers {
+				if p != nil {
+					<-p.wdone
+				}
+			}
+			t.readWG.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(t.closeTimeout):
+			// A peer is not draining (hung or crashed): force the
+			// connections shut; our own outbound frames were already
+			// flushed by the writers that did finish.
+			for _, p := range t.peers {
+				if p != nil {
+					p.conn.Close()
+				}
+			}
+			<-done
+		}
+		for _, p := range t.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		t.ep.wake()
+	})
+	return nil
+}
+
+// writeLoop drains one peer's outbound queue, coalescing consecutive
+// frames into one buffered write and flushing only when the queue runs
+// dry — the transport-level counterpart of the runtime's StreamBatcher
+// (which reduces frame count; this reduces syscalls per frame).
+func (t *Transport) writeLoop(p *peer) {
+	defer close(p.wdone)
+	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	for {
+		p.mu.Lock()
+		for len(p.outq) == 0 && !p.closing {
+			p.cond.Wait()
+		}
+		batch := p.outq
+		p.outq = nil
+		closing := p.closing
+		p.mu.Unlock()
+		for _, f := range batch {
+			if _, err := bw.Write(f); err != nil {
+				t.fail(fmt.Errorf("write to rank %d: %w", p.rank, err))
+				return
+			}
+			t.framesSent.Add(1)
+			t.wireOut.Add(int64(len(f)))
+		}
+		p.mu.Lock()
+		drained := len(p.outq) == 0
+		p.mu.Unlock()
+		if drained {
+			if closing {
+				// In-flight drain complete: announce the clean shutdown
+				// (an EOF without Bye reads as a crash on the other side)
+				// and half-close so the peer's reader sees EOF exactly at
+				// the last frame boundary.
+				if _, err := bw.Write(AppendHeader(nil, KindBye, 0)); err == nil {
+					bw.Flush()
+				}
+				if tc, ok := p.conn.(*net.TCPConn); ok {
+					tc.CloseWrite()
+				}
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				t.fail(fmt.Errorf("flush to rank %d: %w", p.rank, err))
+				return
+			}
+		}
+	}
+}
+
+// readLoop receives one peer's frames into the local inbox until the
+// peer half-closes (clean EOF at a frame boundary) or the connection
+// fails.
+func (t *Transport) readLoop(p *peer) {
+	defer t.readWG.Done()
+	br := bufio.NewReaderSize(p.conn, 64<<10)
+	hdr := make([]byte, HeaderSize)
+	sawBye := false
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF && sawBye {
+				return // peer closed cleanly (Bye then EOF at a frame boundary)
+			}
+			if t.aliveErr() == nil {
+				if err == io.EOF {
+					// EOF without a Bye: the peer vanished mid-stream
+					// (crash, kill, Abort). Waiting ranks must unblock
+					// with an error, not idle forever.
+					err = fmt.Errorf("connection closed without shutdown handshake")
+				}
+				t.fail(fmt.Errorf("read from rank %d: %w", p.rank, err))
+			}
+			return
+		}
+		kind, n, err := ParseHeader(hdr)
+		if err != nil {
+			t.fail(fmt.Errorf("frame from rank %d: %w", p.rank, err))
+			return
+		}
+		if kind == KindBye {
+			if n != 0 {
+				t.fail(fmt.Errorf("bye frame from rank %d carries %d payload bytes", p.rank, n))
+				return
+			}
+			sawBye = true
+			continue
+		}
+		if kind != KindData && kind != KindOOB {
+			t.fail(fmt.Errorf("unexpected %s frame from rank %d on established connection", kindName(kind), p.rank))
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			t.fail(fmt.Errorf("frame payload from rank %d: %w", p.rank, err))
+			return
+		}
+		t.framesRecv.Add(1)
+		t.wireIn.Add(int64(HeaderSize + n))
+		t.ep.deliver(p.rank, payload, kind == KindOOB)
+	}
+}
+
+// Endpoint is the local rank's attachment: the two-lane inbox plus the
+// send paths into the per-peer write queues.
+type Endpoint struct {
+	t *Transport
+
+	// mu guards both queues; oobCond serves RecvOOB (the only blocking
+	// receive — the data lane is TryRecv/Notify only, so it needs no
+	// condition variable).
+	mu       sync.Mutex
+	oobCond  *sync.Cond
+	queue    []comm.Message
+	oobQueue []comm.Message
+	notify   chan struct{}
+
+	sent     atomic.Int64
+	received atomic.Int64
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// Rank returns the local rank.
+func (e *Endpoint) Rank() int { return e.t.rank }
+
+// deliver appends an inbound message to the lane's queue.
+func (e *Endpoint) deliver(from int, data []byte, oob bool) {
+	e.mu.Lock()
+	if oob {
+		e.oobQueue = append(e.oobQueue, comm.Message{From: from, Data: data})
+		e.oobCond.Signal()
+	} else {
+		e.queue = append(e.queue, comm.Message{From: from, Data: data})
+	}
+	e.mu.Unlock()
+	if !oob {
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// wake unblocks receivers parked on either lane (close or failure).
+func (e *Endpoint) wake() {
+	e.mu.Lock()
+	e.oobCond.Broadcast()
+	e.mu.Unlock()
+	select {
+	case e.notify <- struct{}{}:
+	default:
+	}
+}
+
+// send frames data for the destination rank's write queue (or delivers
+// locally for a self-send).
+func (e *Endpoint) send(to int, data []byte, oob bool) error {
+	t := e.t
+	if to < 0 || to >= t.world {
+		return fmt.Errorf("netcomm: rank %d sent to invalid rank %d", t.rank, to)
+	}
+	if err := t.aliveErr(); err != nil {
+		return fmt.Errorf("netcomm: rank %d send to %d: %w", t.rank, to, err)
+	}
+	e.sent.Add(1)
+	e.bytesOut.Add(int64(len(data)))
+	if to == t.rank {
+		e.deliver(t.rank, data, oob)
+		return nil
+	}
+	kind := KindData
+	if oob {
+		kind = KindOOB
+	}
+	frame := make([]byte, 0, HeaderSize+len(data))
+	frame = AppendHeader(frame, kind, len(data))
+	frame = append(frame, data...)
+	p := t.peers[to]
+	p.mu.Lock()
+	if p.closing {
+		p.mu.Unlock()
+		err := t.aliveErr()
+		if err == nil {
+			err = comm.ErrClosed
+		}
+		return fmt.Errorf("netcomm: rank %d send to %d: %w", t.rank, to, err)
+	}
+	p.outq = append(p.outq, frame)
+	p.cond.Signal()
+	p.mu.Unlock()
+	return nil
+}
+
+// Send delivers data on the data lane. The slice is handed over; the
+// caller must not modify it afterwards.
+func (e *Endpoint) Send(to int, data []byte) error { return e.send(to, data, false) }
+
+// SendOOB delivers data on the out-of-band lane.
+func (e *Endpoint) SendOOB(to int, data []byte) error { return e.send(to, data, true) }
+
+// TryRecv returns the next pending data-lane message without blocking.
+// Delivered messages remain receivable after Close or failure.
+func (e *Endpoint) TryRecv() (comm.Message, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.queue) == 0 {
+		return comm.Message{}, false
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	e.received.Add(1)
+	e.bytesIn.Add(int64(len(m.Data)))
+	return m, true
+}
+
+// RecvOOB blocks for the next out-of-band message; after Close (or a
+// transport failure) it drains the queue and then returns the terminal
+// error.
+func (e *Endpoint) RecvOOB() (comm.Message, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.oobQueue) == 0 {
+		if err := e.t.aliveErr(); err != nil {
+			return comm.Message{}, err
+		}
+		e.oobCond.Wait()
+	}
+	m := e.oobQueue[0]
+	e.oobQueue = e.oobQueue[1:]
+	e.received.Add(1)
+	e.bytesIn.Add(int64(len(m.Data)))
+	return m, nil
+}
+
+// Notify returns the data-lane arrival channel; a token may coalesce
+// several arrivals — drain with TryRecv.
+func (e *Endpoint) Notify() <-chan struct{} { return e.notify }
+
+// Err returns the transport's terminal state: nil while healthy, the
+// first failure after a fail-fast teardown, ErrClosed after Close.
+func (e *Endpoint) Err() error { return e.t.aliveErr() }
+
+// Pending returns the number of queued data-lane messages.
+func (e *Endpoint) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Counters returns (sent, received, bytesOut, bytesIn) payload totals
+// over both lanes.
+func (e *Endpoint) Counters() (sent, received, bytesOut, bytesIn int64) {
+	return e.sent.Load(), e.received.Load(), e.bytesOut.Load(), e.bytesIn.Load()
+}
+
+var (
+	_ comm.Transport = (*Transport)(nil)
+	_ comm.Endpoint  = (*Endpoint)(nil)
+)

@@ -1,0 +1,425 @@
+// Rendezvous and cluster bring-up: every rank starts its own
+// peer-listener, reports (cluster id, rank, world, listen address) to
+// the rendezvous service, receives the full address map once the
+// cluster is complete, and then establishes one direct TCP connection
+// per peer pair — rank i dials every rank j < i and accepts from every
+// rank j > i, authenticated by a versioned KindPeer/KindAck handshake
+// carrying the cluster id.
+package netcomm
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// defaultTimeout bounds the whole cluster bring-up of one Join call.
+const defaultTimeout = 60 * time.Second
+
+// defaultCloseTimeout bounds Close's wait for peers to drain.
+const defaultCloseTimeout = 15 * time.Second
+
+// Options configures a node's attachment to a TCP cluster.
+type Options struct {
+	// Cluster is the launch-scoped cluster id every member must present.
+	Cluster string
+	// Rank is this node's rank; World the total rank count.
+	Rank, World int
+	// Rendezvous is the host:port of the rendezvous service.
+	Rendezvous string
+	// ListenAddr is the address the peer-listener binds (default
+	// "127.0.0.1:0" — loopback, kernel-assigned port).
+	ListenAddr string
+	// Timeout bounds the whole bring-up (default 60s).
+	Timeout time.Duration
+	// CloseTimeout bounds Close's in-flight drain (default 15s).
+	CloseTimeout time.Duration
+}
+
+// sendUnit writes one header+payload wire unit.
+func sendUnit(conn net.Conn, kind byte, payload []byte) error {
+	buf := make([]byte, 0, HeaderSize+len(payload))
+	buf = AppendHeader(buf, kind, len(payload))
+	buf = append(buf, payload...)
+	_, err := conn.Write(buf)
+	return err
+}
+
+// readUnit reads one wire unit and returns its kind and payload.
+func readUnit(conn net.Conn) (byte, []byte, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(conn, hdr); err != nil {
+		return 0, nil, err
+	}
+	kind, n, err := ParseHeader(hdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return 0, nil, err
+	}
+	return kind, payload, nil
+}
+
+// Rendezvous is the cluster bring-up service: it accepts one KindJoin
+// per rank, validates cluster id, world size and rank uniqueness, and
+// broadcasts the address map once every rank has reported in.
+type Rendezvous struct {
+	ln      net.Listener
+	cluster string
+	world   int
+
+	done chan error
+	once sync.Once
+}
+
+// StartRendezvous listens on addr (e.g. "127.0.0.1:0") and serves one
+// cluster bring-up of the given world size in the background. Wait
+// reports its outcome.
+func StartRendezvous(addr, cluster string, world int) (*Rendezvous, error) {
+	if world < 1 {
+		return nil, fmt.Errorf("netcomm: rendezvous needs world >= 1 (got %d)", world)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: rendezvous listen: %w", err)
+	}
+	r := &Rendezvous{ln: ln, cluster: cluster, world: world, done: make(chan error, 1)}
+	go r.serve()
+	return r, nil
+}
+
+// Addr returns the rendezvous' listen address for node -join flags.
+func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
+
+// Wait blocks until the bring-up finished (all ranks joined and the
+// address map went out) or failed, bounded by timeout.
+func (r *Rendezvous) Wait(timeout time.Duration) error {
+	select {
+	case err := <-r.done:
+		return err
+	case <-time.After(timeout):
+		r.Close()
+		return fmt.Errorf("netcomm: rendezvous timed out after %v", timeout)
+	}
+}
+
+// Close shuts the listener down, aborting an unfinished bring-up.
+func (r *Rendezvous) Close() { r.once.Do(func() { r.ln.Close() }) }
+
+// serve runs one bring-up: collect world joins, broadcast the map.
+func (r *Rendezvous) serve() {
+	defer r.Close()
+	addrs := make([]string, r.world)
+	conns := make([]net.Conn, r.world)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	joined := 0
+	for joined < r.world {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			r.done <- fmt.Errorf("netcomm: rendezvous accept: %w", err)
+			return
+		}
+		conn.SetDeadline(time.Now().Add(defaultTimeout))
+		refuse := func(why string) {
+			_ = sendUnit(conn, KindAck, AppendAck(nil, Ack{OK: false, Detail: why}))
+			conn.Close()
+		}
+		kind, payload, err := readUnit(conn)
+		if err != nil {
+			refuse(fmt.Sprintf("bad join unit: %v", err))
+			continue
+		}
+		if kind != KindJoin {
+			refuse(fmt.Sprintf("expected join, got %s", kindName(kind)))
+			continue
+		}
+		j, err := ParseJoin(payload)
+		if err != nil {
+			refuse(err.Error())
+			continue
+		}
+		switch {
+		case j.Cluster != r.cluster:
+			refuse(fmt.Sprintf("cluster %q, want %q", j.Cluster, r.cluster))
+		case j.World != r.world:
+			refuse(fmt.Sprintf("world %d, want %d", j.World, r.world))
+		case j.Rank < 0 || j.Rank >= r.world:
+			refuse(fmt.Sprintf("rank %d out of range [0,%d)", j.Rank, r.world))
+		case conns[j.Rank] != nil:
+			refuse(fmt.Sprintf("rank %d already joined", j.Rank))
+		default:
+			addrs[j.Rank] = j.Addr
+			conns[j.Rank] = conn
+			joined++
+		}
+	}
+	peers := AppendPeers(nil, Peers{Addrs: addrs})
+	for rank, conn := range conns {
+		if err := sendUnit(conn, KindPeers, peers); err != nil {
+			r.done <- fmt.Errorf("netcomm: rendezvous send peers to rank %d: %w", rank, err)
+			return
+		}
+	}
+	r.done <- nil
+}
+
+// Join attaches this process to a TCP cluster as one rank: start the
+// peer-listener, register with the rendezvous, receive the address map,
+// build the peer mesh, and return the live transport.
+func Join(o Options) (*Transport, error) {
+	if o.World < 1 {
+		return nil, fmt.Errorf("netcomm: world must be >= 1 (got %d)", o.World)
+	}
+	if o.Rank < 0 || o.Rank >= o.World {
+		return nil, fmt.Errorf("netcomm: rank %d out of range [0,%d)", o.Rank, o.World)
+	}
+	if o.Rendezvous == "" {
+		return nil, fmt.Errorf("netcomm: rendezvous address required")
+	}
+	if o.ListenAddr == "" {
+		o.ListenAddr = "127.0.0.1:0"
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = defaultTimeout
+	}
+	if o.CloseTimeout <= 0 {
+		o.CloseTimeout = defaultCloseTimeout
+	}
+	deadline := time.Now().Add(o.Timeout)
+
+	ln, err := net.Listen("tcp", o.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: rank %d listen: %w", o.Rank, err)
+	}
+	defer ln.Close()
+
+	addrs, err := register(o, ln.Addr().String(), deadline)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Transport{
+		cluster:      o.Cluster,
+		rank:         o.Rank,
+		world:        o.World,
+		peers:        make([]*peer, o.World),
+		closeTimeout: o.CloseTimeout,
+	}
+	t.ep = &Endpoint{t: t, notify: make(chan struct{}, 1)}
+	t.ep.oobCond = sync.NewCond(&t.ep.mu)
+
+	conns, err := buildMesh(o, ln, addrs, deadline)
+	if err != nil {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		return nil, err
+	}
+	for rank, conn := range conns {
+		if conn == nil {
+			continue
+		}
+		conn.SetDeadline(time.Time{})
+		p := &peer{rank: rank, conn: conn, wdone: make(chan struct{})}
+		p.cond = sync.NewCond(&p.mu)
+		t.peers[rank] = p
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			t.readWG.Add(1)
+			go t.readLoop(p)
+			go t.writeLoop(p)
+		}
+	}
+	return t, nil
+}
+
+// register reports this rank to the rendezvous and returns the address
+// map of the whole cluster.
+func register(o Options, listenAddr string, deadline time.Time) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", o.Rendezvous, time.Until(deadline))
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: rank %d dial rendezvous %s: %w", o.Rank, o.Rendezvous, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	join := AppendJoin(nil, JoinRequest{Rank: o.Rank, World: o.World, Cluster: o.Cluster, Addr: listenAddr})
+	if err := sendUnit(conn, KindJoin, join); err != nil {
+		return nil, fmt.Errorf("netcomm: rank %d send join: %w", o.Rank, err)
+	}
+	kind, payload, err := readUnit(conn)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: rank %d await peers: %w", o.Rank, err)
+	}
+	switch kind {
+	case KindAck:
+		a, perr := ParseAck(payload)
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, fmt.Errorf("netcomm: rank %d refused by rendezvous: %s", o.Rank, a.Detail)
+	case KindPeers:
+		p, perr := ParsePeers(payload)
+		if perr != nil {
+			return nil, perr
+		}
+		if len(p.Addrs) != o.World {
+			return nil, fmt.Errorf("netcomm: rendezvous sent %d addrs, want %d", len(p.Addrs), o.World)
+		}
+		return p.Addrs, nil
+	default:
+		return nil, fmt.Errorf("netcomm: rank %d: rendezvous answered with %s", o.Rank, kindName(kind))
+	}
+}
+
+// buildMesh establishes the per-pair connections: dial every lower rank,
+// accept every higher one. Returns the connections indexed by peer rank.
+func buildMesh(o Options, ln net.Listener, addrs []string, deadline time.Time) ([]net.Conn, error) {
+	conns := make([]net.Conn, o.World)
+	expect := o.World - 1 - o.Rank // higher ranks dial us
+
+	// The abort path closes the listener to unblock Accept, and the
+	// in-handshake connection (if any) to unblock a readUnit in flight.
+	var handshakeMu sync.Mutex
+	var handshaking net.Conn
+	aborted := false
+	setHandshaking := func(c net.Conn) bool {
+		handshakeMu.Lock()
+		defer handshakeMu.Unlock()
+		if aborted && c != nil {
+			c.Close()
+			return false
+		}
+		handshaking = c
+		return true
+	}
+	abortAccept := func() {
+		ln.Close()
+		handshakeMu.Lock()
+		aborted = true
+		if handshaking != nil {
+			handshaking.Close()
+		}
+		handshakeMu.Unlock()
+	}
+
+	acceptErr := make(chan error, 1)
+	go func() {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		accepted := 0
+		for accepted < expect {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptErr <- fmt.Errorf("netcomm: rank %d accept: %w", o.Rank, err)
+				return
+			}
+			conn.SetDeadline(deadline)
+			if !setHandshaking(conn) {
+				acceptErr <- fmt.Errorf("netcomm: rank %d accept aborted", o.Rank)
+				return
+			}
+			refuse := func(why string) {
+				_ = sendUnit(conn, KindAck, AppendAck(nil, Ack{OK: false, Detail: why}))
+				conn.Close()
+			}
+			kind, payload, err := readUnit(conn)
+			if err != nil {
+				refuse(fmt.Sprintf("bad peer unit: %v", err))
+				continue
+			}
+			if kind != KindPeer {
+				refuse(fmt.Sprintf("expected peer handshake, got %s", kindName(kind)))
+				continue
+			}
+			p, err := ParsePeer(payload)
+			if err != nil {
+				refuse(err.Error())
+				continue
+			}
+			switch {
+			case p.Cluster != o.Cluster:
+				refuse("wrong cluster")
+			case p.To != o.Rank:
+				refuse(fmt.Sprintf("handshake targets rank %d, this is rank %d", p.To, o.Rank))
+			case p.World != o.World:
+				refuse(fmt.Sprintf("world %d, want %d", p.World, o.World))
+			case p.From <= o.Rank || p.From >= o.World:
+				refuse(fmt.Sprintf("unexpected dialer rank %d", p.From))
+			case conns[p.From] != nil:
+				refuse(fmt.Sprintf("rank %d already connected", p.From))
+			default:
+				if err := sendUnit(conn, KindAck, AppendAck(nil, Ack{OK: true})); err != nil {
+					conn.Close()
+					acceptErr <- fmt.Errorf("netcomm: rank %d ack to rank %d: %w", o.Rank, p.From, err)
+					return
+				}
+				conns[p.From] = conn
+				accepted++
+			}
+			setHandshaking(nil)
+		}
+		acceptErr <- nil
+	}()
+
+	var dialErr error
+	for to := 0; to < o.Rank && dialErr == nil; to++ {
+		conn, err := net.DialTimeout("tcp", addrs[to], time.Until(deadline))
+		if err != nil {
+			dialErr = fmt.Errorf("netcomm: rank %d dial rank %d at %s: %w", o.Rank, to, addrs[to], err)
+			break
+		}
+		conn.SetDeadline(deadline)
+		hello := AppendPeer(nil, Peer{From: o.Rank, To: to, World: o.World, Cluster: o.Cluster})
+		if err := sendUnit(conn, KindPeer, hello); err != nil {
+			conn.Close()
+			dialErr = fmt.Errorf("netcomm: rank %d handshake to rank %d: %w", o.Rank, to, err)
+			break
+		}
+		kind, payload, err := readUnit(conn)
+		if err != nil {
+			conn.Close()
+			dialErr = fmt.Errorf("netcomm: rank %d await ack from rank %d: %w", o.Rank, to, err)
+			break
+		}
+		if kind != KindAck {
+			conn.Close()
+			dialErr = fmt.Errorf("netcomm: rank %d: rank %d answered with %s", o.Rank, to, kindName(kind))
+			break
+		}
+		a, err := ParseAck(payload)
+		if err != nil {
+			conn.Close()
+			dialErr = err
+			break
+		}
+		if !a.OK {
+			conn.Close()
+			dialErr = fmt.Errorf("netcomm: rank %d refused by rank %d: %s", o.Rank, to, a.Detail)
+			break
+		}
+		conns[to] = conn
+	}
+	if dialErr != nil {
+		abortAccept()
+		<-acceptErr
+		return conns, dialErr
+	}
+	if err := <-acceptErr; err != nil {
+		return conns, err
+	}
+	return conns, nil
+}

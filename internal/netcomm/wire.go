@@ -1,0 +1,306 @@
+// Wire format of the TCP backend, following the versioned codec
+// discipline of internal/core/codec.go: every unit on the wire starts
+// with a fixed header carrying a magic, a layout version and a kind, any
+// corruption or truncation surfaces as an error (never a panic), and
+// unknown versions are rejected instead of guessed at.
+//
+//	header  := magic:u16 version:u8 kind:u8 length:u32      (little endian)
+//	payload := length bytes, layout per kind:
+//
+//	KindData / KindOOB   opaque message bytes (one comm.Message per frame;
+//	                     the source rank is implicit in the connection's
+//	                     handshake)
+//	KindJoin             rank:u32 world:u32 cluster:str addr:str
+//	KindPeer             from:u32 to:u32 world:u32 cluster:str
+//	KindAck              status:u8 detail:str
+//	KindPeers            world:u32 { addr:str }*world
+//	KindBye              empty (clean-shutdown marker, always the last
+//	                     frame before the write side half-closes)
+//
+//	str := len:u16 bytes
+//
+// KindJoin travels node→rendezvous when a rank reports in; KindPeers is
+// the rendezvous' answer once the cluster is complete. KindPeer opens a
+// direct peer connection (dialer→acceptor), KindAck confirms or refuses
+// it. KindData/KindOOB carry the two comm lanes for the life of the
+// connection.
+package netcomm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame constants.
+const (
+	// Magic marks every netcomm wire unit.
+	Magic = uint16(0x4E43) // "NC"
+	// Version is the current wire layout version. A peer speaking another
+	// version is refused at handshake and rejected at frame decode.
+	Version = byte(1)
+	// HeaderSize is the fixed header length in bytes.
+	HeaderSize = 2 + 1 + 1 + 4
+	// MaxFrameBytes caps a frame payload; larger lengths are treated as
+	// corruption so a bad header cannot trigger a giant allocation.
+	MaxFrameBytes = 1 << 28
+	// maxStrLen caps an encoded string (cluster ids, addresses).
+	maxStrLen = 1 << 10
+)
+
+// Frame kinds.
+const (
+	// KindData is a data-lane message frame.
+	KindData = byte(0x01)
+	// KindOOB is an out-of-band-lane message frame.
+	KindOOB = byte(0x02)
+	// KindJoin is a node's rendezvous registration.
+	KindJoin = byte(0x03)
+	// KindPeer is a peer-connection handshake (dialer to acceptor).
+	KindPeer = byte(0x04)
+	// KindAck confirms (status 0) or refuses (status 1) a handshake.
+	KindAck = byte(0x05)
+	// KindPeers is the rendezvous' address broadcast.
+	KindPeers = byte(0x06)
+	// KindBye announces a clean shutdown: the last frame a transport
+	// writes before half-closing a peer connection. An EOF without a
+	// preceding Bye is a crashed peer, not a close — the receiving
+	// transport fails fast so waiting ranks unblock with an error
+	// instead of idling forever.
+	KindBye = byte(0x07)
+)
+
+// kindName returns a diagnostic name for a frame kind.
+func kindName(k byte) string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindOOB:
+		return "oob"
+	case KindJoin:
+		return "join"
+	case KindPeer:
+		return "peer"
+	case KindAck:
+		return "ack"
+	case KindPeers:
+		return "peers"
+	case KindBye:
+		return "bye"
+	}
+	return fmt.Sprintf("unknown(%#02x)", k)
+}
+
+// AppendHeader appends a frame header for a kind and payload length.
+func AppendHeader(dst []byte, kind byte, length int) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, kind)
+	return binary.LittleEndian.AppendUint32(dst, uint32(length))
+}
+
+// ParseHeader validates a frame header and returns its kind and payload
+// length. h must hold exactly HeaderSize bytes.
+func ParseHeader(h []byte) (kind byte, length int, err error) {
+	if len(h) != HeaderSize {
+		return 0, 0, fmt.Errorf("netcomm: header is %d bytes, want %d", len(h), HeaderSize)
+	}
+	if magic := binary.LittleEndian.Uint16(h); magic != Magic {
+		return 0, 0, fmt.Errorf("netcomm: bad magic %#04x", magic)
+	}
+	if h[2] != Version {
+		return 0, 0, fmt.Errorf("netcomm: unsupported wire version %d (have %d)", h[2], Version)
+	}
+	kind = h[3]
+	switch kind {
+	case KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye:
+	default:
+		return 0, 0, fmt.Errorf("netcomm: unknown frame kind %#02x", kind)
+	}
+	n := binary.LittleEndian.Uint32(h[4:])
+	if n > MaxFrameBytes {
+		return 0, 0, fmt.Errorf("netcomm: frame length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	return kind, int(n), nil
+}
+
+// appendStr appends a length-prefixed string.
+func appendStr(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// parseStr reads a length-prefixed string at off.
+func parseStr(buf []byte, off int) (string, int, error) {
+	if len(buf)-off < 2 {
+		return "", off, fmt.Errorf("netcomm: string length truncated")
+	}
+	n := int(binary.LittleEndian.Uint16(buf[off:]))
+	off += 2
+	if n > maxStrLen {
+		return "", off, fmt.Errorf("netcomm: string length %d exceeds cap %d", n, maxStrLen)
+	}
+	if len(buf)-off < n {
+		return "", off, fmt.Errorf("netcomm: string truncated (%d of %d bytes)", len(buf)-off, n)
+	}
+	return string(buf[off : off+n]), off + n, nil
+}
+
+// Join is a node's rendezvous registration (KindJoin payload).
+type JoinRequest struct {
+	// Rank and World place this node in the cluster.
+	Rank, World int
+	// Cluster is the launch-scoped cluster id; it guards against a node
+	// joining the wrong rendezvous.
+	Cluster string
+	// Addr is the node's own peer-listener address.
+	Addr string
+}
+
+// AppendJoin encodes a Join payload.
+func AppendJoin(dst []byte, j JoinRequest) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(j.Rank))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(j.World))
+	dst = appendStr(dst, j.Cluster)
+	return appendStr(dst, j.Addr)
+}
+
+// ParseJoin decodes a Join payload.
+func ParseJoin(buf []byte) (JoinRequest, error) {
+	var j JoinRequest
+	if len(buf) < 8 {
+		return j, fmt.Errorf("netcomm: join truncated (len %d)", len(buf))
+	}
+	j.Rank = int(int32(binary.LittleEndian.Uint32(buf)))
+	j.World = int(int32(binary.LittleEndian.Uint32(buf[4:])))
+	var err error
+	off := 8
+	if j.Cluster, off, err = parseStr(buf, off); err != nil {
+		return j, fmt.Errorf("netcomm: join cluster: %w", err)
+	}
+	if j.Addr, off, err = parseStr(buf, off); err != nil {
+		return j, fmt.Errorf("netcomm: join addr: %w", err)
+	}
+	if off != len(buf) {
+		return j, fmt.Errorf("netcomm: %d trailing bytes after join", len(buf)-off)
+	}
+	return j, nil
+}
+
+// Peer is a direct peer-connection handshake (KindPeer payload).
+type Peer struct {
+	// From is the dialing rank, To the accepting rank.
+	From, To int
+	// World and Cluster must match the acceptor's own.
+	World   int
+	Cluster string
+}
+
+// AppendPeer encodes a Peer payload.
+func AppendPeer(dst []byte, p Peer) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.From))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.To))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.World))
+	return appendStr(dst, p.Cluster)
+}
+
+// ParsePeer decodes a Peer payload.
+func ParsePeer(buf []byte) (Peer, error) {
+	var p Peer
+	if len(buf) < 12 {
+		return p, fmt.Errorf("netcomm: peer handshake truncated (len %d)", len(buf))
+	}
+	p.From = int(int32(binary.LittleEndian.Uint32(buf)))
+	p.To = int(int32(binary.LittleEndian.Uint32(buf[4:])))
+	p.World = int(int32(binary.LittleEndian.Uint32(buf[8:])))
+	var err error
+	off := 12
+	if p.Cluster, off, err = parseStr(buf, off); err != nil {
+		return p, fmt.Errorf("netcomm: peer cluster: %w", err)
+	}
+	if off != len(buf) {
+		return p, fmt.Errorf("netcomm: %d trailing bytes after peer handshake", len(buf)-off)
+	}
+	return p, nil
+}
+
+// Ack confirms or refuses a handshake (KindAck payload).
+type Ack struct {
+	// OK reports acceptance; Detail carries the refusal reason.
+	OK     bool
+	Detail string
+}
+
+// AppendAck encodes an Ack payload.
+func AppendAck(dst []byte, a Ack) []byte {
+	status := byte(1)
+	if a.OK {
+		status = 0
+	}
+	dst = append(dst, status)
+	return appendStr(dst, a.Detail)
+}
+
+// ParseAck decodes an Ack payload.
+func ParseAck(buf []byte) (Ack, error) {
+	var a Ack
+	if len(buf) < 1 {
+		return a, fmt.Errorf("netcomm: ack truncated")
+	}
+	switch buf[0] {
+	case 0:
+		a.OK = true
+	case 1:
+	default:
+		return a, fmt.Errorf("netcomm: ack status %#02x must be 0 or 1", buf[0])
+	}
+	var err error
+	off := 1
+	if a.Detail, off, err = parseStr(buf, off); err != nil {
+		return a, fmt.Errorf("netcomm: ack detail: %w", err)
+	}
+	if off != len(buf) {
+		return a, fmt.Errorf("netcomm: %d trailing bytes after ack", len(buf)-off)
+	}
+	return a, nil
+}
+
+// Peers is the rendezvous' address broadcast (KindPeers payload): the
+// peer-listener address of every rank, indexed by rank.
+type Peers struct {
+	Addrs []string
+}
+
+// AppendPeers encodes a Peers payload.
+func AppendPeers(dst []byte, p Peers) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Addrs)))
+	for _, a := range p.Addrs {
+		dst = appendStr(dst, a)
+	}
+	return dst
+}
+
+// ParsePeers decodes a Peers payload.
+func ParsePeers(buf []byte) (Peers, error) {
+	var p Peers
+	if len(buf) < 4 {
+		return p, fmt.Errorf("netcomm: peers truncated (len %d)", len(buf))
+	}
+	world := binary.LittleEndian.Uint32(buf)
+	// Every address carries at least its 2-byte length.
+	if int64(world)*2 > int64(len(buf)-4) {
+		return p, fmt.Errorf("netcomm: peers world %d exceeds remaining %d bytes", world, len(buf)-4)
+	}
+	off := 4
+	p.Addrs = make([]string, 0, world)
+	for i := uint32(0); i < world; i++ {
+		s, next, err := parseStr(buf, off)
+		if err != nil {
+			return p, fmt.Errorf("netcomm: peers addr %d: %w", i, err)
+		}
+		off = next
+		p.Addrs = append(p.Addrs, s)
+	}
+	if off != len(buf) {
+		return p, fmt.Errorf("netcomm: %d trailing bytes after peers", len(buf)-off)
+	}
+	return p, nil
+}

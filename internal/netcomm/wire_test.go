@@ -1,0 +1,218 @@
+package netcomm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func header(kind byte, n int) []byte { return AppendHeader(nil, kind, n) }
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for _, kind := range []byte{KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye} {
+		for _, n := range []int{0, 1, 4096, MaxFrameBytes} {
+			h := header(kind, n)
+			if len(h) != HeaderSize {
+				t.Fatalf("header size %d", len(h))
+			}
+			k, m, err := ParseHeader(h)
+			if err != nil || k != kind || m != n {
+				t.Fatalf("round trip kind=%#x n=%d: got %#x %d %v", kind, n, k, m, err)
+			}
+		}
+	}
+}
+
+// TestHeaderCorruption mirrors the PR-1 codec tables: every corruption or
+// truncation class must produce an error, never a panic or a silent
+// misparse.
+func TestHeaderCorruption(t *testing.T) {
+	good := header(KindData, 16)
+	cases := []struct {
+		name string
+		buf  []byte
+		want string
+	}{
+		{"empty", nil, "header is 0 bytes"},
+		{"truncated", good[:HeaderSize-1], "header is 7 bytes"},
+		{"overlong", append(append([]byte{}, good...), 0), "header is 9 bytes"},
+		{"bad magic", append([]byte{0x00, 0x00}, good[2:]...), "bad magic"},
+		{"version mismatch", func() []byte {
+			b := append([]byte{}, good...)
+			b[2] = Version + 1
+			return b
+		}(), "unsupported wire version"},
+		{"version zero", func() []byte {
+			b := append([]byte{}, good...)
+			b[2] = 0
+			return b
+		}(), "unsupported wire version"},
+		{"unknown kind", func() []byte {
+			b := append([]byte{}, good...)
+			b[3] = 0x7F
+			return b
+		}(), "unknown frame kind"},
+		{"oversized length", func() []byte {
+			b := append([]byte{}, good...)
+			binary.LittleEndian.PutUint32(b[4:], MaxFrameBytes+1)
+			return b
+		}(), "exceeds cap"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ParseHeader(tc.buf)
+			if err == nil {
+				t.Fatal("corrupt header parsed without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestJoinRoundTrip(t *testing.T) {
+	j := JoinRequest{Rank: 3, World: 8, Cluster: "c-12345", Addr: "127.0.0.1:45123"}
+	got, err := ParseJoin(AppendJoin(nil, j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != j {
+		t.Fatalf("round trip: %+v != %+v", got, j)
+	}
+}
+
+func TestPeerAckPeersRoundTrip(t *testing.T) {
+	p := Peer{From: 5, To: 2, World: 6, Cluster: "xyz"}
+	gp, err := ParsePeer(AppendPeer(nil, p))
+	if err != nil || gp != p {
+		t.Fatalf("peer round trip: %+v %v", gp, err)
+	}
+	for _, a := range []Ack{{OK: true}, {OK: false, Detail: "wrong cluster"}} {
+		ga, err := ParseAck(AppendAck(nil, a))
+		if err != nil || ga != a {
+			t.Fatalf("ack round trip: %+v %v", ga, err)
+		}
+	}
+	ps := Peers{Addrs: []string{"127.0.0.1:1", "127.0.0.1:2", ""}}
+	gps, err := ParsePeers(AppendPeers(nil, ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gps.Addrs) != 3 || gps.Addrs[0] != ps.Addrs[0] || gps.Addrs[2] != "" {
+		t.Fatalf("peers round trip: %+v", gps)
+	}
+}
+
+// TestPayloadCorruption: truncations, trailing garbage, inflated counts
+// and out-of-range strings in every payload kind must error out.
+func TestPayloadCorruption(t *testing.T) {
+	join := AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "cl", Addr: "a:1"})
+	peer := AppendPeer(nil, Peer{From: 2, To: 1, World: 4, Cluster: "cl"})
+	ack := AppendAck(nil, Ack{OK: false, Detail: "no"})
+	peers := AppendPeers(nil, Peers{Addrs: []string{"a:1", "b:2"}})
+
+	checkErr := func(t *testing.T, name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: corrupt payload parsed without error", name)
+		}
+	}
+	t.Run("truncations", func(t *testing.T) {
+		for i := 0; i < len(join); i++ {
+			if _, err := ParseJoin(join[:i]); err == nil {
+				t.Fatalf("join truncated at %d parsed", i)
+			}
+		}
+		for i := 0; i < len(peer); i++ {
+			if _, err := ParsePeer(peer[:i]); err == nil {
+				t.Fatalf("peer truncated at %d parsed", i)
+			}
+		}
+		for i := 0; i < len(ack); i++ {
+			if _, err := ParseAck(ack[:i]); err == nil {
+				t.Fatalf("ack truncated at %d parsed", i)
+			}
+		}
+		for i := 4; i < len(peers); i++ { // count must mismatch the bytes
+			if _, err := ParsePeers(peers[:i]); err == nil {
+				t.Fatalf("peers truncated at %d parsed", i)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		_, err := ParseJoin(append(append([]byte{}, join...), 0xFF))
+		checkErr(t, "join", err)
+		_, err = ParsePeer(append(append([]byte{}, peer...), 0xFF))
+		checkErr(t, "peer", err)
+		_, err = ParseAck(append(append([]byte{}, ack...), 0xFF))
+		checkErr(t, "ack", err)
+		_, err = ParsePeers(append(append([]byte{}, peers...), 0xFF))
+		checkErr(t, "peers", err)
+	})
+	t.Run("inflated counts", func(t *testing.T) {
+		b := append([]byte{}, peers...)
+		binary.LittleEndian.PutUint32(b, 1<<30) // world count >> remaining bytes
+		_, err := ParsePeers(b)
+		checkErr(t, "peers world", err)
+
+		j := append([]byte{}, join...)
+		// Inflate the cluster string length beyond the buffer.
+		binary.LittleEndian.PutUint16(j[8:], 600)
+		_, err = ParseJoin(j)
+		checkErr(t, "join cluster len", err)
+	})
+	t.Run("bad ack status", func(t *testing.T) {
+		b := append([]byte{}, ack...)
+		b[0] = 7
+		_, err := ParseAck(b)
+		checkErr(t, "ack status", err)
+	})
+	t.Run("oversized string", func(t *testing.T) {
+		long := strings.Repeat("x", maxStrLen+1)
+		b := AppendJoin(nil, JoinRequest{Rank: 0, World: 1, Cluster: long, Addr: "a"})
+		if _, err := ParseJoin(b); err == nil {
+			t.Fatal("oversized cluster string parsed")
+		}
+	})
+}
+
+// FuzzNetFrameRoundTrip fuzzes the frame-header and handshake decoders:
+// (a) decoding arbitrary bytes never panics, and (b) anything that
+// decodes re-encodes to the identical bytes (canonical wire form).
+func FuzzNetFrameRoundTrip(f *testing.F) {
+	f.Add(header(KindData, 128))
+	f.Add(AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "c", Addr: "127.0.0.1:9"}))
+	f.Add(AppendPeer(nil, Peer{From: 3, To: 0, World: 4, Cluster: "c"}))
+	f.Add(AppendAck(nil, Ack{OK: false, Detail: "why"}))
+	f.Add(AppendPeers(nil, Peers{Addrs: []string{"a:1", "b:2", "c:3"}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if kind, n, err := ParseHeader(data); err == nil {
+			if !bytes.Equal(AppendHeader(nil, kind, n), data) {
+				t.Fatalf("header not canonical: %x", data)
+			}
+		}
+		if j, err := ParseJoin(data); err == nil {
+			if !bytes.Equal(AppendJoin(nil, j), data) {
+				t.Fatalf("join not canonical: %x", data)
+			}
+		}
+		if p, err := ParsePeer(data); err == nil {
+			if !bytes.Equal(AppendPeer(nil, p), data) {
+				t.Fatalf("peer not canonical: %x", data)
+			}
+		}
+		if a, err := ParseAck(data); err == nil {
+			if !bytes.Equal(AppendAck(nil, a), data) {
+				t.Fatalf("ack not canonical: %x", data)
+			}
+		}
+		if p, err := ParsePeers(data); err == nil {
+			if !bytes.Equal(AppendPeers(nil, p), data) {
+				t.Fatalf("peers not canonical: %x", data)
+			}
+		}
+	})
+}

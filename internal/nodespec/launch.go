@@ -1,0 +1,263 @@
+package nodespec
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jsweep/internal/netcomm"
+)
+
+// Environment variables carrying a launch's per-node parameters. A
+// process started with EnvRank set is a node worker; cmd/jsweep-node
+// reads them as flag defaults and the test binaries use them to re-exec
+// themselves as nodes.
+const (
+	// EnvSpec holds the solve Spec as JSON.
+	EnvSpec = "JSWEEP_NODE_SPEC"
+	// EnvRank is the node's rank.
+	EnvRank = "JSWEEP_NODE_RANK"
+	// EnvRendezvous is the rendezvous host:port.
+	EnvRendezvous = "JSWEEP_NODE_RENDEZVOUS"
+	// EnvCluster is the launch-scoped cluster id.
+	EnvCluster = "JSWEEP_NODE_CLUSTER"
+	// EnvVerify asks the node to cross-check against the serial
+	// reference ("1").
+	EnvVerify = "JSWEEP_NODE_VERIFY"
+)
+
+// NodeEnv reconstructs a node's spec and options from the environment.
+// ok is false when the process is not a launched node (EnvRank unset).
+func NodeEnv() (spec Spec, o NodeOptions, ok bool, err error) {
+	rankStr := os.Getenv(EnvRank)
+	if rankStr == "" {
+		return Spec{}, NodeOptions{}, false, nil
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		return Spec{}, NodeOptions{}, true, fmt.Errorf("nodespec: bad %s=%q", EnvRank, rankStr)
+	}
+	spec, err = UnmarshalSpec(os.Getenv(EnvSpec))
+	if err != nil {
+		return Spec{}, NodeOptions{}, true, err
+	}
+	o = NodeOptions{
+		Rank:       rank,
+		Rendezvous: os.Getenv(EnvRendezvous),
+		Cluster:    os.Getenv(EnvCluster),
+		Verify:     os.Getenv(EnvVerify) == "1",
+	}
+	if o.Rendezvous == "" {
+		return Spec{}, NodeOptions{}, true, fmt.Errorf("nodespec: %s not set", EnvRendezvous)
+	}
+	return spec, o, true, nil
+}
+
+// RunFromEnv runs a node whose parameters arrived via the environment,
+// logging to w. It is the shared body of cmd/jsweep-node and the test
+// re-exec helpers.
+func RunFromEnv(w io.Writer) error {
+	spec, o, ok, err := NodeEnv()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("nodespec: %s not set — not a launched node", EnvRank)
+	}
+	o.Log = w
+	_, err = Run(spec, o)
+	return err
+}
+
+// LaunchConfig shapes a local multi-process launch.
+type LaunchConfig struct {
+	// Spec is the solve; Spec.Procs node processes are spawned.
+	Spec Spec
+	// NodeCommand is the argv prefix that starts one node worker (the
+	// per-node parameters travel in the environment). Empty: a
+	// "jsweep-node" binary is looked up next to this executable, then on
+	// PATH.
+	NodeCommand []string
+	// Verify makes rank 0 cross-check against the serial reference.
+	Verify bool
+	// Timeout bounds the whole launch (default 5m).
+	Timeout time.Duration
+	// Log receives the rank-prefixed node output (nil = stdout).
+	Log io.Writer
+}
+
+// LaunchResult summarizes a completed launch.
+type LaunchResult struct {
+	// FluxHash is the flux bit-pattern hash every rank reported
+	// (identical across ranks by construction, or the launch fails).
+	FluxHash string
+	// Verified reports whether rank 0 ran and passed reference
+	// verification.
+	Verified bool
+	// Wall is the whole launch's wall time.
+	Wall time.Duration
+}
+
+// findNodeBinary resolves the default node command: a jsweep-node next
+// to the running executable, else on PATH.
+func findNodeBinary() ([]string, error) {
+	if exe, err := os.Executable(); err == nil {
+		sibling := exe[:strings.LastIndexByte(exe, '/')+1] + "jsweep-node"
+		if st, err := os.Stat(sibling); err == nil && !st.IsDir() {
+			return []string{sibling}, nil
+		}
+	}
+	if path, err := exec.LookPath("jsweep-node"); err == nil {
+		return []string{path}, nil
+	}
+	return nil, fmt.Errorf("nodespec: no jsweep-node binary found (next to the executable or on PATH); build it with `go build ./cmd/jsweep-node` or pass NodeCommand")
+}
+
+// LaunchLocal spawns Spec.Procs node OS processes on this host, wires
+// them through a local rendezvous, waits for the cluster solve, and
+// asserts that every rank reported the identical flux hash — the
+// cross-process bitwise-agreement certificate.
+func LaunchLocal(cfg LaunchConfig) (*LaunchResult, error) {
+	spec := cfg.Spec.withDefaults()
+	world := spec.Procs
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = os.Stdout
+	}
+	nodeCmd := cfg.NodeCommand
+	if len(nodeCmd) == 0 {
+		var err error
+		if nodeCmd, err = findNodeBinary(); err != nil {
+			return nil, err
+		}
+	}
+	specJSON, err := MarshalSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	var idBytes [8]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		return nil, err
+	}
+	cluster := "jsweep-" + hex.EncodeToString(idBytes[:])
+
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, world)
+	if err != nil {
+		return nil, err
+	}
+	defer rz.Close()
+
+	start := time.Now()
+	type nodeOut struct {
+		hash     string
+		verified bool
+		err      error
+	}
+	outs := make([]nodeOut, world)
+	cmds := make([]*exec.Cmd, world)
+	var outWG sync.WaitGroup
+	var outMu sync.Mutex // serializes writes to logw across ranks
+	for r := 0; r < world; r++ {
+		cmd := exec.Command(nodeCmd[0], nodeCmd[1:]...)
+		cmd.Env = append(os.Environ(),
+			EnvSpec+"="+specJSON,
+			EnvRank+"="+strconv.Itoa(r),
+			EnvRendezvous+"="+rz.Addr(),
+			EnvCluster+"="+cluster,
+		)
+		if cfg.Verify && r == 0 {
+			cmd.Env = append(cmd.Env, EnvVerify+"=1")
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			killAll(cmds)
+			return nil, err
+		}
+		cmd.Stderr = cmd.Stdout
+		if err := cmd.Start(); err != nil {
+			killAll(cmds)
+			return nil, fmt.Errorf("nodespec: start node %d (%s): %w", r, nodeCmd[0], err)
+		}
+		cmds[r] = cmd
+		outWG.Add(1)
+		go func(r int, cmd *exec.Cmd, rd io.Reader) {
+			defer outWG.Done()
+			sc := bufio.NewScanner(rd)
+			sc.Buffer(make([]byte, 64<<10), 1<<20)
+			for sc.Scan() {
+				line := sc.Text()
+				if h, ok := strings.CutPrefix(line, fmt.Sprintf("rank=%d %s", r, fluxHashMarker)); ok {
+					outs[r].hash = strings.TrimSpace(h)
+				}
+				if strings.HasPrefix(line, fmt.Sprintf("rank=%d %s", r, verifyOKMarker)) {
+					outs[r].verified = true
+				}
+				outMu.Lock()
+				fmt.Fprintf(logw, "[node %d] %s\n", r, line)
+				outMu.Unlock()
+			}
+			// Wait only after the scanner drained to EOF: Wait closes the
+			// pipe on process exit and would race buffered output away.
+			if err := cmd.Wait(); err != nil {
+				outs[r].err = fmt.Errorf("nodespec: node %d: %w", r, err)
+			}
+		}(r, cmd, stdout)
+	}
+
+	waitErr := make(chan error, 1)
+	go func() {
+		outWG.Wait()
+		for r := range outs {
+			if outs[r].err != nil {
+				waitErr <- outs[r].err
+				return
+			}
+		}
+		waitErr <- nil
+	}()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			return nil, err
+		}
+	case <-time.After(cfg.Timeout):
+		killAll(cmds)
+		<-waitErr
+		return nil, fmt.Errorf("nodespec: launch timed out after %v", cfg.Timeout)
+	}
+
+	res := &LaunchResult{Wall: time.Since(start), Verified: outs[0].verified}
+	for r := 0; r < world; r++ {
+		if outs[r].hash == "" {
+			return nil, fmt.Errorf("nodespec: node %d reported no flux hash", r)
+		}
+		if outs[r].hash != outs[0].hash {
+			return nil, fmt.Errorf("nodespec: flux hash mismatch: rank %d=%s, rank 0=%s — cross-process bitwise agreement broken",
+				r, outs[r].hash, outs[0].hash)
+		}
+	}
+	res.FluxHash = outs[0].hash
+	if cfg.Verify && !res.Verified {
+		return nil, fmt.Errorf("nodespec: rank 0 did not report verify=OK")
+	}
+	return res, nil
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}

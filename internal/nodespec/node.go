@@ -1,0 +1,291 @@
+package nodespec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/netcomm"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// NodeOptions places one rank of a cluster solve.
+type NodeOptions struct {
+	// Rank is this node's rank; the world size comes from Spec.Procs.
+	Rank int
+	// Rendezvous is the host:port of the launch's rendezvous service.
+	Rendezvous string
+	// Cluster is the launch-scoped cluster id.
+	Cluster string
+	// Timeout bounds the cluster bring-up (default 60s).
+	Timeout time.Duration
+	// Verify cross-checks the converged flux against the serial
+	// Reference in this process (bitwise on structured/cyclic meshes,
+	// 1e-12 relative on unstructured — the golden-test strictness).
+	Verify bool
+	// Log receives human-readable progress lines (nil = discard).
+	Log io.Writer
+}
+
+// ClusterStats sums solve-wide message costs over all ranks (gathered in
+// the final collective, which doubles as the shutdown barrier).
+type ClusterStats struct {
+	// Messages / BytesSent count every transport message and payload byte
+	// each rank sent over the whole solve (both lanes — streams, control,
+	// collectives), from the endpoint counters, so they share the
+	// whole-solve scope of Frames/WireBytes regardless of session reuse.
+	Messages, BytesSent int64
+	// RemoteStreams / BatchesSent sum the runtime session counters (the
+	// persistent session's cumulative view; with reuse off, the last
+	// sweep's round only).
+	RemoteStreams, BatchesSent int64
+	// Frames / WireBytes sum the TCP transport's frame counts and on-wire
+	// bytes (headers included) of every rank; 0 for in-memory solves.
+	Frames, WireBytes int64
+}
+
+// NodeResult is one rank's view of a finished cluster solve.
+type NodeResult struct {
+	// Result is the converged solution (every rank holds the full flux).
+	Result *transport.Result
+	// Stats is this rank's solver statistics for the last sweep/session.
+	Stats sweep.SweepStats
+	// Cluster sums message costs across all ranks.
+	Cluster ClusterStats
+	// FluxHash is a SHA-256 over the flux bit pattern; equal hashes on
+	// every rank certify bitwise agreement across OS processes.
+	FluxHash string
+	// Verified is set when Verify ran and passed.
+	Verified bool
+	// Wall is the solve wall time on this rank.
+	Wall time.Duration
+}
+
+// Machine-readable markers in a node's log output. The launcher scrapes
+// them from the node processes' stdout (the lines are emitted as
+// "rank=N <marker>..."), so emitter (logf below) and parser
+// (LaunchLocal's scanner) must share these exact strings.
+const (
+	// fluxHashMarker precedes the flux bit-pattern hash.
+	fluxHashMarker = "fluxhash="
+	// verifyOKMarker flags a passed serial-reference verification.
+	verifyOKMarker = "verify=OK"
+)
+
+// FluxHash hashes the exact bit pattern of a [group][cell] flux.
+func FluxHash(phi [][]float64) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, g := range phi {
+		for _, v := range g {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// Run joins the TCP cluster as one rank, builds the spec's problem,
+// drives the full source iteration across the cluster, and returns this
+// rank's result. On success the transport closes cleanly (collective
+// drain); on error it aborts instead, so peers blocked in a collective
+// fail fast rather than waiting on a rank that quietly left.
+func Run(spec Spec, o NodeOptions) (*NodeResult, error) {
+	spec = spec.withDefaults()
+	tr, err := netcomm.Join(netcomm.Options{
+		Cluster:    o.Cluster,
+		Rank:       o.Rank,
+		World:      spec.Procs,
+		Rendezvous: o.Rendezvous,
+		Timeout:    o.Timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := RunOn(spec, tr, o)
+	if err != nil {
+		tr.Abort()
+	}
+	tr.Close()
+	return res, err
+}
+
+// RunOn drives one rank's solve on an already-joined transport (Run's
+// core, also used by the in-process benchmarks and tests). The caller
+// owns the transport; RunOn runs a final collective before returning, so
+// closing right after is safe on every rank.
+func RunOn(spec Spec, tr comm.Transport, o NodeOptions) (*NodeResult, error) {
+	spec = spec.withDefaults()
+	logf := func(format string, args ...any) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, "rank=%d "+format+"\n", append([]any{o.Rank}, args...)...)
+		}
+	}
+	prob, d, err := Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := SolverOptions(spec, tr)
+	if err != nil {
+		return nil, err
+	}
+	logf("mesh=%s cells=%d patches=%d angles=%d groups=%d world=%d",
+		spec.Mesh, prob.M.NumCells(), d.NumPatches(), prob.Quad.NumAngles(), prob.Groups, spec.Procs)
+	s, err := sweep.NewSolver(prob, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	t0 := time.Now()
+	res, err := transport.SourceIterate(prob, s, IterConfig(spec))
+	if err != nil {
+		return nil, err
+	}
+	nr := &NodeResult{
+		Result:   res,
+		Stats:    s.LastStats(),
+		FluxHash: FluxHash(res.Phi),
+		Wall:     time.Since(t0),
+	}
+	logf("converged=%v iterations=%d residual=%.3e wall=%.3fs",
+		res.Converged, res.Iterations, res.Residual, nr.Wall.Seconds())
+	logf("%s%s", fluxHashMarker, nr.FluxHash)
+
+	// The (possibly long) serial-reference verify runs BEFORE the final
+	// collective: the stats gather below doubles as the shutdown
+	// barrier, so peers wait for a verifying rank 0 inside an untimed
+	// RecvOOB instead of stalling in Close until its timeout forces the
+	// connections shut. On verify failure the gather still runs first —
+	// skipping it would leave every other rank blocked in the barrier.
+	var verifyErr error
+	if o.Verify {
+		if verifyErr = verifyAgainstReference(spec, prob, res); verifyErr == nil {
+			nr.Verified = true
+		}
+	}
+
+	// Gather cluster-wide stats; no rank tears its connections down
+	// while another still needs them. The exchange must run on the
+	// solver's own Collective: a skewed peer's stats payload may already
+	// sit in its stash.
+	if err := gatherClusterStats(tr, s.Collective(), nr); err != nil {
+		if verifyErr != nil {
+			return nil, verifyErr
+		}
+		return nil, err
+	}
+	if verifyErr != nil {
+		return nil, verifyErr
+	}
+	logf("cluster: messages=%d bytes=%d remoteStreams=%d batches=%d frames=%d wireBytes=%d",
+		nr.Cluster.Messages, nr.Cluster.BytesSent, nr.Cluster.RemoteStreams,
+		nr.Cluster.BatchesSent, nr.Cluster.Frames, nr.Cluster.WireBytes)
+	if nr.Verified {
+		logf("%s (serial reference parity)", verifyOKMarker)
+	}
+	return nr, nil
+}
+
+// localClusterStats folds one rank's counters into the exchange payload.
+func localClusterStats(tr comm.Transport, st sweep.SweepStats) ClusterStats {
+	cum := st.Cumulative
+	if cum.RoundsRun == 0 {
+		// Reuse-off sessions have no cumulative view; fall back to the
+		// last round for the session-scoped counters.
+		cum = st.Runtime
+	}
+	cs := ClusterStats{
+		RemoteStreams: cum.RemoteStreams,
+		BatchesSent:   cum.BatchesSent,
+	}
+	// Message/byte totals come from the endpoint counters so they cover
+	// the whole solve (matching the wire-stat scope) on every reuse mode.
+	for _, r := range tr.LocalRanks() {
+		if ep := tr.Endpoint(r); ep != nil {
+			sent, _, bytesOut, _ := ep.Counters()
+			cs.Messages += sent
+			cs.BytesSent += bytesOut
+		}
+	}
+	if nt, ok := tr.(*netcomm.Transport); ok {
+		ws := nt.WireStats()
+		cs.Frames = ws.FramesSent
+		cs.WireBytes = ws.BytesOut
+	}
+	return cs
+}
+
+// gatherClusterStats allgathers and sums every rank's counters.
+func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult) error {
+	if coll == nil {
+		// Single-process (or single-rank) solve: local stats are global.
+		nr.Cluster = localClusterStats(tr, nr.Stats)
+		return nil
+	}
+	mine := localClusterStats(tr, nr.Stats)
+	payload := make([]byte, 0, 6*8)
+	for _, v := range []int64{mine.Messages, mine.BytesSent, mine.RemoteStreams, mine.BatchesSent, mine.Frames, mine.WireBytes} {
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(v))
+	}
+	parts, err := coll.AllExchange(payload)
+	if err != nil {
+		return fmt.Errorf("nodespec: cluster stats exchange: %w", err)
+	}
+	var sum ClusterStats
+	for rank, part := range parts {
+		if len(part) != 6*8 {
+			return fmt.Errorf("nodespec: rank %d sent %d-byte stats payload", rank, len(part))
+		}
+		sum.Messages += int64(binary.LittleEndian.Uint64(part[0:]))
+		sum.BytesSent += int64(binary.LittleEndian.Uint64(part[8:]))
+		sum.RemoteStreams += int64(binary.LittleEndian.Uint64(part[16:]))
+		sum.BatchesSent += int64(binary.LittleEndian.Uint64(part[24:]))
+		sum.Frames += int64(binary.LittleEndian.Uint64(part[32:]))
+		sum.WireBytes += int64(binary.LittleEndian.Uint64(part[40:]))
+	}
+	nr.Cluster = sum
+	return nil
+}
+
+// verifyAgainstReference solves the same spec on the serial Reference
+// and compares: bitwise on structured and cyclic meshes, 1e-12 relative
+// on unstructured (the reference accumulates patch boundaries in a
+// different global order there — same strictness as the golden tests).
+func verifyAgainstReference(spec Spec, prob *transport.Problem, res *transport.Result) error {
+	ref, err := sweep.NewReference(prob)
+	if err != nil {
+		return err
+	}
+	want, err := transport.SourceIterate(prob, ref, IterConfig(spec))
+	if err != nil {
+		return fmt.Errorf("nodespec: reference solve: %w", err)
+	}
+	if want.Iterations != res.Iterations {
+		return fmt.Errorf("nodespec: verify FAILED: %d iterations vs reference %d", res.Iterations, want.Iterations)
+	}
+	bitwise := spec.Mesh == "kobayashi" || spec.Mesh == "cyclic"
+	for g := range want.Phi {
+		for c := range want.Phi[g] {
+			w, h := want.Phi[g][c], res.Phi[g][c]
+			if bitwise {
+				if w != h {
+					return fmt.Errorf("nodespec: verify FAILED: group %d cell %d: %v != %v (bitwise)", g, c, h, w)
+				}
+				continue
+			}
+			denom := math.Abs(w)
+			if denom < 1 {
+				denom = 1
+			}
+			if math.Abs(h-w)/denom > 1e-12 {
+				return fmt.Errorf("nodespec: verify FAILED: group %d cell %d: %v vs %v", g, c, h, w)
+			}
+		}
+	}
+	return nil
+}

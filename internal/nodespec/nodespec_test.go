@@ -1,0 +1,228 @@
+package nodespec
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/netcomm"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	s := Spec{
+		Mesh: "cyclic", Cells: 300, SnOrder: 2, Groups: 2, Patch: 80,
+		Procs: 4, Workers: 2, Grain: 8, Prio: "LDCP+BFS",
+		Agg: true, AggStreams: 16, AggShards: 2, Tol: 1e-9, MaxIters: 50,
+	}
+	j, err := MarshalSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalSpec(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("round trip: %+v != %+v", got, s)
+	}
+	if _, err := UnmarshalSpec(`{"mesh":"ball","bogus_field":1}`); err == nil {
+		t.Error("unknown spec field accepted")
+	}
+	if _, err := UnmarshalSpec(`{broken`); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	p, err := ParsePair("slbd+ldcp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Patch.String() == p.Vertex.String() {
+		t.Fatalf("pair parsed wrong: %v", p)
+	}
+	for _, bad := range []string{"", "SLBD", "SLBD+SLBD+SLBD", "XXX+SLBD", "SLBD+XXX"} {
+		if _, err := ParsePair(bad); err == nil {
+			t.Errorf("pair %q accepted", bad)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	for _, mesh := range []string{"kobayashi", "ball", "reactor", "cyclic"} {
+		spec := Spec{Mesh: mesh, N: 8, Cells: 300, SnOrder: 2, Patch: 80, Procs: 2}
+		p1, d1, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", mesh, err)
+		}
+		p2, d2, err := Build(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", mesh, err)
+		}
+		if p1.M.NumCells() != p2.M.NumCells() || d1.NumPatches() != d2.NumPatches() {
+			t.Fatalf("%s: non-deterministic build (%d/%d cells, %d/%d patches)",
+				mesh, p1.M.NumCells(), p2.M.NumCells(), d1.NumPatches(), d2.NumPatches())
+		}
+		d1.Place(spec.Procs)
+		d2.Place(spec.Procs)
+		for p := range d1.Owner {
+			if d1.Owner[p] != d2.Owner[p] {
+				t.Fatalf("%s: placement differs at patch %d", mesh, p)
+			}
+		}
+	}
+	if _, _, err := Build(Spec{Mesh: "torus"}); err == nil {
+		t.Error("unknown mesh kind accepted")
+	}
+}
+
+func TestSolverOptionsMapping(t *testing.T) {
+	spec := Spec{Mesh: "kobayashi", Procs: 3, Workers: 2, Safra: true, ReuseOff: true,
+		Agg: true, AggStreams: 9, AggShards: 2, AggFlushMicro: 300}
+	opts, err := SolverOptions(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Procs != 3 || !opts.Aggregation.Enabled || opts.Aggregation.MaxBatchStreams != 9 {
+		t.Fatalf("options mapping broken: %+v", opts)
+	}
+	if opts.Aggregation.FlushInterval != 300*time.Microsecond {
+		t.Fatalf("flush interval = %v", opts.Aggregation.FlushInterval)
+	}
+	if opts.Termination.String() != "safra" {
+		t.Fatalf("termination = %v", opts.Termination)
+	}
+	if _, err := SolverOptions(Spec{Prio: "junk"}, nil); err == nil {
+		t.Error("bad priority pair accepted")
+	}
+}
+
+func TestNodeEnv(t *testing.T) {
+	t.Setenv(EnvRank, "")
+	if _, _, ok, _ := NodeEnv(); ok {
+		t.Fatal("NodeEnv claims node mode without rank")
+	}
+	spec, _ := MarshalSpec(Spec{Mesh: "kobayashi", N: 8, Procs: 2})
+	t.Setenv(EnvRank, "1")
+	t.Setenv(EnvSpec, spec)
+	t.Setenv(EnvRendezvous, "127.0.0.1:9")
+	t.Setenv(EnvCluster, "c")
+	t.Setenv(EnvVerify, "1")
+	got, o, ok, err := NodeEnv()
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if o.Rank != 1 || o.Rendezvous != "127.0.0.1:9" || o.Cluster != "c" || !o.Verify {
+		t.Fatalf("options: %+v", o)
+	}
+	if got.Mesh != "kobayashi" || got.N != 8 {
+		t.Fatalf("spec: %+v", got)
+	}
+	t.Setenv(EnvRank, "zzz")
+	if _, _, ok, err := NodeEnv(); !ok || err == nil {
+		t.Fatal("bad rank not rejected")
+	}
+	t.Setenv(EnvRank, "1")
+	t.Setenv(EnvRendezvous, "")
+	if _, _, _, err := NodeEnv(); err == nil {
+		t.Fatal("missing rendezvous not rejected")
+	}
+}
+
+// TestRunOnCluster runs a 2-rank in-process cluster through RunOn over
+// real TCP: flux hashes must agree, cluster stats must be symmetric,
+// and rank 0's verify must pass.
+func TestRunOnCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster solve skipped in -short mode")
+	}
+	spec := Spec{Mesh: "kobayashi", N: 8, SnOrder: 2, Scatter: true,
+		Procs: 2, Workers: 2, Grain: 32, Agg: true, Tol: 1e-8}
+	cluster := fmt.Sprintf("runon-%d", time.Now().UnixNano())
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*NodeResult, 2)
+	errs := make([]error, 2)
+	logs := make([]bytes.Buffer, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := netcomm.Join(netcomm.Options{
+				Cluster: cluster, Rank: r, World: 2, Rendezvous: rz.Addr(),
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], errs[r] = RunOn(spec, tr, NodeOptions{
+				Rank: r, Verify: r == 0, Log: &logs[r],
+			})
+			if errs[r] != nil {
+				tr.Abort()
+			}
+			tr.Close()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v\n%s", r, err, logs[r].String())
+		}
+	}
+	if results[0].FluxHash != results[1].FluxHash {
+		t.Fatalf("flux hashes differ: %s vs %s", results[0].FluxHash, results[1].FluxHash)
+	}
+	if !results[0].Verified {
+		t.Fatal("rank 0 not verified")
+	}
+	if results[0].Cluster != results[1].Cluster {
+		t.Fatalf("cluster stats differ: %+v vs %+v", results[0].Cluster, results[1].Cluster)
+	}
+	if results[0].Cluster.Frames == 0 || results[0].Cluster.WireBytes == 0 {
+		t.Fatalf("no wire traffic recorded: %+v", results[0].Cluster)
+	}
+	if !strings.Contains(logs[0].String(), "fluxhash=") {
+		t.Fatalf("rank 0 log missing fluxhash line:\n%s", logs[0].String())
+	}
+}
+
+// TestRunOnSingleProcess covers the all-local path: RunOn over an
+// explicit in-memory transport needs no exchange and reports local
+// stats as cluster stats.
+func TestRunOnSingleProcess(t *testing.T) {
+	spec := Spec{Mesh: "kobayashi", N: 8, SnOrder: 2, Procs: 2, Workers: 2, Agg: true}
+	tr, err := comm.NewTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	res, err := RunOn(spec, tr, NodeOptions{Rank: 0, Verify: true, Log: new(bytes.Buffer)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.FluxHash == "" {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Cluster.RemoteStreams == 0 {
+		t.Fatalf("no remote streams recorded across 2 in-process ranks: %+v", res.Cluster)
+	}
+}
+
+func TestFluxHashDistinguishesBits(t *testing.T) {
+	a := [][]float64{{1, 2, 3}}
+	b := [][]float64{{1, 2, 3.0000000000000004}} // one ulp away
+	if FluxHash(a) == FluxHash(b) {
+		t.Fatal("hash ignores bit differences")
+	}
+	if FluxHash(a) != FluxHash([][]float64{{1, 2, 3}}) {
+		t.Fatal("hash not deterministic")
+	}
+}

@@ -1,0 +1,289 @@
+// Package nodespec is the glue of multi-process solves: a serializable
+// Spec every rank builds the identical problem from (SPMD — the spec is
+// the single source of truth, the mesh generators are deterministic), a
+// node driver that joins the TCP cluster and runs a full source
+// iteration, and a local launcher that spawns one jsweep-node OS process
+// per rank.
+package nodespec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/geom"
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/mesh"
+	"jsweep/internal/meshgen"
+	"jsweep/internal/partition"
+	"jsweep/internal/priority"
+	"jsweep/internal/quadrature"
+	"jsweep/internal/runtime"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// Spec describes a complete solve: mesh, physics, decomposition, solver
+// shape. Every rank of a cluster rebuilds the identical problem from the
+// same spec — generators and partitioners are deterministic, so no mesh
+// data ever crosses the wire.
+type Spec struct {
+	// Mesh is kobayashi | ball | reactor | cyclic.
+	Mesh string `json:"mesh"`
+	// N is the structured cells-per-axis (kobayashi).
+	N int `json:"n,omitempty"`
+	// Cells is the approximate tet count (ball/reactor/cyclic).
+	Cells int `json:"cells,omitempty"`
+	// SnOrder is the quadrature order (default 4).
+	SnOrder int `json:"sn,omitempty"`
+	// Groups is the energy group count (default 1; non-kobayashi).
+	Groups int `json:"groups,omitempty"`
+	// Scatter enables scattering (kobayashi).
+	Scatter bool `json:"scatter,omitempty"`
+	// Patch is the cells-per-patch target (non-kobayashi; default 500).
+	Patch int `json:"patch,omitempty"`
+
+	// Procs is the rank count; Workers the worker goroutines per rank.
+	Procs   int `json:"procs"`
+	Workers int `json:"workers"`
+	// Grain is the vertex clustering grain (default 64).
+	Grain int `json:"grain,omitempty"`
+	// Prio is the PATCH+VERTEX priority pair (default SLBD+SLBD).
+	Prio string `json:"prio,omitempty"`
+	// Safra selects Safra termination instead of workload counting.
+	Safra bool `json:"safra,omitempty"`
+	// Reuse keeps one runtime session across sweeps (default true via
+	// ReuseOff=false).
+	ReuseOff bool `json:"reuse_off,omitempty"`
+	// Sequential runs on the deterministic engine (single-process only;
+	// refused with a multi-process transport).
+	Sequential bool `json:"sequential,omitempty"`
+	// Coarse runs later sweeps on the coarsened graph (single-process
+	// only; refused with a multi-process transport).
+	Coarse bool `json:"coarse,omitempty"`
+
+	// Aggregation knobs (runtime.AggregationConfig mirror).
+	Agg           bool `json:"agg,omitempty"`
+	AggStreams    int  `json:"agg_streams,omitempty"`
+	AggBytes      int  `json:"agg_bytes,omitempty"`
+	AggShards     int  `json:"agg_shards,omitempty"`
+	AggFlushMicro int  `json:"agg_flush_us,omitempty"`
+
+	// Tol and MaxIters control source iteration.
+	Tol      float64 `json:"tol,omitempty"`
+	MaxIters int     `json:"max_iters,omitempty"`
+}
+
+// withDefaults fills unset fields.
+func (s Spec) withDefaults() Spec {
+	if s.Mesh == "" {
+		s.Mesh = "kobayashi"
+	}
+	if s.N == 0 {
+		s.N = 16
+	}
+	if s.Cells == 0 {
+		s.Cells = 2000
+	}
+	if s.SnOrder == 0 {
+		s.SnOrder = 4
+	}
+	if s.Groups == 0 {
+		s.Groups = 1
+	}
+	if s.Patch == 0 {
+		s.Patch = 500
+	}
+	if s.Procs == 0 {
+		s.Procs = 2
+	}
+	if s.Workers == 0 {
+		s.Workers = 2
+	}
+	if s.Grain == 0 {
+		s.Grain = 64
+	}
+	if s.Prio == "" {
+		s.Prio = "SLBD+SLBD"
+	}
+	if s.Tol == 0 {
+		s.Tol = 1e-7
+	}
+	return s
+}
+
+// MarshalSpec encodes a spec as JSON (the launcher→node format).
+func MarshalSpec(s Spec) (string, error) {
+	b, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// UnmarshalSpec decodes the launcher→node JSON.
+func UnmarshalSpec(data string) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(strings.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return s, fmt.Errorf("nodespec: bad spec JSON: %w", err)
+	}
+	return s, nil
+}
+
+// ParsePair parses a "PATCH+VERTEX" priority pair.
+func ParsePair(s string) (priority.Pair, error) {
+	parts := strings.Split(s, "+")
+	if len(parts) != 2 {
+		return priority.Pair{}, fmt.Errorf("nodespec: priority pair must be PATCH+VERTEX (got %q)", s)
+	}
+	parse := func(name string) (priority.Strategy, error) {
+		switch strings.ToUpper(name) {
+		case "BFS":
+			return priority.BFS, nil
+		case "LDCP":
+			return priority.LDCP, nil
+		case "SLBD":
+			return priority.SLBD, nil
+		}
+		return 0, fmt.Errorf("nodespec: unknown strategy %q", name)
+	}
+	p, err := parse(parts[0])
+	if err != nil {
+		return priority.Pair{}, err
+	}
+	v, err := parse(parts[1])
+	if err != nil {
+		return priority.Pair{}, err
+	}
+	return priority.Pair{Patch: p, Vertex: v}, nil
+}
+
+// Build deterministically constructs the problem and decomposition of a
+// spec. Every rank calling Build with the same spec gets bitwise
+// identical meshes, materials and patch placement.
+func Build(s Spec) (*transport.Problem, *mesh.Decomposition, error) {
+	s = s.withDefaults()
+	switch s.Mesh {
+	case "kobayashi":
+		prob, m, err := kobayashi.Build(kobayashi.Spec{
+			N: s.N, SnOrder: s.SnOrder, Scattering: s.Scatter, Scheme: transport.Diamond,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		b := s.N / 4
+		if b < 1 {
+			b = 1
+		}
+		d, err := m.BlockDecompose(b, b, b)
+		if err != nil {
+			return nil, nil, err
+		}
+		return prob, d, nil
+	case "ball", "reactor", "cyclic":
+		var m *mesh.Unstructured
+		var err error
+		switch s.Mesh {
+		case "ball":
+			m, err = meshgen.BallWithCells(s.Cells, 10.0)
+		case "reactor":
+			m, err = meshgen.ReactorWithCells(s.Cells, 1.0, 1.5)
+		default:
+			m, err = meshgen.CyclicStackWithCells(s.Cells)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		m.SetMaterialFunc(func(geom.Vec3) int { return 0 })
+		quad, err := quadrature.New(s.SnOrder)
+		if err != nil {
+			return nil, nil, err
+		}
+		prob := uniformProblem(m, quad, s.Groups)
+		var d *mesh.Decomposition
+		if s.Mesh == "cyclic" {
+			np := m.NumCells() / s.Patch
+			if np < 2 {
+				np = 2
+			}
+			d, err = meshgen.AzimuthalBlocks(m, np)
+		} else {
+			d, err = partition.ByPatchSize(m, s.Patch, partition.GreedyGraph)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return prob, d, nil
+	}
+	return nil, nil, fmt.Errorf("nodespec: unknown mesh kind %q", s.Mesh)
+}
+
+// SolverOptions shapes the sweep solver from a spec; tr is nil for a
+// single-process solve or the rank's transport for a cluster node.
+func SolverOptions(s Spec, tr comm.Transport) (sweep.Options, error) {
+	s = s.withDefaults()
+	pair, err := ParsePair(s.Prio)
+	if err != nil {
+		return sweep.Options{}, err
+	}
+	term := runtime.Workload
+	if s.Safra {
+		term = runtime.Safra
+	}
+	reuse := sweep.ReuseOn
+	if s.ReuseOff {
+		reuse = sweep.ReuseOff
+	}
+	return sweep.Options{
+		Procs:        s.Procs,
+		Workers:      s.Workers,
+		Grain:        s.Grain,
+		Pair:         pair,
+		Termination:  term,
+		ReuseRuntime: reuse,
+		Sequential:   s.Sequential,
+		UseCoarse:    s.Coarse,
+		Aggregation: runtime.AggregationConfig{
+			Enabled:         s.Agg,
+			MaxBatchStreams: s.AggStreams,
+			MaxBatchBytes:   s.AggBytes,
+			Shards:          s.AggShards,
+			FlushInterval:   time.Duration(s.AggFlushMicro) * time.Microsecond,
+		},
+		Transport: tr,
+	}, nil
+}
+
+// IterConfig returns the spec's source-iteration config.
+func IterConfig(s Spec) transport.IterConfig {
+	s = s.withDefaults()
+	return transport.IterConfig{Tolerance: s.Tol, MaxIterations: s.MaxIters}
+}
+
+// uniformProblem builds the uniform-material multigroup problem the
+// non-kobayashi meshes solve (shared with cmd/jsweep-run).
+func uniformProblem(m mesh.Mesh, quad *quadrature.Set, groups int) *transport.Problem {
+	sigT := make([]float64, groups)
+	src := make([]float64, groups)
+	scat := make([][]float64, groups)
+	for g := 0; g < groups; g++ {
+		sigT[g] = 0.4 + 0.2*float64(g)
+		scat[g] = make([]float64, groups)
+		scat[g][g] = 0.1
+		if g+1 < groups {
+			scat[g][g+1] = 0.05
+		}
+	}
+	src[0] = 1.0
+	return &transport.Problem{
+		M:      m,
+		Mats:   []transport.Material{{Name: "uniform", SigmaT: sigT, SigmaS: scat, Source: src}},
+		Quad:   quad,
+		Groups: groups,
+		Scheme: transport.Step,
+	}
+}

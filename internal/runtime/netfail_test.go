@@ -1,0 +1,84 @@
+package runtime_test
+
+// Liveness over a fail-fast network backend: a rank that is purely
+// waiting for remote streams consumes the transport only through
+// TryRecv/Notify, which cannot report a peer failure — the master loop
+// must probe Endpoint.Err before parking, or a peer crash would leave
+// the survivors spinning forever.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"jsweep/internal/core"
+	"jsweep/internal/netcomm"
+	"jsweep/internal/runtime"
+	"jsweep/internal/testprog"
+)
+
+func TestRunRoundFailsFastWhenPeerDies(t *testing.T) {
+	cluster := fmt.Sprintf("netfail-%d", time.Now().UnixNano())
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := make([]*netcomm.Transport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = netcomm.Join(netcomm.Options{
+				Cluster: cluster, Rank: r, World: 2, Rendezvous: rz.Addr(),
+				CloseTimeout: 2 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer trs[0].Close()
+
+	// Rank 0 hosts the starter of a ping-pong whose peer lives on rank 1
+	// — but rank 1 never starts a runtime, and its transport dies
+	// mid-round. Rank 0's master must surface the transport failure
+	// instead of idling forever.
+	ka := core.ProgramKey{Patch: 0, Task: 0}
+	kb := core.ProgramKey{Patch: 1, Task: 0}
+	sink := testprog.NewResults()
+	a := &testprog.PingPong{Key: ka, Peer: kb, Rounds: 4, Starter: true, Sink: sink}
+	b := &testprog.PingPong{Key: kb, Peer: ka, Rounds: 4, Sink: sink}
+	rt, err := runtime.New(runtime.Config{Procs: 2, Workers: 1, Transport: trs[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Register(ka, a, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(kb, b, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	roundErr := make(chan error, 1)
+	go func() {
+		_, err := rt.RunRound()
+		roundErr <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let rank 0 send its first ball and go idle
+	trs[1].Abort()                    // simulated crash of rank 1
+
+	select {
+	case err := <-roundErr:
+		if err == nil {
+			t.Fatal("RunRound returned nil after the peer died")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunRound still blocked after the peer died — master loop cannot observe transport failure")
+	}
+}

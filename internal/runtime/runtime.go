@@ -52,7 +52,7 @@ func (m TerminationMode) String() string {
 
 // Config configures a runtime instance.
 type Config struct {
-	// Procs is the number of simulated MPI processes.
+	// Procs is the number of MPI-style processes across the whole cluster.
 	Procs int
 	// Workers is the number of worker goroutines per process (the paper
 	// reserves one core per process for the master; workers are the rest).
@@ -63,6 +63,13 @@ type Config struct {
 	// coalesce into per-destination multi-stream frames instead of going
 	// out one message per routeStreams call.
 	Aggregation AggregationConfig
+	// Transport is the message-passing backend. Nil (the default) creates
+	// an in-memory transport hosting all Procs ranks as goroutines of
+	// this OS process; the runtime owns and closes it. A non-nil
+	// transport (e.g. the TCP backend of internal/netcomm) must span
+	// exactly Procs ranks, and the runtime hosts only its LocalRanks —
+	// the caller retains ownership and closes the transport after Close.
+	Transport comm.Transport
 }
 
 // Stats aggregates execution statistics across all processes. RunRound
@@ -119,9 +126,18 @@ const (
 // transport stay alive between rounds.
 type Runtime struct {
 	cfg       Config
-	transport *comm.Transport
-	procs     []*process
-	owner     map[core.ProgramKey]int
+	transport comm.Transport
+	// ownsTransport marks a runtime-created in-memory transport, closed by
+	// Close; a caller-provided transport is left open.
+	ownsTransport bool
+	// procs holds the locally hosted processes (all Procs ranks with the
+	// in-memory transport; this node's ranks with a network backend).
+	procs []*process
+	// byRank maps a rank to its local process, nil for remote ranks.
+	byRank []*process
+	// allLocal is true when every rank is hosted in this OS process.
+	allLocal bool
+	owner    map[core.ProgramKey]int
 
 	// started flips when the first round launches the worker goroutines;
 	// registration closes at that point.
@@ -147,24 +163,49 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Workers < 1 {
 		return nil, fmt.Errorf("runtime: need >= 1 worker per proc (got %d)", cfg.Workers)
 	}
-	tr, err := comm.NewTransport(cfg.Procs)
-	if err != nil {
-		return nil, err
-	}
 	rt := &Runtime{
-		cfg:       cfg,
-		transport: tr,
-		owner:     make(map[core.ProgramKey]int),
-		procs:     make([]*process, cfg.Procs),
+		cfg:   cfg,
+		owner: make(map[core.ProgramKey]int),
 	}
-	for r := 0; r < cfg.Procs; r++ {
-		rt.procs[r] = newProcess(rt, r)
+	if cfg.Transport != nil {
+		if n := cfg.Transport.NumRanks(); n != cfg.Procs {
+			return nil, fmt.Errorf("runtime: transport spans %d ranks, config wants %d procs", n, cfg.Procs)
+		}
+		rt.transport = cfg.Transport
+	} else {
+		tr, err := comm.NewTransport(cfg.Procs)
+		if err != nil {
+			return nil, err
+		}
+		rt.transport = tr
+		rt.ownsTransport = true
 	}
+	local := rt.transport.LocalRanks()
+	if len(local) == 0 {
+		return nil, fmt.Errorf("runtime: transport hosts no local ranks")
+	}
+	rt.byRank = make([]*process, cfg.Procs)
+	rt.procs = make([]*process, 0, len(local))
+	for _, r := range local {
+		if r < 0 || r >= cfg.Procs {
+			return nil, fmt.Errorf("runtime: transport local rank %d out of range [0,%d)", r, cfg.Procs)
+		}
+		if rt.byRank[r] != nil {
+			return nil, fmt.Errorf("runtime: transport lists local rank %d twice", r)
+		}
+		p := newProcess(rt, r)
+		rt.byRank[r] = p
+		rt.procs = append(rt.procs, p)
+	}
+	rt.allLocal = len(rt.procs) == cfg.Procs
 	return rt, nil
 }
 
 // Register places program key on process rank with the given scheduling
-// priority (larger runs earlier). All programs start active.
+// priority (larger runs earlier). All programs start active. Every node
+// of a multi-process cluster registers the complete program set with
+// identical placement (that is what routes remote streams); only the
+// locally hosted ranks actually instantiate and run their programs.
 func (rt *Runtime) Register(key core.ProgramKey, prog core.PatchProgram, prio int64, rank int) error {
 	if rt.started {
 		return fmt.Errorf("runtime: Register after the session started")
@@ -181,7 +222,9 @@ func (rt *Runtime) Register(key core.ProgramKey, prog core.PatchProgram, prio in
 		}
 	}
 	rt.owner[key] = rank
-	rt.procs[rank].register(key, prog, prio)
+	if p := rt.byRank[rank]; p != nil {
+		p.register(key, prog, prio)
+	}
 	return nil
 }
 
@@ -220,13 +263,13 @@ func (rt *Runtime) RunRound() (Stats, error) {
 	}
 	start := time.Now()
 	var wg sync.WaitGroup
-	errs := make([]error, rt.cfg.Procs)
-	for r := 0; r < rt.cfg.Procs; r++ {
+	errs := make([]error, len(rt.procs))
+	for i, p := range rt.procs {
 		wg.Add(1)
-		go func(p *process) {
+		go func(i int, p *process) {
 			defer wg.Done()
-			errs[p.rank] = p.runRound()
-		}(rt.procs[r])
+			errs[i] = p.runRound()
+		}(i, p)
 	}
 	wg.Wait()
 	st := Stats{RoundsRun: 1}
@@ -270,26 +313,30 @@ func (rt *Runtime) Reset() error {
 	return nil
 }
 
-// Close shuts the worker goroutines down and ends the session. It is
-// idempotent; statistics remain readable afterwards.
+// Close shuts the worker goroutines down and ends the session. A
+// runtime-owned (in-memory) transport is closed too; a caller-provided
+// transport stays open for the caller's own collectives and teardown. It
+// is idempotent; statistics remain readable afterwards.
 func (rt *Runtime) Close() error {
 	if rt.closed {
 		return nil
 	}
 	rt.closed = true
-	if !rt.started {
-		return nil
-	}
-	for _, p := range rt.procs {
-		p.mu.Lock()
-		p.shutdown = true
-		for _, w := range p.workers {
-			w.cond.Broadcast()
+	if rt.started {
+		for _, p := range rt.procs {
+			p.mu.Lock()
+			p.shutdown = true
+			for _, w := range p.workers {
+				w.cond.Broadcast()
+			}
+			p.mu.Unlock()
 		}
-		p.mu.Unlock()
+		for _, p := range rt.procs {
+			p.drainAndJoin()
+		}
 	}
-	for _, p := range rt.procs {
-		p.drainAndJoin()
+	if rt.ownsTransport {
+		return rt.transport.Close()
 	}
 	return nil
 }
@@ -352,7 +399,7 @@ type workerResult struct {
 type process struct {
 	rt   *Runtime
 	rank int
-	ep   *comm.Endpoint
+	ep   comm.Endpoint
 
 	// batchers aggregates outbound streams per destination rank; nil when
 	// aggregation is disabled. Only the master goroutine touches them.
@@ -525,6 +572,13 @@ masterLoop:
 			if stop := p.checkTermination(); stop {
 				break masterLoop
 			}
+			// A dead transport can never terminate this round: a waiting
+			// rank consumes only TryRecv/Notify, which cannot report a
+			// peer failure, so probe the terminal state before parking.
+			if terr := p.ep.Err(); terr != nil {
+				err = fmt.Errorf("runtime: rank %d transport failed mid-round: %w", p.rank, terr)
+				break masterLoop
+			}
 			// Idle wait on any event source.
 			select {
 			case r := <-p.results:
@@ -567,8 +621,15 @@ func (p *process) collectRound() Stats {
 // round state is verified to be clean (a stale message or half-full
 // batcher means the previous round did not terminate properly).
 func (p *process) resetRound() error {
-	if n := p.ep.Pending(); n > 0 {
-		return fmt.Errorf("runtime: rank %d has %d undrained messages at round boundary", p.rank, n)
+	// With every rank in-process, a pending message at the round boundary
+	// is necessarily stale — the previous round failed to drain. With a
+	// network backend, a faster node may legitimately have begun the next
+	// round already, so early arrivals wait in the endpoint queue for the
+	// next master loop and the staleness check must stand down.
+	if p.rt.allLocal {
+		if n := p.ep.Pending(); n > 0 {
+			return fmt.Errorf("runtime: rank %d has %d undrained messages at round boundary", p.rank, n)
+		}
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -1,0 +1,153 @@
+// Per-sweep partial-result exchange of the multi-process (SPMD) solver.
+//
+// In single-process mode the solver reduces every program's PhiLocal
+// into the global flux directly. Across OS processes each node only ran
+// its own rank's programs, so after every sweep the nodes allgather
+// their partials over the transport's out-of-band lane:
+//
+//   - the scalar-flux contributions of the cells this rank owns (each
+//     cell belongs to exactly one patch, each patch to exactly one rank,
+//     so per-cell sums are complete on their owner and ranks compose by
+//     disjoint assignment — bit-reproducible regardless of arrival
+//     order);
+//   - the lagged-flux slots this rank's programs wrote (cyclic meshes:
+//     each slot has exactly one writer, the program owning the feedback
+//     edge's source cell).
+//
+// After the exchange every node holds the identical full flux, so the
+// surrounding source iteration makes the same convergence decisions on
+// every node with no further coordination.
+//
+//	partial := fluxCount:u32 { cell:u32 phi:f64bits*G }*fluxCount
+//	           lagCount:u32  { slot:u32 psi:f64bits*G }*lagCount
+package sweep
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"jsweep/internal/mesh"
+)
+
+// exchangePartials allgathers this rank's flux (and lagged-edge)
+// contributions and merges every other rank's into phi and the lag
+// store. A no-op in single-process mode.
+func (s *Solver) exchangePartials(phi [][]float64) error {
+	if !s.distributed {
+		return nil
+	}
+	payload := s.encodePartial(phi)
+	parts, err := s.coll.AllExchange(payload)
+	if err != nil {
+		return fmt.Errorf("sweep: rank %d partial exchange: %w", s.myRank, err)
+	}
+	for rank, part := range parts {
+		if rank == s.myRank {
+			continue
+		}
+		if err := s.mergePartial(phi, rank, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodePartial packs the owned cells' flux and the locally written
+// lagged-flux slots.
+func (s *Solver) encodePartial(phi [][]float64) []byte {
+	G := s.prob.Groups
+	cells := 0
+	for p := 0; p < s.d.NumPatches(); p++ {
+		if s.localPatch[p] {
+			cells += len(s.d.Cells[p])
+		}
+	}
+	buf := make([]byte, 0, 8+cells*(4+8*G)+len(s.myLagSlots)*(4+8*G))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(cells))
+	for p := 0; p < s.d.NumPatches(); p++ {
+		if !s.localPatch[p] {
+			continue
+		}
+		for _, c := range s.d.Cells[p] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(c))
+			for g := 0; g < G; g++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(phi[g][c]))
+			}
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.myLagSlots)))
+	for _, slot := range s.myLagSlots {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(slot))
+		for _, v := range s.lag.NewSlot(slot) {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+// mergePartial folds one remote rank's partial into phi and the lag
+// store. Owned cells and lag slots are disjoint across ranks, so merging
+// is plain assignment and bitwise exact.
+func (s *Solver) mergePartial(phi [][]float64, from int, buf []byte) error {
+	G := s.prob.Groups
+	nc := s.prob.M.NumCells()
+	entry := 4 + 8*G
+	off := 0
+	readCount := func(what string) (int, error) {
+		if len(buf)-off < 4 {
+			return 0, fmt.Errorf("sweep: rank %d partial from rank %d: %s count truncated", s.myRank, from, what)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if int64(n)*int64(entry) > int64(len(buf)-off) {
+			return 0, fmt.Errorf("sweep: rank %d partial from rank %d: %s count %d exceeds remaining %d bytes",
+				s.myRank, from, what, n, len(buf)-off)
+		}
+		return n, nil
+	}
+	fluxCount, err := readCount("flux")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < fluxCount; i++ {
+		c := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if c < 0 || c >= nc {
+			return fmt.Errorf("sweep: rank %d partial from rank %d: cell %d out of range", s.myRank, from, c)
+		}
+		if owner := s.d.Owner[s.d.PatchOf(mesh.CellID(c))]; owner != from {
+			return fmt.Errorf("sweep: rank %d partial from rank %d: cell %d belongs to rank %d", s.myRank, from, c, owner)
+		}
+		for g := 0; g < G; g++ {
+			phi[g][c] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	lagCount, err := readCount("lag")
+	if err != nil {
+		return err
+	}
+	if lagCount > 0 && s.lag == nil {
+		return fmt.Errorf("sweep: rank %d partial from rank %d carries %d lag slots on an acyclic mesh", s.myRank, from, lagCount)
+	}
+	for i := 0; i < lagCount; i++ {
+		slot := int(int32(binary.LittleEndian.Uint32(buf[off:])))
+		off += 4
+		if slot < 0 || slot >= s.lag.Total() {
+			return fmt.Errorf("sweep: rank %d partial from rank %d: lag slot %d out of range", s.myRank, from, slot)
+		}
+		if owner := s.lagSlotOwner[slot]; owner != from {
+			return fmt.Errorf("sweep: rank %d partial from rank %d: lag slot %d belongs to rank %d", s.myRank, from, slot, owner)
+		}
+		dst := s.lag.NewSlot(int32(slot))
+		for g := 0; g < G; g++ {
+			dst[g] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+	}
+	if off != len(buf) {
+		return fmt.Errorf("sweep: rank %d partial from rank %d: %d trailing bytes", s.myRank, from, len(buf)-off)
+	}
+	return nil
+}

@@ -55,6 +55,15 @@ func (ls *LagStore) Total() int { return int(ls.offs[len(ls.offs)-1]) }
 // needs no zeroing.
 func (ls *LagStore) Advance() { ls.old, ls.new = ls.new, ls.old }
 
+// NewSlot returns the new-half flux of the flat slot id (len = groups).
+// The distributed solver uses it to export locally written slots and to
+// import the slots other ranks wrote, between the sweep and the next
+// Advance.
+func (ls *LagStore) NewSlot(slot int32) []float64 {
+	base := int(slot) * ls.groups
+	return ls.new[base : base+ls.groups]
+}
+
 // Old returns angle a's lagged flux of edge slot idx (len = groups).
 func (ls *LagStore) Old(a int32, idx int32) []float64 {
 	base := (int(ls.offs[a]) + int(idx)) * ls.groups

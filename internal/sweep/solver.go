@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"jsweep/internal/comm"
 	"jsweep/internal/core"
 	"jsweep/internal/graph"
 	"jsweep/internal/mesh"
@@ -63,6 +64,18 @@ type Options struct {
 	// of rebuilding (default on). Call Solver.Close when done with a
 	// reusing solver to stop its worker goroutines.
 	ReuseRuntime ReuseMode
+	// Transport selects the message-passing backend. Nil (the default)
+	// runs all Procs ranks as goroutines of this OS process over the
+	// in-memory transport. A network transport (internal/netcomm) that
+	// hosts a single rank turns the solver into one SPMD node of a
+	// multi-process cluster: it executes only the patch-programs its rank
+	// owns and allgathers flux (and lagged-edge) partials after every
+	// sweep, so each node's Sweep returns the full, bitwise-identical
+	// scalar flux. Every node must build the same problem, decomposition
+	// and options. The caller retains ownership of the transport and
+	// closes it after Solver.Close. Incompatible with Sequential and
+	// UseCoarse (cluster recording is rank-local).
+	Transport comm.Transport
 }
 
 func (o *Options) defaults() {
@@ -153,6 +166,20 @@ type Solver struct {
 	fluxMu   sync.Mutex
 	fluxPool [][][]float64
 
+	// Distributed (multi-process) state: with a network transport this
+	// solver is one SPMD node hosting myRank. localPatch flags the
+	// patches whose programs run here; coll runs the per-sweep allgather
+	// of flux and lagged-edge partials; myLagSlots lists the lagged-flux
+	// slots whose writers are local, in ascending slot order, and
+	// lagSlotOwner maps every flat slot to its writer rank so merges can
+	// reject a peer claiming a slot it does not own.
+	distributed  bool
+	myRank       int
+	localPatch   []bool
+	coll         *comm.Collective
+	myLagSlots   []int32
+	lagSlotOwner []int
+
 	cg    *graph.CoarseGraph
 	stats SweepStats
 }
@@ -170,6 +197,11 @@ func NewSolver(prob *transport.Problem, d *mesh.Decomposition, opts Options) (*S
 	}
 	s := &Solver{prob: prob, d: d, opts: opts}
 	d.Place(opts.Procs)
+	if opts.Transport != nil {
+		if err := s.setupDistributed(); err != nil {
+			return nil, err
+		}
+	}
 	na := len(prob.Quad.Directions)
 	np := d.NumPatches()
 	s.graphs = make([][]*graph.PatchGraph, na)
@@ -202,11 +234,86 @@ func NewSolver(prob *transport.Problem, d *mesh.Decomposition, opts Options) (*S
 		}
 	}
 	s.lag = NewLagStore(lagged, prob.Groups)
+	if s.distributed && s.lag != nil {
+		// Lagged-edge slots are written by the program owning the edge's
+		// source cell; record which flat slots are written on this rank so
+		// the per-sweep exchange can export them (and import the rest),
+		// plus every slot's owner rank for merge validation.
+		s.lagSlotOwner = make([]int, 0, s.lag.Total())
+		slot := int32(0)
+		for a := 0; a < na; a++ {
+			for _, e := range lagged[a] {
+				owner := s.d.Owner[s.d.PatchOf(e.From)]
+				s.lagSlotOwner = append(s.lagSlotOwner, owner)
+				if s.localPatch[s.d.PatchOf(e.From)] {
+					s.myLagSlots = append(s.myLagSlots, slot)
+				}
+				slot++
+			}
+		}
+	}
 	if s.opts.reuse() {
 		s.fineProgs = s.buildFinePrograms(nil, s.opts.UseCoarse)
 	}
 	return s, nil
 }
+
+// setupDistributed validates the network transport and prepares the SPMD
+// node state (local patch set, collective helper, rank identity).
+func (s *Solver) setupDistributed() error {
+	tr := s.opts.Transport
+	if s.opts.Sequential {
+		return fmt.Errorf("sweep: Sequential and Transport are mutually exclusive")
+	}
+	if n := tr.NumRanks(); n != s.opts.Procs {
+		return fmt.Errorf("sweep: transport spans %d ranks, options want %d procs", n, s.opts.Procs)
+	}
+	local := tr.LocalRanks()
+	isLocal := make([]bool, s.opts.Procs)
+	for _, r := range local {
+		if r < 0 || r >= s.opts.Procs {
+			return fmt.Errorf("sweep: transport local rank %d out of range [0,%d)", r, s.opts.Procs)
+		}
+		isLocal[r] = true
+	}
+	s.localPatch = make([]bool, s.d.NumPatches())
+	for p := range s.localPatch {
+		s.localPatch[p] = isLocal[s.d.Owner[p]]
+	}
+	if len(local) == s.opts.Procs {
+		// Every rank in-process (an in-memory transport passed explicitly):
+		// no partial-result exchange needed.
+		return nil
+	}
+	if len(local) != 1 {
+		return fmt.Errorf("sweep: a distributed solver node hosts exactly one rank (transport hosts %d)", len(local))
+	}
+	if s.opts.UseCoarse {
+		return fmt.Errorf("sweep: UseCoarse is not supported over a multi-process transport (vertex clusters are recorded per rank)")
+	}
+	s.distributed = true
+	s.myRank = local[0]
+	ep := tr.Endpoint(s.myRank)
+	if ep == nil {
+		return fmt.Errorf("sweep: transport returns no endpoint for local rank %d", s.myRank)
+	}
+	s.coll = comm.NewCollective(ep, s.opts.Procs)
+	return nil
+}
+
+// runsLocally reports whether patch p's programs execute on this node.
+// Without a multi-process transport every patch is local.
+func (s *Solver) runsLocally(p int) bool {
+	return !s.distributed || s.localPatch[p]
+}
+
+// Collective returns the solver's OOB collective helper (nil unless the
+// solver is a multi-process node). A Collective must own its endpoint's
+// OOB lane exclusively — when ranks drift apart, payloads for the next
+// exchange are stashed inside the instance — so any further collectives
+// on this endpoint (e.g. a final stats gather) must go through this same
+// instance, never a fresh one.
+func (s *Solver) Collective() *comm.Collective { return s.coll }
 
 // Close ends the persistent session: the runtime's worker goroutines stop
 // and further Sweep calls rebuild a fresh session on demand. It is
@@ -302,6 +409,11 @@ func (s *Solver) Sweep(q [][]float64) ([][]float64, error) {
 
 // buildFinePrograms constructs every fine (angle, patch) program. q may
 // be nil for session programs, which are rebound per sweep via Reset.
+// A distributed node builds the full set too — registration needs every
+// key for stream routing — but program state is allocated lazily in
+// Init/ensure, which the runtime only calls for locally hosted ranks,
+// and Reset on a never-initialized program is an O(1) source rebind; a
+// node's memory therefore scales with its owned patches, not the mesh.
 func (s *Solver) buildFinePrograms(q [][]float64, record bool) [][]*Program {
 	na := len(s.prob.Quad.Directions)
 	np := s.d.NumPatches()
@@ -388,6 +500,9 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 	s.stats.PatchSCCs = s.patchSCCs
 	for a := 0; a < na; a++ {
 		for p := 0; p < np; p++ {
+			if !s.runsLocally(p) {
+				continue
+			}
 			prog := progs[a][p]
 			if prog.RemainingWork() != 0 {
 				return nil, nil, fmt.Errorf("sweep: program %v finished with %d vertices unswept", prog.Key, prog.RemainingWork())
@@ -403,6 +518,9 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 				}
 			}
 		}
+	}
+	if err := s.exchangePartials(phi); err != nil {
+		return nil, nil, err
 	}
 	return phi, progs, nil
 }
@@ -451,6 +569,14 @@ func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 	s.stats.PatchSCCs = s.patchSCCs
 	for a := 0; a < na; a++ {
 		for p := 0; p < np; p++ {
+			// Defensive: coarse mode is currently refused with a
+			// multi-process transport (setupDistributed), so runsLocally is
+			// always true and the exchange below is a no-op; the guards
+			// keep the reduction correct if that restriction is ever
+			// lifted.
+			if !s.runsLocally(p) {
+				continue
+			}
 			prog := progs[a][p]
 			if prog.RemainingWork() != 0 {
 				return nil, fmt.Errorf("sweep: coarse program %v finished with %d vertices unswept", prog.Key, prog.RemainingWork())
@@ -466,6 +592,9 @@ func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 				}
 			}
 		}
+	}
+	if err := s.exchangePartials(phi); err != nil {
+		return nil, err
 	}
 	return phi, nil
 }
@@ -560,6 +689,7 @@ func (s *Solver) runtimeConfig() runtime.Config {
 		Workers:     s.opts.Workers,
 		Termination: s.opts.Termination,
 		Aggregation: agg,
+		Transport:   s.opts.Transport,
 	}
 }
 

@@ -1,0 +1,75 @@
+package jsweep
+
+// Multi-process solves: the same patch-centric runtime that runs all
+// ranks as goroutines (the in-memory comm backend) can run each rank as
+// its own OS process over the TCP backend (internal/netcomm) — one
+// jsweep-node worker per rank, wired through a rendezvous service, with
+// the flux allgathered per sweep so every rank returns the identical
+// bit pattern. The NodeSpec is the single source of truth: every rank
+// deterministically rebuilds the same mesh, materials and placement
+// from it, so no mesh data crosses the wire.
+
+import (
+	"jsweep/internal/comm"
+	"jsweep/internal/netcomm"
+	"jsweep/internal/nodespec"
+)
+
+type (
+	// MessageTransport is the pluggable message-passing backend behind
+	// the runtime (SolverOptions.Transport): the in-memory transport or
+	// a TCP cluster membership from JoinCluster.
+	MessageTransport = comm.Transport
+	// NodeSpec describes a complete solve; every rank of a cluster
+	// rebuilds the identical problem from it.
+	NodeSpec = nodespec.Spec
+	// NodeOptions places one rank of a cluster solve.
+	NodeOptions = nodespec.NodeOptions
+	// NodeResult is one rank's view of a finished cluster solve.
+	NodeResult = nodespec.NodeResult
+	// LaunchConfig shapes a local multi-process launch.
+	LaunchConfig = nodespec.LaunchConfig
+	// LaunchResult summarizes a completed launch.
+	LaunchResult = nodespec.LaunchResult
+	// Rendezvous is the cluster bring-up service ranks report to.
+	Rendezvous = netcomm.Rendezvous
+)
+
+// NewMemTransport returns an in-memory transport hosting all n ranks in
+// this process (the default backend the runtime creates on its own; the
+// explicit constructor exists for conformance tests and custom wiring).
+func NewMemTransport(n int) (MessageTransport, error) { return comm.NewTransport(n) }
+
+// StartRendezvous starts the cluster bring-up service for a world-rank
+// launch on addr (e.g. "127.0.0.1:0").
+func StartRendezvous(addr, cluster string, world int) (*Rendezvous, error) {
+	return netcomm.StartRendezvous(addr, cluster, world)
+}
+
+// JoinCluster attaches this process to a TCP cluster as one rank. The
+// returned transport plugs into SolverOptions.Transport; the caller
+// closes it after Solver.Close (Close is collective across ranks).
+func JoinCluster(cluster string, rank, world int, rendezvous string) (MessageTransport, error) {
+	return netcomm.Join(netcomm.Options{
+		Cluster: cluster, Rank: rank, World: world, Rendezvous: rendezvous,
+	})
+}
+
+// BuildFromSpec deterministically constructs a spec's problem and
+// decomposition (identical on every rank).
+func BuildFromSpec(spec NodeSpec) (*Problem, *Decomposition, error) { return nodespec.Build(spec) }
+
+// SolverOptionsFromSpec shapes solver options from a spec; tr is nil for
+// a single-process solve or the rank's transport for a cluster node.
+func SolverOptionsFromSpec(spec NodeSpec, tr MessageTransport) (SolverOptions, error) {
+	return nodespec.SolverOptions(spec, tr)
+}
+
+// RunNode joins a TCP cluster as one rank and drives the full source
+// iteration across it (the body of cmd/jsweep-node).
+func RunNode(spec NodeSpec, o NodeOptions) (*NodeResult, error) { return nodespec.Run(spec, o) }
+
+// LaunchLocal spawns spec.Procs jsweep-node OS processes on this host,
+// wires them through a local rendezvous, and certifies that every rank
+// reported the identical flux bit pattern.
+func LaunchLocal(cfg LaunchConfig) (*LaunchResult, error) { return nodespec.LaunchLocal(cfg) }
