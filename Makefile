@@ -1,8 +1,20 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench net-bench net-smoke cover clean
+.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench net-bench net-smoke cover clean examples api-check
 
 all: build vet test
+
+# Build every example and run each to completion with tiny parameters
+# (the smoke tests shell out to the go toolchain per example).
+examples:
+	$(GO) build ./examples/...
+	$(GO) test ./examples -count=1
+
+# Public-API stability gate: fail when an exported symbol of the jsweep
+# package was removed relative to API_BASE (default: the PR base branch
+# on CI, else the previous commit).
+api-check:
+	./scripts/api_check.sh $(API_BASE)
 
 build:
 	$(GO) build ./...

@@ -1,0 +1,297 @@
+package jsweep_test
+
+// Cancellation coverage: a cancelled solve must return within a bounded
+// time with ctx.Err() in its error chain, leak no goroutines, and leave
+// uncancelled runs bitwise identical to the serial reference. Covers
+// the two hard cases the context plumbing exists for — a 4-rank TCP
+// cluster cancelled mid-iteration (collectives must unblock cluster-
+// wide) and a reused-session in-process solve cancelled mid-sweep
+// (parked workers and the master loop must unblock).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jsweep"
+)
+
+// cancelSpec solves slowly enough to be cancelled mid-flight: heavy
+// scattering and a tolerance far below reach keep it iterating to
+// MaxIters.
+func cancelSpec(backend jsweep.Backend) jsweep.NodeSpec {
+	return jsweep.NodeSpec{
+		Mesh: "kobayashi", N: 12, SnOrder: 2, Scatter: true,
+		Backend: backend, Procs: 4, Workers: 2, Grain: 32,
+		Tol: 1e-300, MaxIters: 10000,
+	}
+}
+
+// withinGoroutineBudget polls until the goroutine count returns to the
+// baseline (+slack for runtime helpers), failing after the deadline.
+func withinGoroutineBudget(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after cancellation: %d before, %d after\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestCancelTCPSolveMidIteration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cancellation test skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+	const ranks = 4
+	spec := cancelSpec(jsweep.BackendTCPAttach)
+
+	rz, err := jsweep.StartRendezvous("127.0.0.1:0", "cancel", ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Rank 0 cancels the whole cluster once iteration 2 has completed —
+	// the cancel lands mid-iteration 3, with peers deep inside their
+	// sweeps or parked in the per-sweep collective.
+	var iters atomic.Int64
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			opts := []jsweep.JobOption{jsweep.WithAttach("cancel", r, rz.Addr())}
+			if r == 0 {
+				opts = append(opts, jsweep.WithProgress(func(ev jsweep.ProgressEvent) {
+					if iters.Store(int64(ev.Iteration)); ev.Iteration == 2 {
+						cancel()
+					}
+				}))
+			}
+			job, err := jsweep.NewJob(spec, opts...)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			_, errs[r] = job.Run(ctx)
+		}(r)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("cancelled 4-rank TCP solve still running after 60s")
+	}
+	// The acceptance bound: cancellation to full return within 10s.
+	if elapsed := time.Since(start); elapsed > 45*time.Second {
+		t.Fatalf("solve+cancel took %v", elapsed)
+	}
+	if got := iters.Load(); got >= 100 {
+		t.Fatalf("solve ran %d iterations after the cancel point — cancellation did not take", got)
+	}
+	for r, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d returned nil from a cancelled solve", r)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("rank %d error %q does not surface ctx.Err()", r, err)
+		}
+	}
+	withinGoroutineBudget(t, before)
+}
+
+// assertNoNodeChildren scans /proc for direct children of this process
+// that carry the node-worker environment — a cancelled launch must
+// leave zero of them behind.
+func assertNoNodeChildren(t *testing.T) {
+	t.Helper()
+	me := os.Getpid()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		leaked := nodeChildrenOf(me)
+		if len(leaked) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked node child processes after cancellation: %v", leaked)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func nodeChildrenOf(ppid int) []int {
+	entries, err := os.ReadDir("/proc")
+	if err != nil {
+		return nil
+	}
+	var leaked []int
+	for _, e := range entries {
+		pid, err := strconv.Atoi(e.Name())
+		if err != nil {
+			continue
+		}
+		stat, err := os.ReadFile("/proc/" + e.Name() + "/status")
+		if err != nil {
+			continue
+		}
+		if !strings.Contains(string(stat), "\nPPid:\t"+strconv.Itoa(ppid)+"\n") {
+			continue
+		}
+		env, err := os.ReadFile("/proc/" + e.Name() + "/environ")
+		if err != nil {
+			continue
+		}
+		if strings.Contains(string(env), "JSWEEP_NODE_RANK=") {
+			leaked = append(leaked, pid)
+		}
+	}
+	return leaked
+}
+
+// TestCancelTCPLaunchMidIteration is the acceptance criterion verbatim:
+// cancelling a tcp-launch job mid-iteration (4 real jsweep-node OS
+// processes deep in an endless source iteration) returns ctx.Err()
+// within 10 seconds and leaks zero child processes.
+func TestCancelTCPLaunchMidIteration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-OS-process cancellation test skipped in -short mode")
+	}
+	spec := cancelSpec(jsweep.BackendTCPLaunch)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var log bytes.Buffer
+	job, err := jsweep.NewJob(spec,
+		jsweep.WithNodeCommand([]string{os.Args[0]}),
+		jsweep.WithTimeout(2*time.Minute),
+		jsweep.WithLog(&log),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the nodes time to rendezvous and get deep into iterating
+	// (the spec cannot converge), then cancel.
+	cancelAt := time.AfterFunc(1500*time.Millisecond, cancel)
+	defer cancelAt.Stop()
+	start := time.Now()
+	_, err = job.Run(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled tcp-launch job returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %q does not surface ctx.Err()\nnode output:\n%s", err, log.String())
+	}
+	// 1.5s ramp + the acceptance bound of 10s from cancel to return.
+	if elapsed > 11500*time.Millisecond {
+		t.Fatalf("cancelled launch took %v to return (bound: cancel+10s)", elapsed)
+	}
+	assertNoNodeChildren(t)
+}
+
+func TestCancelInProcReusedSessionMidSweep(t *testing.T) {
+	before := runtime.NumGoroutine()
+	spec := cancelSpec(jsweep.BackendInProc) // ReuseOff=false: one persistent session
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	job, err := jsweep.NewJob(spec, jsweep.WithProgress(func(ev jsweep.ProgressEvent) {
+		if ev.Iteration == 2 {
+			// Fire from a helper goroutine a moment later, so the cancel
+			// lands mid-sweep 3 rather than on the iteration boundary.
+			time.AfterFunc(time.Millisecond, cancel)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = job.Run(ctx)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled in-process solve returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %q does not surface ctx.Err()", err)
+	}
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancelled solve took %v to return", elapsed)
+	}
+	withinGoroutineBudget(t, before)
+}
+
+// TestJobTimeoutBoundsInProcRun: WithTimeout must bound the whole job
+// on every backend — including inproc, which has no timeout plumbing of
+// its own (the job derives a context deadline from it).
+func TestJobTimeoutBoundsInProcRun(t *testing.T) {
+	spec := cancelSpec(jsweep.BackendInProc)
+	// Without the derived deadline this spec iterates for minutes.
+	timed, err := jsweep.NewJob(spec, jsweep.WithTimeout(300*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = timed.Run(context.Background())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("WithTimeout job ran to completion on an unconvergeable spec")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %q does not surface the deadline", err)
+	}
+	if elapsed > 20*time.Second {
+		t.Fatalf("timed job took %v to stop", elapsed)
+	}
+}
+
+// TestUncancelledRunBitwiseIdentical pins that the context plumbing is
+// observation-free: a run under a live (never-fired) cancellable
+// context still reproduces the serial reference bit for bit, with the
+// same iteration count as a Background-context run.
+func TestUncancelledRunBitwiseIdentical(t *testing.T) {
+	spec := jsweep.NodeSpec{
+		Mesh: "kobayashi", N: 12, SnOrder: 2, Scatter: true,
+		Procs: 4, Workers: 2, Grain: 32, Tol: 1e-8,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	job, err := jsweep.NewJob(spec, jsweep.WithVerify())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("run under a cancellable context did not verify against the serial reference")
+	}
+	plain, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.FluxHash != res.FluxHash || plain.Result.Iterations != res.Result.Iterations {
+		t.Fatalf("context plumbing changed the numerics: %s/%d vs %s/%d",
+			res.FluxHash, res.Result.Iterations, plain.FluxHash, plain.Result.Iterations)
+	}
+}

@@ -9,31 +9,49 @@
 //	jsweep-bench -exp fig12a          # one experiment
 //	jsweep-bench -fidelity quick      # seconds-per-experiment shapes
 //	jsweep-bench -fidelity paper      # full published parameters (slow)
-//	jsweep-bench -list                # list experiment ids
+//	jsweep-bench -list                # list experiment ids and mesh families
+//	jsweep-bench -job '{"mesh":"ball","cells":4000,"backend":"sim"}'
+//	                                  # time one ad-hoc job spec (any backend)
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"jsweep"
 	"jsweep/internal/bench"
+	"jsweep/internal/nodespec"
+	"jsweep/internal/registry"
 )
 
 func main() {
 	var (
 		expID    = flag.String("exp", "", "experiment id to run (default: all)")
 		fidelity = flag.String("fidelity", "standard", "quick | standard | paper")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
+		list     = flag.Bool("list", false, "list experiment ids and mesh families, then exit")
 		outJSON  = flag.String("out", "", "write the result series as JSON to this file")
+		jobSpec  = flag.String("job", "", "time one ad-hoc job: a NodeSpec JSON (mesh from the registry, any backend)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		fmt.Printf("\nmesh families (-job specs): %s\n", registry.Usage())
+		fmt.Printf("-job backends: inproc | tcp-launch | sim (tcp-attach needs attach options — use the library API)\n")
+		return
+	}
+	if *jobSpec != "" {
+		if err := runJob(*jobSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -79,4 +97,38 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *outJSON)
 	}
+}
+
+// runJob times one ad-hoc declarative job — the quickest way to measure
+// a configuration the canned experiments do not cover.
+func runJob(specJSON string) error {
+	spec, err := nodespec.UnmarshalSpec(specJSON)
+	if err != nil {
+		return err
+	}
+	job, err := jsweep.NewJob(spec)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	t0 := time.Now()
+	res, err := job.Run(ctx)
+	if err != nil {
+		return err
+	}
+	switch res.Backend {
+	case jsweep.BackendSim:
+		fmt.Printf("job (%s): simulated makespan=%.4fs chunks=%d streams=%d wall=%.3fs\n",
+			res.Backend, res.Sim.Makespan, res.Sim.Chunks, res.Sim.Streams, time.Since(t0).Seconds())
+	case jsweep.BackendTCPLaunch:
+		fmt.Printf("job (%s): flux=%s wall=%.3fs\n", res.Backend, res.FluxHash, res.Wall.Seconds())
+	default:
+		fmt.Printf("job (%s): iterations=%d residual=%.2e flux=%s wall=%.3fs\n",
+			res.Backend, res.Result.Iterations, res.Result.Residual, res.FluxHash, res.Wall.Seconds())
+		st := res.Stats
+		fmt.Printf("last sweep: computeCalls=%d streams=%d messages=%d\n",
+			st.ComputeCalls, st.Streams, st.Runtime.Messages)
+	}
+	return nil
 }

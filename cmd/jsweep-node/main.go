@@ -14,12 +14,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"jsweep/internal/nodespec"
+	"jsweep/internal/registry"
 )
 
 func main() {
@@ -42,7 +46,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	_, err = nodespec.Run(spec, nodespec.NodeOptions{
+	if _, ok := registry.Lookup(spec.Mesh); spec.Mesh != "" && !ok {
+		fmt.Fprintf(os.Stderr, "jsweep-node: unknown mesh kind %q (have %s)\n", spec.Mesh, registry.Usage())
+		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM cancel cooperatively: the transport aborts, so the
+	// rest of the cluster fails fast instead of waiting on this rank.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	_, err = nodespec.RunCtx(ctx, spec, nodespec.NodeOptions{
 		Rank:       *rank,
 		Rendezvous: *join,
 		Cluster:    *cluster,

@@ -1,36 +1,44 @@
 // Command jsweep-run solves a discrete-ordinates transport problem with
-// the JSweep patch-centric data-driven solver.
+// the JSweep patch-centric data-driven solver, through the declarative
+// Job API: the flags assemble one jsweep.NodeSpec, the backend selects
+// how it executes, and Ctrl-C cancels the solve cooperatively (workers
+// unblock, child processes die, peers observe the abort).
 //
 // Backends:
 //
-//	-backend mem   all ranks as goroutines of this process over the
-//	               in-memory transport (default);
-//	-backend tcp   launcher mode — spawn one jsweep-node OS process per
-//	               rank on this host, wired through a local rendezvous
-//	               over TCP-loopback, and certify that every rank
-//	               reports the identical flux bit pattern.
+//	-backend inproc      all ranks as goroutines of this process over
+//	                     the in-memory transport (default; alias: mem);
+//	-backend tcp-launch  one jsweep-node OS process per rank on this
+//	                     host, wired through a local rendezvous over
+//	                     TCP-loopback, every rank certified to report
+//	                     the identical flux bit pattern (alias: tcp);
+//	-backend sim         replay the spec's task system on the
+//	                     discrete-event cluster simulator.
 //
 //	jsweep-run -mesh kobayashi -n 32 -sn 4 -procs 2 -workers 4
 //	jsweep-run -mesh ball -cells 20000 -groups 2 -prio SLBD+SLBD -coarse
 //	jsweep-run -mesh cyclic -cells 2000 -verify   # cyclic sweep graphs, lagged
-//	jsweep-run -backend tcp -procs 4 -mesh kobayashi -n 16 -verify
+//	jsweep-run -backend tcp-launch -procs 4 -mesh kobayashi -n 16 -verify
+//	jsweep-run -backend sim -mesh kobayashi -n 64 -procs 16
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
-	"time"
+	"syscall"
 
 	"jsweep"
-	"jsweep/internal/nodespec"
+	"jsweep/internal/registry"
 )
 
 func main() {
 	var (
-		meshKind = flag.String("mesh", "kobayashi", "kobayashi | ball | reactor | cyclic")
+		meshKind = flag.String("mesh", "kobayashi", registry.Usage())
 		n        = flag.Int("n", 32, "structured cells per axis (kobayashi)")
 		cells    = flag.Int("cells", 20000, "approximate tet count (ball/reactor/cyclic)")
 		snOrder  = flag.Int("sn", 4, "Sn quadrature order")
@@ -41,14 +49,15 @@ func main() {
 		workers  = flag.Int("workers", runtime.NumCPU()/2, "workers per process")
 		grain    = flag.Int("grain", 64, "vertex clustering grain")
 		prio     = flag.String("prio", "SLBD+SLBD", "patch+vertex priority pair")
-		coarse   = flag.Bool("coarse", false, "use the coarsened graph across sweeps (mem backend)")
+		coarse   = flag.Bool("coarse", false, "use the coarsened graph across sweeps (inproc backend)")
 		reuse    = flag.Bool("reuse", true, "reuse one runtime session (processes, workers, buffers) across sweeps")
-		seq      = flag.Bool("seq", false, "run on the sequential engine (mem backend)")
+		seq      = flag.Bool("seq", false, "run on the sequential engine (inproc backend)")
 		verify   = flag.Bool("verify", false, "cross-check against the serial reference")
 		tol      = flag.Float64("tol", 1e-7, "source-iteration tolerance")
+		progress = flag.Bool("progress", false, "print one line per source iteration")
 
-		backend = flag.String("backend", "mem", "transport backend: mem (goroutines) | tcp (one OS process per rank)")
-		nodeBin = flag.String("node-bin", "", "jsweep-node binary for -backend tcp (default: next to this binary, then PATH)")
+		backend = flag.String("backend", "inproc", "inproc | tcp-launch | sim (aliases: mem, tcp)")
+		nodeBin = flag.String("node-bin", "", "jsweep-node binary for -backend tcp-launch (default: next to this binary, then PATH)")
 
 		agg        = flag.Bool("agg", false, "aggregate remote streams into multi-stream frames")
 		aggStreams = flag.Int("agg-streams", 0, "max streams per batch (0 = default 64)")
@@ -58,114 +67,119 @@ func main() {
 	)
 	flag.Parse()
 
-	spec := nodespec.Spec{
+	spec := jsweep.NodeSpec{
 		Mesh: *meshKind, N: *n, Cells: *cells, SnOrder: *snOrder,
 		Groups: *groups, Scatter: *scatter, Patch: *patch,
-		Procs: *procs, Workers: *workers, Grain: *grain, Prio: *prio,
+		Backend: parseBackend(*backend),
+		Procs:   *procs, Workers: *workers, Grain: *grain, Prio: *prio,
 		ReuseOff: !*reuse, Sequential: *seq, Coarse: *coarse,
 		Agg: *agg, AggStreams: *aggStreams, AggBytes: *aggBytes,
 		AggShards: *aggShards, AggFlushMicro: int(aggFlush.Microseconds()),
 		Tol: *tol,
 	}
 
-	switch *backend {
-	case "tcp":
-		runLauncher(spec, *nodeBin, *verify)
-	case "mem", "":
-		runInProcess(spec, *verify)
+	opts := []jsweep.JobOption{}
+	if *verify {
+		opts = append(opts, jsweep.WithVerify())
+	}
+	switch spec.Backend {
+	case jsweep.BackendTCPLaunch:
+		if *progress {
+			log.Fatal("-progress does not apply to -backend tcp-launch (iterations run in the node processes)")
+		}
+		opts = append(opts, jsweep.WithLog(os.Stdout))
+		if *nodeBin != "" {
+			opts = append(opts, jsweep.WithNodeCommand([]string{*nodeBin}))
+		}
+		fmt.Printf("launching %d jsweep-node processes (tcp-launch backend, local rendezvous)\n", max(spec.Procs, 1))
+	case jsweep.BackendSim:
+		if *verify {
+			log.Fatal("-verify does not apply to -backend sim (no flux is computed)")
+		}
+		if *progress {
+			log.Fatal("-progress does not apply to -backend sim (one sweep, virtual time)")
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown backend %q (mem|tcp)\n", *backend)
-		os.Exit(2)
+		if *progress {
+			opts = append(opts, jsweep.WithProgress(func(ev jsweep.ProgressEvent) {
+				fmt.Printf("iter %3d residual=%.3e computeCalls=%d streams=%d\n",
+					ev.Iteration, ev.Residual, ev.Sweep.ComputeCalls, ev.Sweep.Streams)
+			}))
+		}
+	}
+
+	job, err := jsweep.NewJob(spec, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ctrl-C / SIGTERM cancel the job cooperatively.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := job.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	render(spec, res, *verify)
+}
+
+func render(spec jsweep.NodeSpec, res *jsweep.RunResult, verify bool) {
+	switch res.Backend {
+	case jsweep.BackendTCPLaunch:
+		fmt.Printf("launch ok: %d ranks agree on flux %s (wall %.3fs)\n", spec.Procs, res.FluxHash, res.Wall.Seconds())
+		if verify {
+			fmt.Println("verify OK: rank 0 matched the serial reference")
+		}
+	case jsweep.BackendSim:
+		s := res.Sim
+		fmt.Printf("simulated sweep: makespan=%.4fs chunks=%d streams=%d (remote %d) bytes=%d\n",
+			s.Makespan, s.Chunks, s.Streams, s.RemoteStreams, s.Bytes)
+		fmt.Printf("core-seconds: kernel=%.3f graphOp=%.3f pack=%.3f unpack=%.3f route=%.3f idle(worker)=%.3f\n",
+			s.Kernel, s.GraphOp, s.Pack, s.Unpack, s.Route, s.WorkerIdle)
+		if s.BatchesSent > 0 {
+			fmt.Printf("aggregation: batches=%d streams/batch=%.1f deadlineFlushes=%d\n",
+				s.BatchesSent, s.StreamsPerBatch, s.FlushOnDeadline)
+		}
+	default:
+		r := res.Result
+		fmt.Printf("converged=%v iterations=%d residual=%.2e wall=%.3fs flux=%s\n",
+			r.Converged, r.Iterations, r.Residual, res.Wall.Seconds(), res.FluxHash)
+		st := res.Stats
+		fmt.Printf("last sweep: computeCalls=%d streams=%d coarse=%v\n",
+			st.ComputeCalls, st.Streams, st.Coarse)
+		if st.LaggedEdges > 0 {
+			fmt.Printf("cycle breaking: cellSCCs=%d patchSCCs=%d laggedEdges=%d (old-flux lagging active)\n",
+				st.CellSCCs, st.PatchSCCs, st.LaggedEdges)
+		}
+		if !spec.Sequential && !spec.ReuseOff {
+			cum := st.Cumulative
+			fmt.Printf("session: roundsRun=%d cycles=%d remoteStreams=%d workerBusy=%.3fs\n",
+				cum.RoundsRun, cum.Cycles, cum.RemoteStreams, cum.WorkerBusy.Seconds())
+		}
+		if spec.Agg {
+			rt := st.Runtime
+			fmt.Printf("aggregation: remoteStreams=%d batches=%d streams/batch=%.1f deadlineFlushes=%d\n",
+				rt.RemoteStreams, rt.BatchesSent, rt.StreamsPerBatch, rt.FlushOnDeadline)
+		}
+		if verify {
+			fmt.Println("verify OK: matched the serial reference")
+		}
+		for g, rep := range res.Balance {
+			fmt.Printf("group %d: production=%.4g absorption=%.4g leakage=%.4g\n",
+				g, rep.Production, rep.Absorption, rep.Leakage)
+		}
 	}
 }
 
-// runLauncher is -backend tcp: one jsweep-node OS process per rank.
-func runLauncher(spec nodespec.Spec, nodeBin string, verify bool) {
-	var nodeCmd []string
-	if nodeBin != "" {
-		nodeCmd = []string{nodeBin}
+// parseBackend maps the flag (with its historical aliases) onto a
+// backend selector.
+func parseBackend(s string) jsweep.Backend {
+	switch s {
+	case "mem", "":
+		return jsweep.BackendInProc
+	case "tcp":
+		return jsweep.BackendTCPLaunch
 	}
-	fmt.Printf("launching %d jsweep-node processes (tcp backend, local rendezvous)\n", spec.Procs)
-	res, err := nodespec.LaunchLocal(nodespec.LaunchConfig{
-		Spec:        spec,
-		NodeCommand: nodeCmd,
-		Verify:      verify,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("launch ok: %d ranks agree on flux %s (wall %.3fs)\n", spec.Procs, res.FluxHash, res.Wall.Seconds())
-	if verify {
-		fmt.Println("verify OK: rank 0 matched the serial reference")
-	}
-}
-
-// runInProcess is the classic single-OS-process solve (mem backend).
-func runInProcess(spec nodespec.Spec, verify bool) {
-	prob, d, err := nodespec.Build(spec)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts, err := nodespec.SolverOptions(spec, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("mesh=%s cells=%d patches=%d angles=%d groups=%d\n",
-		spec.Mesh, prob.M.NumCells(), d.NumPatches(), prob.Quad.NumAngles(), prob.Groups)
-
-	s, err := jsweep.NewSolver(prob, d, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer s.Close()
-	t0 := time.Now()
-	res, err := jsweep.Solve(prob, s, nodespec.IterConfig(spec))
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("converged=%v iterations=%d residual=%.2e wall=%.3fs\n",
-		res.Converged, res.Iterations, res.Residual, time.Since(t0).Seconds())
-	st := s.LastStats()
-	fmt.Printf("last sweep: computeCalls=%d streams=%d coarse=%v\n",
-		st.ComputeCalls, st.Streams, st.Coarse)
-	if st.LaggedEdges > 0 {
-		fmt.Printf("cycle breaking: cellSCCs=%d patchSCCs=%d laggedEdges=%d (old-flux lagging active)\n",
-			st.CellSCCs, st.PatchSCCs, st.LaggedEdges)
-	}
-	if !spec.Sequential && !spec.ReuseOff {
-		cum := st.Cumulative
-		fmt.Printf("session: roundsRun=%d cycles=%d remoteStreams=%d workerBusy=%.3fs\n",
-			cum.RoundsRun, cum.Cycles, cum.RemoteStreams, cum.WorkerBusy.Seconds())
-	}
-	if spec.Agg {
-		r := st.Runtime
-		fmt.Printf("aggregation: remoteStreams=%d batches=%d streams/batch=%.1f deadlineFlushes=%d\n",
-			r.RemoteStreams, r.BatchesSent, r.StreamsPerBatch, r.FlushOnDeadline)
-	}
-
-	if verify {
-		ref, err := jsweep.NewReference(prob)
-		if err != nil {
-			log.Fatal(err)
-		}
-		want, err := jsweep.Solve(prob, ref, nodespec.IterConfig(spec))
-		if err != nil {
-			log.Fatal(err)
-		}
-		for g := range want.Phi {
-			for c := range want.Phi[g] {
-				if want.Phi[g][c] != res.Phi[g][c] {
-					log.Fatalf("verify FAILED: group %d cell %d: %v != %v",
-						g, c, res.Phi[g][c], want.Phi[g][c])
-				}
-			}
-		}
-		fmt.Println("verify OK: bitwise identical to the serial reference")
-	}
-
-	for g := 0; g < prob.Groups; g++ {
-		rep := prob.GroupBalance(res.Phi, g)
-		fmt.Printf("group %d: production=%.4g absorption=%.4g leakage=%.4g\n",
-			g, rep.Production, rep.Absorption, rep.Leakage)
-	}
+	return jsweep.Backend(s)
 }

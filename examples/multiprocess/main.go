@@ -1,17 +1,19 @@
-// Example multiprocess: the TCP transport backend end to end — a
-// rendezvous service, N ranks joining it and solving one Kobayashi
-// problem together over real TCP-loopback sockets, each rank with its
-// own solver and no shared memory (the SPMD model of jsweep-node; here
-// the "processes" are goroutines so the example is self-contained, and
-// the wire traffic is exactly what separate OS processes exchange).
+// Example multiprocess: the TCP transport backend end to end through
+// the Job API — a rendezvous service and N tcp-attach jobs joining it,
+// solving one Kobayashi problem together over real TCP-loopback
+// sockets, each rank with its own solver and no shared memory (the SPMD
+// model of jsweep-node; here the "processes" are goroutines so the
+// example is self-contained, and the wire traffic is exactly what
+// separate OS processes exchange).
 //
-// For true OS-process isolation use the launcher:
+// For true OS-process isolation use the launch backend:
 //
 //	go build -o bin/ ./cmd/jsweep-run ./cmd/jsweep-node
-//	./bin/jsweep-run -backend tcp -procs 4 -mesh kobayashi -n 16 -verify
+//	./bin/jsweep-run -backend tcp-launch -procs 4 -mesh kobayashi -n 16 -verify
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -28,9 +30,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// One spec for the whole cluster: every rank rebuilds the identical
+	// problem from it, so no mesh data crosses the wire.
 	spec := jsweep.NodeSpec{
 		Mesh: "kobayashi", N: *n, SnOrder: 2, Scatter: true,
-		Procs: *ranks, Workers: 2, Agg: *agg, Tol: 1e-8,
+		Backend: jsweep.BackendTCPAttach,
+		Procs:   *ranks, Workers: 2, Agg: *agg, Tol: 1e-8,
 	}
 
 	// 1. The rendezvous: every rank reports (cluster id, rank, listen
@@ -41,46 +46,31 @@ func main() {
 	}
 	fmt.Printf("rendezvous on %s, %d ranks\n", rz.Addr(), *ranks)
 
-	// 2. Each rank: join the cluster, rebuild the identical problem from
-	// the spec, and run the shared source iteration. RunNode does all of
-	// this for one rank of real jsweep-node; here we call its core with
-	// an explicit transport per rank.
-	results := make([]*jsweep.NodeResult, *ranks)
+	// 2. Each rank is one tcp-attach job: join the cluster, rebuild the
+	// problem from the spec, run the shared source iteration. Cancelling
+	// the context would abort the rank's transport and fail the whole
+	// cluster fast instead of leaving peers waiting.
+	ctx := context.Background()
+	results := make([]*jsweep.RunResult, *ranks)
 	errs := make([]error, *ranks)
 	var wg sync.WaitGroup
 	for r := 0; r < *ranks; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			tr, err := jsweep.JoinCluster("example", r, *ranks, rz.Addr())
+			job, err := jsweep.NewJob(spec, jsweep.WithAttach("example", r, rz.Addr()))
 			if err != nil {
 				errs[r] = err
 				return
 			}
-			defer tr.Close()
-			prob, d, err := jsweep.BuildFromSpec(spec)
+			res, err := job.Run(ctx)
 			if err != nil {
 				errs[r] = err
 				return
 			}
-			opts, err := jsweep.SolverOptionsFromSpec(spec, tr)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			s, err := jsweep.NewSolver(prob, d, opts)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			defer s.Close()
-			res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: spec.Tol})
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			results[r] = &jsweep.NodeResult{Result: res}
-			fmt.Printf("rank %d: converged=%v iterations=%d\n", r, res.Converged, res.Iterations)
+			results[r] = res
+			fmt.Printf("rank %d: converged=%v iterations=%d flux=%s\n",
+				r, res.Result.Converged, res.Result.Iterations, res.FluxHash)
 		}(r)
 	}
 	wg.Wait()
@@ -93,14 +83,13 @@ func main() {
 	// 3. Every rank holds the full flux (allgathered per sweep): the bit
 	// patterns must agree exactly across the cluster.
 	for r := 1; r < *ranks; r++ {
-		for g := range results[0].Result.Phi {
-			for c := range results[0].Result.Phi[g] {
-				if results[r].Result.Phi[g][c] != results[0].Result.Phi[g][c] {
-					log.Fatalf("rank %d flux diverged at group %d cell %d", r, g, c)
-				}
-			}
+		if results[r].FluxHash != results[0].FluxHash {
+			log.Fatalf("rank %d flux hash %s diverged from rank 0's %s",
+				r, results[r].FluxHash, results[0].FluxHash)
 		}
 	}
-	fmt.Printf("all %d ranks agree bitwise on %d cells × %d groups\n",
-		*ranks, len(results[0].Result.Phi[0]), len(results[0].Result.Phi))
+	cs := results[0].Cluster
+	fmt.Printf("all %d ranks agree bitwise on flux %s\n", *ranks, results[0].FluxHash)
+	fmt.Printf("cluster totals: messages=%d bytes=%d frames=%d wireBytes=%d\n",
+		cs.Messages, cs.BytesSent, cs.Frames, cs.WireBytes)
 }

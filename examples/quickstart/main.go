@@ -1,11 +1,12 @@
-// Quickstart: solve a small discrete-ordinates transport problem with the
-// JSweep patch-centric data-driven solver and check it against the serial
-// reference.
+// Quickstart: solve a small discrete-ordinates transport problem through
+// the declarative Job API — one spec, one context-aware Run, the serial
+// reference cross-check handled by the framework.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,81 +15,61 @@ import (
 
 func main() {
 	// A 24³ Kobayashi benchmark problem: source corner, void duct, shield
-	// (paper §VI-A), S4 quadrature (24 angles), 50% scattering, diamond
-	// differencing. Scattering forces several source iterations, so the
-	// coarsened-graph fast path gets exercised after the first sweep.
-	prob, m, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{
-		N:          24,
-		SnOrder:    4,
-		Scattering: true,
-		Scheme:     jsweep.Diamond,
-	})
+	// (paper §VI-A), S4 quadrature (24 angles), 50% scattering. The spec
+	// is the complete, serializable description of the solve; the same
+	// value runs unchanged on the tcp-launch and sim backends.
+	spec := jsweep.NodeSpec{
+		Mesh:    "kobayashi",
+		N:       24,
+		SnOrder: 4,
+		Scatter: true,
+		Procs:   2, // simulated processes ...
+		Workers: 4, // ... × worker goroutines each
+		Tol:     1e-8,
+	}
+
+	// Bind the spec to execution options: verify against the serial
+	// reference (the data-driven schedule must reproduce it bit for
+	// bit), and observe every source iteration as it completes.
+	job, err := jsweep.NewJob(spec,
+		jsweep.WithVerify(),
+		jsweep.WithProgress(func(ev jsweep.ProgressEvent) {
+			fmt.Printf("  iter %2d: residual %.2e (%d compute calls)\n",
+				ev.Iteration, ev.Residual, ev.Sweep.ComputeCalls)
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Decompose the mesh into 8³-cell patches (27 patches).
-	d, err := m.BlockDecompose(8, 8, 8)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("mesh: %d cells, %d patches, %d angles\n",
-		m.NumCells(), d.NumPatches(), prob.Quad.NumAngles())
-
-	// The JSweep solver: 2 simulated processes × 4 workers, vertex
-	// clustering grain 64, the paper's SLBD+SLBD priorities, and the
-	// coarsened-graph fast path for repeated sweeps.
-	s, err := jsweep.NewSolver(prob, d, jsweep.SolverOptions{
-		Procs:     2,
-		Workers:   4,
-		Grain:     64,
-		Pair:      jsweep.PriorityPair{Patch: jsweep.SLBD, Vertex: jsweep.SLBD},
-		UseCoarse: true,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	// The solver keeps one runtime session alive across all sweeps of the
-	// iteration (ReuseRuntime defaults to on); Close releases its workers.
-	defer s.Close()
-
-	// Source-iterate to convergence.
-	res, err := jsweep.Solve(prob, s, jsweep.IterConfig{Tolerance: 1e-8})
+	// Run with a context: cancelling it mid-solve would stop the workers
+	// and return ctx.Err() instead of running to convergence.
+	res, err := job.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("converged: %v after %d sweeps (residual %.2e)\n",
-		res.Converged, res.Iterations, res.Residual)
+		res.Result.Converged, res.Result.Iterations, res.Result.Residual)
+	if res.Verified {
+		fmt.Println("solver flux is bitwise identical to the serial reference")
+	}
+	fmt.Printf("flux bit-pattern hash: %s\n", res.FluxHash)
 
-	// Cross-check against the serial reference executor: the data-driven
-	// schedule must reproduce it bit-for-bit.
-	ref, err := jsweep.NewReference(prob)
+	// Peek at the solution: flux at the source, down the duct, and deep
+	// in the shield. The mesh rebuilds deterministically from the spec.
+	_, m, err := jsweep.BuildKobayashi(jsweep.KobayashiSpec{N: spec.N, SnOrder: spec.SnOrder, Scattering: true})
 	if err != nil {
 		log.Fatal(err)
 	}
-	want, err := jsweep.Solve(prob, ref, jsweep.IterConfig{Tolerance: 1e-8})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for c := range want.Phi[0] {
-		if want.Phi[0][c] != res.Phi[0][c] {
-			log.Fatalf("cell %d: solver %v != reference %v", c, res.Phi[0][c], want.Phi[0][c])
-		}
-	}
-	fmt.Println("solver flux is bitwise identical to the serial reference")
-
-	// Peek at the solution: flux at the source, down the duct, and deep in
-	// the shield.
 	at := func(x, y, z float64) float64 {
 		i := int(x / (100.0 / 24))
 		j := int(y / (100.0 / 24))
 		k := int(z / (100.0 / 24))
-		return res.Phi[0][m.Index(i, j, k)]
+		return res.Result.Phi[0][m.Index(i, j, k)]
 	}
 	fmt.Printf("flux: source %.3e | duct exit %.3e | shield %.3e\n",
 		at(5, 5, 5), at(55, 5, 5), at(45, 45, 45))
 
-	st := s.LastStats()
-	fmt.Printf("last sweep: %d compute calls, %d streams (coarse graph: %v)\n",
-		st.ComputeCalls, st.Streams, st.Coarse)
+	fmt.Printf("last sweep: %d compute calls, %d streams\n",
+		res.Stats.ComputeCalls, res.Stats.Streams)
 }

@@ -1,0 +1,132 @@
+package netcomm_test
+
+// Context-aware cluster bring-up: JoinCtx must honour cancellation and
+// deadlines promptly at every stage — before the join, mid-bring-up
+// (peers missing), and after a successful mesh.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"jsweep/internal/netcomm"
+)
+
+func TestJoinCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := netcomm.JoinCtx(ctx, netcomm.Options{
+		Cluster: "c", Rank: 0, World: 1, Rendezvous: "127.0.0.1:1",
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("JoinCtx on a dead context returned %v", err)
+	}
+}
+
+func TestJoinCtxCancelMidBringup(t *testing.T) {
+	// A world of 2 with only one rank joining: the bring-up can never
+	// complete, so only cancellation ends it.
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", "mid", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = netcomm.JoinCtx(ctx, netcomm.Options{
+		Cluster: "mid", Rank: 0, World: 2, Rendezvous: rz.Addr(),
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled bring-up returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled bring-up took %v to return", elapsed)
+	}
+}
+
+func TestJoinCtxDeadlineTightensTimeout(t *testing.T) {
+	// A listener that accepts but never answers: without the context
+	// deadline the join would wait out its own 60s default.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = netcomm.JoinCtx(ctx, netcomm.Options{
+		Cluster: "dl", Rank: 0, World: 1, Rendezvous: ln.Addr().String(),
+	})
+	if err == nil {
+		t.Fatal("join against a mute rendezvous succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline-bounded join took %v", elapsed)
+	}
+}
+
+func TestJoinCtxSuccessfulMesh(t *testing.T) {
+	cluster := fmt.Sprintf("okctx-%d", time.Now().UnixNano())
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	trs := make([]*netcomm.Transport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = netcomm.JoinCtx(ctx, netcomm.Options{
+				Cluster: cluster, Rank: r, World: 2, Rendezvous: rz.Addr(),
+				CloseTimeout: 2 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	defer trs[0].Close()
+	defer trs[1].Close()
+	if err := trs[0].Endpoint(0).Send(1, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if m, ok := trs[1].Endpoint(1).TryRecv(); ok {
+			if string(m.Data) != "hi" || m.From != 0 {
+				t.Fatalf("got %q from %d", m.Data, m.From)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived over the ctx-joined mesh")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -8,6 +8,7 @@
 package netcomm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -171,6 +172,59 @@ func (r *Rendezvous) serve() {
 		}
 	}
 	r.done <- nil
+}
+
+// JoinCtx is Join with cooperative cancellation: the context bounds the
+// bring-up alongside Options.Timeout (an earlier context deadline
+// tightens the timeout; cancellation returns ctx.Err() promptly). On a
+// cancel that races the bring-up's completion, the freshly built
+// transport is aborted so no peer mesh outlives the caller's interest.
+func JoinCtx(ctx context.Context, o Options) (*Transport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain < time.Millisecond {
+			// The deadline is due (the ctx.Err() check above can race it
+			// by microseconds): keep the value positive, or Join would
+			// reinterpret it as "unset" and fall back to the 60s default
+			// — the background bring-up must stay deadline-bounded.
+			remain = time.Millisecond
+		}
+		if o.Timeout <= 0 || remain < o.Timeout {
+			o.Timeout = remain
+		}
+	}
+	type joined struct {
+		t   *Transport
+		err error
+	}
+	ch := make(chan joined, 1)
+	go func() {
+		t, err := Join(o)
+		ch <- joined{t, err}
+	}()
+	select {
+	case j := <-ch:
+		if j.err == nil {
+			if cerr := ctx.Err(); cerr != nil {
+				j.t.Abort()
+				return nil, cerr
+			}
+		}
+		return j.t, j.err
+	case <-ctx.Done():
+		// The bring-up keeps running in the background until its own
+		// (deadline-bounded) timeout; a transport it eventually produces
+		// is torn down so its connections and loops do not leak.
+		go func() {
+			if j := <-ch; j.t != nil {
+				j.t.Abort()
+			}
+		}()
+		return nil, ctx.Err()
+	}
 }
 
 // Join attaches this process to a TCP cluster as one rank: start the

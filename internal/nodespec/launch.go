@@ -2,6 +2,7 @@ package nodespec
 
 import (
 	"bufio"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -126,6 +127,18 @@ func findNodeBinary() ([]string, error) {
 // asserts that every rank reported the identical flux hash — the
 // cross-process bitwise-agreement certificate.
 func LaunchLocal(cfg LaunchConfig) (*LaunchResult, error) {
+	return LaunchLocalCtx(context.Background(), cfg)
+}
+
+// LaunchLocalCtx is LaunchLocal with cooperative cancellation and
+// fail-fast supervision: the first rank that dies (or a done context, or
+// the launch timeout) immediately kills every sibling process and closes
+// the rendezvous listener, then reaps all children before returning — a
+// failed launch never leaves orphan node processes or a dangling
+// rendezvous behind. A rank that crashes before the rendezvous completes
+// would otherwise strand its siblings inside the bring-up until its
+// 60-second timeout.
+func LaunchLocalCtx(ctx context.Context, cfg LaunchConfig) (*LaunchResult, error) {
 	spec := cfg.Spec.withDefaults()
 	world := spec.Procs
 	if cfg.Timeout <= 0 {
@@ -166,8 +179,11 @@ func LaunchLocal(cfg LaunchConfig) (*LaunchResult, error) {
 	}
 	outs := make([]nodeOut, world)
 	cmds := make([]*exec.Cmd, world)
+	finished := make(chan int, world)
 	var outWG sync.WaitGroup
 	var outMu sync.Mutex // serializes writes to logw across ranks
+	started := 0
+	var startErr error
 	for r := 0; r < world; r++ {
 		cmd := exec.Command(nodeCmd[0], nodeCmd[1:]...)
 		cmd.Env = append(os.Environ(),
@@ -181,15 +197,16 @@ func LaunchLocal(cfg LaunchConfig) (*LaunchResult, error) {
 		}
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {
-			killAll(cmds)
-			return nil, err
+			startErr = err
+			break
 		}
 		cmd.Stderr = cmd.Stdout
 		if err := cmd.Start(); err != nil {
-			killAll(cmds)
-			return nil, fmt.Errorf("nodespec: start node %d (%s): %w", r, nodeCmd[0], err)
+			startErr = fmt.Errorf("nodespec: start node %d (%s): %w", r, nodeCmd[0], err)
+			break
 		}
 		cmds[r] = cmd
+		started++
 		outWG.Add(1)
 		go func(r int, cmd *exec.Cmd, rd io.Reader) {
 			defer outWG.Done()
@@ -212,29 +229,48 @@ func LaunchLocal(cfg LaunchConfig) (*LaunchResult, error) {
 			if err := cmd.Wait(); err != nil {
 				outs[r].err = fmt.Errorf("nodespec: node %d: %w", r, err)
 			}
+			finished <- r
 		}(r, cmd, stdout)
 	}
-
-	waitErr := make(chan error, 1)
-	go func() {
-		outWG.Wait()
-		for r := range outs {
-			if outs[r].err != nil {
-				waitErr <- outs[r].err
-				return
-			}
-		}
-		waitErr <- nil
-	}()
-	select {
-	case err := <-waitErr:
-		if err != nil {
-			return nil, err
-		}
-	case <-time.After(cfg.Timeout):
+	if startErr != nil {
+		rz.Close()
 		killAll(cmds)
-		<-waitErr
-		return nil, fmt.Errorf("nodespec: launch timed out after %v", cfg.Timeout)
+		outWG.Wait()
+		return nil, startErr
+	}
+
+	// Supervise: the first failing rank (or cancellation, or the launch
+	// timeout) tears the whole launch down at once — close the rendezvous
+	// so no straggler can still join, kill every sibling, then keep
+	// reaping until every child has exited.
+	var firstErr error
+	abort := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+		rz.Close()
+		killAll(cmds)
+	}
+	ctxDone := ctx.Done()
+	deadline := time.After(cfg.Timeout)
+	for remaining := started; remaining > 0; {
+		select {
+		case r := <-finished:
+			remaining--
+			if outs[r].err != nil && firstErr == nil {
+				abort(outs[r].err)
+			}
+		case <-ctxDone:
+			abort(fmt.Errorf("nodespec: launch cancelled: %w", ctx.Err()))
+			ctxDone = nil
+		case <-deadline:
+			abort(fmt.Errorf("nodespec: launch timed out after %v", cfg.Timeout))
+			deadline = nil
+		}
+	}
+	outWG.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 
 	res := &LaunchResult{Wall: time.Since(start), Verified: outs[0].verified}

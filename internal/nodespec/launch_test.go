@@ -1,0 +1,174 @@
+package nodespec
+
+// Launch supervision: a rank that dies before the rendezvous completes
+// must take the whole launch down promptly — siblings killed (no orphan
+// processes), the rendezvous listener closed, the error surfaced —
+// instead of stranding everyone inside the 60-second bring-up timeout.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// writeNodeScript creates a fake node worker: every rank records its PID
+// and the rendezvous address under dir, the doomed rank waits until its
+// two siblings have checked in (so the orphan assertions have PIDs to
+// probe — the supervisor's kill is fast enough to beat a sibling's
+// startup otherwise) and then exits with code 7, and every other rank
+// execs a long sleep (exec keeps the recorded PID the one to kill — no
+// orphan grandchildren).
+func writeNodeScript(t *testing.T, dir string, doomedRank int) string {
+	t.Helper()
+	script := filepath.Join(dir, "node.sh")
+	body := fmt.Sprintf(`#!/bin/sh
+echo $$ > "%[1]s/pid.$JSWEEP_NODE_RANK"
+echo "$JSWEEP_NODE_RENDEZVOUS" > "%[1]s/rendezvous.$JSWEEP_NODE_RANK"
+if [ "$JSWEEP_NODE_RANK" = "%[2]d" ]; then
+	i=0
+	while [ ! -f "%[1]s/pid.0" ] || [ ! -f "%[1]s/pid.1" ]; do
+		i=$((i+1))
+		[ "$i" -gt 100 ] && break
+		sleep 0.05
+	done
+	exit 7
+fi
+exec sleep 600
+`, dir, doomedRank)
+	if err := os.WriteFile(script, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return script
+}
+
+// readPid polls for a script's PID file.
+func readPid(t *testing.T, dir string, rank int) int {
+	t.Helper()
+	path := filepath.Join(dir, "pid."+strconv.Itoa(rank))
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if b, err := os.ReadFile(path); err == nil {
+			if pid, err := strconv.Atoi(strings.TrimSpace(string(b))); err == nil {
+				return pid
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rank %d never wrote its PID file", rank)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// processAlive reports whether pid still exists (signal 0 probe).
+func processAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+func TestLaunchFailFastKillsSiblingsAndRendezvous(t *testing.T) {
+	dir := t.TempDir()
+	script := writeNodeScript(t, dir, 2)
+	start := time.Now()
+	_, err := LaunchLocal(LaunchConfig{
+		Spec:        Spec{Mesh: "kobayashi", N: 8, Procs: 3, Workers: 1},
+		NodeCommand: []string{"/bin/sh", script},
+		Timeout:     2 * time.Minute,
+		Log:         testWriter{t},
+	})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("launch succeeded although rank 2 died before rendezvous")
+	}
+	if !strings.Contains(err.Error(), "node 2") {
+		t.Fatalf("launch error %q does not name the dead rank", err)
+	}
+	// Fail fast: well under the sleeping siblings' runtime and the
+	// 60-second rendezvous bring-up timeout.
+	if elapsed > 30*time.Second {
+		t.Fatalf("launch took %v to surface the dead rank — not fail-fast", elapsed)
+	}
+
+	// Orphan check: the surviving ranks' processes must be gone (they
+	// were execed sleeps, killed by the supervisor and reaped before
+	// LaunchLocal returned).
+	for _, rank := range []int{0, 1} {
+		pid := readPid(t, dir, rank)
+		deadline := time.Now().Add(5 * time.Second)
+		for processAlive(pid) {
+			if time.Now().After(deadline) {
+				t.Fatalf("rank %d (pid %d) still running after the failed launch — orphan process", rank, pid)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// The rendezvous listener must be down too: a straggler (or a rerun
+	// of the same cluster id) must not be able to join a dead launch.
+	rzb, err := os.ReadFile(filepath.Join(dir, "rendezvous.0"))
+	if err != nil {
+		t.Fatalf("rank 0 never saw the rendezvous address: %v", err)
+	}
+	addr := strings.TrimSpace(string(rzb))
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatalf("rendezvous listener on %s still accepting after the failed launch", addr)
+	}
+}
+
+func TestLaunchCancelKillsChildren(t *testing.T) {
+	dir := t.TempDir()
+	// No doomed rank: every fake node sleeps, so only cancellation can
+	// end the launch.
+	script := writeNodeScript(t, dir, -1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		_, err := LaunchLocalCtx(ctx, LaunchConfig{
+			Spec:        Spec{Mesh: "kobayashi", N: 8, Procs: 2, Workers: 1},
+			NodeCommand: []string{"/bin/sh", script},
+			Timeout:     2 * time.Minute,
+			Log:         testWriter{t},
+		})
+		done <- err
+	}()
+	pid0 := readPid(t, dir, 0)
+	pid1 := readPid(t, dir, 1)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled launch returned nil error")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled launch returned %v, want a context.Canceled chain", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("cancelled launch still running after 30s (started %v ago)", time.Since(start))
+	}
+	for _, pid := range []int{pid0, pid1} {
+		deadline := time.Now().Add(5 * time.Second)
+		for processAlive(pid) {
+			if time.Now().After(deadline) {
+				t.Fatalf("pid %d survived the cancelled launch — orphan process", pid)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// testWriter forwards node output into the test log.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}

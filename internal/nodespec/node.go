@@ -1,6 +1,7 @@
 package nodespec
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -30,6 +31,17 @@ type NodeOptions struct {
 	Verify bool
 	// Log receives human-readable progress lines (nil = discard).
 	Log io.Writer
+	// Progress, when non-nil, receives one event per source iteration
+	// (on the solve goroutine — a slow callback slows the solve).
+	Progress func(Progress)
+}
+
+// Progress is one source-iteration event: the iteration outcome plus
+// the executed sweep's statistics.
+type Progress struct {
+	transport.Progress
+	// Sweep is the solver's statistics for the iteration's sweep.
+	Sweep sweep.SweepStats
 }
 
 // ClusterStats sums solve-wide message costs over all ranks (gathered in
@@ -53,6 +65,10 @@ type ClusterStats struct {
 type NodeResult struct {
 	// Result is the converged solution (every rank holds the full flux).
 	Result *transport.Result
+	// Balance is the per-group neutron balance of the converged flux
+	// (production vs absorption + leakage), computed while the problem
+	// is live so callers need not rebuild it.
+	Balance []transport.BalanceReport
 	// Stats is this rank's solver statistics for the last sweep/session.
 	Stats sweep.SweepStats
 	// Cluster sums message costs across all ranks.
@@ -96,8 +112,17 @@ func FluxHash(phi [][]float64) string {
 // drain); on error it aborts instead, so peers blocked in a collective
 // fail fast rather than waiting on a rank that quietly left.
 func Run(spec Spec, o NodeOptions) (*NodeResult, error) {
+	return RunCtx(context.Background(), spec, o)
+}
+
+// RunCtx is Run with cooperative cancellation: cancelling the context
+// aborts this rank's transport, which unblocks its own master loop and
+// pending collectives locally AND propagates as a transport failure to
+// every peer — a cancelled rank never leaves the rest of the cluster
+// waiting in a collective.
+func RunCtx(ctx context.Context, spec Spec, o NodeOptions) (*NodeResult, error) {
 	spec = spec.withDefaults()
-	tr, err := netcomm.Join(netcomm.Options{
+	tr, err := netcomm.JoinCtx(ctx, netcomm.Options{
 		Cluster:    o.Cluster,
 		Rank:       o.Rank,
 		World:      spec.Procs,
@@ -107,19 +132,40 @@ func Run(spec Spec, o NodeOptions) (*NodeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunOn(spec, tr, o)
+	// Cancellation must unblock collectives (flux exchange, stats
+	// gather), which park in RecvOOB with no context of their own:
+	// abort the transport the moment the context dies.
+	stop := context.AfterFunc(ctx, tr.Abort)
+	defer stop()
+	res, err := RunOnCtx(ctx, spec, tr, o)
 	if err != nil {
 		tr.Abort()
 	}
 	tr.Close()
+	if err != nil {
+		// The context's cause beats the derived transport failure.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("nodespec: rank %d solve cancelled: %w", o.Rank, cerr)
+		}
+	}
 	return res, err
 }
 
 // RunOn drives one rank's solve on an already-joined transport (Run's
 // core, also used by the in-process benchmarks and tests). The caller
 // owns the transport; RunOn runs a final collective before returning, so
-// closing right after is safe on every rank.
+// closing right after is safe on every rank. A nil transport runs a
+// plain single-process solve on the solver's own internal transport.
 func RunOn(spec Spec, tr comm.Transport, o NodeOptions) (*NodeResult, error) {
+	return RunOnCtx(context.Background(), spec, tr, o)
+}
+
+// RunOnCtx is RunOn with cooperative cancellation. The context threads
+// through the source iteration into the runtime's master loops; the
+// caller, as the transport's owner, is responsible for aborting the
+// transport on cancellation if collectives must unblock too (RunCtx and
+// jsweep.Job do).
+func RunOnCtx(ctx context.Context, spec Spec, tr comm.Transport, o NodeOptions) (*NodeResult, error) {
 	spec = spec.withDefaults()
 	logf := func(format string, args ...any) {
 		if o.Log != nil {
@@ -142,15 +188,25 @@ func RunOn(spec Spec, tr comm.Transport, o NodeOptions) (*NodeResult, error) {
 	}
 	defer s.Close()
 	t0 := time.Now()
-	res, err := transport.SourceIterate(prob, s, IterConfig(spec))
+	cfg := IterConfig(spec)
+	if o.Progress != nil {
+		cfg.Progress = func(p transport.Progress) {
+			o.Progress(Progress{Progress: p, Sweep: s.LastStats()})
+		}
+	}
+	res, err := transport.SourceIterateCtx(ctx, prob, s, cfg)
 	if err != nil {
 		return nil, err
 	}
 	nr := &NodeResult{
 		Result:   res,
+		Balance:  make([]transport.BalanceReport, prob.Groups),
 		Stats:    s.LastStats(),
 		FluxHash: FluxHash(res.Phi),
 		Wall:     time.Since(t0),
+	}
+	for g := 0; g < prob.Groups; g++ {
+		nr.Balance[g] = prob.GroupBalance(res.Phi, g)
 	}
 	logf("converged=%v iterations=%d residual=%.3e wall=%.3fs",
 		res.Converged, res.Iterations, res.Residual, nr.Wall.Seconds())
@@ -202,6 +258,11 @@ func localClusterStats(tr comm.Transport, st sweep.SweepStats) ClusterStats {
 	cs := ClusterStats{
 		RemoteStreams: cum.RemoteStreams,
 		BatchesSent:   cum.BatchesSent,
+	}
+	if tr == nil {
+		// Single-process solve on the solver's internal transport: no
+		// endpoint counters to read.
+		return cs
 	}
 	// Message/byte totals come from the endpoint counters so they cover
 	// the whole solve (matching the wire-stat scope) on every reuse mode.

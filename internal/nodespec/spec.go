@@ -13,24 +13,56 @@ import (
 	"time"
 
 	"jsweep/internal/comm"
-	"jsweep/internal/geom"
-	"jsweep/internal/kobayashi"
 	"jsweep/internal/mesh"
-	"jsweep/internal/meshgen"
-	"jsweep/internal/partition"
 	"jsweep/internal/priority"
-	"jsweep/internal/quadrature"
+	"jsweep/internal/registry"
 	"jsweep/internal/runtime"
 	"jsweep/internal/sweep"
 	"jsweep/internal/transport"
 )
 
+// Backend selects how a job spec executes: in this process, across a
+// TCP cluster, or on the discrete-event cluster simulator.
+type Backend string
+
+const (
+	// BackendAuto (the zero value) means BackendInProc.
+	BackendAuto Backend = ""
+	// BackendInProc runs all ranks as goroutines of this OS process over
+	// the in-memory transport.
+	BackendInProc Backend = "inproc"
+	// BackendTCPLaunch spawns one node OS process per rank on this host,
+	// wired through a local rendezvous over TCP-loopback.
+	BackendTCPLaunch Backend = "tcp-launch"
+	// BackendTCPAttach runs this process as one rank of an existing TCP
+	// cluster (an explicit transport, or rendezvous attach parameters).
+	BackendTCPAttach Backend = "tcp-attach"
+	// BackendSim replays the spec's task system on the discrete-event
+	// cluster simulator instead of solving it.
+	BackendSim Backend = "sim"
+)
+
+// Valid reports whether b names a known backend.
+func (b Backend) Valid() bool {
+	switch b {
+	case BackendAuto, BackendInProc, BackendTCPLaunch, BackendTCPAttach, BackendSim:
+		return true
+	}
+	return false
+}
+
+// Backends lists the selectable backend names for CLI usage strings.
+func Backends() []string {
+	return []string{string(BackendInProc), string(BackendTCPLaunch), string(BackendTCPAttach), string(BackendSim)}
+}
+
 // Spec describes a complete solve: mesh, physics, decomposition, solver
-// shape. Every rank of a cluster rebuilds the identical problem from the
-// same spec — generators and partitioners are deterministic, so no mesh
-// data ever crosses the wire.
+// shape, and the backend that executes it. Every rank of a cluster
+// rebuilds the identical problem from the same spec — generators and
+// partitioners are deterministic, so no mesh data ever crosses the wire.
 type Spec struct {
-	// Mesh is kobayashi | ball | reactor | cyclic.
+	// Mesh names a problem family of internal/registry
+	// (kobayashi | ball | reactor | cyclic).
 	Mesh string `json:"mesh"`
 	// N is the structured cells-per-axis (kobayashi).
 	N int `json:"n,omitempty"`
@@ -44,6 +76,10 @@ type Spec struct {
 	Scatter bool `json:"scatter,omitempty"`
 	// Patch is the cells-per-patch target (non-kobayashi; default 500).
 	Patch int `json:"patch,omitempty"`
+
+	// Backend selects the execution backend
+	// (inproc | tcp-launch | tcp-attach | sim; default inproc).
+	Backend Backend `json:"backend,omitempty"`
 
 	// Procs is the rank count; Workers the worker goroutines per rank.
 	Procs   int `json:"procs"`
@@ -75,6 +111,12 @@ type Spec struct {
 	Tol      float64 `json:"tol,omitempty"`
 	MaxIters int     `json:"max_iters,omitempty"`
 }
+
+// Defaulted returns the spec with every unset field filled with its
+// default — the exact values Build, SolverOptions and the node driver
+// apply internally, exported so callers (the Job API, CLIs) can reason
+// about the resolved spec without duplicating the defaults.
+func (s Spec) Defaulted() Spec { return s.withDefaults() }
 
 // withDefaults fills unset fields.
 func (s Spec) withDefaults() Spec {
@@ -162,64 +204,25 @@ func ParsePair(s string) (priority.Pair, error) {
 	return priority.Pair{Patch: p, Vertex: v}, nil
 }
 
+// MeshParams maps a spec's mesh-construction fields onto the registry's
+// parameter record.
+func MeshParams(s Spec) registry.Params {
+	s = s.withDefaults()
+	return registry.Params{
+		N: s.N, Cells: s.Cells, SnOrder: s.SnOrder,
+		Groups: s.Groups, Scatter: s.Scatter, Patch: s.Patch,
+	}
+}
+
 // Build deterministically constructs the problem and decomposition of a
-// spec. Every rank calling Build with the same spec gets bitwise
-// identical meshes, materials and patch placement.
+// spec through the mesh registry. Every rank calling Build with the same
+// spec gets bitwise identical meshes, materials and patch placement.
 func Build(s Spec) (*transport.Problem, *mesh.Decomposition, error) {
 	s = s.withDefaults()
-	switch s.Mesh {
-	case "kobayashi":
-		prob, m, err := kobayashi.Build(kobayashi.Spec{
-			N: s.N, SnOrder: s.SnOrder, Scattering: s.Scatter, Scheme: transport.Diamond,
-		})
-		if err != nil {
-			return nil, nil, err
-		}
-		b := s.N / 4
-		if b < 1 {
-			b = 1
-		}
-		d, err := m.BlockDecompose(b, b, b)
-		if err != nil {
-			return nil, nil, err
-		}
-		return prob, d, nil
-	case "ball", "reactor", "cyclic":
-		var m *mesh.Unstructured
-		var err error
-		switch s.Mesh {
-		case "ball":
-			m, err = meshgen.BallWithCells(s.Cells, 10.0)
-		case "reactor":
-			m, err = meshgen.ReactorWithCells(s.Cells, 1.0, 1.5)
-		default:
-			m, err = meshgen.CyclicStackWithCells(s.Cells)
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		m.SetMaterialFunc(func(geom.Vec3) int { return 0 })
-		quad, err := quadrature.New(s.SnOrder)
-		if err != nil {
-			return nil, nil, err
-		}
-		prob := uniformProblem(m, quad, s.Groups)
-		var d *mesh.Decomposition
-		if s.Mesh == "cyclic" {
-			np := m.NumCells() / s.Patch
-			if np < 2 {
-				np = 2
-			}
-			d, err = meshgen.AzimuthalBlocks(m, np)
-		} else {
-			d, err = partition.ByPatchSize(m, s.Patch, partition.GreedyGraph)
-		}
-		if err != nil {
-			return nil, nil, err
-		}
-		return prob, d, nil
+	if !s.Backend.Valid() {
+		return nil, nil, fmt.Errorf("nodespec: unknown backend %q (have %s)", s.Backend, strings.Join(Backends(), " | "))
 	}
-	return nil, nil, fmt.Errorf("nodespec: unknown mesh kind %q", s.Mesh)
+	return registry.Build(s.Mesh, MeshParams(s))
 }
 
 // SolverOptions shapes the sweep solver from a spec; tr is nil for a
@@ -262,28 +265,4 @@ func SolverOptions(s Spec, tr comm.Transport) (sweep.Options, error) {
 func IterConfig(s Spec) transport.IterConfig {
 	s = s.withDefaults()
 	return transport.IterConfig{Tolerance: s.Tol, MaxIterations: s.MaxIters}
-}
-
-// uniformProblem builds the uniform-material multigroup problem the
-// non-kobayashi meshes solve (shared with cmd/jsweep-run).
-func uniformProblem(m mesh.Mesh, quad *quadrature.Set, groups int) *transport.Problem {
-	sigT := make([]float64, groups)
-	src := make([]float64, groups)
-	scat := make([][]float64, groups)
-	for g := 0; g < groups; g++ {
-		sigT[g] = 0.4 + 0.2*float64(g)
-		scat[g] = make([]float64, groups)
-		scat[g][g] = 0.1
-		if g+1 < groups {
-			scat[g][g+1] = 0.05
-		}
-	}
-	src[0] = 1.0
-	return &transport.Problem{
-		M:      m,
-		Mats:   []transport.Material{{Name: "uniform", SigmaT: sigT, SigmaS: scat, Source: src}},
-		Quad:   quad,
-		Groups: groups,
-		Scheme: transport.Step,
-	}
 }

@@ -1,0 +1,257 @@
+package runtime_test
+
+// Round-stamped data-lane messages: the round-boundary staleness check
+// is armed on every backend now. Over TCP, a deliberately fast rank's
+// early next-round messages are stashed and replayed into the next
+// round (previously the check had to stand down — early and stale were
+// indistinguishable), while a genuinely stale message from a finished
+// round fails the boundary loudly instead of silently corrupting the
+// next round.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/core"
+	"jsweep/internal/netcomm"
+	"jsweep/internal/runtime"
+	"jsweep/internal/testprog"
+)
+
+// rawMsg crafts a round-stamped data-lane message of the given kind (the
+// wire layout pinned by the runtime: kind byte, LE32 round, payload).
+func rawMsg(kind byte, round uint32, payload ...byte) []byte {
+	buf := make([]byte, 5+len(payload))
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:5], round)
+	copy(buf[5:], payload)
+	return buf
+}
+
+const kindStreams = byte(0x01)
+
+// TestStaleMessageFailsRoundBoundary injects a message stamped with the
+// finished round into the endpoint at the round boundary: Reset must
+// refuse it as stale on the in-memory backend too (the check is
+// universal now, not gated on all-local).
+func TestStaleMessageFailsRoundBoundary(t *testing.T) {
+	tr, err := comm.NewTransport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	rt, err := runtime.New(runtime.Config{Procs: 1, Workers: 1, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	sink := testprog.NewResults()
+	k := core.ProgramKey{Patch: 0, Task: 0}
+	acc := &testprog.Accumulator{Key: k, Seed: 7, Sink: sink}
+	if err := rt.Register(k, acc, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.RunRound(); err != nil {
+		t.Fatal(err)
+	}
+	// A round-1 message still pending after round 1 terminated = stale.
+	if err := tr.Endpoint(0).Send(0, rawMsg(kindStreams, 1)); err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Reset()
+	if err == nil {
+		t.Fatal("Reset accepted a stale round-1 message at the round-1 boundary")
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("Reset error %q does not identify the message as stale", err)
+	}
+}
+
+// netPair joins two single-rank TCP transports into one cluster.
+func netPair(t *testing.T) (tr0, tr1 *netcomm.Transport) {
+	t.Helper()
+	cluster := fmt.Sprintf("roundstamp-%d", time.Now().UnixNano())
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trs := make([]*netcomm.Transport, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			trs[r], errs[r] = netcomm.Join(netcomm.Options{
+				Cluster: cluster, Rank: r, World: 2, Rendezvous: rz.Addr(),
+				CloseTimeout: 2 * time.Second,
+			})
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return trs[0], trs[1]
+}
+
+// fastRankCluster builds the two-runtime TCP cluster of the fast-rank
+// tests: a source program on rank 1 streams one value per round to an
+// accumulator on rank 0.
+type fastRankCluster struct {
+	tr0, tr1 *netcomm.Transport
+	rt0, rt1 *runtime.Runtime
+	src, dst *testprog.Accumulator
+	sink     *testprog.Results
+}
+
+func newFastRankCluster(t *testing.T) *fastRankCluster {
+	t.Helper()
+	c := &fastRankCluster{sink: testprog.NewResults()}
+	c.tr0, c.tr1 = netPair(t)
+	t.Cleanup(func() { c.tr0.Close(); c.tr1.Close() })
+	kSrc := core.ProgramKey{Patch: 1, Task: 0}
+	kDst := core.ProgramKey{Patch: 0, Task: 0}
+	c.src = &testprog.Accumulator{Key: kSrc, Seed: 41, Out: []core.ProgramKey{kDst}, Sink: c.sink}
+	c.dst = &testprog.Accumulator{Key: kDst, Seed: 1, NumIn: 1, Sink: c.sink}
+	for i, tr := range []*netcomm.Transport{c.tr0, c.tr1} {
+		rt, err := runtime.New(runtime.Config{Procs: 2, Workers: 1, Transport: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { rt.Close() })
+		// Every node registers the full set with identical placement;
+		// only locally hosted ranks instantiate their programs.
+		if err := rt.Register(kSrc, c.src, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Register(kDst, c.dst, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			c.rt0 = rt
+		} else {
+			c.rt1 = rt
+		}
+	}
+	return c
+}
+
+// runBoth runs one round on both runtimes concurrently.
+func (c *fastRankCluster) runBoth(t *testing.T) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i, rt := range []*runtime.Runtime{c.rt0, c.rt1} {
+		wg.Add(1)
+		go func(i int, rt *runtime.Runtime) {
+			defer wg.Done()
+			_, errs[i] = rt.RunRound()
+		}(i, rt)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d round failed: %v", i, err)
+		}
+	}
+}
+
+// TestFastRankEarlyMessagesReplayOverTCP is the satellite's regression:
+// rank 1 finishes round 1 and races ahead into round 2, its round-2
+// stream and done report reaching rank 0's endpoint before rank 0 has
+// even reset. The round boundary must classify them as early (not
+// stale) and the replayed messages must drive round 2 to the correct
+// result.
+func TestFastRankEarlyMessagesReplayOverTCP(t *testing.T) {
+	c := newFastRankCluster(t)
+	c.runBoth(t)
+	if v, _ := c.sink.Get(c.dst.Key); v != 42 {
+		t.Fatalf("round 1: dst computed %d, want 42", v)
+	}
+
+	// Fast rank 1 starts round 2 alone. Its RunRound blocks waiting for
+	// rank 0's termination broadcast — but its source stream and done
+	// report go out immediately.
+	c.src.Reset()
+	if err := c.rt1.Reset(); err != nil {
+		t.Fatalf("fast rank reset: %v", err)
+	}
+	round2 := make(chan error, 1)
+	go func() {
+		_, err := c.rt1.RunRound()
+		round2 <- err
+	}()
+
+	// Wait until the early round-2 messages (stream + done) sit in rank
+	// 0's endpoint queue, exactly the boundary state the old check could
+	// not tell apart from staleness.
+	ep0 := c.tr0.Endpoint(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for ep0.Pending() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rank 0 never saw the fast rank's early messages (pending %d)", ep0.Pending())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	c.dst.Reset()
+	if err := c.rt0.Reset(); err != nil {
+		t.Fatalf("rank 0 reset rejected early next-round messages: %v", err)
+	}
+	if _, err := c.rt0.RunRound(); err != nil {
+		t.Fatalf("rank 0 round 2: %v", err)
+	}
+	if err := <-round2; err != nil {
+		t.Fatalf("fast rank round 2: %v", err)
+	}
+	if v, _ := c.sink.Get(c.dst.Key); v != 42 {
+		t.Fatalf("round 2: dst computed %d from the replayed stream, want 42", v)
+	}
+}
+
+// TestStaleRoundMessageFailsOverTCP: a message stamped with an already
+// finished round arriving at a rank that moved on must error the round
+// out — the cluster-wide staleness invariant the stamps restore.
+func TestStaleRoundMessageFailsOverTCP(t *testing.T) {
+	c := newFastRankCluster(t)
+	c.runBoth(t)
+
+	// Both ranks advance to round 2; rank 1 then replays a round-1 frame
+	// (a delayed duplicate, say). Rank 0 must fail its round, not absorb
+	// the stale payload.
+	c.src.Reset()
+	c.dst.Reset()
+	if err := c.rt0.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.rt1.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	round2 := make(chan error, 2)
+	go func() {
+		_, err := c.rt1.RunRound()
+		round2 <- err
+	}()
+	if err := c.tr1.Endpoint(1).Send(0, rawMsg(kindStreams, 1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.rt0.RunRound()
+	if err == nil {
+		t.Fatal("rank 0 absorbed a stale round-1 message in round 2")
+	}
+	if !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("round error %q does not identify the message as stale", err)
+	}
+	// Rank 0 died without terminating rank 1's round; abort the cluster
+	// so the fast rank unblocks before Close.
+	c.tr0.Abort()
+	<-round2
+}

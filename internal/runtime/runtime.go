@@ -22,6 +22,7 @@
 package runtime
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -108,7 +109,12 @@ type Stats struct {
 	Wall time.Duration
 }
 
-// message kinds on the wire.
+// message kinds on the wire. Every data-lane message is round-stamped:
+// kind byte, then the sender's 4-byte little-endian round counter, then
+// the kind's payload. The stamp is what keeps the round-boundary
+// staleness check armed on network backends, where a faster rank's
+// early next-round messages would otherwise be indistinguishable from
+// stale leftovers of a round that failed to drain.
 const (
 	msgStreams = byte(0x01)
 	msgDone    = byte(0x02) // workload mode: proc finished
@@ -117,7 +123,25 @@ const (
 	msgFrame   = byte(0x05) // aggregated multi-stream frame
 	tokenWhite = byte(0)
 	tokenBlack = byte(1)
+
+	// msgHeaderSize is the kind byte plus the round stamp.
+	msgHeaderSize = 1 + 4
 )
+
+// stampHeader writes a message's kind and round stamp into its first
+// msgHeaderSize bytes.
+func stampHeader(buf []byte, kind byte, round uint32) {
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:msgHeaderSize], round)
+}
+
+// parseStamp splits a data-lane message into kind, round stamp and body.
+func parseStamp(data []byte) (kind byte, round uint32, body []byte, err error) {
+	if len(data) < msgHeaderSize {
+		return 0, 0, nil, fmt.Errorf("runtime: short message (%d bytes)", len(data))
+	}
+	return data[0], binary.LittleEndian.Uint32(data[1:msgHeaderSize]), data[msgHeaderSize:], nil
+}
 
 // Runtime executes a set of registered patch-programs across Procs
 // processes × Workers workers. Register programs, then either call Run
@@ -230,11 +254,14 @@ func (rt *Runtime) Register(key core.ProgramKey, prog core.PatchProgram, prio in
 
 // Run executes all programs to global termination once and closes the
 // session. For multi-round sessions use RunRound / Reset / Close.
-func (rt *Runtime) Run() (Stats, error) {
+func (rt *Runtime) Run() (Stats, error) { return rt.RunCtx(context.Background()) }
+
+// RunCtx is Run with cooperative cancellation (see RunRoundCtx).
+func (rt *Runtime) RunCtx(ctx context.Context) (Stats, error) {
 	if rt.started {
 		return Stats{}, fmt.Errorf("runtime: Run called twice (use RunRound for multi-round sessions)")
 	}
-	st, err := rt.RunRound()
+	st, err := rt.RunRoundCtx(ctx)
 	if cerr := rt.Close(); err == nil {
 		err = cerr
 	}
@@ -245,7 +272,16 @@ func (rt *Runtime) Run() (Stats, error) {
 // returns the round's statistics. The first call launches the worker
 // goroutines; they stay parked between rounds. Reset must be called
 // between rounds.
-func (rt *Runtime) RunRound() (Stats, error) {
+func (rt *Runtime) RunRound() (Stats, error) { return rt.RunRoundCtx(context.Background()) }
+
+// RunRoundCtx is RunRound with cooperative cancellation: every local
+// master loop watches the context and abandons the round with ctx.Err()
+// once it is done. A cancelled round leaves the session broken (its
+// processes may hold undrained state) — the caller's only further move
+// is Close, which unparks and joins the worker goroutines. Cancellation
+// is local: remote ranks of a multi-process cluster observe it through
+// the transport's failure propagation, not through this context.
+func (rt *Runtime) RunRoundCtx(ctx context.Context) (Stats, error) {
 	if rt.closed {
 		return Stats{}, fmt.Errorf("runtime: RunRound on closed session")
 	}
@@ -268,7 +304,7 @@ func (rt *Runtime) RunRound() (Stats, error) {
 		wg.Add(1)
 		go func(i int, p *process) {
 			defer wg.Done()
-			errs[i] = p.runRound()
+			errs[i] = p.runRound(ctx)
 		}(i, p)
 	}
 	wg.Wait()
@@ -429,6 +465,17 @@ type process struct {
 	doneReports map[int]bool
 	sentDone    bool
 
+	// round is the 1-based number of the round in progress (or, between
+	// rounds, of the round just finished); it stamps every outbound
+	// data-lane message. future stashes early arrivals whose stamp is
+	// ahead of the current round (a faster peer over a network backend);
+	// replay holds the stash promoted at Reset, consumed before the
+	// endpoint queue at the next round's start. Both are only touched by
+	// the master loop and the between-rounds Reset, never concurrently.
+	round  uint32
+	future []comm.Message
+	replay []comm.Message
+
 	stats Stats
 
 	wg sync.WaitGroup
@@ -451,6 +498,7 @@ func newProcess(rt *Runtime, rank int) *process {
 		results:     make(chan workerResult, 4096),
 		doneReports: make(map[int]bool),
 		safraColor:  tokenWhite,
+		round:       1,
 	}
 	p.workers = make([]*workerQueue, rt.cfg.Workers)
 	for w := range p.workers {
@@ -485,7 +533,7 @@ func (p *process) startWorkers() {
 // runRound is the master loop of one process (paper Fig. 8) for one
 // round: it distributes the active programs, drives execution to the
 // termination decision, and leaves the workers parked for the next round.
-func (p *process) runRound() error {
+func (p *process) runRound(ctx context.Context) error {
 	// Distribute initially active programs evenly across workers (§IV-B),
 	// highest priority spread first for an even start.
 	p.mu.Lock()
@@ -512,10 +560,25 @@ func (p *process) runRound() error {
 	defer ticker.Stop()
 masterLoop:
 	for {
+		// Cooperative cancellation: abandon the round as soon as the
+		// context is done, even while the master is busy.
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("runtime: rank %d round cancelled: %w", p.rank, cerr)
+			break masterLoop
+		}
 		progress := false
-		// Drain transport.
+		// Drain the transport — the early arrivals stashed at the last
+		// round boundary first (they arrived before anything still queued
+		// on the endpoint, so pairwise FIFO order is preserved).
 		for {
-			m, ok := p.ep.TryRecv()
+			var m comm.Message
+			var ok bool
+			if len(p.replay) > 0 {
+				m, ok = p.replay[0], true
+				p.replay = p.replay[1:]
+			} else {
+				m, ok = p.ep.TryRecv()
+			}
 			if !ok {
 				break
 			}
@@ -587,6 +650,7 @@ masterLoop:
 					break masterLoop
 				}
 			case <-p.ep.Notify():
+			case <-ctx.Done():
 			case <-ticker.C:
 			}
 		}
@@ -621,16 +685,36 @@ func (p *process) collectRound() Stats {
 // round state is verified to be clean (a stale message or half-full
 // batcher means the previous round did not terminate properly).
 func (p *process) resetRound() error {
-	// With every rank in-process, a pending message at the round boundary
-	// is necessarily stale — the previous round failed to drain. With a
-	// network backend, a faster node may legitimately have begun the next
-	// round already, so early arrivals wait in the endpoint queue for the
-	// next master loop and the staleness check must stand down.
-	if p.rt.allLocal {
-		if n := p.ep.Pending(); n > 0 {
-			return fmt.Errorf("runtime: rank %d has %d undrained messages at round boundary", p.rank, n)
+	// Round-boundary staleness check, armed on every backend: data-lane
+	// messages carry their sender's round stamp, so a message still
+	// pending here from the round just finished (or earlier) is
+	// necessarily stale — that round terminated without draining it.
+	// Early arrivals stamped with a later round (a faster peer over a
+	// network backend that legitimately began its next round) are kept
+	// and replayed at the next round's start.
+	for {
+		m, ok := p.ep.TryRecv()
+		if !ok {
+			break
 		}
+		_, round, _, err := parseStamp(m.Data)
+		if err != nil {
+			return fmt.Errorf("runtime: rank %d at round-%d boundary: %w", p.rank, p.round, err)
+		}
+		if round <= p.round {
+			return fmt.Errorf("runtime: rank %d has a stale round-%d message from rank %d undrained at the round-%d boundary",
+				p.rank, round, m.From, p.round)
+		}
+		p.future = append(p.future, m)
 	}
+	// Promote the stash: it becomes the next round's first input. Sanity:
+	// nothing may still sit in replay — the round consumed it all.
+	if n := len(p.replay); n > 0 {
+		return fmt.Errorf("runtime: rank %d has %d unreplayed messages at round boundary", p.rank, n)
+	}
+	p.replay = p.future
+	p.future = nil
+	p.round++
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.busyWorkers > 0 {
@@ -753,8 +837,8 @@ func (p *process) routeStreams(streams []core.Stream) error {
 	}
 	for rank, batch := range perRank {
 		t0 := time.Now()
-		buf := make([]byte, 1, core.EncodedSize(batch)+1)
-		buf[0] = msgStreams
+		buf := make([]byte, msgHeaderSize, core.EncodedSize(batch)+msgHeaderSize)
+		stampHeader(buf, msgStreams, p.round)
 		buf = core.EncodeStreams(buf, batch)
 		p.stats.PackTime += time.Since(t0)
 		p.stats.BytesSent += int64(len(buf))
@@ -773,8 +857,8 @@ func (p *process) flushBatcher(b *StreamBatcher, reason FlushReason) error {
 		return nil
 	}
 	t0 := time.Now()
-	buf := make([]byte, 1, b.PendingBytes()+1)
-	buf[0] = msgFrame
+	buf := make([]byte, msgHeaderSize, b.PendingBytes()+msgHeaderSize)
+	stampHeader(buf, msgFrame, p.round)
 	buf, n := b.Flush(buf)
 	p.stats.PackTime += time.Since(t0)
 	p.stats.BytesSent += int64(len(buf))
@@ -874,12 +958,23 @@ func (p *process) deliverLocked(s core.Stream) {
 }
 
 // handleMessage processes one transport message. Returns stop=true when
-// the process should exit its master loop.
+// the process should exit its master loop. A message stamped with a
+// later round than the one in progress is stashed for that round (a
+// faster peer already moved on); one stamped with an earlier round is a
+// staleness bug and errors the round out.
 func (p *process) handleMessage(m comm.Message) (stop bool, err error) {
-	if len(m.Data) == 0 {
-		return false, fmt.Errorf("runtime: empty message from rank %d", m.From)
+	kind, round, body, err := parseStamp(m.Data)
+	if err != nil {
+		return false, err
 	}
-	kind, body := m.Data[0], m.Data[1:]
+	if round > p.round {
+		p.future = append(p.future, m)
+		return false, nil
+	}
+	if round < p.round {
+		return false, fmt.Errorf("runtime: rank %d received a stale round-%d message from rank %d in round %d",
+			p.rank, round, m.From, p.round)
+	}
 	switch kind {
 	case msgStreams:
 		t0 := time.Now()
@@ -977,18 +1072,26 @@ func (p *process) checkWorkloadTermination() bool {
 	if p.rank != 0 {
 		if !p.sentDone {
 			p.sentDone = true
-			_ = p.ep.Send(0, []byte{msgDone})
+			_ = p.ep.Send(0, p.stamped(msgDone))
 		}
 		return false // wait for msgTerm
 	}
 	// Rank 0: terminate once every other rank reported done.
 	if len(p.doneReports) == p.rt.cfg.Procs-1 {
 		for r := 1; r < p.rt.cfg.Procs; r++ {
-			_ = p.ep.Send(r, []byte{msgTerm})
+			_ = p.ep.Send(r, p.stamped(msgTerm))
 		}
 		return true
 	}
 	return false
+}
+
+// stamped returns a payload-free data-lane message of the given kind,
+// round-stamped for the current round.
+func (p *process) stamped(kind byte) []byte {
+	buf := make([]byte, msgHeaderSize)
+	stampHeader(buf, kind, p.round)
+	return buf
 }
 
 func (p *process) checkSafraTermination() bool {
@@ -999,7 +1102,7 @@ func (p *process) checkSafraTermination() bool {
 		// Evaluate the returned token (or the initial one).
 		if p.tokenColor == tokenWhite && p.safraColor == tokenWhite && p.tokenCount+p.safraCounter == 0 && p.probedOnce {
 			for r := 1; r < p.rt.cfg.Procs; r++ {
-				_ = p.ep.Send(r, []byte{msgTerm})
+				_ = p.ep.Send(r, p.stamped(msgTerm))
 			}
 			return true
 		}
@@ -1029,10 +1132,10 @@ func (p *process) checkSafraTermination() bool {
 }
 
 func (p *process) sendToken(to int, color byte, count int64) {
-	buf := make([]byte, 10)
-	buf[0] = msgToken
-	buf[1] = color
-	binary.LittleEndian.PutUint64(buf[2:], uint64(count))
+	buf := make([]byte, msgHeaderSize+9)
+	stampHeader(buf, msgToken, p.round)
+	buf[msgHeaderSize] = color
+	binary.LittleEndian.PutUint64(buf[msgHeaderSize+1:], uint64(count))
 	_ = p.ep.Send(to, buf)
 }
 

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -386,16 +387,28 @@ func (s *Solver) LaggedEdges() int { return s.laggedEdges }
 // UseCoarse records clusters and builds the coarsened graph; subsequent
 // calls execute on it.
 func (s *Solver) Sweep(q [][]float64) ([][]float64, error) {
+	return s.SweepCtx(context.Background(), q)
+}
+
+// SweepCtx is Sweep with cooperative cancellation: the context threads
+// into the runtime's master loops, so a cancelled sweep abandons its
+// round and returns promptly with the context's error. The solver's
+// session is broken afterwards — Close it. Cancellation of a
+// multi-process node does NOT by itself unblock the per-sweep partial
+// exchange (a collective over the transport); the transport's owner
+// must Abort it on cancellation, which fails every pending collective
+// cluster-wide (jsweep.Job and nodespec.RunCtx do this).
+func (s *Solver) SweepCtx(ctx context.Context, q [][]float64) ([][]float64, error) {
 	if s.lag != nil {
 		// The previous sweep's lagged writes become this sweep's inputs
 		// (all-zero before the first sweep).
 		s.lag.Advance()
 	}
 	if s.cg != nil {
-		return s.sweepCoarse(q)
+		return s.sweepCoarse(ctx, q)
 	}
 	record := s.opts.UseCoarse
-	phi, progs, err := s.sweepFine(q, record)
+	phi, progs, err := s.sweepFine(ctx, q, record)
 	if err != nil {
 		return nil, err
 	}
@@ -459,7 +472,7 @@ func (s *Solver) buildCoarsePrograms(q [][]float64) [][]*CoarseProgram {
 }
 
 // sweepFine runs a DAG-driven sweep with per-vertex scheduling.
-func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Program, error) {
+func (s *Solver) sweepFine(ctx context.Context, q [][]float64, record bool) ([][]float64, [][]*Program, error) {
 	na := len(s.prob.Quad.Directions)
 	np := s.d.NumPatches()
 	var progs [][]*Program
@@ -487,7 +500,7 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 		}
 		return nil
 	}
-	if err := s.execute(run, false); err != nil {
+	if err := s.execute(ctx, run, false); err != nil {
 		return nil, nil, err
 	}
 	// Deterministic reduction: angle-major, patch-major, vertex order.
@@ -526,7 +539,7 @@ func (s *Solver) sweepFine(q [][]float64, record bool) ([][]float64, [][]*Progra
 }
 
 // sweepCoarse runs a sweep on the cached coarsened graph.
-func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
+func (s *Solver) sweepCoarse(ctx context.Context, q [][]float64) ([][]float64, error) {
 	na := len(s.prob.Quad.Directions)
 	np := s.d.NumPatches()
 	var progs [][]*CoarseProgram
@@ -557,7 +570,7 @@ func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 		}
 		return nil
 	}
-	if err := s.execute(run, true); err != nil {
+	if err := s.execute(ctx, run, true); err != nil {
 		return nil, err
 	}
 	phi := s.newFlux()
@@ -602,12 +615,12 @@ func (s *Solver) sweepCoarse(q [][]float64) ([][]float64, error) {
 // execute runs the registered programs on the engine or the runtime.
 // coarse tags which program set the registration closure provides, so the
 // persistent session knows when to rebuild at the fine→coarse switch.
-func (s *Solver) execute(register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error, coarse bool) error {
+func (s *Solver) execute(ctx context.Context, register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error, coarse bool) error {
 	if s.opts.Sequential {
 		return s.executeSequential(register, coarse)
 	}
 	if s.opts.reuse() {
-		return s.executeSession(register, coarse)
+		return s.executeSession(ctx, register, coarse)
 	}
 	rt, err := runtime.New(s.runtimeConfig())
 	if err != nil {
@@ -616,7 +629,7 @@ func (s *Solver) execute(register func(func(core.ProgramKey, core.PatchProgram, 
 	if err := register(rt.Register); err != nil {
 		return err
 	}
-	st, err := rt.Run()
+	st, err := rt.RunCtx(ctx)
 	s.stats.Runtime = st
 	s.stats.Cumulative = runtime.Stats{}
 	return err
@@ -649,7 +662,7 @@ func (s *Solver) executeSequential(register func(func(core.ProgramKey, core.Patc
 
 // executeSession runs one round on the persistent runtime, creating or
 // rebuilding it when the program set changed.
-func (s *Solver) executeSession(register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error, coarse bool) error {
+func (s *Solver) executeSession(ctx context.Context, register func(func(core.ProgramKey, core.PatchProgram, int64, int) error) error, coarse bool) error {
 	if s.rt != nil && s.rtCoarse != coarse {
 		// Fine→coarse switch: the old session's program set is obsolete.
 		if err := s.rt.Close(); err != nil {
@@ -670,7 +683,7 @@ func (s *Solver) executeSession(register func(func(core.ProgramKey, core.PatchPr
 	} else if err := s.rt.Reset(); err != nil {
 		return err
 	}
-	st, err := s.rt.RunRound()
+	st, err := s.rt.RunRoundCtx(ctx)
 	s.stats.Runtime = st
 	s.stats.Cumulative = s.rt.CumulativeStats()
 	return err
@@ -714,5 +727,6 @@ func (s *Solver) buildCoarse(progs [][]*Program) error {
 }
 
 var _ transport.SweepExecutor = (*Solver)(nil)
+var _ transport.ContextSweeper = (*Solver)(nil)
 var _ transport.CycleLagger = (*Solver)(nil)
 var _ transport.CycleLagger = (*Reference)(nil)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -40,6 +41,25 @@ type CycleLagger interface {
 	LaggedEdges() int
 }
 
+// ContextSweeper is optionally implemented by sweep executors that can
+// thread a context through a sweep (cancellation unblocks the runtime's
+// master loops mid-round). SourceIterateCtx prefers SweepCtx over Sweep
+// when the executor provides it.
+type ContextSweeper interface {
+	SweepCtx(ctx context.Context, q [][]float64) (phi [][]float64, err error)
+}
+
+// Progress describes one completed source iteration; IterConfig.Progress
+// receives it after each sweep, making long solves observable.
+type Progress struct {
+	// Iteration is the 1-based iteration number.
+	Iteration int
+	// Residual is the point-wise relative flux change of this iteration.
+	Residual float64
+	// Converged reports whether this iteration reached the tolerance.
+	Converged bool
+}
+
 // IterConfig controls source iteration.
 type IterConfig struct {
 	// MaxIterations bounds the outer loop (default 200).
@@ -47,6 +67,10 @@ type IterConfig struct {
 	// Tolerance is the relative point-wise convergence criterion on the
 	// scalar flux (default 1e-6).
 	Tolerance float64
+	// Progress, when non-nil, is called after every iteration with that
+	// iteration's outcome. It runs on the solve goroutine: a slow
+	// callback slows the solve.
+	Progress func(Progress)
 }
 
 func (c *IterConfig) defaults() {
@@ -84,6 +108,16 @@ func (p *Problem) NewFlux() [][]float64 {
 // φ is below tolerance. For pure absorbers a single sweep is exact and the
 // loop exits after verifying it.
 func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error) {
+	return SourceIterateCtx(context.Background(), p, ex, cfg)
+}
+
+// SourceIterateCtx is SourceIterate with cooperative cancellation: the
+// context is checked between iterations and threaded into the executor
+// when it implements ContextSweeper, so a cancelled solve returns
+// ctx.Err() promptly instead of running to convergence. Cancellation
+// does not change the numerics of an uncancelled run — the iteration
+// sequence is bitwise identical to SourceIterate.
+func SourceIterateCtx(ctx context.Context, p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error) {
 	cfg.defaults()
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -97,11 +131,15 @@ func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error
 	res := &Result{}
 	qCell := make([]float64, p.Groups)
 	recycler, _ := ex.(FluxRecycler)
+	ctxSweeper, _ := ex.(ContextSweeper)
 	lagging := false
 	if cl, ok := ex.(CycleLagger); ok {
 		lagging = cl.LaggedEdges() > 0
 	}
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("transport: solve cancelled before sweep %d: %w", iter, err)
+		}
 		// Build emission density from the current flux.
 		for c := 0; c < nc; c++ {
 			p.EmissionDensity(mesh.CellID(c), phi, qCell)
@@ -109,8 +147,19 @@ func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error
 				q[g][c] = qCell[g]
 			}
 		}
-		next, err := ex.Sweep(q)
+		var next [][]float64
+		var err error
+		if ctxSweeper != nil {
+			next, err = ctxSweeper.SweepCtx(ctx, q)
+		} else {
+			next, err = ex.Sweep(q)
+		}
 		if err != nil {
+			// Surface the cancellation cause over the (often derived)
+			// transport-failure error a concurrent abort produced.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, fmt.Errorf("transport: sweep %d cancelled: %w", iter, cerr)
+			}
 			return nil, fmt.Errorf("transport: sweep %d: %w", iter, err)
 		}
 		res.Iterations = iter
@@ -124,13 +173,16 @@ func SourceIterate(p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error
 		phi = next
 		if res.Residual <= cfg.Tolerance {
 			res.Converged = true
-			return res, nil
-		}
-		if !p.HasScattering() && !lagging && iter >= 1 {
+		} else if !p.HasScattering() && !lagging {
 			// One sweep is exact without scattering — unless the executor
 			// lags flux on feedback edges, which must converge like a
 			// scattering source.
 			res.Converged = true
+		}
+		if cfg.Progress != nil {
+			cfg.Progress(Progress{Iteration: iter, Residual: res.Residual, Converged: res.Converged})
+		}
+		if res.Converged {
 			return res, nil
 		}
 	}

@@ -1,0 +1,415 @@
+package jsweep
+
+// The declarative Job API: one context-aware entry point for every
+// backend. A NodeSpec is the complete, serializable description of a
+// solve (mesh family + physics + decomposition + solver shape + backend
+// selector); NewJob binds it to runtime concerns (progress callbacks,
+// transports, logging) through functional options; Job.Run(ctx)
+// executes it and returns one unified RunResult regardless of whether
+// the ranks were goroutines, OS processes over TCP, or virtual
+// processes of the discrete-event simulator.
+//
+//	spec := jsweep.NodeSpec{Mesh: "kobayashi", N: 24, Procs: 2, Workers: 4}
+//	job, _ := jsweep.NewJob(spec, jsweep.WithProgress(func(ev jsweep.ProgressEvent) {
+//		log.Printf("iter %d residual %.2e", ev.Iteration, ev.Residual)
+//	}))
+//	res, err := job.Run(ctx)
+//
+// Cancelling the context cooperatively stops the solve: the runtime's
+// master loops abandon their round, pending collectives unblock through
+// a transport abort, and a tcp-launch job kills its child processes.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/nodespec"
+	"jsweep/internal/registry"
+	"jsweep/internal/simcluster"
+	"jsweep/internal/transport"
+)
+
+// Backend selects how a job executes.
+type Backend = nodespec.Backend
+
+// The selectable backends.
+const (
+	// BackendAuto (the NodeSpec zero value) means BackendInProc.
+	BackendAuto = nodespec.BackendAuto
+	// BackendInProc runs all ranks as goroutines of this process.
+	BackendInProc = nodespec.BackendInProc
+	// BackendTCPLaunch spawns one node OS process per rank on this host.
+	BackendTCPLaunch = nodespec.BackendTCPLaunch
+	// BackendTCPAttach runs this process as one rank of a TCP cluster.
+	BackendTCPAttach = nodespec.BackendTCPAttach
+	// BackendSim replays the job on the discrete-event cluster simulator.
+	BackendSim = nodespec.BackendSim
+)
+
+// Backends lists the selectable backend names.
+func Backends() []string { return nodespec.Backends() }
+
+// Meshes lists the registered problem families a NodeSpec.Mesh may name.
+func Meshes() []string { return registry.Names() }
+
+// ProgressEvent is one source-iteration event (iteration number,
+// residual, and the executed sweep's statistics).
+type ProgressEvent = nodespec.Progress
+
+// ClusterStats sums message costs over all ranks of a cluster solve.
+type ClusterStats = nodespec.ClusterStats
+
+// BalanceReport is the per-group neutron balance of a converged flux.
+type BalanceReport = transport.BalanceReport
+
+// RunResult is the unified outcome of Job.Run across all backends.
+// Which fields are populated depends on the backend:
+//
+//   - inproc / tcp-attach: Result (full flux), Stats, Cluster, FluxHash,
+//     Trail, and Verified when requested;
+//   - tcp-launch: FluxHash (certified identical across all ranks) and
+//     Verified — the flux itself lives in the node processes;
+//   - sim: Sim (virtual makespan and cost breakdown).
+type RunResult struct {
+	// Backend is the backend that executed the job (Auto resolved).
+	Backend Backend
+	// Result is the converged transport solution.
+	Result *Result
+	// Balance is the per-group neutron balance of the converged flux.
+	Balance []BalanceReport
+	// Stats is this rank's solver statistics for the last sweep/session.
+	Stats SweepStats
+	// Cluster sums message costs across all ranks.
+	Cluster ClusterStats
+	// FluxHash is the SHA-256 bit-pattern hash of the converged flux;
+	// equal hashes across backends certify bitwise agreement.
+	FluxHash string
+	// Verified reports a passed serial-reference cross-check.
+	Verified bool
+	// Trail records every iteration's progress event in order.
+	Trail []ProgressEvent
+	// Sim is the simulated outcome (BackendSim only).
+	Sim *SimResult
+	// Wall is the job's wall time.
+	Wall time.Duration
+}
+
+// jobConfig collects the functional options of NewJob.
+type jobConfig struct {
+	progress    func(ProgressEvent)
+	transport   MessageTransport
+	log         io.Writer
+	nodeCommand []string
+	verify      bool
+	timeout     time.Duration
+	attach      *attachConfig
+	costModel   *SimCostModel
+}
+
+type attachConfig struct {
+	cluster    string
+	rank       int
+	rendezvous string
+}
+
+// JobOption customizes how a Job executes (not what it solves — that is
+// the NodeSpec's).
+type JobOption func(*jobConfig)
+
+// WithProgress installs a per-iteration callback (iteration, residual,
+// sweep statistics). It runs on the solve goroutine; a slow callback
+// slows the solve. inproc and tcp-attach backends only.
+func WithProgress(fn func(ProgressEvent)) JobOption {
+	return func(c *jobConfig) { c.progress = fn }
+}
+
+// WithTransport supplies an explicit message transport: a pre-joined
+// TCP cluster membership (tcp-attach) or an in-memory transport
+// (inproc, mostly for tests). The caller retains ownership, but a
+// cancelled Run aborts the transport to unblock pending collectives —
+// it is not reusable after cancellation.
+func WithTransport(tr MessageTransport) JobOption {
+	return func(c *jobConfig) { c.transport = tr }
+}
+
+// WithAttach makes a tcp-attach job join the cluster itself: this
+// process becomes rank `rank` of the cluster named `cluster`, wired
+// through the rendezvous service at `rendezvous`.
+func WithAttach(cluster string, rank int, rendezvous string) JobOption {
+	return func(c *jobConfig) { c.attach = &attachConfig{cluster: cluster, rank: rank, rendezvous: rendezvous} }
+}
+
+// WithLog directs human-readable progress lines to w.
+func WithLog(w io.Writer) JobOption {
+	return func(c *jobConfig) { c.log = w }
+}
+
+// WithNodeCommand overrides the argv prefix that starts one node worker
+// of a tcp-launch job (default: a jsweep-node binary next to this
+// executable, then on PATH).
+func WithNodeCommand(argv []string) JobOption {
+	return func(c *jobConfig) { c.nodeCommand = append([]string(nil), argv...) }
+}
+
+// WithVerify cross-checks the converged flux against the serial
+// reference (bitwise on structured/cyclic meshes, 1e-12 relative on
+// unstructured). On tcp-launch jobs rank 0 verifies in its process.
+func WithVerify() JobOption {
+	return func(c *jobConfig) { c.verify = true }
+}
+
+// WithTimeout bounds the whole job on every backend: Run derives a
+// context deadline from it (composing with the caller's own — whichever
+// fires first wins). It additionally bounds the tcp-attach cluster
+// bring-up (default 60s) and the tcp-launch supervision (default 5m).
+func WithTimeout(d time.Duration) JobOption {
+	return func(c *jobConfig) { c.timeout = d }
+}
+
+// WithSimCostModel overrides the simulator's calibrated machine
+// constants (BackendSim only).
+func WithSimCostModel(cm SimCostModel) JobOption {
+	return func(c *jobConfig) { c.costModel = &cm }
+}
+
+// Job is a bound, validated solve: a NodeSpec plus execution options.
+// Build one with NewJob, run it with Run. A Job is reusable — each Run
+// builds a fresh solver session — but not concurrently with itself when
+// it holds an explicit transport.
+type Job struct {
+	spec NodeSpec
+	cfg  jobConfig
+}
+
+// NewJob validates a spec against its backend and binds the execution
+// options. Option/backend mismatches (say, WithNodeCommand on an inproc
+// job) fail here, not at Run time.
+func NewJob(spec NodeSpec, opts ...JobOption) (*Job, error) {
+	j := &Job{spec: spec}
+	for _, o := range opts {
+		o(&j.cfg)
+	}
+	b := spec.Backend
+	if !b.Valid() {
+		return nil, fmt.Errorf("jsweep: unknown backend %q (have %s)", b, strings.Join(Backends(), " | "))
+	}
+	if _, ok := registry.Lookup(j.meshName()); !ok {
+		return nil, fmt.Errorf("jsweep: unknown mesh kind %q (have %s)", j.meshName(), registry.Usage())
+	}
+	switch b {
+	case BackendAuto, BackendInProc:
+		if j.cfg.attach != nil {
+			return nil, fmt.Errorf("jsweep: WithAttach requires backend %q", BackendTCPAttach)
+		}
+		if j.cfg.nodeCommand != nil {
+			return nil, fmt.Errorf("jsweep: WithNodeCommand requires backend %q", BackendTCPLaunch)
+		}
+	case BackendTCPAttach:
+		if (j.cfg.transport == nil) == (j.cfg.attach == nil) {
+			return nil, fmt.Errorf("jsweep: backend %q needs exactly one of WithTransport or WithAttach", b)
+		}
+		if j.cfg.nodeCommand != nil {
+			return nil, fmt.Errorf("jsweep: WithNodeCommand requires backend %q", BackendTCPLaunch)
+		}
+	case BackendTCPLaunch:
+		if j.cfg.transport != nil || j.cfg.attach != nil {
+			return nil, fmt.Errorf("jsweep: backend %q launches its own cluster — drop WithTransport/WithAttach", b)
+		}
+		if j.cfg.progress != nil {
+			return nil, fmt.Errorf("jsweep: WithProgress is not available on backend %q (iterations run in the node processes)", b)
+		}
+	case BackendSim:
+		if j.cfg.transport != nil || j.cfg.attach != nil || j.cfg.nodeCommand != nil {
+			return nil, fmt.Errorf("jsweep: backend %q is simulated — transports and node commands do not apply", b)
+		}
+		if j.cfg.progress != nil {
+			return nil, fmt.Errorf("jsweep: WithProgress is not available on backend %q (one sweep, virtual time)", b)
+		}
+		if j.cfg.verify {
+			return nil, fmt.Errorf("jsweep: WithVerify is not available on backend %q (no flux is computed)", b)
+		}
+	}
+	if j.cfg.costModel != nil && b != BackendSim {
+		return nil, fmt.Errorf("jsweep: WithSimCostModel requires backend %q", BackendSim)
+	}
+	return j, nil
+}
+
+// meshName resolves the spec's mesh with its default.
+func (j *Job) meshName() string { return j.spec.Defaulted().Mesh }
+
+// Spec returns the job's spec.
+func (j *Job) Spec() NodeSpec { return j.spec }
+
+// Backend returns the backend the job will execute on (Auto resolved).
+func (j *Job) Backend() Backend {
+	if j.spec.Backend == BackendAuto {
+		return BackendInProc
+	}
+	return j.spec.Backend
+}
+
+// Run executes the job and returns its unified result. The context
+// cancels cooperatively on every backend: the in-process runtime's
+// master loops abandon their round, a TCP transport is aborted so its
+// own collectives AND its peers unblock, and a tcp-launch job kills its
+// child processes. After a cancelled Run the job's explicit transport
+// (if any) is dead; everything else is reusable.
+func (j *Job) Run(ctx context.Context) (*RunResult, error) {
+	// WithTimeout bounds the whole job on every backend, not only the
+	// ones with their own timeout plumbing.
+	if j.cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, j.cfg.timeout)
+		defer cancel()
+	}
+	switch j.Backend() {
+	case BackendInProc:
+		return j.runAttached(ctx, j.cfg.transport)
+	case BackendTCPAttach:
+		if j.cfg.transport != nil {
+			return j.runAttached(ctx, j.cfg.transport)
+		}
+		return j.runJoin(ctx)
+	case BackendTCPLaunch:
+		return j.runLaunch(ctx)
+	case BackendSim:
+		return j.runSim(ctx)
+	}
+	return nil, fmt.Errorf("jsweep: unknown backend %q", j.spec.Backend)
+}
+
+// fillFromNode copies one rank's NodeResult into the unified result —
+// the single place a new NodeResult field must be threaded through.
+func (r *RunResult) fillFromNode(nr *nodespec.NodeResult) {
+	r.Result = nr.Result
+	r.Balance = nr.Balance
+	r.Stats = nr.Stats
+	r.Cluster = nr.Cluster
+	r.FluxHash = nr.FluxHash
+	r.Verified = nr.Verified
+	r.Wall = nr.Wall
+}
+
+// nodeOptions assembles the shared per-rank options.
+func (j *Job) nodeOptions(rank int, res *RunResult) NodeOptions {
+	return NodeOptions{
+		Rank:    rank,
+		Timeout: j.cfg.timeout,
+		Verify:  j.cfg.verify,
+		Log:     j.cfg.log,
+		Progress: func(ev ProgressEvent) {
+			res.Trail = append(res.Trail, ev)
+			if j.cfg.progress != nil {
+				j.cfg.progress(ev)
+			}
+		},
+	}
+}
+
+// runAttached solves on an explicit (possibly nil) transport in this
+// process: the inproc path, and tcp-attach with a pre-joined cluster.
+func (j *Job) runAttached(ctx context.Context, tr MessageTransport) (*RunResult, error) {
+	res := &RunResult{Backend: j.Backend()}
+	rank := 0
+	if tr != nil {
+		if local := tr.LocalRanks(); len(local) > 0 {
+			rank = local[0]
+		}
+		// Cancellation must unblock collectives parked in RecvOOB:
+		// abort (or close) the transport the moment the context dies.
+		stop := context.AfterFunc(ctx, func() { abortTransport(tr) })
+		defer stop()
+	}
+	nr, err := nodespec.RunOnCtx(ctx, j.spec, tr, j.nodeOptions(rank, res))
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("jsweep: job cancelled: %w", cerr)
+		}
+		return nil, err
+	}
+	res.fillFromNode(nr)
+	return res, nil
+}
+
+// runJoin is tcp-attach with rendezvous parameters: join, solve, leave.
+func (j *Job) runJoin(ctx context.Context) (*RunResult, error) {
+	res := &RunResult{Backend: BackendTCPAttach}
+	o := j.nodeOptions(j.cfg.attach.rank, res)
+	o.Rendezvous = j.cfg.attach.rendezvous
+	o.Cluster = j.cfg.attach.cluster
+	nr, err := nodespec.RunCtx(ctx, j.spec, o)
+	if err != nil {
+		return nil, err
+	}
+	res.fillFromNode(nr)
+	return res, nil
+}
+
+// runLaunch is tcp-launch: one node OS process per rank on this host.
+func (j *Job) runLaunch(ctx context.Context) (*RunResult, error) {
+	lr, err := nodespec.LaunchLocalCtx(ctx, LaunchConfig{
+		Spec:        j.spec,
+		NodeCommand: j.cfg.nodeCommand,
+		Verify:      j.cfg.verify,
+		Timeout:     j.cfg.timeout,
+		Log:         j.cfg.log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Backend:  BackendTCPLaunch,
+		FluxHash: lr.FluxHash,
+		Verified: lr.Verified,
+		Wall:     lr.Wall,
+	}, nil
+}
+
+// runSim replays the job on the discrete-event cluster simulator.
+func (j *Job) runSim(ctx context.Context) (*RunResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sr, err := nodespec.BuildSim(j.spec)
+	if err != nil {
+		return nil, err
+	}
+	cm := sr.Cost
+	if j.cfg.costModel != nil {
+		cm = *j.cfg.costModel
+	}
+	t0 := time.Now()
+	out, err := simcluster.Simulate(sr.Workload, sr.Config, cm)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Backend: BackendSim, Sim: out, Wall: time.Since(t0)}, nil
+}
+
+// abortTransport tears a transport down hard: Abort when the backend
+// has one (netcomm — peers observe a failure, not a clean close), Close
+// otherwise (the in-memory backend, whose Close already unblocks every
+// receiver).
+func abortTransport(tr comm.Transport) {
+	if a, ok := tr.(interface{ Abort() }); ok {
+		a.Abort()
+		return
+	}
+	tr.Close()
+}
+
+// SolveCtx is Solve with cooperative cancellation and per-iteration
+// progress (see transport.IterConfig.Progress): the building block the
+// Job API rests on, for callers wiring their own solver.
+func SolveCtx(ctx context.Context, p *Problem, ex SweepExecutor, cfg IterConfig) (*Result, error) {
+	return transport.SourceIterateCtx(ctx, p, ex, cfg)
+}
+
+// IterProgress is the per-iteration record SolveCtx reports through
+// IterConfig.Progress.
+type IterProgress = transport.Progress

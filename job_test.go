@@ -1,0 +1,181 @@
+package jsweep_test
+
+// Acceptance matrix of the declarative Job API: one Job.Run(ctx) call
+// reproduces the bitwise-verified results on {kobayashi, ball, cyclic}
+// × {inproc, tcp-launch, sim} from the *same* spec value — only the
+// Backend field changes. The inproc run verifies against the serial
+// reference; the tcp-launch run (4 real OS processes over TCP-loopback,
+// via the TestMain re-exec) must report the identical flux bit-pattern
+// hash; the sim run must replay the same task system in virtual time.
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"jsweep"
+)
+
+// jobSpecs is the shared backend-matrix spec per mesh family.
+func jobSpecs() map[string]jsweep.NodeSpec {
+	return map[string]jsweep.NodeSpec{
+		"kobayashi": {Mesh: "kobayashi", N: 12, SnOrder: 2, Scatter: true,
+			Procs: 4, Workers: 2, Grain: 32, Tol: 1e-8},
+		"ball": {Mesh: "ball", Cells: 600, SnOrder: 2, Patch: 100,
+			Procs: 4, Workers: 2, Grain: 16, Tol: 1e-8},
+		"cyclic": {Mesh: "cyclic", Cells: 300, SnOrder: 2, Patch: 80,
+			Procs: 4, Workers: 2, Grain: 8, Tol: 1e-9},
+	}
+}
+
+func TestJobBackendMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-OS-process job matrix skipped in -short mode")
+	}
+	ctx := context.Background()
+	for mesh, spec := range jobSpecs() {
+		t.Run(mesh, func(t *testing.T) {
+			// inproc: full flux, serial-reference verification, and the
+			// per-iteration trail.
+			ispec := spec
+			ispec.Backend = jsweep.BackendInProc
+			var events int
+			job, err := jsweep.NewJob(ispec,
+				jsweep.WithVerify(),
+				jsweep.WithProgress(func(ev jsweep.ProgressEvent) { events++ }),
+			)
+			if err != nil {
+				t.Fatalf("NewJob(inproc): %v", err)
+			}
+			ires, err := job.Run(ctx)
+			if err != nil {
+				t.Fatalf("inproc run: %v", err)
+			}
+			if !ires.Verified {
+				t.Fatal("inproc run did not verify against the serial reference")
+			}
+			if ires.FluxHash == "" || ires.Result == nil {
+				t.Fatal("inproc run returned no flux / hash")
+			}
+			if len(ires.Trail) != ires.Result.Iterations || events != ires.Result.Iterations {
+				t.Fatalf("trail has %d events, callback saw %d, want %d iterations",
+					len(ires.Trail), events, ires.Result.Iterations)
+			}
+			last := ires.Trail[len(ires.Trail)-1]
+			if !last.Converged || last.Residual != ires.Result.Residual {
+				t.Fatalf("last trail event %+v does not match result %+v", last, ires.Result)
+			}
+			if last.Sweep.ComputeCalls == 0 {
+				t.Fatal("trail events carry no sweep statistics")
+			}
+
+			// tcp-launch from the same spec value: 4 OS processes must
+			// reproduce the identical flux bit pattern.
+			lspec := spec
+			lspec.Backend = jsweep.BackendTCPLaunch
+			var log bytes.Buffer
+			launch, err := jsweep.NewJob(lspec,
+				jsweep.WithNodeCommand([]string{os.Args[0]}),
+				jsweep.WithTimeout(4*time.Minute),
+				jsweep.WithLog(&log),
+			)
+			if err != nil {
+				t.Fatalf("NewJob(tcp-launch): %v", err)
+			}
+			lres, err := launch.Run(ctx)
+			if err != nil {
+				t.Fatalf("tcp-launch run: %v\nnode output:\n%s", err, log.String())
+			}
+			if lres.FluxHash != ires.FluxHash {
+				t.Fatalf("cross-backend flux mismatch: inproc %s, tcp-launch %s",
+					ires.FluxHash, lres.FluxHash)
+			}
+
+			// sim from the same spec value: the same decomposition and
+			// placement replayed in virtual time.
+			sspec := spec
+			sspec.Backend = jsweep.BackendSim
+			simJob, err := jsweep.NewJob(sspec)
+			if err != nil {
+				t.Fatalf("NewJob(sim): %v", err)
+			}
+			sres, err := simJob.Run(ctx)
+			if err != nil {
+				t.Fatalf("sim run: %v", err)
+			}
+			if sres.Sim == nil || sres.Sim.Makespan <= 0 || sres.Sim.Chunks == 0 {
+				t.Fatalf("sim run returned no simulated outcome: %+v", sres.Sim)
+			}
+		})
+	}
+}
+
+// TestNewJobValidation pins the option/backend compatibility matrix:
+// mismatches fail at NewJob, not at Run.
+func TestNewJobValidation(t *testing.T) {
+	mem, err := jsweep.NewMemTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	cases := []struct {
+		name string
+		spec jsweep.NodeSpec
+		opts []jsweep.JobOption
+		ok   bool
+	}{
+		{"zero spec is inproc", jsweep.NodeSpec{}, nil, true},
+		{"unknown backend", jsweep.NodeSpec{Backend: "mpi"}, nil, false},
+		{"unknown mesh", jsweep.NodeSpec{Mesh: "torus"}, nil, false},
+		{"inproc with node command", jsweep.NodeSpec{},
+			[]jsweep.JobOption{jsweep.WithNodeCommand([]string{"x"})}, false},
+		{"inproc with attach", jsweep.NodeSpec{},
+			[]jsweep.JobOption{jsweep.WithAttach("c", 0, "127.0.0.1:1")}, false},
+		{"attach without transport or attach", jsweep.NodeSpec{Backend: jsweep.BackendTCPAttach}, nil, false},
+		{"attach with both", jsweep.NodeSpec{Backend: jsweep.BackendTCPAttach},
+			[]jsweep.JobOption{jsweep.WithTransport(mem), jsweep.WithAttach("c", 0, "127.0.0.1:1")}, false},
+		{"attach with transport", jsweep.NodeSpec{Backend: jsweep.BackendTCPAttach, Procs: 2},
+			[]jsweep.JobOption{jsweep.WithTransport(mem)}, true},
+		{"launch with transport", jsweep.NodeSpec{Backend: jsweep.BackendTCPLaunch},
+			[]jsweep.JobOption{jsweep.WithTransport(mem)}, false},
+		{"launch with progress", jsweep.NodeSpec{Backend: jsweep.BackendTCPLaunch},
+			[]jsweep.JobOption{jsweep.WithProgress(func(jsweep.ProgressEvent) {})}, false},
+		{"sim with verify", jsweep.NodeSpec{Backend: jsweep.BackendSim},
+			[]jsweep.JobOption{jsweep.WithVerify()}, false},
+		{"sim with transport", jsweep.NodeSpec{Backend: jsweep.BackendSim},
+			[]jsweep.JobOption{jsweep.WithTransport(mem)}, false},
+		{"sim plain", jsweep.NodeSpec{Backend: jsweep.BackendSim}, nil, true},
+		{"cost model off sim", jsweep.NodeSpec{},
+			[]jsweep.JobOption{jsweep.WithSimCostModel(jsweep.DefaultCostModel(1))}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := jsweep.NewJob(tc.spec, tc.opts...)
+			if tc.ok && err != nil {
+				t.Fatalf("NewJob: unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("NewJob: error expected")
+			}
+		})
+	}
+}
+
+// TestJobSimTinyBackends smoke-runs the sim and inproc backends of every
+// registered mesh family quickly (kept out of -short only for the solve
+// cost of the inproc leg).
+func TestJobMeshesListed(t *testing.T) {
+	meshes := jsweep.Meshes()
+	want := map[string]bool{"kobayashi": true, "ball": true, "reactor": true, "cyclic": true}
+	for _, m := range meshes {
+		delete(want, m)
+	}
+	if len(want) != 0 {
+		t.Fatalf("Meshes() = %v missing %v", meshes, want)
+	}
+	if got := jsweep.Backends(); len(got) != 4 {
+		t.Fatalf("Backends() = %v, want 4 entries", got)
+	}
+}

@@ -18,7 +18,15 @@
 //   - the simulated cluster used to reproduce the paper's large-scale
 //     evaluation.
 //
-// Quick start (see examples/quickstart):
+// Quick start (see examples/quickstart) — the declarative Job API is
+// the one context-aware entry point across the in-process, TCP-cluster
+// and simulated backends:
+//
+//	spec := jsweep.NodeSpec{Mesh: "kobayashi", N: 40, SnOrder: 4, Procs: 2, Workers: 4}
+//	job, _ := jsweep.NewJob(spec, jsweep.WithVerify())
+//	res, _ := job.Run(ctx) // spec.Backend: inproc | tcp-launch | tcp-attach | sim
+//
+// The imperative building blocks underneath stay available:
 //
 //	prob, m, _ := jsweep.BuildKobayashi(jsweep.KobayashiSpec{N: 40, SnOrder: 4})
 //	d, _ := m.BlockDecompose(10, 10, 10)

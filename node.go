@@ -10,6 +10,8 @@ package jsweep
 // from it, so no mesh data crosses the wire.
 
 import (
+	"context"
+
 	"jsweep/internal/comm"
 	"jsweep/internal/netcomm"
 	"jsweep/internal/nodespec"
@@ -55,6 +57,15 @@ func JoinCluster(cluster string, rank, world int, rendezvous string) (MessageTra
 	})
 }
 
+// JoinClusterCtx is JoinCluster with cooperative cancellation: an
+// earlier context deadline tightens the bring-up timeout, and a cancel
+// returns ctx.Err() promptly (an already-built mesh is aborted).
+func JoinClusterCtx(ctx context.Context, cluster string, rank, world int, rendezvous string) (MessageTransport, error) {
+	return netcomm.JoinCtx(ctx, netcomm.Options{
+		Cluster: cluster, Rank: rank, World: world, Rendezvous: rendezvous,
+	})
+}
+
 // BuildFromSpec deterministically constructs a spec's problem and
 // decomposition (identical on every rank).
 func BuildFromSpec(spec NodeSpec) (*Problem, *Decomposition, error) { return nodespec.Build(spec) }
@@ -69,7 +80,22 @@ func SolverOptionsFromSpec(spec NodeSpec, tr MessageTransport) (SolverOptions, e
 // iteration across it (the body of cmd/jsweep-node).
 func RunNode(spec NodeSpec, o NodeOptions) (*NodeResult, error) { return nodespec.Run(spec, o) }
 
+// RunNodeCtx is RunNode with cooperative cancellation: a cancelled rank
+// aborts its transport, which unblocks it locally and propagates as a
+// transport failure to every peer.
+func RunNodeCtx(ctx context.Context, spec NodeSpec, o NodeOptions) (*NodeResult, error) {
+	return nodespec.RunCtx(ctx, spec, o)
+}
+
 // LaunchLocal spawns spec.Procs jsweep-node OS processes on this host,
 // wires them through a local rendezvous, and certifies that every rank
 // reported the identical flux bit pattern.
 func LaunchLocal(cfg LaunchConfig) (*LaunchResult, error) { return nodespec.LaunchLocal(cfg) }
+
+// LaunchLocalCtx is LaunchLocal with cooperative cancellation and
+// fail-fast supervision: the first dead rank, a done context or the
+// timeout kills every sibling process and closes the rendezvous, then
+// reaps all children before returning — no orphan processes.
+func LaunchLocalCtx(ctx context.Context, cfg LaunchConfig) (*LaunchResult, error) {
+	return nodespec.LaunchLocalCtx(ctx, cfg)
+}

@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# api_check.sh [base-ref]
+#
+# Public-API stability gate: fails when an exported symbol of the public
+# jsweep package (the module root) that existed at base-ref is missing
+# from the working tree. Additions are fine — removals and renames are
+# breaking and must be deliberate (update or delete the symbol AND
+# acknowledge it by adjusting the base ref you diff against).
+#
+# base-ref defaults to the PR base branch on CI (GITHUB_BASE_REF), else
+# the previous commit.
+set -eu
+
+base="${1:-}"
+if [ -z "$base" ]; then
+	if [ -n "${GITHUB_BASE_REF:-}" ] && git rev-parse --verify "origin/${GITHUB_BASE_REF}" >/dev/null 2>&1; then
+		base="origin/${GITHUB_BASE_REF}"
+	else
+		base="HEAD~1"
+	fi
+fi
+if ! git rev-parse --verify "$base" >/dev/null 2>&1; then
+	echo "api-check: base ref $base not found (shallow clone? fetch more history)" >&2
+	exit 1
+fi
+
+tmp=$(mktemp -d)
+cleanup() {
+	git worktree remove --force "$tmp/base" >/dev/null 2>&1 || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+git worktree add --detach --quiet "$tmp/base" "$base"
+
+# The CURRENT dumper parses both trees (it needs no module context), so
+# the check works even if the base predates the dumper itself.
+go run ./scripts/apidump . >"$tmp/now.txt"
+go run ./scripts/apidump "$tmp/base" >"$tmp/base.txt"
+
+removed=$(comm -23 "$tmp/base.txt" "$tmp/now.txt")
+if [ -n "$removed" ]; then
+	echo "api-check FAILED: exported symbols removed relative to $base:" >&2
+	printf '%s\n' "$removed" | sed 's/^/  - /' >&2
+	exit 1
+fi
+added=$(comm -13 "$tmp/base.txt" "$tmp/now.txt" | wc -l | tr -d ' ')
+total=$(wc -l <"$tmp/now.txt" | tr -d ' ')
+echo "api-check ok vs $base: no exported symbols removed ($total exported, $added added)"

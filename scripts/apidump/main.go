@@ -1,0 +1,105 @@
+// Command apidump prints one line per exported top-level symbol of a Go
+// package directory — "func Name", "type Name", "const Name", "var
+// Name", "method Type.Name" — sorted and deduplicated. It parses
+// source only (no type checking, no module resolution), so it can dump
+// any checkout, including a bare git worktree of an older commit.
+// scripts/api_check.sh diffs two dumps to catch exported-symbol
+// removals.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apidump:", err)
+		os.Exit(1)
+	}
+	seen := map[string]bool{}
+	var out []string
+	add := func(line string) {
+		if !seen[line] {
+			seen[line] = true
+			out = append(out, line)
+		}
+	}
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				switch d := d.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() {
+						continue
+					}
+					if d.Recv != nil && len(d.Recv.List) > 0 {
+						t := recvTypeName(d.Recv.List[0].Type)
+						if t == "" || !ast.IsExported(t) {
+							continue
+						}
+						add("method " + t + "." + d.Name.Name)
+					} else {
+						add("func " + d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Tok == token.IMPORT {
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() {
+								add("type " + s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							for _, n := range s.Names {
+								if n.IsExported() {
+									add(d.Tok.String() + " " + n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	for _, line := range out {
+		fmt.Println(line)
+	}
+}
+
+// recvTypeName unwraps a method receiver type down to its identifier.
+func recvTypeName(e ast.Expr) string {
+	for {
+		switch t := e.(type) {
+		case *ast.StarExpr:
+			e = t.X
+		case *ast.IndexExpr: // generic receiver
+			e = t.X
+		case *ast.IndexListExpr:
+			e = t.X
+		case *ast.Ident:
+			return t.Name
+		default:
+			return ""
+		}
+	}
+}
