@@ -9,9 +9,11 @@
 //	-backend inproc      all ranks as goroutines of this process over
 //	                     the in-memory transport (default; alias: mem);
 //	-backend tcp-launch  one jsweep-node OS process per rank on this
-//	                     host, wired through a local rendezvous over
-//	                     TCP-loopback, every rank certified to report
-//	                     the identical flux bit pattern (alias: tcp);
+//	                     host, wired through a local rendezvous; co-located
+//	                     ranks talk over Unix-domain sockets (-wire auto,
+//	                     the default) or plain TCP-loopback (-wire tcp);
+//	                     every rank certified to report the identical
+//	                     flux bit pattern (alias: tcp);
 //	-backend sim         replay the spec's task system on the
 //	                     discrete-event cluster simulator.
 //
@@ -57,6 +59,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print one line per source iteration")
 
 		backend = flag.String("backend", "inproc", "inproc | tcp-launch | sim (aliases: mem, tcp)")
+		wire    = flag.String("wire", "auto", "socket flavor between ranks: auto | tcp | uds (auto = Unix sockets for co-located ranks, TCP across hosts)")
 		nodeBin = flag.String("node-bin", "", "jsweep-node binary for -backend tcp-launch (default: next to this binary, then PATH)")
 
 		agg        = flag.Bool("agg", false, "aggregate remote streams into multi-stream frames")
@@ -70,8 +73,8 @@ func main() {
 	spec := jsweep.NodeSpec{
 		Mesh: *meshKind, N: *n, Cells: *cells, SnOrder: *snOrder,
 		Groups: *groups, Scatter: *scatter, Patch: *patch,
-		Backend: parseBackend(*backend),
-		Procs:   *procs, Workers: *workers, Grain: *grain, Prio: *prio,
+		Backend: parseBackend(*backend), Wire: *wire,
+		Procs: *procs, Workers: *workers, Grain: *grain, Prio: *prio,
 		ReuseOff: !*reuse, Sequential: *seq, Coarse: *coarse,
 		Agg: *agg, AggStreams: *aggStreams, AggBytes: *aggBytes,
 		AggShards: *aggShards, AggFlushMicro: int(aggFlush.Microseconds()),

@@ -96,7 +96,7 @@ func All() []Experiment {
 		{ID: "agg", Title: "§IV — message-aggregation batch-size sweep (sim + real runtime)", Run: AggregationSweep},
 		{ID: "iter", Title: "§IV — persistent-session iteration throughput (reuse on/off, real runtime)", Run: IterationReuse},
 		{ID: "cyclic", Title: "cyclic meshes — SCC detection + feedback-edge flux lagging (twisted rings)", Run: CyclicLagging},
-		{ID: "net", Title: "transport backends — in-memory vs TCP-localhost × aggregation (real runtime)", Run: NetBackend},
+		{ID: "net", Title: "transport backends — in-memory vs Unix-socket vs TCP-localhost × aggregation (real runtime)", Run: NetBackend},
 	}
 }
 

@@ -228,6 +228,10 @@ func (e *MemEndpoint) TryRecv() (Message, bool) {
 		return Message{}, false
 	}
 	m := e.queue[0]
+	// Clear the popped slot: the backing array outlives the pop, and a
+	// lingering reference would pin the payload until the whole array is
+	// released — defeating buffer recycling.
+	e.queue[0] = Message{}
 	e.queue = e.queue[1:]
 	e.received.Add(1)
 	e.bytesIn.Add(int64(len(m.Data)))
@@ -246,6 +250,7 @@ func (e *MemEndpoint) RecvOOB() (Message, error) {
 		e.oobCond.Wait()
 	}
 	m := e.oobQueue[0]
+	e.oobQueue[0] = Message{} // do not pin the consumed payload (see TryRecv)
 	e.oobQueue = e.oobQueue[1:]
 	e.received.Add(1)
 	e.bytesIn.Add(int64(len(m.Data)))

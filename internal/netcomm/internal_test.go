@@ -7,6 +7,7 @@ package netcomm
 
 import (
 	"encoding/binary"
+	"fmt"
 	"net"
 	"strings"
 	"sync"
@@ -152,7 +153,7 @@ func TestBuildMeshAcceptRefusals(t *testing.T) {
 	done := make(chan error, 1)
 	var conns []net.Conn
 	go func() {
-		cs, err := buildMesh(o, ln, []string{"", ""}, deadline)
+		cs, err := buildMesh(o, meshListeners{tcp: ln}, []PeerAddr{{}, {}}, deadline)
 		conns = cs
 		done <- err
 	}()
@@ -252,7 +253,7 @@ func TestBuildMeshDialRefused(t *testing.T) {
 	}
 	defer myLn.Close()
 	o := Options{Cluster: "mesh", Rank: 1, World: 2}
-	_, err = buildMesh(o, myLn, []string{peerLn.Addr().String(), ""}, time.Now().Add(10*time.Second))
+	_, err = buildMesh(o, meshListeners{tcp: myLn}, []PeerAddr{{TCP: peerLn.Addr().String()}, {}}, time.Now().Add(10*time.Second))
 	if err == nil || !strings.Contains(err.Error(), "not today") {
 		t.Fatalf("dial refusal not surfaced: %v", err)
 	}
@@ -284,19 +285,256 @@ func TestRegisterProtocolErrors(t *testing.T) {
 
 	addr := serve(t, func(c net.Conn) { sendUnit(c, KindData, []byte("?")) })
 	o.Rendezvous = addr
-	if _, err := register(o, "x", deadline); err == nil || !strings.Contains(err.Error(), "answered with data") {
+	if _, err := register(o, PeerAddr{TCP: "x"}, deadline); err == nil || !strings.Contains(err.Error(), "answered with data") {
 		t.Fatalf("wrong-kind answer: %v", err)
 	}
 
-	addr = serve(t, func(c net.Conn) { sendUnit(c, KindPeers, AppendPeers(nil, Peers{Addrs: []string{"only-one"}})) })
+	addr = serve(t, func(c net.Conn) {
+		sendUnit(c, KindPeers, AppendPeers(nil, Peers{Addrs: []PeerAddr{{TCP: "only-one"}}}))
+	})
 	o.Rendezvous = addr
-	if _, err := register(o, "x", deadline); err == nil || !strings.Contains(err.Error(), "want 2") {
+	if _, err := register(o, PeerAddr{TCP: "x"}, deadline); err == nil || !strings.Contains(err.Error(), "want 2") {
 		t.Fatalf("short peer list: %v", err)
 	}
 
 	addr = serve(t, func(c net.Conn) { sendUnit(c, KindAck, AppendAck(nil, Ack{OK: false, Detail: "go away"})) })
 	o.Rendezvous = addr
-	if _, err := register(o, "x", deadline); err == nil || !strings.Contains(err.Error(), "go away") {
+	if _, err := register(o, PeerAddr{TCP: "x"}, deadline); err == nil || !strings.Contains(err.Error(), "go away") {
 		t.Fatalf("refusal detail lost: %v", err)
+	}
+}
+
+// stubAddr/failingConn: a net.Conn whose writes fail (optionally after a
+// byte budget), for driving the writeLoop's failure paths.
+type stubAddr struct{}
+
+func (stubAddr) Network() string { return "stub" }
+func (stubAddr) String() string  { return "stub" }
+
+type failingConn struct {
+	mu     sync.Mutex
+	budget int // bytes accepted before writes start failing
+	closed bool
+	ch     chan struct{}
+}
+
+func newFailingConn(budget int) *failingConn {
+	return &failingConn{budget: budget, ch: make(chan struct{})}
+}
+
+func (c *failingConn) Read(b []byte) (int, error) { <-c.ch; return 0, errClosedStub }
+
+func (c *failingConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget >= len(b) {
+		c.budget -= len(b)
+		return len(b), nil
+	}
+	n := c.budget
+	c.budget = 0
+	return n, errWireTorn
+}
+
+func (c *failingConn) Close() error {
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.ch)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *failingConn) LocalAddr() net.Addr                { return stubAddr{} }
+func (c *failingConn) RemoteAddr() net.Addr               { return stubAddr{} }
+func (c *failingConn) SetDeadline(t time.Time) error      { return nil }
+func (c *failingConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *failingConn) SetWriteDeadline(t time.Time) error { return nil }
+
+var (
+	errWireTorn   = fmt.Errorf("wire torn")
+	errClosedStub = fmt.Errorf("stub closed")
+)
+
+// writerTransport builds a 2-rank transport with only the write loop
+// running against the given connection.
+func writerTransport(t *testing.T, conn net.Conn) *Transport {
+	t.Helper()
+	tr := &Transport{rank: 0, world: 2, peers: make([]*peer, 2), closeTimeout: 500 * time.Millisecond}
+	tr.ep = &Endpoint{t: tr, notify: make(chan struct{}, 1)}
+	tr.ep.oobCond = sync.NewCond(&tr.ep.mu)
+	p := &peer{rank: 1, conn: conn, network: "stub", wdone: make(chan struct{})}
+	p.cond = sync.NewCond(&p.mu)
+	tr.peers[1] = p
+	go tr.writeLoop(p)
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// TestWireStatsNotCountedOnFailedWrite pins the accounting bugfix: a
+// frame that never reached the wire must not show up in FramesSent or
+// BytesOut.
+func TestWireStatsNotCountedOnFailedWrite(t *testing.T) {
+	tr := writerTransport(t, newFailingConn(0))
+	if err := tr.ep.Send(1, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	err := awaitFailure(t, tr)
+	if !strings.Contains(err.Error(), "write to rank 1") {
+		t.Fatalf("failure %q does not mention the failed write", err)
+	}
+	if ws := tr.WireStats(); ws.FramesSent != 0 || ws.BytesOut != 0 {
+		t.Fatalf("failed write counted as sent: %+v", ws)
+	}
+}
+
+// TestWireStatsPartialBatch: a writev that dies mid-batch counts exactly
+// the frames that fully reached the wire.
+func TestWireStatsPartialBatch(t *testing.T) {
+	const payload = 64
+	// Budget admits the first frame plus the second frame's header only.
+	tr := writerTransport(t, newFailingConn(2*HeaderSize+payload))
+	p := tr.peers[1]
+	p.mu.Lock()
+	p.outq = append(p.outq,
+		wireMsg{kind: KindData, payload: make([]byte, payload)},
+		wireMsg{kind: KindData, payload: make([]byte, payload)})
+	p.cond.Signal()
+	p.mu.Unlock()
+	awaitFailure(t, tr)
+	ws := tr.WireStats()
+	if ws.FramesSent != 1 || ws.BytesOut != int64(HeaderSize+payload) {
+		t.Fatalf("partial batch stats = %+v, want 1 frame / %d bytes", ws, HeaderSize+payload)
+	}
+}
+
+func TestCompleteFrames(t *testing.T) {
+	batch := []wireMsg{
+		{kind: KindData, payload: make([]byte, 10)},
+		{kind: KindData, payload: make([]byte, 20)},
+	}
+	sz0, sz1 := int64(HeaderSize+10), int64(HeaderSize+20)
+	cases := []struct {
+		written, frames, bytes int64
+	}{
+		{0, 0, 0},
+		{sz0 - 1, 0, 0},
+		{sz0, 1, sz0},
+		{sz0 + sz1 - 1, 1, sz0},
+		{sz0 + sz1, 2, sz0 + sz1},
+	}
+	for _, c := range cases {
+		f, b := completeFrames(batch, c.written)
+		if f != c.frames || b != c.bytes {
+			t.Errorf("completeFrames(%d) = %d frames/%d bytes, want %d/%d", c.written, f, b, c.frames, c.bytes)
+		}
+	}
+}
+
+// TestByeWriteFailureRecorded pins the clean-shutdown bugfix: a Bye that
+// never reaches the peer is a real failure (the peer will report a fake
+// crash), so the transport must record it instead of pretending the
+// close was clean.
+func TestByeWriteFailureRecorded(t *testing.T) {
+	tr := writerTransport(t, newFailingConn(0))
+	tr.Close()
+	err := tr.aliveErr()
+	if err == nil || !strings.Contains(err.Error(), "shutdown bye to rank 1") {
+		t.Fatalf("lost bye not recorded: %v", err)
+	}
+}
+
+// TestNetEndpointClearsQueueSlots pins the retention bugfix on the
+// netcomm endpoint: popped queue slots must not keep referencing the
+// consumed payloads.
+func TestNetEndpointClearsQueueSlots(t *testing.T) {
+	tr := &Transport{rank: 0, world: 2, peers: make([]*peer, 2)}
+	tr.ep = &Endpoint{t: tr, notify: make(chan struct{}, 1)}
+	tr.ep.oobCond = sync.NewCond(&tr.ep.mu)
+	e := tr.ep
+	const n = 8
+	for i := 0; i < n; i++ {
+		e.deliver(1, []byte{byte(i)}, false)
+		e.deliver(1, []byte{byte(i)}, true)
+	}
+	e.mu.Lock()
+	backing, oobBacking := e.queue[:n:n], e.oobQueue[:n:n]
+	e.mu.Unlock()
+	for i := 0; i < n; i++ {
+		if _, ok := e.TryRecv(); !ok {
+			t.Fatalf("message %d missing", i)
+		}
+		if _, err := e.RecvOOB(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if backing[i].Data != nil {
+			t.Fatalf("data-lane slot %d still pins its payload after TryRecv", i)
+		}
+		if oobBacking[i].Data != nil {
+			t.Fatalf("oob slot %d still pins its payload after RecvOOB", i)
+		}
+	}
+}
+
+// TestDialTarget pins the transport-selection rule.
+func TestDialTarget(t *testing.T) {
+	co := PeerAddr{TCP: "127.0.0.1:1", Unix: "/tmp/x.sock", Host: "hostA"}
+	remote := PeerAddr{TCP: "127.0.0.1:2", Host: "hostB"}
+	cases := []struct {
+		name    string
+		wire    Wire
+		addr    PeerAddr
+		hostID  string
+		network string
+		wantErr bool
+	}{
+		{"auto co-located", WireAuto, co, "hostA", "unix", false},
+		{"auto remote", WireAuto, remote, "hostA", "tcp", false},
+		{"auto no unix socket", WireAuto, remote, "hostB", "tcp", false},
+		{"auto empty host id", WireAuto, co, "", "tcp", false},
+		{"tcp forced", WireTCP, co, "hostA", "tcp", false},
+		{"uds co-located", WireUDS, co, "hostA", "unix", false},
+		{"uds remote", WireUDS, remote, "hostA", "", true},
+	}
+	for _, c := range cases {
+		network, addr, err := dialTarget(c.wire, c.addr, c.hostID)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("%s: no error", c.name)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if network != c.network {
+			t.Errorf("%s: network %q, want %q", c.name, network, c.network)
+		}
+		want := c.addr.TCP
+		if network == "unix" {
+			want = c.addr.Unix
+		}
+		if addr != want {
+			t.Errorf("%s: addr %q, want %q", c.name, addr, want)
+		}
+	}
+}
+
+func TestParseWire(t *testing.T) {
+	for s, w := range map[string]Wire{"": WireAuto, "auto": WireAuto, "tcp": WireTCP, "uds": WireUDS, "unix": WireUDS} {
+		got, err := ParseWire(s)
+		if err != nil || got != w {
+			t.Errorf("ParseWire(%q) = %v, %v", s, got, err)
+		}
+		if got.String() == "" {
+			t.Errorf("Wire(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseWire("carrier-pigeon"); err == nil {
+		t.Error("bogus wire accepted")
 	}
 }

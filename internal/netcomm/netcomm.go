@@ -1,17 +1,31 @@
-// Package netcomm is the TCP backend of the comm transport contract: one
-// OS process per rank, length-prefixed versioned frames (wire.go) over
-// one persistent connection per peer pair. Ranks find each other through
-// a rendezvous service (rendezvous.go), establish a full mesh, and then
-// exchange comm messages with the same semantics the in-memory backend
-// provides — ordered pairwise delivery per lane, non-blocking sends,
-// unbounded inboxes — so the patch-centric runtime runs across OS
+// Package netcomm is the socket backend of the comm transport contract:
+// one OS process per rank, length-prefixed versioned frames (wire.go)
+// over one persistent connection per peer pair. Ranks find each other
+// through a rendezvous service (rendezvous.go), establish a full mesh,
+// and then exchange comm messages with the same semantics the in-memory
+// backend provides — ordered pairwise delivery per lane, non-blocking
+// sends, unbounded inboxes — so the patch-centric runtime runs across OS
 // process boundaries unchanged.
+//
+// Each pair's physical wire is chosen at mesh build time: co-located
+// ranks (same host identity) connect over a Unix-domain socket — the
+// same-host fast path, skipping TCP framing and loopback queueing —
+// while remote pairs keep TCP. Both wires speak the identical frame
+// protocol; see rendezvous.go for the selection rule.
+//
+// The write path is zero-copy: outbound payloads are queued as-is and
+// handed to the kernel via net.Buffers scatter-gather writes (header and
+// payload as separate iovecs, never re-appended into a frame buffer),
+// and payloads sent through comm.SendPooled are recycled into the
+// process-global buffer pool right after the write syscall. Inbound
+// data-lane payloads are drawn from the same pool; the consumer recycles
+// them after decoding.
 //
 // Failure semantics are reconnect-free and fail-fast: the first
 // connection error poisons the transport, subsequent sends return it,
 // and blocked receivers drain then surface it. Close is clean: pending
-// writes drain and flush, the write side half-closes, and readers run to
-// the peer's EOF so no in-flight frame is lost at shutdown.
+// writes drain, the write side half-closes, and readers run to the
+// peer's EOF so no in-flight frame is lost at shutdown.
 package netcomm
 
 import (
@@ -59,14 +73,25 @@ type Transport struct {
 	wireIn     atomic.Int64
 }
 
+// wireMsg is one queued outbound frame: kind plus payload, not yet
+// framed — the writeLoop emits header and payload as separate iovecs of
+// one scatter-gather write, so the payload crosses into the kernel
+// straight from the sender's buffer.
+type wireMsg struct {
+	kind    byte
+	payload []byte
+	pooled  bool // recycle payload into the comm pool once written
+}
+
 // peer is one remote rank's persistent connection with its write queue.
 type peer struct {
-	rank int
-	conn net.Conn
+	rank    int
+	conn    net.Conn
+	network string // physical wire of this pair: "tcp" or "unix"
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	outq    [][]byte
+	outq    []wireMsg
 	closing bool
 	wdone   chan struct{}
 }
@@ -102,6 +127,27 @@ func (t *Transport) WireStats() WireStats {
 	}
 }
 
+// PeerNetwork returns the physical wire of the connection to a peer rank
+// ("tcp" or "unix"), or "" for the local rank and out-of-range ranks.
+func (t *Transport) PeerNetwork(rank int) string {
+	if rank < 0 || rank >= t.world || t.peers[rank] == nil {
+		return ""
+	}
+	return t.peers[rank].network
+}
+
+// FastPeers counts the peers reached over the same-host fast path
+// (Unix-domain sockets).
+func (t *Transport) FastPeers() int {
+	n := 0
+	for _, p := range t.peers {
+		if p != nil && p.network == "unix" {
+			n++
+		}
+	}
+	return n
+}
+
 // aliveErr returns the transport's terminal state: its first failure, or
 // ErrClosed after Close, or nil while healthy.
 func (t *Transport) aliveErr() error {
@@ -118,9 +164,12 @@ func (t *Transport) aliveErr() error {
 
 // fail records the first terminal failure and tears the connections down
 // so every blocked reader, writer and receiver unblocks with the error.
+// Failures are recorded even after Close began: a Bye or drain write
+// that fails mid-shutdown must surface (the peer will read our EOF as a
+// crash), not masquerade as a clean close.
 func (t *Transport) fail(err error) {
 	t.stateMu.Lock()
-	if t.failure == nil && !t.closed {
+	if t.failure == nil {
 		t.failure = fmt.Errorf("netcomm: rank %d transport failed: %w", t.rank, err)
 	}
 	t.stateMu.Unlock()
@@ -200,13 +249,36 @@ func (t *Transport) Close() error {
 	return nil
 }
 
+// completeFrames reports how many whole frames of a batch fit in the
+// written byte count, and the wire bytes (header + payload) those frames
+// span. A failed scatter-gather write can stop mid-batch; only frames
+// that fully reached the wire are counted.
+func completeFrames(batch []wireMsg, written int64) (frames, bytes int64) {
+	for _, m := range batch {
+		sz := int64(HeaderSize + len(m.payload))
+		if written < sz {
+			return frames, bytes
+		}
+		written -= sz
+		frames++
+		bytes += sz
+	}
+	return frames, bytes
+}
+
 // writeLoop drains one peer's outbound queue, coalescing consecutive
-// frames into one buffered write and flushing only when the queue runs
-// dry — the transport-level counterpart of the runtime's StreamBatcher
-// (which reduces frame count; this reduces syscalls per frame).
+// frames into one scatter-gather writev — the transport-level
+// counterpart of the runtime's StreamBatcher (which reduces frame count;
+// this reduces syscalls per frame). Headers for a batch live in one flat
+// arena and every payload goes to the kernel from the sender's own
+// buffer: no per-frame make+append. Wire stats are counted after the
+// write returns, covering only frames that actually reached the wire.
 func (t *Transport) writeLoop(p *peer) {
 	defer close(p.wdone)
-	bw := bufio.NewWriterSize(p.conn, 64<<10)
+	var (
+		hdrs []byte      // flat header arena, HeaderSize bytes per frame
+		bufs net.Buffers // iovec list: hdr, payload, hdr, payload, ...
+	)
 	for {
 		p.mu.Lock()
 		for len(p.outq) == 0 && !p.closing {
@@ -216,35 +288,55 @@ func (t *Transport) writeLoop(p *peer) {
 		p.outq = nil
 		closing := p.closing
 		p.mu.Unlock()
-		for _, f := range batch {
-			if _, err := bw.Write(f); err != nil {
+		if len(batch) > 0 {
+			if need := len(batch) * HeaderSize; cap(hdrs) < need {
+				hdrs = make([]byte, 0, need)
+			}
+			hdrs = hdrs[:0]
+			bufs = bufs[:0]
+			for _, m := range batch {
+				off := len(hdrs)
+				hdrs = AppendHeader(hdrs, m.kind, len(m.payload))
+				bufs = append(bufs, hdrs[off:len(hdrs):len(hdrs)], m.payload)
+			}
+			// WriteTo advances (and nils out) its receiver as buffers are
+			// consumed — run it on a copy so bufs[:0] stays reusable.
+			wv := bufs
+			n, err := wv.WriteTo(p.conn)
+			frames, bytes := completeFrames(batch, n)
+			t.framesSent.Add(frames)
+			t.wireOut.Add(bytes)
+			if err != nil {
 				t.fail(fmt.Errorf("write to rank %d: %w", p.rank, err))
 				return
 			}
-			t.framesSent.Add(1)
-			t.wireOut.Add(int64(len(f)))
+			for i := range batch {
+				if batch[i].pooled {
+					comm.PutBuffer(batch[i].payload)
+				}
+				batch[i] = wireMsg{} // drop the payload refs held by the queue's backing array
+			}
 		}
-		p.mu.Lock()
-		drained := len(p.outq) == 0
-		p.mu.Unlock()
-		if drained {
-			if closing {
-				// In-flight drain complete: announce the clean shutdown
-				// (an EOF without Bye reads as a crash on the other side)
-				// and half-close so the peer's reader sees EOF exactly at
-				// the last frame boundary.
-				if _, err := bw.Write(AppendHeader(nil, KindBye, 0)); err == nil {
-					bw.Flush()
-				}
-				if tc, ok := p.conn.(*net.TCPConn); ok {
-					tc.CloseWrite()
-				}
+		if closing {
+			p.mu.Lock()
+			drained := len(p.outq) == 0
+			p.mu.Unlock()
+			if !drained {
+				continue
+			}
+			// In-flight drain complete: announce the clean shutdown (an
+			// EOF without Bye reads as a crash on the other side) and
+			// half-close so the peer's reader sees EOF exactly at the last
+			// frame boundary. A lost Bye is a real failure — the peer will
+			// report a fake crash — so it is recorded, not swallowed.
+			if _, err := p.conn.Write(AppendHeader(nil, KindBye, 0)); err != nil {
+				t.fail(fmt.Errorf("shutdown bye to rank %d: %w", p.rank, err))
 				return
 			}
-			if err := bw.Flush(); err != nil {
-				t.fail(fmt.Errorf("flush to rank %d: %w", p.rank, err))
-				return
+			if hc, ok := p.conn.(interface{ CloseWrite() error }); ok {
+				hc.CloseWrite()
 			}
+			return
 		}
 	}
 }
@@ -290,7 +382,16 @@ func (t *Transport) readLoop(p *peer) {
 			t.fail(fmt.Errorf("unexpected %s frame from rank %d on established connection", kindName(kind), p.rank))
 			return
 		}
-		payload := make([]byte, n)
+		// Data-lane payloads come from the buffer pool: the runtime's
+		// consumer recycles them after decoding, closing the zero-copy
+		// loop. OOB payloads stay plainly allocated — collective
+		// consumers stash them across rounds.
+		var payload []byte
+		if kind == KindData {
+			payload = comm.GetBuffer(n)[:n]
+		} else {
+			payload = make([]byte, n)
+		}
 		if _, err := io.ReadFull(br, payload); err != nil {
 			t.fail(fmt.Errorf("frame payload from rank %d: %w", p.rank, err))
 			return
@@ -353,9 +454,12 @@ func (e *Endpoint) wake() {
 	}
 }
 
-// send frames data for the destination rank's write queue (or delivers
-// locally for a self-send).
-func (e *Endpoint) send(to int, data []byte, oob bool) error {
+// send queues data for the destination rank's write queue (or delivers
+// locally for a self-send). The payload is NOT framed here — the
+// writeLoop hands it to the kernel as its own iovec, so this path does
+// no copying. pooled marks a comm.GetBuffer-backed payload the writeLoop
+// recycles once it is on the wire.
+func (e *Endpoint) send(to int, data []byte, oob, pooled bool) error {
 	t := e.t
 	if to < 0 || to >= t.world {
 		return fmt.Errorf("netcomm: rank %d sent to invalid rank %d", t.rank, to)
@@ -366,6 +470,8 @@ func (e *Endpoint) send(to int, data []byte, oob bool) error {
 	e.sent.Add(1)
 	e.bytesOut.Add(int64(len(data)))
 	if to == t.rank {
+		// Self-send: the payload skips the wire, so a pooled buffer is
+		// recycled by the local consumer after decoding, not here.
 		e.deliver(t.rank, data, oob)
 		return nil
 	}
@@ -373,9 +479,6 @@ func (e *Endpoint) send(to int, data []byte, oob bool) error {
 	if oob {
 		kind = KindOOB
 	}
-	frame := make([]byte, 0, HeaderSize+len(data))
-	frame = AppendHeader(frame, kind, len(data))
-	frame = append(frame, data...)
 	p := t.peers[to]
 	p.mu.Lock()
 	if p.closing {
@@ -386,7 +489,7 @@ func (e *Endpoint) send(to int, data []byte, oob bool) error {
 		}
 		return fmt.Errorf("netcomm: rank %d send to %d: %w", t.rank, to, err)
 	}
-	p.outq = append(p.outq, frame)
+	p.outq = append(p.outq, wireMsg{kind: kind, payload: data, pooled: pooled})
 	p.cond.Signal()
 	p.mu.Unlock()
 	return nil
@@ -394,10 +497,16 @@ func (e *Endpoint) send(to int, data []byte, oob bool) error {
 
 // Send delivers data on the data lane. The slice is handed over; the
 // caller must not modify it afterwards.
-func (e *Endpoint) Send(to int, data []byte) error { return e.send(to, data, false) }
+func (e *Endpoint) Send(to int, data []byte) error { return e.send(to, data, false, false) }
+
+// SendPooled is Send for a comm.GetBuffer-backed payload: the transport
+// recycles the slice into the buffer pool right after the write syscall
+// (self-sends hand it to the local receiver, whose consumer recycles it
+// after decoding). The caller must not retain or resend the slice.
+func (e *Endpoint) SendPooled(to int, data []byte) error { return e.send(to, data, false, true) }
 
 // SendOOB delivers data on the out-of-band lane.
-func (e *Endpoint) SendOOB(to int, data []byte) error { return e.send(to, data, true) }
+func (e *Endpoint) SendOOB(to int, data []byte) error { return e.send(to, data, true, false) }
 
 // TryRecv returns the next pending data-lane message without blocking.
 // Delivered messages remain receivable after Close or failure.
@@ -408,6 +517,10 @@ func (e *Endpoint) TryRecv() (comm.Message, bool) {
 		return comm.Message{}, false
 	}
 	m := e.queue[0]
+	// Clear the popped slot: the backing array outlives the pop, and a
+	// lingering reference would pin the payload until the whole array is
+	// released — defeating buffer recycling.
+	e.queue[0] = comm.Message{}
 	e.queue = e.queue[1:]
 	e.received.Add(1)
 	e.bytesIn.Add(int64(len(m.Data)))
@@ -427,6 +540,7 @@ func (e *Endpoint) RecvOOB() (comm.Message, error) {
 		e.oobCond.Wait()
 	}
 	m := e.oobQueue[0]
+	e.oobQueue[0] = comm.Message{} // do not pin the consumed payload (see TryRecv)
 	e.oobQueue = e.oobQueue[1:]
 	e.received.Add(1)
 	e.bytesIn.Add(int64(len(m.Data)))
@@ -455,6 +569,7 @@ func (e *Endpoint) Counters() (sent, received, bytesOut, bytesIn int64) {
 }
 
 var (
-	_ comm.Transport = (*Transport)(nil)
-	_ comm.Endpoint  = (*Endpoint)(nil)
+	_ comm.Transport    = (*Transport)(nil)
+	_ comm.Endpoint     = (*Endpoint)(nil)
+	_ comm.PooledSender = (*Endpoint)(nil)
 )

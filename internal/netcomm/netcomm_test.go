@@ -16,6 +16,13 @@ import (
 // process (one transport per rank) and returns the endpoints plus a
 // closer for everything.
 func startCluster(t testing.TB, n int) ([]comm.Endpoint, func() error) {
+	_, eps, closeAll := startClusterOpts(t, n, func(int, *netcomm.Options) {})
+	return eps, closeAll
+}
+
+// startClusterOpts is startCluster with a per-rank Options hook (wire
+// mode, host identity overrides) and access to the transports.
+func startClusterOpts(t testing.TB, n int, mod func(rank int, o *netcomm.Options)) ([]*netcomm.Transport, []comm.Endpoint, func() error) {
 	t.Helper()
 	cluster := fmt.Sprintf("test-%s-%d", t.Name(), time.Now().UnixNano())
 	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, n)
@@ -29,13 +36,16 @@ func startCluster(t testing.TB, n int) ([]comm.Endpoint, func() error) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			trs[r], errs[r] = netcomm.Join(netcomm.Options{
+			o := netcomm.Options{
 				Cluster:    cluster,
 				Rank:       r,
 				World:      n,
 				Rendezvous: rz.Addr(),
+				Wire:       netcomm.WireTCP,
 				Timeout:    30 * time.Second,
-			})
+			}
+			mod(r, &o)
+			trs[r], errs[r] = netcomm.Join(o)
 		}(r)
 	}
 	wg.Wait()
@@ -69,16 +79,90 @@ func startCluster(t testing.TB, n int) ([]comm.Endpoint, func() error) {
 		wg.Wait()
 		return nil
 	}
-	return eps, closeAll
+	return trs, eps, closeAll
 }
 
 func tcpBackend() commtest.Backend {
 	return commtest.Backend{Name: "tcp", New: startCluster}
 }
 
+// udsBackend runs every rank pair over Unix-domain sockets: WireUDS
+// forces the fast path, so a pair falling back to TCP would fail the
+// bring-up rather than silently weaken the suite.
+func udsBackend() commtest.Backend {
+	return commtest.Backend{Name: "uds", New: func(t testing.TB, n int) ([]comm.Endpoint, func() error) {
+		trs, eps, closeAll := startClusterOpts(t, n, func(_ int, o *netcomm.Options) {
+			o.Wire = netcomm.WireUDS
+		})
+		for r, tr := range trs {
+			if n > 1 && tr.FastPeers() != n-1 {
+				t.Fatalf("rank %d: %d of %d peers on the fast path", r, tr.FastPeers(), n-1)
+			}
+		}
+		return eps, closeAll
+	}}
+}
+
 func TestTCPConformance(t *testing.T) { commtest.RunConformance(t, tcpBackend()) }
 
 func TestTCPStress(t *testing.T) { commtest.RunStress(t, tcpBackend()) }
+
+func TestUDSConformance(t *testing.T) { commtest.RunConformance(t, udsBackend()) }
+
+func TestUDSStress(t *testing.T) { commtest.RunStress(t, udsBackend()) }
+
+// TestHybridSelection pins the per-pair transport selection: with
+// WireAuto, co-located ranks (same host identity) connect over Unix
+// sockets while cross-host pairs keep TCP, and messages flow over both.
+func TestHybridSelection(t *testing.T) {
+	hosts := []string{"hostA", "hostA", "hostB"}
+	trs, eps, closeAll := startClusterOpts(t, 3, func(r int, o *netcomm.Options) {
+		o.Wire = netcomm.WireAuto
+		o.HostID = hosts[r]
+	})
+	defer closeAll()
+
+	want := [3][3]string{
+		{"", "unix", "tcp"},
+		{"unix", "", "tcp"},
+		{"tcp", "tcp", ""},
+	}
+	for me := range want {
+		for peer, network := range want[me] {
+			if got := trs[me].PeerNetwork(peer); got != network {
+				t.Errorf("rank %d -> rank %d over %q, want %q", me, peer, got, network)
+			}
+		}
+	}
+	for r, wantFast := range []int{1, 1, 0} {
+		if got := trs[r].FastPeers(); got != wantFast {
+			t.Errorf("rank %d FastPeers = %d, want %d", r, got, wantFast)
+		}
+	}
+
+	// Messages cross both wires: 0->1 rides the fast path, 2->1 TCP.
+	if err := eps[0].Send(1, []byte("via-uds")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[2].Send(1, []byte("via-tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]string{}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(got) < 2 && time.Now().Before(deadline) {
+		if m, ok := eps[1].TryRecv(); ok {
+			got[m.From] = string(m.Data)
+			continue
+		}
+		select {
+		case <-eps[1].Notify():
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got[0] != "via-uds" || got[2] != "via-tcp" {
+		t.Fatalf("hybrid delivery = %v", got)
+	}
+}
 
 func TestLocalRanks(t *testing.T) {
 	eps, closeAll := startCluster(t, 3)

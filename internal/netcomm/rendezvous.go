@@ -1,17 +1,30 @@
-// Rendezvous and cluster bring-up: every rank starts its own
-// peer-listener, reports (cluster id, rank, world, listen address) to
+// Rendezvous and cluster bring-up: every rank starts its peer-listeners
+// (TCP always, a Unix-domain socket when the same-host fast path is on),
+// reports (cluster id, rank, world, listen addresses, host identity) to
 // the rendezvous service, receives the full address map once the
-// cluster is complete, and then establishes one direct TCP connection
-// per peer pair — rank i dials every rank j < i and accepts from every
-// rank j > i, authenticated by a versioned KindPeer/KindAck handshake
+// cluster is complete, and then establishes one direct connection per
+// peer pair — rank i dials every rank j < i and accepts from every rank
+// j > i, authenticated by a versioned KindPeer/KindAck handshake
 // carrying the cluster id.
+//
+// Transport selection rule (per pair, decided by the dialer): a pair
+// whose two ranks report the same non-empty host identity and whose
+// target published a Unix-socket path connects over that socket; every
+// other pair connects over TCP. WireTCP forces TCP everywhere; WireUDS
+// requires the fast path and fails the bring-up for non-co-located
+// pairs. Hybrid clusters therefore come up with co-located ranks on the
+// fast path and remote ranks on TCP, automatically.
 package netcomm
 
 import (
 	"context"
+	"crypto/rand"
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 )
@@ -22,7 +35,47 @@ const defaultTimeout = 60 * time.Second
 // defaultCloseTimeout bounds Close's wait for peers to drain.
 const defaultCloseTimeout = 15 * time.Second
 
-// Options configures a node's attachment to a TCP cluster.
+// Wire selects the physical wire of peer-pair connections.
+type Wire int
+
+const (
+	// WireAuto (the default) takes the same-host fast path — a
+	// Unix-domain socket — for co-located rank pairs and TCP for remote
+	// ones. A node that cannot bind a Unix socket quietly falls back to
+	// TCP-only.
+	WireAuto Wire = iota
+	// WireTCP forces TCP for every pair.
+	WireTCP
+	// WireUDS requires the fast path: the bring-up fails if a Unix
+	// listener cannot be bound or a peer pair is not co-located.
+	WireUDS
+)
+
+// ParseWire parses a -wire flag value: "auto" (or ""), "tcp", "uds".
+func ParseWire(s string) (Wire, error) {
+	switch s {
+	case "", "auto":
+		return WireAuto, nil
+	case "tcp":
+		return WireTCP, nil
+	case "uds", "unix":
+		return WireUDS, nil
+	}
+	return 0, fmt.Errorf("netcomm: unknown wire %q (want auto, tcp or uds)", s)
+}
+
+// String returns the flag spelling of a Wire value.
+func (w Wire) String() string {
+	switch w {
+	case WireTCP:
+		return "tcp"
+	case WireUDS:
+		return "uds"
+	}
+	return "auto"
+}
+
+// Options configures a node's attachment to a cluster.
 type Options struct {
 	// Cluster is the launch-scoped cluster id every member must present.
 	Cluster string
@@ -30,13 +83,54 @@ type Options struct {
 	Rank, World int
 	// Rendezvous is the host:port of the rendezvous service.
 	Rendezvous string
-	// ListenAddr is the address the peer-listener binds (default
+	// ListenAddr is the address the TCP peer-listener binds (default
 	// "127.0.0.1:0" — loopback, kernel-assigned port).
 	ListenAddr string
+	// Wire selects the physical wire per peer pair (default WireAuto:
+	// Unix sockets for co-located pairs, TCP otherwise).
+	Wire Wire
+	// HostID overrides the node's host identity (hostname plus boot id
+	// by default). Two ranks reporting equal identities are treated as
+	// co-located. Tests use it to simulate hybrid clusters on one box.
+	HostID string
+	// SocketDir overrides the directory holding the Unix listener
+	// socket (default os.TempDir()).
+	SocketDir string
 	// Timeout bounds the whole bring-up (default 60s).
 	Timeout time.Duration
 	// CloseTimeout bounds Close's in-flight drain (default 15s).
 	CloseTimeout time.Duration
+}
+
+// hostIdentity derives this node's host identity: hostname qualified by
+// the kernel boot id when available, so two containers sharing a
+// hostname string but not a kernel do not get falsely co-located.
+func hostIdentity() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "unknown-host"
+	}
+	if b, err := os.ReadFile("/proc/sys/kernel/random/boot_id"); err == nil {
+		if id := strings.TrimSpace(string(b)); id != "" {
+			return host + "/" + id
+		}
+	}
+	return host
+}
+
+// udsSocketPath picks a fresh random socket path under dir. Random
+// rather than derived: the path travels to peers via the rendezvous, so
+// it needs no derivability, and cluster ids may contain characters (or
+// lengths) unfit for a filesystem path.
+func udsSocketPath(dir string) (string, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("netcomm: socket name: %w", err)
+	}
+	return filepath.Join(dir, fmt.Sprintf("jsnc-%x.sock", b)), nil
 }
 
 // sendUnit writes one header+payload wire unit.
@@ -114,7 +208,7 @@ func (r *Rendezvous) Close() { r.once.Do(func() { r.ln.Close() }) }
 // serve runs one bring-up: collect world joins, broadcast the map.
 func (r *Rendezvous) serve() {
 	defer r.Close()
-	addrs := make([]string, r.world)
+	addrs := make([]PeerAddr, r.world)
 	conns := make([]net.Conn, r.world)
 	defer func() {
 		for _, c := range conns {
@@ -159,7 +253,7 @@ func (r *Rendezvous) serve() {
 		case conns[j.Rank] != nil:
 			refuse(fmt.Sprintf("rank %d already joined", j.Rank))
 		default:
-			addrs[j.Rank] = j.Addr
+			addrs[j.Rank] = PeerAddr{TCP: j.Addr, Unix: j.Unix, Host: j.Host}
 			conns[j.Rank] = conn
 			joined++
 		}
@@ -227,9 +321,24 @@ func JoinCtx(ctx context.Context, o Options) (*Transport, error) {
 	}
 }
 
-// Join attaches this process to a TCP cluster as one rank: start the
-// peer-listener, register with the rendezvous, receive the address map,
-// build the peer mesh, and return the live transport.
+// meshListeners bundles a rank's peer-listeners: TCP always, plus the
+// Unix-domain socket of the same-host fast path when available.
+type meshListeners struct {
+	tcp  net.Listener
+	unix net.Listener // nil when the fast path is off
+}
+
+func (m meshListeners) all() []net.Listener {
+	ls := []net.Listener{m.tcp}
+	if m.unix != nil {
+		ls = append(ls, m.unix)
+	}
+	return ls
+}
+
+// Join attaches this process to a cluster as one rank: start the
+// peer-listeners, register with the rendezvous, receive the address
+// map, build the peer mesh, and return the live transport.
 func Join(o Options) (*Transport, error) {
 	if o.World < 1 {
 		return nil, fmt.Errorf("netcomm: world must be >= 1 (got %d)", o.World)
@@ -251,13 +360,41 @@ func Join(o Options) (*Transport, error) {
 	}
 	deadline := time.Now().Add(o.Timeout)
 
-	ln, err := net.Listen("tcp", o.ListenAddr)
+	tcpLn, err := net.Listen("tcp", o.ListenAddr)
 	if err != nil {
 		return nil, fmt.Errorf("netcomm: rank %d listen: %w", o.Rank, err)
 	}
-	defer ln.Close()
+	lns := meshListeners{tcp: tcpLn}
+	defer func() {
+		for _, l := range lns.all() {
+			l.Close() // a Unix listener unlinks its socket file on Close
+		}
+	}()
 
-	addrs, err := register(o, ln.Addr().String(), deadline)
+	self := PeerAddr{TCP: tcpLn.Addr().String()}
+	if o.Wire != WireTCP {
+		if o.HostID == "" {
+			o.HostID = hostIdentity()
+		}
+		path, uerr := udsSocketPath(o.SocketDir)
+		var ul net.Listener
+		if uerr == nil {
+			ul, uerr = net.Listen("unix", path)
+		}
+		if uerr != nil {
+			// WireAuto degrades to TCP-only; WireUDS demanded the fast
+			// path, so a missing listener is fatal.
+			if o.Wire == WireUDS {
+				return nil, fmt.Errorf("netcomm: rank %d unix listen: %w", o.Rank, uerr)
+			}
+		} else {
+			lns.unix = ul
+			self.Unix = path
+			self.Host = o.HostID
+		}
+	}
+
+	addrs, err := register(o, self, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +409,7 @@ func Join(o Options) (*Transport, error) {
 	t.ep = &Endpoint{t: t, notify: make(chan struct{}, 1)}
 	t.ep.oobCond = sync.NewCond(&t.ep.mu)
 
-	conns, err := buildMesh(o, ln, addrs, deadline)
+	conns, err := buildMesh(o, lns, addrs, deadline)
 	if err != nil {
 		for _, c := range conns {
 			if c != nil {
@@ -286,7 +423,7 @@ func Join(o Options) (*Transport, error) {
 			continue
 		}
 		conn.SetDeadline(time.Time{})
-		p := &peer{rank: rank, conn: conn, wdone: make(chan struct{})}
+		p := &peer{rank: rank, conn: conn, network: conn.LocalAddr().Network(), wdone: make(chan struct{})}
 		p.cond = sync.NewCond(&p.mu)
 		t.peers[rank] = p
 	}
@@ -302,14 +439,17 @@ func Join(o Options) (*Transport, error) {
 
 // register reports this rank to the rendezvous and returns the address
 // map of the whole cluster.
-func register(o Options, listenAddr string, deadline time.Time) ([]string, error) {
+func register(o Options, self PeerAddr, deadline time.Time) ([]PeerAddr, error) {
 	conn, err := net.DialTimeout("tcp", o.Rendezvous, time.Until(deadline))
 	if err != nil {
 		return nil, fmt.Errorf("netcomm: rank %d dial rendezvous %s: %w", o.Rank, o.Rendezvous, err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(deadline)
-	join := AppendJoin(nil, JoinRequest{Rank: o.Rank, World: o.World, Cluster: o.Cluster, Addr: listenAddr})
+	join := AppendJoin(nil, JoinRequest{
+		Rank: o.Rank, World: o.World, Cluster: o.Cluster,
+		Addr: self.TCP, Unix: self.Unix, Host: self.Host,
+	})
 	if err := sendUnit(conn, KindJoin, join); err != nil {
 		return nil, fmt.Errorf("netcomm: rank %d send join: %w", o.Rank, err)
 	}
@@ -338,13 +478,28 @@ func register(o Options, listenAddr string, deadline time.Time) ([]string, error
 	}
 }
 
+// dialTarget picks the physical wire for dialing a peer: the peer's
+// Unix socket when both sides share a non-empty host identity (and the
+// mode allows it), TCP otherwise. WireUDS with a non-co-located peer is
+// an error — the caller demanded the fast path.
+func dialTarget(wire Wire, a PeerAddr, hostID string) (network, addr string, err error) {
+	if wire != WireTCP && a.Unix != "" && hostID != "" && a.Host == hostID {
+		return "unix", a.Unix, nil
+	}
+	if wire == WireUDS {
+		return "", "", fmt.Errorf("peer host %q is not co-located with %q (or offers no unix socket)", a.Host, hostID)
+	}
+	return "tcp", a.TCP, nil
+}
+
 // buildMesh establishes the per-pair connections: dial every lower rank,
-// accept every higher one. Returns the connections indexed by peer rank.
-func buildMesh(o Options, ln net.Listener, addrs []string, deadline time.Time) ([]net.Conn, error) {
+// accept every higher one (on whichever listener the dialer picked).
+// Returns the connections indexed by peer rank.
+func buildMesh(o Options, lns meshListeners, addrs []PeerAddr, deadline time.Time) ([]net.Conn, error) {
 	conns := make([]net.Conn, o.World)
 	expect := o.World - 1 - o.Rank // higher ranks dial us
 
-	// The abort path closes the listener to unblock Accept, and the
+	// The abort path closes the listeners to unblock Accept, and the
 	// in-handshake connection (if any) to unblock a readUnit in flight.
 	var handshakeMu sync.Mutex
 	var handshaking net.Conn
@@ -360,7 +515,9 @@ func buildMesh(o Options, ln net.Listener, addrs []string, deadline time.Time) (
 		return true
 	}
 	abortAccept := func() {
-		ln.Close()
+		for _, l := range lns.all() {
+			l.Close()
+		}
 		handshakeMu.Lock()
 		aborted = true
 		if handshaking != nil {
@@ -369,16 +526,43 @@ func buildMesh(o Options, ln net.Listener, addrs []string, deadline time.Time) (
 		handshakeMu.Unlock()
 	}
 
+	// One pump per listener feeds raw connections to the (sequential)
+	// handshake loop; a pump whose Accept fails — deadline, close, abort
+	// — reports once and exits.
+	connCh := make(chan net.Conn)
+	pumpErr := make(chan error, 2)
+	acceptDone := make(chan struct{})
+	for _, l := range lns.all() {
+		go func(l net.Listener) {
+			if d, ok := l.(interface{ SetDeadline(time.Time) error }); ok {
+				d.SetDeadline(deadline)
+			}
+			for {
+				conn, err := l.Accept()
+				if err != nil {
+					pumpErr <- fmt.Errorf("netcomm: rank %d accept: %w", o.Rank, err)
+					return
+				}
+				select {
+				case connCh <- conn:
+				case <-acceptDone:
+					conn.Close()
+					return
+				}
+			}
+		}(l)
+	}
+
 	acceptErr := make(chan error, 1)
 	go func() {
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(deadline)
-		}
+		defer close(acceptDone)
 		accepted := 0
 		for accepted < expect {
-			conn, err := ln.Accept()
-			if err != nil {
-				acceptErr <- fmt.Errorf("netcomm: rank %d accept: %w", o.Rank, err)
+			var conn net.Conn
+			select {
+			case conn = <-connCh:
+			case err := <-pumpErr:
+				acceptErr <- err
 				return
 			}
 			conn.SetDeadline(deadline)
@@ -431,9 +615,14 @@ func buildMesh(o Options, ln net.Listener, addrs []string, deadline time.Time) (
 
 	var dialErr error
 	for to := 0; to < o.Rank && dialErr == nil; to++ {
-		conn, err := net.DialTimeout("tcp", addrs[to], time.Until(deadline))
+		network, addr, err := dialTarget(o.Wire, addrs[to], o.HostID)
 		if err != nil {
-			dialErr = fmt.Errorf("netcomm: rank %d dial rank %d at %s: %w", o.Rank, to, addrs[to], err)
+			dialErr = fmt.Errorf("netcomm: rank %d dial rank %d: %w", o.Rank, to, err)
+			break
+		}
+		conn, err := net.DialTimeout(network, addr, time.Until(deadline))
+		if err != nil {
+			dialErr = fmt.Errorf("netcomm: rank %d dial rank %d at %s %s: %w", o.Rank, to, network, addr, err)
 			break
 		}
 		conn.SetDeadline(deadline)

@@ -11,9 +11,10 @@
 //	                     the source rank is implicit in the connection's
 //	                     handshake)
 //	KindJoin             rank:u32 world:u32 cluster:str addr:str
+//	                     unix:str host:str
 //	KindPeer             from:u32 to:u32 world:u32 cluster:str
 //	KindAck              status:u8 detail:str
-//	KindPeers            world:u32 { addr:str }*world
+//	KindPeers            world:u32 { tcp:str unix:str host:str }*world
 //	KindBye              empty (clean-shutdown marker, always the last
 //	                     frame before the write side half-closes)
 //
@@ -37,7 +38,10 @@ const (
 	Magic = uint16(0x4E43) // "NC"
 	// Version is the current wire layout version. A peer speaking another
 	// version is refused at handshake and rejected at frame decode.
-	Version = byte(1)
+	// Version 2 added the same-host fast path: Join and Peers carry each
+	// rank's Unix-socket address and host identity next to its TCP
+	// address.
+	Version = byte(2)
 	// HeaderSize is the fixed header length in bytes.
 	HeaderSize = 2 + 1 + 1 + 4
 	// MaxFrameBytes caps a frame payload; larger lengths are treated as
@@ -151,8 +155,14 @@ type JoinRequest struct {
 	// Cluster is the launch-scoped cluster id; it guards against a node
 	// joining the wrong rendezvous.
 	Cluster string
-	// Addr is the node's own peer-listener address.
+	// Addr is the node's own TCP peer-listener address.
 	Addr string
+	// Unix is the node's Unix-socket peer-listener path ("" when the
+	// same-host fast path is off or unavailable).
+	Unix string
+	// Host is the node's host identity; two ranks with equal non-empty
+	// identities are co-located and may dial each other's Unix sockets.
+	Host string
 }
 
 // AppendJoin encodes a Join payload.
@@ -160,7 +170,9 @@ func AppendJoin(dst []byte, j JoinRequest) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(j.Rank))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(j.World))
 	dst = appendStr(dst, j.Cluster)
-	return appendStr(dst, j.Addr)
+	dst = appendStr(dst, j.Addr)
+	dst = appendStr(dst, j.Unix)
+	return appendStr(dst, j.Host)
 }
 
 // ParseJoin decodes a Join payload.
@@ -178,6 +190,12 @@ func ParseJoin(buf []byte) (JoinRequest, error) {
 	}
 	if j.Addr, off, err = parseStr(buf, off); err != nil {
 		return j, fmt.Errorf("netcomm: join addr: %w", err)
+	}
+	if j.Unix, off, err = parseStr(buf, off); err != nil {
+		return j, fmt.Errorf("netcomm: join unix addr: %w", err)
+	}
+	if j.Host, off, err = parseStr(buf, off); err != nil {
+		return j, fmt.Errorf("netcomm: join host: %w", err)
 	}
 	if off != len(buf) {
 		return j, fmt.Errorf("netcomm: %d trailing bytes after join", len(buf)-off)
@@ -263,17 +281,32 @@ func ParseAck(buf []byte) (Ack, error) {
 	return a, nil
 }
 
+// PeerAddr is one rank's reachable addresses plus its host identity,
+// as broadcast by the rendezvous. The dialer picks the physical
+// transport per pair: the Unix socket when both sides share a non-empty
+// Host (the same-host fast path), TCP otherwise.
+type PeerAddr struct {
+	// TCP is the rank's TCP peer-listener address (always present).
+	TCP string
+	// Unix is the rank's Unix-socket path ("" when unavailable).
+	Unix string
+	// Host is the rank's host identity.
+	Host string
+}
+
 // Peers is the rendezvous' address broadcast (KindPeers payload): the
-// peer-listener address of every rank, indexed by rank.
+// peer-listener addresses of every rank, indexed by rank.
 type Peers struct {
-	Addrs []string
+	Addrs []PeerAddr
 }
 
 // AppendPeers encodes a Peers payload.
 func AppendPeers(dst []byte, p Peers) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p.Addrs)))
 	for _, a := range p.Addrs {
-		dst = appendStr(dst, a)
+		dst = appendStr(dst, a.TCP)
+		dst = appendStr(dst, a.Unix)
+		dst = appendStr(dst, a.Host)
 	}
 	return dst
 }
@@ -285,19 +318,25 @@ func ParsePeers(buf []byte) (Peers, error) {
 		return p, fmt.Errorf("netcomm: peers truncated (len %d)", len(buf))
 	}
 	world := binary.LittleEndian.Uint32(buf)
-	// Every address carries at least its 2-byte length.
-	if int64(world)*2 > int64(len(buf)-4) {
+	// Every entry carries at least its three 2-byte string lengths.
+	if int64(world)*6 > int64(len(buf)-4) {
 		return p, fmt.Errorf("netcomm: peers world %d exceeds remaining %d bytes", world, len(buf)-4)
 	}
 	off := 4
-	p.Addrs = make([]string, 0, world)
+	p.Addrs = make([]PeerAddr, 0, world)
 	for i := uint32(0); i < world; i++ {
-		s, next, err := parseStr(buf, off)
-		if err != nil {
+		var a PeerAddr
+		var err error
+		if a.TCP, off, err = parseStr(buf, off); err != nil {
 			return p, fmt.Errorf("netcomm: peers addr %d: %w", i, err)
 		}
-		off = next
-		p.Addrs = append(p.Addrs, s)
+		if a.Unix, off, err = parseStr(buf, off); err != nil {
+			return p, fmt.Errorf("netcomm: peers unix addr %d: %w", i, err)
+		}
+		if a.Host, off, err = parseStr(buf, off); err != nil {
+			return p, fmt.Errorf("netcomm: peers host %d: %w", i, err)
+		}
+		p.Addrs = append(p.Addrs, a)
 	}
 	if off != len(buf) {
 		return p, fmt.Errorf("netcomm: %d trailing bytes after peers", len(buf)-off)

@@ -73,13 +73,17 @@ func TestHeaderCorruption(t *testing.T) {
 }
 
 func TestJoinRoundTrip(t *testing.T) {
-	j := JoinRequest{Rank: 3, World: 8, Cluster: "c-12345", Addr: "127.0.0.1:45123"}
-	got, err := ParseJoin(AppendJoin(nil, j))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got != j {
-		t.Fatalf("round trip: %+v != %+v", got, j)
+	for _, j := range []JoinRequest{
+		{Rank: 3, World: 8, Cluster: "c-12345", Addr: "127.0.0.1:45123"},
+		{Rank: 0, World: 2, Cluster: "c", Addr: "127.0.0.1:1", Unix: "/tmp/jsnc-abc.sock", Host: "nodeA/boot-1"},
+	} {
+		got, err := ParseJoin(AppendJoin(nil, j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != j {
+			t.Fatalf("round trip: %+v != %+v", got, j)
+		}
 	}
 }
 
@@ -95,12 +99,16 @@ func TestPeerAckPeersRoundTrip(t *testing.T) {
 			t.Fatalf("ack round trip: %+v %v", ga, err)
 		}
 	}
-	ps := Peers{Addrs: []string{"127.0.0.1:1", "127.0.0.1:2", ""}}
+	ps := Peers{Addrs: []PeerAddr{
+		{TCP: "127.0.0.1:1", Unix: "/tmp/jsnc-1.sock", Host: "hostA"},
+		{TCP: "127.0.0.1:2", Host: "hostB"},
+		{},
+	}}
 	gps, err := ParsePeers(AppendPeers(nil, ps))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(gps.Addrs) != 3 || gps.Addrs[0] != ps.Addrs[0] || gps.Addrs[2] != "" {
+	if len(gps.Addrs) != 3 || gps.Addrs[0] != ps.Addrs[0] || gps.Addrs[1] != ps.Addrs[1] || gps.Addrs[2] != (PeerAddr{}) {
 		t.Fatalf("peers round trip: %+v", gps)
 	}
 }
@@ -108,10 +116,10 @@ func TestPeerAckPeersRoundTrip(t *testing.T) {
 // TestPayloadCorruption: truncations, trailing garbage, inflated counts
 // and out-of-range strings in every payload kind must error out.
 func TestPayloadCorruption(t *testing.T) {
-	join := AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "cl", Addr: "a:1"})
+	join := AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "cl", Addr: "a:1", Unix: "/t/u.sock", Host: "h"})
 	peer := AppendPeer(nil, Peer{From: 2, To: 1, World: 4, Cluster: "cl"})
 	ack := AppendAck(nil, Ack{OK: false, Detail: "no"})
-	peers := AppendPeers(nil, Peers{Addrs: []string{"a:1", "b:2"}})
+	peers := AppendPeers(nil, Peers{Addrs: []PeerAddr{{TCP: "a:1", Unix: "/t/1.sock", Host: "h"}, {TCP: "b:2"}}})
 
 	checkErr := func(t *testing.T, name string, err error) {
 		t.Helper()
@@ -184,9 +192,10 @@ func TestPayloadCorruption(t *testing.T) {
 func FuzzNetFrameRoundTrip(f *testing.F) {
 	f.Add(header(KindData, 128))
 	f.Add(AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "c", Addr: "127.0.0.1:9"}))
+	f.Add(AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "c", Addr: "127.0.0.1:9", Unix: "/tmp/jsnc.sock", Host: "h/b"}))
 	f.Add(AppendPeer(nil, Peer{From: 3, To: 0, World: 4, Cluster: "c"}))
 	f.Add(AppendAck(nil, Ack{OK: false, Detail: "why"}))
-	f.Add(AppendPeers(nil, Peers{Addrs: []string{"a:1", "b:2", "c:3"}}))
+	f.Add(AppendPeers(nil, Peers{Addrs: []PeerAddr{{TCP: "a:1", Unix: "/t/a", Host: "ha"}, {TCP: "b:2"}, {TCP: "c:3"}}}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if kind, n, err := ParseHeader(data); err == nil {

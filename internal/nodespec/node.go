@@ -56,9 +56,14 @@ type ClusterStats struct {
 	// persistent session's cumulative view; with reuse off, the last
 	// sweep's round only).
 	RemoteStreams, BatchesSent int64
-	// Frames / WireBytes sum the TCP transport's frame counts and on-wire
-	// bytes (headers included) of every rank; 0 for in-memory solves.
+	// Frames / WireBytes sum the socket transport's frame counts and
+	// on-wire bytes (headers included) of every rank; 0 for in-memory
+	// solves.
 	Frames, WireBytes int64
+	// FastPairs counts the directed rank pairs connected over the
+	// same-host fast path (Unix-domain sockets); each co-located pair
+	// contributes 2 (one per direction).
+	FastPairs int64
 }
 
 // NodeResult is one rank's view of a finished cluster solve.
@@ -122,11 +127,16 @@ func Run(spec Spec, o NodeOptions) (*NodeResult, error) {
 // waiting in a collective.
 func RunCtx(ctx context.Context, spec Spec, o NodeOptions) (*NodeResult, error) {
 	spec = spec.withDefaults()
+	wire, err := netcomm.ParseWire(spec.Wire)
+	if err != nil {
+		return nil, err
+	}
 	tr, err := netcomm.JoinCtx(ctx, netcomm.Options{
 		Cluster:    o.Cluster,
 		Rank:       o.Rank,
 		World:      spec.Procs,
 		Rendezvous: o.Rendezvous,
+		Wire:       wire,
 		Timeout:    o.Timeout,
 	})
 	if err != nil {
@@ -238,9 +248,9 @@ func RunOnCtx(ctx context.Context, spec Spec, tr comm.Transport, o NodeOptions) 
 	if verifyErr != nil {
 		return nil, verifyErr
 	}
-	logf("cluster: messages=%d bytes=%d remoteStreams=%d batches=%d frames=%d wireBytes=%d",
+	logf("cluster: messages=%d bytes=%d remoteStreams=%d batches=%d frames=%d wireBytes=%d fastPairs=%d",
 		nr.Cluster.Messages, nr.Cluster.BytesSent, nr.Cluster.RemoteStreams,
-		nr.Cluster.BatchesSent, nr.Cluster.Frames, nr.Cluster.WireBytes)
+		nr.Cluster.BatchesSent, nr.Cluster.Frames, nr.Cluster.WireBytes, nr.Cluster.FastPairs)
 	if nr.Verified {
 		logf("%s (serial reference parity)", verifyOKMarker)
 	}
@@ -277,6 +287,7 @@ func localClusterStats(tr comm.Transport, st sweep.SweepStats) ClusterStats {
 		ws := nt.WireStats()
 		cs.Frames = ws.FramesSent
 		cs.WireBytes = ws.BytesOut
+		cs.FastPairs = int64(nt.FastPeers())
 	}
 	return cs
 }
@@ -289,8 +300,8 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 		return nil
 	}
 	mine := localClusterStats(tr, nr.Stats)
-	payload := make([]byte, 0, 6*8)
-	for _, v := range []int64{mine.Messages, mine.BytesSent, mine.RemoteStreams, mine.BatchesSent, mine.Frames, mine.WireBytes} {
+	payload := make([]byte, 0, 7*8)
+	for _, v := range []int64{mine.Messages, mine.BytesSent, mine.RemoteStreams, mine.BatchesSent, mine.Frames, mine.WireBytes, mine.FastPairs} {
 		payload = binary.LittleEndian.AppendUint64(payload, uint64(v))
 	}
 	parts, err := coll.AllExchange(payload)
@@ -299,7 +310,7 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 	}
 	var sum ClusterStats
 	for rank, part := range parts {
-		if len(part) != 6*8 {
+		if len(part) != 7*8 {
 			return fmt.Errorf("nodespec: rank %d sent %d-byte stats payload", rank, len(part))
 		}
 		sum.Messages += int64(binary.LittleEndian.Uint64(part[0:]))
@@ -308,6 +319,7 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 		sum.BatchesSent += int64(binary.LittleEndian.Uint64(part[24:]))
 		sum.Frames += int64(binary.LittleEndian.Uint64(part[32:]))
 		sum.WireBytes += int64(binary.LittleEndian.Uint64(part[40:]))
+		sum.FastPairs += int64(binary.LittleEndian.Uint64(part[48:]))
 	}
 	nr.Cluster = sum
 	return nil

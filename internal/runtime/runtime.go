@@ -575,6 +575,7 @@ masterLoop:
 			var ok bool
 			if len(p.replay) > 0 {
 				m, ok = p.replay[0], true
+				p.replay[0] = comm.Message{} // the backing array must not pin consumed payloads
 				p.replay = p.replay[1:]
 			} else {
 				m, ok = p.ep.TryRecv()
@@ -837,14 +838,17 @@ func (p *process) routeStreams(streams []core.Stream) error {
 	}
 	for rank, batch := range perRank {
 		t0 := time.Now()
-		buf := make([]byte, msgHeaderSize, core.EncodedSize(batch)+msgHeaderSize)
+		// Pooled buffer: the transport (or the receiving consumer, for
+		// in-memory and self-sends) recycles it — steady-state rounds stop
+		// allocating per message.
+		buf := comm.GetBuffer(core.EncodedSize(batch) + msgHeaderSize)[:msgHeaderSize]
 		stampHeader(buf, msgStreams, p.round)
 		buf = core.EncodeStreams(buf, batch)
 		p.stats.PackTime += time.Since(t0)
 		p.stats.BytesSent += int64(len(buf))
 		p.stats.Messages++
 		p.safraCounter++ // Safra: sends increment the deficit counter
-		if err := p.ep.Send(rank, buf); err != nil {
+		if err := comm.SendPooled(p.ep, rank, buf); err != nil {
 			return err
 		}
 	}
@@ -857,7 +861,7 @@ func (p *process) flushBatcher(b *StreamBatcher, reason FlushReason) error {
 		return nil
 	}
 	t0 := time.Now()
-	buf := make([]byte, msgHeaderSize, b.PendingBytes()+msgHeaderSize)
+	buf := comm.GetBuffer(b.PendingBytes() + msgHeaderSize)[:msgHeaderSize]
 	stampHeader(buf, msgFrame, p.round)
 	buf, n := b.Flush(buf)
 	p.stats.PackTime += time.Since(t0)
@@ -869,7 +873,7 @@ func (p *process) flushBatcher(b *StreamBatcher, reason FlushReason) error {
 		p.stats.FlushOnDeadline++
 	}
 	p.safraCounter++ // Safra: sends increment the deficit counter
-	return p.ep.Send(b.Dest(), buf)
+	return comm.SendPooled(p.ep, b.Dest(), buf)
 }
 
 // flushExpired flushes every batch whose oldest stream aged past the
@@ -971,6 +975,10 @@ func (p *process) handleMessage(m comm.Message) (stop bool, err error) {
 		p.future = append(p.future, m)
 		return false, nil
 	}
+	// Every path below consumes the message: recycle its transport buffer
+	// once decoded (DecodeStreams/DecodeFrame copy payloads out). Stashed
+	// future messages recycle when their round consumes them here.
+	defer comm.PutBuffer(m.Data)
 	if round < p.round {
 		return false, fmt.Errorf("runtime: rank %d received a stale round-%d message from rank %d in round %d",
 			p.rank, round, m.From, p.round)
@@ -1072,14 +1080,14 @@ func (p *process) checkWorkloadTermination() bool {
 	if p.rank != 0 {
 		if !p.sentDone {
 			p.sentDone = true
-			_ = p.ep.Send(0, p.stamped(msgDone))
+			_ = comm.SendPooled(p.ep, 0, p.stamped(msgDone))
 		}
 		return false // wait for msgTerm
 	}
 	// Rank 0: terminate once every other rank reported done.
 	if len(p.doneReports) == p.rt.cfg.Procs-1 {
 		for r := 1; r < p.rt.cfg.Procs; r++ {
-			_ = p.ep.Send(r, p.stamped(msgTerm))
+			_ = comm.SendPooled(p.ep, r, p.stamped(msgTerm))
 		}
 		return true
 	}
@@ -1087,9 +1095,11 @@ func (p *process) checkWorkloadTermination() bool {
 }
 
 // stamped returns a payload-free data-lane message of the given kind,
-// round-stamped for the current round.
+// round-stamped for the current round. The buffer is pool-backed: send
+// it with comm.SendPooled so it recycles after the wire (or the
+// receiving consumer).
 func (p *process) stamped(kind byte) []byte {
-	buf := make([]byte, msgHeaderSize)
+	buf := comm.GetBuffer(msgHeaderSize)[:msgHeaderSize]
 	stampHeader(buf, kind, p.round)
 	return buf
 }
@@ -1102,7 +1112,7 @@ func (p *process) checkSafraTermination() bool {
 		// Evaluate the returned token (or the initial one).
 		if p.tokenColor == tokenWhite && p.safraColor == tokenWhite && p.tokenCount+p.safraCounter == 0 && p.probedOnce {
 			for r := 1; r < p.rt.cfg.Procs; r++ {
-				_ = p.ep.Send(r, p.stamped(msgTerm))
+				_ = comm.SendPooled(p.ep, r, p.stamped(msgTerm))
 			}
 			return true
 		}
@@ -1132,11 +1142,11 @@ func (p *process) checkSafraTermination() bool {
 }
 
 func (p *process) sendToken(to int, color byte, count int64) {
-	buf := make([]byte, msgHeaderSize+9)
+	buf := comm.GetBuffer(msgHeaderSize + 9)[:msgHeaderSize+9]
 	stampHeader(buf, msgToken, p.round)
 	buf[msgHeaderSize] = color
 	binary.LittleEndian.PutUint64(buf[msgHeaderSize+1:], uint64(count))
-	_ = p.ep.Send(to, buf)
+	_ = comm.SendPooled(p.ep, to, buf)
 }
 
 // workerLoop is one worker goroutine: pop the highest-priority active

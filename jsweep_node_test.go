@@ -10,7 +10,9 @@ package jsweep_test
 
 import (
 	"bytes"
+	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -30,7 +32,7 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-func launchSelf(t *testing.T, spec jsweep.NodeSpec, verify bool) *jsweep.LaunchResult {
+func launchSelf(t *testing.T, spec jsweep.NodeSpec, verify bool) (*jsweep.LaunchResult, string) {
 	t.Helper()
 	var log bytes.Buffer
 	res, err := jsweep.LaunchLocal(jsweep.LaunchConfig{
@@ -43,17 +45,21 @@ func launchSelf(t *testing.T, spec jsweep.NodeSpec, verify bool) *jsweep.LaunchR
 	if err != nil {
 		t.Fatalf("launch: %v\nnode output:\n%s", err, log.String())
 	}
-	return res
+	return res, log.String()
 }
 
 // TestFourProcessAcceptance is the PR's acceptance matrix: a 4-rank
-// solve as 4 separate OS processes over TCP-localhost, aggregation off
-// and on, on all three mesh families. Rank 0 verifies against the
-// serial Reference in-process (bitwise on kobayashi and cyclic; 1e-12
-// relative on the unstructured ball, where the reference accumulates
-// patch boundaries in a different global order — the strictness the
-// single-process golden tests pin), and the launcher certifies that all
-// four ranks reported the identical flux bit pattern.
+// solve as 4 separate OS processes, aggregation off and on, on all
+// three mesh families. The default wire ("" = auto) resolves to
+// Unix-domain sockets here — every rank is on this host — so these rows
+// exercise the same-host fast path end to end, pinned by the fastPairs
+// count in the cluster log (4 ranks, all co-located: 4×3 directed
+// pairs). Rank 0 verifies against the serial Reference in-process
+// (bitwise on kobayashi and cyclic; 1e-12 relative on the unstructured
+// ball, where the reference accumulates patch boundaries in a different
+// global order — the strictness the single-process golden tests pin),
+// and the launcher certifies that all four ranks reported the identical
+// flux bit pattern.
 func TestFourProcessAcceptance(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-OS-process solve skipped in -short mode")
@@ -75,15 +81,60 @@ func TestFourProcessAcceptance(t *testing.T) {
 			t.Run(name, func(t *testing.T) {
 				s := spec
 				s.Agg = agg
-				res := launchSelf(t, s, true)
+				res, log := launchSelf(t, s, true)
 				if !res.Verified {
 					t.Fatal("rank 0 did not verify against the serial reference")
 				}
 				if res.FluxHash == "" {
 					t.Fatal("no flux hash")
 				}
+				wantFastPairs(t, log, s.Procs*(s.Procs-1))
 			})
 		}
+	}
+}
+
+// TestFourProcessWireForced pins both explicit wire selections on the
+// same solve: -wire uds must connect every pair over Unix sockets, and
+// -wire tcp must keep the cluster on TCP (fastPairs=0) while still
+// verifying bitwise against the reference — the wire flavor never
+// changes the answer.
+func TestFourProcessWireForced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-OS-process solve skipped in -short mode")
+	}
+	spec := jsweep.NodeSpec{Mesh: "kobayashi", N: 12, SnOrder: 2, Scatter: true,
+		Procs: 4, Workers: 2, Grain: 32, Tol: 1e-8}
+	hashes := map[string]string{}
+	for _, wire := range []string{"uds", "tcp"} {
+		t.Run("wire-"+wire, func(t *testing.T) {
+			s := spec
+			s.Wire = wire
+			res, log := launchSelf(t, s, true)
+			if !res.Verified {
+				t.Fatal("rank 0 did not verify against the serial reference")
+			}
+			want := 0
+			if wire == "uds" {
+				want = s.Procs * (s.Procs - 1)
+			}
+			wantFastPairs(t, log, want)
+			hashes[wire] = res.FluxHash
+		})
+	}
+	if len(hashes) == 2 && hashes["uds"] != hashes["tcp"] {
+		t.Fatalf("flux hash differs across wires: uds %s, tcp %s", hashes["uds"], hashes["tcp"])
+	}
+}
+
+// wantFastPairs asserts the cluster log's summed fastPairs count — the
+// number of directed rank pairs that actually connected over the
+// Unix-socket fast path.
+func wantFastPairs(t *testing.T, log string, want int) {
+	t.Helper()
+	marker := fmt.Sprintf("fastPairs=%d", want)
+	if !strings.Contains(log, marker) {
+		t.Fatalf("cluster log missing %q:\n%s", marker, log)
 	}
 }
 
