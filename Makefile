@@ -63,19 +63,21 @@ iter-bench:
 cyclic-bench:
 	$(GO) run ./cmd/jsweep-bench -exp cyclic -fidelity quick -out BENCH_cyclic.json
 
-# Compare the in-memory, Unix-socket and TCP-localhost transport
-# backends (frames, bytes on the wire, per-iteration time and heap
-# allocations, aggregation off/on, plus a buffer-pool ablation) and
-# record BENCH_netcomm.json.
+# Compare the in-memory, shared-memory-ring, Unix-socket and
+# TCP-localhost transport backends (frames, bytes on the wire,
+# per-iteration time and heap allocations, aggregation off/on, plus a
+# buffer-pool ablation) and record BENCH_netcomm.json.
 net-bench:
 	$(GO) run ./cmd/jsweep-bench -exp net -fidelity quick -out BENCH_netcomm.json
 
-# Multi-process smoke: 4 jsweep-node OS processes on each socket flavor
-# — Unix-domain (the same-host fast path -wire auto resolves to) and
-# forced TCP — bitwise reference parity asserted by rank 0 (mirrors the
-# CI job).
+# Multi-process smoke: 4 jsweep-node OS processes on each wire flavor —
+# shared-memory rings (the tier -wire auto resolves to on one host),
+# Unix-domain sockets, and forced TCP — bitwise reference parity
+# asserted by rank 0 (mirrors the CI job).
 net-smoke:
 	$(GO) build -o bin/ ./cmd/jsweep-run ./cmd/jsweep-node
+	./bin/jsweep-run -backend tcp -wire shm -node-bin ./bin/jsweep-node \
+		-mesh kobayashi -n 16 -sn 2 -procs 4 -workers 2 -agg -verify
 	./bin/jsweep-run -backend tcp -wire uds -node-bin ./bin/jsweep-node \
 		-mesh kobayashi -n 16 -sn 2 -procs 4 -workers 2 -agg -verify
 	./bin/jsweep-run -backend tcp -wire tcp -node-bin ./bin/jsweep-node \

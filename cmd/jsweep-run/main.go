@@ -10,10 +10,12 @@
 //	                     the in-memory transport (default; alias: mem);
 //	-backend tcp-launch  one jsweep-node OS process per rank on this
 //	                     host, wired through a local rendezvous; co-located
-//	                     ranks talk over Unix-domain sockets (-wire auto,
-//	                     the default) or plain TCP-loopback (-wire tcp);
-//	                     every rank certified to report the identical
-//	                     flux bit pattern (alias: tcp);
+//	                     ranks talk over shared-memory rings (-wire auto,
+//	                     the default, degrading per pair to Unix sockets
+//	                     or TCP), forced rings (-wire shm), Unix-domain
+//	                     sockets (-wire uds) or plain TCP-loopback
+//	                     (-wire tcp); every rank certified to report the
+//	                     identical flux bit pattern (alias: tcp);
 //	-backend sim         replay the spec's task system on the
 //	                     discrete-event cluster simulator.
 //
@@ -59,7 +61,7 @@ func main() {
 		progress = flag.Bool("progress", false, "print one line per source iteration")
 
 		backend = flag.String("backend", "inproc", "inproc | tcp-launch | sim (aliases: mem, tcp)")
-		wire    = flag.String("wire", "auto", "socket flavor between ranks: auto | tcp | uds (auto = Unix sockets for co-located ranks, TCP across hosts)")
+		wire    = flag.String("wire", "auto", "wire flavor between ranks: auto | tcp | uds | shm (auto = shared-memory rings between co-located ranks, then Unix sockets, TCP across hosts)")
 		nodeBin = flag.String("node-bin", "", "jsweep-node binary for -backend tcp-launch (default: next to this binary, then PATH)")
 
 		agg        = flag.Bool("agg", false, "aggregate remote streams into multi-stream frames")

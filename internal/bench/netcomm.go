@@ -12,17 +12,17 @@ import (
 	"jsweep/internal/nodespec"
 )
 
-// NetBackend compares the in-memory transport against the socket
-// backends (Unix-domain and TCP) on the same Kobayashi solve,
-// aggregation off and on: per-iteration wall time, heap allocations,
-// transport messages, wire frames and bytes actually on the wire. The
-// socket rows run the full netcomm stack (rendezvous, peer mesh,
-// framing, writev coalescing, buffer recycling) over loopback with one
-// solver node per rank — the same code path jsweep-node uses, minus
-// process isolation — and every backend/aggregation combination must
-// land on the identical flux bit pattern. A final ablation re-runs the
-// UDS solve with the wire buffer pool disabled to put a number on what
-// recycling saves.
+// NetBackend compares the in-memory transport against the wire
+// backends (shared-memory rings, Unix-domain sockets, TCP) on the same
+// Kobayashi solve, aggregation off and on: per-iteration wall time,
+// heap allocations, transport messages, wire frames and bytes actually
+// on the wire. The wire rows run the full netcomm stack (rendezvous,
+// peer mesh, framing, coalescing, buffer recycling) over loopback with
+// one solver node per rank — the same code path jsweep-node uses,
+// minus process isolation — and every backend/aggregation combination
+// must land on the identical flux bit pattern. A final ablation
+// re-runs the UDS solve with the wire buffer pool disabled to put a
+// number on what recycling saves.
 func NetBackend(f Fidelity, w io.Writer) ([]Point, error) {
 	spec := nodespec.Spec{
 		Mesh: "kobayashi", N: 16, SnOrder: 2, Scatter: true,
@@ -43,7 +43,7 @@ func NetBackend(f Fidelity, w io.Writer) ([]Point, error) {
 	var pts []Point
 	hashes := map[string]string{}
 	var udsPooledAllocs float64
-	for _, backend := range []string{"mem", "uds", "tcp"} {
+	for _, backend := range []string{"mem", "shm", "uds", "tcp"} {
 		for _, agg := range []bool{false, true} {
 			s := spec
 			s.Agg = agg
@@ -70,8 +70,11 @@ func NetBackend(f Fidelity, w io.Writer) ([]Point, error) {
 			}
 			if backend != "mem" {
 				want := int64(spec.Procs * (spec.Procs - 1))
-				if backend == "uds" && cs.FastPairs != want {
-					return nil, fmt.Errorf("bench: uds: %d fast pairs, want %d", cs.FastPairs, want)
+				if (backend == "uds" || backend == "shm") && cs.FastPairs != want {
+					return nil, fmt.Errorf("bench: %s: %d fast pairs, want %d", backend, cs.FastPairs, want)
+				}
+				if backend == "shm" && cs.ShmPairs != want {
+					return nil, fmt.Errorf("bench: shm: %d shm pairs, want %d", cs.ShmPairs, want)
 				}
 				if backend == "tcp" && cs.FastPairs != 0 {
 					return nil, fmt.Errorf("bench: tcp: %d fast pairs, want 0", cs.FastPairs)
@@ -99,14 +102,11 @@ func NetBackend(f Fidelity, w io.Writer) ([]Point, error) {
 	}
 
 	// Wire microbenchmark: the solves above are compute-bound (the
-	// socket flavor is a rounding error in s/iter), so isolate the
-	// sockets with a 2-rank ping-pong over the data lane — this is
-	// where the same-host fast path earns its keep.
-	for _, wire := range []netcomm.Wire{netcomm.WireUDS, netcomm.WireTCP} {
-		name := "uds"
-		if wire == netcomm.WireTCP {
-			name = "tcp"
-		}
+	// wire flavor is a rounding error in s/iter), so isolate the
+	// wires with a 2-rank ping-pong over the data lane — this is
+	// where the same-host tiers earn their keep.
+	for _, wire := range []netcomm.Wire{netcomm.WireShm, netcomm.WireUDS, netcomm.WireTCP} {
+		name := wire.String()
 		rtt, err := pingPong(wire, 4096, 2000)
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s ping-pong: %w", name, err)
@@ -141,6 +141,8 @@ func runBest(backend string, s nodespec.Spec) (res *nodespec.NodeResult, perIter
 		switch backend {
 		case "mem":
 			res, err = runMemSolve(s)
+		case "shm":
+			res, err = runNetSolve(s, netcomm.WireShm)
 		case "uds":
 			res, err = runNetSolve(s, netcomm.WireUDS)
 		default:
@@ -276,9 +278,10 @@ func runMemSolve(spec nodespec.Spec) (*nodespec.NodeResult, error) {
 	return nodespec.RunOn(spec, tr, nodespec.NodeOptions{Rank: 0})
 }
 
-// runNetSolve solves over a socket backend: one transport and solver
+// runNetSolve solves over a netcomm backend: one transport and solver
 // per rank, connected through a loopback rendezvous, with the wire
-// flavor (UDS or TCP) forced so each row measures exactly one path.
+// flavor (shm, UDS or TCP) forced so each row measures exactly one
+// path.
 func runNetSolve(spec nodespec.Spec, wire netcomm.Wire) (*nodespec.NodeResult, error) {
 	cluster := fmt.Sprintf("bench-net-%d", time.Now().UnixNano())
 	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, spec.Procs)

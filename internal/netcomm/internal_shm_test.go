@@ -1,0 +1,388 @@
+//go:build unix
+
+package netcomm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRingCapacity(t *testing.T) {
+	cases := []struct {
+		in   int
+		want uint64
+	}{
+		{0, defaultRingBytes},
+		{-1, defaultRingBytes},
+		{1, minRingBytes},
+		{minRingBytes, minRingBytes},
+		{minRingBytes + 1, 2 * minRingBytes},
+		{1 << 20, 1 << 20},
+		{(1 << 20) + 1, 1 << 21},
+		{maxRingBytes, maxRingBytes},
+		{maxRingBytes + 1, maxRingBytes},
+	}
+	for _, c := range cases {
+		if got := ringCapacity(c.in); got != c.want {
+			t.Errorf("ringCapacity(%d) = %d, want %d", c.in, got, c.want)
+		}
+		if got := ringCapacity(c.in); got&(got-1) != 0 {
+			t.Errorf("ringCapacity(%d) = %d, not a power of two", c.in, got)
+		}
+	}
+}
+
+// TestRingRoundTrip pushes data through the two mappings of one ring
+// file (producer via createRing, consumer via openRing) across many
+// wraparounds, checking the byte stream survives intact.
+func TestRingRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jsnc-test.ring")
+	w, err := createRing(path, minRingBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	r, err := openRing(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+
+	// Chunk sizes chosen to hit partial writes, exact fits and wraps.
+	sizes := []int{1, 7, 100, minRingBytes / 2, minRingBytes - 1, minRingBytes, minRingBytes + 13}
+	seq := byte(0)
+	for round := 0; round < 4; round++ {
+		for _, size := range sizes {
+			src := make([]byte, size)
+			for i := range src {
+				src[i] = seq
+				seq++
+			}
+			got := make([]byte, 0, size)
+			off := 0
+			for len(got) < size {
+				if off < size {
+					off += w.writeChunk(src[off:])
+				}
+				buf := make([]byte, size-len(got))
+				n := r.readChunk(buf)
+				got = append(got, buf[:n]...)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("round %d size %d: stream corrupted", round, size)
+			}
+		}
+	}
+	if w.avail() != 0 || r.avail() != 0 {
+		t.Fatalf("ring not drained: avail %d/%d", w.avail(), r.avail())
+	}
+}
+
+// TestRingSPSCStress runs a real producer/consumer pair over the shared
+// mapping under the race detector: the SPSC acquire/release pairing on
+// the cursors is the whole correctness story of the ring.
+func TestRingSPSCStress(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jsnc-stress.ring")
+	w, err := createRing(path, minRingBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	r, err := openRing(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.close()
+
+	const total = 1 << 20
+	pattern := func(i int) byte { return byte(i*31 + 7) }
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 3000)
+		sent := 0
+		for sent < total {
+			n := len(buf)
+			if total-sent < n {
+				n = total - sent
+			}
+			for i := 0; i < n; i++ {
+				buf[i] = pattern(sent + i)
+			}
+			off := 0
+			for off < n {
+				k := w.writeChunk(buf[off:n])
+				off += k
+				if k == 0 {
+					runtime.Gosched()
+				}
+			}
+			sent += n
+		}
+	}()
+	buf := make([]byte, 4096)
+	read := 0
+	for read < total {
+		n := r.readChunk(buf)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if buf[i] != pattern(read+i) {
+				t.Fatalf("byte %d = %#02x, want %#02x", read+i, buf[i], pattern(read+i))
+			}
+		}
+		read += n
+	}
+	<-done
+}
+
+func TestCreateRingRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jsnc-dup.ring")
+	w, err := createRing(path, minRingBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.close()
+	if r, err := createRing(path, minRingBytes); err == nil {
+		r.close()
+		t.Fatal("createRing over an existing ring file succeeded")
+	}
+}
+
+// TestOpenRingValidation feeds openRing the kinds of debris a shared
+// tmp dir can hold: every corruption must be refused before any loop
+// trusts the mapping.
+func TestOpenRingValidation(t *testing.T) {
+	dir := t.TempDir()
+	fresh := func(name string) string {
+		path := filepath.Join(dir, name)
+		w, err := createRing(path, minRingBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.close()
+		return path
+	}
+	patch := func(path string, off int, val uint64, width int) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if width == 4 {
+			binary.LittleEndian.PutUint32(b[off:], uint32(val))
+		} else {
+			binary.LittleEndian.PutUint64(b[off:], val)
+		}
+		if err := os.WriteFile(path, b, 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cases := []struct {
+		name string
+		path func() string
+	}{
+		{"missing file", func() string { return filepath.Join(dir, "nope.ring") }},
+		{"too small", func() string {
+			p := filepath.Join(dir, "small.ring")
+			os.WriteFile(p, make([]byte, 64), 0o600)
+			return p
+		}},
+		{"bad magic", func() string {
+			p := fresh("magic.ring")
+			patch(p, ringOffMagic, 0xdeadbeef, 4)
+			return p
+		}},
+		{"bad version", func() string {
+			p := fresh("version.ring")
+			patch(p, ringOffVersion, uint64(ringVersion)+1, 4)
+			return p
+		}},
+		{"capacity not a power of two", func() string {
+			p := fresh("pow2.ring")
+			patch(p, ringOffCap, minRingBytes-1, 8)
+			return p
+		}},
+		{"capacity mismatch", func() string {
+			p := fresh("capsize.ring")
+			patch(p, ringOffCap, 2*minRingBytes, 8)
+			return p
+		}},
+		{"dirty head cursor", func() string {
+			p := fresh("head.ring")
+			patch(p, ringOffHead, 1, 8)
+			return p
+		}},
+		{"dirty tail cursor", func() string {
+			p := fresh("tail.ring")
+			patch(p, ringOffTail, 1, 8)
+			return p
+		}},
+	}
+	for _, c := range cases {
+		if r, err := openRing(c.path()); err == nil {
+			r.close()
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+
+	// Control: an untouched ring file still opens.
+	r, err := openRing(fresh("good.ring"))
+	if err != nil {
+		t.Fatalf("control ring refused: %v", err)
+	}
+	r.close()
+}
+
+// TestDialPeerUnixFallback is the regression test for the WireAuto
+// dial contract: a co-located peer whose advertised Unix socket is
+// undialable (here: never created) must be retried over TCP and counted
+// as degraded, not abort the bring-up.
+func TestDialPeerUnixFallback(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		kind, _, err := readUnit(conn)
+		if err != nil || kind != KindPeer {
+			return
+		}
+		sendUnit(conn, KindAck, AppendAck(nil, Ack{OK: true}))
+	}()
+
+	var log bytes.Buffer
+	o := Options{Cluster: "c", Rank: 1, World: 2, Wire: WireAuto, HostID: "h", Log: &log}
+	a := PeerAddr{
+		TCP:  ln.Addr().String(),
+		Unix: filepath.Join(t.TempDir(), "gone.sock"), // never bound
+		Host: "h",
+		Shm:  true,
+	}
+	mc, err := dialPeer(o, 0, a, time.Now().Add(10*time.Second))
+	if err != nil {
+		t.Fatalf("dialPeer did not degrade: %v", err)
+	}
+	defer mc.conn.Close()
+	if mc.network != "tcp" || !mc.degraded || mc.rings != nil {
+		t.Errorf("(network, degraded, rings) = (%q, %v, %v), want (tcp, true, nil)",
+			mc.network, mc.degraded, mc.rings)
+	}
+	if !strings.Contains(log.String(), "pair degrades to tcp") {
+		t.Errorf("degradation not logged:\n%s", log.String())
+	}
+}
+
+// seedStaleSocket binds a Unix socket at path and closes it without
+// unlinking — the exact debris a SIGKILLed rank leaves behind.
+func seedStaleSocket(t *testing.T, path string) {
+	t.Helper()
+	addr, err := net.ResolveUnixAddr("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.ListenUnix("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.SetUnlinkOnClose(false)
+	l.Close()
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("stale socket not seeded: %v", err)
+	}
+}
+
+func TestListenUnixRecoversStaleSocket(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jsnc-stale.sock")
+	seedStaleSocket(t, path)
+	ln, err := listenUnix(path)
+	if err != nil {
+		t.Fatalf("listenUnix did not recover from a stale socket: %v", err)
+	}
+	ln.Close()
+}
+
+func TestListenUnixKeepsLiveSocket(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jsnc-live.sock")
+	live, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	if ln, err := listenUnix(path); err == nil {
+		ln.Close()
+		t.Fatal("listenUnix stole a live listener's socket")
+	}
+}
+
+// TestCleanStaleFiles pins the Join-time sweep: aged dead sockets and
+// aged ring files go; live sockets, freshly created sockets (another
+// rank mid-bind) and in-handshake rings stay.
+func TestCleanStaleFiles(t *testing.T) {
+	dir := t.TempDir()
+	past := time.Now().Add(-2 * staleRingAge)
+	age := func(path string) {
+		if err := os.Chtimes(path, past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := filepath.Join(dir, "jsnc-000001.sock")
+	seedStaleSocket(t, stale)
+	age(stale)
+	livePath := filepath.Join(dir, "jsnc-000002.sock")
+	live, err := net.Listen("unix", livePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	age(livePath)
+	freshSock := filepath.Join(dir, "jsnc-000005.sock")
+	seedStaleSocket(t, freshSock) // dead but fresh: could be mid-bind
+	oldRing := filepath.Join(dir, "jsnc-000003.ring")
+	if err := os.WriteFile(oldRing, make([]byte, 32), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	age(oldRing)
+	freshRing := filepath.Join(dir, "jsnc-000004.ring")
+	if err := os.WriteFile(freshRing, make([]byte, 32), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var log bytes.Buffer
+	cleanStaleFiles(Options{SocketDir: dir, Log: &log})
+
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale socket survived the sweep")
+	}
+	if _, err := os.Stat(livePath); err != nil {
+		t.Error("live socket removed by the sweep")
+	}
+	if _, err := os.Stat(freshSock); err != nil {
+		t.Error("fresh socket removed by the sweep")
+	}
+	if _, err := os.Stat(oldRing); !os.IsNotExist(err) {
+		t.Error("aged ring file survived the sweep")
+	}
+	if _, err := os.Stat(freshRing); err != nil {
+		t.Error("fresh ring file removed by the sweep")
+	}
+	if got := log.String(); !strings.Contains(got, "removed stale socket") || !strings.Contains(got, "removed stale ring") {
+		t.Errorf("sweep removals not logged:\n%s", got)
+	}
+}

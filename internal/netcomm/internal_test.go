@@ -151,7 +151,7 @@ func TestBuildMeshAcceptRefusals(t *testing.T) {
 	o := Options{Cluster: "mesh", Rank: 0, World: 2}
 	deadline := time.Now().Add(20 * time.Second)
 	done := make(chan error, 1)
-	var conns []net.Conn
+	var conns []meshConn
 	go func() {
 		cs, err := buildMesh(o, meshListeners{tcp: ln}, []PeerAddr{{}, {}}, deadline)
 		conns = cs
@@ -224,8 +224,8 @@ func TestBuildMeshAcceptRefusals(t *testing.T) {
 	}
 	c.Close()
 	for _, pc := range conns {
-		if pc != nil {
-			pc.Close()
+		if pc.conn != nil {
+			pc.conn.Close()
 		}
 	}
 }
@@ -479,28 +479,38 @@ func TestNetEndpointClearsQueueSlots(t *testing.T) {
 	}
 }
 
-// TestDialTarget pins the transport-selection rule.
+// TestDialTarget pins the three-tier transport-selection rule.
 func TestDialTarget(t *testing.T) {
-	co := PeerAddr{TCP: "127.0.0.1:1", Unix: "/tmp/x.sock", Host: "hostA"}
-	remote := PeerAddr{TCP: "127.0.0.1:2", Host: "hostB"}
+	co := PeerAddr{TCP: "127.0.0.1:1", Unix: "/tmp/x.sock", Host: "hostA", Shm: true}
+	coNoShm := PeerAddr{TCP: "127.0.0.1:1", Unix: "/tmp/x.sock", Host: "hostA"}
+	coNoUnix := PeerAddr{TCP: "127.0.0.1:1", Host: "hostA"}
+	remote := PeerAddr{TCP: "127.0.0.1:2", Host: "hostB", Shm: true}
 	cases := []struct {
-		name    string
-		wire    Wire
-		addr    PeerAddr
-		hostID  string
-		network string
-		wantErr bool
+		name     string
+		wire     Wire
+		addr     PeerAddr
+		hostID   string
+		shmOK    bool
+		network  string
+		shm      bool
+		degraded bool
+		wantErr  bool
 	}{
-		{"auto co-located", WireAuto, co, "hostA", "unix", false},
-		{"auto remote", WireAuto, remote, "hostA", "tcp", false},
-		{"auto no unix socket", WireAuto, remote, "hostB", "tcp", false},
-		{"auto empty host id", WireAuto, co, "", "tcp", false},
-		{"tcp forced", WireTCP, co, "hostA", "tcp", false},
-		{"uds co-located", WireUDS, co, "hostA", "unix", false},
-		{"uds remote", WireUDS, remote, "hostA", "", true},
+		{name: "auto co-located", wire: WireAuto, addr: co, hostID: "hostA", shmOK: true, network: "unix", shm: true},
+		{name: "auto co-located peer without shm", wire: WireAuto, addr: coNoShm, hostID: "hostA", shmOK: true, network: "unix"},
+		{name: "auto co-located local without shm", wire: WireAuto, addr: co, hostID: "hostA", network: "unix"},
+		{name: "auto remote", wire: WireAuto, addr: remote, hostID: "hostA", shmOK: true, network: "tcp"},
+		{name: "auto co-located no unix socket", wire: WireAuto, addr: coNoUnix, hostID: "hostA", shmOK: true, network: "tcp", degraded: true},
+		{name: "auto empty host id", wire: WireAuto, addr: co, hostID: "", shmOK: true, network: "tcp"},
+		{name: "tcp forced", wire: WireTCP, addr: co, hostID: "hostA", shmOK: true, network: "tcp"},
+		{name: "uds co-located skips shm", wire: WireUDS, addr: co, hostID: "hostA", shmOK: true, network: "unix"},
+		{name: "uds remote", wire: WireUDS, addr: remote, hostID: "hostA", shmOK: true, wantErr: true},
+		{name: "shm co-located", wire: WireShm, addr: co, hostID: "hostA", shmOK: true, network: "unix", shm: true},
+		{name: "shm peer without capability", wire: WireShm, addr: coNoShm, hostID: "hostA", shmOK: true, wantErr: true},
+		{name: "shm remote", wire: WireShm, addr: remote, hostID: "hostA", shmOK: true, wantErr: true},
 	}
 	for _, c := range cases {
-		network, addr, err := dialTarget(c.wire, c.addr, c.hostID)
+		network, addr, shm, degraded, err := dialTarget(c.wire, c.addr, c.hostID, c.shmOK)
 		if c.wantErr {
 			if err == nil {
 				t.Errorf("%s: no error", c.name)
@@ -511,8 +521,9 @@ func TestDialTarget(t *testing.T) {
 			t.Errorf("%s: %v", c.name, err)
 			continue
 		}
-		if network != c.network {
-			t.Errorf("%s: network %q, want %q", c.name, network, c.network)
+		if network != c.network || shm != c.shm || degraded != c.degraded {
+			t.Errorf("%s: (network, shm, degraded) = (%q, %v, %v), want (%q, %v, %v)",
+				c.name, network, shm, degraded, c.network, c.shm, c.degraded)
 		}
 		want := c.addr.TCP
 		if network == "unix" {
@@ -525,7 +536,7 @@ func TestDialTarget(t *testing.T) {
 }
 
 func TestParseWire(t *testing.T) {
-	for s, w := range map[string]Wire{"": WireAuto, "auto": WireAuto, "tcp": WireTCP, "uds": WireUDS, "unix": WireUDS} {
+	for s, w := range map[string]Wire{"": WireAuto, "auto": WireAuto, "tcp": WireTCP, "uds": WireUDS, "unix": WireUDS, "shm": WireShm} {
 		got, err := ParseWire(s)
 		if err != nil || got != w {
 			t.Errorf("ParseWire(%q) = %v, %v", s, got, err)

@@ -7,11 +7,13 @@
 // sends, unbounded inboxes — so the patch-centric runtime runs across OS
 // process boundaries unchanged.
 //
-// Each pair's physical wire is chosen at mesh build time: co-located
-// ranks (same host identity) connect over a Unix-domain socket — the
-// same-host fast path, skipping TCP framing and loopback queueing —
-// while remote pairs keep TCP. Both wires speak the identical frame
-// protocol; see rendezvous.go for the selection rule.
+// Each pair's physical wire is chosen at mesh build time, best tier
+// first: co-located ranks upgrade to a mmap'd shared-memory ring pair
+// (shmring.go — two memcpys and zero syscalls per frame) or, failing
+// that, connect over a Unix-domain socket — skipping TCP framing and
+// loopback queueing — while remote pairs keep TCP. All three wires
+// speak the identical frame protocol; see rendezvous.go for the
+// selection rule and shmring.go for the ring.
 //
 // The write path is zero-copy: outbound payloads are queued as-is and
 // handed to the kernel via net.Buffers scatter-gather writes (header and
@@ -58,6 +60,10 @@ type Transport struct {
 	ep    *Endpoint
 	peers []*peer // indexed by rank; nil at the local rank
 
+	// degraded counts directed pairs that came up below the tier
+	// WireAuto aimed for (set once at mesh build, immutable after).
+	degraded int
+
 	closeTimeout time.Duration
 
 	stateMu sync.Mutex
@@ -87,13 +93,23 @@ type wireMsg struct {
 type peer struct {
 	rank    int
 	conn    net.Conn
-	network string // physical wire of this pair: "tcp" or "unix"
+	network string // physical wire of this pair: "tcp", "unix" or "shm"
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	outq    []wireMsg
 	closing bool
 	wdone   chan struct{}
+
+	// Shared-memory tier state (nil/zero for socket pairs). The conn
+	// above is retained as the doorbell/shutdown channel; connW
+	// serializes its writers (doorbells from both ring loops, the Bye).
+	rings    *ringPair
+	rdWake   chan struct{} // cap 1: wake the parked ring reader
+	wrWake   chan struct{} // cap 1: wake the parked ring writer
+	connW    sync.Mutex
+	byeSeen  atomic.Bool // peer's Bye arrived on the doorbell connection
+	connDown atomic.Bool // doorbell connection is terminal (shmConnLoop exited)
 }
 
 // Cluster returns the launch-scoped cluster id this transport joined.
@@ -128,7 +144,8 @@ func (t *Transport) WireStats() WireStats {
 }
 
 // PeerNetwork returns the physical wire of the connection to a peer rank
-// ("tcp" or "unix"), or "" for the local rank and out-of-range ranks.
+// ("tcp", "unix" or "shm"), or "" for the local rank and out-of-range
+// ranks.
 func (t *Transport) PeerNetwork(rank int) string {
 	if rank < 0 || rank >= t.world || t.peers[rank] == nil {
 		return ""
@@ -136,17 +153,37 @@ func (t *Transport) PeerNetwork(rank int) string {
 	return t.peers[rank].network
 }
 
-// FastPeers counts the peers reached over the same-host fast path
-// (Unix-domain sockets).
+// FastPeers counts the peers reached over a same-host fast path —
+// shared-memory rings or Unix-domain sockets.
 func (t *Transport) FastPeers() int {
 	n := 0
 	for _, p := range t.peers {
-		if p != nil && p.network == "unix" {
+		if p != nil && (p.network == "unix" || p.network == "shm") {
 			n++
 		}
 	}
 	return n
 }
+
+// ShmPeers counts the peers reached over shared-memory rings (a subset
+// of FastPeers).
+func (t *Transport) ShmPeers() int {
+	n := 0
+	for _, p := range t.peers {
+		if p != nil && p.network == "shm" {
+			n++
+		}
+	}
+	return n
+}
+
+// DegradedPairs counts this rank's directed peer pairs that came up
+// below the tier WireAuto aimed for: a co-located pair forced onto TCP
+// by an unbound or undialable Unix socket, or onto a plain socket by a
+// failed ring handshake. Always 0 for forced wire modes. Summed over
+// all ranks, a fully degraded co-located pair contributes 2 — the same
+// directed-pair convention as FastPairs.
+func (t *Transport) DegradedPairs() int { return t.degraded }
 
 // aliveErr returns the transport's terminal state: its first failure, or
 // ErrClosed after Close, or nil while healthy.
@@ -242,6 +279,13 @@ func (t *Transport) Close() error {
 		for _, p := range t.peers {
 			if p != nil {
 				p.conn.Close()
+			}
+		}
+		// All peer loops have joined (<-done above): the ring mappings
+		// are no longer touched and can be released.
+		for _, p := range t.peers {
+			if p != nil {
+				p.rings.close()
 			}
 		}
 		t.ep.wake()

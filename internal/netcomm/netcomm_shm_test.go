@@ -1,0 +1,159 @@
+//go:build unix
+
+package netcomm_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"jsweep/internal/comm"
+	"jsweep/internal/commtest"
+	"jsweep/internal/netcomm"
+)
+
+// shmBackend runs every rank pair over shared-memory rings: WireShm
+// forces the ring tier, so a pair settling for a socket would fail the
+// bring-up rather than silently weaken the suite.
+func shmBackend() commtest.Backend {
+	return commtest.Backend{Name: "shm", New: func(t testing.TB, n int) ([]comm.Endpoint, func() error) {
+		trs, eps, closeAll := startClusterOpts(t, n, func(_ int, o *netcomm.Options) {
+			o.Wire = netcomm.WireShm
+		})
+		for r, tr := range trs {
+			if n > 1 && tr.ShmPeers() != n-1 {
+				t.Fatalf("rank %d: %d of %d peers on the shm tier", r, tr.ShmPeers(), n-1)
+			}
+		}
+		return eps, closeAll
+	}}
+}
+
+func TestShmConformance(t *testing.T) { commtest.RunConformance(t, shmBackend()) }
+
+func TestShmStress(t *testing.T) { commtest.RunStress(t, shmBackend()) }
+
+// TestHybridSelection pins the three-tier per-pair transport selection:
+// with WireAuto, co-located shm-capable pairs ride shared-memory rings,
+// co-located pairs with a ring-less side keep Unix sockets, cross-host
+// pairs keep TCP — and messages flow over all three tiers at once.
+// Rank 2 forces WireUDS, so its pairs cap out at the socket tier without
+// counting as degraded (forced modes never aim higher).
+func TestHybridSelection(t *testing.T) {
+	hosts := []string{"hostA", "hostA", "hostA", "hostB"}
+	wires := []netcomm.Wire{netcomm.WireAuto, netcomm.WireAuto, netcomm.WireUDS, netcomm.WireAuto}
+	trs, eps, closeAll := startClusterOpts(t, 4, func(r int, o *netcomm.Options) {
+		o.Wire = wires[r]
+		o.HostID = hosts[r]
+	})
+	defer closeAll()
+
+	want := [4][4]string{
+		{"", "shm", "unix", "tcp"},
+		{"shm", "", "unix", "tcp"},
+		{"unix", "unix", "", "tcp"},
+		{"tcp", "tcp", "tcp", ""},
+	}
+	for me := range want {
+		for peer, network := range want[me] {
+			if got := trs[me].PeerNetwork(peer); got != network {
+				t.Errorf("rank %d -> rank %d over %q, want %q", me, peer, got, network)
+			}
+		}
+	}
+	for r, wantFast := range []int{2, 2, 2, 0} {
+		if got := trs[r].FastPeers(); got != wantFast {
+			t.Errorf("rank %d FastPeers = %d, want %d", r, got, wantFast)
+		}
+	}
+	for r, wantShm := range []int{1, 1, 0, 0} {
+		if got := trs[r].ShmPeers(); got != wantShm {
+			t.Errorf("rank %d ShmPeers = %d, want %d", r, got, wantShm)
+		}
+	}
+	for r, tr := range trs {
+		if got := tr.DegradedPairs(); got != 0 {
+			t.Errorf("rank %d DegradedPairs = %d, want 0", r, got)
+		}
+	}
+
+	// Messages cross all three wires into rank 1.
+	if err := eps[0].Send(1, []byte("via-shm")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[2].Send(1, []byte("via-uds")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eps[3].Send(1, []byte("via-tcp")); err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]string{}
+	deadline := time.Now().Add(20 * time.Second)
+	for len(got) < 3 && time.Now().Before(deadline) {
+		if m, ok := eps[1].TryRecv(); ok {
+			got[m.From] = string(m.Data)
+			continue
+		}
+		select {
+		case <-eps[1].Notify():
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got[0] != "via-shm" || got[2] != "via-uds" || got[3] != "via-tcp" {
+		t.Fatalf("hybrid delivery = %v", got)
+	}
+}
+
+// TestListenDegradation pins the listen-side WireAuto contract: a rank
+// whose Unix listener cannot be bound still comes up, the degradation
+// is logged, and both sides of the co-located pair count it — one
+// directed pair each, so the cluster-wide sum is 2.
+func TestListenDegradation(t *testing.T) {
+	var logs [2]bytes.Buffer
+	trs, eps, closeAll := startClusterOpts(t, 2, func(r int, o *netcomm.Options) {
+		o.Wire = netcomm.WireAuto
+		o.HostID = "same-host"
+		o.Log = &logs[r]
+		if r == 0 {
+			// A socket dir that does not exist: the Unix bind fails, auto
+			// must degrade this rank's co-located pairs to TCP.
+			o.SocketDir = filepath.Join(t.TempDir(), "missing")
+		}
+	})
+	defer closeAll()
+
+	for me, peer := range []int{1, 0} {
+		if got := trs[me].PeerNetwork(peer); got != "tcp" {
+			t.Errorf("rank %d -> rank %d over %q, want %q", me, peer, got, "tcp")
+		}
+	}
+	if got := trs[0].DegradedPairs() + trs[1].DegradedPairs(); got != 2 {
+		t.Errorf("cluster DegradedPairs sum = %d, want 2", got)
+	}
+	if !strings.Contains(logs[0].String(), "unix listen failed") {
+		t.Errorf("rank 0 log lacks the listen warning:\n%s", logs[0].String())
+	}
+
+	// The degraded pair still carries traffic.
+	if err := eps[1].Send(0, []byte("over-tcp")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if m, ok := eps[0].TryRecv(); ok {
+			if string(m.Data) != "over-tcp" {
+				t.Fatalf("got %q", m.Data)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived over the degraded pair")
+		}
+		select {
+		case <-eps[0].Notify():
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -111,59 +111,6 @@ func TestUDSConformance(t *testing.T) { commtest.RunConformance(t, udsBackend())
 
 func TestUDSStress(t *testing.T) { commtest.RunStress(t, udsBackend()) }
 
-// TestHybridSelection pins the per-pair transport selection: with
-// WireAuto, co-located ranks (same host identity) connect over Unix
-// sockets while cross-host pairs keep TCP, and messages flow over both.
-func TestHybridSelection(t *testing.T) {
-	hosts := []string{"hostA", "hostA", "hostB"}
-	trs, eps, closeAll := startClusterOpts(t, 3, func(r int, o *netcomm.Options) {
-		o.Wire = netcomm.WireAuto
-		o.HostID = hosts[r]
-	})
-	defer closeAll()
-
-	want := [3][3]string{
-		{"", "unix", "tcp"},
-		{"unix", "", "tcp"},
-		{"tcp", "tcp", ""},
-	}
-	for me := range want {
-		for peer, network := range want[me] {
-			if got := trs[me].PeerNetwork(peer); got != network {
-				t.Errorf("rank %d -> rank %d over %q, want %q", me, peer, got, network)
-			}
-		}
-	}
-	for r, wantFast := range []int{1, 1, 0} {
-		if got := trs[r].FastPeers(); got != wantFast {
-			t.Errorf("rank %d FastPeers = %d, want %d", r, got, wantFast)
-		}
-	}
-
-	// Messages cross both wires: 0->1 rides the fast path, 2->1 TCP.
-	if err := eps[0].Send(1, []byte("via-uds")); err != nil {
-		t.Fatal(err)
-	}
-	if err := eps[2].Send(1, []byte("via-tcp")); err != nil {
-		t.Fatal(err)
-	}
-	got := map[int]string{}
-	deadline := time.Now().Add(20 * time.Second)
-	for len(got) < 2 && time.Now().Before(deadline) {
-		if m, ok := eps[1].TryRecv(); ok {
-			got[m.From] = string(m.Data)
-			continue
-		}
-		select {
-		case <-eps[1].Notify():
-		case <-time.After(time.Millisecond):
-		}
-	}
-	if got[0] != "via-uds" || got[2] != "via-tcp" {
-		t.Fatalf("hybrid delivery = %v", got)
-	}
-}
-
 func TestLocalRanks(t *testing.T) {
 	eps, closeAll := startCluster(t, 3)
 	defer closeAll()

@@ -7,13 +7,19 @@
 // j > i, authenticated by a versioned KindPeer/KindAck handshake
 // carrying the cluster id.
 //
-// Transport selection rule (per pair, decided by the dialer): a pair
-// whose two ranks report the same non-empty host identity and whose
-// target published a Unix-socket path connects over that socket; every
-// other pair connects over TCP. WireTCP forces TCP everywhere; WireUDS
-// requires the fast path and fails the bring-up for non-co-located
-// pairs. Hybrid clusters therefore come up with co-located ranks on the
-// fast path and remote ranks on TCP, automatically.
+// Transport selection rule (per pair, decided by the dialer, best tier
+// first): a pair whose two ranks report the same non-empty host identity
+// and whose target published a Unix-socket path connects over that
+// socket — and upgrades to a shared-memory ring pair (shmring.go) when
+// both sides advertise shm capability; every other pair connects over
+// TCP. WireTCP forces TCP everywhere; WireUDS requires the socket fast
+// path; WireShm requires the ring tier — both fail the bring-up for
+// non-co-located pairs. WireAuto degrades per pair and surfaces every
+// degradation: a co-located pair whose Unix socket cannot be bound or
+// dialed retries over TCP (logged, counted in DegradedPairs) instead of
+// aborting the bring-up, and a failed ring handshake keeps the plain
+// socket. Hybrid clusters therefore come up with co-located ranks on
+// the fastest workable tier and remote ranks on TCP, automatically.
 package netcomm
 
 import (
@@ -39,19 +45,27 @@ const defaultCloseTimeout = 15 * time.Second
 type Wire int
 
 const (
-	// WireAuto (the default) takes the same-host fast path — a
-	// Unix-domain socket — for co-located rank pairs and TCP for remote
-	// ones. A node that cannot bind a Unix socket quietly falls back to
-	// TCP-only.
+	// WireAuto (the default) picks the best workable tier per pair:
+	// shared-memory rings between co-located ranks that support them,
+	// Unix-domain sockets for other co-located pairs, TCP across hosts.
+	// Degradations (an unbindable or undialable Unix socket, a failed
+	// ring handshake) fall one tier per pair — logged via Options.Log
+	// and counted in Transport.DegradedPairs — never abort the bring-up.
 	WireAuto Wire = iota
 	// WireTCP forces TCP for every pair.
 	WireTCP
-	// WireUDS requires the fast path: the bring-up fails if a Unix
-	// listener cannot be bound or a peer pair is not co-located.
+	// WireUDS requires the Unix-socket fast path: the bring-up fails if
+	// a Unix listener cannot be bound or a peer pair is not co-located.
+	// Shared-memory rings are not attempted.
 	WireUDS
+	// WireShm requires the shared-memory ring tier for every pair: the
+	// bring-up fails if a pair is not co-located, a ring cannot be
+	// created or mapped, or the platform lacks mmap.
+	WireShm
 )
 
-// ParseWire parses a -wire flag value: "auto" (or ""), "tcp", "uds".
+// ParseWire parses a -wire flag value: "auto" (or ""), "tcp", "uds",
+// "shm".
 func ParseWire(s string) (Wire, error) {
 	switch s {
 	case "", "auto":
@@ -60,8 +74,10 @@ func ParseWire(s string) (Wire, error) {
 		return WireTCP, nil
 	case "uds", "unix":
 		return WireUDS, nil
+	case "shm":
+		return WireShm, nil
 	}
-	return 0, fmt.Errorf("netcomm: unknown wire %q (want auto, tcp or uds)", s)
+	return 0, fmt.Errorf("netcomm: unknown wire %q (want auto, tcp, uds or shm)", s)
 }
 
 // String returns the flag spelling of a Wire value.
@@ -71,6 +87,8 @@ func (w Wire) String() string {
 		return "tcp"
 	case WireUDS:
 		return "uds"
+	case WireShm:
+		return "shm"
 	}
 	return "auto"
 }
@@ -87,19 +105,41 @@ type Options struct {
 	// "127.0.0.1:0" — loopback, kernel-assigned port).
 	ListenAddr string
 	// Wire selects the physical wire per peer pair (default WireAuto:
-	// Unix sockets for co-located pairs, TCP otherwise).
+	// shared-memory rings where possible, then Unix sockets for
+	// co-located pairs, TCP otherwise).
 	Wire Wire
 	// HostID overrides the node's host identity (hostname plus boot id
 	// by default). Two ranks reporting equal identities are treated as
 	// co-located. Tests use it to simulate hybrid clusters on one box.
 	HostID string
 	// SocketDir overrides the directory holding the Unix listener
-	// socket (default os.TempDir()).
+	// socket and the shared-memory ring files (default os.TempDir()).
 	SocketDir string
+	// RingBytes sets the per-direction shared-memory ring capacity,
+	// rounded up to a power of two (default 1 MiB).
+	RingBytes int
+	// Log receives human-readable bring-up warnings — per-pair wire
+	// degradations, stale-file cleanup (nil discards them). Writes are
+	// serialized by the package.
+	Log io.Writer
 	// Timeout bounds the whole bring-up (default 60s).
 	Timeout time.Duration
 	// CloseTimeout bounds Close's in-flight drain (default 15s).
 	CloseTimeout time.Duration
+}
+
+// logMu serializes Options.Log writes: bring-up warnings can come from
+// the accept pump and the dial loop concurrently.
+var logMu sync.Mutex
+
+// logf writes one bring-up warning to the options' log.
+func logf(o Options, format string, args ...any) {
+	if o.Log == nil {
+		return
+	}
+	logMu.Lock()
+	fmt.Fprintf(o.Log, "netcomm: "+format+"\n", args...)
+	logMu.Unlock()
 }
 
 // hostIdentity derives this node's host identity: hostname qualified by
@@ -123,14 +163,103 @@ func hostIdentity() string {
 // it needs no derivability, and cluster ids may contain characters (or
 // lengths) unfit for a filesystem path.
 func udsSocketPath(dir string) (string, error) {
+	return freshPath(dir, "sock")
+}
+
+// ringFilePath picks a fresh random ring-file path under dir (the path
+// travels to the peer in the KindPeer handshake).
+func ringFilePath(dir string) (string, error) {
+	return freshPath(dir, "ring")
+}
+
+func freshPath(dir, ext string) (string, error) {
 	if dir == "" {
 		dir = os.TempDir()
 	}
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		return "", fmt.Errorf("netcomm: socket name: %w", err)
+		return "", fmt.Errorf("netcomm: %s name: %w", ext, err)
 	}
-	return filepath.Join(dir, fmt.Sprintf("jsnc-%x.sock", b)), nil
+	return filepath.Join(dir, fmt.Sprintf("jsnc-%x.%s", b, ext)), nil
+}
+
+// staleSocket reports whether path is a socket file no process listens
+// on — the debris of a rank SIGKILLed before its deferred cleanup. A
+// live listener answers the probe dial; a dead file refuses it.
+func staleSocket(path string) bool {
+	fi, err := os.Stat(path)
+	if err != nil || fi.Mode()&os.ModeSocket == 0 {
+		return false
+	}
+	conn, err := net.DialTimeout("unix", path, 250*time.Millisecond)
+	if err == nil {
+		conn.Close()
+		return false
+	}
+	return true
+}
+
+// listenUnix binds a Unix listener, recovering from a stale socket
+// file at the same path: when the bind fails but a probe dial shows no
+// live listener behind the file, the debris is unlinked and the bind
+// retried once. A path held by a live listener keeps the original
+// error.
+func listenUnix(path string) (net.Listener, error) {
+	ln, err := net.Listen("unix", path)
+	if err == nil || !staleSocket(path) {
+		return ln, err
+	}
+	if rmErr := os.Remove(path); rmErr != nil {
+		return nil, err
+	}
+	return net.Listen("unix", path)
+}
+
+// Stale-sweep bounds: rings are unlinked within the handshake, so any
+// ring file past staleRingAge is debris; a socket file younger than
+// staleSockAge is never probed — another rank bringing up concurrently
+// has a window between bind (the file appears) and listen where a
+// probe dial is refused, and only the age guard keeps that from
+// reading as "stale". The probe count is capped so a littered shared
+// tmp dir cannot stall a bring-up.
+const (
+	staleRingAge  = time.Hour
+	staleSockAge  = time.Minute
+	staleProbeMax = 64
+)
+
+// cleanStaleFiles sweeps SocketDir for debris left by SIGKILLed ranks:
+// aged socket files nobody listens on, and ring files old enough that
+// no live handshake can own them. Best-effort — errors are ignored,
+// live files are never touched (the age guards keep anything a running
+// bring-up might own, the probe keeps sockets with listeners).
+func cleanStaleFiles(o Options) {
+	dir := o.SocketDir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	socks, _ := filepath.Glob(filepath.Join(dir, "jsnc-*.sock"))
+	probed := 0
+	for _, p := range socks {
+		if probed >= staleProbeMax {
+			break
+		}
+		if fi, err := os.Stat(p); err != nil || time.Since(fi.ModTime()) < staleSockAge {
+			continue
+		}
+		probed++
+		if staleSocket(p) && os.Remove(p) == nil {
+			logf(o, "rank %d: removed stale socket %s", o.Rank, p)
+		}
+	}
+	rings, _ := filepath.Glob(filepath.Join(dir, "jsnc-*.ring"))
+	for _, p := range rings {
+		if fi, err := os.Stat(p); err == nil && time.Since(fi.ModTime()) > staleRingAge {
+			if os.Remove(p) == nil {
+				logf(o, "rank %d: removed stale ring %s", o.Rank, p)
+			}
+		}
+	}
 }
 
 // sendUnit writes one header+payload wire unit.
@@ -253,7 +382,7 @@ func (r *Rendezvous) serve() {
 		case conns[j.Rank] != nil:
 			refuse(fmt.Sprintf("rank %d already joined", j.Rank))
 		default:
-			addrs[j.Rank] = PeerAddr{TCP: j.Addr, Unix: j.Unix, Host: j.Host}
+			addrs[j.Rank] = PeerAddr{TCP: j.Addr, Unix: j.Unix, Host: j.Host, Shm: j.Shm}
 			conns[j.Rank] = conn
 			joined++
 		}
@@ -358,6 +487,9 @@ func Join(o Options) (*Transport, error) {
 	if o.CloseTimeout <= 0 {
 		o.CloseTimeout = defaultCloseTimeout
 	}
+	if o.Wire == WireShm && !shmSupported() {
+		return nil, fmt.Errorf("netcomm: rank %d: wire=shm is not supported on this platform", o.Rank)
+	}
 	deadline := time.Now().Add(o.Timeout)
 
 	tcpLn, err := net.Listen("tcp", o.ListenAddr)
@@ -376,21 +508,27 @@ func Join(o Options) (*Transport, error) {
 		if o.HostID == "" {
 			o.HostID = hostIdentity()
 		}
+		// The host identity is advertised regardless of listener state:
+		// peers use it to recognize (and count) a co-located pair that
+		// had to degrade because this rank published no socket.
+		self.Host = o.HostID
+		cleanStaleFiles(o)
 		path, uerr := udsSocketPath(o.SocketDir)
 		var ul net.Listener
 		if uerr == nil {
-			ul, uerr = net.Listen("unix", path)
+			ul, uerr = listenUnix(path)
 		}
 		if uerr != nil {
-			// WireAuto degrades to TCP-only; WireUDS demanded the fast
-			// path, so a missing listener is fatal.
-			if o.Wire == WireUDS {
+			// WireAuto degrades to TCP-only; WireUDS and WireShm demanded
+			// a fast path, so a missing listener is fatal.
+			if o.Wire != WireAuto {
 				return nil, fmt.Errorf("netcomm: rank %d unix listen: %w", o.Rank, uerr)
 			}
+			logf(o, "rank %d: unix listen failed (%v); co-located pairs dialing this rank degrade to tcp", o.Rank, uerr)
 		} else {
 			lns.unix = ul
 			self.Unix = path
-			self.Host = o.HostID
+			self.Shm = shmSupported() && o.Wire != WireUDS
 		}
 	}
 
@@ -412,24 +550,39 @@ func Join(o Options) (*Transport, error) {
 	conns, err := buildMesh(o, lns, addrs, deadline)
 	if err != nil {
 		for _, c := range conns {
-			if c != nil {
-				c.Close()
+			if c.conn != nil {
+				c.conn.Close()
 			}
+			c.rings.close()
 		}
 		return nil, err
 	}
-	for rank, conn := range conns {
-		if conn == nil {
+	for rank, mc := range conns {
+		if mc.conn == nil {
 			continue
 		}
-		conn.SetDeadline(time.Time{})
-		p := &peer{rank: rank, conn: conn, network: conn.LocalAddr().Network(), wdone: make(chan struct{})}
+		mc.conn.SetDeadline(time.Time{})
+		p := &peer{rank: rank, conn: mc.conn, network: mc.network, rings: mc.rings, wdone: make(chan struct{})}
 		p.cond = sync.NewCond(&p.mu)
+		if p.rings != nil {
+			p.rdWake = make(chan struct{}, 1)
+			p.wrWake = make(chan struct{}, 1)
+		}
+		if mc.degraded {
+			t.degraded++
+		}
 		t.peers[rank] = p
 	}
 	for _, p := range t.peers {
-		if p != nil {
-			t.readWG.Add(1)
+		if p == nil {
+			continue
+		}
+		t.readWG.Add(1)
+		if p.rings != nil {
+			go t.shmReadLoop(p)
+			go t.shmWriteLoop(p)
+			go t.shmConnLoop(p)
+		} else {
 			go t.readLoop(p)
 			go t.writeLoop(p)
 		}
@@ -448,7 +601,7 @@ func register(o Options, self PeerAddr, deadline time.Time) ([]PeerAddr, error) 
 	conn.SetDeadline(deadline)
 	join := AppendJoin(nil, JoinRequest{
 		Rank: o.Rank, World: o.World, Cluster: o.Cluster,
-		Addr: self.TCP, Unix: self.Unix, Host: self.Host,
+		Addr: self.TCP, Unix: self.Unix, Host: self.Host, Shm: self.Shm,
 	})
 	if err := sendUnit(conn, KindJoin, join); err != nil {
 		return nil, fmt.Errorf("netcomm: rank %d send join: %w", o.Rank, err)
@@ -480,23 +633,178 @@ func register(o Options, self PeerAddr, deadline time.Time) ([]PeerAddr, error) 
 
 // dialTarget picks the physical wire for dialing a peer: the peer's
 // Unix socket when both sides share a non-empty host identity (and the
-// mode allows it), TCP otherwise. WireUDS with a non-co-located peer is
-// an error — the caller demanded the fast path.
-func dialTarget(wire Wire, a PeerAddr, hostID string) (network, addr string, err error) {
+// mode allows it), TCP otherwise. shm reports that the dialer should
+// propose a ring upgrade on the socket; degraded reports that auto is
+// already one tier below its aim (a co-located peer that published no
+// socket). WireUDS/WireShm with a non-co-located peer is an error — the
+// caller demanded a fast path.
+func dialTarget(wire Wire, a PeerAddr, hostID string, shmOK bool) (network, addr string, shm, degraded bool, err error) {
 	if wire != WireTCP && a.Unix != "" && hostID != "" && a.Host == hostID {
-		return "unix", a.Unix, nil
+		shm = shmOK && a.Shm && wire != WireUDS
+		if wire == WireShm && !shm {
+			return "", "", false, false, fmt.Errorf("peer advertises no shm capability")
+		}
+		return "unix", a.Unix, shm, false, nil
 	}
-	if wire == WireUDS {
-		return "", "", fmt.Errorf("peer host %q is not co-located with %q (or offers no unix socket)", a.Host, hostID)
+	if wire == WireUDS || wire == WireShm {
+		return "", "", false, false, fmt.Errorf("peer host %q is not co-located with %q (or offers no unix socket)", a.Host, hostID)
 	}
-	return "tcp", a.TCP, nil
+	degraded = wire == WireAuto && hostID != "" && a.Host == hostID && a.Unix == ""
+	return "tcp", a.TCP, false, degraded, nil
+}
+
+// meshConn is one established pair connection: the socket, the mapped
+// ring pair when the shm upgrade succeeded, the resulting tier, and
+// whether auto had to settle below its aim for this pair.
+type meshConn struct {
+	conn     net.Conn
+	rings    *ringPair // non-nil on the shm tier
+	network  string    // "tcp", "unix" or "shm"
+	degraded bool
+}
+
+// createRingPair creates the two ring files of a new shm pair (dialer
+// side): tx carries dialer→acceptor, rx acceptor→dialer. Returns the
+// mapped pair plus the file paths to send in the handshake.
+func createRingPair(dir string, capBytes uint64) (*ringPair, []string, error) {
+	txPath, err := ringFilePath(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	rxPath, err := ringFilePath(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	tx, err := createRing(txPath, capBytes)
+	if err != nil {
+		return nil, nil, err
+	}
+	rx, err := createRing(rxPath, capBytes)
+	if err != nil {
+		tx.close()
+		os.Remove(txPath)
+		return nil, nil, err
+	}
+	return &ringPair{tx: tx, rx: rx}, []string{txPath, rxPath}, nil
+}
+
+// acceptRings maps a dialer's proposed ring files (acceptor side; the
+// dialer's tx is our rx and vice versa) and unlinks them: the mapping
+// outlives the name, so past this point a SIGKILLed rank leaks no ring
+// files.
+func acceptRings(p Peer) (*ringPair, error) {
+	rx, err := openRing(p.RingTx)
+	if err != nil {
+		return nil, err
+	}
+	tx, err := openRing(p.RingRx)
+	if err != nil {
+		rx.close()
+		return nil, err
+	}
+	os.Remove(p.RingTx)
+	os.Remove(p.RingRx)
+	return &ringPair{tx: tx, rx: rx}, nil
+}
+
+// dialPeer establishes one outbound pair connection on the tier
+// dialTarget picked. The WireAuto contract: a failed Unix dial (stale
+// path, containers sharing a host identity but not a filesystem) must
+// degrade this one pair to TCP, not abort the whole bring-up.
+func dialPeer(o Options, to int, a PeerAddr, deadline time.Time) (meshConn, error) {
+	network, addr, shm, degraded, err := dialTarget(o.Wire, a, o.HostID, shmSupported())
+	if err != nil {
+		return meshConn{}, fmt.Errorf("netcomm: rank %d dial rank %d: %w", o.Rank, to, err)
+	}
+	mc, err := dialPeerOn(o, to, network, addr, shm, deadline)
+	if err != nil && network == "unix" && o.Wire == WireAuto {
+		logf(o, "rank %d: unix dial to rank %d failed (%v); pair degrades to tcp", o.Rank, to, err)
+		if mc, err = dialPeerOn(o, to, "tcp", a.TCP, false, deadline); err == nil {
+			mc.degraded = true
+		}
+		return mc, err
+	}
+	mc.degraded = mc.degraded || degraded
+	return mc, err
+}
+
+// dialPeerOn dials and handshakes one pair connection on an explicit
+// network, proposing the ring upgrade when shm is set.
+func dialPeerOn(o Options, to int, network, addr string, shm bool, deadline time.Time) (meshConn, error) {
+	conn, err := net.DialTimeout(network, addr, time.Until(deadline))
+	if err != nil {
+		return meshConn{}, fmt.Errorf("netcomm: rank %d dial rank %d at %s %s: %w", o.Rank, to, network, addr, err)
+	}
+	conn.SetDeadline(deadline)
+	hello := Peer{From: o.Rank, To: to, World: o.World, Cluster: o.Cluster}
+	var rings *ringPair
+	var ringPaths []string
+	if shm {
+		rings, ringPaths, err = createRingPair(o.SocketDir, ringCapacity(o.RingBytes))
+		if err != nil {
+			// Local ring trouble (unwritable dir, disk): auto keeps the
+			// plain socket; forced shm is fatal.
+			if o.Wire == WireShm {
+				conn.Close()
+				return meshConn{}, fmt.Errorf("netcomm: rank %d rings for rank %d: %w", o.Rank, to, err)
+			}
+			logf(o, "rank %d: ring create for rank %d failed (%v); pair degrades to unix", o.Rank, to, err)
+		} else {
+			hello.Shm = true
+			hello.RingTx = ringPaths[0]
+			hello.RingRx = ringPaths[1]
+		}
+	}
+	dropRings := func() {
+		rings.close()
+		for _, p := range ringPaths {
+			os.Remove(p)
+		}
+	}
+	fail := func(err error) (meshConn, error) {
+		conn.Close()
+		dropRings()
+		return meshConn{}, err
+	}
+	if err := sendUnit(conn, KindPeer, AppendPeer(nil, hello)); err != nil {
+		return fail(fmt.Errorf("netcomm: rank %d handshake to rank %d: %w", o.Rank, to, err))
+	}
+	kind, payload, err := readUnit(conn)
+	if err != nil {
+		return fail(fmt.Errorf("netcomm: rank %d await ack from rank %d: %w", o.Rank, to, err))
+	}
+	if kind != KindAck {
+		return fail(fmt.Errorf("netcomm: rank %d: rank %d answered with %s", o.Rank, to, kindName(kind)))
+	}
+	a, err := ParseAck(payload)
+	if err != nil {
+		return fail(err)
+	}
+	if !a.OK {
+		return fail(fmt.Errorf("netcomm: rank %d refused by rank %d: %s", o.Rank, to, a.Detail))
+	}
+	if hello.Shm && a.Shm {
+		// The acceptor mapped (and unlinked) the ring files: this pair
+		// runs on shared memory, the socket stays as doorbell channel.
+		return meshConn{conn: conn, rings: rings, network: "shm"}, nil
+	}
+	// Ring upgrade declined or never proposed: release our mapping and
+	// files (the remove is a no-op if the acceptor unlinked first) and
+	// keep the socket.
+	dropRings()
+	if o.Wire == WireShm {
+		conn.Close()
+		return meshConn{}, fmt.Errorf("netcomm: rank %d: rank %d declined the shm upgrade", o.Rank, to)
+	}
+	// Auto aimed at shm for this pair but settled for the plain socket.
+	return meshConn{conn: conn, network: network, degraded: hello.Shm}, nil
 }
 
 // buildMesh establishes the per-pair connections: dial every lower rank,
 // accept every higher one (on whichever listener the dialer picked).
 // Returns the connections indexed by peer rank.
-func buildMesh(o Options, lns meshListeners, addrs []PeerAddr, deadline time.Time) ([]net.Conn, error) {
-	conns := make([]net.Conn, o.World)
+func buildMesh(o Options, lns meshListeners, addrs []PeerAddr, deadline time.Time) ([]meshConn, error) {
+	conns := make([]meshConn, o.World)
 	expect := o.World - 1 - o.Rank // higher ranks dial us
 
 	// The abort path closes the listeners to unblock Accept, and the
@@ -597,15 +905,46 @@ func buildMesh(o Options, lns meshListeners, addrs []PeerAddr, deadline time.Tim
 				refuse(fmt.Sprintf("world %d, want %d", p.World, o.World))
 			case p.From <= o.Rank || p.From >= o.World:
 				refuse(fmt.Sprintf("unexpected dialer rank %d", p.From))
-			case conns[p.From] != nil:
+			case conns[p.From].conn != nil:
 				refuse(fmt.Sprintf("rank %d already connected", p.From))
 			default:
-				if err := sendUnit(conn, KindAck, AppendAck(nil, Ack{OK: true})); err != nil {
+				var rings *ringPair
+				if p.Shm && o.Wire != WireTCP && o.Wire != WireUDS && shmSupported() {
+					var rerr error
+					if rings, rerr = acceptRings(p); rerr != nil {
+						if o.Wire == WireShm {
+							refuse(fmt.Sprintf("ring map failed: %v", rerr))
+							acceptErr <- fmt.Errorf("netcomm: rank %d map rings from rank %d: %w", o.Rank, p.From, rerr)
+							return
+						}
+						logf(o, "rank %d: ring map from rank %d failed (%v); pair degrades to unix", o.Rank, p.From, rerr)
+					}
+				}
+				if o.Wire == WireShm && rings == nil {
+					refuse("this rank requires the shm wire")
+					acceptErr <- fmt.Errorf("netcomm: rank %d requires shm but rank %d proposed no rings", o.Rank, p.From)
+					return
+				}
+				if err := sendUnit(conn, KindAck, AppendAck(nil, Ack{OK: true, Shm: rings != nil})); err != nil {
 					conn.Close()
+					rings.close()
 					acceptErr <- fmt.Errorf("netcomm: rank %d ack to rank %d: %w", o.Rank, p.From, err)
 					return
 				}
-				conns[p.From] = conn
+				network := conn.LocalAddr().Network()
+				degraded := false
+				if o.Wire == WireAuto {
+					// Acceptor-side degradation accounting: a ring proposal
+					// that fell back to the socket, or a co-located dialer
+					// that had to come in over TCP (our missing Unix
+					// listener, or its failed Unix dial).
+					degraded = (p.Shm && rings == nil) ||
+						(network == "tcp" && addrs[p.From].Host != "" && addrs[p.From].Host == o.HostID)
+				}
+				if rings != nil {
+					network = "shm"
+				}
+				conns[p.From] = meshConn{conn: conn, rings: rings, network: network, degraded: degraded}
 				accepted++
 			}
 			setHandshaking(nil)
@@ -614,47 +953,13 @@ func buildMesh(o Options, lns meshListeners, addrs []PeerAddr, deadline time.Tim
 	}()
 
 	var dialErr error
-	for to := 0; to < o.Rank && dialErr == nil; to++ {
-		network, addr, err := dialTarget(o.Wire, addrs[to], o.HostID)
+	for to := 0; to < o.Rank; to++ {
+		mc, err := dialPeer(o, to, addrs[to], deadline)
 		if err != nil {
-			dialErr = fmt.Errorf("netcomm: rank %d dial rank %d: %w", o.Rank, to, err)
-			break
-		}
-		conn, err := net.DialTimeout(network, addr, time.Until(deadline))
-		if err != nil {
-			dialErr = fmt.Errorf("netcomm: rank %d dial rank %d at %s %s: %w", o.Rank, to, network, addr, err)
-			break
-		}
-		conn.SetDeadline(deadline)
-		hello := AppendPeer(nil, Peer{From: o.Rank, To: to, World: o.World, Cluster: o.Cluster})
-		if err := sendUnit(conn, KindPeer, hello); err != nil {
-			conn.Close()
-			dialErr = fmt.Errorf("netcomm: rank %d handshake to rank %d: %w", o.Rank, to, err)
-			break
-		}
-		kind, payload, err := readUnit(conn)
-		if err != nil {
-			conn.Close()
-			dialErr = fmt.Errorf("netcomm: rank %d await ack from rank %d: %w", o.Rank, to, err)
-			break
-		}
-		if kind != KindAck {
-			conn.Close()
-			dialErr = fmt.Errorf("netcomm: rank %d: rank %d answered with %s", o.Rank, to, kindName(kind))
-			break
-		}
-		a, err := ParseAck(payload)
-		if err != nil {
-			conn.Close()
 			dialErr = err
 			break
 		}
-		if !a.OK {
-			conn.Close()
-			dialErr = fmt.Errorf("netcomm: rank %d refused by rank %d: %s", o.Rank, to, a.Detail)
-			break
-		}
-		conns[to] = conn
+		conns[to] = mc
 	}
 	if dialErr != nil {
 		abortAccept()

@@ -1,0 +1,27 @@
+//go:build !unix
+
+package netcomm
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// shmSupported reports whether this platform can mmap ring files: the
+// shm wire is Unix-only, so auto selection skips it and forced shm
+// fails the bring-up here.
+func shmSupported() bool { return false }
+
+func atomicU64At(m []byte, off int) *atomic.Uint64 { panic("netcomm: shm ring on non-unix platform") }
+
+func atomicU32At(m []byte, off int) *atomic.Uint32 { panic("netcomm: shm ring on non-unix platform") }
+
+func createRing(path string, capBytes uint64) (*shmRing, error) {
+	return nil, fmt.Errorf("netcomm: shared-memory rings are not supported on this platform")
+}
+
+func openRing(path string) (*shmRing, error) {
+	return nil, fmt.Errorf("netcomm: shared-memory rings are not supported on this platform")
+}
+
+func (r *shmRing) close() {}

@@ -1,0 +1,113 @@
+//go:build unix
+
+package netcomm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// shmSupported reports whether this platform can mmap ring files.
+func shmSupported() bool { return true }
+
+// atomicU64At / atomicU32At view a header word of the shared mapping as
+// a sync/atomic value. The offsets are 8-byte aligned within a
+// page-aligned mapping, so the atomics' alignment requirement holds.
+func atomicU64At(m []byte, off int) *atomic.Uint64 {
+	return (*atomic.Uint64)(unsafe.Pointer(&m[off]))
+}
+
+func atomicU32At(m []byte, off int) *atomic.Uint32 {
+	return (*atomic.Uint32)(unsafe.Pointer(&m[off]))
+}
+
+// createRing creates and maps a fresh ring file of the given data
+// capacity (a power of two from ringCapacity). Dialer side: the file
+// must not already exist — colliding with a live ring would corrupt it.
+func createRing(path string, capBytes uint64) (*shmRing, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: create ring: %w", err)
+	}
+	defer f.Close()
+	if err := f.Truncate(int64(ringHdrBytes + capBytes)); err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("netcomm: size ring %s: %w", path, err)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(ringHdrBytes+capBytes),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		os.Remove(path)
+		return nil, fmt.Errorf("netcomm: map ring %s: %w", path, err)
+	}
+	// Plain stores are fine here: the header is initialized before the
+	// path travels to the peer, and the peer maps only after that.
+	binary.LittleEndian.PutUint32(m[ringOffMagic:], ringMagic)
+	binary.LittleEndian.PutUint32(m[ringOffVersion:], ringVersion)
+	binary.LittleEndian.PutUint64(m[ringOffCap:], capBytes)
+	return bindRing(m, capBytes), nil
+}
+
+// openRing maps an existing ring file created by a co-located peer,
+// validating the header against the file before trusting any of it.
+// Acceptor side; the caller unlinks the path once both directions are
+// mapped.
+func openRing(path string) (*shmRing, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: open ring: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: stat ring %s: %w", path, err)
+	}
+	size := st.Size()
+	if size < ringHdrBytes+minRingBytes || size > ringHdrBytes+maxRingBytes {
+		return nil, fmt.Errorf("netcomm: ring %s is %d bytes, outside [%d,%d]",
+			path, size, ringHdrBytes+minRingBytes, ringHdrBytes+maxRingBytes)
+	}
+	m, err := syscall.Mmap(int(f.Fd()), 0, int(size),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: map ring %s: %w", path, err)
+	}
+	bad := func(format string, args ...any) (*shmRing, error) {
+		syscall.Munmap(m)
+		return nil, fmt.Errorf("netcomm: ring %s: %s", path, fmt.Sprintf(format, args...))
+	}
+	if magic := binary.LittleEndian.Uint32(m[ringOffMagic:]); magic != ringMagic {
+		return bad("bad magic %#08x", magic)
+	}
+	if v := binary.LittleEndian.Uint32(m[ringOffVersion:]); v != ringVersion {
+		return bad("unsupported ring version %d (have %d)", v, ringVersion)
+	}
+	capBytes := binary.LittleEndian.Uint64(m[ringOffCap:])
+	if capBytes == 0 || capBytes&(capBytes-1) != 0 {
+		return bad("capacity %d is not a power of two", capBytes)
+	}
+	if int64(capBytes) != size-ringHdrBytes {
+		return bad("capacity %d does not match file size %d", capBytes, size)
+	}
+	r := bindRing(m, capBytes)
+	// A fresh ring carries zeroed cursors; anything else means the path
+	// was reused or the file corrupted.
+	if r.head.Load() != 0 || r.tail.Load() != 0 {
+		return bad("cursors not at zero (head %d, tail %d)", r.head.Load(), r.tail.Load())
+	}
+	return r, nil
+}
+
+// close unmaps the ring. Callers must guarantee no loop still touches
+// the mapping (the transport unmaps only after its peer loops joined).
+func (r *shmRing) close() {
+	if r == nil || r.mapped == nil {
+		return
+	}
+	syscall.Munmap(r.mapped)
+	r.mapped = nil
+}

@@ -11,12 +11,16 @@
 //	                     the source rank is implicit in the connection's
 //	                     handshake)
 //	KindJoin             rank:u32 world:u32 cluster:str addr:str
-//	                     unix:str host:str
-//	KindPeer             from:u32 to:u32 world:u32 cluster:str
-//	KindAck              status:u8 detail:str
-//	KindPeers            world:u32 { tcp:str unix:str host:str }*world
+//	                     unix:str host:str shm:u8
+//	KindPeer             from:u32 to:u32 world:u32 cluster:str shm:u8
+//	                     ringtx:str ringrx:str
+//	KindAck              status:u8 detail:str shm:u8
+//	KindPeers            world:u32 { tcp:str unix:str host:str shm:u8 }*world
 //	KindBye              empty (clean-shutdown marker, always the last
 //	                     frame before the write side half-closes)
+//	KindWake             wake:u8 (shared-memory ring doorbell: 'd' = data
+//	                     published in your inbound ring, 's' = space freed
+//	                     in your outbound ring)
 //
 //	str := len:u16 bytes
 //
@@ -40,8 +44,11 @@ const (
 	// version is refused at handshake and rejected at frame decode.
 	// Version 2 added the same-host fast path: Join and Peers carry each
 	// rank's Unix-socket address and host identity next to its TCP
-	// address.
-	Version = byte(2)
+	// address. Version 3 added the shared-memory ring upgrade: Join and
+	// Peers advertise shm capability, the Peer handshake proposes ring
+	// file paths, the Ack accepts or declines them, and KindWake is the
+	// ring doorbell.
+	Version = byte(3)
 	// HeaderSize is the fixed header length in bytes.
 	HeaderSize = 2 + 1 + 1 + 4
 	// MaxFrameBytes caps a frame payload; larger lengths are treated as
@@ -71,6 +78,11 @@ const (
 	// transport fails fast so waiting ranks unblock with an error
 	// instead of idling forever.
 	KindBye = byte(0x07)
+	// KindWake is the shared-memory ring doorbell: when a pair runs over
+	// a mmap'd ring, the retained socket connection carries only these
+	// one-byte wake-ups (and the final Bye). A side that parked after
+	// spinning is woken by the opposite side's next ring advance.
+	KindWake = byte(0x08)
 )
 
 // kindName returns a diagnostic name for a frame kind.
@@ -90,6 +102,8 @@ func kindName(k byte) string {
 		return "peers"
 	case KindBye:
 		return "bye"
+	case KindWake:
+		return "wake"
 	}
 	return fmt.Sprintf("unknown(%#02x)", k)
 }
@@ -115,7 +129,7 @@ func ParseHeader(h []byte) (kind byte, length int, err error) {
 	}
 	kind = h[3]
 	switch kind {
-	case KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye:
+	case KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye, KindWake:
 	default:
 		return 0, 0, fmt.Errorf("netcomm: unknown frame kind %#02x", kind)
 	}
@@ -130,6 +144,29 @@ func ParseHeader(h []byte) (kind byte, length int, err error) {
 func appendStr(dst []byte, s string) []byte {
 	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
 	return append(dst, s...)
+}
+
+// appendBool appends a bool as a single 0/1 byte.
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// parseBool reads a 0/1 byte at off; any other value is corruption (the
+// fuzzer pins canonical re-encoding, so decoding must not normalize).
+func parseBool(buf []byte, off int) (bool, int, error) {
+	if len(buf)-off < 1 {
+		return false, off, fmt.Errorf("netcomm: bool truncated")
+	}
+	switch buf[off] {
+	case 0:
+		return false, off + 1, nil
+	case 1:
+		return true, off + 1, nil
+	}
+	return false, off, fmt.Errorf("netcomm: bool byte %#02x must be 0 or 1", buf[off])
 }
 
 // parseStr reads a length-prefixed string at off.
@@ -163,6 +200,9 @@ type JoinRequest struct {
 	// Host is the node's host identity; two ranks with equal non-empty
 	// identities are co-located and may dial each other's Unix sockets.
 	Host string
+	// Shm advertises that this node accepts shared-memory ring upgrades
+	// from co-located dialers.
+	Shm bool
 }
 
 // AppendJoin encodes a Join payload.
@@ -172,7 +212,8 @@ func AppendJoin(dst []byte, j JoinRequest) []byte {
 	dst = appendStr(dst, j.Cluster)
 	dst = appendStr(dst, j.Addr)
 	dst = appendStr(dst, j.Unix)
-	return appendStr(dst, j.Host)
+	dst = appendStr(dst, j.Host)
+	return appendBool(dst, j.Shm)
 }
 
 // ParseJoin decodes a Join payload.
@@ -197,6 +238,9 @@ func ParseJoin(buf []byte) (JoinRequest, error) {
 	if j.Host, off, err = parseStr(buf, off); err != nil {
 		return j, fmt.Errorf("netcomm: join host: %w", err)
 	}
+	if j.Shm, off, err = parseBool(buf, off); err != nil {
+		return j, fmt.Errorf("netcomm: join shm: %w", err)
+	}
 	if off != len(buf) {
 		return j, fmt.Errorf("netcomm: %d trailing bytes after join", len(buf)-off)
 	}
@@ -210,6 +254,12 @@ type Peer struct {
 	// World and Cluster must match the acceptor's own.
 	World   int
 	Cluster string
+	// Shm proposes a shared-memory ring upgrade: the dialer has created
+	// the two ring files and asks the acceptor to map them. RingTx is the
+	// dialer→acceptor ring, RingRx the acceptor→dialer ring (both "" when
+	// Shm is false).
+	Shm            bool
+	RingTx, RingRx string
 }
 
 // AppendPeer encodes a Peer payload.
@@ -217,7 +267,10 @@ func AppendPeer(dst []byte, p Peer) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.From))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.To))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(p.World))
-	return appendStr(dst, p.Cluster)
+	dst = appendStr(dst, p.Cluster)
+	dst = appendBool(dst, p.Shm)
+	dst = appendStr(dst, p.RingTx)
+	return appendStr(dst, p.RingRx)
 }
 
 // ParsePeer decodes a Peer payload.
@@ -234,6 +287,15 @@ func ParsePeer(buf []byte) (Peer, error) {
 	if p.Cluster, off, err = parseStr(buf, off); err != nil {
 		return p, fmt.Errorf("netcomm: peer cluster: %w", err)
 	}
+	if p.Shm, off, err = parseBool(buf, off); err != nil {
+		return p, fmt.Errorf("netcomm: peer shm: %w", err)
+	}
+	if p.RingTx, off, err = parseStr(buf, off); err != nil {
+		return p, fmt.Errorf("netcomm: peer ring tx: %w", err)
+	}
+	if p.RingRx, off, err = parseStr(buf, off); err != nil {
+		return p, fmt.Errorf("netcomm: peer ring rx: %w", err)
+	}
 	if off != len(buf) {
 		return p, fmt.Errorf("netcomm: %d trailing bytes after peer handshake", len(buf)-off)
 	}
@@ -245,6 +307,10 @@ type Ack struct {
 	// OK reports acceptance; Detail carries the refusal reason.
 	OK     bool
 	Detail string
+	// Shm reports that the acceptor mapped the proposed ring files — the
+	// pair runs over shared memory. An OK Ack with Shm false accepts the
+	// connection as a plain socket (the acceptor declined the upgrade).
+	Shm bool
 }
 
 // AppendAck encodes an Ack payload.
@@ -254,7 +320,8 @@ func AppendAck(dst []byte, a Ack) []byte {
 		status = 0
 	}
 	dst = append(dst, status)
-	return appendStr(dst, a.Detail)
+	dst = appendStr(dst, a.Detail)
+	return appendBool(dst, a.Shm)
 }
 
 // ParseAck decodes an Ack payload.
@@ -275,6 +342,9 @@ func ParseAck(buf []byte) (Ack, error) {
 	if a.Detail, off, err = parseStr(buf, off); err != nil {
 		return a, fmt.Errorf("netcomm: ack detail: %w", err)
 	}
+	if a.Shm, off, err = parseBool(buf, off); err != nil {
+		return a, fmt.Errorf("netcomm: ack shm: %w", err)
+	}
 	if off != len(buf) {
 		return a, fmt.Errorf("netcomm: %d trailing bytes after ack", len(buf)-off)
 	}
@@ -292,6 +362,9 @@ type PeerAddr struct {
 	Unix string
 	// Host is the rank's host identity.
 	Host string
+	// Shm reports that the rank accepts shared-memory ring upgrades from
+	// co-located dialers.
+	Shm bool
 }
 
 // Peers is the rendezvous' address broadcast (KindPeers payload): the
@@ -307,6 +380,7 @@ func AppendPeers(dst []byte, p Peers) []byte {
 		dst = appendStr(dst, a.TCP)
 		dst = appendStr(dst, a.Unix)
 		dst = appendStr(dst, a.Host)
+		dst = appendBool(dst, a.Shm)
 	}
 	return dst
 }
@@ -318,8 +392,9 @@ func ParsePeers(buf []byte) (Peers, error) {
 		return p, fmt.Errorf("netcomm: peers truncated (len %d)", len(buf))
 	}
 	world := binary.LittleEndian.Uint32(buf)
-	// Every entry carries at least its three 2-byte string lengths.
-	if int64(world)*6 > int64(len(buf)-4) {
+	// Every entry carries at least its three 2-byte string lengths plus
+	// the shm byte.
+	if int64(world)*7 > int64(len(buf)-4) {
 		return p, fmt.Errorf("netcomm: peers world %d exceeds remaining %d bytes", world, len(buf)-4)
 	}
 	off := 4
@@ -335,6 +410,9 @@ func ParsePeers(buf []byte) (Peers, error) {
 		}
 		if a.Host, off, err = parseStr(buf, off); err != nil {
 			return p, fmt.Errorf("netcomm: peers host %d: %w", i, err)
+		}
+		if a.Shm, off, err = parseBool(buf, off); err != nil {
+			return p, fmt.Errorf("netcomm: peers shm %d: %w", i, err)
 		}
 		p.Addrs = append(p.Addrs, a)
 	}

@@ -10,7 +10,7 @@ import (
 func header(kind byte, n int) []byte { return AppendHeader(nil, kind, n) }
 
 func TestHeaderRoundTrip(t *testing.T) {
-	for _, kind := range []byte{KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye} {
+	for _, kind := range []byte{KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye, KindWake} {
 		for _, n := range []int{0, 1, 4096, MaxFrameBytes} {
 			h := header(kind, n)
 			if len(h) != HeaderSize {
@@ -76,6 +76,7 @@ func TestJoinRoundTrip(t *testing.T) {
 	for _, j := range []JoinRequest{
 		{Rank: 3, World: 8, Cluster: "c-12345", Addr: "127.0.0.1:45123"},
 		{Rank: 0, World: 2, Cluster: "c", Addr: "127.0.0.1:1", Unix: "/tmp/jsnc-abc.sock", Host: "nodeA/boot-1"},
+		{Rank: 1, World: 2, Cluster: "c", Addr: "127.0.0.1:2", Unix: "/tmp/jsnc-def.sock", Host: "nodeA/boot-1", Shm: true},
 	} {
 		got, err := ParseJoin(AppendJoin(nil, j))
 		if err != nil {
@@ -88,19 +89,23 @@ func TestJoinRoundTrip(t *testing.T) {
 }
 
 func TestPeerAckPeersRoundTrip(t *testing.T) {
-	p := Peer{From: 5, To: 2, World: 6, Cluster: "xyz"}
-	gp, err := ParsePeer(AppendPeer(nil, p))
-	if err != nil || gp != p {
-		t.Fatalf("peer round trip: %+v %v", gp, err)
+	for _, p := range []Peer{
+		{From: 5, To: 2, World: 6, Cluster: "xyz"},
+		{From: 3, To: 1, World: 6, Cluster: "xyz", Shm: true, RingTx: "/tmp/jsnc-a.ring", RingRx: "/tmp/jsnc-b.ring"},
+	} {
+		gp, err := ParsePeer(AppendPeer(nil, p))
+		if err != nil || gp != p {
+			t.Fatalf("peer round trip: %+v %v", gp, err)
+		}
 	}
-	for _, a := range []Ack{{OK: true}, {OK: false, Detail: "wrong cluster"}} {
+	for _, a := range []Ack{{OK: true}, {OK: false, Detail: "wrong cluster"}, {OK: true, Shm: true}} {
 		ga, err := ParseAck(AppendAck(nil, a))
 		if err != nil || ga != a {
 			t.Fatalf("ack round trip: %+v %v", ga, err)
 		}
 	}
 	ps := Peers{Addrs: []PeerAddr{
-		{TCP: "127.0.0.1:1", Unix: "/tmp/jsnc-1.sock", Host: "hostA"},
+		{TCP: "127.0.0.1:1", Unix: "/tmp/jsnc-1.sock", Host: "hostA", Shm: true},
 		{TCP: "127.0.0.1:2", Host: "hostB"},
 		{},
 	}}
@@ -177,6 +182,29 @@ func TestPayloadCorruption(t *testing.T) {
 		_, err := ParseAck(b)
 		checkErr(t, "ack status", err)
 	})
+	t.Run("non-canonical bool bytes", func(t *testing.T) {
+		// The shm capability bytes accept only 0/1: any other value is
+		// corruption, or the canonical re-encode invariant would break.
+		j := append([]byte{}, join...)
+		j[len(j)-1] = 2 // JoinRequest.Shm is the last byte
+		_, err := ParseJoin(j)
+		checkErr(t, "join shm", err)
+
+		p := append([]byte{}, peer...)
+		p[len(p)-5] = 2 // Peer.Shm sits before the two empty ring-path strings
+		_, err = ParsePeer(p)
+		checkErr(t, "peer shm", err)
+
+		a := append([]byte{}, ack...)
+		a = append(a[:len(a)-1], 2) // Ack.Shm is the last byte
+		_, err = ParseAck(a)
+		checkErr(t, "ack shm", err)
+
+		ps := append([]byte{}, peers...)
+		ps[len(ps)-1] = 2 // last entry's shm byte ends the payload
+		_, err = ParsePeers(ps)
+		checkErr(t, "peers shm", err)
+	})
 	t.Run("oversized string", func(t *testing.T) {
 		long := strings.Repeat("x", maxStrLen+1)
 		b := AppendJoin(nil, JoinRequest{Rank: 0, World: 1, Cluster: long, Addr: "a"})
@@ -193,9 +221,12 @@ func FuzzNetFrameRoundTrip(f *testing.F) {
 	f.Add(header(KindData, 128))
 	f.Add(AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "c", Addr: "127.0.0.1:9"}))
 	f.Add(AppendJoin(nil, JoinRequest{Rank: 1, World: 4, Cluster: "c", Addr: "127.0.0.1:9", Unix: "/tmp/jsnc.sock", Host: "h/b"}))
+	f.Add(AppendJoin(nil, JoinRequest{Rank: 2, World: 4, Cluster: "c", Addr: "127.0.0.1:9", Unix: "/tmp/jsnc.sock", Host: "h/b", Shm: true}))
 	f.Add(AppendPeer(nil, Peer{From: 3, To: 0, World: 4, Cluster: "c"}))
+	f.Add(AppendPeer(nil, Peer{From: 3, To: 0, World: 4, Cluster: "c", Shm: true, RingTx: "/t/a.ring", RingRx: "/t/b.ring"}))
 	f.Add(AppendAck(nil, Ack{OK: false, Detail: "why"}))
-	f.Add(AppendPeers(nil, Peers{Addrs: []PeerAddr{{TCP: "a:1", Unix: "/t/a", Host: "ha"}, {TCP: "b:2"}, {TCP: "c:3"}}}))
+	f.Add(AppendAck(nil, Ack{OK: true, Shm: true}))
+	f.Add(AppendPeers(nil, Peers{Addrs: []PeerAddr{{TCP: "a:1", Unix: "/t/a", Host: "ha", Shm: true}, {TCP: "b:2"}, {TCP: "c:3"}}}))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if kind, n, err := ParseHeader(data); err == nil {

@@ -60,10 +60,18 @@ type ClusterStats struct {
 	// on-wire bytes (headers included) of every rank; 0 for in-memory
 	// solves.
 	Frames, WireBytes int64
-	// FastPairs counts the directed rank pairs connected over the
-	// same-host fast path (Unix-domain sockets); each co-located pair
-	// contributes 2 (one per direction).
+	// FastPairs counts the directed rank pairs connected over a
+	// same-host fast path (shared-memory rings or Unix-domain sockets);
+	// each co-located pair contributes 2 (one per direction).
 	FastPairs int64
+	// ShmPairs counts the subset of FastPairs riding shared-memory
+	// rings (same directed-pair convention).
+	ShmPairs int64
+	// DegradedPairs counts the directed pairs wire=auto settled below
+	// its aim for (ring handshake failed, or an unbindable/undialable
+	// Unix socket forced TCP between co-located ranks); 0 for forced
+	// wire modes.
+	DegradedPairs int64
 }
 
 // NodeResult is one rank's view of a finished cluster solve.
@@ -137,6 +145,7 @@ func RunCtx(ctx context.Context, spec Spec, o NodeOptions) (*NodeResult, error) 
 		World:      spec.Procs,
 		Rendezvous: o.Rendezvous,
 		Wire:       wire,
+		Log:        o.Log,
 		Timeout:    o.Timeout,
 	})
 	if err != nil {
@@ -248,9 +257,10 @@ func RunOnCtx(ctx context.Context, spec Spec, tr comm.Transport, o NodeOptions) 
 	if verifyErr != nil {
 		return nil, verifyErr
 	}
-	logf("cluster: messages=%d bytes=%d remoteStreams=%d batches=%d frames=%d wireBytes=%d fastPairs=%d",
+	logf("cluster: messages=%d bytes=%d remoteStreams=%d batches=%d frames=%d wireBytes=%d fastPairs=%d shmPairs=%d degradedPairs=%d",
 		nr.Cluster.Messages, nr.Cluster.BytesSent, nr.Cluster.RemoteStreams,
-		nr.Cluster.BatchesSent, nr.Cluster.Frames, nr.Cluster.WireBytes, nr.Cluster.FastPairs)
+		nr.Cluster.BatchesSent, nr.Cluster.Frames, nr.Cluster.WireBytes, nr.Cluster.FastPairs,
+		nr.Cluster.ShmPairs, nr.Cluster.DegradedPairs)
 	if nr.Verified {
 		logf("%s (serial reference parity)", verifyOKMarker)
 	}
@@ -288,6 +298,8 @@ func localClusterStats(tr comm.Transport, st sweep.SweepStats) ClusterStats {
 		cs.Frames = ws.FramesSent
 		cs.WireBytes = ws.BytesOut
 		cs.FastPairs = int64(nt.FastPeers())
+		cs.ShmPairs = int64(nt.ShmPeers())
+		cs.DegradedPairs = int64(nt.DegradedPairs())
 	}
 	return cs
 }
@@ -300,8 +312,8 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 		return nil
 	}
 	mine := localClusterStats(tr, nr.Stats)
-	payload := make([]byte, 0, 7*8)
-	for _, v := range []int64{mine.Messages, mine.BytesSent, mine.RemoteStreams, mine.BatchesSent, mine.Frames, mine.WireBytes, mine.FastPairs} {
+	payload := make([]byte, 0, 9*8)
+	for _, v := range []int64{mine.Messages, mine.BytesSent, mine.RemoteStreams, mine.BatchesSent, mine.Frames, mine.WireBytes, mine.FastPairs, mine.ShmPairs, mine.DegradedPairs} {
 		payload = binary.LittleEndian.AppendUint64(payload, uint64(v))
 	}
 	parts, err := coll.AllExchange(payload)
@@ -310,7 +322,7 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 	}
 	var sum ClusterStats
 	for rank, part := range parts {
-		if len(part) != 7*8 {
+		if len(part) != 9*8 {
 			return fmt.Errorf("nodespec: rank %d sent %d-byte stats payload", rank, len(part))
 		}
 		sum.Messages += int64(binary.LittleEndian.Uint64(part[0:]))
@@ -320,6 +332,8 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 		sum.Frames += int64(binary.LittleEndian.Uint64(part[32:]))
 		sum.WireBytes += int64(binary.LittleEndian.Uint64(part[40:]))
 		sum.FastPairs += int64(binary.LittleEndian.Uint64(part[48:]))
+		sum.ShmPairs += int64(binary.LittleEndian.Uint64(part[56:]))
+		sum.DegradedPairs += int64(binary.LittleEndian.Uint64(part[64:]))
 	}
 	nr.Cluster = sum
 	return nil

@@ -81,9 +81,11 @@ type Spec struct {
 	// (inproc | tcp-launch | tcp-attach | sim; default inproc).
 	Backend Backend `json:"backend,omitempty"`
 
-	// Wire selects the socket flavor for multi-process backends
-	// (auto | tcp | uds; default auto — Unix-domain sockets between
-	// co-located ranks, TCP across hosts). Ignored by inproc and sim.
+	// Wire selects the wire flavor for multi-process backends
+	// (auto | tcp | uds | shm; default auto — shared-memory rings
+	// between co-located ranks that support them, Unix-domain sockets
+	// for other co-located pairs, TCP across hosts). Ignored by inproc
+	// and sim.
 	Wire string `json:"wire,omitempty"`
 
 	// Procs is the rank count; Workers the worker goroutines per rank.

@@ -51,10 +51,11 @@ func launchSelf(t *testing.T, spec jsweep.NodeSpec, verify bool) (*jsweep.Launch
 // TestFourProcessAcceptance is the PR's acceptance matrix: a 4-rank
 // solve as 4 separate OS processes, aggregation off and on, on all
 // three mesh families. The default wire ("" = auto) resolves to
-// Unix-domain sockets here — every rank is on this host — so these rows
-// exercise the same-host fast path end to end, pinned by the fastPairs
-// count in the cluster log (4 ranks, all co-located: 4×3 directed
-// pairs). Rank 0 verifies against the serial Reference in-process
+// shared-memory rings here — every rank is on this host and the
+// platform supports mmap — so these rows exercise the fastest tier end
+// to end, pinned by the fastPairs and shmPairs counts in the cluster
+// log (4 ranks, all co-located: 4×3 directed pairs). Rank 0 verifies
+// against the serial Reference in-process
 // (bitwise on kobayashi and cyclic; 1e-12 relative on the unstructured
 // ball, where the reference accumulates patch boundaries in a different
 // global order — the strictness the single-process golden tests pin),
@@ -89,16 +90,17 @@ func TestFourProcessAcceptance(t *testing.T) {
 					t.Fatal("no flux hash")
 				}
 				wantFastPairs(t, log, s.Procs*(s.Procs-1))
+				wantShmPairs(t, log, s.Procs*(s.Procs-1))
 			})
 		}
 	}
 }
 
-// TestFourProcessWireForced pins both explicit wire selections on the
-// same solve: -wire uds must connect every pair over Unix sockets, and
-// -wire tcp must keep the cluster on TCP (fastPairs=0) while still
-// verifying bitwise against the reference — the wire flavor never
-// changes the answer.
+// TestFourProcessWireForced pins every explicit wire selection on the
+// same solve: -wire shm must put every pair on shared-memory rings,
+// -wire uds on Unix sockets (no rings), and -wire tcp must keep the
+// cluster on TCP (fastPairs=0) — all while verifying bitwise against
+// the reference, because the wire flavor never changes the answer.
 func TestFourProcessWireForced(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-OS-process solve skipped in -short mode")
@@ -106,7 +108,7 @@ func TestFourProcessWireForced(t *testing.T) {
 	spec := jsweep.NodeSpec{Mesh: "kobayashi", N: 12, SnOrder: 2, Scatter: true,
 		Procs: 4, Workers: 2, Grain: 32, Tol: 1e-8}
 	hashes := map[string]string{}
-	for _, wire := range []string{"uds", "tcp"} {
+	for _, wire := range []string{"shm", "uds", "tcp"} {
 		t.Run("wire-"+wire, func(t *testing.T) {
 			s := spec
 			s.Wire = wire
@@ -114,25 +116,40 @@ func TestFourProcessWireForced(t *testing.T) {
 			if !res.Verified {
 				t.Fatal("rank 0 did not verify against the serial reference")
 			}
-			want := 0
-			if wire == "uds" {
-				want = s.Procs * (s.Procs - 1)
+			wantFast, wantShm := 0, 0
+			switch wire {
+			case "shm":
+				wantFast = s.Procs * (s.Procs - 1)
+				wantShm = wantFast
+			case "uds":
+				wantFast = s.Procs * (s.Procs - 1)
 			}
-			wantFastPairs(t, log, want)
+			wantFastPairs(t, log, wantFast)
+			wantShmPairs(t, log, wantShm)
 			hashes[wire] = res.FluxHash
 		})
 	}
-	if len(hashes) == 2 && hashes["uds"] != hashes["tcp"] {
-		t.Fatalf("flux hash differs across wires: uds %s, tcp %s", hashes["uds"], hashes["tcp"])
+	if len(hashes) == 3 && (hashes["shm"] != hashes["uds"] || hashes["uds"] != hashes["tcp"]) {
+		t.Fatalf("flux hash differs across wires: %v", hashes)
 	}
 }
 
 // wantFastPairs asserts the cluster log's summed fastPairs count — the
-// number of directed rank pairs that actually connected over the
-// Unix-socket fast path.
+// number of directed rank pairs that actually connected over a
+// same-host fast path (rings or Unix sockets).
 func wantFastPairs(t *testing.T, log string, want int) {
 	t.Helper()
-	marker := fmt.Sprintf("fastPairs=%d", want)
+	marker := fmt.Sprintf("fastPairs=%d ", want)
+	if !strings.Contains(log, marker) {
+		t.Fatalf("cluster log missing %q:\n%s", marker, log)
+	}
+}
+
+// wantShmPairs asserts the cluster log's summed shmPairs count — the
+// subset of fastPairs that ride shared-memory rings.
+func wantShmPairs(t *testing.T, log string, want int) {
+	t.Helper()
+	marker := fmt.Sprintf("shmPairs=%d ", want)
 	if !strings.Contains(log, marker) {
 		t.Fatalf("cluster log missing %q:\n%s", marker, log)
 	}
