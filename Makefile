@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench net-bench net-smoke cover clean examples api-check
+.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench net-bench net-smoke serve-smoke cover clean examples api-check
 
 all: build vet test
 
@@ -82,6 +82,12 @@ net-smoke:
 		-mesh kobayashi -n 16 -sn 2 -procs 4 -workers 2 -agg -verify
 	./bin/jsweep-run -backend tcp -wire tcp -node-bin ./bin/jsweep-node \
 		-mesh kobayashi -n 16 -sn 2 -procs 4 -workers 2 -agg -verify
+
+# Sweep-as-a-service smoke: real jsweep-serve daemons accept a queued
+# submission from `jsweep-run -serve` and host a two-daemon tcp-launch
+# placement (`-hosts`), then drain on SIGTERM (mirrors the CI job).
+serve-smoke:
+	./scripts/serve_smoke.sh bin
 
 # Per-package coverage with the CI gates for the session-critical
 # packages (internal/runtime, internal/sweep, internal/graph). The

@@ -1,0 +1,228 @@
+package jsweep
+
+// The remote-submission surface of the Job API: a Client submits the
+// same NodeSpec a local Job runs — same versioned wire schema, same
+// typed validation — to a running jsweep-serve daemon, and a JobHandle
+// mirrors Job.Run's result shape. The daemon executes in-process on its
+// own host, so a remote RunResult reports BackendInProc: the backend
+// field describes how the ranks ran, not where the submission came from.
+//
+//	c := jsweep.NewClient("workhorse:7070")
+//	h, err := c.Submit(ctx, spec, jsweep.WithVerify())
+//	if err != nil {
+//		var adm *jsweep.AdmissionError
+//		if errors.As(err, &adm) { ... } // typed: queue-full, invalid-spec, ...
+//	}
+//	res, err := h.Wait(ctx)
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"jsweep/internal/netcomm"
+	"jsweep/internal/serve"
+)
+
+// AdmissionError is a daemon's typed refusal to run a job: the job
+// never started. Code is one of the Admission* constants.
+type AdmissionError = serve.AdmissionError
+
+// Admission rejection codes a Client.Submit may return inside an
+// *AdmissionError.
+const (
+	// AdmissionQueueFull: the daemon's running set and wait queue are
+	// both at capacity — retry later or pick another daemon.
+	AdmissionQueueFull = serve.CodeQueueFull
+	// AdmissionInvalidSpec: the spec failed the daemon's schema
+	// validation (the Detail carries the typed field errors).
+	AdmissionInvalidSpec = serve.CodeInvalidSpec
+	// AdmissionShuttingDown: the daemon is draining.
+	AdmissionShuttingDown = serve.CodeShuttingDown
+)
+
+// DaemonInfo is a daemon's capacity advertisement.
+type DaemonInfo struct {
+	// Proto is the submission-protocol version the daemon speaks.
+	Proto uint32
+	// Slots is the advertised rank capacity; Busy of them are taken.
+	Slots int
+	Busy  int
+	// Running and Queued count jobs.
+	Running int
+	Queued  int
+}
+
+// Client submits jobs to one jsweep-serve daemon. The zero value is not
+// usable; build with NewClient. A Client is stateless and safe for
+// concurrent use — each submission runs over its own connection, which
+// doubles as the job lease (a dropped submitter cancels its job).
+type Client struct {
+	c *serve.Client
+}
+
+// NewClient points at a daemon's submission address (host:port).
+func NewClient(addr string) *Client {
+	return &Client{c: serve.NewClient(addr)}
+}
+
+// Addr is the daemon address this client submits to.
+func (c *Client) Addr() string { return c.c.Addr() }
+
+// Info queries the daemon's capacity advertisement without submitting.
+func (c *Client) Info(ctx context.Context) (DaemonInfo, error) {
+	h, err := c.c.Hello(ctx)
+	if err != nil {
+		return DaemonInfo{}, err
+	}
+	return DaemonInfo{Proto: h.Proto, Slots: h.Slots, Busy: h.Busy, Running: h.Running, Queued: h.Queued}, nil
+}
+
+// Submit sends one job to the daemon and returns a live handle once it
+// is admitted. The spec's Backend must be Auto or InProc — the daemon
+// always executes in-process on its host; multi-host launches go
+// through WithHosts on a tcp-launch Job instead. Supported options:
+// WithProgress, WithVerify, WithTimeout, WithLog. A typed
+// *AdmissionError reports a refusal (queue full, invalid spec, daemon
+// draining); the job never ran.
+func (c *Client) Submit(ctx context.Context, spec NodeSpec, opts ...JobOption) (*JobHandle, error) {
+	var cfg jobConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if b := spec.Backend; b != BackendAuto && b != BackendInProc {
+		return nil, fmt.Errorf("jsweep: a submitted job runs in the daemon's process — backend %q does not apply (use WithHosts on a %q Job for multi-host placement)", b, BackendTCPLaunch)
+	}
+	switch {
+	case cfg.transport != nil:
+		return nil, fmt.Errorf("jsweep: WithTransport does not apply to a submitted job (the daemon owns its transports)")
+	case cfg.attach != nil:
+		return nil, fmt.Errorf("jsweep: WithAttach does not apply to a submitted job")
+	case cfg.nodeCommand != nil:
+		return nil, fmt.Errorf("jsweep: WithNodeCommand does not apply to a submitted job")
+	case cfg.hosts != nil:
+		return nil, fmt.Errorf("jsweep: WithHosts places tcp-launch Jobs — a Client already targets one daemon")
+	case cfg.costModel != nil:
+		return nil, fmt.Errorf("jsweep: WithSimCostModel requires backend %q", BackendSim)
+	}
+	h := &JobHandle{res: &RunResult{Backend: BackendInProc}}
+	sh, err := c.c.Submit(ctx, serve.Request{
+		Spec:    spec,
+		Verify:  cfg.verify,
+		Timeout: cfg.timeout,
+		Log:     cfg.log,
+		Progress: func(ev ProgressEvent) {
+			h.res.Trail = append(h.res.Trail, ev)
+			if cfg.progress != nil {
+				cfg.progress(ev)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	h.h = sh
+	return h, nil
+}
+
+// JobHandle is one submitted job: Wait for its terminal state, Cancel
+// to abort it cooperatively (the daemon frees the job's slot either
+// way).
+type JobHandle struct {
+	h   *serve.Handle
+	res *RunResult
+}
+
+// Job is the daemon-assigned job identifier.
+func (h *JobHandle) Job() string { return h.h.Job() }
+
+// QueuePos is the number of jobs that were ahead at admission (0 = the
+// job ran immediately).
+func (h *JobHandle) QueuePos() int { return h.h.QueuePos() }
+
+// Started unblocks when the daemon moves the job from queued to
+// running.
+func (h *JobHandle) Started() <-chan struct{} { return h.h.Started() }
+
+// Wait blocks until the job finishes and returns the same unified
+// RunResult a local Job.Run produces (Backend reports BackendInProc —
+// how the ranks ran on the daemon's host). Cancelling the context sends
+// a best-effort Cancel to the daemon and returns the context error.
+func (h *JobHandle) Wait(ctx context.Context) (*RunResult, error) {
+	nr, err := h.h.Wait(ctx)
+	if err != nil {
+		return nil, err
+	}
+	h.res.fillFromNode(nr)
+	return h.res, nil
+}
+
+// Cancel asks the daemon to abort the job. Safe to call at any point
+// and more than once; the job unwinds at its next cancellation check
+// and its queue slot frees immediately.
+func (h *JobHandle) Cancel(reason string) { h.h.Cancel(reason) }
+
+// SubmitProtocol is the submission-lane protocol version this build
+// speaks (a daemon advertising a different one is refused at dial).
+const SubmitProtocol = netcomm.SubmitProto
+
+// ServeConfig shapes an embedded serve daemon (the library form of
+// cmd/jsweep-serve, used by tests and programs that want an in-process
+// daemon).
+type ServeConfig struct {
+	// Listen is the submission listener address (default 127.0.0.1:0).
+	Listen string
+	// MaxJobs bounds concurrently running jobs (default 2).
+	MaxJobs int
+	// QueueDepth bounds admitted-but-waiting jobs (default 8); beyond
+	// it submissions get typed queue-full rejections.
+	QueueDepth int
+	// Slots is the advertised rank capacity for placement (default
+	// NumCPU).
+	Slots int
+	// JobTimeout caps every job's run time (default 10m).
+	JobTimeout time.Duration
+	// PoolSize bounds the warm solver pool (default 4).
+	PoolSize int
+	// Log receives daemon diagnostics (nil = discard).
+	Log LogWriter
+}
+
+// LogWriter is the io.Writer subset the daemon logs through (an alias
+// to keep ServeConfig dependency-light for callers).
+type LogWriter = interface {
+	Write(p []byte) (n int, err error)
+}
+
+// Serve starts an embedded daemon. Close it to drain: running jobs are
+// cancelled, queued ones rejected, all resources reaped.
+func Serve(cfg ServeConfig) (*ServeDaemon, error) {
+	s, err := serve.Start(serve.Config{
+		Listen:     cfg.Listen,
+		MaxJobs:    cfg.MaxJobs,
+		QueueDepth: cfg.QueueDepth,
+		Slots:      cfg.Slots,
+		JobTimeout: cfg.JobTimeout,
+		PoolSize:   cfg.PoolSize,
+		Log:        cfg.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ServeDaemon{s: s}, nil
+}
+
+// ServeDaemon is a running embedded daemon.
+type ServeDaemon struct {
+	s *serve.Server
+}
+
+// Addr is the daemon's submission address (dial it with NewClient or
+// name it in WithHosts).
+func (d *ServeDaemon) Addr() string { return d.s.Addr() }
+
+// Close drains and stops the daemon.
+func (d *ServeDaemon) Close() error { return d.s.Close() }

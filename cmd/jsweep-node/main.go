@@ -7,7 +7,12 @@
 // agreement.
 //
 // Normally spawned by `jsweep-run -backend tcp`, which passes the spec
-// and placement through JSWEEP_NODE_* environment variables. Manual use:
+// and placement through JSWEEP_NODE_* environment variables. When the
+// launcher also hands rank 0 a result-collector address (-report, or
+// JSWEEP_NODE_RESULT), the node dials back and streams per-iteration
+// progress plus the full terminal result, making the launch
+// result-complete; a launcher that went away never fails the solve.
+// Manual use:
 //
 //	jsweep-node -rank 0 -join 127.0.0.1:7777 -cluster dev \
 //	    -spec '{"mesh":"kobayashi","n":16,"procs":4,"workers":2}'
@@ -23,7 +28,7 @@ import (
 	"time"
 
 	"jsweep/internal/nodespec"
-	"jsweep/internal/registry"
+	"jsweep/internal/serve"
 )
 
 func main() {
@@ -34,6 +39,7 @@ func main() {
 		specStr = flag.String("spec", os.Getenv(nodespec.EnvSpec), "solve spec JSON")
 		verify  = flag.Bool("verify", os.Getenv(nodespec.EnvVerify) == "1", "cross-check against the serial reference")
 		timeout = flag.Duration("timeout", 60*time.Second, "cluster bring-up timeout")
+		report  = flag.String("report", os.Getenv(nodespec.EnvResult), "result-collector address to stream progress and the terminal result to (rank 0)")
 	)
 	flag.Parse()
 
@@ -46,8 +52,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if _, ok := registry.Lookup(spec.Mesh); spec.Mesh != "" && !ok {
-		fmt.Fprintf(os.Stderr, "jsweep-node: unknown mesh kind %q (have %s)\n", spec.Mesh, registry.Usage())
+	// Field-level schema validation before any cluster join: a bad spec
+	// dies here with typed field errors, not mid-bring-up.
+	if err := spec.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "jsweep-node: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -56,14 +64,14 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	_, err = nodespec.RunCtx(ctx, spec, nodespec.NodeOptions{
+	_, err = serve.RunNodeCtx(ctx, spec, nodespec.NodeOptions{
 		Rank:       *rank,
 		Rendezvous: *join,
 		Cluster:    *cluster,
 		Timeout:    *timeout,
 		Verify:     *verify,
 		Log:        os.Stdout,
-	})
+	}, *report)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jsweep-node rank %d: %v\n", *rank, err)
 		os.Exit(1)

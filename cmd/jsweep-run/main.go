@@ -19,21 +19,30 @@
 //	-backend sim         replay the spec's task system on the
 //	                     discrete-event cluster simulator.
 //
+// Instead of executing locally, the same spec can be handed to running
+// jsweep-serve daemons: -serve submits the job to one daemon's queue
+// (typed admission rejections and all), and -hosts places a tcp-launch
+// cluster's ranks across several daemons.
+//
 //	jsweep-run -mesh kobayashi -n 32 -sn 4 -procs 2 -workers 4
 //	jsweep-run -mesh ball -cells 20000 -groups 2 -prio SLBD+SLBD -coarse
 //	jsweep-run -mesh cyclic -cells 2000 -verify   # cyclic sweep graphs, lagged
 //	jsweep-run -backend tcp-launch -procs 4 -mesh kobayashi -n 16 -verify
 //	jsweep-run -backend sim -mesh kobayashi -n 64 -procs 16
+//	jsweep-run -serve workhorse:7070 -mesh kobayashi -n 32 -verify
+//	jsweep-run -backend tcp-launch -hosts h1:7070,h2:7070 -procs 4 -mesh kobayashi -n 16
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"jsweep"
@@ -60,9 +69,11 @@ func main() {
 		tol      = flag.Float64("tol", 1e-7, "source-iteration tolerance")
 		progress = flag.Bool("progress", false, "print one line per source iteration")
 
-		backend = flag.String("backend", "inproc", "inproc | tcp-launch | sim (aliases: mem, tcp)")
-		wire    = flag.String("wire", "auto", "wire flavor between ranks: auto | tcp | uds | shm (auto = shared-memory rings between co-located ranks, then Unix sockets, TCP across hosts)")
-		nodeBin = flag.String("node-bin", "", "jsweep-node binary for -backend tcp-launch (default: next to this binary, then PATH)")
+		backend   = flag.String("backend", "inproc", "inproc | tcp-launch | sim (aliases: mem, tcp)")
+		wire      = flag.String("wire", "auto", "wire flavor between ranks: auto | tcp | uds | shm (auto = shared-memory rings between co-located ranks, then Unix sockets, TCP across hosts)")
+		nodeBin   = flag.String("node-bin", "", "jsweep-node binary for -backend tcp-launch (default: next to this binary, then PATH)")
+		serveAddr = flag.String("serve", "", "submit the job to this jsweep-serve daemon instead of executing locally")
+		hosts     = flag.String("hosts", "", "comma-separated jsweep-serve daemons to place -backend tcp-launch ranks on")
 
 		agg        = flag.Bool("agg", false, "aggregate remote streams into multi-stream frames")
 		aggStreams = flag.Int("agg-streams", 0, "max streams per batch (0 = default 64)")
@@ -83,20 +94,70 @@ func main() {
 		Tol: *tol,
 	}
 
+	progressFn := func(ev jsweep.ProgressEvent) {
+		fmt.Printf("iter %3d residual=%.3e computeCalls=%d streams=%d\n",
+			ev.Iteration, ev.Residual, ev.Sweep.ComputeCalls, ev.Sweep.Streams)
+	}
+
+	// Ctrl-C / SIGTERM cancel the job cooperatively (locally or on the
+	// daemon — the submission connection doubles as the job lease).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// -serve hands the spec to a daemon's queue instead of executing it
+	// here; the result streams back in the same shape a local run yields.
+	if *serveAddr != "" {
+		if *hosts != "" {
+			log.Fatal("-serve submits one job to one daemon; -hosts places a tcp-launch cluster across daemons — pick one")
+		}
+		opts := []jsweep.JobOption{}
+		if *verify {
+			opts = append(opts, jsweep.WithVerify())
+		}
+		if *progress {
+			opts = append(opts, jsweep.WithProgress(progressFn))
+		}
+		h, err := jsweep.NewClient(*serveAddr).Submit(ctx, spec, opts...)
+		if err != nil {
+			var adm *jsweep.AdmissionError
+			if errors.As(err, &adm) {
+				log.Fatalf("daemon %s refused the job (%s): %s", *serveAddr, adm.Code, adm.Detail)
+			}
+			log.Fatal(err)
+		}
+		fmt.Printf("submitted %s to %s", h.Job(), *serveAddr)
+		if p := h.QueuePos(); p > 0 {
+			fmt.Printf(" (queued behind %d)", p)
+		}
+		fmt.Println()
+		res, err := h.Wait(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		render(spec, res, *verify)
+		return
+	}
+
 	opts := []jsweep.JobOption{}
 	if *verify {
 		opts = append(opts, jsweep.WithVerify())
 	}
 	switch spec.Backend {
 	case jsweep.BackendTCPLaunch:
-		if *progress {
-			log.Fatal("-progress does not apply to -backend tcp-launch (iterations run in the node processes)")
-		}
 		opts = append(opts, jsweep.WithLog(os.Stdout))
-		if *nodeBin != "" {
-			opts = append(opts, jsweep.WithNodeCommand([]string{*nodeBin}))
+		if *progress {
+			// Rank 0 streams its per-iteration events back to us.
+			opts = append(opts, jsweep.WithProgress(progressFn))
 		}
-		fmt.Printf("launching %d jsweep-node processes (tcp-launch backend, local rendezvous)\n", max(spec.Procs, 1))
+		if *hosts != "" {
+			opts = append(opts, jsweep.WithHosts(strings.Split(*hosts, ",")...))
+			fmt.Printf("placing %d ranks across serve daemons %s\n", max(spec.Procs, 1), *hosts)
+		} else {
+			if *nodeBin != "" {
+				opts = append(opts, jsweep.WithNodeCommand([]string{*nodeBin}))
+			}
+			fmt.Printf("launching %d jsweep-node processes (tcp-launch backend, local rendezvous)\n", max(spec.Procs, 1))
+		}
 	case jsweep.BackendSim:
 		if *verify {
 			log.Fatal("-verify does not apply to -backend sim (no flux is computed)")
@@ -106,10 +167,7 @@ func main() {
 		}
 	default:
 		if *progress {
-			opts = append(opts, jsweep.WithProgress(func(ev jsweep.ProgressEvent) {
-				fmt.Printf("iter %3d residual=%.3e computeCalls=%d streams=%d\n",
-					ev.Iteration, ev.Residual, ev.Sweep.ComputeCalls, ev.Sweep.Streams)
-			}))
+			opts = append(opts, jsweep.WithProgress(progressFn))
 		}
 	}
 
@@ -117,10 +175,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Ctrl-C / SIGTERM cancel the job cooperatively.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	res, err := job.Run(ctx)
 	if err != nil {
@@ -133,6 +187,18 @@ func render(spec jsweep.NodeSpec, res *jsweep.RunResult, verify bool) {
 	switch res.Backend {
 	case jsweep.BackendTCPLaunch:
 		fmt.Printf("launch ok: %d ranks agree on flux %s (wall %.3fs)\n", spec.Procs, res.FluxHash, res.Wall.Seconds())
+		// Rank 0 streams the full result back; a broken stream degrades
+		// the launch to this hash-only certificate.
+		if r := res.Result; r != nil {
+			fmt.Printf("converged=%v iterations=%d residual=%.2e\n", r.Converged, r.Iterations, r.Residual)
+			st := res.Stats
+			fmt.Printf("last sweep: computeCalls=%d streams=%d coarse=%v\n",
+				st.ComputeCalls, st.Streams, st.Coarse)
+			for g, rep := range res.Balance {
+				fmt.Printf("group %d: production=%.4g absorption=%.4g leakage=%.4g\n",
+					g, rep.Production, rep.Absorption, rep.Leakage)
+			}
+		}
 		if verify {
 			fmt.Println("verify OK: rank 0 matched the serial reference")
 		}

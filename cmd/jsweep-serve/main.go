@@ -1,0 +1,65 @@
+// Command jsweep-serve is the long-lived per-host sweep daemon: it
+// advertises this host's rank capacity, accepts versioned NodeSpec
+// submissions over TCP (jsweep.Client, `jsweep-run -serve`, or
+// WithHosts placement), and runs them through a multi-tenant FIFO
+// queue with bounded admission — over-capacity submissions are refused
+// with a typed queue-full rejection instead of piling up. Finished
+// solver sessions are parked in a warm pool and reused across jobs
+// with bitwise-identical results.
+//
+//	jsweep-serve -listen :7070 -max-jobs 2 -queue 8
+//	jsweep-run -serve workhorse:7070 -mesh kobayashi -n 32 -verify
+//
+// SIGINT/SIGTERM drain the daemon: running jobs are cancelled
+// cooperatively, queued jobs are rejected as shutting-down, and every
+// resource is reaped before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"jsweep"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7070", "submission listener address (use :7070 to serve other hosts)")
+		maxJobs    = flag.Int("max-jobs", 2, "jobs running concurrently")
+		queue      = flag.Int("queue", 8, "admitted-but-waiting jobs before typed queue-full rejections")
+		slots      = flag.Int("slots", runtime.NumCPU(), "advertised rank capacity for multi-host placement")
+		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "hard cap on any one job's run time")
+		pool       = flag.Int("pool", 4, "warm solver sessions kept across jobs (0 disables)")
+	)
+	flag.Parse()
+
+	d, err := jsweep.Serve(jsweep.ServeConfig{
+		Listen:     *listen,
+		MaxJobs:    *maxJobs,
+		QueueDepth: *queue,
+		Slots:      *slots,
+		JobTimeout: *jobTimeout,
+		PoolSize:   *pool,
+		Log:        os.Stdout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("jsweep-serve: listening on %s (slots=%d max-jobs=%d queue=%d proto=%d)\n",
+		d.Addr(), *slots, *maxJobs, *queue, jsweep.SubmitProtocol)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("jsweep-serve: draining (running jobs cancelled, queued jobs rejected)")
+	if err := d.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -264,28 +264,12 @@ func cleanStaleFiles(o Options) {
 
 // sendUnit writes one header+payload wire unit.
 func sendUnit(conn net.Conn, kind byte, payload []byte) error {
-	buf := make([]byte, 0, HeaderSize+len(payload))
-	buf = AppendHeader(buf, kind, len(payload))
-	buf = append(buf, payload...)
-	_, err := conn.Write(buf)
-	return err
+	return WriteFrame(conn, kind, payload)
 }
 
 // readUnit reads one wire unit and returns its kind and payload.
 func readUnit(conn net.Conn) (byte, []byte, error) {
-	hdr := make([]byte, HeaderSize)
-	if _, err := io.ReadFull(conn, hdr); err != nil {
-		return 0, nil, err
-	}
-	kind, n, err := ParseHeader(hdr)
-	if err != nil {
-		return 0, nil, err
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(conn, payload); err != nil {
-		return 0, nil, err
-	}
-	return kind, payload, nil
+	return ReadFrame(conn)
 }
 
 // Rendezvous is the cluster bring-up service: it accepts one KindJoin

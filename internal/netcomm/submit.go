@@ -1,0 +1,400 @@
+// Submission lane of the serve daemon: the frames a jsweep-serve
+// process exchanges with submitting clients, following the same
+// versioned codec discipline as the transport wire (wire.go) — fixed
+// header, corruption surfaces as an error, unknown layouts rejected.
+//
+//	KindHello     proto:u32 slots:u32 running:u32 queued:u32 busy:u32
+//	KindSubmit    spec:blob verify:u8 timeout:u64(nanos, 0=server default)
+//	              rendezvous:str cluster:str rankLo:u32 rankHi:u32
+//	KindAccepted  job:str queuePos:u32
+//	KindRejected  code:str detail:str
+//	KindStarted   job:str
+//	KindProgress  event:blob   (JSON, schema owned by internal/serve)
+//	KindResult    meta:blob flux:blob (meta JSON; flux raw f64 bit
+//	              patterns, group-major — bit-exact across the wire)
+//	KindJobError  detail:str
+//	KindCancel    reason:str
+//
+//	blob := len:u32 bytes   (u32-length payloads: spec JSON, events, flux)
+//
+// Hello travels daemon→client right after accept and advertises the
+// daemon's capacity (rank slots, running/queued jobs, busy rank slots) —
+// multi-host launchers read it for placement. Submit asks for either a
+// full in-daemon job (empty rendezvous) or a rank-slice of an external
+// cluster [rankLo,rankHi). Accepted/Rejected answer the admission
+// decision; Started marks the queue grant; Progress streams one frame
+// per source iteration; exactly one of Result or JobError ends the job.
+// Cancel (client→daemon, also implied by disconnect) aborts it.
+package netcomm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// SubmitProto is the submission-lane protocol version carried in Hello.
+// A client refuses a daemon speaking another version (the frame codec
+// version is checked per frame separately).
+const SubmitProto = uint32(1)
+
+// Submission-lane frame kinds (continuing the transport-lane numbering).
+const (
+	// KindHello is the daemon's capacity advertisement on accept.
+	KindHello = byte(0x09)
+	// KindSubmit is a client's job submission.
+	KindSubmit = byte(0x0A)
+	// KindAccepted confirms admission (the job may still queue).
+	KindAccepted = byte(0x0B)
+	// KindRejected is a typed admission refusal; the connection ends.
+	KindRejected = byte(0x0C)
+	// KindStarted marks the job's transition from queued to running.
+	KindStarted = byte(0x0D)
+	// KindProgress streams one source-iteration event.
+	KindProgress = byte(0x0E)
+	// KindResult carries the finished job's result (terminal).
+	KindResult = byte(0x0F)
+	// KindJobError reports a failed job (terminal).
+	KindJobError = byte(0x10)
+	// KindCancel asks the daemon to abort the job.
+	KindCancel = byte(0x11)
+)
+
+// WriteFrame writes one header+payload wire unit.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	buf := make([]byte, 0, HeaderSize+len(payload))
+	buf = AppendHeader(buf, kind, len(payload))
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one wire unit and returns its kind and payload.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	hdr := make([]byte, HeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	kind, n, err := ParseHeader(hdr)
+	if err != nil {
+		return 0, nil, err
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return kind, payload, nil
+}
+
+// appendBlob appends a u32-length-prefixed byte blob.
+func appendBlob(dst []byte, b []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+	return append(dst, b...)
+}
+
+// parseBlob reads a u32-length-prefixed blob at off. The returned slice
+// aliases buf (callers that retain it past the frame must copy).
+func parseBlob(buf []byte, off int) ([]byte, int, error) {
+	if len(buf)-off < 4 {
+		return nil, off, fmt.Errorf("netcomm: blob length truncated")
+	}
+	n := int(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	if n > MaxFrameBytes {
+		return nil, off, fmt.Errorf("netcomm: blob length %d exceeds cap %d", n, MaxFrameBytes)
+	}
+	if len(buf)-off < n {
+		return nil, off, fmt.Errorf("netcomm: blob truncated (%d of %d bytes)", len(buf)-off, n)
+	}
+	return buf[off : off+n], off + n, nil
+}
+
+// Hello is the daemon's capacity advertisement (KindHello payload).
+type Hello struct {
+	// Proto is the submission protocol version (SubmitProto).
+	Proto uint32
+	// Slots is the daemon's rank capacity; Busy the slots taken by
+	// running jobs. Launchers place rank slices by free slots.
+	Slots, Busy int
+	// Running and Queued count the daemon's jobs in each state.
+	Running, Queued int
+}
+
+// AppendHello encodes a Hello payload.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, h.Proto)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Slots))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Running))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(h.Queued))
+	return binary.LittleEndian.AppendUint32(dst, uint32(h.Busy))
+}
+
+// ParseHello decodes a Hello payload.
+func ParseHello(buf []byte) (Hello, error) {
+	var h Hello
+	if len(buf) != 20 {
+		return h, fmt.Errorf("netcomm: hello is %d bytes, want 20", len(buf))
+	}
+	h.Proto = binary.LittleEndian.Uint32(buf)
+	h.Slots = int(int32(binary.LittleEndian.Uint32(buf[4:])))
+	h.Running = int(int32(binary.LittleEndian.Uint32(buf[8:])))
+	h.Queued = int(int32(binary.LittleEndian.Uint32(buf[12:])))
+	h.Busy = int(int32(binary.LittleEndian.Uint32(buf[16:])))
+	return h, nil
+}
+
+// Submit is a client's job submission (KindSubmit payload).
+type Submit struct {
+	// Spec is the versioned JobSpec JSON (nodespec.MarshalSpec output;
+	// the daemon re-validates it field by field before admission).
+	Spec []byte
+	// Verify asks the daemon to cross-check against the serial reference.
+	Verify bool
+	// Timeout bounds the job's run; 0 accepts the server default. The
+	// daemon enforces min(Timeout, server cap).
+	Timeout time.Duration
+	// Rendezvous and Cluster, when non-empty, make this a rank-slice
+	// submission: the daemon hosts ranks [RankLo,RankHi) of an external
+	// cluster instead of running a self-contained job.
+	Rendezvous, Cluster string
+	RankLo, RankHi      int
+}
+
+// AppendSubmit encodes a Submit payload.
+func AppendSubmit(dst []byte, s Submit) []byte {
+	dst = appendBlob(dst, s.Spec)
+	dst = appendBool(dst, s.Verify)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(s.Timeout))
+	dst = appendStr(dst, s.Rendezvous)
+	dst = appendStr(dst, s.Cluster)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(s.RankLo))
+	return binary.LittleEndian.AppendUint32(dst, uint32(s.RankHi))
+}
+
+// ParseSubmit decodes a Submit payload.
+func ParseSubmit(buf []byte) (Submit, error) {
+	var s Submit
+	var err error
+	off := 0
+	if s.Spec, off, err = parseBlob(buf, off); err != nil {
+		return s, fmt.Errorf("netcomm: submit spec: %w", err)
+	}
+	if s.Verify, off, err = parseBool(buf, off); err != nil {
+		return s, fmt.Errorf("netcomm: submit verify: %w", err)
+	}
+	if len(buf)-off < 8 {
+		return s, fmt.Errorf("netcomm: submit timeout truncated")
+	}
+	s.Timeout = time.Duration(binary.LittleEndian.Uint64(buf[off:]))
+	off += 8
+	if s.Rendezvous, off, err = parseStr(buf, off); err != nil {
+		return s, fmt.Errorf("netcomm: submit rendezvous: %w", err)
+	}
+	if s.Cluster, off, err = parseStr(buf, off); err != nil {
+		return s, fmt.Errorf("netcomm: submit cluster: %w", err)
+	}
+	if len(buf)-off < 8 {
+		return s, fmt.Errorf("netcomm: submit rank range truncated")
+	}
+	s.RankLo = int(int32(binary.LittleEndian.Uint32(buf[off:])))
+	s.RankHi = int(int32(binary.LittleEndian.Uint32(buf[off+4:])))
+	off += 8
+	if off != len(buf) {
+		return s, fmt.Errorf("netcomm: %d trailing bytes after submit", len(buf)-off)
+	}
+	return s, nil
+}
+
+// Accepted confirms a job's admission (KindAccepted payload).
+type Accepted struct {
+	// Job is the daemon-assigned job id.
+	Job string
+	// QueuePos is the job's position behind the running set at admission
+	// (0 = starts immediately).
+	QueuePos int
+}
+
+// AppendAccepted encodes an Accepted payload.
+func AppendAccepted(dst []byte, a Accepted) []byte {
+	dst = appendStr(dst, a.Job)
+	return binary.LittleEndian.AppendUint32(dst, uint32(a.QueuePos))
+}
+
+// ParseAccepted decodes an Accepted payload.
+func ParseAccepted(buf []byte) (Accepted, error) {
+	var a Accepted
+	var err error
+	off := 0
+	if a.Job, off, err = parseStr(buf, off); err != nil {
+		return a, fmt.Errorf("netcomm: accepted job: %w", err)
+	}
+	if len(buf)-off < 4 {
+		return a, fmt.Errorf("netcomm: accepted queue position truncated")
+	}
+	a.QueuePos = int(int32(binary.LittleEndian.Uint32(buf[off:])))
+	off += 4
+	if off != len(buf) {
+		return a, fmt.Errorf("netcomm: %d trailing bytes after accepted", len(buf)-off)
+	}
+	return a, nil
+}
+
+// Rejected is a typed admission refusal (KindRejected payload).
+type Rejected struct {
+	// Code is the machine-readable refusal class (internal/serve defines
+	// the values: queue-full, invalid-spec, shutting-down, ...).
+	Code string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// AppendRejected encodes a Rejected payload.
+func AppendRejected(dst []byte, r Rejected) []byte {
+	dst = appendStr(dst, r.Code)
+	return appendStr(dst, r.Detail)
+}
+
+// ParseRejected decodes a Rejected payload.
+func ParseRejected(buf []byte) (Rejected, error) {
+	var r Rejected
+	var err error
+	off := 0
+	if r.Code, off, err = parseStr(buf, off); err != nil {
+		return r, fmt.Errorf("netcomm: rejected code: %w", err)
+	}
+	if r.Detail, off, err = parseStr(buf, off); err != nil {
+		return r, fmt.Errorf("netcomm: rejected detail: %w", err)
+	}
+	if off != len(buf) {
+		return r, fmt.Errorf("netcomm: %d trailing bytes after rejected", len(buf)-off)
+	}
+	return r, nil
+}
+
+// AppendStarted encodes a Started payload (the job id).
+func AppendStarted(dst []byte, job string) []byte { return appendStr(dst, job) }
+
+// ParseStarted decodes a Started payload.
+func ParseStarted(buf []byte) (string, error) {
+	job, off, err := parseStr(buf, 0)
+	if err != nil {
+		return "", fmt.Errorf("netcomm: started job: %w", err)
+	}
+	if off != len(buf) {
+		return "", fmt.Errorf("netcomm: %d trailing bytes after started", len(buf)-off)
+	}
+	return job, nil
+}
+
+// AppendProgress encodes a Progress payload (an opaque JSON event blob;
+// internal/serve owns the schema).
+func AppendProgress(dst []byte, event []byte) []byte { return appendBlob(dst, event) }
+
+// ParseProgress decodes a Progress payload.
+func ParseProgress(buf []byte) ([]byte, error) {
+	event, off, err := parseBlob(buf, 0)
+	if err != nil {
+		return nil, fmt.Errorf("netcomm: progress event: %w", err)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("netcomm: %d trailing bytes after progress", len(buf)-off)
+	}
+	return event, nil
+}
+
+// Result carries a finished job back to the submitter (KindResult
+// payload): a JSON meta blob (schema owned by internal/serve) plus the
+// converged flux as raw little-endian float64 bit patterns, group-major
+// — the binary lane keeps the flux bit-exact across the wire.
+type Result struct {
+	Meta []byte
+	Flux [][]float64
+}
+
+// AppendResult encodes a Result payload.
+func AppendResult(dst []byte, r Result) []byte {
+	dst = appendBlob(dst, r.Meta)
+	cells := 0
+	if len(r.Flux) > 0 {
+		cells = len(r.Flux[0])
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Flux)))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(cells))
+	for _, g := range r.Flux {
+		for _, v := range g {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
+	}
+	return dst
+}
+
+// ParseResult decodes a Result payload. The meta blob is copied (the
+// result outlives the frame buffer).
+func ParseResult(buf []byte) (Result, error) {
+	var r Result
+	meta, off, err := parseBlob(buf, 0)
+	if err != nil {
+		return r, fmt.Errorf("netcomm: result meta: %w", err)
+	}
+	r.Meta = append([]byte(nil), meta...)
+	if len(buf)-off < 8 {
+		return r, fmt.Errorf("netcomm: result flux shape truncated")
+	}
+	groups := int(binary.LittleEndian.Uint32(buf[off:]))
+	cells := int(binary.LittleEndian.Uint32(buf[off+4:]))
+	off += 8
+	// An empty flux encodes canonically as 0x0 only; and cells > 0
+	// whenever groups > 0 keeps the row-slice allocation bounded by the
+	// remaining payload. The bound is checked by division, not product —
+	// a product of two attacker-chosen u32s can overflow int64 and slip
+	// past the guard into a giant allocation.
+	if groups < 0 || cells < 0 || (groups == 0) != (cells == 0) ||
+		(cells > 0 && int64(groups) > int64(len(buf)-off)/(8*int64(cells))) {
+		return r, fmt.Errorf("netcomm: result flux %dx%d exceeds remaining %d bytes", groups, cells, len(buf)-off)
+	}
+	r.Flux = make([][]float64, groups)
+	for g := range r.Flux {
+		row := make([]float64, cells)
+		for c := range row {
+			row[c] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		r.Flux[g] = row
+	}
+	if off != len(buf) {
+		return r, fmt.Errorf("netcomm: %d trailing bytes after result", len(buf)-off)
+	}
+	return r, nil
+}
+
+// AppendJobError encodes a JobError payload (the failure detail).
+func AppendJobError(dst []byte, detail string) []byte { return appendStr(dst, detail) }
+
+// ParseJobError decodes a JobError payload.
+func ParseJobError(buf []byte) (string, error) {
+	detail, off, err := parseStr(buf, 0)
+	if err != nil {
+		return "", fmt.Errorf("netcomm: job error detail: %w", err)
+	}
+	if off != len(buf) {
+		return "", fmt.Errorf("netcomm: %d trailing bytes after job error", len(buf)-off)
+	}
+	return detail, nil
+}
+
+// AppendCancel encodes a Cancel payload (the reason, may be empty).
+func AppendCancel(dst []byte, reason string) []byte { return appendStr(dst, reason) }
+
+// ParseCancel decodes a Cancel payload.
+func ParseCancel(buf []byte) (string, error) {
+	reason, off, err := parseStr(buf, 0)
+	if err != nil {
+		return "", fmt.Errorf("netcomm: cancel reason: %w", err)
+	}
+	if off != len(buf) {
+		return "", fmt.Errorf("netcomm: %d trailing bytes after cancel", len(buf)-off)
+	}
+	return reason, nil
+}

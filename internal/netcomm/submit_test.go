@@ -1,0 +1,245 @@
+package netcomm
+
+// Submission-lane codec tests: round trips for every frame payload,
+// corruption rejection, frame I/O over a pipe, and a canonical-form
+// fuzzer mirroring FuzzNetFrameRoundTrip for the new kinds.
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSubmitLaneRoundTrip(t *testing.T) {
+	h := Hello{Proto: SubmitProto, Slots: 16, Busy: 4, Running: 1, Queued: 3}
+	if got, err := ParseHello(AppendHello(nil, h)); err != nil || got != h {
+		t.Fatalf("hello round trip: %+v %v", got, err)
+	}
+	subs := []Submit{
+		{Spec: []byte(`{"mesh":"kobayashi"}`), Verify: true, Timeout: 90 * time.Second},
+		{Spec: []byte(`{}`), Rendezvous: "127.0.0.1:7777", Cluster: "c-1", RankLo: 2, RankHi: 4},
+		{Spec: nil},
+	}
+	for _, s := range subs {
+		got, err := ParseSubmit(AppendSubmit(nil, s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Spec, s.Spec) || got.Verify != s.Verify || got.Timeout != s.Timeout ||
+			got.Rendezvous != s.Rendezvous || got.Cluster != s.Cluster ||
+			got.RankLo != s.RankLo || got.RankHi != s.RankHi {
+			t.Fatalf("submit round trip: %+v != %+v", got, s)
+		}
+	}
+	a := Accepted{Job: "job-7", QueuePos: 2}
+	if got, err := ParseAccepted(AppendAccepted(nil, a)); err != nil || got != a {
+		t.Fatalf("accepted round trip: %+v %v", got, err)
+	}
+	r := Rejected{Code: "queue-full", Detail: "8 jobs queued"}
+	if got, err := ParseRejected(AppendRejected(nil, r)); err != nil || got != r {
+		t.Fatalf("rejected round trip: %+v %v", got, err)
+	}
+	if got, err := ParseStarted(AppendStarted(nil, "job-7")); err != nil || got != "job-7" {
+		t.Fatalf("started round trip: %q %v", got, err)
+	}
+	ev := []byte(`{"iteration":3,"residual":1e-5}`)
+	if got, err := ParseProgress(AppendProgress(nil, ev)); err != nil || !bytes.Equal(got, ev) {
+		t.Fatalf("progress round trip: %q %v", got, err)
+	}
+	if got, err := ParseJobError(AppendJobError(nil, "solver blew up")); err != nil || got != "solver blew up" {
+		t.Fatalf("job error round trip: %q %v", got, err)
+	}
+	if got, err := ParseCancel(AppendCancel(nil, "")); err != nil || got != "" {
+		t.Fatalf("cancel round trip: %q %v", got, err)
+	}
+}
+
+// TestSubmitResultBitExact pins that the flux lane preserves exact
+// float64 bit patterns (including negative zero and one-ulp neighbours).
+func TestSubmitResultBitExact(t *testing.T) {
+	res := Result{
+		Meta: []byte(`{"iterations":12}`),
+		Flux: [][]float64{
+			{1.0, math.Nextafter(1, 2), math.Copysign(0, -1)},
+			{3.0000000000000004, 1e-300, 2.5},
+		},
+	}
+	got, err := ParseResult(AppendResult(nil, res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Meta, res.Meta) {
+		t.Fatalf("meta round trip: %q", got.Meta)
+	}
+	if len(got.Flux) != len(res.Flux) {
+		t.Fatalf("flux groups: %d", len(got.Flux))
+	}
+	for g := range res.Flux {
+		for c := range res.Flux[g] {
+			if math.Float64bits(got.Flux[g][c]) != math.Float64bits(res.Flux[g][c]) {
+				t.Fatalf("group %d cell %d: bits %x != %x", g, c,
+					math.Float64bits(got.Flux[g][c]), math.Float64bits(res.Flux[g][c]))
+			}
+		}
+	}
+	empty, err := ParseResult(AppendResult(nil, Result{Meta: []byte("{}")}))
+	if err != nil || len(empty.Flux) != 0 {
+		t.Fatalf("empty flux round trip: %+v %v", empty, err)
+	}
+}
+
+// TestSubmitLaneCorruption: truncations, trailing bytes and inflated
+// counts in the new payloads must error, never panic or misparse.
+func TestSubmitLaneCorruption(t *testing.T) {
+	checkErr := func(name string, err error) {
+		t.Helper()
+		if err == nil {
+			t.Fatalf("%s: corruption accepted", name)
+		}
+	}
+	hello := AppendHello(nil, Hello{Proto: SubmitProto, Slots: 8})
+	_, err := ParseHello(hello[:len(hello)-1])
+	checkErr("hello truncated", err)
+	_, err = ParseHello(append(hello, 0))
+	checkErr("hello trailing", err)
+
+	sub := AppendSubmit(nil, Submit{Spec: []byte(`{"mesh":"ball"}`), Verify: true})
+	for cut := 1; cut < len(sub); cut += 3 {
+		_, err = ParseSubmit(sub[:cut])
+		checkErr("submit truncated", err)
+	}
+	_, err = ParseSubmit(append(sub, 0xEE))
+	checkErr("submit trailing", err)
+	bad := append([]byte(nil), sub...)
+	bad[4+len(`{"mesh":"ball"}`)] = 2 // verify byte must be strict 0/1
+	_, err = ParseSubmit(bad)
+	checkErr("submit bad bool", err)
+
+	// Blob length claiming more than the payload holds.
+	huge := AppendSubmit(nil, Submit{Spec: []byte("x")})
+	huge[0] = 0xFF
+	_, err = ParseSubmit(huge)
+	checkErr("submit inflated blob", err)
+
+	res := AppendResult(nil, Result{Meta: []byte("{}"), Flux: [][]float64{{1, 2}}})
+	_, err = ParseResult(res[:len(res)-1])
+	checkErr("result truncated", err)
+	_, err = ParseResult(append(res, 0))
+	checkErr("result trailing", err)
+	shape := append([]byte(nil), res...)
+	// Inflate the group count far beyond the payload.
+	shape[len(shape)-24] = 0xFF
+	_, err = ParseResult(shape)
+	checkErr("result inflated groups", err)
+
+	acc := AppendAccepted(nil, Accepted{Job: "j"})
+	_, err = ParseAccepted(acc[:2])
+	checkErr("accepted truncated", err)
+	rej := AppendRejected(nil, Rejected{Code: "queue-full"})
+	_, err = ParseRejected(append(rej, 1))
+	checkErr("rejected trailing", err)
+	_, err = ParseStarted([]byte{5, 0, 'a'})
+	checkErr("started truncated", err)
+	_, err = ParseProgress([]byte{9, 0, 0, 0, 'x'})
+	checkErr("progress truncated", err)
+	_, err = ParseJobError([]byte{})
+	checkErr("job error empty", err)
+	_, err = ParseCancel(append(AppendCancel(nil, "r"), 7))
+	checkErr("cancel trailing", err)
+}
+
+// TestFrameIO drives WriteFrame/ReadFrame over a real socket pair,
+// including header validation of the new kinds.
+func TestFrameIO(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	payload := AppendSubmit(nil, Submit{Spec: []byte(`{"mesh":"cyclic"}`), Timeout: time.Second})
+	go func() {
+		if err := WriteFrame(c1, KindSubmit, payload); err != nil {
+			t.Error(err)
+		}
+	}()
+	kind, got, err := ReadFrame(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != KindSubmit || !bytes.Equal(got, payload) {
+		t.Fatalf("frame: kind %s payload %x", kindName(kind), got)
+	}
+	// A header with a submission kind parses; a stale kind does not.
+	if _, _, err := ParseHeader(AppendHeader(nil, KindResult, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ParseHeader(AppendHeader(nil, 0x42, 0)); err == nil ||
+		!strings.Contains(err.Error(), "unknown frame kind") {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+}
+
+// FuzzSubmitLaneRoundTrip pins the same canonical-form property as the
+// transport-lane fuzzer: any bytes a parser accepts must re-encode to
+// the identical bytes.
+func FuzzSubmitLaneRoundTrip(f *testing.F) {
+	f.Add(AppendHello(nil, Hello{Proto: SubmitProto, Slots: 8, Busy: 2, Running: 1, Queued: 0}))
+	f.Add(AppendSubmit(nil, Submit{Spec: []byte(`{"mesh":"kobayashi","n":8}`), Verify: true, Timeout: time.Minute}))
+	f.Add(AppendSubmit(nil, Submit{Spec: []byte(`{}`), Rendezvous: "127.0.0.1:1", Cluster: "c", RankLo: 0, RankHi: 2}))
+	f.Add(AppendAccepted(nil, Accepted{Job: "job-1", QueuePos: 1}))
+	f.Add(AppendRejected(nil, Rejected{Code: "invalid-spec", Detail: "mesh"}))
+	f.Add(AppendStarted(nil, "job-1"))
+	f.Add(AppendProgress(nil, []byte(`{"iteration":1}`)))
+	f.Add(AppendResult(nil, Result{Meta: []byte(`{"ok":true}`), Flux: [][]float64{{1, -0.0}, {2, 3}}}))
+	f.Add(AppendJobError(nil, "boom"))
+	f.Add(AppendCancel(nil, "user"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if h, err := ParseHello(data); err == nil {
+			if !bytes.Equal(AppendHello(nil, h), data) {
+				t.Fatalf("hello not canonical: %x", data)
+			}
+		}
+		if s, err := ParseSubmit(data); err == nil {
+			if !bytes.Equal(AppendSubmit(nil, s), data) {
+				t.Fatalf("submit not canonical: %x", data)
+			}
+		}
+		if a, err := ParseAccepted(data); err == nil {
+			if !bytes.Equal(AppendAccepted(nil, a), data) {
+				t.Fatalf("accepted not canonical: %x", data)
+			}
+		}
+		if r, err := ParseRejected(data); err == nil {
+			if !bytes.Equal(AppendRejected(nil, r), data) {
+				t.Fatalf("rejected not canonical: %x", data)
+			}
+		}
+		if j, err := ParseStarted(data); err == nil {
+			if !bytes.Equal(AppendStarted(nil, j), data) {
+				t.Fatalf("started not canonical: %x", data)
+			}
+		}
+		if ev, err := ParseProgress(data); err == nil {
+			if !bytes.Equal(AppendProgress(nil, ev), data) {
+				t.Fatalf("progress not canonical: %x", data)
+			}
+		}
+		if r, err := ParseResult(data); err == nil {
+			if !bytes.Equal(AppendResult(nil, r), data) {
+				t.Fatalf("result not canonical: %x", data)
+			}
+		}
+		if d, err := ParseJobError(data); err == nil {
+			if !bytes.Equal(AppendJobError(nil, d), data) {
+				t.Fatalf("job error not canonical: %x", data)
+			}
+		}
+		if reason, err := ParseCancel(data); err == nil {
+			if !bytes.Equal(AppendCancel(nil, reason), data) {
+				t.Fatalf("cancel not canonical: %x", data)
+			}
+		}
+	})
+}

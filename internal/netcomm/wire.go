@@ -104,6 +104,24 @@ func kindName(k byte) string {
 		return "bye"
 	case KindWake:
 		return "wake"
+	case KindHello:
+		return "hello"
+	case KindSubmit:
+		return "submit"
+	case KindAccepted:
+		return "accepted"
+	case KindRejected:
+		return "rejected"
+	case KindStarted:
+		return "started"
+	case KindProgress:
+		return "progress"
+	case KindResult:
+		return "result"
+	case KindJobError:
+		return "joberror"
+	case KindCancel:
+		return "cancel"
 	}
 	return fmt.Sprintf("unknown(%#02x)", k)
 }
@@ -129,7 +147,9 @@ func ParseHeader(h []byte) (kind byte, length int, err error) {
 	}
 	kind = h[3]
 	switch kind {
-	case KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye, KindWake:
+	case KindData, KindOOB, KindJoin, KindPeer, KindAck, KindPeers, KindBye, KindWake,
+		KindHello, KindSubmit, KindAccepted, KindRejected, KindStarted,
+		KindProgress, KindResult, KindJobError, KindCancel:
 	default:
 		return 0, 0, fmt.Errorf("netcomm: unknown frame kind %#02x", kind)
 	}

@@ -33,6 +33,10 @@ const (
 	// EnvVerify asks the node to cross-check against the serial
 	// reference ("1").
 	EnvVerify = "JSWEEP_NODE_VERIFY"
+	// EnvResult is the launcher's result-collector address; the rank it
+	// is set for (rank 0) streams progress and the terminal result back
+	// over the submission lane (internal/serve reads it).
+	EnvResult = "JSWEEP_NODE_RESULT"
 )
 
 // NodeEnv reconstructs a node's spec and options from the environment.
@@ -89,6 +93,11 @@ type LaunchConfig struct {
 	NodeCommand []string
 	// Verify makes rank 0 cross-check against the serial reference.
 	Verify bool
+	// ResultAddr, when set, travels to rank 0 as EnvResult: the node
+	// dials the launcher's collector there and streams per-iteration
+	// progress plus the full converged result back (the result-complete
+	// launch path).
+	ResultAddr string
 	// Timeout bounds the whole launch (default 5m).
 	Timeout time.Duration
 	// Log receives the rank-prefixed node output (nil = stdout).
@@ -194,6 +203,9 @@ func LaunchLocalCtx(ctx context.Context, cfg LaunchConfig) (*LaunchResult, error
 		)
 		if cfg.Verify && r == 0 {
 			cmd.Env = append(cmd.Env, EnvVerify+"=1")
+		}
+		if cfg.ResultAddr != "" && r == 0 {
+			cmd.Env = append(cmd.Env, EnvResult+"="+cfg.ResultAddr)
 		}
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {

@@ -72,6 +72,11 @@ type ClusterStats struct {
 	// Unix socket forced TCP between co-located ranks); 0 for forced
 	// wire modes.
 	DegradedPairs int64
+	// CoarseClusters counts the vertex clusters recorded across all ranks
+	// during a UseCoarse recording sweep (0 without coarse mode). Each
+	// rank records only its own programs' clusters, so unlike the solver's
+	// per-rank stat this is the cluster-wide coarse-graph size.
+	CoarseClusters int64
 }
 
 // NodeResult is one rank's view of a finished cluster solve.
@@ -257,14 +262,23 @@ func RunOnCtx(ctx context.Context, spec Spec, tr comm.Transport, o NodeOptions) 
 	if verifyErr != nil {
 		return nil, verifyErr
 	}
-	logf("cluster: messages=%d bytes=%d remoteStreams=%d batches=%d frames=%d wireBytes=%d fastPairs=%d shmPairs=%d degradedPairs=%d",
+	logf("cluster: messages=%d bytes=%d remoteStreams=%d batches=%d frames=%d wireBytes=%d fastPairs=%d shmPairs=%d degradedPairs=%d coarseClusters=%d",
 		nr.Cluster.Messages, nr.Cluster.BytesSent, nr.Cluster.RemoteStreams,
 		nr.Cluster.BatchesSent, nr.Cluster.Frames, nr.Cluster.WireBytes, nr.Cluster.FastPairs,
-		nr.Cluster.ShmPairs, nr.Cluster.DegradedPairs)
+		nr.Cluster.ShmPairs, nr.Cluster.DegradedPairs, nr.Cluster.CoarseClusters)
 	if nr.Verified {
 		logf("%s (serial reference parity)", verifyOKMarker)
 	}
 	return nr, nil
+}
+
+// LocalClusterStats folds one rank's counters into a ClusterStats: the
+// transport's endpoint totals (nil for a single-process solve on the
+// solver's internal transport) plus the session-scoped sweep counters.
+// Single-rank callers (the serve daemon's full jobs) use it directly;
+// cluster ranks exchange the result via gatherClusterStats.
+func LocalClusterStats(tr comm.Transport, st sweep.SweepStats) ClusterStats {
+	return localClusterStats(tr, st)
 }
 
 // localClusterStats folds one rank's counters into the exchange payload.
@@ -276,8 +290,9 @@ func localClusterStats(tr comm.Transport, st sweep.SweepStats) ClusterStats {
 		cum = st.Runtime
 	}
 	cs := ClusterStats{
-		RemoteStreams: cum.RemoteStreams,
-		BatchesSent:   cum.BatchesSent,
+		RemoteStreams:  cum.RemoteStreams,
+		BatchesSent:    cum.BatchesSent,
+		CoarseClusters: st.CoarseClusters,
 	}
 	if tr == nil {
 		// Single-process solve on the solver's internal transport: no
@@ -312,8 +327,8 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 		return nil
 	}
 	mine := localClusterStats(tr, nr.Stats)
-	payload := make([]byte, 0, 9*8)
-	for _, v := range []int64{mine.Messages, mine.BytesSent, mine.RemoteStreams, mine.BatchesSent, mine.Frames, mine.WireBytes, mine.FastPairs, mine.ShmPairs, mine.DegradedPairs} {
+	payload := make([]byte, 0, 10*8)
+	for _, v := range []int64{mine.Messages, mine.BytesSent, mine.RemoteStreams, mine.BatchesSent, mine.Frames, mine.WireBytes, mine.FastPairs, mine.ShmPairs, mine.DegradedPairs, mine.CoarseClusters} {
 		payload = binary.LittleEndian.AppendUint64(payload, uint64(v))
 	}
 	parts, err := coll.AllExchange(payload)
@@ -322,7 +337,7 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 	}
 	var sum ClusterStats
 	for rank, part := range parts {
-		if len(part) != 9*8 {
+		if len(part) != 10*8 {
 			return fmt.Errorf("nodespec: rank %d sent %d-byte stats payload", rank, len(part))
 		}
 		sum.Messages += int64(binary.LittleEndian.Uint64(part[0:]))
@@ -334,9 +349,17 @@ func gatherClusterStats(tr comm.Transport, coll *comm.Collective, nr *NodeResult
 		sum.FastPairs += int64(binary.LittleEndian.Uint64(part[48:]))
 		sum.ShmPairs += int64(binary.LittleEndian.Uint64(part[56:]))
 		sum.DegradedPairs += int64(binary.LittleEndian.Uint64(part[64:]))
+		sum.CoarseClusters += int64(binary.LittleEndian.Uint64(part[72:]))
 	}
 	nr.Cluster = sum
 	return nil
+}
+
+// Verify solves the same spec on the serial Reference and compares the
+// converged result (the in-process variant of NodeOptions.Verify; the
+// serve daemon uses it for submissions that ask for verification).
+func Verify(spec Spec, prob *transport.Problem, res *transport.Result) error {
+	return verifyAgainstReference(spec, prob, res)
 }
 
 // verifyAgainstReference solves the same spec on the serial Reference

@@ -2,6 +2,7 @@ package nodespec
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -26,14 +27,80 @@ func TestSpecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got != s {
-		t.Fatalf("round trip: %+v != %+v", got, s)
+	// Marshal stamps the wire-schema version on an unversioned spec.
+	want := s
+	want.SpecVersion = CurrentSpecVersion
+	if got != want {
+		t.Fatalf("round trip: %+v != %+v", got, want)
 	}
 	if _, err := UnmarshalSpec(`{"mesh":"ball","bogus_field":1}`); err == nil {
 		t.Error("unknown spec field accepted")
 	}
 	if _, err := UnmarshalSpec(`{broken`); err == nil {
 		t.Error("broken JSON accepted")
+	}
+	// A spec claiming a newer schema than this build is refused with a
+	// typed field error, not half-understood.
+	_, err = UnmarshalSpec(fmt.Sprintf(`{"mesh":"ball","spec_version":%d}`, CurrentSpecVersion+1))
+	var ve *ValidateError
+	if !errors.As(err, &ve) || len(ve.Fields) != 1 || ve.Fields[0].Field != "spec_version" {
+		t.Fatalf("future spec_version: err=%v", err)
+	}
+	// Version 0 (pre-versioning JSON) is the current schema.
+	if _, err := UnmarshalSpec(`{"mesh":"ball"}`); err != nil {
+		t.Fatalf("unversioned spec rejected: %v", err)
+	}
+}
+
+// TestSpecValidate pins the typed field errors every entry path (CLIs,
+// Job API, serve daemon) relies on to refuse a bad spec before any
+// process is launched.
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{}).Validate(); err != nil {
+		t.Fatalf("zero spec (all defaults) rejected: %v", err)
+	}
+	good := Spec{Mesh: "cyclic", Cells: 300, SnOrder: 2, Patch: 80, Procs: 4,
+		Workers: 2, Backend: BackendTCPLaunch, Wire: "shm", Coarse: true}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	fields := func(err error) map[string]string {
+		t.Helper()
+		var ve *ValidateError
+		if !errors.As(err, &ve) {
+			t.Fatalf("error is %T (%v), want *ValidateError", err, err)
+		}
+		m := map[string]string{}
+		for _, f := range ve.Fields {
+			m[f.Field] = f.Reason
+		}
+		return m
+	}
+	bad := Spec{
+		SpecVersion: CurrentSpecVersion + 7,
+		Mesh:        "torus",
+		N:           -1,
+		SnOrder:     3,
+		Backend:     Backend("gpu"),
+		Wire:        "carrier-pigeon",
+		Prio:        "SLBD",
+		Tol:         -1e-7,
+		MaxIters:    -5,
+	}
+	got := fields(bad.Validate())
+	for _, f := range []string{"spec_version", "mesh", "n", "sn", "backend", "wire", "prio", "tol", "max_iters"} {
+		if _, ok := got[f]; !ok {
+			t.Errorf("field %q not reported (got %v)", f, got)
+		}
+	}
+	// Cross-field: the sequential engine cannot span OS processes.
+	got = fields(Spec{Sequential: true, Backend: BackendTCPLaunch}.Validate())
+	if _, ok := got["sequential"]; !ok {
+		t.Errorf("sequential+tcp-launch not reported (got %v)", got)
+	}
+	// One FieldError alone is a usable error value too.
+	if msg := (FieldError{Field: "n", Reason: "no"}).Error(); !strings.Contains(msg, `"n"`) {
+		t.Errorf("FieldError message %q", msg)
 	}
 }
 
@@ -191,6 +258,79 @@ func TestRunOnCluster(t *testing.T) {
 	}
 	if !strings.Contains(logs[0].String(), "fluxhash=") {
 		t.Fatalf("rank 0 log missing fluxhash line:\n%s", logs[0].String())
+	}
+}
+
+// TestRunOnClusterCoarseStats is the regression test for the coarse
+// cluster-stat gather: with Coarse on, each rank records clusters only
+// for its own programs, so the cluster-wide CoarseClusters counter must
+// be the sum over ranks (strictly above any single rank's share) and —
+// like the other gathered counters — identical on every rank. The flux
+// must still verify against the serial reference, pinning that the
+// allgathered cluster lists produced the same coarse graph everywhere.
+func TestRunOnClusterCoarseStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP cluster solve skipped in -short mode")
+	}
+	spec := Spec{Mesh: "kobayashi", N: 8, SnOrder: 2, Scatter: true,
+		Procs: 2, Workers: 2, Grain: 32, Coarse: true, Tol: 1e-8}
+	cluster := fmt.Sprintf("coarse-%d", time.Now().UnixNano())
+	rz, err := netcomm.StartRendezvous("127.0.0.1:0", cluster, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]*NodeResult, 2)
+	errs := make([]error, 2)
+	logs := make([]bytes.Buffer, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := netcomm.Join(netcomm.Options{
+				Cluster: cluster, Rank: r, World: 2, Rendezvous: rz.Addr(),
+			})
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r], errs[r] = RunOn(spec, tr, NodeOptions{
+				Rank: r, Verify: r == 0, Log: &logs[r],
+			})
+			if errs[r] != nil {
+				tr.Abort()
+			}
+			tr.Close()
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v\n%s", r, err, logs[r].String())
+		}
+	}
+	if results[0].FluxHash != results[1].FluxHash {
+		t.Fatalf("flux hashes differ: %s vs %s", results[0].FluxHash, results[1].FluxHash)
+	}
+	if !results[0].Verified {
+		t.Fatal("rank 0 not verified")
+	}
+	if results[0].Cluster != results[1].Cluster {
+		t.Fatalf("cluster stats differ: %+v vs %+v", results[0].Cluster, results[1].Cluster)
+	}
+	sum := results[0].Stats.CoarseClusters + results[1].Stats.CoarseClusters
+	got := results[0].Cluster.CoarseClusters
+	if got != sum || sum == 0 {
+		t.Fatalf("cluster-wide CoarseClusters = %d, want per-rank sum %d (ranks: %d + %d)",
+			got, sum, results[0].Stats.CoarseClusters, results[1].Stats.CoarseClusters)
+	}
+	for r := 0; r < 2; r++ {
+		if share := results[r].Stats.CoarseClusters; share == 0 || share >= got {
+			t.Fatalf("rank %d recorded %d clusters, want a strict share of the %d total", r, share, got)
+		}
+	}
+	if !results[0].Stats.Coarse {
+		t.Fatal("final sweep did not run on the coarse graph")
 	}
 }
 

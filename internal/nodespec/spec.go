@@ -14,6 +14,7 @@ import (
 
 	"jsweep/internal/comm"
 	"jsweep/internal/mesh"
+	"jsweep/internal/netcomm"
 	"jsweep/internal/priority"
 	"jsweep/internal/registry"
 	"jsweep/internal/runtime"
@@ -56,11 +57,24 @@ func Backends() []string {
 	return []string{string(BackendInProc), string(BackendTCPLaunch), string(BackendTCPAttach), string(BackendSim)}
 }
 
+// CurrentSpecVersion is the wire-schema version this build speaks. A
+// spec with SpecVersion 0 (the zero value — specs written before the
+// field existed) is treated as the current version; a spec claiming a
+// higher version than this build knows is rejected at decode instead of
+// half-understood, so a newer submitter never silently loses fields
+// against an older daemon.
+const CurrentSpecVersion = 1
+
 // Spec describes a complete solve: mesh, physics, decomposition, solver
 // shape, and the backend that executes it. Every rank of a cluster
 // rebuilds the identical problem from the same spec — generators and
 // partitioners are deterministic, so no mesh data ever crosses the wire.
 type Spec struct {
+	// SpecVersion is the wire-schema version of this spec (0 = current).
+	// MarshalSpec stamps the defaulted spec with CurrentSpecVersion so
+	// every spec that crosses a process or host boundary is versioned.
+	SpecVersion int `json:"spec_version,omitempty"`
+
 	// Mesh names a problem family of internal/registry
 	// (kobayashi | ball | reactor | cyclic).
 	Mesh string `json:"mesh"`
@@ -103,8 +117,9 @@ type Spec struct {
 	// Sequential runs on the deterministic engine (single-process only;
 	// refused with a multi-process transport).
 	Sequential bool `json:"sequential,omitempty"`
-	// Coarse runs later sweeps on the coarsened graph (single-process
-	// only; refused with a multi-process transport).
+	// Coarse runs later sweeps on the coarsened graph. On multi-process
+	// backends the recording sweep's vertex clusters are allgathered so
+	// every rank coarsens the identical full program set.
 	Coarse bool `json:"coarse,omitempty"`
 
 	// Aggregation knobs (runtime.AggregationConfig mirror).
@@ -127,6 +142,9 @@ func (s Spec) Defaulted() Spec { return s.withDefaults() }
 
 // withDefaults fills unset fields.
 func (s Spec) withDefaults() Spec {
+	if s.SpecVersion == 0 {
+		s.SpecVersion = CurrentSpecVersion
+	}
 	if s.Mesh == "" {
 		s.Mesh = "kobayashi"
 	}
@@ -163,8 +181,12 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
-// MarshalSpec encodes a spec as JSON (the launcher→node format).
+// MarshalSpec encodes a spec as JSON (the launcher→node and
+// client→daemon format), stamped with its wire-schema version.
 func MarshalSpec(s Spec) (string, error) {
+	if s.SpecVersion == 0 {
+		s.SpecVersion = CurrentSpecVersion
+	}
 	b, err := json.Marshal(s)
 	if err != nil {
 		return "", err
@@ -172,7 +194,10 @@ func MarshalSpec(s Spec) (string, error) {
 	return string(b), nil
 }
 
-// UnmarshalSpec decodes the launcher→node JSON.
+// UnmarshalSpec decodes a spec from its JSON wire form: strict (unknown
+// fields are rejected, not dropped — a misspelled knob must not silently
+// become a default) and versioned (a spec claiming a newer schema than
+// this build is refused instead of half-understood).
 func UnmarshalSpec(data string) (Spec, error) {
 	var s Spec
 	dec := json.NewDecoder(strings.NewReader(data))
@@ -180,7 +205,99 @@ func UnmarshalSpec(data string) (Spec, error) {
 	if err := dec.Decode(&s); err != nil {
 		return s, fmt.Errorf("nodespec: bad spec JSON: %w", err)
 	}
+	if s.SpecVersion < 0 || s.SpecVersion > CurrentSpecVersion {
+		return s, &ValidateError{Fields: []FieldError{{
+			Field:  "spec_version",
+			Reason: fmt.Sprintf("version %d not supported (this build speaks ≤ %d)", s.SpecVersion, CurrentSpecVersion),
+		}}}
+	}
 	return s, nil
+}
+
+// FieldError is one typed validation failure: the JSON field that is
+// wrong and why.
+type FieldError struct {
+	// Field is the spec's JSON field name.
+	Field string
+	// Reason says what about the value is unacceptable.
+	Reason string
+}
+
+func (e FieldError) Error() string {
+	return fmt.Sprintf("nodespec: spec field %q: %s", e.Field, e.Reason)
+}
+
+// ValidateError aggregates every field failure of one Validate call, so
+// a caller (or a daemon's rejection frame) reports all problems at once
+// instead of one per round trip.
+type ValidateError struct {
+	Fields []FieldError
+}
+
+func (e *ValidateError) Error() string {
+	msgs := make([]string, len(e.Fields))
+	for i, f := range e.Fields {
+		msgs[i] = f.Error()
+	}
+	return strings.Join(msgs, "; ")
+}
+
+// Validate checks a spec against the schema before anything is built or
+// launched: range checks on every numeric knob, membership checks on the
+// named mesh/backend/wire/priority, and cross-field coherence. It
+// returns nil or a *ValidateError carrying one FieldError per problem.
+// Every entry path — the Job API, all CLIs, the serve daemon, the node
+// env decode — goes through it, so a bad spec fails with a field-level
+// message before any process or rank starts.
+func (s Spec) Validate() error {
+	var errs []FieldError
+	add := func(field, reason string) { errs = append(errs, FieldError{Field: field, Reason: reason}) }
+	if s.SpecVersion < 0 || s.SpecVersion > CurrentSpecVersion {
+		add("spec_version", fmt.Sprintf("version %d not supported (this build speaks ≤ %d)", s.SpecVersion, CurrentSpecVersion))
+	}
+	d := s.withDefaults()
+	if _, ok := registry.Lookup(d.Mesh); !ok {
+		add("mesh", fmt.Sprintf("unknown mesh kind %q (have %s)", d.Mesh, registry.Usage()))
+	}
+	for _, f := range []struct {
+		name string
+		v    int
+	}{
+		{"n", s.N}, {"cells", s.Cells}, {"sn", s.SnOrder}, {"groups", s.Groups},
+		{"patch", s.Patch}, {"procs", s.Procs}, {"workers", s.Workers}, {"grain", s.Grain},
+		{"agg_streams", s.AggStreams}, {"agg_bytes", s.AggBytes},
+		{"agg_shards", s.AggShards}, {"agg_flush_us", s.AggFlushMicro},
+		{"max_iters", s.MaxIters},
+	} {
+		if f.v < 0 {
+			add(f.name, fmt.Sprintf("must not be negative (got %d)", f.v))
+		}
+	}
+	if d.SnOrder < 2 || d.SnOrder%2 != 0 {
+		add("sn", fmt.Sprintf("Sn order must be even and >= 2 (got %d)", d.SnOrder))
+	}
+	if !d.Backend.Valid() {
+		add("backend", fmt.Sprintf("unknown backend %q (have %s)", d.Backend, strings.Join(Backends(), " | ")))
+	}
+	if _, err := netcomm.ParseWire(d.Wire); err != nil {
+		add("wire", err.Error())
+	}
+	if _, err := ParsePair(d.Prio); err != nil {
+		add("prio", err.Error())
+	}
+	if s.Tol < 0 {
+		add("tol", fmt.Sprintf("must not be negative (got %g)", s.Tol))
+	}
+	if d.Sequential {
+		switch d.Backend {
+		case BackendTCPLaunch, BackendTCPAttach:
+			add("sequential", fmt.Sprintf("the sequential engine is single-process (backend %q spans OS processes)", d.Backend))
+		}
+	}
+	if len(errs) > 0 {
+		return &ValidateError{Fields: errs}
+	}
+	return nil
 }
 
 // ParsePair parses a "PATCH+VERTEX" priority pair.

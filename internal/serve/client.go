@@ -1,0 +1,278 @@
+// Client side of the submission lane: dial a daemon, submit a versioned
+// JobSpec, stream progress, wait for the terminal result or cancel. One
+// connection carries one job for its whole lifetime — the transport-level
+// session IS the job lease, so a dropped client cancels its job.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"jsweep/internal/netcomm"
+	"jsweep/internal/nodespec"
+)
+
+// AdmissionError is a typed rejection from a daemon's admission control:
+// the job never started. Code is one of the Code* constants.
+type AdmissionError struct {
+	Code   string
+	Detail string
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("serve: job rejected (%s): %s", e.Code, e.Detail)
+}
+
+// Client submits jobs to one serve daemon.
+type Client struct {
+	addr string
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+}
+
+// NewClient points at a daemon's submission address. The client itself
+// holds no connection; each Submit (and Hello) dials fresh.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, DialTimeout: 10 * time.Second}
+}
+
+// Addr is the daemon address this client submits to.
+func (c *Client) Addr() string { return c.addr }
+
+func (c *Client) dial(ctx context.Context) (net.Conn, netcomm.Hello, error) {
+	d := net.Dialer{Timeout: c.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	if err != nil {
+		return nil, netcomm.Hello{}, fmt.Errorf("serve: dial %s: %w", c.addr, err)
+	}
+	kind, payload, err := netcomm.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, netcomm.Hello{}, fmt.Errorf("serve: %s: no hello: %w", c.addr, err)
+	}
+	if kind != netcomm.KindHello {
+		conn.Close()
+		return nil, netcomm.Hello{}, fmt.Errorf("serve: %s: expected hello, got %s", c.addr, kindNameOf(kind))
+	}
+	h, err := netcomm.ParseHello(payload)
+	if err != nil {
+		conn.Close()
+		return nil, netcomm.Hello{}, err
+	}
+	if h.Proto != netcomm.SubmitProto {
+		conn.Close()
+		return nil, netcomm.Hello{}, fmt.Errorf("serve: %s speaks submission protocol %d, want %d", c.addr, h.Proto, netcomm.SubmitProto)
+	}
+	return conn, h, nil
+}
+
+// Hello queries the daemon's capacity advertisement without submitting
+// (the placement probe of multi-host launches).
+func (c *Client) Hello(ctx context.Context) (netcomm.Hello, error) {
+	conn, h, err := c.dial(ctx)
+	if err != nil {
+		return netcomm.Hello{}, err
+	}
+	conn.Close()
+	return h, nil
+}
+
+// Request shapes one job submission.
+type Request struct {
+	// Spec is the job to run (validated daemon-side against the same
+	// schema version the launcher speaks).
+	Spec nodespec.Spec
+	// Verify asks the daemon to certify the flux against the serial
+	// reference before reporting success.
+	Verify bool
+	// Timeout caps the job's run time; the daemon clamps it to its own
+	// per-job cap. Zero means the daemon's cap alone applies.
+	Timeout time.Duration
+	// Rendezvous, RankLo, RankHi make this a rank-slice job: the daemon
+	// hosts ranks [RankLo,RankHi) of an external cluster wired through
+	// the given rendezvous address. Empty Rendezvous = full job.
+	Rendezvous string
+	Cluster    string
+	RankLo     int
+	RankHi     int
+	// Progress receives one event per source iteration, from the
+	// handle's reader goroutine.
+	Progress func(nodespec.Progress)
+	// Log receives client-side diagnostics (nil = discard).
+	Log io.Writer
+}
+
+// Handle is one submitted job. Wait for its terminal state; Cancel to
+// abort it cooperatively.
+type Handle struct {
+	job      string
+	queuePos int
+	hello    netcomm.Hello
+
+	mu   sync.Mutex // guards conn writes (Cancel racing reader shutdown)
+	conn net.Conn
+
+	done    chan struct{}
+	started chan struct{}
+	res     *nodespec.NodeResult
+	err     error
+}
+
+// Job is the daemon-assigned job identifier.
+func (h *Handle) Job() string { return h.job }
+
+// QueuePos is the number of jobs that were ahead at admission (0 = ran
+// immediately).
+func (h *Handle) QueuePos() int { return h.queuePos }
+
+// Hello is the capacity advertisement the daemon sent at dial time.
+func (h *Handle) Hello() netcomm.Hello { return h.hello }
+
+// Started unblocks when the daemon moves the job from queued to running
+// (closed channel idiom; also closes on terminal failure so waiters
+// never hang).
+func (h *Handle) Started() <-chan struct{} { return h.started }
+
+// Submit sends one job and returns a live handle once the daemon admits
+// it. A typed *AdmissionError means the daemon refused it (queue full,
+// invalid spec, shutting down); the job never ran.
+func (c *Client) Submit(ctx context.Context, req Request) (*Handle, error) {
+	specJSON, err := nodespec.MarshalSpec(req.Spec)
+	if err != nil {
+		return nil, err
+	}
+	conn, hello, err := c.dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sub := netcomm.Submit{
+		Spec:       []byte(specJSON),
+		Verify:     req.Verify,
+		Timeout:    req.Timeout,
+		Rendezvous: req.Rendezvous,
+		Cluster:    req.Cluster,
+		RankLo:     req.RankLo,
+		RankHi:     req.RankHi,
+	}
+	if err := netcomm.WriteFrame(conn, netcomm.KindSubmit, netcomm.AppendSubmit(nil, sub)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: submit: %w", err)
+	}
+	kind, payload, err := netcomm.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("serve: submit: %w", err)
+	}
+	switch kind {
+	case netcomm.KindRejected:
+		conn.Close()
+		rej, perr := netcomm.ParseRejected(payload)
+		if perr != nil {
+			return nil, perr
+		}
+		return nil, &AdmissionError{Code: rej.Code, Detail: rej.Detail}
+	case netcomm.KindAccepted:
+		acc, perr := netcomm.ParseAccepted(payload)
+		if perr != nil {
+			conn.Close()
+			return nil, perr
+		}
+		h := &Handle{
+			job:      acc.Job,
+			queuePos: acc.QueuePos,
+			hello:    hello,
+			conn:     conn,
+			done:     make(chan struct{}),
+			started:  make(chan struct{}),
+		}
+		go h.read(req)
+		return h, nil
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("serve: submit: unexpected %s frame", kindNameOf(kind))
+	}
+}
+
+// read drains the job's frames until the terminal Result or JobError.
+func (h *Handle) read(req Request) {
+	defer close(h.done)
+	defer h.conn.Close()
+	startedClosed := false
+	defer func() {
+		if !startedClosed {
+			close(h.started)
+		}
+	}()
+	for {
+		kind, payload, err := netcomm.ReadFrame(h.conn)
+		if err != nil {
+			h.err = fmt.Errorf("serve: %s: stream ended without a terminal frame: %w", h.job, err)
+			return
+		}
+		switch kind {
+		case netcomm.KindStarted:
+			if !startedClosed {
+				close(h.started)
+				startedClosed = true
+			}
+		case netcomm.KindProgress:
+			ev, err := decodeProgress(payload)
+			if err != nil {
+				h.err = err
+				return
+			}
+			if req.Progress != nil {
+				req.Progress(ev)
+			}
+		case netcomm.KindResult:
+			h.res, h.err = decodeResult(payload)
+			return
+		case netcomm.KindJobError:
+			detail, perr := netcomm.ParseJobError(payload)
+			if perr != nil {
+				h.err = perr
+				return
+			}
+			h.err = fmt.Errorf("serve: %s failed: %s", h.job, detail)
+			return
+		default:
+			h.err = fmt.Errorf("serve: %s: unexpected %s frame", h.job, kindNameOf(kind))
+			return
+		}
+	}
+}
+
+// Wait blocks until the job's terminal state. Cancelling the context
+// sends a best-effort Cancel to the daemon and reports the context
+// error; the daemon frees the job's slot either way.
+func (h *Handle) Wait(ctx context.Context) (*nodespec.NodeResult, error) {
+	select {
+	case <-h.done:
+		return h.res, h.err
+	case <-ctx.Done():
+		h.Cancel("waiter gone: " + ctx.Err().Error())
+		<-h.done
+		if h.err != nil {
+			return nil, fmt.Errorf("%w (%v)", ctx.Err(), h.err)
+		}
+		return h.res, ctx.Err()
+	}
+}
+
+// Cancel asks the daemon to abort the job (cooperative: the job's
+// context is cancelled, the slot frees when the solver unwinds). Safe to
+// call at any point and more than once.
+func (h *Handle) Cancel(reason string) {
+	select {
+	case <-h.done:
+		return // already terminal
+	default:
+	}
+	h.mu.Lock()
+	netcomm.WriteFrame(h.conn, netcomm.KindCancel, netcomm.AppendCancel(nil, reason))
+	h.mu.Unlock()
+}

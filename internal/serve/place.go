@@ -1,0 +1,250 @@
+// Multi-host placement: run one tcp-launch cluster across a set of
+// serve daemons. The launcher starts the rendezvous, probes each
+// daemon's Hello for free rank capacity, carves the spec's world into
+// contiguous rank slices greedily by free slots, and submits one slice
+// job per daemon. The daemons' ranks join the launcher's rendezvous
+// exactly like locally spawned node processes, so the cluster wire path
+// (and its bitwise-agreement certificate) is unchanged — only process
+// placement moved from fork/exec to job submission.
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"jsweep/internal/netcomm"
+	"jsweep/internal/nodespec"
+)
+
+// HostConfig shapes a multi-host placement.
+type HostConfig struct {
+	// Spec is the solve; its Procs ranks are spread over the daemons.
+	Spec nodespec.Spec
+	// Daemons are the submission addresses to place ranks on (in
+	// preference order; earlier daemons fill first and the first daemon
+	// hosts rank 0).
+	Daemons []string
+	// Verify makes rank 0's daemon cross-check against the serial
+	// reference.
+	Verify bool
+	// Timeout bounds the whole placed launch (default 5m).
+	Timeout time.Duration
+	// RendezvousAddr is the listen address for the cluster rendezvous
+	// (default ":0" — all interfaces, so remote daemons can reach it).
+	RendezvousAddr string
+	// AdvertiseHost overrides the host part the daemons dial back
+	// (default: the launcher's outbound IP toward the first daemon).
+	AdvertiseHost string
+	// Progress receives rank 0's per-iteration events.
+	Progress func(nodespec.Progress)
+	// Log receives placement diagnostics (nil = discard).
+	Log io.Writer
+}
+
+// Placement records where each slice landed.
+type Placement struct {
+	Daemon string
+	RankLo int
+	RankHi int
+}
+
+// HostResult is a completed multi-host launch.
+type HostResult struct {
+	// Result is rank 0's full NodeResult (flux included).
+	Result *nodespec.NodeResult
+	// Placements are the rank slices in submission order.
+	Placements []Placement
+	// FluxHash is the hash every slice reported (the launch fails on
+	// disagreement).
+	FluxHash string
+	// Wall is the whole launch's wall time.
+	Wall time.Duration
+}
+
+// LaunchHosts places one cluster across the daemons and waits for it.
+func LaunchHosts(ctx context.Context, cfg HostConfig) (*HostResult, error) {
+	spec := cfg.Spec.Defaulted()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Daemons) == 0 {
+		return nil, fmt.Errorf("serve: placement needs at least one daemon")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Minute
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	if cfg.Log != nil {
+		// The slice handles' reader goroutines log concurrently.
+		cfg.Log = &syncWriter{w: cfg.Log}
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "place: "+format+"\n", args...)
+		}
+	}
+
+	// Probe capacity: free ranks per daemon, in preference order.
+	free := make([]int, len(cfg.Daemons))
+	total := 0
+	for i, addr := range cfg.Daemons {
+		h, err := NewClient(addr).Hello(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("serve: probe %s: %w", addr, err)
+		}
+		if f := h.Slots - h.Busy; f > 0 {
+			free[i] = f
+			total += f
+		}
+	}
+	if total < spec.Procs {
+		return nil, fmt.Errorf("serve: %d ranks need placing but the daemons advertise only %d free slots", spec.Procs, total)
+	}
+
+	// Greedy contiguous slices: daemon i takes min(free, remaining).
+	var places []Placement
+	lo := 0
+	for i, addr := range cfg.Daemons {
+		if lo == spec.Procs {
+			break
+		}
+		n := free[i]
+		if n > spec.Procs-lo {
+			n = spec.Procs - lo
+		}
+		if n == 0 {
+			continue
+		}
+		places = append(places, Placement{Daemon: addr, RankLo: lo, RankHi: lo + n})
+		lo += n
+	}
+
+	// The cluster rendezvous must be reachable from the daemons: listen
+	// wide, advertise a routable host.
+	rzAddr := cfg.RendezvousAddr
+	if rzAddr == "" {
+		rzAddr = ":0"
+	}
+	var idBytes [8]byte
+	if _, err := rand.Read(idBytes[:]); err != nil {
+		return nil, err
+	}
+	cluster := "jsweep-place-" + hex.EncodeToString(idBytes[:])
+	rz, err := netcomm.StartRendezvous(rzAddr, cluster, spec.Procs)
+	if err != nil {
+		return nil, err
+	}
+	defer rz.Close()
+	advertise, err := advertiseAddr(rz.Addr(), cfg.AdvertiseHost, cfg.Daemons[0])
+	if err != nil {
+		return nil, err
+	}
+	logf("cluster %s: rendezvous %s, %d ranks over %d daemons", cluster, advertise, spec.Procs, len(places))
+
+	// Submit every slice, then wait for all. The first failure cancels
+	// the rest (their job contexts die with the connection or Cancel).
+	start := time.Now()
+	handles := make([]*Handle, len(places))
+	for i, p := range places {
+		h, err := NewClient(p.Daemon).Submit(ctx, Request{
+			Spec:       spec,
+			Verify:     cfg.Verify && p.RankLo == 0,
+			Timeout:    cfg.Timeout,
+			Rendezvous: advertise,
+			Cluster:    cluster,
+			RankLo:     p.RankLo,
+			RankHi:     p.RankHi,
+			Progress:   pickProgress(cfg.Progress, p.RankLo == 0),
+			Log:        cfg.Log,
+		})
+		if err != nil {
+			for _, prev := range handles[:i] {
+				prev.Cancel("sibling slice rejected")
+			}
+			for _, prev := range handles[:i] {
+				prev.Wait(context.Background())
+			}
+			return nil, fmt.Errorf("serve: place ranks [%d,%d) on %s: %w", p.RankLo, p.RankHi, p.Daemon, err)
+		}
+		handles[i] = h
+		logf("ranks [%d,%d) -> %s (%s)", p.RankLo, p.RankHi, p.Daemon, h.Job())
+	}
+	results := make([]*nodespec.NodeResult, len(handles))
+	errs := make([]error, len(handles))
+	var wg sync.WaitGroup
+	for i, h := range handles {
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			results[i], errs[i] = h.Wait(ctx)
+			if errs[i] != nil {
+				// Fail fast: a dead slice strands the others inside the
+				// cluster solve until their contexts die.
+				cancel()
+			}
+		}(i, h)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: slice [%d,%d) on %s: %w", places[i].RankLo, places[i].RankHi, places[i].Daemon, err)
+		}
+	}
+
+	// Cross-daemon bitwise-agreement certificate: every slice's hash
+	// must match (same discipline as LaunchLocalCtx across processes).
+	hash := results[0].FluxHash
+	for i, r := range results[1:] {
+		if r.FluxHash != hash {
+			return nil, fmt.Errorf("serve: flux hash mismatch across daemons: %s reports %s, %s reports %s",
+				places[0].Daemon, hash, places[i+1].Daemon, r.FluxHash)
+		}
+	}
+	logf("cluster %s converged in %v (hash=%s)", cluster, time.Since(start).Round(time.Millisecond), hash)
+	return &HostResult{
+		Result:     results[0],
+		Placements: places,
+		FluxHash:   hash,
+		Wall:       time.Since(start),
+	}, nil
+}
+
+func pickProgress(p func(nodespec.Progress), isRankZero bool) func(nodespec.Progress) {
+	if isRankZero {
+		return p
+	}
+	return nil
+}
+
+// advertiseAddr rewrites the rendezvous listen address into one the
+// daemons can dial: explicit override, else the launcher's outbound IP
+// toward the first daemon, else loopback (single-host setups).
+func advertiseAddr(listen, override, firstDaemon string) (string, error) {
+	_, port, err := net.SplitHostPort(listen)
+	if err != nil {
+		return "", fmt.Errorf("serve: rendezvous address %q: %w", listen, err)
+	}
+	if override != "" {
+		return net.JoinHostPort(override, port), nil
+	}
+	host, _, err := net.SplitHostPort(firstDaemon)
+	if err == nil && (host == "127.0.0.1" || host == "localhost" || host == "::1") {
+		return net.JoinHostPort("127.0.0.1", port), nil
+	}
+	// Route discovery without sending a packet: a UDP "connection" picks
+	// the outbound interface toward the daemon.
+	conn, err := net.Dial("udp", firstDaemon)
+	if err != nil {
+		return net.JoinHostPort("127.0.0.1", port), nil
+	}
+	local := conn.LocalAddr().(*net.UDPAddr)
+	conn.Close()
+	return net.JoinHostPort(local.IP.String(), port), nil
+}

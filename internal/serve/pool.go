@@ -1,0 +1,142 @@
+// Warm node pool of the serve daemon (the paper's long-lived-service
+// model lifted from sweeps to whole jobs): a finished job's problem,
+// decomposition and solver session — processes, worker goroutines,
+// program objects, the cached coarse graph — are parked keyed by the
+// solve shape and revived for the next job with the same shape, instead
+// of being rebuilt from the mesh up. Solver.ResetSolve clears the one
+// piece of cross-solve numerical state (the lagged-flux store), so a
+// warm run is bitwise identical to a cold one.
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"jsweep/internal/mesh"
+	"jsweep/internal/nodespec"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// warmNode is one parked solver session.
+type warmNode struct {
+	prob   *transport.Problem
+	d      *mesh.Decomposition
+	solver *sweep.Solver
+}
+
+// poolKey reduces a spec to its solver-shaping fields: backend, wire
+// and iteration bounds don't change the session structure, so jobs
+// differing only there share warm nodes. Tol/MaxIters feed IterConfig
+// per run; Backend/Wire are launch concerns the daemon overrides.
+func poolKey(spec nodespec.Spec) (string, error) {
+	k := spec.Defaulted()
+	k.Backend = ""
+	k.Wire = ""
+	k.Tol = 0
+	k.MaxIters = 0
+	return nodespec.MarshalSpec(k)
+}
+
+// nodePool holds idle warm nodes with LRU eviction. All methods are
+// safe for concurrent use; a node is owned by exactly one job between
+// take and put.
+type nodePool struct {
+	mu   sync.Mutex
+	max  int
+	lru  *list.List               // front = most recently parked
+	byID map[*list.Element]string // element -> key (for diagnostics)
+	idle map[string][]*list.Element
+	ents map[*list.Element]*warmNode
+}
+
+func newNodePool(max int) *nodePool {
+	return &nodePool{
+		max:  max,
+		lru:  list.New(),
+		byID: make(map[*list.Element]string),
+		idle: make(map[string][]*list.Element),
+		ents: make(map[*list.Element]*warmNode),
+	}
+}
+
+// take revives an idle warm node for the key, or returns nil (the
+// caller builds cold).
+func (p *nodePool) take(key string) *warmNode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	elems := p.idle[key]
+	if len(elems) == 0 {
+		return nil
+	}
+	e := elems[len(elems)-1]
+	p.idle[key] = elems[:len(elems)-1]
+	n := p.ents[e]
+	p.lru.Remove(e)
+	delete(p.ents, e)
+	delete(p.byID, e)
+	return n
+}
+
+// put parks a node after a successful job, evicting the least recently
+// used session beyond capacity (its runtime workers are stopped). A
+// zero-capacity pool closes the node immediately.
+func (p *nodePool) put(key string, n *warmNode) {
+	var evict []*warmNode
+	p.mu.Lock()
+	if p.max <= 0 {
+		p.mu.Unlock()
+		n.solver.Close()
+		return
+	}
+	e := p.lru.PushFront(n)
+	p.ents[e] = n
+	p.byID[e] = key
+	p.idle[key] = append(p.idle[key], e)
+	for p.lru.Len() > p.max {
+		back := p.lru.Back()
+		k := p.byID[back]
+		evict = append(evict, p.ents[back])
+		p.lru.Remove(back)
+		delete(p.ents, back)
+		delete(p.byID, back)
+		elems := p.idle[k]
+		for i, el := range elems {
+			if el == back {
+				p.idle[k] = append(elems[:i], elems[i+1:]...)
+				break
+			}
+		}
+		if len(p.idle[k]) == 0 {
+			delete(p.idle, k)
+		}
+	}
+	p.mu.Unlock()
+	for _, v := range evict {
+		v.solver.Close()
+	}
+}
+
+// size reports the idle node count (tests and Hello diagnostics).
+func (p *nodePool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// closeAll stops every idle session (daemon shutdown).
+func (p *nodePool) closeAll() {
+	p.mu.Lock()
+	var all []*warmNode
+	for _, n := range p.ents {
+		all = append(all, n)
+	}
+	p.lru.Init()
+	p.byID = make(map[*list.Element]string)
+	p.idle = make(map[string][]*list.Element)
+	p.ents = make(map[*list.Element]*warmNode)
+	p.mu.Unlock()
+	for _, n := range all {
+		n.solver.Close()
+	}
+}

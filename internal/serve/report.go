@@ -1,0 +1,338 @@
+// Result streaming of launched node processes: the piece that makes
+// tcp-launch jobs result-complete. The launcher (jsweep.Job or the
+// serve daemon) opens a Collector — a one-shot TCP listener — and hands
+// its address to rank 0 through the environment; the node dials back a
+// Reporter and streams one Progress frame per source iteration followed
+// by exactly one terminal frame (Result with the full converged flux
+// and solve metadata, or JobError). The frames are the submission-lane
+// codec of internal/netcomm, so the flux crosses the wire bit-exact.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"jsweep/internal/netcomm"
+	"jsweep/internal/nodespec"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// EnvResult carries the Collector address to a launched rank-0 node
+// process (set only for rank 0 — the ranks hold identical fluxes, so
+// one stream suffices). Canonically defined in nodespec so the launcher
+// can set it without importing this package.
+const EnvResult = nodespec.EnvResult
+
+// resultMeta is the JSON schema of a Result frame's meta blob: a
+// NodeResult minus the flux (which rides the binary lane of the frame).
+type resultMeta struct {
+	Iterations int                       `json:"iterations"`
+	Residual   float64                   `json:"residual"`
+	Converged  bool                      `json:"converged"`
+	Balance    []transport.BalanceReport `json:"balance,omitempty"`
+	Stats      sweep.SweepStats          `json:"stats"`
+	Cluster    nodespec.ClusterStats     `json:"cluster"`
+	FluxHash   string                    `json:"flux_hash"`
+	Verified   bool                      `json:"verified,omitempty"`
+	Wall       time.Duration             `json:"wall_ns"`
+}
+
+// encodeResult packs a NodeResult into a Result frame payload. withFlux
+// false omits the flux (slice jobs whose ranks exclude 0 report
+// metadata and hash only).
+func encodeResult(nr *nodespec.NodeResult, withFlux bool) ([]byte, error) {
+	meta := resultMeta{
+		Stats:    nr.Stats,
+		Cluster:  nr.Cluster,
+		Balance:  nr.Balance,
+		FluxHash: nr.FluxHash,
+		Verified: nr.Verified,
+		Wall:     nr.Wall,
+	}
+	var flux [][]float64
+	if nr.Result != nil {
+		meta.Iterations = nr.Result.Iterations
+		meta.Residual = nr.Result.Residual
+		meta.Converged = nr.Result.Converged
+		if withFlux {
+			flux = nr.Result.Phi
+		}
+	}
+	mb, err := json.Marshal(meta)
+	if err != nil {
+		return nil, err
+	}
+	return netcomm.AppendResult(nil, netcomm.Result{Meta: mb, Flux: flux}), nil
+}
+
+// decodeResult unpacks a Result frame payload into a NodeResult. The
+// strict decoder rejects unknown meta fields — same discipline as the
+// spec schema.
+func decodeResult(payload []byte) (*nodespec.NodeResult, error) {
+	wr, err := netcomm.ParseResult(payload)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(wr.Meta))
+	dec.DisallowUnknownFields()
+	var meta resultMeta
+	if err := dec.Decode(&meta); err != nil {
+		return nil, fmt.Errorf("serve: result meta: %w", err)
+	}
+	nr := &nodespec.NodeResult{
+		Result: &transport.Result{
+			Phi:        wr.Flux,
+			Iterations: meta.Iterations,
+			Residual:   meta.Residual,
+			Converged:  meta.Converged,
+		},
+		Balance:  meta.Balance,
+		Stats:    meta.Stats,
+		Cluster:  meta.Cluster,
+		FluxHash: meta.FluxHash,
+		Verified: meta.Verified,
+		Wall:     meta.Wall,
+	}
+	if len(wr.Flux) == 0 {
+		nr.Result.Phi = nil
+	}
+	return nr, nil
+}
+
+// encodeProgress packs one source-iteration event as a Progress frame
+// payload (JSON: the flattened transport.Progress fields plus the sweep
+// statistics).
+func encodeProgress(ev nodespec.Progress) ([]byte, error) {
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return nil, err
+	}
+	return netcomm.AppendProgress(nil, b), nil
+}
+
+// decodeProgress unpacks a Progress frame payload.
+func decodeProgress(payload []byte) (nodespec.Progress, error) {
+	var ev nodespec.Progress
+	b, err := netcomm.ParseProgress(payload)
+	if err != nil {
+		return ev, err
+	}
+	if err := json.Unmarshal(b, &ev); err != nil {
+		return ev, fmt.Errorf("serve: progress event: %w", err)
+	}
+	return ev, nil
+}
+
+// Reporter is the node side of the result stream: rank 0 of a launched
+// cluster dials the launcher's Collector and pushes progress and the
+// terminal result. Safe for use from the solve goroutine (writes are
+// serialized).
+type Reporter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialReporter connects to a Collector.
+func DialReporter(addr string) (*Reporter, error) {
+	conn, err := net.DialTimeout("tcp", addr, 30*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial result collector %s: %w", addr, err)
+	}
+	return &Reporter{conn: conn}, nil
+}
+
+// Progress streams one source-iteration event. Errors are returned but
+// a launcher that went away must not fail the solve — callers log and
+// drop the reporter instead.
+func (r *Reporter) Progress(ev nodespec.Progress) error {
+	payload, err := encodeProgress(ev)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return netcomm.WriteFrame(r.conn, netcomm.KindProgress, payload)
+}
+
+// Result streams the terminal result (with the full flux).
+func (r *Reporter) Result(nr *nodespec.NodeResult) error {
+	payload, err := encodeResult(nr, true)
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return netcomm.WriteFrame(r.conn, netcomm.KindResult, payload)
+}
+
+// JobError streams a terminal failure.
+func (r *Reporter) JobError(jobErr error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return netcomm.WriteFrame(r.conn, netcomm.KindJobError, netcomm.AppendJobError(nil, jobErr.Error()))
+}
+
+// Close closes the stream.
+func (r *Reporter) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conn.Close()
+}
+
+// Collector is the launcher side of the result stream: a one-shot
+// listener that accepts the single rank-0 connection and drains it.
+type Collector struct {
+	ln net.Listener
+}
+
+// NewCollector opens a collector on a loopback port.
+func NewCollector() (*Collector, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	return &Collector{ln: ln}, nil
+}
+
+// Addr is the address rank 0 must dial (travels via EnvResult).
+func (c *Collector) Addr() string { return c.ln.Addr().String() }
+
+// Close closes the listener (idempotent; unblocks a pending Collect).
+func (c *Collector) Close() error { return c.ln.Close() }
+
+// Collect accepts the node's connection and drains its frames:
+// progress events go to the callback (may be nil), and the terminal
+// Result or JobError frame ends the stream. Cancelling the context
+// closes the listener and the accepted connection. A stream that ends
+// without a terminal frame (node crashed) is an error.
+func (c *Collector) Collect(ctx context.Context, progress func(nodespec.Progress)) (*nodespec.NodeResult, error) {
+	stop := context.AfterFunc(ctx, func() { c.ln.Close() })
+	defer stop()
+	conn, err := c.ln.Accept()
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("serve: collect result: %w", err)
+	}
+	defer conn.Close()
+	unhook := context.AfterFunc(ctx, func() { conn.Close() })
+	defer unhook()
+	for {
+		kind, payload, err := netcomm.ReadFrame(conn)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("serve: result stream ended without a terminal frame: %w", err)
+		}
+		switch kind {
+		case netcomm.KindProgress:
+			ev, err := decodeProgress(payload)
+			if err != nil {
+				return nil, err
+			}
+			if progress != nil {
+				progress(ev)
+			}
+		case netcomm.KindResult:
+			return decodeResult(payload)
+		case netcomm.KindJobError:
+			detail, err := netcomm.ParseJobError(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("serve: node job failed: %s", detail)
+		default:
+			return nil, fmt.Errorf("serve: unexpected %s frame on result stream", kindNameOf(kind))
+		}
+	}
+}
+
+// kindNameOf mirrors netcomm's diagnostic naming for the frames this
+// package handles.
+func kindNameOf(k byte) string {
+	switch k {
+	case netcomm.KindHello:
+		return "hello"
+	case netcomm.KindSubmit:
+		return "submit"
+	case netcomm.KindAccepted:
+		return "accepted"
+	case netcomm.KindRejected:
+		return "rejected"
+	case netcomm.KindStarted:
+		return "started"
+	case netcomm.KindProgress:
+		return "progress"
+	case netcomm.KindResult:
+		return "result"
+	case netcomm.KindJobError:
+		return "joberror"
+	case netcomm.KindCancel:
+		return "cancel"
+	}
+	return fmt.Sprintf("%#02x", k)
+}
+
+// RunNodeCtx runs one rank of a launched cluster, streaming progress
+// and the terminal result to the collector at resultAddr when set (the
+// result-complete tcp-launch path). With an empty resultAddr it is
+// exactly nodespec.RunCtx. A reporter dial or write failure does not
+// fail the solve — the cluster's own hash certification still stands;
+// the stream just ends early and the collector reports the break.
+func RunNodeCtx(ctx context.Context, spec nodespec.Spec, o nodespec.NodeOptions, resultAddr string) (*nodespec.NodeResult, error) {
+	var rep *Reporter
+	if resultAddr != "" {
+		var err error
+		if rep, err = DialReporter(resultAddr); err != nil {
+			if o.Log != nil {
+				fmt.Fprintf(o.Log, "rank=%d result stream unavailable: %v\n", o.Rank, err)
+			}
+			rep = nil
+		} else {
+			defer rep.Close()
+			prev := o.Progress
+			o.Progress = func(ev nodespec.Progress) {
+				if prev != nil {
+					prev(ev)
+				}
+				rep.Progress(ev)
+			}
+		}
+	}
+	nr, err := nodespec.RunCtx(ctx, spec, o)
+	if rep != nil {
+		if err != nil {
+			rep.JobError(err)
+		} else {
+			rep.Result(nr)
+		}
+	}
+	return nr, err
+}
+
+// RunNodeFromEnv runs a node whose parameters arrived via the
+// JSWEEP_NODE_* environment (the launched-process entry point shared by
+// cmd/jsweep-node and the test re-exec helpers), streaming results back
+// when EnvResult is set.
+func RunNodeFromEnv(w io.Writer) error {
+	spec, o, ok, err := nodespec.NodeEnv()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("serve: %s not set — not a launched node", nodespec.EnvRank)
+	}
+	o.Log = w
+	_, err = RunNodeCtx(context.Background(), spec, o, os.Getenv(EnvResult))
+	return err
+}

@@ -1,0 +1,455 @@
+package serve
+
+// Daemon tests: admission control (FIFO queue, typed rejections),
+// per-job timeout isolation, cooperative cancellation freeing slots,
+// concurrent jobs staying bitwise-correct against the serial reference,
+// warm-pool bitwise parity, disconnect hygiene (no leaked goroutines),
+// the result-stream Collector/Reporter pair, and multi-host placement
+// across two daemons.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jsweep/internal/nodespec"
+	"jsweep/internal/transport"
+)
+
+func quickSpec() nodespec.Spec {
+	return nodespec.Spec{Mesh: "kobayashi", N: 8, SnOrder: 2, Procs: 2, Workers: 2, Tol: 1e-8}
+}
+
+func cyclicSpec() nodespec.Spec {
+	return nodespec.Spec{Mesh: "cyclic", Cells: 300, SnOrder: 2, Groups: 2, Patch: 80,
+		Procs: 2, Workers: 2, Grain: 8, Tol: 1e-9, MaxIters: 400}
+}
+
+// slowSpec runs long enough for cancellation and timeout tests to act:
+// the scattering iteration contracts the residual geometrically, so an
+// unreachable tolerance keeps it iterating for many seconds (until the
+// flux hits an exact floating-point fixed point). The cyclic mesh is
+// unsuitable here — it reaches its exact fixed point within
+// milliseconds.
+func slowSpec() nodespec.Spec {
+	return nodespec.Spec{Mesh: "kobayashi", N: 12, SnOrder: 4, Scatter: true,
+		Procs: 2, Workers: 2, Grain: 32, Tol: 1e-300, MaxIters: 1_000_000}
+}
+
+func startServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestServeConcurrentJobsBitwise: one daemon runs two different jobs at
+// once, each verified bitwise against the serial reference, with live
+// progress streaming; a different-shaped pair must not cross-talk.
+func TestServeConcurrentJobsBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	srv := startServer(t, Config{MaxJobs: 2, Log: testWriter(t)})
+	c := NewClient(srv.Addr())
+	ctx := context.Background()
+
+	var kobaEvents, cyclicEvents atomic.Int64
+	h1, err := c.Submit(ctx, Request{Spec: quickSpec(), Verify: true,
+		Progress: func(nodespec.Progress) { kobaEvents.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Submit(ctx, Request{Spec: cyclicSpec(), Verify: true,
+		Progress: func(nodespec.Progress) { cyclicEvents.Add(1) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err1 := h1.Wait(ctx)
+	r2, err2 := h2.Wait(ctx)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("jobs failed: %v / %v", err1, err2)
+	}
+	for i, r := range []*nodespec.NodeResult{r1, r2} {
+		if !r.Verified {
+			t.Fatalf("job %d not verified against the serial reference", i+1)
+		}
+		if r.Result == nil || !r.Result.Converged || len(r.Result.Phi) == 0 {
+			t.Fatalf("job %d result incomplete: %+v", i+1, r.Result)
+		}
+		if r.FluxHash == "" || r.Cluster.CoarseClusters != 0 && r.Stats.CoarseClusters == 0 {
+			t.Fatalf("job %d stats incomplete: %+v", i+1, r)
+		}
+	}
+	if kobaEvents.Load() == 0 || cyclicEvents.Load() == 0 {
+		t.Fatalf("no progress streamed: koba=%d cyclic=%d", kobaEvents.Load(), cyclicEvents.Load())
+	}
+	if r1.FluxHash == r2.FluxHash {
+		t.Fatal("different problems reported the same flux hash")
+	}
+}
+
+// TestServeAdmission: FIFO queue with typed rejection at capacity. One
+// slot, one queue position: the first job runs (held by the test gate),
+// the second queues at position 1, the third gets a typed queue-full
+// AdmissionError without ever starting.
+func TestServeAdmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	release := make(chan struct{})
+	srv := startServer(t, Config{MaxJobs: 1, QueueDepth: 1, Log: testWriter(t),
+		onStart: func(string) { <-release }})
+	c := NewClient(srv.Addr())
+	ctx := context.Background()
+
+	h1, err := c.Submit(ctx, Request{Spec: quickSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Started()
+
+	h2, err := c.Submit(ctx, Request{Spec: quickSpec()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.QueuePos() != 1 {
+		t.Fatalf("second job queue position = %d, want 1", h2.QueuePos())
+	}
+
+	_, err = c.Submit(ctx, Request{Spec: quickSpec()})
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Code != CodeQueueFull {
+		t.Fatalf("over-capacity submission: got %v, want AdmissionError %s", err, CodeQueueFull)
+	}
+
+	// An invalid spec is rejected with its typed validation detail, and
+	// never counts against the queue.
+	bad := quickSpec()
+	bad.Mesh = "torus"
+	_, err = c.Submit(ctx, Request{Spec: bad})
+	if !errors.As(err, &adm) || adm.Code != CodeInvalidSpec || !strings.Contains(adm.Detail, "mesh") {
+		t.Fatalf("invalid spec: got %v, want AdmissionError %s naming the field", err, CodeInvalidSpec)
+	}
+
+	close(release)
+	if _, err := h1.Wait(ctx); err != nil {
+		t.Fatalf("gated job failed: %v", err)
+	}
+	if _, err := h2.Wait(ctx); err != nil {
+		t.Fatalf("queued job failed after slot freed: %v", err)
+	}
+}
+
+// TestServeCancelFreesSlot: cancelling a running job unwinds it
+// cooperatively and releases its slot to the next submission.
+func TestServeCancelFreesSlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	srv := startServer(t, Config{MaxJobs: 1, Log: testWriter(t)})
+	c := NewClient(srv.Addr())
+	ctx := context.Background()
+
+	firstIter := make(chan struct{})
+	var once atomic.Bool
+	h1, err := c.Submit(ctx, Request{Spec: slowSpec(), Progress: func(nodespec.Progress) {
+		if once.CompareAndSwap(false, true) {
+			close(firstIter)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-firstIter:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never iterated")
+	}
+	h1.Cancel("test cancel")
+	if _, err := h1.Wait(ctx); err == nil || !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("cancelled job: got %v, want cancellation error", err)
+	}
+
+	h2, err := c.Submit(ctx, Request{Spec: quickSpec(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := h2.Wait(ctx); err != nil || !r.Verified {
+		t.Fatalf("job after cancel: %v %+v", err, r)
+	}
+}
+
+// TestServeTimeoutIsolation: a per-job timeout kills only its own job;
+// a concurrent job without one completes untouched.
+func TestServeTimeoutIsolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	srv := startServer(t, Config{MaxJobs: 2, Log: testWriter(t)})
+	c := NewClient(srv.Addr())
+	ctx := context.Background()
+
+	h1, err := c.Submit(ctx, Request{Spec: slowSpec(), Timeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := c.Submit(ctx, Request{Spec: quickSpec(), Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h1.Wait(ctx); err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("timed-out job: got %v, want timeout error", err)
+	}
+	if r, err := h2.Wait(ctx); err != nil || !r.Verified {
+		t.Fatalf("sibling job hit by the other's timeout: %v %+v", err, r)
+	}
+}
+
+// TestServeWarmPool: a second same-shaped job revives the parked solver
+// session and its flux stays bitwise identical to the cold run.
+func TestServeWarmPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	srv := startServer(t, Config{MaxJobs: 1, PoolSize: 2, Log: testWriter(t)})
+	c := NewClient(srv.Addr())
+	ctx := context.Background()
+
+	run := func() *nodespec.NodeResult {
+		t.Helper()
+		h, err := c.Submit(ctx, Request{Spec: quickSpec()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := h.Wait(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	cold := run()
+	if srv.WarmNodes() != 1 {
+		t.Fatalf("warm pool after first job: %d nodes, want 1", srv.WarmNodes())
+	}
+	warm := run()
+	if cold.FluxHash != warm.FluxHash {
+		t.Fatalf("warm run diverged: %s != %s", warm.FluxHash, cold.FluxHash)
+	}
+	for g := range cold.Result.Phi {
+		for i := range cold.Result.Phi[g] {
+			if math.Float64bits(cold.Result.Phi[g][i]) != math.Float64bits(warm.Result.Phi[g][i]) {
+				t.Fatalf("group %d cell %d: warm flux bits differ", g, i)
+			}
+		}
+	}
+	if cold.Result.Iterations != warm.Result.Iterations {
+		t.Fatalf("iterations: cold %d warm %d", cold.Result.Iterations, warm.Result.Iterations)
+	}
+}
+
+// TestServeDisconnectNoLeak: a client vanishing mid-job cancels the job
+// and the daemon returns to its idle goroutine count — no leaked
+// handlers, watchers, or solver workers.
+func TestServeDisconnectNoLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	srv, err := Start(Config{MaxJobs: 1, PoolSize: 0, Log: testWriter(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(srv.Addr())
+	ctx := context.Background()
+	before := runtime.NumGoroutine()
+
+	firstIter := make(chan struct{})
+	var once atomic.Bool
+	h, err := c.Submit(ctx, Request{Spec: slowSpec(), Progress: func(nodespec.Progress) {
+		if once.CompareAndSwap(false, true) {
+			close(firstIter)
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-firstIter:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never iterated")
+	}
+	h.conn.Close() // the client dies without a Cancel frame
+	<-h.done
+
+	// The daemon must unwind the job and settle back to idle.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		hello, err := c.Hello(ctx)
+		if err == nil && hello.Running == 0 && hello.Busy == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never unwound the disconnected job: %+v %v", hello, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	srv.Close()
+	for i := 0; ; i++ {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before {
+			break
+		} else if i >= 100 {
+			t.Fatalf("goroutines leaked: %d before, %d after close", before, g)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestServeShutdownRejects: a draining daemon rejects with the typed
+// shutting-down code. (White-box: flip the flag without closing the
+// listener so the lane still answers.)
+func TestServeShutdownRejects(t *testing.T) {
+	srv := startServer(t, Config{Log: testWriter(t)})
+	srv.mu.Lock()
+	srv.shutdown = true
+	srv.mu.Unlock()
+	_, err := NewClient(srv.Addr()).Submit(context.Background(), Request{Spec: quickSpec()})
+	var adm *AdmissionError
+	if !errors.As(err, &adm) || adm.Code != CodeShuttingDown {
+		t.Fatalf("draining daemon: got %v, want AdmissionError %s", err, CodeShuttingDown)
+	}
+	srv.mu.Lock()
+	srv.shutdown = false
+	srv.mu.Unlock()
+}
+
+// TestLaunchHostsTwoDaemons: multi-host placement — a 2-rank cluster
+// spread over two daemons of one slot each, verified against the serial
+// reference, with the cross-daemon hash certificate and both placements
+// recorded.
+func TestLaunchHostsTwoDaemons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon cluster solve skipped in -short mode")
+	}
+	d1 := startServer(t, Config{Slots: 1, Log: testWriter(t)})
+	d2 := startServer(t, Config{Slots: 1, Log: testWriter(t)})
+
+	var events atomic.Int64
+	res, err := LaunchHosts(context.Background(), HostConfig{
+		Spec:     quickSpec(),
+		Daemons:  []string{d1.Addr(), d2.Addr()},
+		Verify:   true,
+		Log:      testWriter(t),
+		Progress: func(nodespec.Progress) { events.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Placements) != 2 {
+		t.Fatalf("placements: %+v, want one slice per daemon", res.Placements)
+	}
+	if res.Placements[0].RankHi != 1 || res.Placements[1].RankLo != 1 {
+		t.Fatalf("rank slices not contiguous: %+v", res.Placements)
+	}
+	if !res.Result.Verified || res.FluxHash == "" || res.Result.Result == nil || len(res.Result.Result.Phi) == 0 {
+		t.Fatalf("placed cluster result incomplete: %+v", res.Result)
+	}
+	if events.Load() == 0 {
+		t.Fatal("no progress streamed from the placed cluster")
+	}
+
+	// Over-capacity placement fails up front with the slot arithmetic.
+	big := quickSpec()
+	big.Procs = 5
+	if _, err := LaunchHosts(context.Background(), HostConfig{
+		Spec: big, Daemons: []string{d1.Addr(), d2.Addr()}, Log: testWriter(t),
+	}); err == nil || !strings.Contains(err.Error(), "free slots") {
+		t.Fatalf("over-capacity placement: got %v, want free-slots error", err)
+	}
+}
+
+// TestCollectorReporter: the result stream in isolation — progress
+// events then a bit-exact terminal result, and the error path.
+func TestCollectorReporter(t *testing.T) {
+	col, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	want := &nodespec.NodeResult{
+		Result: &transport.Result{
+			Phi:        [][]float64{{1.0, math.Nextafter(1, 2), math.Copysign(0, -1)}},
+			Iterations: 7, Residual: 3e-9, Converged: true,
+		},
+		Balance:  []transport.BalanceReport{{Production: 1, Absorption: 0.5, Leakage: 0.5}},
+		FluxHash: "abc123",
+		Verified: true,
+		Wall:     time.Second,
+	}
+	go func() {
+		rep, err := DialReporter(col.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer rep.Close()
+		rep.Progress(nodespec.Progress{Progress: transport.Progress{Iteration: 1, Residual: 0.5}})
+		rep.Result(want)
+	}()
+	var evs []nodespec.Progress
+	got, err := col.Collect(context.Background(), func(ev nodespec.Progress) { evs = append(evs, ev) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Iteration != 1 {
+		t.Fatalf("progress events: %+v", evs)
+	}
+	if got.FluxHash != want.FluxHash || !got.Verified || got.Wall != want.Wall ||
+		got.Result.Iterations != 7 || !got.Result.Converged {
+		t.Fatalf("collected result: %+v", got)
+	}
+	for i := range want.Result.Phi[0] {
+		if math.Float64bits(got.Result.Phi[0][i]) != math.Float64bits(want.Result.Phi[0][i]) {
+			t.Fatalf("flux cell %d: bits differ", i)
+		}
+	}
+
+	// Error path: the node reports a failure.
+	col2, err := NewCollector()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col2.Close()
+	go func() {
+		rep, err := DialReporter(col2.Addr())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer rep.Close()
+		rep.JobError(errors.New("solver blew up"))
+	}()
+	if _, err := col2.Collect(context.Background(), nil); err == nil || !strings.Contains(err.Error(), "solver blew up") {
+		t.Fatalf("job error path: %v", err)
+	}
+}
+
+// testWriter adapts t.Logf, keeping daemon chatter inside the test's
+// own output.
+type logWriter struct{ t *testing.T }
+
+func (w logWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
+
+func testWriter(t *testing.T) logWriter { return logWriter{t} }

@@ -278,6 +278,45 @@ func TestDistributedCyclicBitwise(t *testing.T) {
 	}
 }
 
+// TestDistributedCoarseBitwise pins distributed UseCoarse: each rank
+// records clusters only for its own programs during the fine sweep, the
+// cluster exchange allgathers them, and every rank coarsens the identical
+// full program set — so the coarse sweeps reproduce the single-process
+// coarse solver (and the serial reference) bit for bit. Runs the
+// structured kobayashi box and the cyclic twisted ring (coarse programs
+// over lagged feedback edges crossing rank boundaries).
+func TestDistributedCoarseBitwise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank TCP solve skipped in -short mode")
+	}
+	cases := []struct {
+		name  string
+		build problemBuilder
+		world int
+		grain int
+		cfg   transport.IterConfig
+	}{
+		{"kobayashi", kobaDist, 4, 32, transport.IterConfig{Tolerance: 1e-8, MaxIterations: 100}},
+		{"cyclic", cyclicDist, 4, 4, transport.IterConfig{Tolerance: 1e-9, MaxIterations: 400}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := reference(t, tc.build, tc.cfg)
+			if !want.Converged {
+				t.Fatal("reference did not converge")
+			}
+			opts := Options{Workers: 2, Grain: tc.grain, UseCoarse: true}
+			oracle := singleProcess(t, tc.build, tc.world, opts, tc.cfg)
+			got := runDistributed(t, tc.build, tc.world, opts, tc.cfg)
+			if got[0].Iterations != oracle.Iterations {
+				t.Fatalf("TCP took %d iterations, in-process coarse %d", got[0].Iterations, oracle.Iterations)
+			}
+			assertBitwise(t, "tcp coarse vs in-process coarse", got[0].Phi, oracle.Phi)
+			assertBitwise(t, "tcp coarse vs serial reference", got[0].Phi, want.Phi)
+		})
+	}
+}
+
 // TestDistributedReuseOffAndSafra covers the non-default session and
 // termination paths over the wire: a fresh runtime per sweep on a shared
 // transport, and Safra's token termination across OS-process semantics.
@@ -320,8 +359,8 @@ func TestDistributedOptionValidation(t *testing.T) {
 			t.Errorf("options %d accepted: %+v", i, o)
 		}
 	}
-	// UseCoarse is refused only for a true multi-process transport; a
-	// 1-rank world is all-local, so build a fake 2-rank claim via options.
+	// UseCoarse works over any transport (clusters are allgathered); the
+	// 1-rank world is the degenerate all-local case.
 	if _, err := NewSolver(prob, d, Options{Procs: 1, Workers: 1, UseCoarse: true, Transport: tr}); err != nil {
 		t.Errorf("UseCoarse over an all-local transport should work: %v", err)
 	}

@@ -86,6 +86,123 @@ func (s *Solver) encodePartial(phi [][]float64) []byte {
 	return buf
 }
 
+// gatherClusters allgathers the vertex clusters recorded during a
+// distributed UseCoarse recording sweep. Each rank recorded clusters only
+// for its own programs (program state is lazily allocated, so remote
+// programs report none); after the exchange every slot of the flat
+// (angle-major, patch-major) list is filled and every rank hands
+// graph.Coarsen the identical full set — the precondition for a
+// cluster-wide consistent coarse graph. The same call doubles as the
+// barrier aligning the fine→coarse session rebuild across ranks.
+//
+//	payload := progCount:u32 { prog:u32 clusterCount:u32
+//	                           { len:u32 v:u32*len }*clusterCount }*progCount
+func (s *Solver) gatherClusters(clusters [][][]int32) error {
+	np := s.d.NumPatches()
+	mine := 0
+	for prog := range clusters {
+		if s.localPatch[prog%np] {
+			mine++
+		}
+	}
+	buf := make([]byte, 0, 4+mine*8)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(mine))
+	for prog, cs := range clusters {
+		if !s.localPatch[prog%np] {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(prog))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cs)))
+		for _, cl := range cs {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(cl)))
+			for _, v := range cl {
+				buf = binary.LittleEndian.AppendUint32(buf, uint32(v))
+			}
+		}
+	}
+	parts, err := s.coll.AllExchange(buf)
+	if err != nil {
+		return fmt.Errorf("sweep: rank %d cluster exchange: %w", s.myRank, err)
+	}
+	for rank, part := range parts {
+		if rank == s.myRank {
+			continue
+		}
+		if err := s.mergeClusters(clusters, rank, part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeClusters folds one remote rank's recorded clusters into the flat
+// program list. Programs are disjoint across ranks (owned patches), so a
+// slot is written by exactly one sender.
+func (s *Solver) mergeClusters(clusters [][][]int32, from int, buf []byte) error {
+	np := s.d.NumPatches()
+	off := 0
+	readU32 := func(what string) (int, error) {
+		if len(buf)-off < 4 {
+			return 0, fmt.Errorf("sweep: rank %d clusters from rank %d: %s truncated", s.myRank, from, what)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		return n, nil
+	}
+	progCount, err := readU32("program count")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < progCount; i++ {
+		prog, err := readU32("program index")
+		if err != nil {
+			return err
+		}
+		if prog < 0 || prog >= len(clusters) {
+			return fmt.Errorf("sweep: rank %d clusters from rank %d: program %d out of range", s.myRank, from, prog)
+		}
+		p := prog % np
+		if owner := s.d.Owner[p]; owner != from {
+			return fmt.Errorf("sweep: rank %d clusters from rank %d: program %d belongs to rank %d", s.myRank, from, prog, owner)
+		}
+		nv := len(s.graphs[prog/np][p].Cells)
+		clusterCount, err := readU32("cluster count")
+		if err != nil {
+			return err
+		}
+		if clusterCount > nv {
+			return fmt.Errorf("sweep: rank %d clusters from rank %d: program %d claims %d clusters for %d vertices",
+				s.myRank, from, prog, clusterCount, nv)
+		}
+		cs := make([][]int32, clusterCount)
+		for c := range cs {
+			n, err := readU32("cluster length")
+			if err != nil {
+				return err
+			}
+			if n > nv || n*4 > len(buf)-off {
+				return fmt.Errorf("sweep: rank %d clusters from rank %d: program %d cluster %d length %d invalid",
+					s.myRank, from, prog, c, n)
+			}
+			cl := make([]int32, n)
+			for j := range cl {
+				v := int32(binary.LittleEndian.Uint32(buf[off:]))
+				off += 4
+				if v < 0 || int(v) >= nv {
+					return fmt.Errorf("sweep: rank %d clusters from rank %d: program %d vertex %d out of range", s.myRank, from, prog, v)
+				}
+				cl[j] = v
+			}
+			cs[c] = cl
+		}
+		clusters[prog] = cs
+	}
+	if off != len(buf) {
+		return fmt.Errorf("sweep: rank %d clusters from rank %d: %d trailing bytes", s.myRank, from, len(buf)-off)
+	}
+	return nil
+}
+
 // mergePartial folds one remote rank's partial into phi and the lag
 // store. Owned cells and lag slots are disjoint across ranks, so merging
 // is plain assignment and bitwise exact.

@@ -48,6 +48,14 @@ func NewLagStore(lagged [][]graph.CellEdge, groups int) *LagStore {
 // Total returns the lagged-edge slot count across all angles.
 func (ls *LagStore) Total() int { return int(ls.offs[len(ls.offs)-1]) }
 
+// Reset zeroes both halves, returning the store to its pre-first-sweep
+// state (all lagged inputs zero). A solver reused across solves calls it
+// so the next source iteration starts from the same state as a fresh one.
+func (ls *LagStore) Reset() {
+	clear(ls.old)
+	clear(ls.new)
+}
+
 // Advance swaps the halves: the fluxes written during the last sweep
 // become the lagged inputs of the next one. Call once per sweep, before
 // any program reads the store. Every slot is rewritten each sweep (each

@@ -74,8 +74,9 @@ type Options struct {
 	// sweep, so each node's Sweep returns the full, bitwise-identical
 	// scalar flux. Every node must build the same problem, decomposition
 	// and options. The caller retains ownership of the transport and
-	// closes it after Solver.Close. Incompatible with Sequential and
-	// UseCoarse (cluster recording is rank-local).
+	// closes it after Solver.Close. Incompatible with Sequential. With
+	// UseCoarse the recording sweep's vertex clusters are allgathered so
+	// every rank coarsens the identical full program set.
 	Transport comm.Transport
 }
 
@@ -111,6 +112,11 @@ type SweepStats struct {
 	Streams int64
 	// Coarse reports whether the sweep ran on the coarsened graph.
 	Coarse bool
+	// CoarseClusters counts the vertex clusters this rank recorded during
+	// the UseCoarse recording sweep (its local programs' share of the
+	// coarse graph; 0 until the fine→coarse switch). The cluster-wide
+	// total is gathered with the other per-rank counters.
+	CoarseClusters int64
 	// LaggedEdges counts the feedback edges broken by flux lagging across
 	// all angles (0 on acyclic meshes); each contributed one old-flux read
 	// and one new-flux write to the round.
@@ -289,9 +295,6 @@ func (s *Solver) setupDistributed() error {
 	if len(local) != 1 {
 		return fmt.Errorf("sweep: a distributed solver node hosts exactly one rank (transport hosts %d)", len(local))
 	}
-	if s.opts.UseCoarse {
-		return fmt.Errorf("sweep: UseCoarse is not supported over a multi-process transport (vertex clusters are recorded per rank)")
-	}
 	s.distributed = true
 	s.myRank = local[0]
 	ep := tr.Endpoint(s.myRank)
@@ -330,6 +333,18 @@ func (s *Solver) Close() error {
 
 // LastStats returns the statistics of the most recent sweep.
 func (s *Solver) LastStats() SweepStats { return s.stats }
+
+// ResetSolve clears the cross-solve state a finished source iteration
+// leaves behind — the lagged-flux store on cyclic meshes — so a warm,
+// reused solver starts its next solve from the exact zero state of a
+// freshly built one (bitwise: the serve daemon's warm pool depends on
+// it). The persistent session itself — processes, workers, transport,
+// program objects, the cached coarse graph — is deliberately kept.
+func (s *Solver) ResetSolve() {
+	if s.lag != nil {
+		s.lag.Reset()
+	}
+}
 
 // CoarseGraph returns the cached coarsened graph (nil until built).
 func (s *Solver) CoarseGraph() *graph.CoarseGraph { return s.cg }
@@ -582,11 +597,9 @@ func (s *Solver) sweepCoarse(ctx context.Context, q [][]float64) ([][]float64, e
 	s.stats.PatchSCCs = s.patchSCCs
 	for a := 0; a < na; a++ {
 		for p := 0; p < np; p++ {
-			// Defensive: coarse mode is currently refused with a
-			// multi-process transport (setupDistributed), so runsLocally is
-			// always true and the exchange below is a no-op; the guards
-			// keep the reduction correct if that restriction is ever
-			// lifted.
+			// A distributed node only ran (and reduces) its own patches;
+			// exchangePartials below completes the flux exactly as in the
+			// fine sweep.
 			if !s.runsLocally(p) {
 				continue
 			}
@@ -706,16 +719,31 @@ func (s *Solver) runtimeConfig() runtime.Config {
 	}
 }
 
-// buildCoarse assembles the coarsened graph from recorded clusters.
+// buildCoarse assembles the coarsened graph from recorded clusters. On a
+// distributed node the recording sweep only ran this rank's programs, so
+// the per-program cluster lists are allgathered first (gatherClusters) —
+// every rank then coarsens the identical full program set, keeping graph
+// placement (and therefore the flux bit pattern) consistent cluster-wide.
 func (s *Solver) buildCoarse(progs [][]*Program) error {
 	na := len(s.prob.Quad.Directions)
 	np := s.d.NumPatches()
 	graphs := make([]*graph.PatchGraph, 0, na*np)
 	clusters := make([][][]int32, 0, na*np)
+	local := int64(0)
 	for a := 0; a < na; a++ {
 		for p := 0; p < np; p++ {
 			graphs = append(graphs, s.graphs[a][p])
-			clusters = append(clusters, progs[a][p].Clusters())
+			cs := progs[a][p].Clusters()
+			if s.runsLocally(p) {
+				local += int64(len(cs))
+			}
+			clusters = append(clusters, cs)
+		}
+	}
+	s.stats.CoarseClusters = local
+	if s.distributed {
+		if err := s.gatherClusters(clusters); err != nil {
+			return err
 		}
 	}
 	cg, err := graph.Coarsen(graphs, clusters)

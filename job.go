@@ -23,12 +23,12 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"strings"
 	"time"
 
 	"jsweep/internal/comm"
 	"jsweep/internal/nodespec"
 	"jsweep/internal/registry"
+	"jsweep/internal/serve"
 	"jsweep/internal/simcluster"
 	"jsweep/internal/transport"
 )
@@ -71,8 +71,11 @@ type BalanceReport = transport.BalanceReport
 //
 //   - inproc / tcp-attach: Result (full flux), Stats, Cluster, FluxHash,
 //     Trail, and Verified when requested;
-//   - tcp-launch: FluxHash (certified identical across all ranks) and
-//     Verified — the flux itself lives in the node processes;
+//   - tcp-launch: everything the in-process backends report — rank 0
+//     streams the converged flux, balance, statistics and per-iteration
+//     events back to the launcher — plus the FluxHash certificate
+//     (asserted identical across all ranks, and across all hosts under
+//     WithHosts);
 //   - sim: Sim (virtual makespan and cost breakdown).
 type RunResult struct {
 	// Backend is the backend that executed the job (Auto resolved).
@@ -104,6 +107,7 @@ type jobConfig struct {
 	transport   MessageTransport
 	log         io.Writer
 	nodeCommand []string
+	hosts       []string
 	verify      bool
 	timeout     time.Duration
 	attach      *attachConfig
@@ -121,8 +125,10 @@ type attachConfig struct {
 type JobOption func(*jobConfig)
 
 // WithProgress installs a per-iteration callback (iteration, residual,
-// sweep statistics). It runs on the solve goroutine; a slow callback
-// slows the solve. inproc and tcp-attach backends only.
+// sweep statistics). On the in-process backends it runs on the solve
+// goroutine — a slow callback slows the solve; on tcp-launch jobs the
+// events are streamed from rank 0's process and the callback runs on the
+// launcher's collector goroutine. Not available on BackendSim.
 func WithProgress(fn func(ProgressEvent)) JobOption {
 	return func(c *jobConfig) { c.progress = fn }
 }
@@ -139,6 +145,12 @@ func WithTransport(tr MessageTransport) JobOption {
 // WithAttach makes a tcp-attach job join the cluster itself: this
 // process becomes rank `rank` of the cluster named `cluster`, wired
 // through the rendezvous service at `rendezvous`.
+//
+// WithAttach predates the serve daemon and remains supported, but new
+// deployments that want a long-lived per-host worker should run
+// jsweep-serve and submit jobs through Client (or place launches with
+// WithHosts) instead: the daemon adds admission control, per-job
+// timeouts and warm solver reuse that a hand-attached rank lacks.
 func WithAttach(cluster string, rank int, rendezvous string) JobOption {
 	return func(c *jobConfig) { c.attach = &attachConfig{cluster: cluster, rank: rank, rendezvous: rendezvous} }
 }
@@ -153,6 +165,17 @@ func WithLog(w io.Writer) JobOption {
 // executable, then on PATH).
 func WithNodeCommand(argv []string) JobOption {
 	return func(c *jobConfig) { c.nodeCommand = append([]string(nil), argv...) }
+}
+
+// WithHosts places a tcp-launch job across running jsweep-serve daemons
+// instead of spawning node processes locally: the launcher probes each
+// daemon's advertised capacity, carves the spec's ranks into contiguous
+// slices greedily (earlier daemons fill first; the first hosts rank 0),
+// and submits one slice job per daemon. The cluster wire path and the
+// cross-rank flux-hash certificate are unchanged — only placement moves
+// from fork/exec to job submission. BackendTCPLaunch only.
+func WithHosts(daemons ...string) JobOption {
+	return func(c *jobConfig) { c.hosts = append([]string(nil), daemons...) }
 }
 
 // WithVerify cross-checks the converged flux against the serial
@@ -193,12 +216,14 @@ func NewJob(spec NodeSpec, opts ...JobOption) (*Job, error) {
 	for _, o := range opts {
 		o(&j.cfg)
 	}
-	b := spec.Backend
-	if !b.Valid() {
-		return nil, fmt.Errorf("jsweep: unknown backend %q (have %s)", b, strings.Join(Backends(), " | "))
+	// Schema validation first: every field failure surfaces as a typed
+	// *SpecValidateError before any option/backend reasoning.
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
-	if _, ok := registry.Lookup(j.meshName()); !ok {
-		return nil, fmt.Errorf("jsweep: unknown mesh kind %q (have %s)", j.meshName(), registry.Usage())
+	b := spec.Backend
+	if j.cfg.hosts != nil && b != BackendTCPLaunch {
+		return nil, fmt.Errorf("jsweep: WithHosts requires backend %q", BackendTCPLaunch)
 	}
 	switch b {
 	case BackendAuto, BackendInProc:
@@ -219,8 +244,8 @@ func NewJob(spec NodeSpec, opts ...JobOption) (*Job, error) {
 		if j.cfg.transport != nil || j.cfg.attach != nil {
 			return nil, fmt.Errorf("jsweep: backend %q launches its own cluster — drop WithTransport/WithAttach", b)
 		}
-		if j.cfg.progress != nil {
-			return nil, fmt.Errorf("jsweep: WithProgress is not available on backend %q (iterations run in the node processes)", b)
+		if j.cfg.hosts != nil && j.cfg.nodeCommand != nil {
+			return nil, fmt.Errorf("jsweep: WithHosts submits to daemons — WithNodeCommand does not apply")
 		}
 	case BackendSim:
 		if j.cfg.transport != nil || j.cfg.attach != nil || j.cfg.nodeCommand != nil {
@@ -350,24 +375,99 @@ func (j *Job) runJoin(ctx context.Context) (*RunResult, error) {
 	return res, nil
 }
 
-// runLaunch is tcp-launch: one node OS process per rank on this host.
+// runLaunch is tcp-launch: one node OS process per rank on this host
+// (or one rank slice per serve daemon under WithHosts). The launch is
+// result-complete: a collector listens on loopback, rank 0 dials it and
+// streams per-iteration progress plus the full converged result back,
+// and the launch-level flux-hash certificate is layered on top.
 func (j *Job) runLaunch(ctx context.Context) (*RunResult, error) {
+	if len(j.cfg.hosts) > 0 {
+		return j.runHosts(ctx)
+	}
+	res := &RunResult{Backend: BackendTCPLaunch}
+	col, err := serve.NewCollector()
+	if err != nil {
+		return nil, err
+	}
+	defer col.Close()
+	collectCtx, stopCollect := context.WithCancel(ctx)
+	defer stopCollect()
+	type collected struct {
+		nr  *nodespec.NodeResult
+		err error
+	}
+	done := make(chan collected, 1)
+	go func() {
+		nr, cerr := col.Collect(collectCtx, func(ev ProgressEvent) {
+			res.Trail = append(res.Trail, ev)
+			if j.cfg.progress != nil {
+				j.cfg.progress(ev)
+			}
+		})
+		done <- collected{nr, cerr}
+	}()
 	lr, err := nodespec.LaunchLocalCtx(ctx, LaunchConfig{
 		Spec:        j.spec,
 		NodeCommand: j.cfg.nodeCommand,
 		Verify:      j.cfg.verify,
+		ResultAddr:  col.Addr(),
 		Timeout:     j.cfg.timeout,
 		Log:         j.cfg.log,
 	})
 	if err != nil {
+		stopCollect()
+		<-done
 		return nil, err
 	}
-	return &RunResult{
-		Backend:  BackendTCPLaunch,
-		FluxHash: lr.FluxHash,
-		Verified: lr.Verified,
-		Wall:     lr.Wall,
-	}, nil
+	// Rank 0 wrote its terminal frame before exiting, so the stream is
+	// already complete (or conclusively broken) once the launch returns;
+	// the grace period only covers the collector still draining buffers.
+	var c collected
+	select {
+	case c = <-done:
+	case <-time.After(10 * time.Second):
+		stopCollect()
+		c = <-done
+	}
+	if c.err != nil {
+		// The cross-rank hash certificate stands on its own: a broken
+		// result stream degrades the result to hash-only, it does not
+		// fail a solve every rank completed and certified.
+		if j.cfg.log != nil {
+			fmt.Fprintf(j.cfg.log, "jsweep: launch result stream broken (hash-only result): %v\n", c.err)
+		}
+	} else {
+		res.fillFromNode(c.nr)
+	}
+	res.FluxHash = lr.FluxHash
+	res.Verified = lr.Verified
+	res.Wall = lr.Wall
+	return res, nil
+}
+
+// runHosts is tcp-launch over serve daemons: multi-host placement.
+func (j *Job) runHosts(ctx context.Context) (*RunResult, error) {
+	res := &RunResult{Backend: BackendTCPLaunch}
+	hr, err := serve.LaunchHosts(ctx, serve.HostConfig{
+		Spec:    j.spec,
+		Daemons: j.cfg.hosts,
+		Verify:  j.cfg.verify,
+		Timeout: j.cfg.timeout,
+		Log:     j.cfg.log,
+		Progress: func(ev ProgressEvent) {
+			res.Trail = append(res.Trail, ev)
+			if j.cfg.progress != nil {
+				j.cfg.progress(ev)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.fillFromNode(hr.Result)
+	res.FluxHash = hr.FluxHash
+	res.Wall = hr.Wall
+	return res, nil
 }
 
 // runSim replays the job on the discrete-event cluster simulator.

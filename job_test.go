@@ -140,8 +140,10 @@ func TestNewJobValidation(t *testing.T) {
 			[]jsweep.JobOption{jsweep.WithTransport(mem)}, true},
 		{"launch with transport", jsweep.NodeSpec{Backend: jsweep.BackendTCPLaunch},
 			[]jsweep.JobOption{jsweep.WithTransport(mem)}, false},
+		// Since the result-complete launch path, rank 0 streams its
+		// per-iteration events back to the launcher — progress is legal.
 		{"launch with progress", jsweep.NodeSpec{Backend: jsweep.BackendTCPLaunch},
-			[]jsweep.JobOption{jsweep.WithProgress(func(jsweep.ProgressEvent) {})}, false},
+			[]jsweep.JobOption{jsweep.WithProgress(func(jsweep.ProgressEvent) {})}, true},
 		{"sim with verify", jsweep.NodeSpec{Backend: jsweep.BackendSim},
 			[]jsweep.JobOption{jsweep.WithVerify()}, false},
 		{"sim with transport", jsweep.NodeSpec{Backend: jsweep.BackendSim},

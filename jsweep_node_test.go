@@ -18,12 +18,14 @@ import (
 
 	"jsweep"
 	"jsweep/internal/nodespec"
+	"jsweep/internal/serve"
 )
 
 func TestMain(m *testing.M) {
 	if os.Getenv(nodespec.EnvRank) != "" {
-		// Child mode: behave as a jsweep-node worker and exit.
-		if err := nodespec.RunFromEnv(os.Stdout); err != nil {
+		// Child mode: behave as a jsweep-node worker (result streaming
+		// included, so launched jobs are result-complete) and exit.
+		if err := serve.RunNodeFromEnv(os.Stdout); err != nil {
 			os.Stderr.WriteString(err.Error() + "\n")
 			os.Exit(1)
 		}

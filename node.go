@@ -35,7 +35,30 @@ type (
 	LaunchResult = nodespec.LaunchResult
 	// Rendezvous is the cluster bring-up service ranks report to.
 	Rendezvous = netcomm.Rendezvous
+	// SpecFieldError is one typed NodeSpec validation failure: the JSON
+	// field that is wrong and why.
+	SpecFieldError = nodespec.FieldError
+	// SpecValidateError aggregates every field failure of one
+	// NodeSpec.Validate call (errors.As-matchable).
+	SpecValidateError = nodespec.ValidateError
 )
+
+// CurrentSpecVersion is the NodeSpec wire-schema version this build
+// speaks; see NodeSpec.SpecVersion.
+const CurrentSpecVersion = nodespec.CurrentSpecVersion
+
+// MarshalSpec encodes a spec as versioned JSON (the submission wire
+// form); UnmarshalSpec is the strict inverse (unknown fields and newer
+// schema versions are rejected, never guessed at).
+func MarshalSpec(s NodeSpec) (string, error) { return nodespec.MarshalSpec(s) }
+
+// UnmarshalSpec decodes a spec from its JSON wire form.
+func UnmarshalSpec(data string) (NodeSpec, error) { return nodespec.UnmarshalSpec(data) }
+
+// FluxHash is the SHA-256 bit-pattern digest of a flux (the value
+// RunResult.FluxHash and the cross-rank launch certificate carry):
+// equal hashes mean bitwise-identical solutions.
+func FluxHash(phi [][]float64) string { return nodespec.FluxHash(phi) }
 
 // NewMemTransport returns an in-memory transport hosting all n ranks in
 // this process (the default backend the runtime creates on its own; the

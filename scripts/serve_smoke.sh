@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# serve_smoke.sh [bindir]
+#
+# End-to-end smoke of the sweep-as-a-service surface, with real
+# processes for every role (mirrors the CI job):
+#
+#   1. one jsweep-serve daemon accepts a queued submission from
+#      `jsweep-run -serve` and streams back a verified, result-complete
+#      solve;
+#   2. two daemons of one slot each host one tcp-launch cluster placed
+#      with `jsweep-run -hosts` — contiguous rank slices, cross-daemon
+#      bitwise-agreement certificate, result still complete;
+#   3. SIGTERM drains both daemons cleanly.
+#
+# Exits non-zero on the first failed assertion.
+set -eu
+
+bin="${1:-bin}"
+go build -o "$bin/" ./cmd/jsweep-run ./cmd/jsweep-node ./cmd/jsweep-serve
+
+# Two fixed loopback ports, offset by the PID to dodge parallel runs.
+p1=$((20000 + $$ % 20000))
+p2=$((p1 + 1))
+log1=$(mktemp)
+log2=$(mktemp)
+
+cleanup() {
+	[ -n "${pid1:-}" ] && kill "$pid1" 2>/dev/null || true
+	[ -n "${pid2:-}" ] && kill "$pid2" 2>/dev/null || true
+	wait 2>/dev/null || true
+	rm -f "$log1" "$log2"
+}
+trap cleanup EXIT
+
+"$bin/jsweep-serve" -listen "127.0.0.1:$p1" -max-jobs 2 -slots 1 >"$log1" 2>&1 &
+pid1=$!
+"$bin/jsweep-serve" -listen "127.0.0.1:$p2" -max-jobs 2 -slots 1 >"$log2" 2>&1 &
+pid2=$!
+
+# Wait for both listeners (the daemons log their address once bound).
+i=0
+until grep -q "listening on" "$log1" && grep -q "listening on" "$log2"; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && { echo "serve-smoke: daemons never came up" >&2; cat "$log1" "$log2" >&2; exit 1; }
+	sleep 0.1
+done
+
+echo "== two concurrent submissions to one daemon (kobayashi + cyclic) =="
+outk=$(mktemp)
+"$bin/jsweep-run" -serve "127.0.0.1:$p1" \
+	-mesh kobayashi -n 8 -sn 2 -scatter -procs 2 -workers 2 -verify -progress >"$outk" 2>&1 &
+subpid=$!
+out=$("$bin/jsweep-run" -serve "127.0.0.1:$p1" \
+	-mesh cyclic -cells 300 -sn 2 -patch 80 -procs 2 -workers 2 -verify)
+wait "$subpid" || { echo "serve-smoke: kobayashi submission failed" >&2; cat "$outk" >&2; rm -f "$outk"; exit 1; }
+cat "$outk"
+printf '%s\n' "$out"
+for want in "^submitted job-" "verify OK" "converged=true"; do
+	grep -q "$want" "$outk" || { echo "serve-smoke: kobayashi submission missing '$want'" >&2; rm -f "$outk"; exit 1; }
+	printf '%s\n' "$out" | grep -q "$want" || { echo "serve-smoke: cyclic submission missing '$want'" >&2; rm -f "$outk"; exit 1; }
+done
+rm -f "$outk"
+
+echo "== place one tcp-launch cluster across both daemons =="
+out=$("$bin/jsweep-run" -backend tcp-launch -hosts "127.0.0.1:$p1,127.0.0.1:$p2" \
+	-mesh kobayashi -n 8 -sn 2 -scatter -procs 2 -workers 2 -verify)
+printf '%s\n' "$out"
+printf '%s\n' "$out" | grep -q "launch ok: 2 ranks agree" || { echo "serve-smoke: placed launch not certified" >&2; exit 1; }
+printf '%s\n' "$out" | grep -q "verify OK" || { echo "serve-smoke: placed launch not verified" >&2; exit 1; }
+printf '%s\n' "$out" | grep -q "converged=true" || { echo "serve-smoke: placed launch not result-complete" >&2; exit 1; }
+grep -q "ranks=\[0,1)" "$log1" || { echo "serve-smoke: first daemon did not host rank 0" >&2; cat "$log1" >&2; exit 1; }
+grep -q "ranks=\[1,2)" "$log2" || { echo "serve-smoke: second daemon did not host rank 1" >&2; cat "$log2" >&2; exit 1; }
+
+echo "== drain on SIGTERM =="
+kill -TERM "$pid1" "$pid2"
+wait "$pid1" "$pid2"
+pid1=""
+pid2=""
+grep -q "serve: closed" "$log1" || { echo "serve-smoke: first daemon did not drain" >&2; cat "$log1" >&2; exit 1; }
+grep -q "serve: closed" "$log2" || { echo "serve-smoke: second daemon did not drain" >&2; cat "$log2" >&2; exit 1; }
+
+echo "serve-smoke ok: queued submission, two-daemon placement, graceful drain"

@@ -1,0 +1,279 @@
+package jsweep_test
+
+// End-to-end tests of the remote-submission surface: result-complete
+// tcp-launch jobs (the full flux streams back from rank 0's process),
+// multi-host placement over serve daemons via WithHosts, and the public
+// Client against an embedded daemon. The node child processes re-exec
+// this test binary (see TestMain in jsweep_node_test.go).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"jsweep"
+)
+
+// syncBuf is a race-safe log sink shared between daemons and launchers.
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// slowSpec runs long enough for queue and cancellation assertions to
+// act before it finishes: an unreachable tolerance on a scattering
+// problem iterates for many seconds (the cyclic mesh would reach its
+// exact fixed point within milliseconds).
+func slowSpec() jsweep.NodeSpec {
+	return jsweep.NodeSpec{Mesh: "kobayashi", N: 12, SnOrder: 4, Scatter: true,
+		Procs: 2, Workers: 2, Grain: 32, Tol: 1e-300, MaxIters: 1_000_000}
+}
+
+// TestLaunchResultComplete: a tcp-launch job now returns everything an
+// in-process job does — rank 0 streams the converged flux, balance,
+// stats and per-iteration events back to the launcher — on top of the
+// cross-process hash certificate.
+func TestLaunchResultComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-OS-process solve skipped in -short mode")
+	}
+	spec := jsweep.NodeSpec{Mesh: "kobayashi", N: 8, SnOrder: 2, Scatter: true,
+		Backend: jsweep.BackendTCPLaunch,
+		Procs:   2, Workers: 2, Grain: 32, Tol: 1e-8}
+	var events int
+	var log bytes.Buffer
+	job, err := jsweep.NewJob(spec,
+		jsweep.WithNodeCommand([]string{os.Args[0]}),
+		jsweep.WithVerify(),
+		jsweep.WithLog(&log),
+		jsweep.WithProgress(func(jsweep.ProgressEvent) { events++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatalf("launch: %v\nnode output:\n%s", err, log.String())
+	}
+	if !res.Verified || res.FluxHash == "" {
+		t.Fatalf("launch certificate incomplete: %+v", res)
+	}
+	if res.Result == nil || !res.Result.Converged || len(res.Result.Phi) == 0 {
+		t.Fatalf("launch result not result-complete: %+v\nnode output:\n%s", res.Result, log.String())
+	}
+	if jsweep.FluxHash(res.Result.Phi) != res.FluxHash {
+		t.Fatal("streamed flux does not match the certified hash")
+	}
+	if len(res.Balance) == 0 || res.Stats.ComputeCalls == 0 {
+		t.Fatalf("balance/stats missing from streamed result: %+v", res)
+	}
+	if events == 0 || len(res.Trail) != events {
+		t.Fatalf("progress stream: %d events, trail %d", events, len(res.Trail))
+	}
+	if res.Trail[len(res.Trail)-1].Iteration != res.Result.Iterations {
+		t.Fatalf("trail ends at iteration %d, result says %d",
+			res.Trail[len(res.Trail)-1].Iteration, res.Result.Iterations)
+	}
+}
+
+// TestJobWithHosts: the same tcp-launch job placed across two serve
+// daemons of one slot each — rank 0 on the first, rank 1 on the second,
+// hashes cross-checked, result still complete and verified.
+func TestJobWithHosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon cluster solve skipped in -short mode")
+	}
+	var dlog syncBuf
+	d1, err := jsweep.Serve(jsweep.ServeConfig{Slots: 1, Log: &dlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d1.Close()
+	d2, err := jsweep.Serve(jsweep.ServeConfig{Slots: 1, Log: &dlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+
+	spec := jsweep.NodeSpec{Mesh: "kobayashi", N: 8, SnOrder: 2, Scatter: true,
+		Backend: jsweep.BackendTCPLaunch,
+		Procs:   2, Workers: 2, Grain: 32, Tol: 1e-8}
+	var events int
+	job, err := jsweep.NewJob(spec,
+		jsweep.WithHosts(d1.Addr(), d2.Addr()),
+		jsweep.WithVerify(),
+		jsweep.WithLog(&dlog),
+		jsweep.WithProgress(func(jsweep.ProgressEvent) { events++ }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Run(context.Background())
+	if err != nil {
+		t.Fatalf("placed launch: %v\nlog:\n%s", err, dlog.String())
+	}
+	if !res.Verified || res.FluxHash == "" || res.Result == nil || len(res.Result.Phi) == 0 {
+		t.Fatalf("placed result incomplete: %+v", res)
+	}
+	if jsweep.FluxHash(res.Result.Phi) != res.FluxHash {
+		t.Fatal("placed flux does not match the certified hash")
+	}
+	if events == 0 {
+		t.Fatal("no progress streamed from the placed cluster")
+	}
+
+	// Option/backend mismatches fail at NewJob, same as the rest of the
+	// Job API.
+	if _, err := jsweep.NewJob(jsweep.NodeSpec{Mesh: "kobayashi"},
+		jsweep.WithHosts(d1.Addr())); err == nil {
+		t.Fatal("WithHosts on an inproc job accepted")
+	}
+	if _, err := jsweep.NewJob(spec, jsweep.WithHosts(d1.Addr()),
+		jsweep.WithNodeCommand([]string{os.Args[0]})); err == nil {
+		t.Fatal("WithHosts + WithNodeCommand accepted")
+	}
+}
+
+// TestClientSubmit: the public remote-submission surface — same spec,
+// same options, same RunResult shape as a local Job, plus typed
+// admission errors.
+func TestClientSubmit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	d, err := jsweep.Serve(jsweep.ServeConfig{MaxJobs: 2, Log: new(bytes.Buffer)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := jsweep.NewClient(d.Addr())
+	ctx := context.Background()
+
+	info, err := c.Info(ctx)
+	if err != nil || info.Proto != jsweep.SubmitProtocol || info.Slots == 0 {
+		t.Fatalf("daemon info: %+v %v", info, err)
+	}
+
+	spec := jsweep.NodeSpec{Mesh: "kobayashi", N: 8, SnOrder: 2,
+		Procs: 2, Workers: 2, Tol: 1e-8}
+	var events int
+	h, err := c.Submit(ctx, spec, jsweep.WithVerify(),
+		jsweep.WithProgress(func(jsweep.ProgressEvent) { events++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backend != jsweep.BackendInProc {
+		t.Fatalf("remote job backend = %q, want %q (how the ranks ran)", res.Backend, jsweep.BackendInProc)
+	}
+	if !res.Verified || res.Result == nil || len(res.Result.Phi) == 0 || len(res.Trail) == 0 || events == 0 {
+		t.Fatalf("remote result incomplete: %+v (events=%d)", res, events)
+	}
+	if jsweep.FluxHash(res.Result.Phi) != res.FluxHash {
+		t.Fatal("remote flux does not match its hash")
+	}
+
+	// An invalid spec fails client-side with the same typed schema error
+	// a local NewJob raises (the daemon re-validates independently; its
+	// path is covered by the internal serve tests).
+	bad := spec
+	bad.Mesh = "torus"
+	if _, err = c.Submit(ctx, bad); err == nil || !strings.Contains(err.Error(), "mesh") {
+		t.Fatalf("invalid spec: %v, want a schema error naming the field", err)
+	}
+
+	// Inapplicable options are rejected before any bytes hit the wire.
+	if _, err := c.Submit(ctx, spec, jsweep.WithNodeCommand([]string{"x"})); err == nil {
+		t.Fatal("WithNodeCommand on a submitted job accepted")
+	}
+	if _, err := c.Submit(ctx, spec, jsweep.WithHosts("nowhere:1")); err == nil {
+		t.Fatal("WithHosts on a submitted job accepted")
+	}
+	launchSpec := spec
+	launchSpec.Backend = jsweep.BackendTCPLaunch
+	if _, err := c.Submit(ctx, launchSpec); err == nil {
+		t.Fatal("tcp-launch backend on a submitted job accepted")
+	}
+
+	// Cancellation through the public handle frees the daemon.
+	hs, err := c.Submit(ctx, slowSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-hs.Started()
+	hs.Cancel("test over")
+	if _, err := hs.Wait(ctx); err == nil {
+		t.Fatal("cancelled job reported success")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		info, err := c.Info(ctx)
+		if err == nil && info.Running == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never freed the cancelled job: %+v", info)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestClientQueueFullTyped: the acceptance scenario on the public
+// surface — a one-slot, one-queue-position daemon holds one running and
+// one queued job; the third submission comes back as a typed
+// *AdmissionError with the queue-full code, having never run.
+func TestClientQueueFullTyped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon solve skipped in -short mode")
+	}
+	d, err := jsweep.Serve(jsweep.ServeConfig{MaxJobs: 1, QueueDepth: 1, Log: new(bytes.Buffer)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	c := jsweep.NewClient(d.Addr())
+	ctx := context.Background()
+	slow := slowSpec()
+
+	h1, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h1.Started()
+	h2, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.QueuePos() != 1 {
+		t.Fatalf("queued job position = %d, want 1", h2.QueuePos())
+	}
+	_, err = c.Submit(ctx, slow)
+	var adm *jsweep.AdmissionError
+	if !errors.As(err, &adm) || adm.Code != jsweep.AdmissionQueueFull {
+		t.Fatalf("over-capacity submission: %v, want AdmissionError %s", err, jsweep.AdmissionQueueFull)
+	}
+	h2.Cancel("test over")
+	h1.Cancel("test over")
+	h1.Wait(ctx)
+	h2.Wait(ctx)
+}
