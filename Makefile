@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench net-bench net-smoke serve-smoke cover clean examples api-check
+.PHONY: all build test short race vet fmt bench fuzz agg-bench iter-bench cyclic-bench net-bench obs-bench net-smoke serve-smoke cover clean examples api-check
 
 all: build vet test
 
@@ -69,6 +69,12 @@ cyclic-bench:
 # buffer-pool ablation) and record BENCH_netcomm.json.
 net-bench:
 	$(GO) run ./cmd/jsweep-bench -exp net -fidelity quick -out BENCH_netcomm.json
+
+# Measure the observability layer's hot-path cost (process-default
+# metric registry live vs obs.SetDefault(nil) no-op handles; both legs
+# must produce bitwise identical flux) and record BENCH_obs.json.
+obs-bench:
+	$(GO) run ./cmd/jsweep-bench -exp obs -fidelity quick -out BENCH_obs.json
 
 # Multi-process smoke: 4 jsweep-node OS processes on each wire flavor —
 # shared-memory rings (the tier -wire auto resolves to on one host),

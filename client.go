@@ -187,6 +187,11 @@ type ServeConfig struct {
 	JobTimeout time.Duration
 	// PoolSize bounds the warm solver pool (default 4).
 	PoolSize int
+	// MetricsAddr, when non-empty, binds an HTTP observability listener
+	// serving /metrics (Prometheus text), /healthz, and /statusz (JSON
+	// stats + metric snapshot + job trace). Use "127.0.0.1:0" for an
+	// ephemeral port; ServeDaemon.MetricsAddr reports the bound address.
+	MetricsAddr string
 	// Log receives daemon diagnostics (nil = discard).
 	Log LogWriter
 }
@@ -201,13 +206,14 @@ type LogWriter = interface {
 // cancelled, queued ones rejected, all resources reaped.
 func Serve(cfg ServeConfig) (*ServeDaemon, error) {
 	s, err := serve.Start(serve.Config{
-		Listen:     cfg.Listen,
-		MaxJobs:    cfg.MaxJobs,
-		QueueDepth: cfg.QueueDepth,
-		Slots:      cfg.Slots,
-		JobTimeout: cfg.JobTimeout,
-		PoolSize:   cfg.PoolSize,
-		Log:        cfg.Log,
+		Listen:      cfg.Listen,
+		MaxJobs:     cfg.MaxJobs,
+		QueueDepth:  cfg.QueueDepth,
+		Slots:       cfg.Slots,
+		JobTimeout:  cfg.JobTimeout,
+		PoolSize:    cfg.PoolSize,
+		MetricsAddr: cfg.MetricsAddr,
+		Log:         cfg.Log,
 	})
 	if err != nil {
 		return nil, err
@@ -223,6 +229,18 @@ type ServeDaemon struct {
 // Addr is the daemon's submission address (dial it with NewClient or
 // name it in WithHosts).
 func (d *ServeDaemon) Addr() string { return d.s.Addr() }
+
+// MetricsAddr is the bound observability address ("" when
+// ServeConfig.MetricsAddr was empty).
+func (d *ServeDaemon) MetricsAddr() string { return d.s.MetricsAddr() }
+
+// Stats snapshots the daemon's queue, slot, warm-pool and admission
+// state — the in-process form of /statusz.
+func (d *ServeDaemon) Stats() ServeStats { return d.s.Stats() }
+
+// ServeStats is a daemon health snapshot; see serve.Stats for the
+// field-by-field story.
+type ServeStats = serve.Stats
 
 // Close drains and stops the daemon.
 func (d *ServeDaemon) Close() error { return d.s.Close() }

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"jsweep/internal/nodespec"
+	"jsweep/internal/obs"
 	"jsweep/internal/serve"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		verify  = flag.Bool("verify", os.Getenv(nodespec.EnvVerify) == "1", "cross-check against the serial reference")
 		timeout = flag.Duration("timeout", 60*time.Second, "cluster bring-up timeout")
 		report  = flag.String("report", os.Getenv(nodespec.EnvResult), "result-collector address to stream progress and the terminal result to (rank 0)")
+		trace   = flag.Bool("trace", os.Getenv(nodespec.EnvTrace) == "1", "record solve phase spans and send them back with the result")
 	)
 	flag.Parse()
 
@@ -64,14 +66,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	_, err = serve.RunNodeCtx(ctx, spec, nodespec.NodeOptions{
+	o := nodespec.NodeOptions{
 		Rank:       *rank,
 		Rendezvous: *join,
 		Cluster:    *cluster,
 		Timeout:    *timeout,
 		Verify:     *verify,
 		Log:        os.Stdout,
-	}, *report)
+	}
+	if *trace {
+		o.Tracer = obs.NewTracer(0)
+	}
+	_, err = serve.RunNodeCtx(ctx, spec, o, *report)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "jsweep-node rank %d: %v\n", *rank, err)
 		os.Exit(1)

@@ -51,23 +51,24 @@ import (
 
 func main() {
 	var (
-		meshKind = flag.String("mesh", "kobayashi", registry.Usage())
-		n        = flag.Int("n", 32, "structured cells per axis (kobayashi)")
-		cells    = flag.Int("cells", 20000, "approximate tet count (ball/reactor/cyclic)")
-		snOrder  = flag.Int("sn", 4, "Sn quadrature order")
-		groups   = flag.Int("groups", 1, "energy groups (ball/reactor)")
-		scatter  = flag.Bool("scatter", false, "enable scattering (kobayashi)")
-		patch    = flag.Int("patch", 500, "cells per patch (ball/reactor); kobayashi uses n/4 blocks")
-		procs    = flag.Int("procs", 2, "process ranks")
-		workers  = flag.Int("workers", runtime.NumCPU()/2, "workers per process")
-		grain    = flag.Int("grain", 64, "vertex clustering grain")
-		prio     = flag.String("prio", "SLBD+SLBD", "patch+vertex priority pair")
-		coarse   = flag.Bool("coarse", false, "use the coarsened graph across sweeps (inproc backend)")
-		reuse    = flag.Bool("reuse", true, "reuse one runtime session (processes, workers, buffers) across sweeps")
-		seq      = flag.Bool("seq", false, "run on the sequential engine (inproc backend)")
-		verify   = flag.Bool("verify", false, "cross-check against the serial reference")
-		tol      = flag.Float64("tol", 1e-7, "source-iteration tolerance")
-		progress = flag.Bool("progress", false, "print one line per source iteration")
+		meshKind  = flag.String("mesh", "kobayashi", registry.Usage())
+		n         = flag.Int("n", 32, "structured cells per axis (kobayashi)")
+		cells     = flag.Int("cells", 20000, "approximate tet count (ball/reactor/cyclic)")
+		snOrder   = flag.Int("sn", 4, "Sn quadrature order")
+		groups    = flag.Int("groups", 1, "energy groups (ball/reactor)")
+		scatter   = flag.Bool("scatter", false, "enable scattering (kobayashi)")
+		patch     = flag.Int("patch", 500, "cells per patch (ball/reactor); kobayashi uses n/4 blocks")
+		procs     = flag.Int("procs", 2, "process ranks")
+		workers   = flag.Int("workers", runtime.NumCPU()/2, "workers per process")
+		grain     = flag.Int("grain", 64, "vertex clustering grain")
+		prio      = flag.String("prio", "SLBD+SLBD", "patch+vertex priority pair")
+		coarse    = flag.Bool("coarse", false, "use the coarsened graph across sweeps (inproc backend)")
+		reuse     = flag.Bool("reuse", true, "reuse one runtime session (processes, workers, buffers) across sweeps")
+		seq       = flag.Bool("seq", false, "run on the sequential engine (inproc backend)")
+		verify    = flag.Bool("verify", false, "cross-check against the serial reference")
+		tol       = flag.Float64("tol", 1e-7, "source-iteration tolerance")
+		progress  = flag.Bool("progress", false, "print one line per source iteration")
+		traceFile = flag.String("trace", "", "write the job's span trace (JSONL: build + per-iteration source/sweep/residual phases) to this file")
 
 		backend   = flag.String("backend", "inproc", "inproc | tcp-launch | sim (aliases: mem, tcp)")
 		wire      = flag.String("wire", "auto", "wire flavor between ranks: auto | tcp | uds | shm (auto = shared-memory rings between co-located ranks, then Unix sockets, TCP across hosts)")
@@ -135,12 +136,19 @@ func main() {
 			log.Fatal(err)
 		}
 		render(spec, res, *verify)
+		dumpTrace(*traceFile, res.Trace)
 		return
 	}
 
 	opts := []jsweep.JobOption{}
 	if *verify {
 		opts = append(opts, jsweep.WithVerify())
+	}
+	if *traceFile != "" {
+		if parseBackend(*backend) == jsweep.BackendSim {
+			log.Fatal("-trace does not apply to -backend sim (one sweep, virtual time)")
+		}
+		opts = append(opts, jsweep.WithTrace())
 	}
 	switch spec.Backend {
 	case jsweep.BackendTCPLaunch:
@@ -181,6 +189,23 @@ func main() {
 		log.Fatal(err)
 	}
 	render(spec, res, *verify)
+	dumpTrace(*traceFile, res.Trace)
+}
+
+// dumpTrace writes a traced job's span events as JSONL.
+func dumpTrace(path string, events []jsweep.TraceEvent) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := jsweep.WriteTrace(f, events); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d events -> %s\n", len(events), path)
 }
 
 func render(spec jsweep.NodeSpec, res *jsweep.RunResult, verify bool) {

@@ -31,29 +31,34 @@ import (
 
 func main() {
 	var (
-		listen     = flag.String("listen", "127.0.0.1:7070", "submission listener address (use :7070 to serve other hosts)")
-		maxJobs    = flag.Int("max-jobs", 2, "jobs running concurrently")
-		queue      = flag.Int("queue", 8, "admitted-but-waiting jobs before typed queue-full rejections")
-		slots      = flag.Int("slots", runtime.NumCPU(), "advertised rank capacity for multi-host placement")
-		jobTimeout = flag.Duration("job-timeout", 10*time.Minute, "hard cap on any one job's run time")
-		pool       = flag.Int("pool", 4, "warm solver sessions kept across jobs (0 disables)")
+		listen      = flag.String("listen", "127.0.0.1:7070", "submission listener address (use :7070 to serve other hosts)")
+		maxJobs     = flag.Int("max-jobs", 2, "jobs running concurrently")
+		queue       = flag.Int("queue", 8, "admitted-but-waiting jobs before typed queue-full rejections")
+		slots       = flag.Int("slots", runtime.NumCPU(), "advertised rank capacity for multi-host placement")
+		jobTimeout  = flag.Duration("job-timeout", 10*time.Minute, "hard cap on any one job's run time")
+		pool        = flag.Int("pool", 4, "warm solver sessions kept across jobs (0 disables)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /healthz, /statusz on this address (empty disables)")
 	)
 	flag.Parse()
 
 	d, err := jsweep.Serve(jsweep.ServeConfig{
-		Listen:     *listen,
-		MaxJobs:    *maxJobs,
-		QueueDepth: *queue,
-		Slots:      *slots,
-		JobTimeout: *jobTimeout,
-		PoolSize:   *pool,
-		Log:        os.Stdout,
+		Listen:      *listen,
+		MaxJobs:     *maxJobs,
+		QueueDepth:  *queue,
+		Slots:       *slots,
+		JobTimeout:  *jobTimeout,
+		PoolSize:    *pool,
+		MetricsAddr: *metricsAddr,
+		Log:         os.Stdout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("jsweep-serve: listening on %s (slots=%d max-jobs=%d queue=%d proto=%d)\n",
 		d.Addr(), *slots, *maxJobs, *queue, jsweep.SubmitProtocol)
+	if a := d.MetricsAddr(); a != "" {
+		fmt.Printf("jsweep-serve: metrics on http://%s/metrics\n", a)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -97,6 +97,7 @@ func All() []Experiment {
 		{ID: "iter", Title: "§IV — persistent-session iteration throughput (reuse on/off, real runtime)", Run: IterationReuse},
 		{ID: "cyclic", Title: "cyclic meshes — SCC detection + feedback-edge flux lagging (twisted rings)", Run: CyclicLagging},
 		{ID: "net", Title: "transport backends — in-memory vs Unix-socket vs TCP-localhost × aggregation (real runtime)", Run: NetBackend},
+		{ID: "obs", Title: "observability — metrics overhead, instrumented vs no-op registry (real runtime)", Run: ObsOverhead},
 	}
 }
 

@@ -34,7 +34,7 @@ func series(pts []Point, name string) []Point {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig9a", "fig9b", "fig12a", "fig12b", "fig13a", "fig13b",
-		"fig14a", "fig14b", "fig15", "fig16", "fig17a", "fig17b", "tab1", "coarse", "real", "agg", "iter", "cyclic", "net"}
+		"fig14a", "fig14b", "fig15", "fig16", "fig17a", "fig17b", "tab1", "coarse", "real", "agg", "iter", "cyclic", "net", "obs"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %s missing from registry", id)

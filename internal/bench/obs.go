@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"jsweep/internal/kobayashi"
+	"jsweep/internal/obs"
+	"jsweep/internal/priority"
+	"jsweep/internal/sweep"
+	"jsweep/internal/transport"
+)
+
+// ObsOverhead measures the cost of the observability layer on the hot
+// solve path: the same source iteration with the process-default metric
+// registry live (every transport frame counted, every round folded into
+// histograms) against obs.SetDefault(nil), which turns every handle
+// minted at solver construction into a no-op. The contract (DESIGN.md)
+// is that instrumentation stays within 1% of the uninstrumented
+// per-iteration time and never perturbs the numerics — both legs must
+// converge to bitwise identical flux. After a warmup solve the legs run
+// as interleaved pairs with alternating order, and the reported overhead
+// is a trimmed mean of the per-pair wall-time ratios: interleaving
+// cancels slow drift (thermal, background load), alternation cancels
+// position-in-pair bias, and trimming discards the pairs where a GC
+// cycle or scheduler hiccup landed inside one leg. The residual noise
+// (two standard errors) rides along in the output so a run only flags
+// the budget when the overhead is significant, not when the scheduler
+// had a bad second.
+func ObsOverhead(f Fidelity, w io.Writer) ([]Point, error) {
+	kobaN := 16
+	snOrder := 2
+	reps := 15
+	switch f {
+	case Standard:
+		kobaN = 24
+		snOrder = 4
+	case Paper:
+		kobaN = 32
+		snOrder = 4
+		reps = 9
+	}
+
+	prob, km, err := kobayashi.Build(kobayashi.Spec{
+		N: kobaN, SnOrder: snOrder, Scattering: true, Scheme: transport.Diamond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	b := kobaN / 4
+	d, err := km.BlockDecompose(b, b, b)
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("kobayashi-%d", kobaN)
+
+	procs := 2
+	workers := maxI(1, runtime.NumCPU()/procs-1)
+	opts := sweep.Options{
+		Procs: procs, Workers: workers, Grain: 64,
+		Pair: priority.Pair{Patch: priority.SLBD, Vertex: priority.SLBD},
+	}
+	iterCfg := transport.IterConfig{Tolerance: 1e-6, MaxIterations: 200}
+
+	// Metric handles resolve against obs.Default() at solver construction,
+	// so each leg swaps the default before NewSolver and the deferred
+	// restore puts the process registry back whatever happens.
+	prev := obs.Default()
+	defer obs.SetDefault(prev)
+
+	once := func(reg *obs.Registry) (*transport.Result, float64, error) {
+		obs.SetDefault(reg)
+		s, err := sweep.NewSolver(prob, d, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		t0 := time.Now()
+		r, err := transport.SourceIterate(prob, s, iterCfg)
+		wall := time.Since(t0).Seconds()
+		s.Close()
+		return r, wall, err
+	}
+
+	// One untimed warmup solve heats the allocator and scheduler, then
+	// each rep times one instrumented and one no-op solve back to back.
+	if _, _, err := once(obs.NewRegistry()); err != nil {
+		return nil, fmt.Errorf("bench: %s warmup: %w", name, err)
+	}
+	var resOn, resOff *transport.Result
+	var sumOn, sumOff float64
+	ratios := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		// Alternate which leg leads the pair so any position-in-pair bias
+		// (cache residue from the previous solve) cancels too.
+		legs := []*obs.Registry{obs.NewRegistry(), nil}
+		if i%2 == 1 {
+			legs[0], legs[1] = legs[1], legs[0]
+		}
+		var wallOn, wallOff float64
+		for _, reg := range legs {
+			r, wall, err := once(reg)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s rep %d: %w", name, i, err)
+			}
+			if reg != nil {
+				resOn, wallOn = r, wall
+			} else {
+				resOff, wallOff = r, wall
+			}
+		}
+		sumOn += wallOn
+		sumOff += wallOff
+		ratios = append(ratios, wallOn/wallOff)
+	}
+
+	if resOn.Iterations != resOff.Iterations {
+		return nil, fmt.Errorf("bench: %s iteration counts diverge: instrumented=%d no-op=%d",
+			name, resOn.Iterations, resOff.Iterations)
+	}
+	for g := range resOff.Phi {
+		for c := range resOff.Phi[g] {
+			if resOff.Phi[g][c] != resOn.Phi[g][c] {
+				return nil, fmt.Errorf("bench: %s flux diverges at group %d cell %d", name, g, c)
+			}
+		}
+	}
+
+	iters := float64(resOn.Iterations)
+	onPer := sumOn / float64(reps) / iters
+	offPer := sumOff / float64(reps) / iters
+
+	// A GC cycle or a scheduler hiccup landing inside one leg of a pair
+	// skews that pair's ratio by several percent, so the point estimate
+	// is a 20%-trimmed mean of the per-pair ratios and the noise bound is
+	// two standard errors of the surviving pairs. Only an overhead that
+	// clears the budget by more than the noise is a real regression.
+	sort.Float64s(ratios)
+	trim := len(ratios) / 5
+	kept := ratios[trim : len(ratios)-trim]
+	var mean, ss float64
+	for _, r := range kept {
+		mean += r
+	}
+	mean /= float64(len(kept))
+	for _, r := range kept {
+		ss += (r - mean) * (r - mean)
+	}
+	noise := 0.0
+	if n := len(kept); n > 1 {
+		noise = 2 * math.Sqrt(ss/float64(n-1)/float64(n))
+	}
+	overhead := mean - 1
+
+	fmt.Fprintf(w, "Observability overhead (%s): %dp×%dw, %d interleaved pairs\n",
+		f, procs, workers, reps)
+	fmt.Fprintf(w, "  %-18s %6s %16s %16s %14s\n",
+		"case", "iters", "noop [ms/iter]", "instr [ms/iter]", "overhead")
+	verdict := "within 1% budget"
+	if overhead-noise > 0.01 {
+		verdict = "OVER the 1% budget"
+	}
+	fmt.Fprintf(w, "  %-18s %6d %16.2f %16.2f %+7.2f%%±%.2f%%  (%s)\n",
+		name, resOn.Iterations, 1e3*offPer, 1e3*onPer, 100*overhead, 100*noise, verdict)
+
+	return []Point{
+		{Series: name + "/noop", X: iters, Value: offPer},
+		{Series: name + "/instrumented", X: iters, Value: onPer},
+		{Series: name + "/overhead", X: iters, Value: overhead},
+		{Series: name + "/noise", X: iters, Value: noise},
+	}, nil
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"jsweep/internal/obs"
+)
+
+// Shape: the overhead experiment reports both legs' per-iteration times,
+// the overhead ratio and its noise bound, prints a verdict against the
+// 1% budget, and leaves the process-default registry exactly as it
+// found it (the bitwise flux identity between legs is asserted inside
+// the experiment itself).
+func TestObsOverheadExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs paired full solves")
+	}
+	before := obs.Default()
+	var sb strings.Builder
+	e, ok := Find("obs")
+	if !ok {
+		t.Fatal("experiment obs not registered")
+	}
+	pts, err := e.Run(Quick, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.Default() != before {
+		t.Fatal("experiment did not restore the default registry")
+	}
+	noop := series(pts, "kobayashi-16/noop")
+	instr := series(pts, "kobayashi-16/instrumented")
+	over := series(pts, "kobayashi-16/overhead")
+	noise := series(pts, "kobayashi-16/noise")
+	if len(noop) != 1 || len(instr) != 1 || len(over) != 1 || len(noise) != 1 {
+		t.Fatalf("series shapes: noop=%d instr=%d overhead=%d noise=%d",
+			len(noop), len(instr), len(over), len(noise))
+	}
+	if noop[0].Value <= 0 || instr[0].Value <= 0 {
+		t.Fatalf("non-positive per-iteration times: noop=%g instr=%g", noop[0].Value, instr[0].Value)
+	}
+	if noise[0].Value < 0 {
+		t.Fatalf("negative noise bound %g", noise[0].Value)
+	}
+	if !strings.Contains(sb.String(), "1% budget") {
+		t.Fatalf("output carries no budget verdict:\n%s", sb.String())
+	}
+}

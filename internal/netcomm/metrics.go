@@ -1,0 +1,67 @@
+package netcomm
+
+import "jsweep/internal/obs"
+
+// netMetrics is the transport's hook into the obs registry: frame and
+// byte counters keyed by direction, wire tier and lane, the writev
+// batch-size histogram, and the shm doorbell/park counters. Handles are
+// resolved from obs.Default() once per transport at mesh build — the
+// zero value (hand-built transports in tests, or a disabled default
+// registry) is all nil handles, which no-op.
+type netMetrics struct {
+	frames      *obs.CounterVec   // jsweep_net_frames_total{dir,tier,lane}
+	bytes       *obs.CounterVec   // jsweep_net_bytes_total{dir,tier,lane}
+	writevBatch *obs.HistogramVec // jsweep_net_writev_batch_frames{tier}
+	degraded    *obs.Counter      // jsweep_net_degraded_pairs_total
+	parks       *obs.CounterVec   // jsweep_net_shm_parks_total{side}
+	doorbells   *obs.Counter      // jsweep_net_shm_doorbells_total
+}
+
+func newNetMetrics(r *obs.Registry) netMetrics {
+	if r == nil {
+		return netMetrics{}
+	}
+	return netMetrics{
+		frames: r.CounterVec("jsweep_net_frames_total",
+			"Wire frames by direction, physical tier (tcp/unix/shm) and lane (data/oob).",
+			"dir", "tier", "lane"),
+		bytes: r.CounterVec("jsweep_net_bytes_total",
+			"Wire bytes (headers included) by direction, tier and lane.",
+			"dir", "tier", "lane"),
+		writevBatch: r.HistogramVec("jsweep_net_writev_batch_frames",
+			"Frames coalesced into one scatter-gather write, by tier.", "tier"),
+		degraded: r.Counter("jsweep_net_degraded_pairs_total",
+			"Directed peer pairs that came up below the tier wire=auto aimed for."),
+		parks: r.CounterVec("jsweep_net_shm_parks_total",
+			"Ring-side parks after the spin budget, by side (read/write).", "side"),
+		doorbells: r.Counter("jsweep_net_shm_doorbells_total",
+			"KindWake doorbell frames sent to unpark a peer's ring side."),
+	}
+}
+
+// laneCounters caches one direction+tier's per-lane handles so the
+// frame loops pay map lookups once per peer, not per frame.
+type laneCounters struct {
+	dataFrames, oobFrames *obs.Counter
+	dataBytes, oobBytes   *obs.Counter
+}
+
+func (m netMetrics) lanes(dir, tier string) laneCounters {
+	return laneCounters{
+		dataFrames: m.frames.With(dir, tier, "data"),
+		oobFrames:  m.frames.With(dir, tier, "oob"),
+		dataBytes:  m.bytes.With(dir, tier, "data"),
+		oobBytes:   m.bytes.With(dir, tier, "oob"),
+	}
+}
+
+// count records one frame of kind with the given wire size.
+func (lc laneCounters) count(kind byte, wireBytes int64) {
+	if kind == KindOOB {
+		lc.oobFrames.Inc()
+		lc.oobBytes.Add(wireBytes)
+	} else {
+		lc.dataFrames.Inc()
+		lc.dataBytes.Add(wireBytes)
+	}
+}

@@ -64,6 +64,10 @@ type Transport struct {
 	// WireAuto aimed for (set once at mesh build, immutable after).
 	degraded int
 
+	// m holds the obs handles, resolved from obs.Default() at mesh
+	// build; the zero value is all no-ops.
+	m netMetrics
+
 	closeTimeout time.Duration
 
 	stateMu sync.Mutex
@@ -323,6 +327,8 @@ func (t *Transport) writeLoop(p *peer) {
 		hdrs []byte      // flat header arena, HeaderSize bytes per frame
 		bufs net.Buffers // iovec list: hdr, payload, hdr, payload, ...
 	)
+	lc := t.m.lanes("out", p.network)
+	batchHist := t.m.writevBatch.With(p.network)
 	for {
 		p.mu.Lock()
 		for len(p.outq) == 0 && !p.closing {
@@ -350,6 +356,10 @@ func (t *Transport) writeLoop(p *peer) {
 			frames, bytes := completeFrames(batch, n)
 			t.framesSent.Add(frames)
 			t.wireOut.Add(bytes)
+			batchHist.Observe(float64(frames))
+			for _, m := range batch[:frames] {
+				lc.count(m.kind, int64(HeaderSize+len(m.payload)))
+			}
 			if err != nil {
 				t.fail(fmt.Errorf("write to rank %d: %w", p.rank, err))
 				return
@@ -393,6 +403,7 @@ func (t *Transport) readLoop(p *peer) {
 	br := bufio.NewReaderSize(p.conn, 64<<10)
 	hdr := make([]byte, HeaderSize)
 	sawBye := false
+	lc := t.m.lanes("in", p.network)
 	for {
 		if _, err := io.ReadFull(br, hdr); err != nil {
 			if err == io.EOF && sawBye {
@@ -442,6 +453,7 @@ func (t *Transport) readLoop(p *peer) {
 		}
 		t.framesRecv.Add(1)
 		t.wireIn.Add(int64(HeaderSize + n))
+		lc.count(kind, int64(HeaderSize+n))
 		t.ep.deliver(p.rank, payload, kind == KindOOB)
 	}
 }

@@ -33,6 +33,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"jsweep/internal/obs"
 )
 
 // defaultTimeout bounds the whole cluster bring-up of one Join call.
@@ -527,6 +529,7 @@ func Join(o Options) (*Transport, error) {
 		world:        o.World,
 		peers:        make([]*peer, o.World),
 		closeTimeout: o.CloseTimeout,
+		m:            newNetMetrics(obs.Default()),
 	}
 	t.ep = &Endpoint{t: t, notify: make(chan struct{}, 1)}
 	t.ep.oobCond = sync.NewCond(&t.ep.mu)
@@ -557,6 +560,9 @@ func Join(o Options) (*Transport, error) {
 		}
 		t.peers[rank] = p
 	}
+	// Degradations are decided once at mesh build; fold them into the
+	// process-wide counter here rather than per decision site.
+	t.m.degraded.Add(int64(t.degraded))
 	for _, p := range t.peers {
 		if p == nil {
 			continue

@@ -209,6 +209,9 @@ func (t *Transport) sendDoorbell(p *peer, wake byte) error {
 	p.connW.Lock()
 	_, err := p.conn.Write(frame)
 	p.connW.Unlock()
+	if err == nil {
+		t.m.doorbells.Inc()
+	}
 	return err
 }
 
@@ -246,6 +249,7 @@ func (t *Transport) ringAwaitSpace(p *peer, r *shmRing) error {
 			runtime.Gosched()
 		}
 	}
+	t.m.parks.With("write").Inc()
 	defer r.prodParked.Store(0)
 	for {
 		r.prodParked.Store(1)
@@ -280,6 +284,7 @@ func (t *Transport) ringAwaitData(p *peer, r *shmRing) (bool, error) {
 			runtime.Gosched()
 		}
 	}
+	t.m.parks.With("read").Inc()
 	defer r.consParked.Store(0)
 	for {
 		r.consParked.Store(1)
@@ -343,6 +348,7 @@ func (t *Transport) ringReadFull(p *peer, b []byte) (eof bool, err error) {
 func (t *Transport) shmWriteLoop(p *peer) {
 	defer close(p.wdone)
 	hdr := make([]byte, 0, HeaderSize)
+	lc := t.m.lanes("out", "shm")
 	for {
 		p.mu.Lock()
 		for len(p.outq) == 0 && !p.closing {
@@ -365,6 +371,7 @@ func (t *Transport) shmWriteLoop(p *peer) {
 			}
 			t.framesSent.Add(1)
 			t.wireOut.Add(int64(HeaderSize + len(m.payload)))
+			lc.count(m.kind, int64(HeaderSize+len(m.payload)))
 			if m.pooled {
 				comm.PutBuffer(m.payload)
 			}
@@ -400,6 +407,7 @@ func (t *Transport) shmWriteLoop(p *peer) {
 func (t *Transport) shmReadLoop(p *peer) {
 	defer t.readWG.Done()
 	hdr := make([]byte, HeaderSize)
+	lc := t.m.lanes("in", "shm")
 	for {
 		eof, err := t.ringReadFull(p, hdr)
 		if eof {
@@ -428,6 +436,7 @@ func (t *Transport) shmReadLoop(p *peer) {
 				if err == nil {
 					t.framesRecv.Add(1)
 					t.wireIn.Add(int64(HeaderSize + n))
+					lc.count(kind, int64(HeaderSize+n))
 					t.ep.deliver(p.rank, payload, kind == KindOOB)
 					continue
 				}

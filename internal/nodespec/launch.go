@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"jsweep/internal/netcomm"
+	"jsweep/internal/obs"
 )
 
 // Environment variables carrying a launch's per-node parameters. A
@@ -37,6 +38,9 @@ const (
 	// is set for (rank 0) streams progress and the terminal result back
 	// over the submission lane (internal/serve reads it).
 	EnvResult = "JSWEEP_NODE_RESULT"
+	// EnvTrace asks the node to trace its solve phases ("1"); the
+	// events ride back to the launcher inside the result stream.
+	EnvTrace = "JSWEEP_NODE_TRACE"
 )
 
 // NodeEnv reconstructs a node's spec and options from the environment.
@@ -59,6 +63,9 @@ func NodeEnv() (spec Spec, o NodeOptions, ok bool, err error) {
 		Rendezvous: os.Getenv(EnvRendezvous),
 		Cluster:    os.Getenv(EnvCluster),
 		Verify:     os.Getenv(EnvVerify) == "1",
+	}
+	if os.Getenv(EnvTrace) == "1" {
+		o.Tracer = obs.NewTracer(0)
 	}
 	if o.Rendezvous == "" {
 		return Spec{}, NodeOptions{}, true, fmt.Errorf("nodespec: %s not set", EnvRendezvous)
@@ -93,6 +100,9 @@ type LaunchConfig struct {
 	NodeCommand []string
 	// Verify makes rank 0 cross-check against the serial reference.
 	Verify bool
+	// Trace makes rank 0 trace its solve phases; the events travel back
+	// through the result stream (needs ResultAddr to reach the launcher).
+	Trace bool
 	// ResultAddr, when set, travels to rank 0 as EnvResult: the node
 	// dials the launcher's collector there and streams per-iteration
 	// progress plus the full converged result back (the result-complete
@@ -206,6 +216,9 @@ func LaunchLocalCtx(ctx context.Context, cfg LaunchConfig) (*LaunchResult, error
 		}
 		if cfg.ResultAddr != "" && r == 0 {
 			cmd.Env = append(cmd.Env, EnvResult+"="+cfg.ResultAddr)
+		}
+		if cfg.Trace && r == 0 {
+			cmd.Env = append(cmd.Env, EnvTrace+"=1")
 		}
 		stdout, err := cmd.StdoutPipe()
 		if err != nil {

@@ -11,6 +11,7 @@ import (
 
 	"jsweep/internal/comm"
 	"jsweep/internal/netcomm"
+	"jsweep/internal/obs"
 	"jsweep/internal/sweep"
 	"jsweep/internal/transport"
 )
@@ -34,6 +35,10 @@ type NodeOptions struct {
 	// Progress, when non-nil, receives one event per source iteration
 	// (on the solve goroutine — a slow callback slows the solve).
 	Progress func(Progress)
+	// Tracer, when non-nil, records the rank's solve phases (build,
+	// per-iteration source/sweep/residual spans); the finished
+	// NodeResult carries its events as Trace.
+	Tracer *obs.Tracer
 }
 
 // Progress is one source-iteration event: the iteration outcome plus
@@ -96,6 +101,9 @@ type NodeResult struct {
 	FluxHash string
 	// Verified is set when Verify ran and passed.
 	Verified bool
+	// Trace holds the solve's span events, oldest first, when the run
+	// was traced (NodeOptions.Tracer non-nil); nil otherwise.
+	Trace []obs.Event
 	// Wall is the solve wall time on this rank.
 	Wall time.Duration
 }
@@ -196,6 +204,7 @@ func RunOnCtx(ctx context.Context, spec Spec, tr comm.Transport, o NodeOptions) 
 			fmt.Fprintf(o.Log, "rank=%d "+format+"\n", append([]any{o.Rank}, args...)...)
 		}
 	}
+	tBuild := time.Now()
 	prob, d, err := Build(spec)
 	if err != nil {
 		return nil, err
@@ -211,8 +220,13 @@ func RunOnCtx(ctx context.Context, spec Spec, tr comm.Transport, o NodeOptions) 
 		return nil, err
 	}
 	defer s.Close()
+	if o.Tracer != nil {
+		o.Tracer.Emit(obs.Event{Name: "node.build", Iter: 0, Dur: time.Since(tBuild),
+			Detail: fmt.Sprintf("mesh=%s rank=%d", spec.Mesh, o.Rank)})
+	}
 	t0 := time.Now()
 	cfg := IterConfig(spec)
+	cfg.Tracer = o.Tracer
 	if o.Progress != nil {
 		cfg.Progress = func(p transport.Progress) {
 			o.Progress(Progress{Progress: p, Sweep: s.LastStats()})
@@ -228,6 +242,11 @@ func RunOnCtx(ctx context.Context, spec Spec, tr comm.Transport, o NodeOptions) 
 		Stats:    s.LastStats(),
 		FluxHash: FluxHash(res.Phi),
 		Wall:     time.Since(t0),
+	}
+	if o.Tracer != nil {
+		o.Tracer.Emit(obs.Event{Name: "node.solved", Iter: res.Iterations, Dur: nr.Wall,
+			Detail: "hash=" + nr.FluxHash})
+		nr.Trace = o.Tracer.Events()
 	}
 	for g := 0; g < prob.Groups; g++ {
 		nr.Balance[g] = prob.GroupBalance(res.Phi, g)

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Histogram buckets are powers of two from 2^histMinExp to 2^histMaxExp
+// (inclusive upper bounds), plus an implicit +Inf bucket. The range
+// covers ~1µs..~1000s when observing seconds and 1B..1MiB-and-up when
+// observing sizes, with ~2x resolution — coarse, but every Observe is
+// one Frexp, two atomic adds, and a CAS loop on the sum, which is what
+// lets histograms sit next to syscalls on the wire path.
+const (
+	histMinExp = -20
+	histMaxExp = 20
+	numBuckets = histMaxExp - histMinExp + 2 // finite buckets + the +Inf bucket
+)
+
+// Histogram is a fixed-bucket log-scale histogram. A nil *Histogram is
+// a no-op.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // float64 bits, updated by CAS
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex returns the index of the smallest bucket whose upper
+// bound 2^i satisfies v <= 2^i, or the +Inf bucket.
+func bucketIndex(v float64) int {
+	if v <= math.Ldexp(1, histMinExp) {
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	i := exp
+	if frac == 0.5 {
+		i = exp - 1 // exact power of two sits in its own bucket
+	}
+	if i > histMaxExp {
+		return numBuckets - 1
+	}
+	return i - histMinExp
+}
+
+// Observe records v. NaN and negative values are dropped — durations
+// and sizes are never negative, and poisoning the sum would be worse
+// than losing the sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) || v < 0 {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration given in seconds; a convenience
+// alias that documents the unit at the call site.
+func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// upperBound returns the inclusive upper bound of bucket i.
+func upperBound(i int) float64 {
+	if i == numBuckets-1 {
+		return math.Inf(1)
+	}
+	return math.Ldexp(1, histMinExp+i)
+}
+
+// formatLE renders a bucket bound the way Prometheus expects: decimal,
+// no exponent for the magnitudes we produce, "+Inf" for the last.
+func formatLE(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", b)
+}
+
+// writePrometheus emits the cumulative _bucket/_sum/_count triple for
+// one child. Empty buckets are skipped (except +Inf, which is always
+// emitted) to keep the exposition readable; cumulative counts stay
+// correct because skipping an empty bucket drops no observations.
+func (h *Histogram) writePrometheus(w io.Writer, name string, labels, values []string) error {
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		n := h.buckets[i].Load()
+		cum += n
+		if n == 0 && i != numBuckets-1 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, bucketLabelSuffix(labels, values, formatLE(upperBound(i))), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, plainLabelSuffix(labels, values), h.Sum()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, plainLabelSuffix(labels, values), h.Count())
+	return err
+}
+
+func plainLabelSuffix(labels, values []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	s := "{"
+	for i, name := range labels {
+		if i > 0 {
+			s += ","
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		s += name + `="` + escapeLabel(v) + `"`
+	}
+	return s + "}"
+}
+
+func bucketLabelSuffix(labels, values []string, le string) string {
+	s := "{"
+	for i, name := range labels {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		s += name + `="` + escapeLabel(v) + `",`
+	}
+	return s + `le="` + le + `"}`
+}
+
+// snapshot returns count, sum, and the non-empty buckets with
+// non-cumulative counts, for /statusz.
+func (h *Histogram) snapshot() (count uint64, sum float64, buckets []BucketSnapshot) {
+	for i := 0; i < numBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			buckets = append(buckets, BucketSnapshot{LE: upperBound(i), Count: n})
+		}
+	}
+	return h.Count(), h.Sum(), buckets
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBucketIndexEdges(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int // expected bucket index
+	}{
+		{0, 0},
+		{math.Ldexp(1, histMinExp), 0},       // exactly the smallest bound
+		{math.Ldexp(1, histMinExp) * 1.1, 1}, // just above it
+		{0.5, bucketOf(t, -1)},               // exact power of two → own bucket
+		{1, bucketOf(t, 0)},
+		{1.0001, bucketOf(t, 1)},
+		{3, bucketOf(t, 2)},
+		{4, bucketOf(t, 2)},
+		{1 << 20, bucketOf(t, 20)},           // largest finite bound
+		{float64(1<<20) + 1, numBuckets - 1}, // overflows to +Inf
+		{1e300, numBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// bucketOf maps an exponent to its bucket index, for readable cases.
+func bucketOf(t *testing.T, exp int) int {
+	t.Helper()
+	return exp - histMinExp
+}
+
+func TestHistogramRejectsBadValues(t *testing.T) {
+	h := newHistogram()
+	h.Observe(math.NaN())
+	h.Observe(-1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("NaN/negative must be dropped: count=%d sum=%g", h.Count(), h.Sum())
+	}
+	h.Observe(0)
+	if h.Count() != 1 {
+		t.Fatal("zero is a valid observation")
+	}
+}
+
+func TestHistogramCumulativeExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("t_hist_seconds", "help", "lane").With("data")
+	for i := 0; i < 10; i++ {
+		h.Observe(0.001) // le=0.001953125 (2^-9)
+	}
+	h.Observe(100)   // le=128
+	h.Observe(1e300) // +Inf
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		`t_hist_seconds_bucket{lane="data",le="0.001953125"} 10`,
+		`t_hist_seconds_bucket{lane="data",le="128"} 11`,
+		`t_hist_seconds_bucket{lane="data",le="+Inf"} 12`,
+		`t_hist_seconds_count{lane="data"} 12`,
+	}
+	for _, w := range want {
+		if !strings.Contains(buf.String(), w) {
+			t.Errorf("missing %q in:\n%s", w, buf.String())
+		}
+	}
+	// Cumulative counts must be monotonically non-decreasing.
+	var last int64 = -1
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if !strings.HasPrefix(line, "t_hist_seconds_bucket") {
+			continue
+		}
+		var n int64
+		if _, err := fmtSscan(line, &n); err != nil {
+			t.Fatalf("cannot parse %q: %v", line, err)
+		}
+		if n < last {
+			t.Fatalf("bucket counts not cumulative: %q after %d", line, last)
+		}
+		last = n
+	}
+}
+
+// fmtSscan pulls the trailing integer off an exposition line.
+func fmtSscan(line string, n *int64) (int, error) {
+	i := strings.LastIndexByte(line, ' ')
+	var err error
+	*n, err = parseInt(line[i+1:])
+	return 1, err
+}
+
+func parseInt(s string) (int64, error) {
+	var n int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errBadInt
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, nil
+}
+
+var errBadInt = &parseErr{}
+
+type parseErr struct{}
+
+func (*parseErr) Error() string { return "bad int" }
+
+func TestFormatLE(t *testing.T) {
+	if got := formatLE(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("formatLE(+Inf) = %q", got)
+	}
+	if got := formatLE(0.5); got != "0.5" {
+		t.Fatalf("formatLE(0.5) = %q", got)
+	}
+	if got := formatLE(1048576); got != "1.048576e+06" {
+		// %g switches to exponent form for 2^20; pin it so the
+		// exposition stays stable.
+		t.Fatalf("formatLE(2^20) = %q", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(0.125)
+		}
+	})
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import "net/http"
+
+// PrometheusHandler serves the concatenated Prometheus text exposition
+// of regs (nil entries are skipped). Metric names across the registries
+// must be disjoint; the convention here is one prefix per subsystem
+// (jsweep_serve_*, jsweep_net_*, jsweep_runtime_*, jsweep_solve_*).
+func PrometheusHandler(regs ...*Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			if err := r.WritePrometheus(w); err != nil {
+				return // client went away; nothing useful to do
+			}
+		}
+	}
+}
+
+// StatusHandler serves the merged JSON snapshot of regs — the /statusz
+// body: every metric child with its labels and current value.
+func StatusHandler(regs ...*Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		snap := []MetricSnapshot{}
+		for _, r := range regs {
+			snap = append(snap, r.Snapshot()...)
+		}
+		writeJSONSnap(w, snap)
+	}
+}
+
+// HealthHandler serves a constant "ok" body; the liveness probe.
+func HealthHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	}
+}

@@ -1,0 +1,496 @@
+// Package obs is the observability core: a dependency-free metrics
+// registry (counters, gauges, log-bucketed histograms, with labeled
+// children) plus a fixed-size event tracer for job lifecycle and
+// per-iteration sweep phases.
+//
+// The design contract is that instrumentation is cheap enough to sit on
+// per-message hot paths and safe to leave compiled in everywhere:
+//
+//   - every metric handle is a single atomic word (or a short array of
+//     them for histograms) — no locks after creation, no allocation on
+//     the update path;
+//   - every handle method is nil-safe: a nil *Counter (or *Gauge,
+//     *Histogram, *Tracer) is a no-op, so "no registry" costs one
+//     predictable branch. SetDefault(nil) turns the whole default
+//     surface off, which is how the overhead benchmark measures the
+//     instrumented-vs-noop delta;
+//   - exposition (Prometheus text, JSON snapshot) walks the registry
+//     under a read lock and never blocks writers, which only touch
+//     atomics.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind names a metric family's type in snapshots and exposition.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// family is one named metric family: a help string, a kind, and the
+// children keyed by their label values ("" for the unlabeled child).
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string // label names, fixed at first registration
+
+	mu       sync.Mutex // guards children creation only
+	children sync.Map   // label-values key → child (*Counter, *Gauge, *Histogram, or gaugeFunc)
+}
+
+// Registry is a named collection of metric families. The zero value is
+// not usable; call NewRegistry. All methods are safe for concurrent
+// use. Registering the same name twice returns the existing family;
+// re-registering with a different kind or label arity panics, since
+// that is a programming error no caller can meaningfully handle.
+type Registry struct {
+	mu   sync.RWMutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-global registry used by packages that
+// have no natural owner to hang a registry off (netcomm transports,
+// runtime instances). It is swapped atomically so readers never lock.
+var defaultRegistry atomic.Pointer[Registry]
+
+func init() { defaultRegistry.Store(NewRegistry()) }
+
+// hasDefault tracks whether SetDefault(nil) disabled the default
+// surface; Default returns nil in that state so new handles are no-ops.
+var noDefault atomic.Bool
+
+// Default returns the process-global registry, or nil after
+// SetDefault(nil). A nil registry hands out nil handles, whose methods
+// are all no-ops.
+func Default() *Registry {
+	if noDefault.Load() {
+		return nil
+	}
+	return defaultRegistry.Load()
+}
+
+// SetDefault replaces the process-global registry and returns the
+// previous one (nil if the default was disabled). SetDefault(nil)
+// disables the default surface entirely: Default() returns nil and
+// every handle minted from it is a no-op. Intended for tests and for
+// the overhead benchmark; production code leaves the default alone.
+func SetDefault(r *Registry) *Registry {
+	var prev *Registry
+	if !noDefault.Load() {
+		prev = defaultRegistry.Load()
+	}
+	if r == nil {
+		noDefault.Store(true)
+		return prev
+	}
+	noDefault.Store(false)
+	defaultRegistry.Store(r)
+	return prev
+}
+
+func (r *Registry) familyFor(name, help string, kind Kind, labels []string) *family {
+	r.mu.RLock()
+	f := r.fams[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		f = r.fams[name]
+		if f == nil {
+			f = &family{name: name, help: help, kind: kind, labels: labels}
+			r.fams[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.kind != kind || len(f.labels) != len(labels) {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s/%d labels (was %s/%d)",
+			name, kind, len(labels), f.kind, len(f.labels)))
+	}
+	return f
+}
+
+// child returns the family child for the given label values, creating
+// it with mk on first use. Lookup is a lock-free sync.Map hit on the
+// steady state.
+func (f *family) child(values []string, mk func() any) any {
+	key := labelKey(values)
+	if c, ok := f.children.Load(key); ok {
+		return c
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children.Load(key); ok {
+		return c
+	}
+	c := mk()
+	f.children.Store(key, c)
+	return c
+}
+
+// labelKey joins label values with a separator that cannot appear in a
+// reasonable label value. Values are escaped at exposition time, not
+// here, so the hot path does no scanning.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+func splitLabelKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, "\x1f")
+}
+
+// --- Counter ---
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; a nil *Counter is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Negative n is ignored — counters only go up.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the unlabeled counter for name, registering the
+// family on first use. Nil-receiver safe: a nil registry returns a nil
+// handle.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindCounter, nil)
+	return f.child(nil, func() any { return new(Counter) }).(*Counter)
+}
+
+// --- Gauge ---
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; a nil *Gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Gauge returns the unlabeled gauge for name, registering the family on
+// first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindGauge, nil)
+	return f.child(nil, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// gaugeFunc samples a callback at exposition time. Used for values that
+// already live behind the owner's mutex (queue depth, pool size) where
+// mirroring into an atomic would just invite drift.
+type gaugeFunc struct{ fn func() int64 }
+
+// GaugeFunc registers a gauge whose value is sampled from fn at
+// exposition time. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	f := r.familyFor(name, help, KindGauge, nil)
+	f.child(nil, func() any { return gaugeFunc{fn} })
+}
+
+// --- Vectors ---
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{r.familyFor(name, help, KindCounter, labels)}
+}
+
+// With returns the child counter for the given label values. The child
+// is cached; callers on hot paths should resolve it once and keep the
+// handle. Panics if the value count does not match the label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.child(values, func() any { return new(Counter) }).(*Counter)
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{r.familyFor(name, help, KindGauge, labels)}
+}
+
+// With returns the child gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.child(values, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	return &HistogramVec{r.familyFor(name, help, KindHistogram, labels)}
+}
+
+// With returns the child histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.f.name, len(v.f.labels), len(values)))
+	}
+	return v.f.child(values, func() any { return newHistogram() }).(*Histogram)
+}
+
+// Histogram returns the unlabeled histogram for name.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	f := r.familyFor(name, help, KindHistogram, nil)
+	return f.child(nil, func() any { return newHistogram() }).(*Histogram)
+}
+
+// --- Exposition ---
+
+// sortedFamilies returns the families in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+type childRow struct {
+	key string
+	c   any
+}
+
+func (f *family) sortedChildren() []childRow {
+	var rows []childRow
+	f.children.Range(func(k, v any) bool {
+		rows = append(rows, childRow{k.(string), v})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].key < rows[j].key })
+	return rows
+}
+
+// labelSuffix renders {k="v",...} for a child key, escaping values per
+// the Prometheus text format.
+func (f *family) labelSuffix(key string) string {
+	if len(f.labels) == 0 {
+		return ""
+	}
+	values := splitLabelKey(key)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, name := range f.labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4). Families are emitted in name order, children
+// in label order, so output is deterministic given fixed values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		for _, row := range f.sortedChildren() {
+			suffix := f.labelSuffix(row.key)
+			var err error
+			switch c := row.c.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, suffix, c.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, suffix, c.Value())
+			case gaugeFunc:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, suffix, c.fn())
+			case *Histogram:
+				err = c.writePrometheus(w, f.name, f.labels, splitLabelKey(row.key))
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// MetricSnapshot is one child's state in a registry snapshot.
+type MetricSnapshot struct {
+	Name   string            `json:"name"`
+	Kind   Kind              `json:"kind"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value,omitempty"`
+	// Histogram-only fields.
+	Count   uint64           `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket: the inclusive upper
+// bound and the (non-cumulative) count of observations in it.
+type BucketSnapshot struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// Snapshot returns every child in the registry, in deterministic order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	if r == nil {
+		return nil
+	}
+	var out []MetricSnapshot
+	for _, f := range r.sortedFamilies() {
+		for _, row := range f.sortedChildren() {
+			m := MetricSnapshot{Name: f.name, Kind: f.kind, Help: f.help}
+			if len(f.labels) > 0 {
+				values := splitLabelKey(row.key)
+				m.Labels = make(map[string]string, len(f.labels))
+				for i, name := range f.labels {
+					if i < len(values) {
+						m.Labels[name] = values[i]
+					}
+				}
+			}
+			switch c := row.c.(type) {
+			case *Counter:
+				m.Value = c.Value()
+			case *Gauge:
+				m.Value = c.Value()
+			case gaugeFunc:
+				m.Value = c.fn()
+			case *Histogram:
+				m.Count, m.Sum, m.Buckets = c.snapshot()
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the Snapshot as indented JSON (the /statusz body).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []MetricSnapshot{}
+	}
+	return writeJSONSnap(w, snap)
+}
+
+func writeJSONSnap(w io.Writer, snap []MetricSnapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

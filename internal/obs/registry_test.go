@@ -1,0 +1,338 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_ops_total", "ops"); again != c {
+		t.Fatalf("re-registering returned a different child")
+	}
+
+	g := r.Gauge("test_depth", "depth")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+
+	r.GaugeFunc("test_sampled", "sampled", func() int64 { return 42 })
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "test_sampled 42") {
+		t.Fatalf("GaugeFunc not sampled in exposition:\n%s", buf.String())
+	}
+}
+
+func TestNilHandlesAreNoOps(t *testing.T) {
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Fatal("nil registry must hand out nil handles")
+	}
+	if r.CounterVec("x", "", "l") != nil || r.GaugeVec("x", "", "l") != nil || r.HistogramVec("x", "", "l") != nil {
+		t.Fatal("nil registry must hand out nil vecs")
+	}
+	r.GaugeFunc("x", "", func() int64 { return 0 }) // must not panic
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+
+	var c *Counter
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	g.Add(2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveDuration(1)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must read 0")
+	}
+	var cv *CounterVec
+	if cv.With("a") != nil {
+		t.Fatal("nil CounterVec.With must return nil")
+	}
+	var gv *GaugeVec
+	if gv.With("a") != nil {
+		t.Fatal("nil GaugeVec.With must return nil")
+	}
+	var hv *HistogramVec
+	if hv.With("a") != nil {
+		t.Fatal("nil HistogramVec.With must return nil")
+	}
+}
+
+func TestVecChildrenAndCaching(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_frames_total", "frames", "tier", "lane")
+	a := v.With("tcp", "data")
+	b := v.With("tcp", "data")
+	if a != b {
+		t.Fatal("vec children must be cached")
+	}
+	v.With("shm", "oob").Add(3)
+	a.Add(2)
+
+	gv := r.GaugeVec("test_peers", "peers", "tier")
+	gv.With("uds").Set(4)
+
+	hv := r.HistogramVec("test_wait_seconds", "wait", "code")
+	hv.With("ok").Observe(0.5)
+	if h2 := hv.With("ok"); h2.Count() != 1 {
+		t.Fatalf("histogram child not cached: count=%d", h2.Count())
+	}
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("test_v", "", "a", "b")
+	mustPanic(t, func() { v.With("only-one") })
+	gv := r.GaugeVec("test_gv", "", "a")
+	mustPanic(t, func() { gv.With() })
+	hv := r.HistogramVec("test_hv", "", "a")
+	mustPanic(t, func() { hv.With("x", "y") })
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_conflict", "")
+	mustPanic(t, func() { r.Gauge("test_conflict", "") })
+	mustPanic(t, func() { r.CounterVec("test_conflict", "", "l") })
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_conc_total", "")
+	g := r.Gauge("test_conc_gauge", "")
+	h := r.Histogram("test_conc_hist", "")
+	v := r.CounterVec("test_conc_vec", "", "k")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			key := []string{"a", "b"}[w%2]
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(float64(i%16) + 0.5)
+				v.With(key).Inc()
+			}
+		}(w)
+	}
+	// Concurrent exposition must not race with writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf strings.Builder
+			_ = r.WritePrometheus(&buf)
+			_ = r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if c.Value() != workers*per {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Fatalf("gauge = %d, want %d", g.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("hist count = %d, want %d", h.Count(), workers*per)
+	}
+	if got := v.With("a").Value() + v.With("b").Value(); got != workers*per {
+		t.Fatalf("vec total = %d, want %d", got, workers*per)
+	}
+	var wantSum float64
+	for i := 0; i < per; i++ {
+		wantSum += float64(workers) * (float64(i%16) + 0.5)
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("hist sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition text for a small
+// registry: family ordering, HELP/TYPE lines, label rendering and
+// escaping, cumulative histogram buckets.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("aaa_depth", "queue depth").Set(3)
+	v := r.CounterVec("bbb_frames_total", "frames by tier", "tier")
+	v.With("tcp").Add(7)
+	v.With("shm").Add(2)
+	r.CounterVec("ccc_weird", "escaping", "msg").With("say \"hi\"\\\n").Inc()
+	h := r.Histogram("ddd_wait_seconds", "wait")
+	h.Observe(0.75) // bucket le=1
+	h.Observe(0.75)
+	h.Observe(3) // bucket le=4
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aaa_depth queue depth
+# TYPE aaa_depth gauge
+aaa_depth 3
+# HELP bbb_frames_total frames by tier
+# TYPE bbb_frames_total counter
+bbb_frames_total{tier="shm"} 2
+bbb_frames_total{tier="tcp"} 7
+# HELP ccc_weird escaping
+# TYPE ccc_weird counter
+ccc_weird{msg="say \"hi\"\\\n"} 1
+# HELP ddd_wait_seconds wait
+# TYPE ddd_wait_seconds histogram
+ddd_wait_seconds_bucket{le="1"} 2
+ddd_wait_seconds_bucket{le="4"} 3
+ddd_wait_seconds_bucket{le="+Inf"} 3
+ddd_wait_seconds_sum 4.5
+ddd_wait_seconds_count 3
+`
+	if buf.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", buf.String(), want)
+	}
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s_total", "help here").Add(5)
+	r.CounterVec("s_vec_total", "", "k").With("x").Inc()
+	h := r.Histogram("s_hist", "")
+	h.Observe(2)
+	h.Observe(1000)
+
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	byName := map[string]MetricSnapshot{}
+	for _, m := range snap {
+		byName[m.Name] = m
+	}
+	if m := byName["s_total"]; m.Value != 5 || m.Kind != KindCounter || m.Help != "help here" {
+		t.Fatalf("s_total snapshot wrong: %+v", m)
+	}
+	if m := byName["s_vec_total"]; m.Labels["k"] != "x" || m.Value != 1 {
+		t.Fatalf("s_vec_total snapshot wrong: %+v", m)
+	}
+	m := byName["s_hist"]
+	if m.Count != 2 || m.Sum != 1002 || len(m.Buckets) != 2 {
+		t.Fatalf("s_hist snapshot wrong: %+v", m)
+	}
+
+	var buf strings.Builder
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []MetricSnapshot
+	if err := json.Unmarshal([]byte(buf.String()), &decoded); err != nil {
+		t.Fatalf("WriteJSON output not valid JSON: %v", err)
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("decoded %d entries, want 3", len(decoded))
+	}
+}
+
+func TestDefaultRegistrySwap(t *testing.T) {
+	orig := Default()
+	defer SetDefault(orig)
+
+	r := NewRegistry()
+	if prev := SetDefault(r); prev != orig {
+		t.Fatal("SetDefault did not return previous registry")
+	}
+	if Default() != r {
+		t.Fatal("Default() did not observe the swap")
+	}
+	if prev := SetDefault(nil); prev != r {
+		t.Fatal("SetDefault(nil) did not return previous registry")
+	}
+	if Default() != nil {
+		t.Fatal("Default() must be nil after SetDefault(nil)")
+	}
+	// Handles minted from a disabled default are nil and safe.
+	Default().Counter("off_total", "").Inc()
+	if prev := SetDefault(r); prev != nil {
+		t.Fatal("previous registry should be nil while disabled")
+	}
+	if Default() != r {
+		t.Fatal("re-enabling the default failed")
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("h_a_total", "").Add(1)
+	b := NewRegistry()
+	b.Gauge("h_b_depth", "").Set(9)
+
+	rec := httptest.NewRecorder()
+	PrometheusHandler(a, nil, b)(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("bad content type %q", ct)
+	}
+	for _, want := range []string{"h_a_total 1", "h_b_depth 9"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("missing %q in:\n%s", want, body)
+		}
+	}
+
+	rec = httptest.NewRecorder()
+	StatusHandler(a, b)(rec, httptest.NewRequest("GET", "/statusz", nil))
+	var snap []MetricSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("statusz not JSON: %v", err)
+	}
+	if len(snap) != 2 {
+		t.Fatalf("statusz has %d entries, want 2", len(snap))
+	}
+
+	rec = httptest.NewRecorder()
+	HealthHandler()(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Body.String() != "ok\n" {
+		t.Fatalf("healthz = %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one traced occurrence: a job lifecycle edge ("submitted",
+// "granted", "done"), a sweep phase ("iter.sweep"), or anything else a
+// caller wants on the timeline. Fields beyond Name are optional.
+type Event struct {
+	// Time is when the event happened. Emit stamps it if zero.
+	Time time.Time `json:"ts"`
+	// Name is the event name, dotted by convention: "job.granted",
+	// "iter.sweep".
+	Name string `json:"name"`
+	// ID scopes the event to a job or node ("job-3", "rank0").
+	ID string `json:"id,omitempty"`
+	// Iter is the source-iteration number for per-iteration events.
+	Iter int `json:"iter,omitempty"`
+	// Dur is the span duration for events that close a span
+	// (grant-wait, sweep phase), in nanoseconds on the wire.
+	Dur time.Duration `json:"dur_ns,omitempty"`
+	// Detail is free-form context ("queue-full", "tol=1e-8").
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultTraceCap is the ring capacity NewTracer uses for cap <= 0:
+// enough for a long solve's per-iteration phases plus lifecycle edges
+// without unbounded growth.
+const DefaultTraceCap = 4096
+
+// Tracer records events into a fixed-size ring; once full, the oldest
+// events are overwritten and counted as dropped. A nil *Tracer is a
+// no-op, so call sites never guard. Safe for concurrent use — Emit
+// takes a mutex, which is fine at lifecycle/per-iteration granularity
+// (tracing is deliberately not wired into per-message paths).
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int // index of the slot the next Emit writes
+	full    bool
+	dropped int64
+}
+
+// NewTracer returns a tracer holding up to capacity events
+// (DefaultTraceCap if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{ring: make([]Event, capacity)}
+}
+
+// Emit records e, stamping e.Time with the current time if unset.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	t.mu.Lock()
+	if t.full {
+		t.dropped++
+	}
+	t.ring[t.next] = e
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Event is shorthand for Emit with just a name, id and detail.
+func (t *Tracer) Event(name, id, detail string) {
+	t.Emit(Event{Name: name, ID: id, Detail: detail})
+}
+
+// Span is shorthand for Emit with a duration: an event that closes a
+// measured span.
+func (t *Tracer) Span(name, id string, d time.Duration) {
+	t.Emit(Event{Name: name, ID: id, Dur: d})
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]Event(nil), t.ring[:t.next]...)
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len returns the number of events currently held.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return len(t.ring)
+	}
+	return t.next
+}
+
+// WriteJSONL writes the events oldest-first, one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	return WriteJSONL(w, t.Events())
+}
+
+// WriteJSONL writes events one JSON object per line. Split out from the
+// Tracer so a trace that traveled as a plain []Event (through a result
+// payload) can be dumped the same way.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

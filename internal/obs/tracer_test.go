@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerBasics(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Event("job.submitted", "job-1", "")
+	tr.Span("job.grant_wait", "job-1", 5*time.Millisecond)
+	tr.Emit(Event{Name: "iter.sweep", ID: "rank0", Iter: 3, Dur: time.Millisecond})
+
+	evs := tr.Events()
+	if len(evs) != 3 || tr.Len() != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	if evs[0].Name != "job.submitted" || evs[0].Time.IsZero() {
+		t.Fatalf("first event wrong: %+v", evs[0])
+	}
+	if evs[1].Dur != 5*time.Millisecond {
+		t.Fatalf("span duration lost: %+v", evs[1])
+	}
+	if evs[2].Iter != 3 {
+		t.Fatalf("iter lost: %+v", evs[2])
+	}
+	if tr.Dropped() != 0 {
+		t.Fatal("nothing should be dropped yet")
+	}
+}
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Event(fmt.Sprintf("e%d", i), "", "")
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := fmt.Sprintf("e%d", 6+i); e.Name != want {
+			t.Fatalf("event %d = %q, want %q (oldest-first after wrap)", i, e.Name, want)
+		}
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", tr.Dropped())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+}
+
+func TestTracerDefaultCapAndNil(t *testing.T) {
+	tr := NewTracer(0)
+	if len(tr.ring) != DefaultTraceCap {
+		t.Fatalf("default cap = %d, want %d", len(tr.ring), DefaultTraceCap)
+	}
+
+	var nilTr *Tracer
+	nilTr.Emit(Event{Name: "x"})
+	nilTr.Event("x", "", "")
+	nilTr.Span("x", "", time.Second)
+	if nilTr.Events() != nil || nilTr.Dropped() != 0 || nilTr.Len() != 0 {
+		t.Fatal("nil tracer must be inert")
+	}
+	if err := nilTr.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Event("e", "id", "")
+				_ = tr.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Fatalf("len = %d, want full ring of 64", tr.Len())
+	}
+	if tr.Dropped() != 8*100-64 {
+		t.Fatalf("dropped = %d, want %d", tr.Dropped(), 8*100-64)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	tr.Emit(Event{Time: base, Name: "job.submitted", ID: "job-1"})
+	tr.Emit(Event{Time: base.Add(time.Second), Name: "job.done", ID: "job-1", Dur: 900 * time.Millisecond, Detail: "converged"})
+
+	var buf strings.Builder
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q not JSON: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", len(lines))
+	}
+	if !lines[0].Time.Equal(base) || lines[0].Name != "job.submitted" {
+		t.Fatalf("line 0 round-trip wrong: %+v", lines[0])
+	}
+	if lines[1].Dur != 900*time.Millisecond || lines[1].Detail != "converged" {
+		t.Fatalf("line 1 round-trip wrong: %+v", lines[1])
+	}
+	// The standalone writer must agree with the method.
+	var buf2 strings.Builder
+	if err := WriteJSONL(&buf2, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != buf.String() {
+		t.Fatal("WriteJSONL(w, events) disagrees with Tracer.WriteJSONL")
+	}
+}

@@ -1,0 +1,67 @@
+package runtime
+
+import "jsweep/internal/obs"
+
+// runtimeMetrics is the runtime's hook into the obs registry. The hot
+// per-message path stays untouched: a finished round's Stats are folded
+// into the process-wide counters once per RunRound, which is the whole
+// overhead contract — O(1) atomic adds per round, not per message. Only
+// the rare stash path (an early next-round arrival) counts inline.
+// Handles resolve from obs.Default() at New; the zero value no-ops.
+type runtimeMetrics struct {
+	rounds        *obs.Counter   // jsweep_runtime_rounds_total
+	roundDur      *obs.Histogram // jsweep_runtime_round_seconds
+	cycles        *obs.Counter   // jsweep_runtime_cycles_total
+	localStreams  *obs.Counter   // jsweep_runtime_streams_total{locality=local}
+	remoteStreams *obs.Counter   // jsweep_runtime_streams_total{locality=remote}
+	messages      *obs.Counter   // jsweep_runtime_messages_total
+	bytesSent     *obs.Counter   // jsweep_runtime_bytes_sent_total
+	batches       *obs.Counter   // jsweep_runtime_batches_total
+	batchedStrms  *obs.Counter   // jsweep_runtime_streams_batched_total
+	deadlineFlush *obs.Counter   // jsweep_runtime_deadline_flushes_total
+	stashed       *obs.Counter   // jsweep_runtime_messages_stashed_total
+}
+
+func newRuntimeMetrics(r *obs.Registry) runtimeMetrics {
+	if r == nil {
+		return runtimeMetrics{}
+	}
+	streams := r.CounterVec("jsweep_runtime_streams_total",
+		"Streams routed by destination locality.", "locality")
+	return runtimeMetrics{
+		rounds: r.Counter("jsweep_runtime_rounds_total",
+			"Completed runtime rounds (one source iteration each)."),
+		roundDur: r.Histogram("jsweep_runtime_round_seconds",
+			"Wall-clock duration of one round."),
+		cycles: r.Counter("jsweep_runtime_cycles_total",
+			"Patch-program cycles executed."),
+		localStreams:  streams.With("local"),
+		remoteStreams: streams.With("remote"),
+		messages: r.Counter("jsweep_runtime_messages_total",
+			"Data-lane messages sent (batched frames count once)."),
+		bytesSent: r.Counter("jsweep_runtime_bytes_sent_total",
+			"Payload bytes handed to the transport."),
+		batches: r.Counter("jsweep_runtime_batches_total",
+			"Aggregated multi-stream frames sent."),
+		batchedStrms: r.Counter("jsweep_runtime_streams_batched_total",
+			"Streams carried inside aggregated frames."),
+		deadlineFlush: r.Counter("jsweep_runtime_deadline_flushes_total",
+			"Batcher flushes forced by the aggregation deadline."),
+		stashed: r.Counter("jsweep_runtime_messages_stashed_total",
+			"Early next-round messages stashed at arrival and replayed later."),
+	}
+}
+
+// observeRound folds one finished round's Stats into the counters.
+func (m runtimeMetrics) observeRound(st Stats) {
+	m.rounds.Inc()
+	m.roundDur.Observe(st.Wall.Seconds())
+	m.cycles.Add(st.Cycles)
+	m.localStreams.Add(st.LocalStreams)
+	m.remoteStreams.Add(st.RemoteStreams)
+	m.messages.Add(st.Messages)
+	m.bytesSent.Add(st.BytesSent)
+	m.batches.Add(st.BatchesSent)
+	m.batchedStrms.Add(st.StreamsBatched)
+	m.deadlineFlush.Add(st.FlushOnDeadline)
+}

@@ -30,6 +30,7 @@ import (
 
 	"jsweep/internal/comm"
 	"jsweep/internal/core"
+	"jsweep/internal/obs"
 )
 
 // TerminationMode selects the distributed termination detector.
@@ -177,6 +178,10 @@ type Runtime struct {
 	rounds int64
 	last   Stats // most recent round
 	cum    Stats // session totals across rounds
+
+	// m holds the obs handles, resolved from obs.Default() at New; all
+	// folding happens once per round (see metrics.go), never per message.
+	m runtimeMetrics
 }
 
 // New creates a runtime.
@@ -190,6 +195,7 @@ func New(cfg Config) (*Runtime, error) {
 	rt := &Runtime{
 		cfg:   cfg,
 		owner: make(map[core.ProgramKey]int),
+		m:     newRuntimeMetrics(obs.Default()),
 	}
 	if cfg.Transport != nil {
 		if n := cfg.Transport.NumRanks(); n != cfg.Procs {
@@ -313,6 +319,7 @@ func (rt *Runtime) RunRoundCtx(ctx context.Context) (Stats, error) {
 		st.add(p.collectRound())
 	}
 	st.Wall = time.Since(start)
+	rt.m.observeRound(st)
 	rt.rounds++
 	rt.needReset = true
 	rt.last = st
@@ -707,6 +714,7 @@ func (p *process) resetRound() error {
 				p.rank, round, m.From, p.round)
 		}
 		p.future = append(p.future, m)
+		p.rt.m.stashed.Inc()
 	}
 	// Promote the stash: it becomes the next round's first input. Sanity:
 	// nothing may still sit in replay — the round consumed it all.
@@ -973,6 +981,7 @@ func (p *process) handleMessage(m comm.Message) (stop bool, err error) {
 	}
 	if round > p.round {
 		p.future = append(p.future, m)
+		p.rt.m.stashed.Inc()
 		return false, nil
 	}
 	// Every path below consumes the message: recycle its transport buffer

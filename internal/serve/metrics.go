@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+
+	"jsweep/internal/obs"
+)
+
+// serveMetrics is the daemon's per-Server metric surface. Each Server
+// owns its registry so two daemons in one process (tests, multi-daemon
+// smoke) never share state; the /metrics endpoint concatenates this
+// registry with obs.Default(), where netcomm/runtime register.
+type serveMetrics struct {
+	reg *obs.Registry
+
+	// Admission outcomes, one counter per typed code plus "accepted".
+	admAccepted, admQueueFull, admInvalidSpec, admShuttingDown, admBadFrame *obs.Counter
+
+	grantWait  *obs.Histogram // accepted → granted, seconds
+	jobOK      *obs.Histogram // grant → Result, seconds
+	jobFailedH *obs.Histogram // grant → JobError, seconds
+	abandoned  *obs.Counter   // left the queue before a grant
+
+	warmHits   *obs.Counter
+	warmMisses *obs.Counter
+}
+
+func newServeMetrics(s *Server) *serveMetrics {
+	r := obs.NewRegistry()
+	adm := r.CounterVec("jsweep_serve_admissions_total",
+		"Submissions by admission outcome (accepted or a rejection code).", "code")
+	jobDur := r.HistogramVec("jsweep_serve_job_duration_seconds",
+		"Job run time from grant to terminal frame, by outcome.", "outcome")
+	m := &serveMetrics{
+		reg:             r,
+		admAccepted:     adm.With("accepted"),
+		admQueueFull:    adm.With(CodeQueueFull),
+		admInvalidSpec:  adm.With(CodeInvalidSpec),
+		admShuttingDown: adm.With(CodeShuttingDown),
+		admBadFrame:     adm.With(CodeBadFrame),
+		grantWait: r.Histogram("jsweep_serve_grant_wait_seconds",
+			"Queue wait from acceptance to FIFO slot grant."),
+		jobOK:      jobDur.With("ok"),
+		jobFailedH: jobDur.With("error"),
+		abandoned: r.Counter("jsweep_serve_jobs_abandoned_total",
+			"Jobs that left the queue (cancel/disconnect/drain) before a grant."),
+		warmHits: r.Counter("jsweep_serve_warm_pool_hits_total",
+			"Full jobs that reused a warm solver session."),
+		warmMisses: r.Counter("jsweep_serve_warm_pool_misses_total",
+			"Full jobs that built a cold solver session."),
+	}
+	// The admission-lock numbers are sampled at exposition time; the
+	// owner's mutex is the source of truth, mirroring into atomics would
+	// just invite drift.
+	r.GaugeFunc("jsweep_serve_queue_depth",
+		"Jobs accepted and waiting for a slot grant.", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(s.queued)
+		})
+	r.GaugeFunc("jsweep_serve_jobs_running",
+		"Jobs holding a slot grant right now.", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(s.running)
+		})
+	r.GaugeFunc("jsweep_serve_slots_busy",
+		"Rank slots occupied by running jobs.", func() int64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return int64(s.busy)
+		})
+	r.GaugeFunc("jsweep_serve_slots_total",
+		"Advertised rank capacity (slot utilization = busy/total).", func() int64 {
+			return int64(s.cfg.Slots)
+		})
+	r.GaugeFunc("jsweep_serve_warm_pool_size",
+		"Idle warm solver sessions parked in the pool.", func() int64 {
+			return int64(s.pool.size())
+		})
+	return m
+}
+
+// Stats is a point-in-time snapshot of the daemon's health — the same
+// numbers /statusz reports, as a struct for in-process callers and
+// tests.
+type Stats struct {
+	// Queued, Running and BusySlots mirror the admission-lock state;
+	// Slots is the advertised capacity (so BusySlots/Slots is the
+	// daemon's slot utilization).
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	BusySlots int `json:"busy_slots"`
+	Slots     int `json:"slots"`
+
+	// WarmNodes is the idle warm-pool size; WarmHits/WarmMisses count
+	// full jobs that reused vs rebuilt a solver session.
+	WarmNodes  int   `json:"warm_nodes"`
+	WarmHits   int64 `json:"warm_hits"`
+	WarmMisses int64 `json:"warm_misses"`
+
+	// Admissions counts submissions by outcome: "accepted" plus the
+	// typed rejection codes.
+	Admissions map[string]int64 `json:"admissions"`
+
+	// JobsDone/JobsFailed count terminal frames; Abandoned counts jobs
+	// that left the queue before a grant.
+	JobsDone   int64 `json:"jobs_done"`
+	JobsFailed int64 `json:"jobs_failed"`
+	Abandoned  int64 `json:"jobs_abandoned"`
+}
+
+// Stats snapshots the daemon's queue, slot, warm-pool and admission
+// state.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		Queued:    s.queued,
+		Running:   s.running,
+		BusySlots: s.busy,
+		Slots:     s.cfg.Slots,
+	}
+	s.mu.Unlock()
+	m := s.metrics
+	st.WarmNodes = s.pool.size()
+	st.WarmHits = m.warmHits.Value()
+	st.WarmMisses = m.warmMisses.Value()
+	st.Admissions = map[string]int64{
+		"accepted":       m.admAccepted.Value(),
+		CodeQueueFull:    m.admQueueFull.Value(),
+		CodeInvalidSpec:  m.admInvalidSpec.Value(),
+		CodeShuttingDown: m.admShuttingDown.Value(),
+		CodeBadFrame:     m.admBadFrame.Value(),
+	}
+	st.JobsDone = int64(m.jobOK.Count())
+	st.JobsFailed = int64(m.jobFailedH.Count())
+	st.Abandoned = m.abandoned.Value()
+	return st
+}
+
+// Trace returns the daemon's job-lifecycle trace, oldest first.
+func (s *Server) Trace() []obs.Event { return s.trace.Events() }
+
+// startMetricsServer binds cfg.MetricsAddr and serves /metrics
+// (Prometheus text over this server's registry plus obs.Default()),
+// /healthz, and /statusz (JSON: Stats + registry snapshot + recent
+// trace).
+func (s *Server) startMetricsServer() error {
+	ln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", obs.PrometheusHandler(s.metrics.reg, obs.Default()))
+	mux.HandleFunc("/healthz", obs.HealthHandler())
+	mux.HandleFunc("/statusz", s.statusz)
+	s.metricsLn = ln
+	s.metricsSrv = &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.metricsSrv.Serve(ln) // returns on Close
+	}()
+	s.logf("metrics on http://%s/metrics", ln.Addr())
+	return nil
+}
+
+func (s *Server) stopMetricsServer() {
+	if s.metricsSrv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	s.metricsSrv.Shutdown(ctx)
+}
+
+// statusz renders the daemon's state as one JSON object: the Stats
+// snapshot, every metric child (this server's registry plus the process
+// default), and the recent job-lifecycle trace.
+func (s *Server) statusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	body := struct {
+		Addr    string               `json:"addr"`
+		Stats   Stats                `json:"stats"`
+		Metrics []obs.MetricSnapshot `json:"metrics"`
+		Trace   []obs.Event          `json:"trace,omitempty"`
+	}{
+		Addr:    s.Addr(),
+		Stats:   s.Stats(),
+		Metrics: append(s.metrics.reg.Snapshot(), obs.Default().Snapshot()...),
+		Trace:   s.trace.Events(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}
+
+// MetricsAddr returns the bound metrics address ("" when metrics are
+// disabled).
+func (s *Server) MetricsAddr() string {
+	if s.metricsLn == nil {
+		return ""
+	}
+	return s.metricsLn.Addr().String()
+}

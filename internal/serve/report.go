@@ -21,9 +21,21 @@ import (
 
 	"jsweep/internal/netcomm"
 	"jsweep/internal/nodespec"
+	"jsweep/internal/obs"
 	"jsweep/internal/sweep"
 	"jsweep/internal/transport"
 )
+
+// ResultStreamDegraded counts a launch result stream that broke or never
+// connected: the job degraded to its hash-only certificate instead of the
+// full streamed result. Incremented by both ends (the node that could not
+// dial the collector, and the launcher whose collector saw the stream
+// break) into the process-global registry, so the formerly log-only
+// degradation is visible on /metrics and /statusz.
+func ResultStreamDegraded() {
+	obs.Default().Counter("jsweep_job_result_stream_degraded_total",
+		"Launch result streams that broke or never connected (job degraded to a hash-only result).").Inc()
+}
 
 // EnvResult carries the Collector address to a launched rank-0 node
 // process (set only for rank 0 — the ranks hold identical fluxes, so
@@ -42,6 +54,7 @@ type resultMeta struct {
 	Cluster    nodespec.ClusterStats     `json:"cluster"`
 	FluxHash   string                    `json:"flux_hash"`
 	Verified   bool                      `json:"verified,omitempty"`
+	Trace      []obs.Event               `json:"trace,omitempty"`
 	Wall       time.Duration             `json:"wall_ns"`
 }
 
@@ -55,6 +68,7 @@ func encodeResult(nr *nodespec.NodeResult, withFlux bool) ([]byte, error) {
 		Balance:  nr.Balance,
 		FluxHash: nr.FluxHash,
 		Verified: nr.Verified,
+		Trace:    nr.Trace,
 		Wall:     nr.Wall,
 	}
 	var flux [][]float64
@@ -99,6 +113,7 @@ func decodeResult(payload []byte) (*nodespec.NodeResult, error) {
 		Cluster:  meta.Cluster,
 		FluxHash: meta.FluxHash,
 		Verified: meta.Verified,
+		Trace:    meta.Trace,
 		Wall:     meta.Wall,
 	}
 	if len(wr.Flux) == 0 {
@@ -294,6 +309,7 @@ func RunNodeCtx(ctx context.Context, spec nodespec.Spec, o nodespec.NodeOptions,
 	if resultAddr != "" {
 		var err error
 		if rep, err = DialReporter(resultAddr); err != nil {
+			ResultStreamDegraded()
 			if o.Log != nil {
 				fmt.Fprintf(o.Log, "rank=%d result stream unavailable: %v\n", o.Rank, err)
 			}

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"jsweep/internal/netcomm"
 	"jsweep/internal/nodespec"
+	"jsweep/internal/obs"
 	"jsweep/internal/sweep"
 	"jsweep/internal/transport"
 )
@@ -67,6 +69,10 @@ type Config struct {
 	// PoolSize bounds the warm node pool (idle solver sessions kept
 	// across jobs; default 4, 0 disables warming).
 	PoolSize int
+	// MetricsAddr, when non-empty, binds an HTTP listener serving
+	// /metrics (Prometheus text), /healthz, and /statusz (JSON). Use
+	// "127.0.0.1:0" for an ephemeral port (MetricsAddr() reports it).
+	MetricsAddr string
 	// Log receives human-readable daemon lines (nil = discard).
 	Log io.Writer
 
@@ -165,6 +171,11 @@ type Server struct {
 	pool *nodePool
 	sem  *fifoSem
 
+	metrics    *serveMetrics
+	trace      *obs.Tracer
+	metricsLn  net.Listener
+	metricsSrv *http.Server
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
@@ -195,8 +206,17 @@ func Start(cfg Config) (*Server, error) {
 		ln:         ln,
 		pool:       newNodePool(cfg.PoolSize),
 		sem:        newFifoSem(cfg.MaxJobs),
+		trace:      obs.NewTracer(0),
 		baseCtx:    ctx,
 		baseCancel: cancel,
+	}
+	s.metrics = newServeMetrics(s)
+	if cfg.MetricsAddr != "" {
+		if err := s.startMetricsServer(); err != nil {
+			ln.Close()
+			cancel()
+			return nil, fmt.Errorf("serve: metrics listen %s: %w", cfg.MetricsAddr, err)
+		}
 	}
 	s.logf("listening on %s (maxJobs=%d queueDepth=%d slots=%d jobTimeout=%v pool=%d)",
 		ln.Addr(), cfg.MaxJobs, cfg.QueueDepth, cfg.Slots, cfg.JobTimeout, cfg.PoolSize)
@@ -220,6 +240,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.ln.Close()
+	s.stopMetricsServer()
 	s.baseCancel()
 	s.wg.Wait()
 	s.pool.closeAll()
@@ -265,6 +286,23 @@ func (s *Server) hello() netcomm.Hello {
 	}
 }
 
+// reject sends a typed rejection and records it: one admission counter
+// per code, one trace event per decision.
+func (s *Server) reject(w *frameWriter, code, detail string) {
+	switch code {
+	case CodeQueueFull:
+		s.metrics.admQueueFull.Inc()
+	case CodeInvalidSpec:
+		s.metrics.admInvalidSpec.Inc()
+	case CodeShuttingDown:
+		s.metrics.admShuttingDown.Inc()
+	case CodeBadFrame:
+		s.metrics.admBadFrame.Inc()
+	}
+	s.trace.Emit(obs.Event{Name: "job.rejected", Detail: code})
+	w.reject(code, detail)
+}
+
 // handleConn speaks one submission conversation: Hello, then at most
 // one job for the connection's lifetime. The client going away (EOF) or
 // sending Cancel aborts the job.
@@ -278,28 +316,28 @@ func (s *Server) handleConn(conn net.Conn) {
 		return // client connected for the Hello only (placement probe)
 	}
 	if kind != netcomm.KindSubmit {
-		w.reject(CodeBadFrame, fmt.Sprintf("expected submit, got %s", kindNameOf(kind)))
+		s.reject(w, CodeBadFrame, fmt.Sprintf("expected submit, got %s", kindNameOf(kind)))
 		return
 	}
 	sub, err := netcomm.ParseSubmit(payload)
 	if err != nil {
-		w.reject(CodeBadFrame, err.Error())
+		s.reject(w, CodeBadFrame, err.Error())
 		return
 	}
 	spec, err := nodespec.UnmarshalSpec(string(sub.Spec))
 	if err != nil {
-		w.reject(CodeInvalidSpec, err.Error())
+		s.reject(w, CodeInvalidSpec, err.Error())
 		return
 	}
 	if err := spec.Validate(); err != nil {
-		w.reject(CodeInvalidSpec, err.Error())
+		s.reject(w, CodeInvalidSpec, err.Error())
 		return
 	}
 	spec = spec.Defaulted()
 	slice := sub.Rendezvous != ""
 	if slice {
 		if sub.RankLo < 0 || sub.RankHi <= sub.RankLo || sub.RankHi > spec.Procs {
-			w.reject(CodeInvalidSpec, fmt.Sprintf("rank slice [%d,%d) invalid for %d procs", sub.RankLo, sub.RankHi, spec.Procs))
+			s.reject(w, CodeInvalidSpec, fmt.Sprintf("rank slice [%d,%d) invalid for %d procs", sub.RankLo, sub.RankHi, spec.Procs))
 			return
 		}
 	} else {
@@ -312,13 +350,13 @@ func (s *Server) handleConn(conn net.Conn) {
 	s.mu.Lock()
 	if s.shutdown {
 		s.mu.Unlock()
-		w.reject(CodeShuttingDown, "daemon is draining")
+		s.reject(w, CodeShuttingDown, "daemon is draining")
 		return
 	}
 	if s.running >= s.cfg.MaxJobs && s.queued >= s.cfg.QueueDepth {
 		detail := fmt.Sprintf("%d running, %d queued (caps %d/%d)", s.running, s.queued, s.cfg.MaxJobs, s.cfg.QueueDepth)
 		s.mu.Unlock()
-		w.reject(CodeQueueFull, detail)
+		s.reject(w, CodeQueueFull, detail)
 		return
 	}
 	pos := 0
@@ -336,6 +374,9 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Unlock()
 		return
 	}
+	acceptedAt := time.Now()
+	s.metrics.admAccepted.Inc()
+	s.trace.Emit(obs.Event{Name: "job.submitted", ID: job, Detail: spec.Mesh})
 	s.logf("%s accepted (queuePos=%d slice=%v ranks=[%d,%d) mesh=%s)", job, pos, slice, sub.RankLo, sub.RankHi, spec.Mesh)
 
 	// The job context dies with the daemon, with a client Cancel frame,
@@ -371,10 +412,15 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.mu.Lock()
 		s.queued--
 		s.mu.Unlock()
+		s.metrics.abandoned.Inc()
+		s.trace.Emit(obs.Event{Name: "job.abandoned", ID: job, Dur: time.Since(acceptedAt)})
 		w.jobError(fmt.Errorf("%s while queued: %w", job, context.Cause(jobCtx)))
 		s.logf("%s abandoned in queue: %v", job, context.Cause(jobCtx))
 		return
 	}
+	grantWait := time.Since(acceptedAt)
+	s.metrics.grantWait.Observe(grantWait.Seconds())
+	s.trace.Emit(obs.Event{Name: "job.granted", ID: job, Dur: grantWait})
 	s.mu.Lock()
 	s.queued--
 	s.running++
@@ -405,6 +451,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.cfg.onStart(job)
 	}
 	t0 := time.Now()
+	s.trace.Emit(obs.Event{Name: "job.running", ID: job})
 	progress := func(ev nodespec.Progress) { w.progress(ev) }
 	var nr *nodespec.NodeResult
 	if slice {
@@ -416,6 +463,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		if cause := context.Cause(runCtx); cause != nil && runCtx.Err() != nil {
 			err = fmt.Errorf("%w (%v)", cause, err)
 		}
+		s.metrics.jobFailedH.Observe(time.Since(t0).Seconds())
+		s.trace.Emit(obs.Event{Name: "job.error", ID: job, Dur: time.Since(t0), Detail: err.Error()})
 		w.jobError(fmt.Errorf("%s: %w", job, err))
 		s.logf("%s failed after %v: %v", job, time.Since(t0).Round(time.Millisecond), err)
 		return
@@ -426,6 +475,8 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	w.write(netcomm.KindResult, frame)
+	s.metrics.jobOK.Observe(time.Since(t0).Seconds())
+	s.trace.Emit(obs.Event{Name: "job.result", ID: job, Dur: time.Since(t0), Detail: nr.FluxHash})
 	s.logf("%s done in %v (hash=%s warm=%d)", job, time.Since(t0).Round(time.Millisecond), nr.FluxHash, s.pool.size())
 }
 
@@ -439,6 +490,7 @@ func (s *Server) runFull(ctx context.Context, spec nodespec.Spec, verify bool, p
 	}
 	n := s.pool.take(key)
 	if n == nil {
+		s.metrics.warmMisses.Inc()
 		prob, d, err := nodespec.Build(spec)
 		if err != nil {
 			return nil, err
@@ -453,6 +505,7 @@ func (s *Server) runFull(ctx context.Context, spec nodespec.Spec, verify bool, p
 		}
 		n = &warmNode{prob: prob, d: d, solver: solver}
 	} else {
+		s.metrics.warmHits.Inc()
 		// Bitwise parity with a cold run: clear the lagged-flux store
 		// (the only numerical state a finished solve leaves behind).
 		n.solver.ResetSolve()
@@ -473,6 +526,11 @@ func (s *Server) runFull(ctx context.Context, spec nodespec.Spec, verify bool, p
 			progress(nodespec.Progress{Progress: p, Sweep: n.solver.LastStats()})
 		}
 	}
+	// Every full job gets a private solve tracer: the per-iteration
+	// phase spans ride back to the submitter inside the result meta
+	// (RunResult.Trace), while the server's own tracer keeps the
+	// queue-level lifecycle.
+	cfg.Tracer = obs.NewTracer(0)
 	t0 := time.Now()
 	res, err := transport.SourceIterateCtx(ctx, n.prob, n.solver, cfg)
 	if err != nil {
@@ -484,6 +542,7 @@ func (s *Server) runFull(ctx context.Context, spec nodespec.Spec, verify bool, p
 		Stats:    n.solver.LastStats(),
 		Cluster:  nodespec.LocalClusterStats(nil, n.solver.LastStats()),
 		FluxHash: nodespec.FluxHash(res.Phi),
+		Trace:    cfg.Tracer.Events(),
 		Wall:     time.Since(t0),
 	}
 	for g := 0; g < n.prob.Groups; g++ {
@@ -520,6 +579,11 @@ func (s *Server) runSlice(ctx context.Context, spec nodespec.Spec, sub netcomm.S
 				Cluster:    sub.Cluster,
 				Verify:     sub.Verify && rank == 0,
 				Log:        s.cfg.Log,
+			}
+			if i == 0 {
+				// The slice's lowest rank carries the result; its solve
+				// trace travels with it.
+				o.Tracer = obs.NewTracer(0)
 			}
 			if rank == 0 && progress != nil {
 				o.Progress = progress

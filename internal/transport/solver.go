@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"jsweep/internal/mesh"
+	"jsweep/internal/obs"
 )
 
 // SweepExecutor performs one full transport sweep over all angles: given
@@ -71,6 +73,11 @@ type IterConfig struct {
 	// iteration's outcome. It runs on the solve goroutine: a slow
 	// callback slows the solve.
 	Progress func(Progress)
+	// Tracer, when non-nil, receives per-iteration phase spans
+	// (iter.source, iter.sweep, iter.residual). Tracing never touches
+	// the numerics — a traced solve is bitwise identical to an untraced
+	// one — and a nil Tracer costs a single branch per phase.
+	Tracer *obs.Tracer
 }
 
 func (c *IterConfig) defaults() {
@@ -140,6 +147,10 @@ func SourceIterateCtx(ctx context.Context, p *Problem, ex SweepExecutor, cfg Ite
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("transport: solve cancelled before sweep %d: %w", iter, err)
 		}
+		var t0 time.Time
+		if cfg.Tracer != nil {
+			t0 = time.Now()
+		}
 		// Build emission density from the current flux.
 		for c := 0; c < nc; c++ {
 			p.EmissionDensity(mesh.CellID(c), phi, qCell)
@@ -147,12 +158,20 @@ func SourceIterateCtx(ctx context.Context, p *Problem, ex SweepExecutor, cfg Ite
 				q[g][c] = qCell[g]
 			}
 		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Name: "iter.source", Iter: iter, Dur: time.Since(t0)})
+			t0 = time.Now()
+		}
 		var next [][]float64
 		var err error
 		if ctxSweeper != nil {
 			next, err = ctxSweeper.SweepCtx(ctx, q)
 		} else {
 			next, err = ex.Sweep(q)
+		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Name: "iter.sweep", Iter: iter, Dur: time.Since(t0)})
+			t0 = time.Now()
 		}
 		if err != nil {
 			// Surface the cancellation cause over the (often derived)
@@ -178,6 +197,10 @@ func SourceIterateCtx(ctx context.Context, p *Problem, ex SweepExecutor, cfg Ite
 			// lags flux on feedback edges, which must converge like a
 			// scattering source.
 			res.Converged = true
+		}
+		if cfg.Tracer != nil {
+			cfg.Tracer.Emit(obs.Event{Name: "iter.residual", Iter: iter, Dur: time.Since(t0),
+				Detail: fmt.Sprintf("residual=%.6e converged=%v", res.Residual, res.Converged)})
 		}
 		if cfg.Progress != nil {
 			cfg.Progress(Progress{Iteration: iter, Residual: res.Residual, Converged: res.Converged})

@@ -27,6 +27,7 @@ import (
 
 	"jsweep/internal/comm"
 	"jsweep/internal/nodespec"
+	"jsweep/internal/obs"
 	"jsweep/internal/registry"
 	"jsweep/internal/serve"
 	"jsweep/internal/simcluster"
@@ -63,6 +64,16 @@ type ProgressEvent = nodespec.Progress
 // ClusterStats sums message costs over all ranks of a cluster solve.
 type ClusterStats = nodespec.ClusterStats
 
+// TraceEvent is one recorded event of a traced job: a solve phase span
+// (name, iteration, duration) or a lifecycle edge.
+type TraceEvent = obs.Event
+
+// WriteTrace dumps trace events one JSON object per line (JSONL), the
+// format `jsweep-run -trace out.jsonl` writes.
+func WriteTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteJSONL(w, events)
+}
+
 // BalanceReport is the per-group neutron balance of a converged flux.
 type BalanceReport = transport.BalanceReport
 
@@ -95,6 +106,12 @@ type RunResult struct {
 	Verified bool
 	// Trail records every iteration's progress event in order.
 	Trail []ProgressEvent
+	// Trace holds the solve's span events (build, per-iteration
+	// source/sweep/residual phases), oldest first, when the job ran
+	// with WithTrace — or when a daemon executed it, since submitted
+	// jobs are always traced on the daemon side. Nil otherwise. Dump it
+	// with WriteTrace.
+	Trace []TraceEvent
 	// Sim is the simulated outcome (BackendSim only).
 	Sim *SimResult
 	// Wall is the job's wall time.
@@ -109,6 +126,7 @@ type jobConfig struct {
 	nodeCommand []string
 	hosts       []string
 	verify      bool
+	trace       bool
 	timeout     time.Duration
 	attach      *attachConfig
 	costModel   *SimCostModel
@@ -185,6 +203,16 @@ func WithVerify() JobOption {
 	return func(c *jobConfig) { c.verify = true }
 }
 
+// WithTrace records the solve's span events (build, per-iteration
+// source/sweep/residual phases) into RunResult.Trace. On the in-process
+// backends the tracer runs in this process; on tcp-launch jobs rank 0
+// traces and the events stream back with the result. Tracing never
+// touches the numerics — a traced solve is bitwise identical to an
+// untraced one. Not available on BackendSim.
+func WithTrace() JobOption {
+	return func(c *jobConfig) { c.trace = true }
+}
+
 // WithTimeout bounds the whole job on every backend: Run derives a
 // context deadline from it (composing with the caller's own — whichever
 // fires first wins). It additionally bounds the tcp-attach cluster
@@ -257,6 +285,9 @@ func NewJob(spec NodeSpec, opts ...JobOption) (*Job, error) {
 		if j.cfg.verify {
 			return nil, fmt.Errorf("jsweep: WithVerify is not available on backend %q (no flux is computed)", b)
 		}
+		if j.cfg.trace {
+			return nil, fmt.Errorf("jsweep: WithTrace is not available on backend %q (one sweep, virtual time)", b)
+		}
 	}
 	if j.cfg.costModel != nil && b != BackendSim {
 		return nil, fmt.Errorf("jsweep: WithSimCostModel requires backend %q", BackendSim)
@@ -317,12 +348,13 @@ func (r *RunResult) fillFromNode(nr *nodespec.NodeResult) {
 	r.Cluster = nr.Cluster
 	r.FluxHash = nr.FluxHash
 	r.Verified = nr.Verified
+	r.Trace = nr.Trace
 	r.Wall = nr.Wall
 }
 
 // nodeOptions assembles the shared per-rank options.
 func (j *Job) nodeOptions(rank int, res *RunResult) NodeOptions {
-	return NodeOptions{
+	o := NodeOptions{
 		Rank:    rank,
 		Timeout: j.cfg.timeout,
 		Verify:  j.cfg.verify,
@@ -334,6 +366,10 @@ func (j *Job) nodeOptions(rank int, res *RunResult) NodeOptions {
 			}
 		},
 	}
+	if j.cfg.trace {
+		o.Tracer = obs.NewTracer(0)
+	}
+	return o
 }
 
 // runAttached solves on an explicit (possibly nil) transport in this
@@ -410,6 +446,7 @@ func (j *Job) runLaunch(ctx context.Context) (*RunResult, error) {
 		Spec:        j.spec,
 		NodeCommand: j.cfg.nodeCommand,
 		Verify:      j.cfg.verify,
+		Trace:       j.cfg.trace,
 		ResultAddr:  col.Addr(),
 		Timeout:     j.cfg.timeout,
 		Log:         j.cfg.log,
@@ -433,6 +470,7 @@ func (j *Job) runLaunch(ctx context.Context) (*RunResult, error) {
 		// The cross-rank hash certificate stands on its own: a broken
 		// result stream degrades the result to hash-only, it does not
 		// fail a solve every rank completed and certified.
+		serve.ResultStreamDegraded()
 		if j.cfg.log != nil {
 			fmt.Fprintf(j.cfg.log, "jsweep: launch result stream broken (hash-only result): %v\n", c.err)
 		}

@@ -11,6 +11,7 @@ package jsweep_test
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"testing"
 	"time"
@@ -179,5 +180,75 @@ func TestJobMeshesListed(t *testing.T) {
 	}
 	if got := jsweep.Backends(); len(got) != 4 {
 		t.Fatalf("Backends() = %v, want 4 entries", got)
+	}
+}
+
+// TestJobTrace: WithTrace records build + per-iteration phase spans into
+// RunResult.Trace, the traced flux stays bitwise identical to an
+// untraced run, and WriteTrace dumps one JSON object per line.
+func TestJobTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("traced solve skipped in -short mode")
+	}
+	ctx := context.Background()
+	spec := jobSpecs()["kobayashi"]
+	spec.Backend = jsweep.BackendInProc
+
+	run := func(opts ...jsweep.JobOption) *jsweep.RunResult {
+		t.Helper()
+		job, err := jsweep.NewJob(spec, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := job.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run()
+	traced := run(jsweep.WithTrace())
+
+	if plain.Trace != nil {
+		t.Fatalf("untraced run carries %d trace events", len(plain.Trace))
+	}
+	if plain.FluxHash != traced.FluxHash {
+		t.Fatalf("tracing changed the flux: %s != %s", traced.FluxHash, plain.FluxHash)
+	}
+	iters := traced.Result.Iterations
+	phases := map[string]int{}
+	for _, ev := range traced.Trace {
+		phases[ev.Name]++
+		if ev.Time.IsZero() {
+			t.Fatalf("event %s has no timestamp", ev.Name)
+		}
+	}
+	for _, name := range []string{"iter.source", "iter.sweep", "iter.residual"} {
+		if phases[name] != iters {
+			t.Fatalf("%d %s events, want %d (one per iteration); got %v", phases[name], name, iters, phases)
+		}
+	}
+	if phases["node.build"] != 1 || phases["node.solved"] != 1 {
+		t.Fatalf("missing lifecycle spans: %v", phases)
+	}
+
+	var buf bytes.Buffer
+	if err := jsweep.WriteTrace(&buf, traced.Trace); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != len(traced.Trace) {
+		t.Fatalf("JSONL has %d lines for %d events", len(lines), len(traced.Trace))
+	}
+	var ev jsweep.TraceEvent
+	if err := json.Unmarshal(lines[0], &ev); err != nil {
+		t.Fatalf("first JSONL line not an event: %v", err)
+	}
+
+	// WithTrace is meaningless on the simulator — typed NewJob error.
+	simSpec := spec
+	simSpec.Backend = jsweep.BackendSim
+	if _, err := jsweep.NewJob(simSpec, jsweep.WithTrace()); err == nil {
+		t.Fatal("NewJob(sim, WithTrace) should fail")
 	}
 }

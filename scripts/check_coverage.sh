@@ -4,8 +4,9 @@
 # Gates the per-package coverage of the session-critical packages against
 # their measured baselines (internal/runtime 93.0%, internal/sweep 94.4%
 # post-persistent-session; internal/graph 96.8% post-SCC/feedback-edge;
-# internal/netcomm 88.8% post-TCP-backend — the gates sit just below to
-# absorb line-count drift). A drop below a gate fails CI.
+# internal/netcomm 88.8% post-TCP-backend; internal/obs 96.5% at
+# introduction — the gates sit just below to absorb line-count drift).
+# A drop below a gate fails CI.
 set -eu
 
 out="${1:?usage: check_coverage.sh <cover-output-file>}"
@@ -35,3 +36,4 @@ check "jsweep/internal/runtime" 90.0
 check "jsweep/internal/sweep" 91.0
 check "jsweep/internal/graph" 90.0
 check "jsweep/internal/netcomm" 85.0
+check "jsweep/internal/obs" 90.0

@@ -10,7 +10,10 @@
 #   2. two daemons of one slot each host one tcp-launch cluster placed
 #      with `jsweep-run -hosts` — contiguous rank slices, cross-daemon
 #      bitwise-agreement certificate, result still complete;
-#   3. SIGTERM drains both daemons cleanly.
+#   3. the first daemon's -metrics-addr endpoint answers /healthz and
+#      serves Prometheus text with the queue, slot, warm-pool and
+#      per-wire-tier counters;
+#   4. SIGTERM drains both daemons cleanly.
 #
 # Exits non-zero on the first failed assertion.
 set -eu
@@ -18,9 +21,11 @@ set -eu
 bin="${1:-bin}"
 go build -o "$bin/" ./cmd/jsweep-run ./cmd/jsweep-node ./cmd/jsweep-serve
 
-# Two fixed loopback ports, offset by the PID to dodge parallel runs.
+# Three fixed loopback ports, offset by the PID to dodge parallel runs
+# (two submission listeners + the first daemon's metrics endpoint).
 p1=$((20000 + $$ % 20000))
 p2=$((p1 + 1))
+pm=$((p1 + 2))
 log1=$(mktemp)
 log2=$(mktemp)
 
@@ -32,7 +37,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-"$bin/jsweep-serve" -listen "127.0.0.1:$p1" -max-jobs 2 -slots 1 >"$log1" 2>&1 &
+"$bin/jsweep-serve" -listen "127.0.0.1:$p1" -max-jobs 2 -slots 1 -metrics-addr "127.0.0.1:$pm" >"$log1" 2>&1 &
 pid1=$!
 "$bin/jsweep-serve" -listen "127.0.0.1:$p2" -max-jobs 2 -slots 1 >"$log2" 2>&1 &
 pid2=$!
@@ -71,6 +76,38 @@ printf '%s\n' "$out" | grep -q "converged=true" || { echo "serve-smoke: placed l
 grep -q "ranks=\[0,1)" "$log1" || { echo "serve-smoke: first daemon did not host rank 0" >&2; cat "$log1" >&2; exit 1; }
 grep -q "ranks=\[1,2)" "$log2" || { echo "serve-smoke: second daemon did not host rank 1" >&2; cat "$log2" >&2; exit 1; }
 
+echo "== observability endpoints on the first daemon =="
+health=$(curl -fsS "http://127.0.0.1:$pm/healthz")
+[ "$health" = "ok" ] || { echo "serve-smoke: /healthz answered '$health'" >&2; exit 1; }
+metrics=$(curl -fsS "http://127.0.0.1:$pm/metrics")
+# Queue/slot/warm-pool state, admission + job counters from the serve
+# registry; frame/byte counters per wire tier from the process default
+# (the placed launch above ran this daemon's rank over the cluster wire).
+for want in \
+	"jsweep_serve_queue_depth" \
+	"jsweep_serve_jobs_running" \
+	"jsweep_serve_slots_busy" \
+	"jsweep_serve_slots_total 1" \
+	"jsweep_serve_warm_pool_size" \
+	"jsweep_serve_warm_pool_hits_total" \
+	"jsweep_serve_warm_pool_misses_total" \
+	'jsweep_serve_admissions_total{code="accepted"}' \
+	'jsweep_serve_job_duration_seconds_count{outcome="ok"}' \
+	"jsweep_serve_grant_wait_seconds_count" \
+	'jsweep_net_frames_total{dir="out"' \
+	'jsweep_net_bytes_total{dir="in"' \
+	"jsweep_runtime_rounds_total" \
+	"jsweep_runtime_round_seconds_count"; do
+	printf '%s\n' "$metrics" | grep -qF "$want" || {
+		echo "serve-smoke: /metrics missing '$want'" >&2
+		printf '%s\n' "$metrics" >&2
+		exit 1
+	}
+done
+statusz=$(curl -fsS "http://127.0.0.1:$pm/statusz")
+printf '%s\n' "$statusz" | grep -q '"jobs_done"' \
+	|| { echo "serve-smoke: /statusz missing stats" >&2; exit 1; }
+
 echo "== drain on SIGTERM =="
 kill -TERM "$pid1" "$pid2"
 wait "$pid1" "$pid2"
@@ -79,4 +116,4 @@ pid2=""
 grep -q "serve: closed" "$log1" || { echo "serve-smoke: first daemon did not drain" >&2; cat "$log1" >&2; exit 1; }
 grep -q "serve: closed" "$log2" || { echo "serve-smoke: second daemon did not drain" >&2; cat "$log2" >&2; exit 1; }
 
-echo "serve-smoke ok: queued submission, two-daemon placement, graceful drain"
+echo "serve-smoke ok: queued submission, two-daemon placement, metrics endpoints, graceful drain"
