@@ -29,8 +29,11 @@ short:
 race:
 	$(GO) test -race ./...
 
+# go vet plus jsweepvet, the in-repo analyzer suite that machine-checks
+# jsweep's own invariants (see DESIGN.md "Static analysis").
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/jsweepvet ./...
 
 # Fail when any file needs gofmt (mirrors the CI gate).
 fmt:
@@ -46,6 +49,8 @@ fuzz:
 	$(GO) test ./internal/core -run xxx -fuzz FuzzCodecRoundTrip -fuzztime 30s
 	$(GO) test ./internal/graph -run xxx -fuzz FuzzSCCCondense -fuzztime 30s
 	$(GO) test ./internal/netcomm -run xxx -fuzz FuzzNetFrameRoundTrip -fuzztime 30s
+	$(GO) test ./internal/netcomm -run xxx -fuzz FuzzSubmitLaneRoundTrip -fuzztime 30s
+	$(GO) test ./internal/netcomm -run xxx -fuzz FuzzSubmitFrameRoundTrip -fuzztime 30s
 
 # Reproduce the message-aggregation batch-size sweep (paper Fig. 12
 # methodology applied to §IV batching) and record BENCH_aggregation.json.

@@ -1,0 +1,81 @@
+// jsweepvet is the multichecker for jsweep's own invariants: the
+// analyzers in internal/analysis (pooledbuf, detmap, ctxloop,
+// lockedfield, errdrop, metricname) run over the packages matching the
+// given go-list patterns and report every violation of the codebase's
+// load-bearing conventions. CI runs `jsweepvet ./...` as part of
+// `make vet`; a non-empty finding set exits 1.
+//
+// Usage:
+//
+//	jsweepvet [-only name,name] [-list] [patterns ...]
+//
+// With no patterns, ./... is checked. Findings print as
+// file:line:col: message (analyzer). Suppress a reviewed finding with
+// a //jsweep:<analyzer>-ok comment on (or directly above) its line.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"jsweep/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("jsweepvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	suite := analysis.All
+	if *only != "" {
+		var missing []string
+		suite, missing = analysis.ByName(strings.Split(*only, ",")...)
+		if len(missing) > 0 {
+			fmt.Fprintf(stderr, "jsweepvet: unknown analyzers: %s\n", strings.Join(missing, ", "))
+			return 2
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "jsweepvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "jsweepvet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "jsweepvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "jsweepvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

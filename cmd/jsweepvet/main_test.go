@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsEveryAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit = %d, stderr: %s", code, errb.String())
+	}
+	for _, name := range []string{"pooledbuf", "detmap", "ctxloop", "lockedfield", "errdrop", "metricname"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-only", "detmap,nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "nosuch") {
+		t.Errorf("stderr should name the unknown analyzer: %s", errb.String())
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("bad flag exit = %d", code)
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"../../internal/obs"}, &out, &errb); code != 0 {
+		t.Fatalf("clean package exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean run should print nothing, got: %s", out.String())
+	}
+}
+
+// TestFindingsExitOne synthesizes a throwaway module named jsweep with
+// a detmap violation in internal/graph and checks the driver reports
+// it and exits 1 — the CI contract that re-introducing an unsorted map
+// range fails the build.
+func TestFindingsExitOne(t *testing.T) {
+	dir := t.TempDir()
+	graph := filepath.Join(dir, "internal", "graph")
+	if err := os.MkdirAll(graph, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gomod := "module jsweep\n\ngo 1.23.0\n"
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte(gomod), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package graph
+
+func Emit(m map[int]int, f func(int)) {
+	for k := range m {
+		f(k)
+	}
+}
+`
+	if err := os.WriteFile(filepath.Join(graph, "graph.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errb strings.Builder
+	if code := run(nil, &out, &errb); code != 1 {
+		t.Fatalf("violating module exit = %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "range over map in bitwise-pinned package") {
+		t.Errorf("finding not reported:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "finding(s)") {
+		t.Errorf("summary line missing: %s", errb.String())
+	}
+}

@@ -1,0 +1,231 @@
+// Package analysis is jsweep's static-analysis layer: a small,
+// dependency-free analyzer framework (mirroring the API shape of
+// golang.org/x/tools/go/analysis, which this module deliberately does
+// not depend on) plus the suite of jsweep-specific analyzers behind
+// cmd/jsweepvet. Each analyzer machine-enforces one of the codebase's
+// load-bearing conventions:
+//
+//   - pooledbuf: the comm.GetBuffer/SendPooled/PutBuffer
+//     ownership-transfer contract (use-after-release, pooled buffers
+//     escaping through plain Send, shared-slice recycling in loops);
+//   - detmap: no order-sensitive map iteration in the bitwise-pinned
+//     packages (graph, sweep, nodespec, registry);
+//   - ctxloop: unbounded loops in the long-running packages (runtime,
+//     netcomm, serve) must have a cancellation or shutdown exit;
+//   - lockedfield: struct fields documented "guarded by mu" are only
+//     touched by functions that lock that mutex;
+//   - errdrop: write-path errors on conns/frame codecs in netcomm and
+//     serve are never dropped;
+//   - metricname: obs metric registrations use canonical
+//     jsweep_-prefixed names and happen at construction, not in loops.
+//
+// Every analyzer has an escape hatch: a "//jsweep:<name>-ok" comment on
+// the flagged line (or the line above) suppresses the finding, so
+// justified exceptions are visible and grep-able. The framework mirrors
+// x/tools so a future migration (when the dependency is acceptable) is
+// mechanical: Analyzer, Pass, Diagnostic and the testdata/src fixture
+// convention all translate one to one.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and selects its
+	// "//jsweep:<name>-ok" escape-hatch pragma.
+	Name string
+	// Doc is the one-paragraph invariant description shown by
+	// jsweepvet -list.
+	Doc string
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report  func(Diagnostic)
+	pragmas map[string]map[int]map[string]bool // file -> line -> pragma set
+}
+
+// Diagnostic is one finding, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Position, d.Message, d.Analyzer)
+}
+
+// Reportf records a finding unless the line (or the line above it)
+// carries the analyzer's escape-hatch pragma.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Allowed(pos) {
+		return
+	}
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Pos:      pos,
+		Position: position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Pragma is the escape-hatch comment for this pass's analyzer,
+// e.g. "jsweep:detmap-ok". detmap additionally honours the
+// documented "jsweep:nondeterministic-ok" spelling.
+func (p *Pass) pragmaNames() []string {
+	names := []string{"jsweep:" + p.Analyzer.Name + "-ok"}
+	if p.Analyzer.Name == "detmap" {
+		names = append(names, "jsweep:nondeterministic-ok")
+	}
+	return names
+}
+
+// Allowed reports whether pos sits on (or directly under) a line
+// carrying this analyzer's escape-hatch pragma.
+func (p *Pass) Allowed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	lines, ok := p.pragmas[position.Filename]
+	if !ok {
+		return false
+	}
+	for _, name := range p.pragmaNames() {
+		// Same line (trailing comment) or the line above (lead comment).
+		if lines[position.Line][name] || lines[position.Line-1][name] {
+			return true
+		}
+	}
+	return false
+}
+
+// indexPragmas scans every comment in the pass's files for
+// "//jsweep:<word>" pragmas and records them by file and line. A
+// multi-line comment group contributes each of its lines, so a pragma
+// inside a doc comment covers the declaration that follows it.
+func (p *Pass) indexPragmas() {
+	p.pragmas = make(map[string]map[int]map[string]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "jsweep:")
+				if idx < 0 {
+					continue
+				}
+				// Take the pragma word: "jsweep:" up to whitespace.
+				word := text[idx:]
+				if cut := strings.IndexAny(word, " \t\n*/"); cut >= 0 {
+					word = word[:cut]
+				}
+				position := p.Fset.Position(c.Pos())
+				end := p.Fset.Position(c.End())
+				byLine := p.pragmas[position.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					p.pragmas[position.Filename] = byLine
+				}
+				for line := position.Line; line <= end.Line; line++ {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					set[word] = true
+				}
+			}
+		}
+	}
+}
+
+// RunAnalyzers runs each analyzer over each loaded package and returns
+// every finding, sorted by position then analyzer name.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, an := range analyzers {
+			pass := &Pass{
+				Analyzer:  an,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			pass.indexPragmas()
+			if err := an.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", an.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// inScope reports whether a package path is one of the listed paths.
+// Fixture packages use the same import paths as the real tree
+// (testdata/src/<analyzer>/jsweep/internal/...), so one scope list
+// serves both.
+func inScope(pkgPath string, paths ...string) bool {
+	for _, p := range paths {
+		if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}
+
+// typeIsContext reports whether t is context.Context.
+func typeIsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcPkgPath returns the import path of the package a function or
+// method object belongs to ("" for builtins).
+func funcPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// pathBase returns the last element of an import path.
+func pathBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

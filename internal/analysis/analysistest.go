@@ -1,0 +1,126 @@
+// analysistest-style fixture checking: fixture sources carry
+// `// want "regexp"` comments on the lines an analyzer must flag, and
+// RunFixtures verifies the analyzer produces exactly those findings —
+// every want matched by a diagnostic, every diagnostic matched by a
+// want. The runner takes a small TB interface instead of *testing.T so
+// this package never imports "testing" into the jsweepvet binary.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// TB is the subset of *testing.T the fixture runner needs.
+type TB interface {
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// wantSpec is one expected diagnostic: a file/line anchor plus the
+// regexp the message must match.
+type wantSpec struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRe extracts the quoted regexps from a `// want "a" "b"` comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// collectWants scans a package's comments for want specs.
+func collectWants(pkg *Package) ([]*wantSpec, error) {
+	var wants []*wantSpec
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				rest := c.Text[idx+len("want "):]
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(rest, -1) {
+					pat := m[1]
+					if m[0][0] == '"' {
+						var err error
+						pat, err = unquoteWant(m[2])
+						if err != nil {
+							return nil, fmt.Errorf("%s: bad want pattern %q: %w", pos, m[0], err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %w", pos, pat, err)
+					}
+					wants = append(wants, &wantSpec{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// unquoteWant undoes the \" and \\ escapes a double-quoted want
+// pattern may carry.
+func unquoteWant(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			if i+1 >= len(s) {
+				return "", fmt.Errorf("trailing backslash")
+			}
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}
+
+// RunFixtures loads the named fixture packages under srcRoot, runs the
+// analyzer over them, and checks the diagnostics against the fixtures'
+// want comments.
+func RunFixtures(t TB, srcRoot string, an *Analyzer, paths ...string) {
+	pkgs, err := LoadFixtures(srcRoot, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures under %s: %v", srcRoot, err)
+		return
+	}
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{an})
+	if err != nil {
+		t.Fatalf("running %s: %v", an.Name, err)
+		return
+	}
+	var wants []*wantSpec
+	for _, pkg := range pkgs {
+		w, err := collectWants(pkg)
+		if err != nil {
+			t.Fatalf("collecting wants: %v", err)
+			return
+		}
+		wants = append(wants, w...)
+	}
+	for _, d := range diags {
+		if !matchWant(wants, d.Position, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*wantSpec, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

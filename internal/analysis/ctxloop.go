@@ -1,0 +1,163 @@
+// ctxloop guards the cancellation guarantees PR 5 threaded through the
+// stack: in the long-running packages (runtime, netcomm, serve) an
+// unbounded `for { ... }` loop must have some exit — a ctx.Done()/
+// ctx.Err() check, a receive from a shutdown-style channel, or a
+// return/break path — or it can spin past Close/cancel forever.
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+)
+
+var ctxloopScope = []string{
+	"jsweep/internal/runtime",
+	"jsweep/internal/netcomm",
+	"jsweep/internal/serve",
+}
+
+// shutdownChanRe matches channel identifiers conventionally closed at
+// shutdown; receiving from one is an accepted exit signal.
+var shutdownChanRe = regexp.MustCompile(`(?i)(done|stop|quit|shut|clos|bye|exit|dead)`)
+
+// CtxLoop flags condition-less for loops in the long-running packages
+// whose body contains neither a context cancellation check, nor a
+// receive from a shutdown-named channel, nor any return or
+// loop-terminating break. Loops behind an undocumented exit use
+// "//jsweep:ctxloop-ok" with a comment naming the shutdown mechanism.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "flags unbounded for/select loops in runtime, netcomm and serve that can " +
+		"spin past cancellation: no ctx.Done()/ctx.Err(), no shutdown-channel receive, no return/break",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), ctxloopScope...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if loopHasExit(pass, loop) {
+				return true
+			}
+			pass.Reportf(loop.Pos(),
+				"unbounded for loop without a cancellation exit: check ctx.Done()/ctx.Err(), receive from a shutdown channel, or annotate //jsweep:ctxloop-ok naming the exit mechanism")
+			return true
+		})
+	}
+	return nil
+}
+
+// loopHasExit scans a loop body for any accepted exit: ctx
+// cancellation, shutdown-channel receive, return, or a break that
+// terminates this loop (not an inner select/switch/loop).
+func loopHasExit(pass *Pass, loop *ast.ForStmt) bool {
+	found := false
+	// breakable tracks whether a break statement at this point binds to
+	// the flagged loop.
+	var scan func(n ast.Node, breakBindsHere bool)
+	scan = func(n ast.Node, breakBindsHere bool) {
+		if n == nil || found {
+			return
+		}
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			found = true
+			return
+		case *ast.BranchStmt:
+			// An unlabeled break binds to the nearest for/select/switch; a
+			// labeled one to its label (assume it exits the loop — labels
+			// on inner statements that shadow are vanishingly rare and a
+			// goto out is an exit anyway).
+			if s.Tok.String() == "goto" {
+				found = true
+				return
+			}
+			if s.Tok.String() == "break" && (breakBindsHere || s.Label != nil) {
+				found = true
+			}
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != loop {
+				// Inner loop: breaks inside bind to it, but returns and ctx
+				// checks still count.
+				for _, child := range childStmts(n) {
+					scan(child, false)
+				}
+				return
+			}
+		case *ast.SelectStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt:
+			// break inside binds to this statement, not the loop.
+			for _, child := range childStmts(n) {
+				scan(child, false)
+			}
+			return
+		case *ast.FuncLit:
+			return // a nested function's control flow is its own
+		case *ast.CallExpr:
+			if sel, ok := s.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Done" || sel.Sel.Name == "Err" {
+					if tv, ok := pass.TypesInfo.Types[sel.X]; ok && typeIsContext(tv.Type) {
+						found = true
+						return
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			// <-ch receive: accepted when the channel's name looks like a
+			// shutdown signal (quit, done, closing, ...).
+			if s.Op.String() == "<-" {
+				if shutdownChanRe.MatchString(exprName(s.X)) {
+					found = true
+					return
+				}
+			}
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			scan(m, breakBindsHere)
+			return false
+		})
+	}
+	for _, stmt := range loop.Body.List {
+		scan(stmt, true)
+	}
+	return found
+}
+
+// childStmts returns the immediate child nodes of a compound statement
+// for re-scanning with break binding disabled.
+func childStmts(n ast.Node) []ast.Node {
+	var out []ast.Node
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == n {
+			return true
+		}
+		if m != nil {
+			out = append(out, m)
+		}
+		return false
+	})
+	return out
+}
+
+// exprName renders the trailing identifier of an expression
+// (x, s.quit, p.rt.closed) for the shutdown-name heuristic.
+func exprName(e ast.Expr) string {
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.CallExpr:
+		return exprName(v.Fun)
+	}
+	return ""
+}

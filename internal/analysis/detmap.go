@@ -1,0 +1,177 @@
+// detmap enforces the bitwise-determinism discipline: in the packages
+// whose output is pinned bit-for-bit against the serial Reference
+// (graph, sweep, nodespec, registry), Go's randomized map iteration
+// order must never influence a result — one unsorted `for range m`
+// breaks cross-rank hash agreement exactly the way order-sensitive
+// cyclic sweeps do (Vermaak et al., arXiv:2004.01824).
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detmapScope lists the bitwise-pinned packages.
+var detmapScope = []string{
+	"jsweep/internal/graph",
+	"jsweep/internal/sweep",
+	"jsweep/internal/nodespec",
+	"jsweep/internal/registry",
+}
+
+// DetMap flags `for range` over a map in the bitwise-pinned packages
+// unless the loop only collects keys/values (to be sorted before use)
+// or accumulates order-independent state. The escape hatch
+// "//jsweep:nondeterministic-ok" marks loops whose order-insensitivity
+// was reviewed by hand.
+var DetMap = &Analyzer{
+	Name: "detmap",
+	Doc: "flags order-sensitive map iteration in the bitwise-pinned packages " +
+		"(graph, sweep, nodespec, registry); collect-and-sort loops are allowed",
+	Run: runDetMap,
+}
+
+func runDetMap(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), detmapScope...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectOnlyBody(pass.TypesInfo, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map in bitwise-pinned package %s: iteration order is random — collect and sort the keys first (or annotate //jsweep:nondeterministic-ok with why order cannot matter)",
+				pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+// collectOnlyBody reports whether every statement of a map-range body
+// is order-independent accumulation: appends (to be sorted before
+// use), set/map inserts keyed by the loop variables, counter bumps, or
+// commutative numeric accumulation. Anything else — indexing another
+// structure, calls, sends, conditionals — can observe iteration order.
+func collectOnlyBody(info *types.Info, rng *ast.RangeStmt) bool {
+	if len(rng.Body.List) == 0 {
+		return true
+	}
+	return collectOnlyStmts(info, rng.Body.List, keyIdent(rng))
+}
+
+func collectOnlyStmts(info *types.Info, stmts []ast.Stmt, key string) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.IncDecStmt:
+			// n++ / n-- : commutative.
+			if _, ok := unparen(s.X).(*ast.Ident); !ok {
+				return false
+			}
+		case *ast.AssignStmt:
+			if !orderFreeAssign(info, s, key) {
+				return false
+			}
+		case *ast.IfStmt:
+			// A guard around collection (`if len(fl) > 0 { keys =
+			// append(keys, k) }`) reads but cannot reorder; an else branch
+			// or init statement is beyond the idiom.
+			if s.Init != nil || s.Else != nil || !collectOnlyStmts(info, s.Body.List, key) {
+				return false
+			}
+		case *ast.BranchStmt:
+			if s.Tok.String() != "continue" || s.Label != nil {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// keyIdent returns the range statement's key variable name ("" when
+// absent or blank).
+func keyIdent(rng *ast.RangeStmt) string {
+	if id, ok := rng.Key.(*ast.Ident); ok && id.Name != "_" {
+		return id.Name
+	}
+	return ""
+}
+
+// orderFreeAssign accepts `xs = append(xs, ...)`, `m[k] = v` keyed by
+// the loop key (each source key writes a distinct destination key),
+// `n += expr` and `n -= expr` forms.
+func orderFreeAssign(info *types.Info, s *ast.AssignStmt, key string) bool {
+	switch s.Tok.String() {
+	case "+=", "-=", "|=":
+		_, ok := unparen(s.Lhs[0]).(*ast.Ident)
+		return ok
+	case "=":
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch lhs := unparen(s.Lhs[0]).(type) {
+		case *ast.Ident:
+			// xs = append(xs, ...): grows a slice whose final order is the
+			// caller's to sort. x = <constant>: idempotent flag store.
+			if isSelfAppend(s.Rhs[0], lhs.Name) {
+				return true
+			}
+			return isConstantExpr(unparen(s.Rhs[0]))
+		case *ast.IndexExpr:
+			// m2[k] = v keyed by the loop key: each source key writes a
+			// distinct destination key, so order cannot matter.
+			idx, ok := unparen(lhs.Index).(*ast.Ident)
+			if !ok || key == "" || idx.Name != key {
+				return false
+			}
+			if tv, ok := info.Types[lhs.X]; ok {
+				_, isMap := tv.Type.Underlying().(*types.Map)
+				return isMap
+			}
+			return false
+		}
+	}
+	return false
+}
+
+// isSelfAppend matches `append(xs, ...)` growing the slice it is
+// assigned back to.
+func isSelfAppend(rhs ast.Expr, lhsName string) bool {
+	call, ok := unparen(rhs).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	first, ok := unparen(call.Args[0]).(*ast.Ident)
+	return ok && first.Name == lhsName
+}
+
+// isConstantExpr accepts literal constants (true, false, numbers,
+// strings, nil): storing the same constant every iteration is
+// idempotent regardless of order.
+func isConstantExpr(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return v.Name == "true" || v.Name == "false" || v.Name == "nil"
+	}
+	return false
+}

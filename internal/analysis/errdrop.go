@@ -1,0 +1,109 @@
+// errdrop targets the swallowed-Bye-error class PR 6 fixed: in the
+// wire-facing packages (netcomm, serve) an error returned by a write
+// on a connection or by a frame-codec encode must be checked — a
+// dropped write error leaves a half-dead peer undetected until the
+// next collective hangs.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var errdropScope = []string{
+	"jsweep/internal/netcomm",
+	"jsweep/internal/serve",
+}
+
+// ErrDrop flags discarded error results — bare expression statements
+// and `_ =` assignments — of Write*/write*/Flush methods and
+// frame-codec write functions in the wire-facing packages.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags dropped errors from conn/codec write calls in netcomm and serve " +
+		"(the swallowed-Bye-error class): record or propagate them",
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	if !inScope(pass.Pkg.Path(), errdropScope...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+					checkDroppedWrite(pass, call)
+				}
+			case *ast.AssignStmt:
+				// `_ = conn.Write(...)` and `_, _ = w.Write(...)`: every
+				// result blanked.
+				if len(s.Rhs) == 1 && allBlank(s.Lhs) {
+					if call, ok := unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+						checkDroppedWrite(pass, call)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := unparen(e).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// checkDroppedWrite reports the call if it is a write-path call whose
+// (discarded) results include an error.
+func checkDroppedWrite(pass *Pass, call *ast.CallExpr) {
+	name, obj := calleeName(pass.TypesInfo, call)
+	if obj == nil || !writeish(name) {
+		return
+	}
+	if !returnsError(obj) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"dropped error from %s: write-path errors in %s must be recorded or propagated (the swallowed-Bye class)",
+		name, pathBase(pass.Pkg.Path()))
+}
+
+// writeish matches the write-path surface: Write/write prefixes (Write,
+// WriteTo, WriteFrame, writev batches) and Flush.
+func writeish(name string) bool {
+	return strings.HasPrefix(name, "Write") || strings.HasPrefix(name, "write") || name == "Flush"
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) (string, types.Object) {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, info.Uses[fun]
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, info.Uses[fun.Sel]
+	}
+	return "", nil
+}
+
+// returnsError reports whether the callable's last result is error.
+func returnsError(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

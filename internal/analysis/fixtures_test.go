@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"jsweep/internal/analysis"
+)
+
+// TestAnalyzerFixtures runs every analyzer over its testdata/src tree
+// and checks the diagnostics against the fixtures' want comments —
+// each fixture set carries at least one positive, one negative, and
+// one escape-hatch case.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		paths    []string
+	}{
+		{analysis.PooledBuf, []string{"a"}},
+		{analysis.DetMap, []string{"jsweep/internal/graph", "notpinned"}},
+		{analysis.CtxLoop, []string{"jsweep/internal/runtime", "notscoped"}},
+		{analysis.LockedField, []string{"a"}},
+		{analysis.ErrDrop, []string{"jsweep/internal/netcomm"}},
+		{analysis.MetricName, []string{"a"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			analysis.RunFixtures(t, "testdata/src/"+tc.analyzer.Name, tc.analyzer, tc.paths...)
+		})
+	}
+}

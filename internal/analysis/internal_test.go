@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	found, missing := ByName("detmap", "pooledbuf")
+	if len(found) != 2 || found[0] != DetMap || found[1] != PooledBuf {
+		t.Fatalf("ByName(detmap, pooledbuf) = %v", found)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("unexpected missing: %v", missing)
+	}
+	found, missing = ByName("detmap", "nosuch")
+	if len(found) != 1 || len(missing) != 1 || missing[0] != "nosuch" {
+		t.Fatalf("ByName with unknown name: found=%v missing=%v", found, missing)
+	}
+}
+
+func TestSuiteNamesUniqueAndDocumented(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name/doc/run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestInScope(t *testing.T) {
+	if !inScope("jsweep/internal/graph", detmapScope...) {
+		t.Errorf("graph should be in detmap scope")
+	}
+	if inScope("jsweep/internal/graphx", detmapScope...) {
+		t.Errorf("scope match must be exact, not a prefix")
+	}
+}
+
+func TestPathBase(t *testing.T) {
+	if got := pathBase("jsweep/internal/comm"); got != "comm" {
+		t.Errorf("pathBase = %q", got)
+	}
+	if got := pathBase("main"); got != "main" {
+		t.Errorf("pathBase(no slash) = %q", got)
+	}
+}
+
+func TestUnquoteWant(t *testing.T) {
+	got, err := unquoteWant(`access to running \(guarded by mu\)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `access to running (guarded by mu)` {
+		t.Errorf("unquoteWant = %q", got)
+	}
+	if _, err := unquoteWant(`trailing\`); err == nil {
+		t.Errorf("want error for trailing backslash")
+	}
+}
+
+func TestMatchWantConsumesOnce(t *testing.T) {
+	w := &wantSpec{file: "f.go", line: 3, re: regexp.MustCompile("boom")}
+	wants := []*wantSpec{w}
+	pos := token.Position{Filename: "f.go", Line: 3}
+	if !matchWant(wants, pos, "boom happened") {
+		t.Fatalf("first match should succeed")
+	}
+	if matchWant(wants, pos, "boom happened") {
+		t.Fatalf("a want must match at most one diagnostic")
+	}
+	if matchWant(wants, token.Position{Filename: "g.go", Line: 3}, "boom") {
+		t.Fatalf("file must anchor the match")
+	}
+}
+
+// errTB records fixture-runner failures instead of failing the real test.
+type errTB struct {
+	errors []string
+	fatals []string
+}
+
+func (e *errTB) Errorf(format string, args ...any) {
+	e.errors = append(e.errors, strings.TrimSpace(format))
+}
+
+func (e *errTB) Fatalf(format string, args ...any) {
+	e.fatals = append(e.fatals, strings.TrimSpace(format))
+}
+
+func TestRunFixturesReportsBadRoot(t *testing.T) {
+	tb := &errTB{}
+	RunFixtures(tb, "testdata/src/nosuch", DetMap, "a")
+	if len(tb.fatals) == 0 {
+		t.Fatalf("missing fixture tree must be fatal")
+	}
+}
+
+func TestAllowedPragmaPlacement(t *testing.T) {
+	pass := &Pass{
+		Analyzer: DetMap,
+		pragmas: map[string]map[int]map[string]bool{
+			"x.go": {
+				7:  {"jsweep:detmap-ok": true},
+				20: {"jsweep:nondeterministic-ok": true},
+			},
+		},
+	}
+	fset := token.NewFileSet()
+	f := fset.AddFile("x.go", -1, 1000)
+	for i := 1; i <= 30; i++ {
+		f.AddLine(i * 30)
+	}
+	pass.Fset = fset
+	posAt := func(line int) token.Pos { return f.LineStart(line) }
+	if !pass.Allowed(posAt(7)) {
+		t.Errorf("same-line pragma must suppress")
+	}
+	if !pass.Allowed(posAt(8)) {
+		t.Errorf("pragma on the line above must suppress")
+	}
+	if pass.Allowed(posAt(9)) {
+		t.Errorf("pragma two lines up must not suppress")
+	}
+	if !pass.Allowed(posAt(21)) {
+		t.Errorf("detmap must honour jsweep:nondeterministic-ok")
+	}
+	errPass := &Pass{Analyzer: ErrDrop, Fset: fset, pragmas: pass.pragmas}
+	if errPass.Allowed(posAt(21)) {
+		t.Errorf("nondeterministic-ok is detmap-only")
+	}
+}
+
+func TestWantReQuoting(t *testing.T) {
+	ms := wantRe.FindAllStringSubmatch("want `a b` \"c\\\"d\"", -1)
+	if len(ms) != 2 {
+		t.Fatalf("want two patterns, got %v", ms)
+	}
+	if ms[0][1] != "a b" {
+		t.Errorf("backtick pattern = %q", ms[0][1])
+	}
+	if ms[1][2] != `c\"d` {
+		t.Errorf("quoted pattern = %q", ms[1][2])
+	}
+}
+
+func TestExportLookupMissing(t *testing.T) {
+	lookup := exportLookup(map[string]string{})
+	if _, err := lookup("fmt"); err == nil {
+		t.Errorf("missing export data must error, not panic")
+	}
+}
+
+func TestShutdownChanRe(t *testing.T) {
+	for _, name := range []string{"done", "stopCh", "s.quit", "shutdown", "closing"} {
+		if !shutdownChanRe.MatchString(name) {
+			t.Errorf("%q should read as a shutdown channel", name)
+		}
+	}
+	if shutdownChanRe.MatchString("jobs") {
+		t.Errorf("a work channel must not read as a shutdown channel")
+	}
+}
+
+func TestWriteish(t *testing.T) {
+	for _, name := range []string{"Write", "WriteFrame", "writeFrame", "Flush"} {
+		if !writeish(name) {
+			t.Errorf("%q should be write-path", name)
+		}
+	}
+	for _, name := range []string{"Read", "Close", "flushed"} {
+		if writeish(name) {
+			t.Errorf("%q should not be write-path", name)
+		}
+	}
+}
+
+func TestMetricNameRe(t *testing.T) {
+	for _, good := range []string{"jsweep_jobs_total", "jsweep_queue_depth"} {
+		if !metricNameRe.MatchString(good) {
+			t.Errorf("%q should be canonical", good)
+		}
+	}
+	for _, bad := range []string{"jobs_total", "jsweep_queueDepth", "jsweep_", "Jsweep_x"} {
+		if metricNameRe.MatchString(bad) {
+			t.Errorf("%q should not be canonical", bad)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package loading for the analyzer driver. Two loaders share the same
+// type-checking core:
+//
+//   - Load: the production path. It shells out to `go list -export
+//     -deps -json <patterns>` (the same toolchain invocation every
+//     other jsweep tool relies on) and type-checks each module package
+//     from source against the compiled export data of its
+//     dependencies. No third-party loader is needed: the gc importer
+//     in the standard library reads the export files the build cache
+//     already holds.
+//
+//   - LoadFixtures: the analysistest path. It loads fixture packages
+//     from a testdata/src tree, resolving imports first among the
+//     fixture dirs themselves (type-checked from source, recursively)
+//     and then from the standard library's export data.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the driver needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// goList runs `go list -export -deps -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns ...string) ([]listPackage, error) {
+	args := append([]string{"list", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []listPackage
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup builds the gc-importer lookup function over a
+// path -> export-file map.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// parseDir parses every listed file of a package directory.
+func parseDir(fset *token.FileSet, dir string, files []string) ([]*ast.File, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return parsed, nil
+}
+
+// Load loads the module packages matching the go-list patterns,
+// type-checked and ready for RunAnalyzers. dir anchors pattern
+// resolution (the module root for "./...").
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := exportLookup(exports)
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		fset := token.NewFileSet()
+		files, err := parseDir(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing %s: %w", p.ImportPath, err)
+		}
+		info := newInfo()
+		conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-checking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  p.ImportPath,
+			Dir:   p.Dir,
+			Fset:  fset,
+			Files: files,
+			Types: tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// fixtureLoader type-checks a testdata/src tree: fixture packages from
+// source, everything else from the standard library's export data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	exports map[string]string         // stdlib path -> export file
+	std     map[string]*types.Package // stdlib cache (via gc importer)
+	checked map[string]*Package       // fixture path -> package
+	gc      types.Importer
+}
+
+// Import implements types.Importer over the two-tier resolution.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg.Types, nil
+	}
+	if fi, err := os.Stat(filepath.Join(l.srcRoot, path)); err == nil && fi.IsDir() {
+		pkg, err := l.loadFixture(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// loadFixture type-checks one fixture package (recursing into fixture
+// imports through Import above).
+func (l *fixtureLoader) loadFixture(path string) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(l.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: fixture %s: no .go files", path)
+	}
+	files, err := parseDir(l.fset, dir, names)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: parsing fixture %s: %w", path, err)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking fixture %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// stdlibImports walks every .go file under srcRoot and collects the
+// import paths that do not resolve to fixture directories — the
+// standard-library closure the loader must have export data for.
+func stdlibImports(srcRoot string) ([]string, error) {
+	seen := make(map[string]bool)
+	err := filepath.WalkDir(srcRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			return fmt.Errorf("analysis: scanning %s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if fi, err := os.Stat(filepath.Join(srcRoot, p)); err == nil && fi.IsDir() {
+				continue // fixture-local import
+			}
+			seen[p] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// LoadFixtures loads the named fixture packages (paths relative to
+// srcRoot, which plays the role of analysistest's GOPATH/src) and
+// returns them in the order given. Fixture imports resolve against the
+// tree itself first, then the standard library.
+func LoadFixtures(srcRoot string, paths ...string) ([]*Package, error) {
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	std, err := stdlibImports(abs)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	if len(std) > 0 {
+		listed, err := goList(abs, std...)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	l := &fixtureLoader{
+		srcRoot: abs,
+		fset:    fset,
+		exports: exports,
+		checked: make(map[string]*Package),
+	}
+	l.gc = importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var out []*Package
+	for _, p := range paths {
+		pkg, err := l.loadFixture(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

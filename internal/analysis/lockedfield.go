@@ -1,0 +1,143 @@
+// lockedfield enforces the mutex-held-truth pattern serve.Server uses:
+// a struct field whose doc or line comment says "guarded by <mu>" may
+// only be touched inside a function that locks that mutex (or is
+// documented/named as running with it held). The check is
+// intra-package: annotations on unexported fields are where the
+// pattern lives.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// heldDocRe matches function doc comments asserting the caller holds
+// the lock ("mu must be held", "caller holds s.mu", "with mu held").
+var heldDocRe = regexp.MustCompile(`(?i)(\bheld\b|caller.{0,30}hold)`)
+
+// LockedField flags reads/writes of "guarded by mu" struct fields from
+// functions that never lock that mutex. Functions named *Locked or
+// documented as requiring the lock are trusted; composite literals
+// (construction before sharing) are inherently safe and not flagged.
+var LockedField = &Analyzer{
+	Name: "lockedfield",
+	Doc: "flags accesses to struct fields documented \"guarded by mu\" in functions " +
+		"that do not lock that mutex (and are not *Locked/documented lock-held helpers)",
+	Run: runLockedField,
+}
+
+func runLockedField(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fn, guards)
+		}
+	}
+	return nil
+}
+
+// collectGuards maps each annotated field object to the name of its
+// guarding mutex field.
+func collectGuards(pass *Pass) map[types.Object]string {
+	guards := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuardedAccesses flags selector accesses to guarded fields in
+// functions with no visible acquisition of the guarding mutex.
+func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guards map[types.Object]string) {
+	if fn.Doc != nil && heldDocRe.MatchString(fn.Doc.Text()) {
+		return
+	}
+	if name := fn.Name.Name; len(name) > 6 && name[len(name)-6:] == "Locked" {
+		return
+	}
+	// Which mutex names does this function (or a closure inside it)
+	// visibly lock?
+	locked := make(map[string]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			locked[exprName(sel.X)] = true
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := fieldObject(pass.TypesInfo, sel)
+		if obj == nil {
+			return true
+		}
+		mu, guarded := guards[obj]
+		if !guarded || locked[mu] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"access to %s (guarded by %s) in a function that never locks %s: lock it, rename the helper *Locked, or document the caller-held contract",
+			obj.Name(), mu, mu)
+		return true
+	})
+}
+
+// fieldObject resolves a selector to the struct-field object it
+// denotes, or nil for methods/packages/etc.
+func fieldObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
+}

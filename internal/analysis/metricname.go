@@ -1,0 +1,123 @@
+// metricname keeps the obs metric namespace canonical: every
+// counter/gauge/histogram registered on an obs.Registry carries a
+// jsweep_-prefixed snake_case name (so dashboards and the
+// serve_smoke.sh greps never chase a typo), and registration happens
+// at construction — resolving a handle inside a loop or hot path is
+// the exact overhead the obs design contract forbids.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var metricNameRe = regexp.MustCompile(`^jsweep_[a-z0-9_]+$`)
+
+// registration methods on *obs.Registry.
+var obsRegisterMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "GaugeFunc": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+}
+
+// MetricName flags obs registrations whose name literal does not match
+// ^jsweep_[a-z0-9_]+$ (or is not a literal at all), and registrations
+// that sit inside a loop instead of at construction.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "flags obs counter/gauge/histogram registrations with non-canonical names " +
+		"(^jsweep_[a-z0-9_]+$) or sitting inside loops instead of at construction",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	// The obs package itself (and its own tests' arbitrary names) is the
+	// mechanism, not a user.
+	if pathBase(pass.Pkg.Path()) == "obs" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var loopDepth int
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			if n == nil {
+				return
+			}
+			switch s := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				ast.Inspect(n, func(m ast.Node) bool {
+					if m == n {
+						return true
+					}
+					walk(m)
+					return false
+				})
+				loopDepth--
+				return
+			case *ast.CallExpr:
+				checkRegistration(pass, s, loopDepth > 0)
+			}
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				walk(m)
+				return false
+			})
+		}
+		walk(file)
+	}
+	return nil
+}
+
+// checkRegistration vets one call if it is an obs.Registry
+// registration.
+func checkRegistration(pass *Pass, call *ast.CallExpr, inLoop bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !obsRegisterMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil {
+		return
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isObsRegistry(sig.Recv().Type()) {
+		return
+	}
+	if inLoop {
+		pass.Reportf(call.Pos(),
+			"obs registration %s inside a loop: resolve metric handles once at construction (the obs hot-path contract)", sel.Sel.Name)
+	}
+	lit, ok := unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs metric name is not a string literal: names must be statically checkable against ^jsweep_[a-z0-9_]+$")
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !metricNameRe.MatchString(name) {
+		pass.Reportf(lit.Pos(),
+			"obs metric name %q does not match ^jsweep_[a-z0-9_]+$", name)
+	}
+}
+
+// isObsRegistry reports whether t is (a pointer to) obs.Registry.
+func isObsRegistry(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil &&
+		(obj.Pkg().Path() == "jsweep/internal/obs" || strings.HasSuffix(obj.Pkg().Path(), "/obs") || obj.Pkg().Path() == "obs")
+}

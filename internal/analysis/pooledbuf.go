@@ -1,0 +1,318 @@
+// pooledbuf enforces the comm buffer-pool ownership-transfer contract
+// (internal/comm/pool.go, DESIGN.md): passing a buffer to
+// comm.SendPooled or comm.PutBuffer hands ownership away — the caller
+// must not read, write, append, re-release or resend the slice
+// afterwards. This is the bug class PR 6 fixed by hand in
+// TryRecv/replay (pinned payloads) and the silent-flux-corruption
+// hazard of recycling a shared slice.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PooledBuf flags (a) any use of a []byte after it was released via
+// SendPooled/PutBuffer in the same function, (b) pool-obtained buffers
+// escaping through a plain Send call (they never recycle, and a shared
+// slice must never be pooled), and (c) a release inside a loop of a
+// buffer declared outside it (the AllExchange shared-slice shape: the
+// second iteration sends an already-released buffer).
+var PooledBuf = &Analyzer{
+	Name: "pooledbuf",
+	Doc: "flags use of a pooled []byte after comm.SendPooled/PutBuffer released it, " +
+		"pooled buffers sent through plain Send, and in-loop releases of loop-external buffers",
+	Run: runPooledBuf,
+}
+
+func runPooledBuf(pass *Pass) error {
+	// The pool implementation itself (comm.SendPooled falls back to
+	// ep.Send) is exempt.
+	if pathBase(pass.Pkg.Path()) == "comm" {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkPooledFunc(pass, fn.Body)
+				}
+				return false // nested FuncLits are scanned as part of the body
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// bufEvent is one occurrence of a tracked buffer variable.
+type bufEvent struct {
+	pos      token.Pos
+	reassign bool // obj is the sole LHS of an assignment (ownership re-armed)
+}
+
+// bufRelease is one ownership hand-off.
+type bufRelease struct {
+	obj     types.Object
+	pos     token.Pos
+	call    *ast.CallExpr
+	inDefer bool
+	loops   []*loopInfo // enclosing loops, outermost first
+}
+
+type loopInfo struct {
+	pos, end token.Pos
+}
+
+// checkPooledFunc runs the position-based ownership check over one
+// function body (closures included: their statements are linear in the
+// same source).
+func checkPooledFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	pooled := make(map[types.Object]bool) // vars holding a GetBuffer-backed slice
+	uses := make(map[types.Object][]bufEvent)
+	var releases []bufRelease
+
+	var loopStack []*loopInfo
+	var deferDepth int
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch s := n.(type) {
+		case nil:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopStack = append(loopStack, &loopInfo{pos: n.Pos(), end: n.End()})
+			ast.Inspect(n, func(m ast.Node) bool {
+				if m == n {
+					return true
+				}
+				walk(m)
+				return false
+			})
+			loopStack = loopStack[:len(loopStack)-1]
+			return
+		case *ast.DeferStmt:
+			deferDepth++
+			walk(s.Call)
+			deferDepth--
+			return
+		case *ast.AssignStmt:
+			// Record re-arms: `x = ...` / `x := ...` with x alone on the
+			// left resets ownership from that point on.
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if obj := lhsObject(info, id); obj != nil {
+						uses[obj] = append(uses[obj], bufEvent{pos: id.Pos(), reassign: len(s.Lhs) == 1})
+					}
+				}
+			}
+			// Track pool provenance: RHS containing a GetBuffer call arms
+			// the assigned var.
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if id, ok := s.Lhs[0].(*ast.Ident); ok {
+					if obj := lhsObject(info, id); obj != nil && exprHasGetBuffer(info, s.Rhs[0]) {
+						pooled[obj] = true
+					}
+				}
+			}
+			for _, rhs := range s.Rhs {
+				walk(rhs)
+			}
+			return
+		case *ast.CallExpr:
+			if obj, relArg := releaseCall(info, s); relArg != nil {
+				if id, ok := unparen(relArg).(*ast.Ident); ok {
+					if o := info.Uses[id]; o != nil {
+						loops := make([]*loopInfo, len(loopStack))
+						copy(loops, loopStack)
+						releases = append(releases, bufRelease{
+							obj: o, pos: s.Pos(), call: s, inDefer: deferDepth > 0, loops: loops,
+						})
+						// The released argument itself is not a "use".
+						for _, arg := range s.Args {
+							if unparen(arg) != unparen(relArg) {
+								walk(arg)
+							}
+						}
+						walk(s.Fun)
+						return
+					}
+				}
+				_ = obj
+			}
+			if plainSendCall(info, s) {
+				for _, arg := range s.Args {
+					if id, ok := unparen(arg).(*ast.Ident); ok {
+						if o := info.Uses[id]; o != nil && pooled[o] {
+							pass.Reportf(arg.Pos(),
+								"pooled buffer %s passed to plain Send: it will never recycle; use comm.SendPooled (or drop the pool)", id.Name)
+						}
+					}
+				}
+			}
+		case *ast.Ident:
+			if o := info.Uses[s]; o != nil {
+				uses[o] = append(uses[o], bufEvent{pos: s.Pos()})
+			}
+			return
+		}
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			walk(m)
+			return false
+		})
+	}
+	for _, stmt := range body.List {
+		walk(stmt)
+	}
+
+	for _, rel := range releases {
+		// (c) in-loop release of a loop-external buffer: iteration two
+		// touches a slice the pool may already have handed out again.
+		if !rel.inDefer && len(rel.loops) > 0 {
+			inner := rel.loops[len(rel.loops)-1]
+			if rel.obj.Pos() < inner.pos || rel.obj.Pos() > inner.end {
+				pass.Reportf(rel.pos,
+					"buffer %s released inside a loop but declared outside it: a later iteration reuses a slice the pool owns", rel.obj.Name())
+				continue
+			}
+		}
+		if rel.inDefer {
+			continue // releases at function exit cannot precede a use
+		}
+		// (a') a second release of the same buffer is a use of freed
+		// memory too (the release argument itself is exempted from the
+		// use scan below, so double-releases need their own pass).
+		for _, later := range releases {
+			if later.obj != rel.obj || later.inDefer || later.pos <= rel.call.End() {
+				continue
+			}
+			if reassignedBetween(uses[rel.obj], rel.call.End(), later.pos) {
+				continue
+			}
+			pass.Reportf(later.pos,
+				"use of buffer %s after it was released at line %d: SendPooled/PutBuffer hand ownership to the pool", rel.obj.Name(),
+				pass.Fset.Position(rel.pos).Line)
+		}
+		// (a) any occurrence after the release, unless a reassignment
+		// re-armed the variable in between.
+		for _, ev := range uses[rel.obj] {
+			if ev.pos <= rel.call.End() {
+				continue
+			}
+			if reassignedBetween(uses[rel.obj], rel.call.End(), ev.pos) {
+				continue
+			}
+			if ev.reassign {
+				continue // the re-arm itself is fine
+			}
+			pass.Reportf(ev.pos,
+				"use of buffer %s after it was released at line %d: SendPooled/PutBuffer hand ownership to the pool", rel.obj.Name(),
+				pass.Fset.Position(rel.pos).Line)
+		}
+	}
+}
+
+func reassignedBetween(events []bufEvent, lo, hi token.Pos) bool {
+	for _, ev := range events {
+		if ev.reassign && ev.pos > lo && ev.pos < hi {
+			return true
+		}
+	}
+	return false
+}
+
+// lhsObject resolves the object an assignment's LHS ident denotes
+// (definition for :=, use for =).
+func lhsObject(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// releaseCall recognises comm.SendPooled(ep, to, data),
+// comm.PutBuffer(data) and any method call named SendPooled(to, data),
+// returning the released data argument.
+func releaseCall(info *types.Info, call *ast.CallExpr) (types.Object, ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return nil, nil
+	}
+	switch sel.Sel.Name {
+	case "PutBuffer":
+		if pathBase(funcPkgPath(obj)) == "comm" && len(call.Args) == 1 {
+			return obj, call.Args[0]
+		}
+	case "SendPooled":
+		if len(call.Args) >= 1 {
+			return obj, call.Args[len(call.Args)-1]
+		}
+	}
+	return nil, nil
+}
+
+// exprHasGetBuffer reports whether the expression contains a call to
+// comm.GetBuffer (possibly sliced or indexed: GetBuffer(n)[:k]).
+func exprHasGetBuffer(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "GetBuffer" {
+			if obj := info.Uses[sel.Sel]; obj != nil && pathBase(funcPkgPath(obj)) == "comm" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// plainSendCall recognises a method call named exactly Send whose
+// signature takes a []byte (the transport's non-pooled send).
+func plainSendCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Send" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sl, ok := sig.Params().At(i).Type().(*types.Slice); ok {
+			if basic, ok := sl.Elem().(*types.Basic); ok && basic.Kind() == types.Byte {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package analysis
+
+// All is the jsweepvet suite, in stable reporting order.
+var All = []*Analyzer{
+	CtxLoop,
+	DetMap,
+	ErrDrop,
+	LockedField,
+	MetricName,
+	PooledBuf,
+}
+
+// ByName returns the named analyzers from the suite (nil slice plus
+// the missing names when any are unknown).
+func ByName(names ...string) (found []*Analyzer, missing []string) {
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	for _, n := range names {
+		if a, ok := byName[n]; ok {
+			found = append(found, a)
+		} else {
+			missing = append(missing, n)
+		}
+	}
+	return found, missing
+}

@@ -1,0 +1,93 @@
+// ctxloop fixtures in a long-running package path: positive (spin
+// loops with no exit), negative (ctx checks, shutdown channels,
+// return/break paths, bounded loops), and escape-hatch cases.
+package runtime
+
+import "context"
+
+// spinForever can outlive every cancellation mechanism.
+func spinForever(in chan int, out chan int) {
+	for { // want `unbounded for loop without a cancellation exit`
+		select {
+		case v := <-in:
+			out <- v + 1
+		}
+	}
+}
+
+// busyWork has no exit at all.
+func busyWork(n *int) {
+	for { // want `unbounded for loop without a cancellation exit`
+		*n = *n + 1
+	}
+}
+
+// ctxChecked exits on cancellation.
+func ctxChecked(ctx context.Context, in chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+// ctxErrPolled checks ctx.Err in the body.
+func ctxErrPolled(ctx context.Context, step func()) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+// quitChannel sits behind a shutdown-named channel.
+func quitChannel(quit chan struct{}, in chan int) {
+	for {
+		select {
+		case <-quit:
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+// exitsOnError terminates through a return path.
+func exitsOnError(read func() (int, error)) {
+	for {
+		if _, err := read(); err != nil {
+			return
+		}
+	}
+}
+
+// breaksOut terminates through a loop-level break.
+func breaksOut(ready func() bool) {
+	for {
+		if ready() {
+			break
+		}
+	}
+}
+
+// bounded loops (a condition) are not ctxloop's business.
+func bounded(n int, f func()) {
+	for i := 0; i < n; i++ {
+		f()
+	}
+}
+
+// documentedException: the doorbell pump is shut down by closing its
+// input fd, which makes the receive panic-free return elsewhere.
+func documentedException(in chan int, out chan int) {
+	for { //jsweep:ctxloop-ok
+		select {
+		case v := <-in:
+			out <- v
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// A package outside the long-running set: spin loops here are not
+// ctxloop's business.
+package notscoped
+
+func spin(n *int) {
+	for {
+		*n = *n + 1
+	}
+}

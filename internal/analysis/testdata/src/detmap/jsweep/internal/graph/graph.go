@@ -1,0 +1,79 @@
+// detmap fixtures in a bitwise-pinned package path: positive
+// (order-sensitive map ranges), negative (collect-and-sort, keyed
+// writes, commutative accumulation), and escape-hatch cases.
+package graph
+
+import "sort"
+
+// emitInMapOrder is the bug class: output positions follow map order.
+func emitInMapOrder(m map[int]int) []int {
+	out := make([]int, len(m))
+	i := 0
+	for k, v := range m { // want `range over map in bitwise-pinned package`
+		out[i] = k * v
+		i++
+	}
+	return out
+}
+
+// callInBody can observe order through any side effect.
+func callInBody(m map[string]int, f func(string)) {
+	for k := range m { // want `range over map in bitwise-pinned package`
+		f(k)
+	}
+}
+
+// collectAndSort is the canonical allowed idiom.
+func collectAndSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// guardedCollect mirrors flushOutstreams: a pure guard around the
+// append cannot reorder anything.
+func guardedCollect(m map[string][]int) []string {
+	var keys []string
+	for k, v := range m {
+		if len(v) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// keyedReset writes only m[k] per source key: order-free.
+func keyedReset(m map[string][]int) {
+	for k, v := range m {
+		m[k] = v[:0]
+	}
+}
+
+// accumulate is commutative.
+func accumulate(m map[string]int) (total int, n int) {
+	for _, v := range m {
+		total += v
+		n++
+	}
+	return
+}
+
+// reviewedException uses the documented escape hatch.
+func reviewedException(m map[int]func()) {
+	// Order cannot matter: the callbacks are mutually independent (test
+	// double teardown). //jsweep:nondeterministic-ok
+	for _, f := range m {
+		f()
+	}
+}
+
+// inlineException uses the analyzer-name pragma spelling.
+func inlineException(m map[int]func()) {
+	for _, f := range m { //jsweep:detmap-ok
+		f()
+	}
+}

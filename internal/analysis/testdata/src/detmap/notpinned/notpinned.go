@@ -1,0 +1,9 @@
+// A package outside the bitwise-pinned set: map ranges here are not
+// detmap's business.
+package notpinned
+
+func anyOrder(m map[int]int, f func(int)) {
+	for k := range m {
+		f(k)
+	}
+}

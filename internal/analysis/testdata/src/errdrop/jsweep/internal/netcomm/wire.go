@@ -1,0 +1,65 @@
+// errdrop fixtures in a wire-facing package path: positive (dropped
+// write errors, blank-discarded writes), negative (checked writes,
+// non-write calls), and escape-hatch cases.
+package netcomm
+
+import "io"
+
+type conn struct{ w io.Writer }
+
+func (c *conn) Write(p []byte) (int, error) { return c.w.Write(p) }
+func (c *conn) Close() error                { return nil }
+
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	_, err := w.Write(append([]byte{kind}, payload...))
+	return err
+}
+
+type flusher struct{ w io.Writer }
+
+func (f *flusher) Flush() error { return nil }
+
+// droppedWrite swallows the write error entirely.
+func droppedWrite(c *conn, p []byte) {
+	c.Write(p) // want `dropped error from Write`
+}
+
+// blankedWrite discards it explicitly — still invisible at runtime.
+func blankedWrite(c *conn, p []byte) {
+	_, _ = c.Write(p) // want `dropped error from Write`
+}
+
+// droppedCodec swallows a frame-codec write.
+func droppedCodec(c *conn, p []byte) {
+	writeFrame(c, 1, p) // want `dropped error from writeFrame`
+}
+
+// droppedFlush swallows the flush.
+func droppedFlush(f *flusher) {
+	f.Flush() // want `dropped error from Flush`
+}
+
+// checkedWrite propagates: the correct shape.
+func checkedWrite(c *conn, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}
+
+// loggedWrite records the failure: also fine.
+func loggedWrite(c *conn, p []byte, logf func(string, ...any)) {
+	if _, err := c.Write(p); err != nil {
+		logf("write failed: %v", err)
+	}
+}
+
+// closeDrop is not a write: Close errors on teardown paths are the
+// caller's judgement call, not errdrop's.
+func closeDrop(c *conn) {
+	c.Close()
+}
+
+// byeBestEffort is the reviewed exception: the peer closing first is
+// expected here.
+func byeBestEffort(c *conn, bye []byte) {
+	c.Write(bye) //jsweep:errdrop-ok
+}

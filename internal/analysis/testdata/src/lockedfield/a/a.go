@@ -1,0 +1,68 @@
+// lockedfield fixtures: positive (unlocked access to a guarded
+// field), negative (locked access, *Locked helper, documented
+// caller-held contract, construction literals), and escape-hatch
+// cases.
+package a
+
+import "sync"
+
+type server struct {
+	mu sync.Mutex
+	// running counts in-flight jobs. guarded by mu
+	running int
+	// queued counts waiting jobs. guarded by mu
+	queued int
+	// addr is immutable after construction (not guarded).
+	addr string
+}
+
+// unlockedRead is the bug: it reads guarded state without the mutex.
+func (s *server) unlockedRead() int {
+	return s.running // want `access to running \(guarded by mu\) in a function that never locks mu`
+}
+
+func (s *server) unlockedWrite(n int) {
+	s.queued = n // want `access to queued \(guarded by mu\) in a function that never locks mu`
+}
+
+// lockedRead holds the mutex: fine.
+func (s *server) lockedRead() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// closureLocked samples mutex-held truth from a closure that locks
+// (the serve metrics GaugeFunc shape).
+func (s *server) closureLocked(register func(func() int)) {
+	register(func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.queued
+	})
+}
+
+// drainLocked follows the *Locked naming convention: the caller locks.
+func (s *server) drainLocked() {
+	s.running = 0
+	s.queued = 0
+}
+
+// snapshot requires mu held by the caller.
+func (s *server) snapshot() (int, int) {
+	return s.running, s.queued
+}
+
+// unguardedField is free to touch.
+func (s *server) name() string { return s.addr }
+
+// construction in a composite literal happens before sharing.
+func newServer(addr string) *server {
+	return &server{addr: addr}
+}
+
+// reviewedException documents why the race is benign.
+func (s *server) reviewedException() int {
+	// Approximate value is fine for the stats line. //jsweep:lockedfield-ok
+	return s.running
+}

@@ -1,0 +1,66 @@
+// metricname fixtures: positive (non-canonical names, non-literal
+// names, in-loop registration), negative (canonical construction-time
+// registrations), and escape-hatch cases.
+package a
+
+import "jsweep/internal/obs"
+
+type metrics struct {
+	cells *obs.Counter
+	depth *obs.Gauge
+}
+
+// goodMetrics is the canonical shape: jsweep_-prefixed snake_case
+// literals, resolved once at construction.
+func goodMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		cells: r.Counter("jsweep_sweep_cells_total", "cells swept"),
+		depth: r.Gauge("jsweep_queue_depth", "queued jobs"),
+	}
+}
+
+// badPrefix forgot the namespace.
+func badPrefix(r *obs.Registry) *obs.Counter {
+	return r.Counter("sweep_cells_total", "cells swept") // want `does not match`
+}
+
+// badCase is not snake_case.
+func badCase(r *obs.Registry) *obs.Gauge {
+	return r.Gauge("jsweep_queueDepth", "queued jobs") // want `does not match`
+}
+
+// dynamicName cannot be checked statically.
+func dynamicName(r *obs.Registry, name string) *obs.Counter {
+	return r.Counter(name, "per-tenant cells") // want `not a string literal`
+}
+
+// inLoop resolves a handle per iteration: the obs hot-path contract
+// says resolve once, Inc many.
+func inLoop(r *obs.Registry, jobs []string) {
+	for range jobs {
+		c := r.Counter("jsweep_jobs_total", "jobs seen") // want `inside a loop`
+		c.Inc()
+	}
+}
+
+// hoisted is the fixed shape of inLoop.
+func hoisted(r *obs.Registry, jobs []string) {
+	c := r.Counter("jsweep_jobs_total", "jobs seen")
+	for range jobs {
+		c.Inc()
+	}
+}
+
+// notARegistry: same method name on an unrelated type is ignored.
+type fakeReg struct{}
+
+func (fakeReg) Counter(name, help string) int { return 0 }
+
+func unrelated(f fakeReg) int {
+	return f.Counter("whatever", "not obs")
+}
+
+// bridgedException mirrors an external scrape name verbatim; reviewed.
+func bridgedException(r *obs.Registry) *obs.Gauge {
+	return r.Gauge("node_memory_bytes", "bridged from node exporter") //jsweep:metricname-ok
+}

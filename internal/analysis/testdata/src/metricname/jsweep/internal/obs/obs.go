@@ -1,0 +1,25 @@
+// Stub of jsweep/internal/obs for the metricname fixtures: same
+// import path, same registration surface.
+package obs
+
+type Registry struct{}
+
+type Counter struct{}
+
+func (c *Counter) Inc() {}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type CounterVec struct{}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+func (r *Registry) Counter(name, help string) *Counter           { return &Counter{} }
+func (r *Registry) Gauge(name, help string) *Gauge               { return &Gauge{} }
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {}
+func (r *Registry) Histogram(name, help string) *Histogram       { return &Histogram{} }
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{}
+}

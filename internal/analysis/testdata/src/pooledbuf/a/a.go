@@ -1,0 +1,84 @@
+// pooledbuf fixtures: positive (use-after-release, plain-Send escape,
+// loop-shared release), negative (release-last, re-arm, defer), and
+// escape-hatch cases.
+package a
+
+import "jsweep/internal/comm"
+
+// useAfterSendPooled is the PR 6 bug class: touching the slice after
+// ownership transferred to the transport.
+func useAfterSendPooled(ep comm.Endpoint) int {
+	buf := comm.GetBuffer(64)
+	buf = append(buf, 1, 2, 3)
+	_ = comm.SendPooled(ep, 1, buf)
+	return len(buf) // want `use of buffer buf after it was released`
+}
+
+func useAfterPutBuffer() byte {
+	buf := comm.GetBuffer(64)
+	buf = append(buf, 9)
+	comm.PutBuffer(buf)
+	return buf[0] // want `use of buffer buf after it was released`
+}
+
+func doublePut() {
+	buf := comm.GetBuffer(64)
+	comm.PutBuffer(buf)
+	comm.PutBuffer(buf) // want `use of buffer buf after it was released`
+}
+
+// plainSendEscape loses the buffer to a send that never recycles.
+func plainSendEscape(ep comm.Endpoint) {
+	buf := comm.GetBuffer(64)
+	_ = ep.Send(1, buf) // want `pooled buffer buf passed to plain Send`
+}
+
+// loopSharedRelease releases a loop-external buffer every iteration:
+// iteration two sends a slice the pool already owns (the AllExchange
+// shared-slice shape).
+func loopSharedRelease(ep comm.Endpoint, ranks []int) {
+	buf := comm.GetBuffer(64)
+	for _, r := range ranks {
+		_ = comm.SendPooled(ep, r, buf) // want `released inside a loop but declared outside`
+	}
+}
+
+// releaseLast is the correct shape: the send is the last touch.
+func releaseLast(ep comm.Endpoint) error {
+	buf := comm.GetBuffer(64)
+	buf = append(buf, 7)
+	return comm.SendPooled(ep, 1, buf)
+}
+
+// reArm re-acquires between releases, so the second use is fresh.
+func reArm(ep comm.Endpoint) error {
+	buf := comm.GetBuffer(64)
+	_ = comm.SendPooled(ep, 1, buf)
+	buf = comm.GetBuffer(64)
+	return comm.SendPooled(ep, 2, buf)
+}
+
+// perIteration declares and releases inside the loop: each iteration
+// owns a fresh buffer.
+func perIteration(ep comm.Endpoint, ranks []int) {
+	for _, r := range ranks {
+		buf := comm.GetBuffer(64)
+		buf = append(buf, byte(r))
+		_ = comm.SendPooled(ep, r, buf)
+	}
+}
+
+// deferredPut runs at function exit: every body use precedes it.
+func deferredPut() int {
+	buf := comm.GetBuffer(64)
+	defer comm.PutBuffer(buf)
+	buf = append(buf, 1)
+	return len(buf)
+}
+
+// escapeHatch: a reviewed exception stays visible via the pragma.
+func escapeHatch(ep comm.Endpoint) int {
+	buf := comm.GetBuffer(64)
+	_ = comm.SendPooled(ep, 1, buf)
+	return cap(buf) //jsweep:pooledbuf-ok
+}

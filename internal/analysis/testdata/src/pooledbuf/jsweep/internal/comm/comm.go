@@ -1,0 +1,15 @@
+// Stub of jsweep/internal/comm for the pooledbuf fixtures: same import
+// path, same ownership-contract surface.
+package comm
+
+// Endpoint mirrors the transport surface the analyzer keys on.
+type Endpoint interface {
+	Send(to int, data []byte) error
+	SendPooled(to int, data []byte) error
+}
+
+func GetBuffer(n int) []byte { return make([]byte, 0, n) }
+
+func PutBuffer(b []byte) {}
+
+func SendPooled(ep Endpoint, to int, data []byte) error { return ep.SendPooled(to, data) }

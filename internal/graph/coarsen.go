@@ -282,7 +282,16 @@ func condenseClusters(graphs []*PatchGraph, clusters [][][]int32, cg *CoarseGrap
 
 	out := make([][][]int32, len(clusters))
 	copy(out, clusters)
-	for prog, groups := range mergeSets {
+	// Iterate programs in sorted order: map order would pick which
+	// program's topoMergeClusters error surfaces when several fail, and
+	// every code path here must stay bitwise reproducible.
+	progs := make([]int32, 0, len(mergeSets))
+	for prog := range mergeSets {
+		progs = append(progs, prog)
+	}
+	sort.Slice(progs, func(i, j int) bool { return progs[i] < progs[j] })
+	for _, prog := range progs {
+		groups := mergeSets[prog]
 		g := graphs[prog]
 		old := clusters[prog]
 		// groupOf[k] = index of the merge group cluster k belongs to, or -1.

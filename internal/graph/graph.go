@@ -294,6 +294,9 @@ func BuildPatchDAG(d *mesh.Decomposition, omega geom.Vec3) *PatchDAG {
 		Weight: make([][]int32, n),
 		InDeg:  make([]int32, n),
 	}
+	// Map order feeds the per-patch successor lists, which sortParallel
+	// fully determinizes right below ((from,to) keys are unique, so the
+	// sort has no ties). //jsweep:nondeterministic-ok
 	for k, w := range cnt {
 		dag.Succ[k.from] = append(dag.Succ[k.from], k.to)
 		dag.Weight[k.from] = append(dag.Weight[k.from], w)

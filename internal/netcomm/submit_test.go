@@ -243,3 +243,86 @@ func FuzzSubmitLaneRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSubmitFrameRoundTrip fuzzes the submission lane one layer up: an
+// arbitrary byte stream is read as a framed wire unit, and any frame
+// ReadFrame accepts must re-encode (via WriteFrame, and via the typed
+// payload codec when the kind's parser accepts the payload) to exactly
+// the bytes consumed — the canonical re-encode invariant the transport
+// lane pins in FuzzNetFrameRoundTrip.
+func FuzzSubmitFrameRoundTrip(f *testing.F) {
+	frame := func(kind byte, payload []byte) []byte {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, kind, payload); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	f.Add(frame(KindHello, AppendHello(nil, Hello{Proto: SubmitProto, Slots: 8, Busy: 1, Running: 1, Queued: 2})))
+	f.Add(frame(KindSubmit, AppendSubmit(nil, Submit{Spec: []byte(`{"mesh":"kobayashi"}`), Verify: true})))
+	f.Add(frame(KindAccepted, AppendAccepted(nil, Accepted{Job: "job-1", QueuePos: 1})))
+	f.Add(frame(KindRejected, AppendRejected(nil, Rejected{Code: "queue-full", Detail: "8 queued"})))
+	f.Add(frame(KindStarted, AppendStarted(nil, "job-1")))
+	f.Add(frame(KindProgress, AppendProgress(nil, []byte(`{"iteration":1}`))))
+	f.Add(frame(KindResult, AppendResult(nil, Result{Meta: []byte(`{"ok":true}`), Flux: [][]float64{{1, -0.0}}})))
+	f.Add(frame(KindJobError, AppendJobError(nil, "boom")))
+	f.Add(frame(KindCancel, AppendCancel(nil, "user")))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		kind, payload, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		consumed := data[:len(data)-r.Len()]
+		var out bytes.Buffer
+		if err := WriteFrame(&out, kind, payload); err != nil {
+			t.Fatalf("re-encoding an accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), consumed) {
+			t.Fatalf("frame not canonical: read %x, re-encoded %x", consumed, out.Bytes())
+		}
+		canon, parsed := []byte(nil), false
+		switch kind {
+		case KindHello:
+			if h, err := ParseHello(payload); err == nil {
+				canon, parsed = AppendHello(nil, h), true
+			}
+		case KindSubmit:
+			if s, err := ParseSubmit(payload); err == nil {
+				canon, parsed = AppendSubmit(nil, s), true
+			}
+		case KindAccepted:
+			if a, err := ParseAccepted(payload); err == nil {
+				canon, parsed = AppendAccepted(nil, a), true
+			}
+		case KindRejected:
+			if rj, err := ParseRejected(payload); err == nil {
+				canon, parsed = AppendRejected(nil, rj), true
+			}
+		case KindStarted:
+			if j, err := ParseStarted(payload); err == nil {
+				canon, parsed = AppendStarted(nil, j), true
+			}
+		case KindProgress:
+			if ev, err := ParseProgress(payload); err == nil {
+				canon, parsed = AppendProgress(nil, ev), true
+			}
+		case KindResult:
+			if res, err := ParseResult(payload); err == nil {
+				canon, parsed = AppendResult(nil, res), true
+			}
+		case KindJobError:
+			if d, err := ParseJobError(payload); err == nil {
+				canon, parsed = AppendJobError(nil, d), true
+			}
+		case KindCancel:
+			if reason, err := ParseCancel(payload); err == nil {
+				canon, parsed = AppendCancel(nil, reason), true
+			}
+		}
+		if parsed && !bytes.Equal(canon, payload) {
+			t.Fatalf("kind 0x%02x payload not canonical: %x vs %x", kind, payload, canon)
+		}
+	})
+}

@@ -273,6 +273,8 @@ func (h *Handle) Cancel(reason string) {
 	default:
 	}
 	h.mu.Lock()
-	netcomm.WriteFrame(h.conn, netcomm.KindCancel, netcomm.AppendCancel(nil, reason))
+	// Best-effort by design: if the write fails the connection is dying,
+	// and connection-as-lease cancellation already covers that path.
+	netcomm.WriteFrame(h.conn, netcomm.KindCancel, netcomm.AppendCancel(nil, reason)) //jsweep:errdrop-ok
 	h.mu.Unlock()
 }

@@ -111,8 +111,10 @@ func (c *Config) defaults() {
 // removes itself or, if the grant raced the cancellation, passes the
 // grant to the next waiter.
 type fifoSem struct {
-	mu      sync.Mutex
-	free    int
+	mu sync.Mutex
+	// free is the number of unclaimed grants. guarded by mu
+	free int
+	// waiters queues arrival-ordered grant channels. guarded by mu
 	waiters []chan struct{}
 }
 
@@ -180,12 +182,17 @@ type Server struct {
 	baseCancel context.CancelFunc
 	wg         sync.WaitGroup
 
-	mu       sync.Mutex
+	mu sync.Mutex
+	// shutdown flips once at Close; admission checks it first. guarded by mu
 	shutdown bool
-	running  int
-	queued   int
-	busy     int
-	jobSeq   int
+	// running counts jobs granted a slot and not yet finished. guarded by mu
+	running int
+	// queued counts admitted jobs still waiting for a grant. guarded by mu
+	queued int
+	// busy counts rank slots occupied by running jobs. guarded by mu
+	busy int
+	// jobSeq numbers jobs for their daemon-assigned ids. guarded by mu
+	jobSeq int
 }
 
 // Start listens and serves submissions until Close.
@@ -307,7 +314,7 @@ func (s *Server) reject(w *frameWriter, code, detail string) {
 // one job for the connection's lifetime. The client going away (EOF) or
 // sending Cancel aborts the job.
 func (s *Server) handleConn(conn net.Conn) {
-	w := &frameWriter{conn: conn}
+	w := &frameWriter{conn: conn, logf: s.logf}
 	if err := netcomm.WriteFrame(conn, netcomm.KindHello, netcomm.AppendHello(nil, s.hello())); err != nil {
 		return
 	}
@@ -474,7 +481,10 @@ func (s *Server) handleConn(conn net.Conn) {
 		w.jobError(fmt.Errorf("%s: encode result: %w", job, err))
 		return
 	}
-	w.write(netcomm.KindResult, frame)
+	if err := w.write(netcomm.KindResult, frame); err != nil {
+		// The job is solved either way; the submitter just won't see it.
+		s.logf("%s result frame write failed: %v", job, err)
+	}
 	s.metrics.jobOK.Observe(time.Since(t0).Seconds())
 	s.trace.Emit(obs.Event{Name: "job.result", ID: job, Dur: time.Since(t0), Detail: nr.FluxHash})
 	s.logf("%s done in %v (hash=%s warm=%d)", job, time.Since(t0).Round(time.Millisecond), nr.FluxHash, s.pool.size())
@@ -613,10 +623,14 @@ func (s *syncWriter) Write(p []byte) (int, error) {
 }
 
 // frameWriter serializes submission-lane writes on a connection (the
-// handler and a slice job's rank-0 goroutine both write).
+// handler and a slice job's rank-0 goroutine both write). Terminal and
+// best-effort frames log their write failures through logf instead of
+// swallowing them: the submitter being gone is worth one daemon log
+// line, never a silent drop (the swallowed-Bye class).
 type frameWriter struct {
 	mu   sync.Mutex
 	conn net.Conn
+	logf func(format string, args ...any)
 }
 
 func (w *frameWriter) write(kind byte, payload []byte) error {
@@ -626,15 +640,21 @@ func (w *frameWriter) write(kind byte, payload []byte) error {
 }
 
 func (w *frameWriter) reject(code, detail string) {
-	w.write(netcomm.KindRejected, netcomm.AppendRejected(nil, netcomm.Rejected{Code: code, Detail: detail}))
+	if err := w.write(netcomm.KindRejected, netcomm.AppendRejected(nil, netcomm.Rejected{Code: code, Detail: detail})); err != nil {
+		w.logf("rejected-frame write failed (%s): %v", code, err)
+	}
 }
 
-func (w *frameWriter) jobError(err error) {
-	w.write(netcomm.KindJobError, netcomm.AppendJobError(nil, err.Error()))
+func (w *frameWriter) jobError(jobErr error) {
+	if err := w.write(netcomm.KindJobError, netcomm.AppendJobError(nil, jobErr.Error())); err != nil {
+		w.logf("job-error frame write failed (job error %v): %v", jobErr, err)
+	}
 }
 
 func (w *frameWriter) progress(ev nodespec.Progress) {
 	if payload, err := encodeProgress(ev); err == nil {
-		w.write(netcomm.KindProgress, payload)
+		if werr := w.write(netcomm.KindProgress, payload); werr != nil {
+			w.logf("progress frame write failed (iter %d): %v", ev.Iteration, werr)
+		}
 	}
 }

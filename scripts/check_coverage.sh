@@ -37,3 +37,4 @@ check "jsweep/internal/sweep" 91.0
 check "jsweep/internal/graph" 90.0
 check "jsweep/internal/netcomm" 85.0
 check "jsweep/internal/obs" 90.0
+check "jsweep/internal/analysis" 85.0

@@ -1,0 +1,135 @@
+// Tests for check_coverage.sh: the gate must hold across the cover-line
+// formats the Go matrix emits (fresh, cached, -coverpkg suffix) and
+// fail loudly on the degenerate shapes ([no test files], [no
+// statements], a package missing from the run entirely).
+package scripts
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// gatedPkgs mirrors the check lines at the bottom of the script.
+var gatedPkgs = []string{
+	"jsweep/internal/runtime",
+	"jsweep/internal/sweep",
+	"jsweep/internal/graph",
+	"jsweep/internal/netcomm",
+	"jsweep/internal/obs",
+	"jsweep/internal/analysis",
+}
+
+func passingLines() map[string]string {
+	lines := make(map[string]string, len(gatedPkgs))
+	for _, pkg := range gatedPkgs {
+		lines[pkg] = "ok  \t" + pkg + "\t1.2s\tcoverage: 95.0% of statements"
+	}
+	return lines
+}
+
+func runGate(t *testing.T, lines map[string]string) (string, error) {
+	t.Helper()
+	var b strings.Builder
+	for _, pkg := range gatedPkgs {
+		if l, ok := lines[pkg]; ok {
+			b.WriteString(l + "\n")
+		}
+	}
+	b.WriteString("ok  \tjsweep/internal/comm\t0.1s\tcoverage: 50.0% of statements\n")
+	file := filepath.Join(t.TempDir(), "cover.out")
+	if err := os.WriteFile(file, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command("sh", "check_coverage.sh", file).CombinedOutput()
+	return string(out), err
+}
+
+func TestGatePasses(t *testing.T) {
+	out, err := runGate(t, passingLines())
+	if err != nil {
+		t.Fatalf("gate failed on a passing file: %v\n%s", err, out)
+	}
+	for _, pkg := range gatedPkgs {
+		if !strings.Contains(out, "coverage gate ok: "+pkg) {
+			t.Errorf("missing ok line for %s:\n%s", pkg, out)
+		}
+	}
+}
+
+func TestGateAcceptsFormatVariants(t *testing.T) {
+	lines := passingLines()
+	// A cached run has no elapsed-time column.
+	lines["jsweep/internal/runtime"] = "ok  \tjsweep/internal/runtime\t(cached)\tcoverage: 95.0% of statements"
+	// -coverpkg runs carry a trailing scope suffix.
+	lines["jsweep/internal/graph"] = "ok  \tjsweep/internal/graph\t2.0s\tcoverage: 95.0% of statements in ./..."
+	if out, err := runGate(t, lines); err != nil {
+		t.Fatalf("gate rejected known cover-line formats: %v\n%s", err, out)
+	}
+}
+
+func TestGateBoundaryIsInclusive(t *testing.T) {
+	lines := passingLines()
+	// internal/analysis gates at 85.0: exactly 85.0 must pass.
+	lines["jsweep/internal/analysis"] = "ok  \tjsweep/internal/analysis\t1.0s\tcoverage: 85.0% of statements"
+	if out, err := runGate(t, lines); err != nil {
+		t.Fatalf("gate must be >=, not >: %v\n%s", err, out)
+	}
+}
+
+func TestGateFailsBelowMinimum(t *testing.T) {
+	lines := passingLines()
+	lines["jsweep/internal/analysis"] = "ok  \tjsweep/internal/analysis\t1.0s\tcoverage: 84.9% of statements"
+	out, err := runGate(t, lines)
+	if err == nil {
+		t.Fatalf("gate passed a below-minimum package:\n%s", out)
+	}
+	if !strings.Contains(out, "coverage gate FAILED: jsweep/internal/analysis") {
+		t.Errorf("failure should name the package:\n%s", out)
+	}
+}
+
+func TestGateFailsOnMissingPackage(t *testing.T) {
+	lines := passingLines()
+	delete(lines, "jsweep/internal/netcomm")
+	out, err := runGate(t, lines)
+	if err == nil {
+		t.Fatalf("gate passed with a gated package absent:\n%s", out)
+	}
+	if !strings.Contains(out, "no result for jsweep/internal/netcomm") {
+		t.Errorf("failure should name the missing package:\n%s", out)
+	}
+}
+
+func TestGateFailsOnNoTestFiles(t *testing.T) {
+	lines := passingLines()
+	// A package that lost its tests reports on a "?" line, not "ok".
+	lines["jsweep/internal/obs"] = "?   \tjsweep/internal/obs\t[no test files]"
+	out, err := runGate(t, lines)
+	if err == nil {
+		t.Fatalf("gate passed a [no test files] package:\n%s", out)
+	}
+	if !strings.Contains(out, "no result for jsweep/internal/obs") {
+		t.Errorf("[no test files] should read as a missing result:\n%s", out)
+	}
+}
+
+func TestGateFailsOnNoStatements(t *testing.T) {
+	lines := passingLines()
+	lines["jsweep/internal/sweep"] = "ok  \tjsweep/internal/sweep\t0.1s\tcoverage: [no statements]"
+	out, err := runGate(t, lines)
+	if err == nil {
+		t.Fatalf("gate passed an unparseable coverage line:\n%s", out)
+	}
+	if !strings.Contains(out, "could not parse coverage for jsweep/internal/sweep") {
+		t.Errorf("unparseable line should be its own error:\n%s", out)
+	}
+}
+
+func TestGateUsageError(t *testing.T) {
+	if err := exec.Command("sh", "check_coverage.sh").Run(); err == nil {
+		t.Fatalf("missing argument must be a usage error")
+	}
+}
